@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks for the hot paths behind the §VI-D running
+//! times: conditional-independence testing, GAN training steps, generator
+//! inference, and the classifier forward passes.
+//!
+//! `cargo bench -p fsda-bench --bench micro`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fsda_causal::ci::{combine_with_fnode, CondIndepTest, FisherZ};
+use fsda_core::adapter::{AdapterConfig, Budget, FsGanAdapter};
+use fsda_core::fs::{FeatureSeparation, FsConfig};
+use fsda_data::fewshot::few_shot_subset;
+use fsda_data::synth5gc::Synth5gc;
+use fsda_gan::cond_gan::{CondGan, CondGanConfig};
+use fsda_gan::Reconstructor;
+use fsda_linalg::{Matrix, SeededRng};
+use fsda_models::ClassifierKind;
+
+fn bench_ci_tests(c: &mut Criterion) {
+    let bundle = Synth5gc::small().generate(1).unwrap();
+    let mut rng = SeededRng::new(2);
+    let shots = few_shot_subset(&bundle.target_pool, 5, &mut rng).unwrap();
+    let combined =
+        combine_with_fnode(bundle.source_train.features(), shots.features()).unwrap();
+    let test = FisherZ::new(&combined).unwrap();
+    let f = bundle.source_train.num_features();
+    c.bench_function("ci/fisher_z_marginal", |b| {
+        b.iter(|| test.pvalue(0, f, &[]).unwrap())
+    });
+    c.bench_function("ci/fisher_z_cond1", |b| {
+        b.iter(|| test.pvalue(0, f, &[1]).unwrap())
+    });
+    c.bench_function("ci/fisher_z_build", |b| {
+        b.iter(|| FisherZ::new(&combined).unwrap())
+    });
+}
+
+fn bench_fs(c: &mut Criterion) {
+    let bundle = Synth5gc::small().generate(3).unwrap();
+    let mut rng = SeededRng::new(4);
+    let shots = few_shot_subset(&bundle.target_pool, 5, &mut rng).unwrap();
+    c.bench_function("fs/full_separation_70_features", |b| {
+        b.iter(|| {
+            FeatureSeparation::fit(&bundle.source_train, &shots, &FsConfig::default()).unwrap()
+        })
+    });
+}
+
+fn bench_gan(c: &mut Criterion) {
+    let mut rng = SeededRng::new(5);
+    let x_inv = rng.normal_matrix(256, 40, 0.0, 0.5);
+    let x_var = rng.normal_matrix(256, 12, 0.0, 0.5);
+    let y = Matrix::zeros(256, 16);
+    // One epoch of adversarial training (4 batches of 64).
+    c.bench_function("gan/train_epoch_256x52", |b| {
+        b.iter_batched(
+            || CondGan::new(CondGanConfig { epochs: 1, hidden: 128, noise_dim: 8, ..CondGanConfig::default() }, 6),
+            |mut gan| gan.fit(&x_inv, &x_var, &y).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut gan = CondGan::new(
+        CondGanConfig { epochs: 5, hidden: 128, noise_dim: 8, ..CondGanConfig::default() },
+        7,
+    );
+    gan.fit(&x_inv, &x_var, &y).unwrap();
+    let single = x_inv.select_rows(&[0]);
+    c.bench_function("gan/generator_single_sample", |b| {
+        b.iter(|| gan.reconstruct(&single, 9))
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let bundle = Synth5gc::small().generate(8).unwrap();
+    let mut rng = SeededRng::new(9);
+    let shots = few_shot_subset(&bundle.target_pool, 5, &mut rng).unwrap();
+    let cfg = AdapterConfig {
+        classifier: ClassifierKind::RandomForest,
+        budget: Budget { gan_epochs: 30, ..Budget::quick() },
+        ..AdapterConfig::default()
+    };
+    let adapter = FsGanAdapter::fit(&bundle.source_train, &shots, &cfg, 10).unwrap();
+    let one = bundle.target_test.features().select_rows(&[0]);
+    c.bench_function("pipeline/predict_single_sample", |b| {
+        b.iter(|| adapter.predict(&one))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ci_tests, bench_fs, bench_gan, bench_inference
+}
+criterion_main!(benches);

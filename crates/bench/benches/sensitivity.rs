@@ -1,0 +1,104 @@
+//! Regenerates the **§VI-C sensitivity analysis**:
+//!
+//! * S1 — variant-feature counts found by FS at 1/5/10 shots (paper:
+//!   35/68/75 on 5GC, 23/31/37 on 5GIPC), plus precision/recall against the
+//!   generator's ground truth (only possible here).
+//! * S2 — F1 variance across random target-sample selections (paper:
+//!   within ±2.6 points).
+//! * A bonus α-sweep ablation of the CI significance level, one of the
+//!   design knobs DESIGN.md calls out.
+//!
+//! `cargo bench -p fsda-bench --bench sensitivity`
+
+use fsda_bench::{paper, scenario_5gc, scenario_5gipc, BenchScale};
+use fsda_core::experiment::{run_cell, Scenario};
+use fsda_core::fs::{FeatureSeparation, FsConfig};
+use fsda_core::method::Method;
+use fsda_linalg::SeededRng;
+use fsda_models::ClassifierKind;
+
+fn variant_counts(name: &str, scenario: &Scenario, truth: &[usize], paper_counts: &[usize; 3]) {
+    println!("\n-- S1: variant features found by FS ({name}) --");
+    println!(
+        "{:>5} {:>10} {:>10} {:>10} {:>10}",
+        "k", "paper", "measured", "precision", "recall"
+    );
+    for (i, k) in [1usize, 5, 10].into_iter().enumerate() {
+        let mut rng = SeededRng::new(50 + k as u64);
+        let shots = scenario.draw_shots(k, &mut rng).expect("draw failed");
+        let fs = FeatureSeparation::fit(&scenario.source, &shots, &FsConfig::default())
+            .expect("FS failed");
+        let (p, r) = fs.score_against(truth);
+        println!(
+            "{:>5} {:>10} {:>10} {:>10.2} {:>10.2}",
+            k,
+            paper_counts[i],
+            fs.variant().len(),
+            p,
+            r
+        );
+    }
+    println!("(ground truth: {} intervened features)", truth.len());
+}
+
+fn variance_analysis(name: &str, scenario: &Scenario, scale: &BenchScale) {
+    println!("\n-- S2: variance across random target selections ({name}) --");
+    let mut config = scale.experiment_config();
+    config.shots = vec![5];
+    config.repeats = config.repeats.max(3);
+    for method in [Method::Fs, Method::FsGan] {
+        let cell = run_cell(scenario, method, ClassifierKind::RandomForest, 5, &config)
+            .expect("cell failed");
+        let spread = cell
+            .runs
+            .iter()
+            .map(|r| (r - cell.mean_f1).abs())
+            .fold(0.0_f64, f64::max)
+            * 100.0;
+        println!(
+            "{:<10} mean F1 {:>5.1}  sigma {:>4.1}  max deviation {:>4.1}  (paper bound ±{})",
+            method.label(),
+            cell.percent(),
+            100.0 * cell.std_f1,
+            spread,
+            paper::VARIANCE_BOUND
+        );
+    }
+}
+
+fn alpha_sweep_scored(name: &str, scenario: &Scenario, truth: &[usize]) {
+    println!("\n-- ablation: CI significance level alpha ({name}, k=5) --");
+    println!("{:>10} {:>10} {:>10} {:>10}", "alpha", "variant", "precision", "recall");
+    let mut rng = SeededRng::new(77);
+    let shots = scenario.draw_shots(5, &mut rng).expect("draw failed");
+    for alpha in [0.05, 0.01, 1e-3, 1e-5] {
+        let fs = FeatureSeparation::fit(
+            &scenario.source,
+            &shots,
+            &FsConfig { alpha, ..FsConfig::default() },
+        )
+        .expect("FS failed");
+        let (p, r) = fs.score_against(truth);
+        println!("{:>10.0e} {:>10} {:>10.2} {:>10.2}", alpha, fs.variant().len(), p, r);
+    }
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!("== Sensitivity analysis (paper §VI-C) ==");
+    println!("{}", scale.banner());
+
+    let (gc, gc_truth) = scenario_5gc(&scale, scale.seed.wrapping_add(51));
+    variant_counts("5GC", &gc, &gc_truth, &paper::VARIANT_COUNTS_5GC);
+    variance_analysis("5GC", &gc, &scale);
+    alpha_sweep_scored("5GC", &gc, &gc_truth);
+
+    let (ipc, ipc_truth) = scenario_5gipc(&scale, scale.seed.wrapping_add(52));
+    variant_counts("5GIPC", &ipc, &ipc_truth, &paper::VARIANT_COUNTS_5GIPC);
+    variance_analysis("5GIPC", &ipc, &scale);
+
+    println!(
+        "\nShape expectations (paper): detection counts grow with k; F1 deviations\n\
+         stay within a few points; smaller alpha is more conservative."
+    );
+}

@@ -1,0 +1,64 @@
+//! Generator-calibration spot check: runs a handful of decisive Table-I
+//! cells (SrcOnly / S&T / FS / FS+GAN and friends) on the 5GC scenario with
+//! overridable signal knobs, to verify that the paper's method ordering
+//! emerges from a given generator configuration.
+//!
+//! Usage: `cargo run --release -p fsda-bench --bin calibrate -- [signal_variant] [signal_invariant] [shift_strong]`
+//! (set `CAL_FULL=1` for the paper-scale preset; defaults match the
+//! shipped full-preset values).
+
+use fsda_core::adapter::Budget;
+use fsda_core::experiment::{run_cell, ExperimentConfig, Scenario};
+use fsda_core::method::Method;
+use fsda_data::synth5gc::Synth5gc;
+use fsda_models::ClassifierKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sv: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2.0);
+    let si: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.6);
+    let full = std::env::var("CAL_FULL").is_ok();
+    let mut gen = if full { Synth5gc::full() } else { Synth5gc::small() };
+    gen.signal_variant = sv;
+    gen.signal_invariant = si;
+    if let Some(sh) = args.get(3).and_then(|s| s.parse().ok()) {
+        gen.shift_strong = sh;
+    }
+    let b = gen.generate(1).unwrap();
+    let s = Scenario {
+        name: "5GC".into(),
+        source: b.source_train,
+        target_pool: b.target_pool,
+        pool_groups: None,
+        num_groups: 16,
+        target_test: b.target_test,
+    };
+    let cfg = ExperimentConfig {
+        shots: vec![5],
+        repeats: if full { 1 } else { 2 },
+        budget: if full { Budget::full() } else { Budget::quick() },
+        seed: 3,
+        parallel: true,
+    };
+    println!("sv={sv} si={si}");
+    let kinds = if full {
+        vec![ClassifierKind::Mlp]
+    } else {
+        vec![ClassifierKind::Mlp, ClassifierKind::RandomForest]
+    };
+    let methods = if full {
+        vec![Method::SrcOnly, Method::SourceAndTarget, Method::Fs]
+    } else {
+        vec![Method::SrcOnly, Method::TarOnly, Method::SourceAndTarget, Method::Cmt, Method::Fs, Method::FsGan]
+    };
+    for kind in kinds {
+        print!("{:>4}:", kind.label());
+        for m in &methods {
+            let c = run_cell(&s, *m, kind, 5, &cfg).unwrap();
+            print!(" {}={:.1}", m.label(), c.percent());
+            use std::io::Write as _;
+            std::io::stdout().flush().ok();
+        }
+        println!();
+    }
+}

@@ -1,0 +1,233 @@
+//! Conditional-independence testing.
+//!
+//! The PC / F-node searches are parameterized over a [`CondIndepTest`] so
+//! that alternative tests (e.g. the conservative marginal test used by the
+//! ICD baseline) can be swapped in. The default is the classic Fisher-z test
+//! on partial correlations, which handles the binary F-node as a 0/1
+//! variable (point-biserial correlation).
+
+use crate::{CausalError, Result};
+use fsda_linalg::stats::{correlation_matrix, fisher_z_pvalue, partial_correlation};
+use fsda_linalg::Matrix;
+
+/// A conditional-independence oracle over a fixed dataset.
+pub trait CondIndepTest {
+    /// P-value of the null hypothesis `x_i ⟂ x_j | x_cond`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail on numerically degenerate conditioning sets.
+    fn pvalue(&self, i: usize, j: usize, cond: &[usize]) -> Result<f64>;
+
+    /// Number of variables in the dataset.
+    fn num_vars(&self) -> usize;
+
+    /// Number of samples backing the test.
+    fn num_samples(&self) -> usize;
+
+    /// Convenience: true when the independence hypothesis is **not**
+    /// rejected at level `alpha` (i.e. the variables look independent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from [`CondIndepTest::pvalue`].
+    fn independent(&self, i: usize, j: usize, cond: &[usize], alpha: f64) -> Result<bool> {
+        Ok(self.pvalue(i, j, cond)? > alpha)
+    }
+}
+
+/// Fisher-z conditional-independence test on partial correlations.
+///
+/// Precomputes the full correlation matrix once; each query inverts only the
+/// `(2 + |cond|)`-dimensional submatrix, so queries with the small
+/// conditioning sets used by PC are cheap even for hundreds of variables.
+#[derive(Debug, Clone)]
+pub struct FisherZ {
+    corr: Matrix,
+    n: usize,
+}
+
+impl FisherZ {
+    /// Builds the test from a data matrix (rows are samples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CausalError::InsufficientData`] when fewer than four
+    /// samples are provided (the Fisher-z statistic needs `n - |cond| - 3 > 0`).
+    pub fn new(data: &Matrix) -> Result<Self> {
+        if data.rows() < 4 {
+            return Err(CausalError::InsufficientData(format!(
+                "Fisher-z needs >= 4 samples, got {}",
+                data.rows()
+            )));
+        }
+        let corr = correlation_matrix(data)?;
+        Ok(FisherZ { corr, n: data.rows() })
+    }
+
+    /// Builds the test directly from a precomputed correlation matrix and
+    /// sample count (used by tests and by callers that already have it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `corr` is not square.
+    pub fn from_correlation(corr: Matrix, n: usize) -> Self {
+        assert_eq!(corr.rows(), corr.cols(), "from_correlation: matrix must be square");
+        FisherZ { corr, n }
+    }
+
+    /// The (partial) correlation underlying a query — exposed because the
+    /// F-node search reports effect sizes alongside p-values.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the conditioning submatrix is singular.
+    pub fn partial_corr(&self, i: usize, j: usize, cond: &[usize]) -> Result<f64> {
+        Ok(partial_correlation(&self.corr, i, j, cond)?)
+    }
+}
+
+impl CondIndepTest for FisherZ {
+    fn pvalue(&self, i: usize, j: usize, cond: &[usize]) -> Result<f64> {
+        let r = self.partial_corr(i, j, cond)?;
+        Ok(fisher_z_pvalue(r, self.n, cond.len()))
+    }
+
+    fn num_vars(&self) -> usize {
+        self.corr.rows()
+    }
+
+    fn num_samples(&self) -> usize {
+        self.n
+    }
+}
+
+/// Appends a binary domain-indicator column (the F-node) to stacked
+/// source/target data: source rows get `F = 0`, target rows `F = 1`.
+///
+/// Returns the combined matrix; the F-node is the **last** column, index
+/// `source.cols()`.
+///
+/// # Errors
+///
+/// Returns [`CausalError::FeatureMismatch`] when the domains have different
+/// widths and [`CausalError::InsufficientData`] when either domain is empty.
+pub fn combine_with_fnode(source: &Matrix, target: &Matrix) -> Result<Matrix> {
+    if source.cols() != target.cols() {
+        return Err(CausalError::FeatureMismatch {
+            source: source.cols(),
+            target: target.cols(),
+        });
+    }
+    if source.rows() == 0 || target.rows() == 0 {
+        return Err(CausalError::InsufficientData(
+            "both domains must be non-empty to form the F-node dataset".into(),
+        ));
+    }
+    let d = source.cols();
+    let n = source.rows() + target.rows();
+    let mut out = Matrix::zeros(n, d + 1);
+    for r in 0..source.rows() {
+        out.row_mut(r)[..d].copy_from_slice(source.row(r));
+        // F = 0 for observational (source) samples.
+    }
+    for r in 0..target.rows() {
+        let dst = source.rows() + r;
+        out.row_mut(dst)[..d].copy_from_slice(target.row(r));
+        out.set(dst, d, 1.0);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsda_linalg::SeededRng;
+
+    fn chain_data(n: usize, seed: u64) -> Matrix {
+        // x0 -> x1 -> x2 chain.
+        let mut rng = SeededRng::new(seed);
+        let mut m = Matrix::zeros(n, 3);
+        for r in 0..n {
+            let x0 = rng.normal(0.0, 1.0);
+            let x1 = 1.5 * x0 + rng.normal(0.0, 0.4);
+            let x2 = -1.2 * x1 + rng.normal(0.0, 0.4);
+            m.set(r, 0, x0);
+            m.set(r, 1, x1);
+            m.set(r, 2, x2);
+        }
+        m
+    }
+
+    #[test]
+    fn detects_chain_independencies() {
+        let data = chain_data(2000, 1);
+        let t = FisherZ::new(&data).unwrap();
+        // Marginal x0, x2 dependent.
+        assert!(!t.independent(0, 2, &[], 0.05).unwrap());
+        // Given x1, x0 and x2 independent.
+        assert!(t.independent(0, 2, &[1], 0.05).unwrap());
+        // Adjacent pairs always dependent.
+        assert!(!t.independent(0, 1, &[], 0.05).unwrap());
+        assert!(!t.independent(1, 2, &[0], 0.05).unwrap());
+    }
+
+    #[test]
+    fn rejects_tiny_datasets() {
+        let m = Matrix::zeros(3, 2);
+        assert!(matches!(FisherZ::new(&m), Err(CausalError::InsufficientData(_))));
+    }
+
+    #[test]
+    fn accessors() {
+        let data = chain_data(100, 2);
+        let t = FisherZ::new(&data).unwrap();
+        assert_eq!(t.num_vars(), 3);
+        assert_eq!(t.num_samples(), 100);
+    }
+
+    #[test]
+    fn combine_with_fnode_layout() {
+        let src = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let tgt = Matrix::from_rows(&[&[5.0, 6.0]]);
+        let c = combine_with_fnode(&src, &tgt).unwrap();
+        assert_eq!(c.shape(), (3, 3));
+        assert_eq!(c.get(0, 2), 0.0);
+        assert_eq!(c.get(1, 2), 0.0);
+        assert_eq!(c.get(2, 2), 1.0);
+        assert_eq!(c.get(2, 0), 5.0);
+    }
+
+    #[test]
+    fn combine_rejects_mismatched_widths() {
+        let src = Matrix::zeros(2, 3);
+        let tgt = Matrix::zeros(2, 4);
+        assert!(matches!(
+            combine_with_fnode(&src, &tgt),
+            Err(CausalError::FeatureMismatch { source: 3, target: 4 })
+        ));
+    }
+
+    #[test]
+    fn combine_rejects_empty_domains() {
+        let src = Matrix::zeros(0, 2);
+        let tgt = Matrix::zeros(2, 2);
+        assert!(matches!(
+            combine_with_fnode(&src, &tgt),
+            Err(CausalError::InsufficientData(_))
+        ));
+    }
+
+    #[test]
+    fn fnode_correlates_with_shifted_feature() {
+        let mut rng = SeededRng::new(3);
+        let src = Matrix::from_fn(400, 2, |_, _| rng.normal(0.0, 1.0));
+        let tgt =
+            Matrix::from_fn(80, 2, |_, c| if c == 0 { rng.normal(2.5, 1.0) } else { rng.normal(0.0, 1.0) });
+        let combined = combine_with_fnode(&src, &tgt).unwrap();
+        let t = FisherZ::new(&combined).unwrap();
+        let f = 2; // F-node index
+        assert!(!t.independent(0, f, &[], 0.01).unwrap(), "shifted feature depends on F");
+        assert!(t.independent(1, f, &[], 0.01).unwrap(), "invariant feature independent of F");
+    }
+}

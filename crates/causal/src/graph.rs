@@ -1,0 +1,335 @@
+//! Graph structures for constraint-based causal discovery.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Edge mark between two adjacent nodes of a partially-directed graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Undirected `a - b`.
+    Undirected,
+    /// Directed `a -> b` (stored on the ordered pair).
+    Directed,
+}
+
+/// A partially-directed graph (CPDAG during PC) over `n` nodes.
+///
+/// Adjacency is kept as a dense symmetric boolean structure plus a set of
+/// directed marks; node count is small (features of one dataset), so the
+/// dense representation is simplest and fast.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    n: usize,
+    /// `adj[i*n + j]` — i and j are adjacent (symmetric).
+    adj: Vec<bool>,
+    /// `dir[i*n + j]` — edge is oriented i -> j.
+    dir: Vec<bool>,
+}
+
+impl Graph {
+    /// Creates an empty graph over `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        Graph { n, adj: vec![false; n * n], dir: vec![false; n * n] }
+    }
+
+    /// Creates the complete undirected graph over `n` nodes.
+    pub fn complete(n: usize) -> Self {
+        let mut g = Graph::empty(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    g.adj[i * n + j] = true;
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (undirected-counted-once) edges.
+    pub fn num_edges(&self) -> usize {
+        let mut count = 0;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if self.adj[i * self.n + j] {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// True when `i` and `j` are adjacent (in either direction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn adjacent(&self, i: usize, j: usize) -> bool {
+        assert!(i < self.n && j < self.n, "adjacent: node out of bounds");
+        self.adj[i * self.n + j]
+    }
+
+    /// Adds an undirected edge `i - j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of bounds or `i == j`.
+    pub fn add_edge(&mut self, i: usize, j: usize) {
+        assert!(i < self.n && j < self.n && i != j, "add_edge: invalid pair ({i},{j})");
+        self.adj[i * self.n + j] = true;
+        self.adj[j * self.n + i] = true;
+    }
+
+    /// Removes any edge between `i` and `j`.
+    pub fn remove_edge(&mut self, i: usize, j: usize) {
+        self.adj[i * self.n + j] = false;
+        self.adj[j * self.n + i] = false;
+        self.dir[i * self.n + j] = false;
+        self.dir[j * self.n + i] = false;
+    }
+
+    /// Orients an existing edge as `i -> j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` and `j` are not adjacent.
+    pub fn orient(&mut self, i: usize, j: usize) {
+        assert!(self.adjacent(i, j), "orient: ({i},{j}) not adjacent");
+        self.dir[i * self.n + j] = true;
+        self.dir[j * self.n + i] = false;
+    }
+
+    /// True when the edge is oriented `i -> j`.
+    pub fn is_directed(&self, i: usize, j: usize) -> bool {
+        self.adj[i * self.n + j] && self.dir[i * self.n + j]
+    }
+
+    /// True when `i - j` is adjacent and not oriented either way.
+    pub fn is_undirected(&self, i: usize, j: usize) -> bool {
+        self.adj[i * self.n + j] && !self.dir[i * self.n + j] && !self.dir[j * self.n + i]
+    }
+
+    /// All neighbours of `i` (regardless of orientation), ascending.
+    pub fn neighbors(&self, i: usize) -> Vec<usize> {
+        (0..self.n).filter(|&j| j != i && self.adj[i * self.n + j]).collect()
+    }
+
+    /// Parents of `i`: nodes `p` with `p -> i`.
+    pub fn parents(&self, i: usize) -> Vec<usize> {
+        (0..self.n).filter(|&p| self.is_directed(p, i)).collect()
+    }
+
+    /// Children of `i`: nodes `c` with `i -> c`.
+    pub fn children(&self, i: usize) -> Vec<usize> {
+        (0..self.n).filter(|&c| self.is_directed(i, c)).collect()
+    }
+
+    /// True when the directed part of the graph contains a path `from -> ... -> to`.
+    pub fn has_directed_path(&self, from: usize, to: usize) -> bool {
+        let mut stack = vec![from];
+        let mut seen = vec![false; self.n];
+        while let Some(u) = stack.pop() {
+            if u == to {
+                return true;
+            }
+            if seen[u] {
+                continue;
+            }
+            seen[u] = true;
+            for c in self.children(u) {
+                stack.push(c);
+            }
+        }
+        false
+    }
+}
+
+/// Separating sets recorded during skeleton discovery: `sepset(i, j)` is the
+/// conditioning set that rendered `i` and `j` independent.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SepSets {
+    inner: std::collections::BTreeMap<(usize, usize), BTreeSet<usize>>,
+}
+
+impl SepSets {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(i: usize, j: usize) -> (usize, usize) {
+        if i < j {
+            (i, j)
+        } else {
+            (j, i)
+        }
+    }
+
+    /// Records the separating set for the pair `(i, j)`.
+    pub fn insert(&mut self, i: usize, j: usize, set: impl IntoIterator<Item = usize>) {
+        self.inner.insert(Self::key(i, j), set.into_iter().collect());
+    }
+
+    /// Returns the separating set for `(i, j)` if one was recorded.
+    pub fn get(&self, i: usize, j: usize) -> Option<&BTreeSet<usize>> {
+        self.inner.get(&Self::key(i, j))
+    }
+
+    /// True when a separating set was recorded and contains `k`.
+    pub fn contains(&self, i: usize, j: usize, k: usize) -> bool {
+        self.get(i, j).is_some_and(|s| s.contains(&k))
+    }
+
+    /// Number of recorded pairs.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when no pair has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+/// Enumerates all size-`k` subsets of `items`, invoking `f` on each;
+/// stops early (returning `true`) when `f` returns `true`.
+///
+/// Used by PC to iterate candidate conditioning sets deterministically.
+pub fn for_each_subset(items: &[usize], k: usize, mut f: impl FnMut(&[usize]) -> bool) -> bool {
+    fn rec(
+        items: &[usize],
+        k: usize,
+        start: usize,
+        current: &mut Vec<usize>,
+        f: &mut impl FnMut(&[usize]) -> bool,
+    ) -> bool {
+        if current.len() == k {
+            return f(current);
+        }
+        for idx in start..items.len() {
+            current.push(items[idx]);
+            if rec(items, k, idx + 1, current, f) {
+                return true;
+            }
+            current.pop();
+        }
+        false
+    }
+    if k > items.len() {
+        return false;
+    }
+    let mut current = Vec::with_capacity(k);
+    rec(items, k, 0, &mut current, &mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_complete() {
+        let e = Graph::empty(4);
+        assert_eq!(e.num_edges(), 0);
+        let c = Graph::complete(4);
+        assert_eq!(c.num_edges(), 6);
+        assert!(c.adjacent(0, 3));
+    }
+
+    #[test]
+    fn add_remove_edges() {
+        let mut g = Graph::empty(3);
+        g.add_edge(0, 1);
+        assert!(g.adjacent(0, 1) && g.adjacent(1, 0));
+        assert!(g.is_undirected(0, 1));
+        g.remove_edge(0, 1);
+        assert!(!g.adjacent(0, 1));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn orientation() {
+        let mut g = Graph::empty(3);
+        g.add_edge(0, 1);
+        g.orient(0, 1);
+        assert!(g.is_directed(0, 1));
+        assert!(!g.is_directed(1, 0));
+        assert!(!g.is_undirected(0, 1));
+        assert_eq!(g.parents(1), vec![0]);
+        assert_eq!(g.children(0), vec![1]);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let mut g = Graph::empty(5);
+        g.add_edge(2, 4);
+        g.add_edge(2, 0);
+        assert_eq!(g.neighbors(2), vec![0, 4]);
+    }
+
+    #[test]
+    fn directed_path_detection() {
+        let mut g = Graph::empty(4);
+        g.add_edge(0, 1);
+        g.orient(0, 1);
+        g.add_edge(1, 2);
+        g.orient(1, 2);
+        g.add_edge(3, 2);
+        assert!(g.has_directed_path(0, 2));
+        assert!(!g.has_directed_path(2, 0));
+        assert!(!g.has_directed_path(0, 3));
+    }
+
+    #[test]
+    fn sepsets_symmetric_key() {
+        let mut s = SepSets::new();
+        s.insert(3, 1, [7, 8]);
+        assert!(s.get(1, 3).is_some());
+        assert!(s.contains(3, 1, 7));
+        assert!(!s.contains(3, 1, 9));
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn subsets_enumeration_counts() {
+        let items = [1, 2, 3, 4];
+        let mut count = 0;
+        for_each_subset(&items, 2, |_| {
+            count += 1;
+            false
+        });
+        assert_eq!(count, 6);
+        // k = 0 yields exactly the empty set.
+        let mut zero = 0;
+        for_each_subset(&items, 0, |s| {
+            assert!(s.is_empty());
+            zero += 1;
+            false
+        });
+        assert_eq!(zero, 1);
+        // k > len yields nothing.
+        assert!(!for_each_subset(&items, 5, |_| true));
+    }
+
+    #[test]
+    fn subsets_early_stop() {
+        let items = [0, 1, 2];
+        let mut seen = 0;
+        let stopped = for_each_subset(&items, 1, |s| {
+            seen += 1;
+            s[0] == 1
+        });
+        assert!(stopped);
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid pair")]
+    fn self_loop_rejected() {
+        Graph::empty(2).add_edge(1, 1);
+    }
+}

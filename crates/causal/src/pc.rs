@@ -1,0 +1,311 @@
+//! The PC algorithm: skeleton discovery, v-structure orientation, and Meek
+//! rules.
+//!
+//! The paper replaces Ψ-FCI's FCI step with PC because the network datasets
+//! have "numerous observable features" and no latent confounders are
+//! assumed. This module implements the general algorithm; the F-node search
+//! in [`crate::fnode`] reuses the same skeleton logic restricted to one
+//! node's adjacencies.
+
+use crate::ci::CondIndepTest;
+use crate::graph::{for_each_subset, Graph, SepSets};
+use crate::Result;
+
+/// Configuration for [`pc`].
+#[derive(Debug, Clone)]
+pub struct PcConfig {
+    /// Significance level for the CI tests.
+    pub alpha: f64,
+    /// Maximum conditioning-set size during skeleton discovery.
+    pub max_cond_size: usize,
+}
+
+impl Default for PcConfig {
+    fn default() -> Self {
+        PcConfig { alpha: 0.01, max_cond_size: 3 }
+    }
+}
+
+/// Output of the PC algorithm: a CPDAG and the separating sets found.
+#[derive(Debug, Clone)]
+pub struct PcResult {
+    /// The learned CPDAG.
+    pub graph: Graph,
+    /// Separating sets recorded when edges were removed.
+    pub sepsets: SepSets,
+    /// Number of CI tests performed (for the running-time analysis).
+    pub tests_run: usize,
+}
+
+/// Runs the PC algorithm with the given CI oracle.
+///
+/// # Errors
+///
+/// Propagates failures of the CI test (e.g. numerically singular
+/// conditioning sets).
+pub fn pc(test: &dyn CondIndepTest, config: &PcConfig) -> Result<PcResult> {
+    let (graph, sepsets, tests_run) = skeleton(test, config, None)?;
+    let mut result = PcResult { graph, sepsets, tests_run };
+    orient_v_structures(&mut result.graph, &result.sepsets);
+    apply_meek_rules(&mut result.graph);
+    Ok(result)
+}
+
+/// Skeleton phase of PC.
+///
+/// When `forbidden_outgoing` is `Some(f)`, node `f` is treated as a root
+/// with no outgoing edges — used for the manually-added F-node, which can
+/// influence features but cannot be influenced by them.
+///
+/// Returns the skeleton (undirected graph), separating sets, and the number
+/// of CI tests performed.
+pub(crate) fn skeleton(
+    test: &dyn CondIndepTest,
+    config: &PcConfig,
+    _forbidden_outgoing: Option<usize>,
+) -> Result<(Graph, SepSets, usize)> {
+    let n = test.num_vars();
+    let mut graph = Graph::complete(n);
+    let mut sepsets = SepSets::new();
+    let mut tests_run = 0usize;
+    for cond_size in 0..=config.max_cond_size {
+        let mut removed_any = false;
+        // Iterate over a stable snapshot of current edges.
+        let edges: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .filter(|&(i, j)| graph.adjacent(i, j))
+            .collect();
+        for (i, j) in edges {
+            if !graph.adjacent(i, j) {
+                continue;
+            }
+            // Candidate conditioning variables: adj(i) \ {j} (PC-stable
+            // style would snapshot; we test both directions' adjacency sets).
+            let mut removed = false;
+            for &(a, b) in &[(i, j), (j, i)] {
+                let mut candidates = graph.neighbors(a);
+                candidates.retain(|&k| k != b);
+                if candidates.len() < cond_size {
+                    continue;
+                }
+                let mut err: Option<crate::CausalError> = None;
+                let found = for_each_subset(&candidates, cond_size, |cond| {
+                    tests_run += 1;
+                    match test.independent(a, b, cond, config.alpha) {
+                        Ok(true) => {
+                            sepsets.insert(a, b, cond.iter().copied());
+                            true
+                        }
+                        Ok(false) => false,
+                        Err(e) => {
+                            err = Some(e);
+                            true
+                        }
+                    }
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+                if found {
+                    graph.remove_edge(i, j);
+                    removed = true;
+                    removed_any = true;
+                    break;
+                }
+            }
+            let _ = removed;
+        }
+        if !removed_any && cond_size > 0 {
+            break;
+        }
+    }
+    Ok((graph, sepsets, tests_run))
+}
+
+/// Orients unshielded colliders `i -> k <- j` where `k` is not in
+/// `sepset(i, j)`.
+pub fn orient_v_structures(graph: &mut Graph, sepsets: &SepSets) {
+    let n = graph.num_nodes();
+    for k in 0..n {
+        let neigh = graph.neighbors(k);
+        for (a_idx, &i) in neigh.iter().enumerate() {
+            for &j in &neigh[a_idx + 1..] {
+                if graph.adjacent(i, j) {
+                    continue; // shielded
+                }
+                if !sepsets.contains(i, j, k) && sepsets.get(i, j).is_some() {
+                    // Only orient if it does not contradict existing marks.
+                    if !graph.is_directed(k, i) {
+                        graph.orient(i, k);
+                    }
+                    if !graph.is_directed(k, j) {
+                        graph.orient(j, k);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Applies Meek's orientation rules R1–R3 until fixpoint.
+pub fn apply_meek_rules(graph: &mut Graph) {
+    let n = graph.num_nodes();
+    loop {
+        let mut changed = false;
+        for a in 0..n {
+            for b in 0..n {
+                if a == b || !graph.is_undirected(a, b) {
+                    continue;
+                }
+                // R1: c -> a - b with c, b non-adjacent => a -> b.
+                let r1 = graph
+                    .parents(a)
+                    .into_iter()
+                    .any(|c| c != b && !graph.adjacent(c, b));
+                if r1 {
+                    graph.orient(a, b);
+                    changed = true;
+                    continue;
+                }
+                // R2: a -> c -> b and a - b => a -> b.
+                let r2 = graph
+                    .children(a)
+                    .into_iter()
+                    .any(|c| graph.is_directed(c, b));
+                if r2 {
+                    graph.orient(a, b);
+                    changed = true;
+                    continue;
+                }
+                // R3: a - c1 -> b, a - c2 -> b, c1/c2 non-adjacent => a -> b.
+                let cs: Vec<usize> = (0..n)
+                    .filter(|&c| {
+                        c != a && c != b && graph.is_undirected(a, c) && graph.is_directed(c, b)
+                    })
+                    .collect();
+                let mut r3 = false;
+                'outer: for (x, &c1) in cs.iter().enumerate() {
+                    for &c2 in &cs[x + 1..] {
+                        if !graph.adjacent(c1, c2) {
+                            r3 = true;
+                            break 'outer;
+                        }
+                    }
+                }
+                if r3 {
+                    graph.orient(a, b);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ci::FisherZ;
+    use fsda_linalg::{Matrix, SeededRng};
+
+    /// Generates data from the collider x0 -> x2 <- x1.
+    fn collider_data(n: usize, seed: u64) -> Matrix {
+        let mut rng = SeededRng::new(seed);
+        let mut m = Matrix::zeros(n, 3);
+        for r in 0..n {
+            let x0 = rng.normal(0.0, 1.0);
+            let x1 = rng.normal(0.0, 1.0);
+            let x2 = x0 + x1 + rng.normal(0.0, 0.3);
+            m.set(r, 0, x0);
+            m.set(r, 1, x1);
+            m.set(r, 2, x2);
+        }
+        m
+    }
+
+    /// Chain x0 -> x1 -> x2.
+    fn chain_data(n: usize, seed: u64) -> Matrix {
+        let mut rng = SeededRng::new(seed);
+        let mut m = Matrix::zeros(n, 3);
+        for r in 0..n {
+            let x0 = rng.normal(0.0, 1.0);
+            let x1 = 1.3 * x0 + rng.normal(0.0, 0.5);
+            let x2 = 0.9 * x1 + rng.normal(0.0, 0.5);
+            m.set(r, 0, x0);
+            m.set(r, 1, x1);
+            m.set(r, 2, x2);
+        }
+        m
+    }
+
+    #[test]
+    fn recovers_chain_skeleton() {
+        let data = chain_data(3000, 1);
+        let test = FisherZ::new(&data).unwrap();
+        let result = pc(&test, &PcConfig::default()).unwrap();
+        assert!(result.graph.adjacent(0, 1));
+        assert!(result.graph.adjacent(1, 2));
+        assert!(!result.graph.adjacent(0, 2), "chain endpoints must be separated by x1");
+        assert!(result.tests_run > 0);
+    }
+
+    #[test]
+    fn recovers_collider_orientation() {
+        let data = collider_data(3000, 2);
+        let test = FisherZ::new(&data).unwrap();
+        let result = pc(&test, &PcConfig::default()).unwrap();
+        assert!(result.graph.adjacent(0, 2));
+        assert!(result.graph.adjacent(1, 2));
+        assert!(!result.graph.adjacent(0, 1));
+        // Collider must be oriented into x2.
+        assert!(result.graph.is_directed(0, 2), "x0 -> x2");
+        assert!(result.graph.is_directed(1, 2), "x1 -> x2");
+    }
+
+    #[test]
+    fn independent_variables_give_empty_graph() {
+        let mut rng = SeededRng::new(3);
+        let data = Matrix::from_fn(2000, 4, |_, _| rng.normal(0.0, 1.0));
+        let test = FisherZ::new(&data).unwrap();
+        let result = pc(&test, &PcConfig { alpha: 0.001, max_cond_size: 2 }).unwrap();
+        assert_eq!(result.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn meek_r1_orients_chain_tail() {
+        // c -> a - b, c/b non-adjacent: R1 gives a -> b.
+        let mut g = Graph::empty(3);
+        g.add_edge(0, 1); // c - a
+        g.orient(0, 1); // c -> a
+        g.add_edge(1, 2); // a - b
+        apply_meek_rules(&mut g);
+        assert!(g.is_directed(1, 2));
+    }
+
+    #[test]
+    fn meek_r2_orients_transitive() {
+        // a -> c -> b and a - b => a -> b.
+        let mut g = Graph::empty(3);
+        g.add_edge(0, 1);
+        g.orient(0, 1); // a -> c
+        g.add_edge(1, 2);
+        g.orient(1, 2); // c -> b
+        g.add_edge(0, 2); // a - b
+        apply_meek_rules(&mut g);
+        assert!(g.is_directed(0, 2));
+    }
+
+    #[test]
+    fn v_structure_requires_recorded_sepset() {
+        let mut g = Graph::empty(3);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        // No sepset recorded for (0,1): no orientation happens.
+        let sepsets = SepSets::new();
+        orient_v_structures(&mut g, &sepsets);
+        assert!(g.is_undirected(0, 2));
+        assert!(g.is_undirected(1, 2));
+    }
+}

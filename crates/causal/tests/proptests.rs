@@ -1,0 +1,105 @@
+//! Property-based tests for causal discovery: graph axioms and F-node
+//! search invariants.
+
+use fsda_causal::fnode::{find_intervened_features, FnodeConfig};
+use fsda_causal::graph::{for_each_subset, Graph, SepSets};
+use fsda_linalg::{Matrix, SeededRng};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn edge_add_remove_is_inverse(n in 2usize..10, seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let mut g = Graph::empty(n);
+        let i = rng.index(n);
+        let mut j = rng.index(n);
+        if j == i {
+            j = (j + 1) % n;
+        }
+        g.add_edge(i, j);
+        prop_assert!(g.adjacent(i, j) && g.adjacent(j, i));
+        prop_assert_eq!(g.num_edges(), 1);
+        g.remove_edge(i, j);
+        prop_assert!(!g.adjacent(i, j));
+        prop_assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn complete_graph_edge_count(n in 1usize..12) {
+        let g = Graph::complete(n);
+        prop_assert_eq!(g.num_edges(), n * (n - 1) / 2);
+        for i in 0..n {
+            prop_assert_eq!(g.neighbors(i).len(), n - 1);
+        }
+    }
+
+    #[test]
+    fn orientation_is_antisymmetric(n in 2usize..8, seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let mut g = Graph::empty(n);
+        let i = rng.index(n - 1);
+        let j = i + 1;
+        g.add_edge(i, j);
+        g.orient(i, j);
+        prop_assert!(g.is_directed(i, j));
+        prop_assert!(!g.is_directed(j, i));
+        prop_assert!(!g.is_undirected(i, j));
+        // Re-orienting the other way flips it.
+        g.orient(j, i);
+        prop_assert!(g.is_directed(j, i));
+        prop_assert!(!g.is_directed(i, j));
+    }
+
+    #[test]
+    fn sepsets_are_order_insensitive(i in 0usize..20, j in 0usize..20, k in 0usize..20) {
+        prop_assume!(i != j);
+        let mut s = SepSets::new();
+        s.insert(i, j, [k]);
+        prop_assert!(s.get(j, i).is_some());
+        prop_assert!(s.contains(j, i, k));
+    }
+
+    #[test]
+    fn subset_enumeration_matches_binomial(n in 0usize..8, k in 0usize..5) {
+        let items: Vec<usize> = (0..n).collect();
+        let mut count = 0usize;
+        for_each_subset(&items, k, |s| {
+            assert_eq!(s.len(), k);
+            count += 1;
+            false
+        });
+        let binom = |n: usize, k: usize| -> usize {
+            if k > n {
+                return 0;
+            }
+            let mut r = 1usize;
+            for i in 0..k {
+                r = r * (n - i) / (i + 1);
+            }
+            r
+        };
+        prop_assert_eq!(count, binom(n, k));
+    }
+
+    #[test]
+    fn fnode_partition_is_complete(seed in 0u64..50, d in 2usize..6) {
+        let mut rng = SeededRng::new(seed);
+        let src = rng.normal_matrix(200, d, 0.0, 1.0);
+        let tgt = Matrix::from_fn(40, d, |_, c| {
+            if c == 0 {
+                rng.normal(2.5, 1.0)
+            } else {
+                rng.normal(0.0, 1.0)
+            }
+        });
+        let res = find_intervened_features(&src, &tgt, &FnodeConfig::default()).unwrap();
+        let mut all: Vec<usize> = res.variant.iter().chain(&res.invariant).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), d);
+        prop_assert_eq!(res.f_correlation.len(), d);
+        prop_assert!(res.f_correlation.iter().all(|r| r.abs() <= 1.0));
+    }
+}

@@ -1,0 +1,522 @@
+//! The FS and FS+GAN adapters: Sections V-A and V-C of the paper, glued
+//! into deployable objects.
+//!
+//! [`FsAdapter`] trains the network-management classifier on the
+//! *invariant* features of the source domain only. [`FsGanAdapter`] trains
+//! the classifier on **all** features of the source domain and uses a
+//! [`Reconstructor`] (conditional GAN by default) to map each test sample's
+//! variant features back into the source distribution at inference — the
+//! full two-step method, requiring no classifier retraining ever.
+
+use crate::fs::{FeatureSeparation, FsConfig};
+use crate::{CoreError, Result};
+use fsda_data::Dataset;
+use fsda_gan::autoencoder::{AeConfig, VanillaAe};
+use fsda_gan::cond_gan::{CondGan, CondGanConfig};
+use fsda_gan::vae::{Vae, VaeConfig};
+use fsda_gan::Reconstructor;
+use fsda_linalg::Matrix;
+use fsda_models::classifier::argmax_rows;
+use fsda_models::forest::{ForestConfig, RandomForest};
+use fsda_models::gbdt::{GbdtConfig, GradientBoosting};
+use fsda_models::mlp::{MlpClassifier, MlpConfig};
+use fsda_models::tnet::{TnetClassifier, TnetConfig};
+use fsda_models::{Classifier, ClassifierKind};
+
+/// Compute budget shared by every trained component. The `full()` values
+/// correspond to the paper's settings; `quick()` keeps unit tests and CI
+/// fast while exercising identical code paths.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    /// Epochs for classifier neural networks (MLP/TNet/DANN/SCL).
+    pub nn_epochs: usize,
+    /// Epochs for GAN / VAE / AE reconstructors (paper: 500 for the GAN).
+    pub gan_epochs: usize,
+    /// Epochs for embedding networks (MatchNet/ProtoNet/SCL encoders).
+    pub emb_epochs: usize,
+    /// Trees in the random forest.
+    pub forest_trees: usize,
+    /// Boosting rounds for XGB.
+    pub gbdt_rounds: usize,
+    /// Worker threads for tree ensembles.
+    pub threads: usize,
+}
+
+impl Budget {
+    /// Paper-scale budget.
+    pub fn full() -> Self {
+        Budget {
+            nn_epochs: 60,
+            gan_epochs: 300,
+            emb_epochs: 60,
+            forest_trees: 100,
+            gbdt_rounds: 40,
+            threads: 8,
+        }
+    }
+
+    /// Reduced budget for tests and smoke runs. The GAN keeps a larger
+    /// share of its schedule than the other nets because its paper-faithful
+    /// learning rate (2e-4) needs steps to converge.
+    pub fn quick() -> Self {
+        Budget {
+            nn_epochs: 20,
+            gan_epochs: 150,
+            emb_epochs: 20,
+            forest_trees: 50,
+            gbdt_rounds: 10,
+            threads: 4,
+        }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::full()
+    }
+}
+
+/// Builds a classifier of the given kind under a budget.
+pub fn build_classifier(
+    kind: ClassifierKind,
+    seed: u64,
+    budget: &Budget,
+) -> Box<dyn Classifier> {
+    match kind {
+        ClassifierKind::Tnet => Box::new(TnetClassifier::new(
+            TnetConfig { epochs: budget.nn_epochs, ..TnetConfig::default() },
+            seed,
+        )),
+        ClassifierKind::Mlp => Box::new(MlpClassifier::new(
+            MlpConfig { epochs: budget.nn_epochs, ..MlpConfig::default() },
+            seed,
+        )),
+        ClassifierKind::RandomForest => Box::new(RandomForest::new(
+            ForestConfig {
+                num_trees: budget.forest_trees,
+                threads: budget.threads,
+                ..ForestConfig::default()
+            },
+            seed,
+        )),
+        ClassifierKind::Xgb => Box::new(GradientBoosting::new(
+            GbdtConfig { rounds: budget.gbdt_rounds, ..GbdtConfig::default() },
+            seed,
+        )),
+    }
+}
+
+/// Reconstruction families for the variant features (Table II ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconKind {
+    /// Conditional GAN with label-conditioned discriminator (FS+GAN).
+    Gan,
+    /// GAN without label conditioning (FS+NoCond).
+    GanNoCond,
+    /// Conditional VAE (FS+VAE).
+    Vae,
+    /// Vanilla autoencoder (FS+VanillaAE).
+    VanillaAe,
+}
+
+impl ReconKind {
+    /// Table row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReconKind::Gan => "FS+GAN",
+            ReconKind::GanNoCond => "FS+NoCond",
+            ReconKind::Vae => "FS+VAE",
+            ReconKind::VanillaAe => "FS+VanillaAE",
+        }
+    }
+}
+
+/// Builds a reconstructor of the given kind, sized per the paper's rules:
+/// datasets with more than 250 features use noise dim 30 / hidden 256 (the
+/// 5GC settings), smaller ones 15 / 128 (the 5GIPC settings).
+pub fn build_reconstructor(
+    kind: ReconKind,
+    num_features: usize,
+    seed: u64,
+    budget: &Budget,
+) -> Box<dyn Reconstructor> {
+    let base = if num_features > 250 {
+        CondGanConfig::for_5gc()
+    } else {
+        CondGanConfig::for_5gipc()
+    };
+    let hidden = base.hidden;
+    match kind {
+        ReconKind::Gan => Box::new(CondGan::new(
+            CondGanConfig { epochs: budget.gan_epochs, ..base },
+            seed,
+        )),
+        ReconKind::GanNoCond => Box::new(CondGan::new(
+            CondGanConfig { epochs: budget.gan_epochs, ..base }.without_label_conditioning(),
+            seed,
+        )),
+        ReconKind::Vae => Box::new(Vae::new(
+            VaeConfig { hidden, epochs: budget.gan_epochs, ..VaeConfig::default() },
+            seed,
+        )),
+        ReconKind::VanillaAe => Box::new(VanillaAe::new(
+            AeConfig { hidden, epochs: budget.gan_epochs, ..AeConfig::default() },
+            seed,
+        )),
+    }
+}
+
+/// Configuration shared by [`FsAdapter`] and [`FsGanAdapter`].
+#[derive(Debug, Clone)]
+pub struct AdapterConfig {
+    /// Feature-separation settings.
+    pub fs: FsConfig,
+    /// Reconstruction family (FS+GAN ignores this only in [`FsAdapter`]).
+    pub recon: ReconKind,
+    /// Classifier family.
+    pub classifier: ClassifierKind,
+    /// Compute budget.
+    pub budget: Budget,
+}
+
+impl Default for AdapterConfig {
+    fn default() -> Self {
+        AdapterConfig {
+            fs: FsConfig::default(),
+            recon: ReconKind::Gan,
+            classifier: ClassifierKind::Tnet,
+            budget: Budget::full(),
+        }
+    }
+}
+
+impl AdapterConfig {
+    /// Reduced-budget configuration for tests.
+    pub fn quick() -> Self {
+        AdapterConfig { budget: Budget::quick(), ..AdapterConfig::default() }
+    }
+
+    /// Builder-style classifier override.
+    pub fn with_classifier(mut self, kind: ClassifierKind) -> Self {
+        self.classifier = kind;
+        self
+    }
+
+    /// Builder-style reconstructor override.
+    pub fn with_recon(mut self, kind: ReconKind) -> Self {
+        self.recon = kind;
+        self
+    }
+}
+
+/// FS-only adapter: classifier trained on the invariant features of the
+/// source domain.
+pub struct FsAdapter {
+    separation: FeatureSeparation,
+    classifier: Box<dyn Classifier>,
+    num_classes: usize,
+}
+
+impl std::fmt::Debug for FsAdapter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FsAdapter")
+            .field("variant_features", &self.separation.variant().len())
+            .field("classifier", &self.classifier.name())
+            .finish()
+    }
+}
+
+impl FsAdapter {
+    /// Runs feature separation and trains the classifier on the invariant
+    /// source features.
+    ///
+    /// # Errors
+    ///
+    /// Propagates separation and training failures; fails when separation
+    /// leaves no invariant features.
+    pub fn fit(
+        source: &Dataset,
+        target_shots: &Dataset,
+        config: &AdapterConfig,
+        seed: u64,
+    ) -> Result<Self> {
+        let separation = FeatureSeparation::fit(source, target_shots, &config.fs)?;
+        if separation.invariant().is_empty() {
+            return Err(CoreError::InvalidInput(
+                "feature separation declared every feature variant".into(),
+            ));
+        }
+        let (inv, _) = separation.split_normalized(source.features());
+        let mut classifier = build_classifier(config.classifier, seed, &config.budget);
+        classifier.fit(&inv, source.labels(), source.num_classes())?;
+        Ok(FsAdapter { separation, classifier, num_classes: source.num_classes() })
+    }
+
+    /// The underlying feature separation.
+    pub fn separation(&self) -> &FeatureSeparation {
+        &self.separation
+    }
+
+    /// Predicts labels for raw (unnormalized) target features.
+    pub fn predict(&self, features: &Matrix) -> Vec<usize> {
+        let (inv, _) = self.separation.split_normalized(features);
+        self.classifier.predict(&inv)
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+}
+
+/// The full FS+GAN adapter (Fig. 1 of the paper).
+pub struct FsGanAdapter {
+    separation: FeatureSeparation,
+    reconstructor: Option<Box<dyn Reconstructor>>,
+    classifier: Box<dyn Classifier>,
+    num_classes: usize,
+    seed: u64,
+}
+
+impl std::fmt::Debug for FsGanAdapter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FsGanAdapter")
+            .field("variant_features", &self.separation.variant().len())
+            .field(
+                "reconstructor",
+                &self.reconstructor.as_ref().map(|r| r.name()).unwrap_or("none"),
+            )
+            .field("classifier", &self.classifier.name())
+            .finish()
+    }
+}
+
+impl FsGanAdapter {
+    /// Fits the full pipeline: FS, then the reconstructor on source data
+    /// only, then the classifier on all normalized source features.
+    ///
+    /// When FS finds no variant features the reconstructor is skipped and
+    /// prediction degenerates to plain source-trained classification (the
+    /// correct behaviour when no drift is detectable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates separation, reconstruction, and training failures.
+    pub fn fit(
+        source: &Dataset,
+        target_shots: &Dataset,
+        config: &AdapterConfig,
+        seed: u64,
+    ) -> Result<Self> {
+        let separation = FeatureSeparation::fit(source, target_shots, &config.fs)?;
+        let (inv, var) = separation.split_normalized(source.features());
+        let reconstructor = if separation.variant().is_empty() {
+            None
+        } else if separation.invariant().is_empty() {
+            return Err(CoreError::InvalidInput(
+                "feature separation declared every feature variant".into(),
+            ));
+        } else {
+            let mut recon = build_reconstructor(
+                config.recon,
+                source.num_features(),
+                seed ^ 0x6A17,
+                &config.budget,
+            );
+            recon.fit(&inv, &var, &source.one_hot_labels())?;
+            Some(recon)
+        };
+        // The network-management model: trained once, on source only, with
+        // ALL features — never retrained afterwards.
+        let normalized = separation.normalizer().transform(source.features());
+        let mut classifier = build_classifier(config.classifier, seed, &config.budget);
+        classifier.fit(&normalized, source.labels(), source.num_classes())?;
+        Ok(FsGanAdapter {
+            separation,
+            reconstructor,
+            classifier,
+            num_classes: source.num_classes(),
+            seed,
+        })
+    }
+
+    /// The underlying feature separation.
+    pub fn separation(&self) -> &FeatureSeparation {
+        &self.separation
+    }
+
+    /// Transforms raw target features into source-like normalized samples:
+    /// invariant features pass through, variant features are reconstructed
+    /// by the generator (Eq. 10–11).
+    pub fn transform(&self, features: &Matrix) -> Matrix {
+        self.transform_seeded(features, self.seed ^ 0x11FE)
+    }
+
+    fn transform_seeded(&self, features: &Matrix, noise_seed: u64) -> Matrix {
+        let (inv, var) = self.separation.split_normalized(features);
+        match &self.reconstructor {
+            Some(recon) => {
+                let var_hat = recon.reconstruct(&inv, noise_seed);
+                self.separation.reassemble(&inv, &var_hat)
+            }
+            None => self.separation.reassemble(&inv, &var),
+        }
+    }
+
+    /// Predicts labels for raw target features with M = 1 Monte-Carlo
+    /// reconstruction (Eq. 12; the paper shows M = 1 suffices for small
+    /// noise vectors).
+    pub fn predict(&self, features: &Matrix) -> Vec<usize> {
+        let transformed = self.transform(features);
+        self.classifier.predict(&transformed)
+    }
+
+    /// Monte-Carlo prediction with `m` generator draws, averaging class
+    /// probabilities (the general Eq. before Eq. 10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn predict_mc(&self, features: &Matrix, m: usize) -> Vec<usize> {
+        assert!(m > 0, "predict_mc: m must be >= 1");
+        let mut acc: Option<Matrix> = None;
+        for i in 0..m {
+            let transformed =
+                self.transform_seeded(features, self.seed ^ 0x11FE ^ (i as u64) << 32);
+            let probs = self.classifier.predict_proba(&transformed);
+            acc = Some(match acc {
+                None => probs,
+                Some(a) => a.try_add(&probs).expect("same shape"),
+            });
+        }
+        argmax_rows(&acc.expect("m >= 1"))
+    }
+
+    /// Class-probability predictions (M = 1).
+    pub fn predict_proba(&self, features: &Matrix) -> Matrix {
+        self.classifier.predict_proba(&self.transform(features))
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsda_data::fewshot::few_shot_subset;
+    use fsda_data::synth5gc::Synth5gc;
+    use fsda_linalg::SeededRng;
+    use fsda_models::metrics::macro_f1;
+
+    fn setup(seed: u64) -> (fsda_data::synth5gc::Synth5gcBundle, Dataset) {
+        let bundle = Synth5gc::small().generate(seed).unwrap();
+        let mut rng = SeededRng::new(seed ^ 0xAB);
+        let shots = few_shot_subset(&bundle.target_pool, 10, &mut rng).unwrap();
+        (bundle, shots)
+    }
+
+    #[test]
+    fn fs_adapter_beats_source_only() {
+        let (bundle, shots) = setup(1);
+        let cfg = AdapterConfig::quick().with_classifier(ClassifierKind::RandomForest);
+        let fs = FsAdapter::fit(&bundle.source_train, &shots, &cfg, 7).unwrap();
+        let pred_fs = fs.predict(bundle.target_test.features());
+        let f1_fs = macro_f1(bundle.target_test.labels(), &pred_fs, 16);
+
+        // SrcOnly comparison: same classifier on all features.
+        let norm = fs.separation().normalizer();
+        let mut src_only = build_classifier(ClassifierKind::RandomForest, 7, &Budget::quick());
+        src_only
+            .fit(
+                &norm.transform(bundle.source_train.features()),
+                bundle.source_train.labels(),
+                16,
+            )
+            .unwrap();
+        let pred_src = src_only.predict(&norm.transform(bundle.target_test.features()));
+        let f1_src = macro_f1(bundle.target_test.labels(), &pred_src, 16);
+        assert!(
+            f1_fs > f1_src + 0.1,
+            "FS ({f1_fs:.3}) must clearly beat SrcOnly ({f1_src:.3}) under drift"
+        );
+    }
+
+    #[test]
+    fn fs_gan_adapter_beats_source_only() {
+        let (bundle, shots) = setup(2);
+        let cfg = AdapterConfig::quick().with_classifier(ClassifierKind::RandomForest);
+        let adapter = FsGanAdapter::fit(&bundle.source_train, &shots, &cfg, 9).unwrap();
+        let pred = adapter.predict(bundle.target_test.features());
+        let f1 = macro_f1(bundle.target_test.labels(), &pred, 16);
+
+        let norm = adapter.separation().normalizer();
+        let mut src_only = build_classifier(ClassifierKind::RandomForest, 9, &Budget::quick());
+        src_only
+            .fit(
+                &norm.transform(bundle.source_train.features()),
+                bundle.source_train.labels(),
+                16,
+            )
+            .unwrap();
+        let pred_src = src_only.predict(&norm.transform(bundle.target_test.features()));
+        let f1_src = macro_f1(bundle.target_test.labels(), &pred_src, 16);
+        assert!(
+            f1 > f1_src + 0.05,
+            "FS+GAN ({f1:.3}) must clearly beat SrcOnly ({f1_src:.3}) under drift"
+        );
+        assert!(f1 > 0.3, "FS+GAN should recover substantial performance, got {f1:.3}");
+    }
+
+    #[test]
+    fn transform_restores_source_range_on_variant_columns() {
+        let (bundle, shots) = setup(3);
+        let cfg = AdapterConfig::quick().with_classifier(ClassifierKind::RandomForest);
+        let adapter = FsGanAdapter::fit(&bundle.source_train, &shots, &cfg, 11).unwrap();
+        let transformed = adapter.transform(bundle.target_test.features());
+        // Variant columns were reconstructed by the tanh generator: bounded.
+        for &c in adapter.separation().variant() {
+            let col = transformed.col(c);
+            assert!(col.iter().all(|v| v.abs() <= 1.0 + 1e-9), "column {c} out of range");
+        }
+    }
+
+    #[test]
+    fn mc_prediction_with_small_noise_matches_single_draw() {
+        let (bundle, shots) = setup(4);
+        let cfg = AdapterConfig::quick().with_classifier(ClassifierKind::RandomForest);
+        let adapter = FsGanAdapter::fit(&bundle.source_train, &shots, &cfg, 13).unwrap();
+        let single = adapter.predict(bundle.target_test.features());
+        let mc = adapter.predict_mc(bundle.target_test.features(), 3);
+        let agreement = single
+            .iter()
+            .zip(&mc)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / single.len() as f64;
+        assert!(agreement > 0.8, "M=1 vs M=3 agreement {agreement}");
+    }
+
+    #[test]
+    fn budget_and_config_builders() {
+        let cfg = AdapterConfig::quick()
+            .with_classifier(ClassifierKind::Xgb)
+            .with_recon(ReconKind::Vae);
+        assert_eq!(cfg.classifier, ClassifierKind::Xgb);
+        assert_eq!(cfg.recon, ReconKind::Vae);
+        assert!(Budget::full().gan_epochs > Budget::quick().gan_epochs);
+        assert_eq!(ReconKind::Gan.label(), "FS+GAN");
+        assert_eq!(ReconKind::VanillaAe.label(), "FS+VanillaAE");
+    }
+
+    #[test]
+    fn reconstructor_factory_sizes_by_features() {
+        // Just verify both paths construct.
+        let small = build_reconstructor(ReconKind::Gan, 100, 1, &Budget::quick());
+        let large = build_reconstructor(ReconKind::GanNoCond, 400, 1, &Budget::quick());
+        assert_eq!(small.name(), "gan");
+        assert_eq!(large.name(), "gan-nocond");
+    }
+}

@@ -1,0 +1,170 @@
+//! CORAL: correlation alignment (Sun et al., 2016).
+//!
+//! Aligns the second-order statistics of the source domain to the target
+//! domain: whiten source features with the source covariance, re-color
+//! with the (shrunken) target covariance estimated from the few shots, and
+//! shift to the target mean. The classifier is then trained on aligned
+//! source data plus the shots. With k×classes samples the target covariance
+//! is badly conditioned, so it is shrunk toward the identity — which is why
+//! CORAL's benefit fades in the paper's few-shot scenarios.
+
+use super::{zscore_pair, DaContext};
+use crate::adapter::build_classifier;
+use crate::{CoreError, Result};
+use fsda_linalg::decomp::cholesky;
+use fsda_linalg::stats::covariance_matrix;
+use fsda_linalg::Matrix;
+
+/// Runs the CORAL baseline and predicts the test set.
+///
+/// # Errors
+///
+/// Propagates covariance/Cholesky failures (after regularization these
+/// indicate degenerate inputs) and classifier-training failures.
+pub fn coral(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
+    let (src_n, test_n, norm) = zscore_pair(ctx.source.features(), ctx.test_features);
+    let shots_n = norm.transform(ctx.target_shots.features());
+
+    let aligned_src = align_coral(&src_n, &shots_n)?;
+    // Train on aligned source + the raw shots.
+    let combined = aligned_src.vstack(&shots_n).map_err(CoreError::from)?;
+    let mut labels = ctx.source.labels().to_vec();
+    labels.extend_from_slice(ctx.target_shots.labels());
+    let mut model = build_classifier(ctx.classifier, ctx.seed, ctx.budget);
+    model.fit(&combined, &labels, ctx.source.num_classes())?;
+    Ok(model.predict(&test_n))
+}
+
+/// Whitening/re-coloring alignment: returns source features transformed to
+/// match the target's mean and covariance,
+/// `X' = (X - mu_s) L_s^{-T} L_t^T + mu_t`,
+/// where `L_s`, `L_t` are Cholesky factors of the (regularized) source and
+/// shrunken target covariances.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] when covariance estimation fails outright.
+pub fn align_coral(source: &Matrix, target_shots: &Matrix) -> Result<Matrix> {
+    let d = source.cols();
+    let mu_s = source.col_means();
+    let mu_t = target_shots.col_means();
+
+    let mut cov_s = covariance_matrix(source)?;
+    regularize(&mut cov_s, 1e-3);
+    // Shrink the target covariance toward identity; with n shots the raw
+    // estimate has rank <= n - 1.
+    let n_t = target_shots.rows() as f64;
+    let lambda = n_t / (n_t + 50.0);
+    let mut cov_t = if target_shots.rows() >= 2 {
+        covariance_matrix(target_shots)?
+    } else {
+        Matrix::identity(d)
+    };
+    for i in 0..d {
+        for j in 0..d {
+            let shrunk = lambda * cov_t.get(i, j)
+                + if i == j { (1.0 - lambda) * 1.0 } else { 0.0 };
+            cov_t.set(i, j, shrunk);
+        }
+    }
+    regularize(&mut cov_t, 1e-3);
+
+    let l_s = cholesky(&cov_s).map_err(CoreError::from)?;
+    let l_t = cholesky(&cov_t).map_err(CoreError::from)?;
+
+    // Whiten: solve L_s^T W = centered^T  =>  W = centered * L_s^{-T}.
+    let mut centered = source.clone();
+    for r in 0..centered.rows() {
+        let row = centered.row_mut(r);
+        for (v, &m) in row.iter_mut().zip(&mu_s) {
+            *v -= m;
+        }
+    }
+    let whitened = solve_upper_right(&centered, &l_s);
+    // Re-color and shift.
+    let mut out = whitened.matmul(&l_t.transpose());
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        for (v, &m) in row.iter_mut().zip(&mu_t) {
+            *v += m;
+        }
+    }
+    Ok(out)
+}
+
+fn regularize(cov: &mut Matrix, eps: f64) {
+    for i in 0..cov.rows() {
+        let v = cov.get(i, i) + eps;
+        cov.set(i, i, v);
+    }
+}
+
+/// Solves `X = B * L^{-T}` row-wise, i.e. for each row b solves
+/// `L^T x = b^T`... equivalently back-substitution with the upper
+/// triangular `L^T`.
+fn solve_upper_right(b: &Matrix, l: &Matrix) -> Matrix {
+    let d = l.rows();
+    let mut out = Matrix::zeros(b.rows(), d);
+    for r in 0..b.rows() {
+        let row = b.row(r);
+        let dst = out.row_mut(r);
+        // Solve x L^T = row  =>  L x^T = row^T (forward substitution).
+        for i in 0..d {
+            let mut sum = row[i];
+            for j in 0..i {
+                sum -= l.get(i, j) * dst[j];
+            }
+            dst[i] = sum / l.get(i, i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::naive::src_only;
+    use crate::baselines::testutil::{f1_of, scenario};
+    use fsda_linalg::SeededRng;
+    use fsda_models::ClassifierKind;
+
+    #[test]
+    fn alignment_matches_target_moments() {
+        let mut rng = SeededRng::new(1);
+        // Source: N(0, I); target: shifted and scaled.
+        let src = Matrix::from_fn(500, 3, |_, _| rng.normal(0.0, 1.0));
+        let tgt = Matrix::from_fn(300, 3, |_, c| rng.normal(2.0, 1.0 + c as f64));
+        let aligned = align_coral(&src, &tgt).unwrap();
+        let mu_a = aligned.col_means();
+        let mu_t = tgt.col_means();
+        for c in 0..3 {
+            assert!((mu_a[c] - mu_t[c]).abs() < 0.2, "mean col {c}: {} vs {}", mu_a[c], mu_t[c]);
+        }
+        // Variances move toward the target's (shrinkage keeps them between).
+        let sd_a = aligned.col_stds();
+        let sd_s = src.col_stds();
+        let sd_t = tgt.col_stds();
+        assert!(
+            (sd_a[2] - sd_t[2]).abs() < (sd_s[2] - sd_t[2]).abs(),
+            "aligned std should be closer to target"
+        );
+    }
+
+    #[test]
+    fn coral_beats_src_only() {
+        let (bundle, shots) = scenario(5, 10);
+        let f_src = f1_of(src_only, &bundle, &shots, ClassifierKind::RandomForest, 7);
+        let f_coral = f1_of(coral, &bundle, &shots, ClassifierKind::RandomForest, 7);
+        assert!(
+            f_coral > f_src,
+            "CORAL ({f_coral:.3}) should beat SrcOnly ({f_src:.3})"
+        );
+    }
+
+    #[test]
+    fn single_shot_does_not_crash() {
+        let (bundle, shots) = scenario(6, 1);
+        let f = f1_of(coral, &bundle, &shots, ClassifierKind::Xgb, 8);
+        assert!((0.0..=1.0).contains(&f));
+    }
+}

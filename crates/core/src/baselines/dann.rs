@@ -1,0 +1,164 @@
+//! DANN: domain-adversarial neural network (Ganin & Lempitsky, 2015), the
+//! adversarial representation-learning baseline of Table I.
+//!
+//! A shared feature extractor feeds a label predictor and, through a
+//! gradient-reversal layer, a domain classifier. The extractor learns
+//! features that predict labels while confusing the domain classifier,
+//! i.e. domain-independent representations. Model-specific: it brings its
+//! own network, so Table I reports a single DANN column.
+
+use super::{zscore_pair, DaContext};
+use crate::Result;
+use fsda_linalg::{Matrix, SeededRng};
+use fsda_nn::layer::{Activation, Dense, GradientReversal};
+use fsda_nn::loss::{bce_with_logits, softmax};
+use fsda_nn::optim::{Adam, Optimizer};
+use fsda_nn::train::BatchIter;
+use fsda_nn::Sequential;
+use fsda_models::classifier::argmax_rows;
+
+/// Hyper-parameters of the DANN baseline.
+#[derive(Debug, Clone)]
+pub struct DannConfig {
+    /// Extractor hidden width.
+    pub hidden: usize,
+    /// Feature (representation) dimension.
+    pub feature_dim: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size (per domain).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Weight of the domain-confusion loss.
+    pub domain_loss_weight: f64,
+}
+
+impl Default for DannConfig {
+    fn default() -> Self {
+        DannConfig {
+            hidden: 128,
+            feature_dim: 64,
+            epochs: 60,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            domain_loss_weight: 1.0,
+        }
+    }
+}
+
+/// Runs DANN: trains on labelled source + labelled shots with a domain-
+/// adversarial objective, predicts the test set.
+///
+/// # Errors
+///
+/// Returns an error when inputs are malformed (propagated from dataset
+/// plumbing); training itself is infallible.
+pub fn dann(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
+    let config = DannConfig { epochs: ctx.budget.nn_epochs, ..DannConfig::default() };
+    run_with_config(ctx, &config)
+}
+
+/// DANN with explicit hyper-parameters (exposed for ablations).
+///
+/// # Errors
+///
+/// As [`dann`].
+pub fn run_with_config(ctx: &DaContext<'_>, config: &DannConfig) -> Result<Vec<usize>> {
+    let combined = ctx.source.concat(ctx.target_shots)?;
+    let (train, test, _) = zscore_pair(combined.features(), ctx.test_features);
+    let n_src = ctx.source.len();
+    let n = combined.len();
+    let labels = combined.labels();
+    let num_classes = combined.num_classes();
+
+    let mut rng = SeededRng::new(ctx.seed);
+    let mut extractor = Sequential::new();
+    extractor.push(Dense::new(train.cols(), config.hidden, &mut rng));
+    extractor.push(Activation::relu());
+    extractor.push(Dense::new(config.hidden, config.feature_dim, &mut rng));
+    extractor.push(Activation::relu());
+    let mut label_head = Sequential::new();
+    label_head.push(Dense::new(config.feature_dim, num_classes, &mut rng));
+    // The gradient-reversal layer is kept as a typed handle (not inside the
+    // Sequential) so its strength can follow the DANN schedule.
+    let mut grl = GradientReversal::new(0.0);
+    let mut domain_head = Sequential::new();
+    domain_head.push(Dense::new(config.feature_dim, 32, &mut rng));
+    domain_head.push(Activation::relu());
+    domain_head.push(Dense::new(32, 1, &mut rng));
+
+    let mut opt = Adam::new(config.learning_rate);
+    let total_steps = (config.epochs * n.div_ceil(config.batch_size)).max(1);
+    let mut step = 0usize;
+    // Up-weight target shots in the label loss so they are not drowned out.
+    let shot_weight = (n_src as f64 / ctx.target_shots.len() as f64).max(1.0).min(50.0);
+    for _ in 0..config.epochs {
+        for batch in BatchIter::new(n, config.batch_size.min(n), &mut rng) {
+            step += 1;
+            // Gradient-reversal strength follows the standard DANN schedule.
+            let p = step as f64 / total_steps as f64;
+            let lambda = 2.0 / (1.0 + (-10.0 * p).exp()) - 1.0;
+            grl.set_lambda(lambda * config.domain_loss_weight);
+            let bx = train.select_rows(&batch);
+            let by: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
+            let bdom = Matrix::from_fn(batch.len(), 1, |r, _| {
+                f64::from(batch[r] >= n_src)
+            });
+            let bw: Vec<f64> = batch
+                .iter()
+                .map(|&i| if i >= n_src { shot_weight } else { 1.0 })
+                .collect();
+
+            extractor.zero_grad();
+            label_head.zero_grad();
+            domain_head.zero_grad();
+            let feats = extractor.forward(&bx, true);
+            let logits = label_head.forward(&feats, true);
+            let (_, grad_label) =
+                fsda_nn::loss::weighted_cross_entropy(&logits, &by, &bw);
+            let grad_feats_label = label_head.backward(&grad_label);
+            let feats_rev = fsda_nn::Layer::forward(&mut grl, &feats, true);
+            let dom_logits = domain_head.forward(&feats_rev, true);
+            let (_, grad_dom) = bce_with_logits(&dom_logits, &bdom);
+            let grad_feats_dom =
+                fsda_nn::Layer::backward(&mut grl, &domain_head.backward(&grad_dom));
+            let grad_feats =
+                grad_feats_label.try_add(&grad_feats_dom).expect("same shape");
+            extractor.backward(&grad_feats);
+            let mut params = extractor.params_mut();
+            params.extend(label_head.params_mut());
+            params.extend(domain_head.params_mut());
+            opt.step(&mut params);
+        }
+    }
+    let feats = extractor.infer(&test);
+    let probs = softmax(&label_head.infer(&feats));
+    Ok(argmax_rows(&probs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::naive::src_only;
+    use crate::baselines::testutil::{f1_of, scenario};
+    use fsda_models::ClassifierKind;
+
+    #[test]
+    fn dann_beats_src_only() {
+        let (bundle, shots) = scenario(7, 10);
+        let f_src = f1_of(src_only, &bundle, &shots, ClassifierKind::Mlp, 9);
+        let f_dann = f1_of(dann, &bundle, &shots, ClassifierKind::Mlp, 9);
+        assert!(
+            f_dann > f_src,
+            "DANN ({f_dann:.3}) should beat SrcOnly ({f_src:.3})"
+        );
+    }
+
+    #[test]
+    fn dann_runs_single_shot() {
+        let (bundle, shots) = scenario(8, 1);
+        let f = f1_of(dann, &bundle, &shots, ClassifierKind::Mlp, 10);
+        assert!((0.0..=1.0).contains(&f));
+    }
+}

@@ -1,0 +1,206 @@
+//! Metric-based few-shot baselines: Matching Networks and Prototypical
+//! Networks, adapted to DA exactly as the paper describes — the embedding
+//! is trained on the source domain, the few labelled target shots form the
+//! support set (MatchNet) or update the class prototypes (ProtoNet).
+
+use super::{zscore_pair, DaContext};
+use crate::Result;
+use fsda_linalg::matrix::{cosine_similarity, euclidean_distance};
+use fsda_linalg::Matrix;
+use fsda_models::embedding::{class_prototypes, EmbeddingConfig, EmbeddingNet};
+
+/// Hyper-parameters shared by the two few-shot baselines.
+#[derive(Debug, Clone)]
+pub struct FewShotConfig {
+    /// Embedding-net settings.
+    pub embedding: EmbeddingConfig,
+    /// Attention temperature for MatchNet's cosine softmax.
+    pub temperature: f64,
+    /// ProtoNet: weight of the target-shot prototype when blending with the
+    /// source prototype.
+    pub target_blend: f64,
+}
+
+impl Default for FewShotConfig {
+    fn default() -> Self {
+        FewShotConfig {
+            embedding: EmbeddingConfig::default(),
+            temperature: 0.1,
+            target_blend: 0.5,
+        }
+    }
+}
+
+/// Matching Networks: attention over the support set of target shots.
+///
+/// # Errors
+///
+/// Propagates embedding-training failures.
+pub fn matchnet(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
+    let config = FewShotConfig {
+        embedding: EmbeddingConfig {
+            epochs: ctx.budget.emb_epochs,
+            ..EmbeddingConfig::default()
+        },
+        ..FewShotConfig::default()
+    };
+    matchnet_with_config(ctx, &config)
+}
+
+/// MatchNet with explicit hyper-parameters.
+///
+/// # Errors
+///
+/// As [`matchnet`].
+pub fn matchnet_with_config(
+    ctx: &DaContext<'_>,
+    config: &FewShotConfig,
+) -> Result<Vec<usize>> {
+    let (train, test, norm) = zscore_pair(ctx.source.features(), ctx.test_features);
+    let mut net = EmbeddingNet::new(config.embedding.clone(), ctx.seed);
+    net.fit(&train, ctx.source.labels(), ctx.source.num_classes())?;
+
+    let support = net.embed_normalized(&norm.transform(ctx.target_shots.features()));
+    let queries = net.embed_normalized(&test);
+    let num_classes = ctx.source.num_classes();
+    let support_labels = ctx.target_shots.labels();
+
+    let mut preds = Vec::with_capacity(queries.rows());
+    for q in 0..queries.rows() {
+        // Cosine-attention over the support set (softmax weights).
+        let sims: Vec<f64> = (0..support.rows())
+            .map(|s| cosine_similarity(queries.row(q), support.row(s)) / config.temperature)
+            .collect();
+        let max = sims.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut scores = vec![0.0; num_classes];
+        for (s, &sim) in sims.iter().enumerate() {
+            scores[support_labels[s]] += (sim - max).exp();
+        }
+        let pred = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        preds.push(pred);
+    }
+    Ok(preds)
+}
+
+/// Prototypical Networks: class prototypes from source embeddings, updated
+/// toward the target-shot embeddings, nearest-prototype classification.
+///
+/// # Errors
+///
+/// Propagates embedding-training failures.
+pub fn protonet(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
+    let config = FewShotConfig {
+        embedding: EmbeddingConfig {
+            epochs: ctx.budget.emb_epochs,
+            ..EmbeddingConfig::default()
+        },
+        ..FewShotConfig::default()
+    };
+    protonet_with_config(ctx, &config)
+}
+
+/// ProtoNet with explicit hyper-parameters.
+///
+/// # Errors
+///
+/// As [`protonet`].
+pub fn protonet_with_config(
+    ctx: &DaContext<'_>,
+    config: &FewShotConfig,
+) -> Result<Vec<usize>> {
+    let (train, test, norm) = zscore_pair(ctx.source.features(), ctx.test_features);
+    let mut net = EmbeddingNet::new(config.embedding.clone(), ctx.seed);
+    net.fit(&train, ctx.source.labels(), ctx.source.num_classes())?;
+    let num_classes = ctx.source.num_classes();
+
+    let src_emb = net.embed(&train);
+    let src_protos = class_prototypes(&src_emb, ctx.source.labels(), num_classes);
+    let shot_emb = net.embed(&norm.transform(ctx.target_shots.features()));
+    let shot_protos = class_prototypes(&shot_emb, ctx.target_shots.labels(), num_classes);
+    let shot_counts = {
+        let mut c = vec![0usize; num_classes];
+        for &l in ctx.target_shots.labels() {
+            c[l] += 1;
+        }
+        c
+    };
+
+    // Blend: classes with target shots move toward the target prototype.
+    let d = src_protos.cols();
+    let mut protos = src_protos.clone();
+    for c in 0..num_classes {
+        if shot_counts[c] > 0 {
+            for j in 0..d {
+                let blended = (1.0 - config.target_blend) * src_protos.get(c, j)
+                    + config.target_blend * shot_protos.get(c, j);
+                protos.set(c, j, blended);
+            }
+        }
+    }
+
+    let queries = net.embed(&test);
+    Ok(nearest_prototype(&queries, &protos))
+}
+
+/// Assigns each query row to its nearest prototype (Euclidean).
+pub fn nearest_prototype(queries: &Matrix, prototypes: &Matrix) -> Vec<usize> {
+    (0..queries.rows())
+        .map(|q| {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for c in 0..prototypes.rows() {
+                let d = euclidean_distance(queries.row(q), prototypes.row(c));
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::naive::src_only;
+    use crate::baselines::testutil::{f1_of, scenario};
+    use fsda_models::ClassifierKind;
+
+    #[test]
+    fn matchnet_beats_src_only() {
+        let (bundle, shots) = scenario(11, 10);
+        let f_src = f1_of(src_only, &bundle, &shots, ClassifierKind::Mlp, 13);
+        let f_mn = f1_of(matchnet, &bundle, &shots, ClassifierKind::Mlp, 13);
+        assert!(f_mn > f_src, "MatchNet ({f_mn:.3}) should beat SrcOnly ({f_src:.3})");
+    }
+
+    #[test]
+    fn protonet_beats_src_only() {
+        let (bundle, shots) = scenario(12, 10);
+        let f_src = f1_of(src_only, &bundle, &shots, ClassifierKind::Mlp, 14);
+        let f_pn = f1_of(protonet, &bundle, &shots, ClassifierKind::Mlp, 14);
+        assert!(f_pn > f_src, "ProtoNet ({f_pn:.3}) should beat SrcOnly ({f_src:.3})");
+    }
+
+    #[test]
+    fn nearest_prototype_basic() {
+        let queries = Matrix::from_rows(&[&[0.0, 0.1], &[5.0, 5.0]]);
+        let protos = Matrix::from_rows(&[&[0.0, 0.0], &[5.0, 5.1]]);
+        assert_eq!(nearest_prototype(&queries, &protos), vec![0, 1]);
+    }
+
+    #[test]
+    fn both_run_single_shot() {
+        let (bundle, shots) = scenario(13, 1);
+        let f1 = f1_of(matchnet, &bundle, &shots, ClassifierKind::Mlp, 15);
+        let f2 = f1_of(protonet, &bundle, &shots, ClassifierKind::Mlp, 15);
+        assert!((0.0..=1.0).contains(&f1));
+        assert!((0.0..=1.0).contains(&f2));
+    }
+}

@@ -1,0 +1,101 @@
+//! The comparison suite of Table I: naive baselines, domain-independent
+//! representation learning, few-shot learning, and causal-learning methods.
+//!
+//! Every baseline is a function from a [`DaContext`] (source data, the few
+//! target shots, test features) to predicted labels, so the experiment
+//! runner can treat all methods uniformly. Unlike the paper's FS/FS+GAN —
+//! which train the network-management model on source data only — **all**
+//! of these incorporate the target shots into training, which is exactly
+//! the operational cost the paper's approach avoids.
+
+pub mod cmt;
+pub mod coral;
+pub mod dann;
+pub mod fewshot;
+pub mod icd;
+pub mod naive;
+pub mod scl;
+
+use crate::adapter::Budget;
+use fsda_data::Dataset;
+use fsda_linalg::Matrix;
+use fsda_models::ClassifierKind;
+
+/// Inputs shared by every DA method.
+#[derive(Clone, Copy)]
+pub struct DaContext<'a> {
+    /// Source-domain training data.
+    pub source: &'a Dataset,
+    /// The few labelled target-domain shots.
+    pub target_shots: &'a Dataset,
+    /// Raw (unnormalized) target test features.
+    pub test_features: &'a Matrix,
+    /// Classifier family for model-agnostic methods (model-specific
+    /// methods — DANN, SCL, MatchNet, ProtoNet — ignore it).
+    pub classifier: ClassifierKind,
+    /// Compute budget.
+    pub budget: &'a Budget,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl std::fmt::Debug for DaContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DaContext")
+            .field("source_samples", &self.source.len())
+            .field("target_shots", &self.target_shots.len())
+            .field("test_rows", &self.test_features.rows())
+            .field("classifier", &self.classifier)
+            .finish()
+    }
+}
+
+/// Fits a z-score normalizer on `fit_on` and returns the normalized
+/// training matrix plus a closure-applied test matrix. Most baselines
+/// follow "their suggested normalization", which is standardization.
+pub(crate) fn zscore_pair(
+    fit_on: &Matrix,
+    apply_also: &Matrix,
+) -> (Matrix, Matrix, fsda_data::Normalizer) {
+    use fsda_data::normalize::NormKind;
+    let norm = fsda_data::Normalizer::fit(fit_on, NormKind::ZScore);
+    (norm.transform(fit_on), norm.transform(apply_also), norm)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use fsda_data::fewshot::few_shot_subset;
+    use fsda_data::synth5gc::{Synth5gc, Synth5gcBundle};
+    use fsda_linalg::SeededRng;
+    use fsda_models::metrics::macro_f1;
+
+    /// Shared small-scale scenario for baseline tests.
+    pub fn scenario(seed: u64, shots: usize) -> (Synth5gcBundle, Dataset) {
+        let bundle = Synth5gc::small().generate(seed).unwrap();
+        let mut rng = SeededRng::new(seed ^ 0x51);
+        let s = few_shot_subset(&bundle.target_pool, shots, &mut rng).unwrap();
+        (bundle, s)
+    }
+
+    /// Runs a baseline and returns its macro-F1 on the target test set.
+    pub fn f1_of(
+        run: impl Fn(&DaContext<'_>) -> crate::Result<Vec<usize>>,
+        bundle: &Synth5gcBundle,
+        shots: &Dataset,
+        classifier: ClassifierKind,
+        seed: u64,
+    ) -> f64 {
+        let budget = Budget::quick();
+        let ctx = DaContext {
+            source: &bundle.source_train,
+            target_shots: shots,
+            test_features: bundle.target_test.features(),
+            classifier,
+            budget: &budget,
+            seed,
+        };
+        let pred = run(&ctx).unwrap();
+        macro_f1(bundle.target_test.labels(), &pred, 16)
+    }
+}

@@ -1,0 +1,208 @@
+//! Online drift detection: deciding *when* to re-run FS and retrain the
+//! GAN.
+//!
+//! §VI-F of the paper observes that the FS+GAN front-end "only needs to be
+//! updated when the data distribution undergoes significant changes". This
+//! module operationalizes that: a [`DriftDetector`] is fit on source-domain
+//! statistics and scores incoming (unlabeled!) windows of operational
+//! samples; when enough features shift beyond their source behaviour, it
+//! recommends re-running the (cheap) FS + GAN pipeline — never the
+//! network-management models themselves.
+
+use fsda_linalg::stats::{ks_statistic, mean, std_dev};
+use fsda_linalg::Matrix;
+
+/// Per-feature reference statistics from the source domain.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+    /// Reference sample (per feature) for the KS test, subsampled for
+    /// memory friendliness.
+    reference: Vec<Vec<f64>>,
+    config: DriftConfig,
+}
+
+/// Detector thresholds.
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// A feature counts as drifted when its window mean moves more than
+    /// this many source standard deviations…
+    pub z_threshold: f64,
+    /// …or its KS statistic against the source reference exceeds this.
+    pub ks_threshold: f64,
+    /// Fraction of features that must drift to recommend re-adaptation.
+    pub feature_fraction: f64,
+    /// Maximum reference samples kept per feature.
+    pub reference_cap: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        // The KS threshold must sit below ~0.29, the supremum gap between
+        // N(0,1) and N(0,16) — a 4x noise inflation is exactly the kind of
+        // regime change worth re-adapting to.
+        DriftConfig {
+            z_threshold: 1.0,
+            ks_threshold: 0.25,
+            feature_fraction: 0.05,
+            reference_cap: 512,
+        }
+    }
+}
+
+/// Result of scoring one window.
+#[derive(Debug, Clone)]
+pub struct DriftReport {
+    /// Indices of features whose window statistics left the source
+    /// envelope.
+    pub drifted_features: Vec<usize>,
+    /// Per-feature |mean shift| in source standard deviations.
+    pub z_scores: Vec<f64>,
+    /// Per-feature KS statistic vs the source reference.
+    pub ks: Vec<f64>,
+    /// Whether the detector recommends re-running FS + GAN.
+    pub readapt: bool,
+}
+
+impl DriftDetector {
+    /// Fits the detector on source-domain features (rows are samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` has no rows or no columns.
+    pub fn fit(source: &Matrix, config: DriftConfig) -> Self {
+        assert!(source.rows() > 0 && source.cols() > 0, "DriftDetector: empty source");
+        let d = source.cols();
+        let mut means = Vec::with_capacity(d);
+        let mut stds = Vec::with_capacity(d);
+        let mut reference = Vec::with_capacity(d);
+        let step = (source.rows() / config.reference_cap).max(1);
+        for c in 0..d {
+            let col = source.col(c);
+            means.push(mean(&col));
+            stds.push(std_dev(&col).max(1e-9));
+            reference.push(col.into_iter().step_by(step).collect());
+        }
+        DriftDetector { means, stds, reference, config }
+    }
+
+    /// Number of monitored features.
+    pub fn num_features(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Scores a window of operational samples (no labels needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window's column count differs from the source.
+    pub fn score(&self, window: &Matrix) -> DriftReport {
+        assert_eq!(window.cols(), self.num_features(), "DriftDetector: column mismatch");
+        let d = self.num_features();
+        let mut drifted = Vec::new();
+        let mut z_scores = Vec::with_capacity(d);
+        let mut ks = Vec::with_capacity(d);
+        for c in 0..d {
+            let col = window.col(c);
+            let z = ((mean(&col) - self.means[c]) / self.stds[c]).abs();
+            let k = ks_statistic(&self.reference[c], &col);
+            if z > self.config.z_threshold || k > self.config.ks_threshold {
+                drifted.push(c);
+            }
+            z_scores.push(z);
+            ks.push(k);
+        }
+        let readapt =
+            drifted.len() as f64 >= self.config.feature_fraction * d as f64 && !drifted.is_empty();
+        DriftReport { drifted_features: drifted, z_scores, ks, readapt }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsda_linalg::SeededRng;
+
+    fn source(seed: u64) -> Matrix {
+        let mut rng = SeededRng::new(seed);
+        rng.normal_matrix(400, 10, 0.0, 1.0)
+    }
+
+    #[test]
+    fn no_drift_on_in_distribution_window() {
+        let src = source(1);
+        let det = DriftDetector::fit(&src, DriftConfig::default());
+        let mut rng = SeededRng::new(2);
+        let window = rng.normal_matrix(100, 10, 0.0, 1.0);
+        let report = det.score(&window);
+        assert!(!report.readapt, "in-distribution window flagged: {:?}", report.drifted_features);
+        assert!(report.drifted_features.len() <= 1);
+    }
+
+    #[test]
+    fn detects_shifted_features() {
+        let src = source(3);
+        let det = DriftDetector::fit(&src, DriftConfig::default());
+        let mut rng = SeededRng::new(4);
+        let window = Matrix::from_fn(100, 10, |_, c| {
+            if c < 3 {
+                rng.normal(2.5, 1.0)
+            } else {
+                rng.normal(0.0, 1.0)
+            }
+        });
+        let report = det.score(&window);
+        assert!(report.readapt);
+        for c in 0..3 {
+            assert!(report.drifted_features.contains(&c), "feature {c} missed");
+            assert!(report.z_scores[c] > 1.0);
+        }
+        assert!(!report.drifted_features.contains(&5));
+    }
+
+    #[test]
+    fn detects_variance_drift_via_ks() {
+        // Pure variance change: means stay, KS catches it.
+        let src = source(5);
+        let det = DriftDetector::fit(&src, DriftConfig::default());
+        let mut rng = SeededRng::new(6);
+        let window = Matrix::from_fn(300, 10, |_, c| {
+            if c == 0 {
+                rng.normal(0.0, 4.0)
+            } else {
+                rng.normal(0.0, 1.0)
+            }
+        });
+        let report = det.score(&window);
+        assert!(report.drifted_features.contains(&0), "variance drift missed");
+        assert!(report.z_scores[0] < 1.0, "mean did not move");
+        assert!(report.ks[0] > 0.3);
+    }
+
+    #[test]
+    fn integrates_with_synthetic_target_domain() {
+        // The 5GC target domain must trip the detector; that is the signal
+        // to re-run FS + GAN.
+        let bundle = fsda_data::synth5gc::Synth5gc::small().generate(7).unwrap();
+        let det = DriftDetector::fit(bundle.source_train.features(), DriftConfig::default());
+        let report = det.score(bundle.target_test.features());
+        assert!(report.readapt, "synthetic drift must be detected");
+        // Most flagged features should be true intervention targets or
+        // their descendants; at minimum the strong tier is caught.
+        for &c in bundle.ground_truth_variant.iter().take(4) {
+            assert!(
+                report.drifted_features.contains(&c),
+                "strong variant feature {c} missed: {:?}",
+                report.drifted_features
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "column mismatch")]
+    fn window_width_is_validated() {
+        let det = DriftDetector::fit(&source(8), DriftConfig::default());
+        let _ = det.score(&Matrix::zeros(5, 3));
+    }
+}

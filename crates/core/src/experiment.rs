@@ -1,0 +1,301 @@
+//! Experiment runner: (method × classifier × shots × repeats) grids with
+//! deterministic seeding and parallel repeats, matching the paper's
+//! protocol ("experiments are repeated 20 times with different random
+//! target-sample selections").
+
+use crate::adapter::Budget;
+use crate::method::{run_method, Method};
+use crate::{CoreError, Result};
+use fsda_data::fewshot::few_shot_indices;
+use fsda_data::Dataset;
+use fsda_linalg::SeededRng;
+use fsda_models::metrics::macro_f1;
+use fsda_models::ClassifierKind;
+
+/// One dataset scenario (5GC or 5GIPC) with its few-shot pool and test set.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Display name ("5GC", "5GIPC").
+    pub name: String,
+    /// Source-domain training data.
+    pub source: Dataset,
+    /// Target-domain pool from which few-shot subsets are drawn.
+    pub target_pool: Dataset,
+    /// Few-shot group per pool sample; `None` uses the class labels (5GC).
+    /// 5GIPC groups by fault *type* while labels are binary.
+    pub pool_groups: Option<Vec<usize>>,
+    /// Number of few-shot groups (ignored when `pool_groups` is `None`).
+    pub num_groups: usize,
+    /// Target-domain test data.
+    pub target_test: Dataset,
+}
+
+impl Scenario {
+    /// Draws a `k`-shot subset of the target pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling failures (undersized groups).
+    pub fn draw_shots(&self, k: usize, rng: &mut SeededRng) -> Result<Dataset> {
+        let idx = match &self.pool_groups {
+            Some(groups) => few_shot_indices(groups, self.num_groups, k, rng)?,
+            None => {
+                few_shot_indices(self.target_pool.labels(), self.target_pool.num_classes(), k, rng)?
+            }
+        };
+        Ok(self.target_pool.subset(&idx))
+    }
+}
+
+/// Grid-run configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Shot counts to sweep (paper: 1, 5, 10).
+    pub shots: Vec<usize>,
+    /// Repeats with different random shot selections (paper: 20).
+    pub repeats: usize,
+    /// Compute budget for every trained component.
+    pub budget: Budget,
+    /// Base seed; repeat `r` uses `seed + r`.
+    pub seed: u64,
+    /// Run repeats on worker threads.
+    pub parallel: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            shots: vec![1, 5, 10],
+            repeats: 3,
+            budget: Budget::full(),
+            seed: 0,
+            parallel: true,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Reduced configuration for tests.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            shots: vec![5],
+            repeats: 1,
+            budget: Budget::quick(),
+            parallel: false,
+            ..ExperimentConfig::default()
+        }
+    }
+}
+
+/// Mean/σ of F1 over the repeats of one grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Mean macro-F1 (0–1).
+    pub mean_f1: f64,
+    /// Standard deviation over repeats.
+    pub std_f1: f64,
+    /// Per-repeat F1 values.
+    pub runs: Vec<f64>,
+}
+
+impl CellResult {
+    fn from_runs(runs: Vec<f64>) -> Self {
+        let mean = fsda_linalg::stats::mean(&runs);
+        let std = fsda_linalg::stats::std_dev(&runs);
+        CellResult { mean_f1: mean, std_f1: std, runs }
+    }
+
+    /// Mean F1 as the paper's 0–100 number.
+    pub fn percent(&self) -> f64 {
+        100.0 * self.mean_f1
+    }
+}
+
+/// One labelled grid row: method × classifier × shots.
+#[derive(Debug, Clone)]
+pub struct GridEntry {
+    /// The DA method.
+    pub method: Method,
+    /// The classifier column (`None` for model-specific methods).
+    pub classifier: Option<ClassifierKind>,
+    /// Shots per fault type.
+    pub shots: usize,
+    /// Result over repeats.
+    pub result: CellResult,
+}
+
+/// Runs one cell: `repeats` random shot draws, each evaluated end-to-end.
+///
+/// # Errors
+///
+/// Propagates method failures from any repeat.
+pub fn run_cell(
+    scenario: &Scenario,
+    method: Method,
+    classifier: ClassifierKind,
+    k: usize,
+    config: &ExperimentConfig,
+) -> Result<CellResult> {
+    let repeat_seeds: Vec<u64> = (0..config.repeats)
+        .map(|r| config.seed.wrapping_add(r as u64).wrapping_mul(0x9E37_79B9))
+        .collect();
+    let run_one = |seed: u64| -> Result<f64> {
+        let mut rng = SeededRng::new(seed);
+        let shots = scenario.draw_shots(k, &mut rng)?;
+        let pred = run_method(
+            method,
+            &scenario.source,
+            &shots,
+            scenario.target_test.features(),
+            classifier,
+            &config.budget,
+            seed,
+        )?;
+        Ok(macro_f1(
+            scenario.target_test.labels(),
+            &pred,
+            scenario.target_test.num_classes(),
+        ))
+    };
+    let runs: Vec<f64> = if config.parallel && config.repeats > 1 {
+        let results: Vec<Result<f64>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = repeat_seeds
+                .iter()
+                .map(|&s| scope.spawn(move |_| run_one(s)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("experiment worker panicked"))
+                .collect()
+        })
+        .map_err(|_| CoreError::InvalidInput("experiment scope panicked".into()))?;
+        results.into_iter().collect::<Result<Vec<f64>>>()?
+    } else {
+        repeat_seeds.iter().map(|&s| run_one(s)).collect::<Result<Vec<f64>>>()?
+    };
+    Ok(CellResult::from_runs(runs))
+}
+
+/// Runs the full grid for a scenario: every method × classifier × shots.
+/// Model-specific methods contribute one column; Fine-tune runs on the MLP
+/// only, exactly as in Table I.
+///
+/// # Errors
+///
+/// Propagates failures from any cell.
+pub fn run_grid(
+    scenario: &Scenario,
+    methods: &[Method],
+    classifiers: &[ClassifierKind],
+    config: &ExperimentConfig,
+) -> Result<Vec<GridEntry>> {
+    let mut out = Vec::new();
+    for &k in &config.shots {
+        for &method in methods {
+            if method.is_model_agnostic() {
+                let kinds: Vec<ClassifierKind> = match method.fixed_classifier() {
+                    Some(fixed) => vec![fixed],
+                    None => classifiers.to_vec(),
+                };
+                for kind in kinds {
+                    let result = run_cell(scenario, method, kind, k, config)?;
+                    out.push(GridEntry {
+                        method,
+                        classifier: Some(kind),
+                        shots: k,
+                        result,
+                    });
+                }
+            } else {
+                // Model-specific: single column; classifier arg is unused.
+                let result =
+                    run_cell(scenario, method, ClassifierKind::Mlp, k, config)?;
+                out.push(GridEntry { method, classifier: None, shots: k, result });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsda_data::synth5gc::Synth5gc;
+
+    fn small_scenario(seed: u64) -> Scenario {
+        let b = Synth5gc::small().generate(seed).unwrap();
+        Scenario {
+            name: "5GC-small".into(),
+            source: b.source_train,
+            target_pool: b.target_pool,
+            pool_groups: None,
+            num_groups: 16,
+            target_test: b.target_test,
+        }
+    }
+
+    #[test]
+    fn draw_shots_respects_k() {
+        let s = small_scenario(1);
+        let mut rng = SeededRng::new(2);
+        let shots = s.draw_shots(3, &mut rng).unwrap();
+        assert_eq!(shots.len(), 48);
+        assert_eq!(shots.class_counts(), vec![3; 16]);
+    }
+
+    #[test]
+    fn run_cell_produces_sane_f1() {
+        let s = small_scenario(3);
+        let cfg = ExperimentConfig::quick();
+        let cell =
+            run_cell(&s, Method::SrcOnly, ClassifierKind::RandomForest, 5, &cfg).unwrap();
+        assert_eq!(cell.runs.len(), 1);
+        assert!((0.0..=1.0).contains(&cell.mean_f1));
+        assert!((0.0..=100.0).contains(&cell.percent()));
+    }
+
+    #[test]
+    fn parallel_repeats_match_sequential() {
+        let s = small_scenario(4);
+        let mut cfg = ExperimentConfig::quick();
+        cfg.repeats = 2;
+        cfg.parallel = false;
+        let seq =
+            run_cell(&s, Method::TarOnly, ClassifierKind::RandomForest, 5, &cfg).unwrap();
+        cfg.parallel = true;
+        let par =
+            run_cell(&s, Method::TarOnly, ClassifierKind::RandomForest, 5, &cfg).unwrap();
+        assert_eq!(seq.runs, par.runs, "threading must not change results");
+    }
+
+    #[test]
+    fn grid_row_shapes() {
+        let s = small_scenario(5);
+        let cfg = ExperimentConfig::quick();
+        let grid = run_grid(
+            &s,
+            &[Method::SrcOnly, Method::ProtoNet],
+            &[ClassifierKind::RandomForest, ClassifierKind::Xgb],
+            &cfg,
+        )
+        .unwrap();
+        // SrcOnly × 2 classifiers + ProtoNet × 1.
+        assert_eq!(grid.len(), 3);
+        assert!(grid.iter().any(|g| g.classifier.is_none()));
+    }
+
+    #[test]
+    fn fine_tune_runs_mlp_only_in_grid() {
+        let s = small_scenario(6);
+        let cfg = ExperimentConfig::quick();
+        let grid = run_grid(
+            &s,
+            &[Method::FineTune],
+            &[ClassifierKind::RandomForest, ClassifierKind::Xgb],
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(grid.len(), 1);
+        assert_eq!(grid[0].classifier, Some(ClassifierKind::Mlp));
+    }
+}

@@ -1,0 +1,224 @@
+//! The FS (feature separation) method: Section V-A of the paper.
+
+use crate::{CoreError, Result};
+use fsda_causal::fnode::{find_intervened_features, FnodeConfig};
+use fsda_data::normalize::{NormKind, Normalizer};
+use fsda_data::Dataset;
+use fsda_linalg::Matrix;
+
+/// Configuration of the FS method.
+#[derive(Debug, Clone)]
+pub struct FsConfig {
+    /// Significance level of the conditional-independence tests.
+    pub alpha: f64,
+    /// Maximum conditioning-set size in the F-node search.
+    pub max_cond_size: usize,
+    /// Cap on conditioning candidates per feature.
+    pub max_candidates: usize,
+}
+
+impl Default for FsConfig {
+    fn default() -> Self {
+        FsConfig { alpha: 0.01, max_cond_size: 1, max_candidates: 6 }
+    }
+}
+
+impl From<&FsConfig> for FnodeConfig {
+    fn from(c: &FsConfig) -> Self {
+        FnodeConfig {
+            alpha: c.alpha,
+            max_cond_size: c.max_cond_size,
+            max_candidates: c.max_candidates,
+        }
+    }
+}
+
+/// The result of feature separation: the variant/invariant partition, the
+/// normalizer fitted on the source domain, and diagnostics.
+#[derive(Debug, Clone)]
+pub struct FeatureSeparation {
+    variant: Vec<usize>,
+    invariant: Vec<usize>,
+    normalizer: Normalizer,
+    tests_run: usize,
+    num_features: usize,
+}
+
+impl FeatureSeparation {
+    /// Runs feature separation: normalizes both domains with a source-fit
+    /// `[-1, 1]` normalizer (the paper's preprocessing for its own
+    /// methods), then identifies the intervened features with the F-node
+    /// search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] when the domains have different
+    /// feature counts, and propagates causal-discovery failures.
+    pub fn fit(source: &Dataset, target_shots: &Dataset, config: &FsConfig) -> Result<Self> {
+        if source.num_features() != target_shots.num_features() {
+            return Err(CoreError::InvalidInput(format!(
+                "source has {} features, target {}",
+                source.num_features(),
+                target_shots.num_features()
+            )));
+        }
+        let normalizer = Normalizer::fit(source.features(), NormKind::MinMaxSymmetric);
+        let src_n = normalizer.transform(source.features());
+        let tgt_n = normalizer.transform(target_shots.features());
+        let result = find_intervened_features(&src_n, &tgt_n, &config.into())?;
+        Ok(FeatureSeparation {
+            variant: result.variant,
+            invariant: result.invariant,
+            normalizer,
+            tests_run: result.tests_run,
+            num_features: source.num_features(),
+        })
+    }
+
+    /// Domain-variant feature columns (the identified intervention targets).
+    pub fn variant(&self) -> &[usize] {
+        &self.variant
+    }
+
+    /// Domain-invariant feature columns.
+    pub fn invariant(&self) -> &[usize] {
+        &self.invariant
+    }
+
+    /// The `[-1, 1]` normalizer fitted on the source domain.
+    pub fn normalizer(&self) -> &Normalizer {
+        &self.normalizer
+    }
+
+    /// Number of CI tests run (for the running-time analysis of §VI-D).
+    pub fn tests_run(&self) -> usize {
+        self.tests_run
+    }
+
+    /// Total feature count.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Splits a (raw, unnormalized) feature matrix into normalized
+    /// `(invariant, variant)` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count disagrees with the fitted data.
+    pub fn split_normalized(&self, features: &Matrix) -> (Matrix, Matrix) {
+        let n = self.normalizer.transform(features);
+        (n.select_cols(&self.invariant), n.select_cols(&self.variant))
+    }
+
+    /// Reassembles a full normalized feature matrix from invariant and
+    /// variant blocks, restoring the original column order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if block shapes are inconsistent with the separation.
+    pub fn reassemble(&self, inv_block: &Matrix, var_block: &Matrix) -> Matrix {
+        assert_eq!(inv_block.cols(), self.invariant.len(), "invariant block width");
+        assert_eq!(var_block.cols(), self.variant.len(), "variant block width");
+        assert_eq!(inv_block.rows(), var_block.rows(), "row mismatch");
+        let mut out = Matrix::zeros(inv_block.rows(), self.num_features);
+        for r in 0..out.rows() {
+            for (k, &c) in self.invariant.iter().enumerate() {
+                out.set(r, c, inv_block.get(r, k));
+            }
+            for (k, &c) in self.variant.iter().enumerate() {
+                out.set(r, c, var_block.get(r, k));
+            }
+        }
+        out
+    }
+
+    /// Precision/recall of the separation against a known ground truth
+    /// (only available with synthetic data). Returns `(precision, recall)`.
+    pub fn score_against(&self, ground_truth_variant: &[usize]) -> (f64, f64) {
+        let truth: std::collections::BTreeSet<usize> =
+            ground_truth_variant.iter().copied().collect();
+        let hits = self.variant.iter().filter(|c| truth.contains(c)).count() as f64;
+        let precision =
+            if self.variant.is_empty() { 1.0 } else { hits / self.variant.len() as f64 };
+        let recall = if truth.is_empty() { 1.0 } else { hits / truth.len() as f64 };
+        (precision, recall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsda_data::fewshot::few_shot_subset;
+    use fsda_data::synth5gc::Synth5gc;
+    use fsda_linalg::SeededRng;
+
+    fn separation(shots: usize, seed: u64) -> (FeatureSeparation, Vec<usize>) {
+        let bundle = Synth5gc::small().generate(seed).unwrap();
+        let mut rng = SeededRng::new(seed ^ 0xFF);
+        let target = few_shot_subset(&bundle.target_pool, shots, &mut rng).unwrap();
+        let fs = FeatureSeparation::fit(&bundle.source_train, &target, &FsConfig::default())
+            .unwrap();
+        (fs, bundle.ground_truth_variant)
+    }
+
+    #[test]
+    fn detects_strong_interventions() {
+        let (fs, truth) = separation(10, 1);
+        let (precision, recall) = fs.score_against(&truth);
+        assert!(precision > 0.7, "precision {precision}");
+        assert!(recall > 0.5, "recall {recall} (strong + medium tiers detectable at 10 shots)");
+        assert!(fs.tests_run() > 0);
+    }
+
+    #[test]
+    fn partition_is_complete() {
+        let (fs, _) = separation(5, 2);
+        assert_eq!(fs.variant().len() + fs.invariant().len(), fs.num_features());
+        let mut all: Vec<usize> = fs.variant().iter().chain(fs.invariant()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), fs.num_features());
+    }
+
+    #[test]
+    fn more_shots_detect_at_least_as_many() {
+        let (fs1, _) = separation(1, 3);
+        let (fs10, _) = separation(10, 3);
+        assert!(
+            fs10.variant().len() + 2 >= fs1.variant().len(),
+            "10-shot should not detect materially fewer: {} vs {}",
+            fs10.variant().len(),
+            fs1.variant().len()
+        );
+    }
+
+    #[test]
+    fn split_and_reassemble_round_trip() {
+        let (fs, _) = separation(5, 4);
+        let bundle = Synth5gc::small().generate(4).unwrap();
+        let x = bundle.target_test.features();
+        let (inv, var) = fs.split_normalized(x);
+        let back = fs.reassemble(&inv, &var);
+        let direct = fs.normalizer().transform(x);
+        assert!(back.try_sub(&direct).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_features_error() {
+        let bundle = Synth5gc::small().generate(5).unwrap();
+        let narrow = bundle.target_pool.select_features(&[0, 1, 2]);
+        assert!(matches!(
+            FeatureSeparation::fit(&bundle.source_train, &narrow, &FsConfig::default()),
+            Err(CoreError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn score_against_handles_edge_cases() {
+        let (fs, _) = separation(5, 6);
+        let (p, r) = fs.score_against(&[]);
+        assert_eq!(r, 1.0);
+        assert!(p <= 1.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! The [`Method`] dispatcher: one enum covering the paper's approaches and
+//! every compared baseline, so the experiment runner and benches can
+//! iterate over Table I/II rows uniformly.
+
+use crate::adapter::{AdapterConfig, Budget, FsAdapter, FsGanAdapter, ReconKind};
+use crate::baselines::{self, DaContext};
+use crate::fs::FsConfig;
+use crate::Result;
+use fsda_data::Dataset;
+use fsda_linalg::Matrix;
+use fsda_models::ClassifierKind;
+
+/// Every DA method evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// FS + GAN reconstruction (ours; Table I & II).
+    FsGan,
+    /// FS + GAN without label-conditioned discriminator (Table II).
+    FsNoCond,
+    /// FS + VAE reconstruction (Table II).
+    FsVae,
+    /// FS + vanilla autoencoder (Table II).
+    FsVanillaAe,
+    /// FS only: classifier on invariant source features (ours).
+    Fs,
+    /// Causal mechanism transfer.
+    Cmt,
+    /// Invariant conditional distributions.
+    Icd,
+    /// Source-only training.
+    SrcOnly,
+    /// Target-shots-only training.
+    TarOnly,
+    /// Source + up-weighted target shots.
+    SourceAndTarget,
+    /// Source pre-training + full fine-tuning on shots (MLP only).
+    FineTune,
+    /// Correlation alignment.
+    Coral,
+    /// Domain-adversarial neural network (model-specific).
+    Dann,
+    /// Supervised-contrastive + adversarial learning (model-specific).
+    Scl,
+    /// Matching networks (model-specific).
+    MatchNet,
+    /// Prototypical networks (model-specific).
+    ProtoNet,
+}
+
+impl Method {
+    /// The rows of Table I, in the paper's order.
+    pub const TABLE1: [Method; 13] = [
+        Method::FsGan,
+        Method::Fs,
+        Method::Cmt,
+        Method::Icd,
+        Method::SrcOnly,
+        Method::TarOnly,
+        Method::SourceAndTarget,
+        Method::FineTune,
+        Method::Coral,
+        Method::Dann,
+        Method::Scl,
+        Method::MatchNet,
+        Method::ProtoNet,
+    ];
+
+    /// The rows of Table II (reconstruction-strategy ablation).
+    pub const TABLE2: [Method; 4] =
+        [Method::FsGan, Method::FsNoCond, Method::FsVae, Method::FsVanillaAe];
+
+    /// Table row label, matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::FsGan => "FS+GAN (ours)",
+            Method::FsNoCond => "FS+NoCond",
+            Method::FsVae => "FS+VAE",
+            Method::FsVanillaAe => "FS+VanillaAE",
+            Method::Fs => "FS (ours)",
+            Method::Cmt => "CMT",
+            Method::Icd => "ICD",
+            Method::SrcOnly => "SrcOnly",
+            Method::TarOnly => "TarOnly",
+            Method::SourceAndTarget => "S&T",
+            Method::FineTune => "Fine-tune",
+            Method::Coral => "CORAL",
+            Method::Dann => "DANN",
+            Method::Scl => "SCL",
+            Method::MatchNet => "MatchNet",
+            Method::ProtoNet => "ProtoNet",
+        }
+    }
+
+    /// Whether the method accepts an arbitrary classifier (Table I's four
+    /// model columns) or brings its own model.
+    pub fn is_model_agnostic(self) -> bool {
+        !matches!(
+            self,
+            Method::Dann | Method::Scl | Method::MatchNet | Method::ProtoNet
+        )
+    }
+
+    /// Whether the method only applies to one specific classifier column
+    /// (the paper runs Fine-tune with the MLP only).
+    pub fn fixed_classifier(self) -> Option<ClassifierKind> {
+        match self {
+            Method::FineTune => Some(ClassifierKind::Mlp),
+            _ => None,
+        }
+    }
+
+    /// Whether this method trains the network-management model exclusively
+    /// on source-domain data (the paper's no-retraining property).
+    pub fn trains_on_source_only(self) -> bool {
+        matches!(
+            self,
+            Method::FsGan | Method::FsNoCond | Method::FsVae | Method::FsVanillaAe | Method::Fs
+        )
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Runs one method end-to-end and returns predictions on the test features.
+///
+/// # Errors
+///
+/// Propagates failures from the underlying method.
+pub fn run_method(
+    method: Method,
+    source: &Dataset,
+    target_shots: &Dataset,
+    test_features: &Matrix,
+    classifier: ClassifierKind,
+    budget: &Budget,
+    seed: u64,
+) -> Result<Vec<usize>> {
+    let ctx = DaContext { source, target_shots, test_features, classifier, budget, seed };
+    match method {
+        Method::FsGan | Method::FsNoCond | Method::FsVae | Method::FsVanillaAe => {
+            let recon = match method {
+                Method::FsGan => ReconKind::Gan,
+                Method::FsNoCond => ReconKind::GanNoCond,
+                Method::FsVae => ReconKind::Vae,
+                _ => ReconKind::VanillaAe,
+            };
+            let config = AdapterConfig {
+                fs: FsConfig::default(),
+                recon,
+                classifier,
+                budget: budget.clone(),
+            };
+            let adapter = FsGanAdapter::fit(source, target_shots, &config, seed)?;
+            Ok(adapter.predict(test_features))
+        }
+        Method::Fs => {
+            let config = AdapterConfig {
+                fs: FsConfig::default(),
+                recon: ReconKind::Gan,
+                classifier,
+                budget: budget.clone(),
+            };
+            let adapter = FsAdapter::fit(source, target_shots, &config, seed)?;
+            Ok(adapter.predict(test_features))
+        }
+        Method::Cmt => baselines::cmt::cmt(&ctx),
+        Method::Icd => baselines::icd::icd(&ctx),
+        Method::SrcOnly => baselines::naive::src_only(&ctx),
+        Method::TarOnly => baselines::naive::tar_only(&ctx),
+        Method::SourceAndTarget => baselines::naive::source_and_target(&ctx),
+        Method::FineTune => baselines::naive::fine_tune(&ctx),
+        Method::Coral => baselines::coral::coral(&ctx),
+        Method::Dann => baselines::dann::dann(&ctx),
+        Method::Scl => baselines::scl::scl(&ctx),
+        Method::MatchNet => baselines::fewshot::matchnet(&ctx),
+        Method::ProtoNet => baselines::fewshot::protonet(&ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique_and_nonempty() {
+        let mut seen = std::collections::BTreeSet::new();
+        for m in Method::TABLE1.iter().chain(&Method::TABLE2) {
+            assert!(!m.label().is_empty());
+            seen.insert(m.label());
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn agnosticism_flags() {
+        assert!(Method::FsGan.is_model_agnostic());
+        assert!(Method::Cmt.is_model_agnostic());
+        assert!(!Method::Dann.is_model_agnostic());
+        assert!(!Method::MatchNet.is_model_agnostic());
+        assert_eq!(Method::FineTune.fixed_classifier(), Some(ClassifierKind::Mlp));
+        assert_eq!(Method::FsGan.fixed_classifier(), None);
+    }
+
+    #[test]
+    fn source_only_training_property() {
+        assert!(Method::FsGan.trains_on_source_only());
+        assert!(Method::Fs.trains_on_source_only());
+        assert!(!Method::Cmt.trains_on_source_only());
+        assert!(!Method::Coral.trains_on_source_only());
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(format!("{}", Method::SourceAndTarget), "S&T");
+    }
+}

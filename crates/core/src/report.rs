@@ -1,0 +1,195 @@
+//! Table formatting: renders experiment grids as the paper's tables and
+//! prints paper-reported values next to measured ones.
+
+use crate::experiment::GridEntry;
+use crate::method::Method;
+use fsda_models::ClassifierKind;
+use std::fmt::Write as _;
+
+/// Formats a Table-I-style block: rows are methods, columns are
+/// `classifier × shots`, cells are `100 × F1`.
+pub fn format_table1(title: &str, entries: &[GridEntry], shots: &[usize]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = write!(out, "{:<16}", "Method");
+    for &k in shots {
+        for kind in ClassifierKind::ALL {
+            let _ = write!(out, " {:>9}", format!("{}@{}", kind.label(), k));
+        }
+    }
+    let _ = writeln!(out);
+    // Preserve method order of first appearance.
+    let mut methods: Vec<Method> = Vec::new();
+    for e in entries {
+        if !methods.contains(&e.method) {
+            methods.push(e.method);
+        }
+    }
+    for method in methods {
+        let _ = write!(out, "{:<16}", method.label());
+        for &k in shots {
+            for kind in ClassifierKind::ALL {
+                let cell = entries.iter().find(|e| {
+                    e.method == method
+                        && e.shots == k
+                        && (e.classifier == Some(kind)
+                            || (e.classifier.is_none() && kind == ClassifierKind::Tnet))
+                });
+                match cell {
+                    Some(e) if e.classifier.is_some() => {
+                        let _ = write!(out, " {:>9.1}", e.result.percent());
+                    }
+                    Some(e) => {
+                        // Model-specific methods span the row; print once
+                        // under TNet and dashes elsewhere.
+                        let _ = write!(out, " {:>9.1}", e.result.percent());
+                    }
+                    None => {
+                        let _ = write!(out, " {:>9}", "-");
+                    }
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// A (paper, measured) pair for one cell of a table.
+#[derive(Debug, Clone, Copy)]
+pub struct Comparison {
+    /// The value reported in the paper (0–100 F1).
+    pub paper: f64,
+    /// The value we measured (0–100 F1).
+    pub measured: f64,
+}
+
+impl Comparison {
+    /// Absolute difference.
+    pub fn gap(&self) -> f64 {
+        (self.paper - self.measured).abs()
+    }
+}
+
+/// Formats a labelled paper-vs-measured listing.
+pub fn format_comparison(title: &str, rows: &[(String, Comparison)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} (paper vs measured, F1 x100) ==");
+    let _ = writeln!(out, "{:<36} {:>8} {:>9} {:>7}", "Cell", "paper", "measured", "gap");
+    for (label, c) in rows {
+        let _ = writeln!(
+            out,
+            "{:<36} {:>8.1} {:>9.1} {:>7.1}",
+            label, c.paper, c.measured, c.gap()
+        );
+    }
+    out
+}
+
+/// Renders a compact per-method mean over classifier columns (useful for
+/// quick shape checks: who wins, by how much).
+pub fn method_means(entries: &[GridEntry], shots: usize) -> Vec<(Method, f64)> {
+    let mut methods: Vec<Method> = Vec::new();
+    for e in entries {
+        if e.shots == shots && !methods.contains(&e.method) {
+            methods.push(e.method);
+        }
+    }
+    methods
+        .into_iter()
+        .map(|m| {
+            let cells: Vec<f64> = entries
+                .iter()
+                .filter(|e| e.method == m && e.shots == shots)
+                .map(|e| e.result.percent())
+                .collect();
+            (m, fsda_linalg::stats::mean(&cells))
+        })
+        .collect()
+}
+
+/// Serializes grid entries as CSV (`method,classifier,shots,mean_f1,std_f1`)
+/// for external plotting.
+pub fn grid_to_csv(entries: &[GridEntry]) -> String {
+    let mut out = String::from("method,classifier,shots,mean_f1,std_f1\n");
+    for e in entries {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.4},{:.4}",
+            e.method.label().replace(',', ";"),
+            e.classifier.map(|c| c.label()).unwrap_or("own"),
+            e.shots,
+            e.result.mean_f1,
+            e.result.std_f1
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::CellResult;
+
+    fn entry(method: Method, classifier: Option<ClassifierKind>, shots: usize, f1: f64) -> GridEntry {
+        GridEntry {
+            method,
+            classifier,
+            shots,
+            result: CellResult { mean_f1: f1, std_f1: 0.0, runs: vec![f1] },
+        }
+    }
+
+    #[test]
+    fn table_contains_methods_and_values() {
+        let entries = vec![
+            entry(Method::FsGan, Some(ClassifierKind::Tnet), 5, 0.9),
+            entry(Method::SrcOnly, Some(ClassifierKind::Tnet), 5, 0.1),
+            entry(Method::Dann, None, 5, 0.6),
+        ];
+        let s = format_table1("5GC", &entries, &[5]);
+        assert!(s.contains("FS+GAN (ours)"));
+        assert!(s.contains("90.0"));
+        assert!(s.contains("10.0"));
+        assert!(s.contains("DANN"));
+        assert!(s.contains('-'), "missing cells are dashes");
+    }
+
+    #[test]
+    fn comparison_formatting() {
+        let rows = vec![(
+            "FS+GAN TNet k=1".to_string(),
+            Comparison { paper: 89.7, measured: 85.0 },
+        )];
+        let s = format_comparison("Table I", &rows);
+        assert!(s.contains("89.7"));
+        assert!(s.contains("85.0"));
+        assert!(s.contains("4.7"));
+    }
+
+    #[test]
+    fn grid_csv_has_header_and_rows() {
+        let entries = vec![
+            entry(Method::FsGan, Some(ClassifierKind::Tnet), 5, 0.91),
+            entry(Method::Dann, None, 5, 0.6),
+        ];
+        let csv = grid_to_csv(&entries);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("method,"));
+        assert!(lines[1].contains("TNet"));
+        assert!(lines[2].contains("own"));
+        assert!(lines[1].contains("0.9100"));
+    }
+
+    #[test]
+    fn method_means_average_columns() {
+        let entries = vec![
+            entry(Method::Fs, Some(ClassifierKind::Tnet), 5, 0.8),
+            entry(Method::Fs, Some(ClassifierKind::Mlp), 5, 0.6),
+        ];
+        let means = method_means(&entries, 5);
+        assert_eq!(means.len(), 1);
+        assert!((means[0].1 - 70.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,171 @@
+//! Minimal CSV import/export for [`Dataset`].
+//!
+//! Real deployments have their metrics in flat files; this module lets a
+//! user bring their own source/target data to the pipeline without any
+//! external dependency. The format is deliberately simple: a header row
+//! with feature names plus a trailing `label` column, numeric cells, comma
+//! separated, no quoting (metric names must not contain commas).
+
+use crate::dataset::Dataset;
+use crate::{DataError, Result};
+use fsda_linalg::Matrix;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Writes a dataset as CSV: `feature..., label` header, one row per sample.
+///
+/// Mind that a `&mut` reference implements `Write`, so a `&mut Vec<u8>` or
+/// `&mut File` can be passed directly.
+///
+/// # Errors
+///
+/// Returns [`DataError::Numeric`] wrapping any I/O failure.
+pub fn write_csv<W: Write>(dataset: &Dataset, mut out: W) -> Result<()> {
+    let mut io = || -> std::io::Result<()> {
+        for name in dataset.feature_names() {
+            write!(out, "{name},")?;
+        }
+        writeln!(out, "label")?;
+        for r in 0..dataset.len() {
+            for v in dataset.features().row(r) {
+                write!(out, "{v},")?;
+            }
+            writeln!(out, "{}", dataset.labels()[r])?;
+        }
+        Ok(())
+    };
+    io().map_err(|e| DataError::Numeric(format!("csv write: {e}")))
+}
+
+/// Reads a dataset from CSV produced by [`write_csv`] (or any file with the
+/// same shape). `num_classes` of the result is `max(label) + 1`.
+///
+/// # Errors
+///
+/// Returns [`DataError::Inconsistent`] on malformed rows and
+/// [`DataError::Numeric`] on I/O or parse failures.
+///
+/// # Example
+///
+/// ```
+/// use fsda_data::csv::{read_csv, write_csv};
+/// use fsda_data::Dataset;
+/// use fsda_linalg::Matrix;
+///
+/// let ds = Dataset::new(Matrix::from_rows(&[&[1.0, 2.0]]), vec![0], 1)?;
+/// let mut buf = Vec::new();
+/// write_csv(&ds, &mut buf)?;
+/// let back = read_csv(buf.as_slice())?;
+/// assert_eq!(back.features(), ds.features());
+/// # Ok::<(), fsda_data::DataError>(())
+/// ```
+pub fn read_csv<R: Read>(input: R) -> Result<Dataset> {
+    let reader = BufReader::new(input);
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| DataError::Inconsistent("csv: empty input".into()))?
+        .map_err(|e| DataError::Numeric(format!("csv read: {e}")))?;
+    let columns: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    if columns.last().map(String::as_str) != Some("label") {
+        return Err(DataError::Inconsistent(
+            "csv: last header column must be `label`".into(),
+        ));
+    }
+    let d = columns.len() - 1;
+    let feature_names: Vec<String> = columns[..d].to_vec();
+    let mut values: Vec<f64> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(|e| DataError::Numeric(format!("csv read: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != d + 1 {
+            return Err(DataError::Inconsistent(format!(
+                "csv row {}: {} cells, expected {}",
+                lineno + 2,
+                cells.len(),
+                d + 1
+            )));
+        }
+        for cell in &cells[..d] {
+            values.push(cell.trim().parse::<f64>().map_err(|e| {
+                DataError::Numeric(format!("csv row {}: bad number ({e})", lineno + 2))
+            })?);
+        }
+        labels.push(cells[d].trim().parse::<usize>().map_err(|e| {
+            DataError::Numeric(format!("csv row {}: bad label ({e})", lineno + 2))
+        })?);
+    }
+    let n = labels.len();
+    let num_classes = labels.iter().copied().max().map_or(1, |m| m + 1);
+    Dataset::with_names(Matrix::from_vec(n, d, values), labels, num_classes, feature_names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::with_names(
+            Matrix::from_rows(&[&[1.5, -2.0], &[0.25, 3.75]]),
+            vec![0, 2],
+            3,
+            vec!["cpu".into(), "mem".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let ds = toy();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.features(), ds.features());
+        assert_eq!(back.labels(), ds.labels());
+        assert_eq!(back.feature_names(), ds.feature_names());
+        assert_eq!(back.num_classes(), 3);
+    }
+
+    #[test]
+    fn header_is_readable() {
+        let ds = toy();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("cpu,mem,label\n"));
+    }
+
+    #[test]
+    fn rejects_missing_label_column() {
+        let input = "a,b\n1,2\n";
+        assert!(matches!(read_csv(input.as_bytes()), Err(DataError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let input = "a,label\n1,0\n1,2,0\n";
+        assert!(matches!(read_csv(input.as_bytes()), Err(DataError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn rejects_non_numeric() {
+        let input = "a,label\nfoo,0\n";
+        assert!(matches!(read_csv(input.as_bytes()), Err(DataError::Numeric(_))));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let input = "a,label\n1,0\n\n2,1\n";
+        let ds = read_csv(input.as_bytes()).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.num_classes(), 2);
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(read_csv("".as_bytes()).is_err());
+    }
+}

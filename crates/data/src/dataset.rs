@@ -1,0 +1,307 @@
+//! The tabular [`Dataset`] container.
+
+use crate::{DataError, Result};
+use fsda_linalg::{Matrix, SeededRng};
+use serde::{Deserialize, Serialize};
+
+/// A labelled tabular dataset: one row per sample, one column per
+/// performance metric.
+///
+/// # Example
+///
+/// ```
+/// use fsda_data::Dataset;
+/// use fsda_linalg::Matrix;
+///
+/// let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let ds = Dataset::new(x, vec![0, 1], 2)?;
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.class_counts(), vec![1, 1]);
+/// # Ok::<(), fsda_data::DataError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Matrix,
+    labels: Vec<usize>,
+    num_classes: usize,
+    feature_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating that rows and labels agree and that
+    /// all labels are below `num_classes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Inconsistent`] on a row/label count mismatch
+    /// and [`DataError::UnknownClass`] when a label is out of range.
+    pub fn new(features: Matrix, labels: Vec<usize>, num_classes: usize) -> Result<Self> {
+        if features.rows() != labels.len() {
+            return Err(DataError::Inconsistent(format!(
+                "{} rows but {} labels",
+                features.rows(),
+                labels.len()
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(DataError::UnknownClass(bad));
+        }
+        let feature_names = (0..features.cols()).map(|i| format!("f{i}")).collect();
+        Ok(Dataset { features, labels, num_classes, feature_names })
+    }
+
+    /// Like [`Dataset::new`] but with explicit feature names.
+    ///
+    /// # Errors
+    ///
+    /// As [`Dataset::new`], plus [`DataError::Inconsistent`] when the name
+    /// count does not match the column count.
+    pub fn with_names(
+        features: Matrix,
+        labels: Vec<usize>,
+        num_classes: usize,
+        feature_names: Vec<String>,
+    ) -> Result<Self> {
+        if feature_names.len() != features.cols() {
+            return Err(DataError::Inconsistent(format!(
+                "{} feature names for {} columns",
+                feature_names.len(),
+                features.cols()
+            )));
+        }
+        let mut ds = Self::new(features, labels, num_classes)?;
+        ds.feature_names = feature_names;
+        Ok(ds)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// True when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of feature columns.
+    pub fn num_features(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The feature matrix.
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// The labels, aligned with feature rows.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Feature names, aligned with columns.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Per-class sample counts (length `num_classes`).
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Indices of all samples with the given class.
+    pub fn indices_of_class(&self, class: usize) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.labels[i] == class).collect()
+    }
+
+    /// Returns a new dataset containing the given rows (order preserved,
+    /// duplicates allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: self.features.select_rows(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            num_classes: self.num_classes,
+            feature_names: self.feature_names.clone(),
+        }
+    }
+
+    /// Returns a new dataset restricted to the given feature columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column index is out of bounds.
+    pub fn select_features(&self, columns: &[usize]) -> Dataset {
+        Dataset {
+            features: self.features.select_cols(columns),
+            labels: self.labels.clone(),
+            num_classes: self.num_classes,
+            feature_names: columns.iter().map(|&c| self.feature_names[c].clone()).collect(),
+        }
+    }
+
+    /// Concatenates two datasets over the same feature space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Inconsistent`] when feature counts or class
+    /// counts disagree.
+    pub fn concat(&self, other: &Dataset) -> Result<Dataset> {
+        if self.num_features() != other.num_features() {
+            return Err(DataError::Inconsistent(format!(
+                "feature mismatch: {} vs {}",
+                self.num_features(),
+                other.num_features()
+            )));
+        }
+        if self.num_classes != other.num_classes {
+            return Err(DataError::Inconsistent(format!(
+                "class-count mismatch: {} vs {}",
+                self.num_classes, other.num_classes
+            )));
+        }
+        let features = self
+            .features
+            .vstack(&other.features)
+            .map_err(|e| DataError::Inconsistent(e.to_string()))?;
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        Ok(Dataset {
+            features,
+            labels,
+            num_classes: self.num_classes,
+            feature_names: self.feature_names.clone(),
+        })
+    }
+
+    /// Randomly shuffles samples in place.
+    pub fn shuffle(&mut self, rng: &mut SeededRng) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut order);
+        let shuffled = self.subset(&order);
+        *self = shuffled;
+    }
+
+    /// One-hot encodes the labels as an `n x num_classes` matrix.
+    pub fn one_hot_labels(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.len(), self.num_classes);
+        for (r, &l) in self.labels.iter().enumerate() {
+            out.set(r, l, 1.0);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let x = Matrix::from_rows(&[&[0.0, 1.0], &[2.0, 3.0], &[4.0, 5.0], &[6.0, 7.0]]);
+        Dataset::new(x, vec![0, 1, 0, 2], 3).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let x = Matrix::zeros(2, 2);
+        assert!(matches!(
+            Dataset::new(x.clone(), vec![0], 2),
+            Err(DataError::Inconsistent(_))
+        ));
+        assert!(matches!(Dataset::new(x, vec![0, 5], 2), Err(DataError::UnknownClass(5))));
+    }
+
+    #[test]
+    fn counts_and_indices() {
+        let ds = toy();
+        assert_eq!(ds.class_counts(), vec![2, 1, 1]);
+        assert_eq!(ds.indices_of_class(0), vec![0, 2]);
+        assert_eq!(ds.num_features(), 2);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn subset_preserves_alignment() {
+        let ds = toy();
+        let sub = ds.subset(&[3, 0]);
+        assert_eq!(sub.labels(), &[2, 0]);
+        assert_eq!(sub.features().row(0), &[6.0, 7.0]);
+    }
+
+    #[test]
+    fn select_features_renames() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let ds = Dataset::with_names(
+            x,
+            vec![0],
+            1,
+            vec!["a".into(), "b".into(), "c".into()],
+        )
+        .unwrap();
+        let sel = ds.select_features(&[2, 0]);
+        assert_eq!(sel.feature_names(), &["c".to_string(), "a".to_string()]);
+        assert_eq!(sel.features().row(0), &[3.0, 1.0]);
+    }
+
+    #[test]
+    fn concat_checks_compatibility() {
+        let ds = toy();
+        let combined = ds.concat(&ds).unwrap();
+        assert_eq!(combined.len(), 8);
+        let other = Dataset::new(Matrix::zeros(1, 3), vec![0], 3).unwrap();
+        assert!(combined.concat(&other).is_err());
+        let diff_classes = Dataset::new(Matrix::zeros(1, 2), vec![0], 5).unwrap();
+        assert!(combined.concat(&diff_classes).is_err());
+    }
+
+    #[test]
+    fn one_hot_labels_rows() {
+        let ds = toy();
+        let oh = ds.one_hot_labels();
+        assert_eq!(oh.shape(), (4, 3));
+        assert_eq!(oh.get(1, 1), 1.0);
+        assert_eq!(oh.get(1, 0), 0.0);
+        for r in 0..4 {
+            let s: f64 = oh.row(r).iter().sum();
+            assert_eq!(s, 1.0);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_label_aligned() {
+        let mut ds = toy();
+        let before: Vec<(Vec<f64>, usize)> = (0..ds.len())
+            .map(|i| (ds.features().row(i).to_vec(), ds.labels()[i]))
+            .collect();
+        let mut rng = SeededRng::new(5);
+        ds.shuffle(&mut rng);
+        let mut after: Vec<(Vec<f64>, usize)> = (0..ds.len())
+            .map(|i| (ds.features().row(i).to_vec(), ds.labels()[i]))
+            .collect();
+        // Same multiset of (row, label) pairs.
+        let key = |p: &(Vec<f64>, usize)| format!("{:?}", p);
+        let mut b: Vec<String> = before.iter().map(key).collect();
+        let mut a: Vec<String> = after.drain(..).map(|p| key(&p)).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_feature_names() {
+        let ds = toy();
+        assert_eq!(ds.feature_names()[1], "f1");
+    }
+}

@@ -1,0 +1,172 @@
+//! Few-shot sampling: drawing `k` target-domain samples per fault type,
+//! exactly as the paper's 1/5/10-shot scenarios do.
+
+use crate::dataset::Dataset;
+use crate::{DataError, Result};
+use fsda_linalg::SeededRng;
+
+/// Draws `k` random sample indices per group from `groups` (one group label
+/// per sample). The paper's few-shot unit is the *fault type* (normal
+/// counts as one), which for the 5GC dataset coincides with the class label
+/// and for 5GIPC is coarser than the binary label.
+///
+/// # Errors
+///
+/// Returns [`DataError::NotEnoughSamples`] when some group has fewer than
+/// `k` members and [`DataError::Inconsistent`] when `k == 0`.
+pub fn few_shot_indices(
+    groups: &[usize],
+    num_groups: usize,
+    k: usize,
+    rng: &mut SeededRng,
+) -> Result<Vec<usize>> {
+    if k == 0 {
+        return Err(DataError::Inconsistent("few-shot k must be >= 1".into()));
+    }
+    let mut by_group: Vec<Vec<usize>> = vec![Vec::new(); num_groups];
+    for (i, &g) in groups.iter().enumerate() {
+        if g >= num_groups {
+            return Err(DataError::Inconsistent(format!(
+                "group {g} out of range (num_groups = {num_groups})"
+            )));
+        }
+        by_group[g].push(i);
+    }
+    let mut selected = Vec::with_capacity(num_groups * k);
+    for (g, members) in by_group.iter().enumerate() {
+        if members.len() < k {
+            return Err(DataError::NotEnoughSamples(format!(
+                "group {g} has {} samples, need {k}",
+                members.len()
+            )));
+        }
+        let picks = rng.sample_indices(members.len(), k);
+        selected.extend(picks.into_iter().map(|p| members[p]));
+    }
+    selected.sort_unstable();
+    Ok(selected)
+}
+
+/// Draws a `k`-shot subset of a dataset using its class labels as groups.
+///
+/// # Errors
+///
+/// As [`few_shot_indices`].
+pub fn few_shot_subset(dataset: &Dataset, k: usize, rng: &mut SeededRng) -> Result<Dataset> {
+    let idx = few_shot_indices(dataset.labels(), dataset.num_classes(), k, rng)?;
+    Ok(dataset.subset(&idx))
+}
+
+/// Stratified train/test split: for each class, a `train_fraction` share
+/// goes to the first dataset. Returns `(train, test)`.
+///
+/// # Errors
+///
+/// Returns [`DataError::Inconsistent`] when `train_fraction` is outside
+/// `(0, 1)`.
+pub fn stratified_split(
+    dataset: &Dataset,
+    train_fraction: f64,
+    rng: &mut SeededRng,
+) -> Result<(Dataset, Dataset)> {
+    if !(0.0..1.0).contains(&train_fraction) || train_fraction == 0.0 {
+        return Err(DataError::Inconsistent(format!(
+            "train_fraction must be in (0,1), got {train_fraction}"
+        )));
+    }
+    let mut train_idx = Vec::new();
+    let mut test_idx = Vec::new();
+    for class in 0..dataset.num_classes() {
+        let mut members = dataset.indices_of_class(class);
+        rng.shuffle(&mut members);
+        let cut = ((members.len() as f64) * train_fraction).round() as usize;
+        train_idx.extend_from_slice(&members[..cut.min(members.len())]);
+        test_idx.extend_from_slice(&members[cut.min(members.len())..]);
+    }
+    train_idx.sort_unstable();
+    test_idx.sort_unstable();
+    Ok((dataset.subset(&train_idx), dataset.subset(&test_idx)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsda_linalg::Matrix;
+
+    fn toy(n_per_class: usize, classes: usize) -> Dataset {
+        let n = n_per_class * classes;
+        let x = Matrix::from_fn(n, 2, |i, j| (i * 2 + j) as f64);
+        let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        Dataset::new(x, labels, classes).unwrap()
+    }
+
+    #[test]
+    fn draws_k_per_group() {
+        let ds = toy(20, 4);
+        let mut rng = SeededRng::new(1);
+        let sub = few_shot_subset(&ds, 3, &mut rng).unwrap();
+        assert_eq!(sub.len(), 12);
+        assert_eq!(sub.class_counts(), vec![3; 4]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let ds = toy(50, 2);
+        let a = few_shot_indices(ds.labels(), 2, 5, &mut SeededRng::new(1)).unwrap();
+        let b = few_shot_indices(ds.labels(), 2, 5, &mut SeededRng::new(2)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn indices_are_unique() {
+        let ds = toy(10, 3);
+        let idx = few_shot_indices(ds.labels(), 3, 4, &mut SeededRng::new(3)).unwrap();
+        let mut dedup = idx.clone();
+        dedup.dedup();
+        assert_eq!(idx, dedup, "sorted unique indices expected");
+    }
+
+    #[test]
+    fn rejects_undersized_groups() {
+        let ds = toy(2, 2);
+        assert!(matches!(
+            few_shot_subset(&ds, 3, &mut SeededRng::new(4)),
+            Err(DataError::NotEnoughSamples(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_k_and_bad_groups() {
+        assert!(few_shot_indices(&[0, 1], 2, 0, &mut SeededRng::new(5)).is_err());
+        assert!(few_shot_indices(&[0, 7], 2, 1, &mut SeededRng::new(5)).is_err());
+    }
+
+    #[test]
+    fn custom_groups_coarser_than_labels() {
+        // Binary labels but three few-shot groups (like 5GIPC).
+        let x = Matrix::from_fn(30, 1, |i, _| i as f64);
+        let labels: Vec<usize> = (0..30).map(|i| usize::from(i >= 10)).collect();
+        let groups: Vec<usize> = (0..30).map(|i| i / 10).collect();
+        let ds = Dataset::new(x, labels, 2).unwrap();
+        let idx = few_shot_indices(&groups, 3, 2, &mut SeededRng::new(6)).unwrap();
+        assert_eq!(idx.len(), 6);
+        let sub = ds.subset(&idx);
+        assert_eq!(sub.len(), 6);
+    }
+
+    #[test]
+    fn stratified_split_fractions() {
+        let ds = toy(20, 3);
+        let (train, test) = stratified_split(&ds, 0.75, &mut SeededRng::new(7)).unwrap();
+        assert_eq!(train.len() + test.len(), ds.len());
+        assert_eq!(train.class_counts(), vec![15; 3]);
+        assert_eq!(test.class_counts(), vec![5; 3]);
+    }
+
+    #[test]
+    fn stratified_split_rejects_bad_fraction() {
+        let ds = toy(4, 2);
+        assert!(stratified_split(&ds, 0.0, &mut SeededRng::new(8)).is_err());
+        assert!(stratified_split(&ds, 1.5, &mut SeededRng::new(8)).is_err());
+    }
+}

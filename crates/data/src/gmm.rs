@@ -1,0 +1,325 @@
+//! Gaussian mixture model with diagonal covariances, fit by EM.
+//!
+//! The paper splits the 5GIPC dataset into source/target domains by
+//! clustering it with a GMM (2 clusters for the main experiments, 3 for the
+//! no-retraining study of Table III); this module reproduces that step.
+
+use crate::{DataError, Result};
+use fsda_linalg::{Matrix, SeededRng};
+
+/// A fitted Gaussian mixture model with diagonal covariance matrices.
+#[derive(Debug, Clone)]
+pub struct Gmm {
+    weights: Vec<f64>,
+    means: Vec<Vec<f64>>,
+    vars: Vec<Vec<f64>>,
+    log_likelihood: f64,
+}
+
+/// Configuration for [`Gmm::fit`].
+#[derive(Debug, Clone)]
+pub struct GmmConfig {
+    /// Number of mixture components.
+    pub k: usize,
+    /// Maximum EM iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on the mean log-likelihood.
+    pub tol: f64,
+    /// Variance floor for numerical stability.
+    pub var_floor: f64,
+    /// RNG seed for initialization.
+    pub seed: u64,
+}
+
+impl Default for GmmConfig {
+    fn default() -> Self {
+        GmmConfig { k: 2, max_iter: 200, tol: 1e-6, var_floor: 1e-6, seed: 0 }
+    }
+}
+
+impl Gmm {
+    /// Fits a diagonal-covariance GMM by EM with k-means++-style seeding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::NotEnoughSamples`] when `data.rows() < k` and
+    /// [`DataError::Inconsistent`] when `k == 0`.
+    pub fn fit(data: &Matrix, config: &GmmConfig) -> Result<Self> {
+        let (n, d) = data.shape();
+        if config.k == 0 {
+            return Err(DataError::Inconsistent("GMM needs k >= 1".into()));
+        }
+        if n < config.k {
+            return Err(DataError::NotEnoughSamples(format!(
+                "{n} samples for {} components",
+                config.k
+            )));
+        }
+        let mut rng = SeededRng::new(config.seed);
+        let k = config.k;
+
+        // k-means++ style mean initialization.
+        let mut means: Vec<Vec<f64>> = Vec::with_capacity(k);
+        means.push(data.row(rng.index(n)).to_vec());
+        while means.len() < k {
+            let mut dists: Vec<f64> = (0..n)
+                .map(|r| {
+                    means
+                        .iter()
+                        .map(|m| fsda_linalg::matrix::euclidean_distance(data.row(r), m))
+                        .fold(f64::INFINITY, f64::min)
+                        .powi(2)
+                })
+                .collect();
+            let total: f64 = dists.iter().sum();
+            if total <= 0.0 {
+                // All points identical to chosen means; fall back to random.
+                means.push(data.row(rng.index(n)).to_vec());
+                continue;
+            }
+            for v in &mut dists {
+                *v /= total;
+            }
+            means.push(data.row(rng.categorical(&dists)).to_vec());
+        }
+
+        // Global variance for initialization.
+        let stds = data.col_stds();
+        let init_var: Vec<f64> =
+            stds.iter().map(|s| (s * s).max(config.var_floor)).collect();
+        let mut vars: Vec<Vec<f64>> = (0..k).map(|_| init_var.clone()).collect();
+        let mut weights = vec![1.0 / k as f64; k];
+
+        let mut resp = Matrix::zeros(n, k);
+        let mut prev_ll = f64::NEG_INFINITY;
+        let mut log_likelihood = prev_ll;
+        for _ in 0..config.max_iter {
+            // E-step: responsibilities via log-sum-exp.
+            let mut ll = 0.0;
+            for r in 0..n {
+                let x = data.row(r);
+                let mut logp: Vec<f64> = (0..k)
+                    .map(|c| weights[c].max(1e-300).ln() + diag_log_pdf(x, &means[c], &vars[c]))
+                    .collect();
+                let max = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut sum = 0.0;
+                for v in &mut logp {
+                    *v = (*v - max).exp();
+                    sum += *v;
+                }
+                ll += max + sum.ln();
+                for c in 0..k {
+                    resp.set(r, c, logp[c] / sum);
+                }
+            }
+            log_likelihood = ll / n as f64;
+            if (log_likelihood - prev_ll).abs() < config.tol {
+                break;
+            }
+            prev_ll = log_likelihood;
+
+            // M-step.
+            for c in 0..k {
+                let nk: f64 = (0..n).map(|r| resp.get(r, c)).sum();
+                let nk_safe = nk.max(1e-10);
+                weights[c] = nk / n as f64;
+                let mut mean = vec![0.0; d];
+                for r in 0..n {
+                    let g = resp.get(r, c);
+                    for (m, &x) in mean.iter_mut().zip(data.row(r)) {
+                        *m += g * x;
+                    }
+                }
+                for m in &mut mean {
+                    *m /= nk_safe;
+                }
+                let mut var = vec![0.0; d];
+                for r in 0..n {
+                    let g = resp.get(r, c);
+                    for ((v, &x), &m) in var.iter_mut().zip(data.row(r)).zip(&mean) {
+                        let diff = x - m;
+                        *v += g * diff * diff;
+                    }
+                }
+                for v in &mut var {
+                    *v = (*v / nk_safe).max(config.var_floor);
+                }
+                means[c] = mean;
+                vars[c] = var;
+            }
+        }
+        Ok(Gmm { weights, means, vars, log_likelihood })
+    }
+
+    /// Fits `restarts` GMMs with different initializations and keeps the
+    /// one with the best final log-likelihood. EM is sensitive to its
+    /// starting point; the paper's domain-splitting use case needs the
+    /// global structure, so restarts are cheap insurance.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gmm::fit`]; additionally rejects `restarts == 0`.
+    pub fn fit_best(data: &Matrix, config: &GmmConfig, restarts: usize) -> Result<Self> {
+        if restarts == 0 {
+            return Err(DataError::Inconsistent("fit_best needs restarts >= 1".into()));
+        }
+        let mut best: Option<Gmm> = None;
+        for r in 0..restarts {
+            let cfg = GmmConfig { seed: config.seed.wrapping_add(r as u64 * 7919), ..config.clone() };
+            let fitted = Gmm::fit(data, &cfg)?;
+            if best.as_ref().is_none_or(|b| fitted.log_likelihood > b.log_likelihood) {
+                best = Some(fitted);
+            }
+        }
+        Ok(best.expect("restarts >= 1"))
+    }
+
+    /// Number of components.
+    pub fn k(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Mixture weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Component means.
+    pub fn means(&self) -> &[Vec<f64>] {
+        &self.means
+    }
+
+    /// Final mean log-likelihood.
+    pub fn log_likelihood(&self) -> f64 {
+        self.log_likelihood
+    }
+
+    /// Per-sample posterior responsibilities (`n x k`, rows sum to 1).
+    pub fn responsibilities(&self, data: &Matrix) -> Matrix {
+        let n = data.rows();
+        let k = self.k();
+        let mut out = Matrix::zeros(n, k);
+        for r in 0..n {
+            let x = data.row(r);
+            let mut logp: Vec<f64> = (0..k)
+                .map(|c| {
+                    self.weights[c].max(1e-300).ln()
+                        + diag_log_pdf(x, &self.means[c], &self.vars[c])
+                })
+                .collect();
+            let max = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for v in &mut logp {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for c in 0..k {
+                out.set(r, c, logp[c] / sum);
+            }
+        }
+        out
+    }
+
+    /// Hard cluster assignment per sample.
+    pub fn predict(&self, data: &Matrix) -> Vec<usize> {
+        let resp = self.responsibilities(data);
+        (0..data.rows())
+            .map(|r| {
+                let row = resp.row(r);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+fn diag_log_pdf(x: &[f64], mean: &[f64], var: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for ((&xi, &mi), &vi) in x.iter().zip(mean).zip(var) {
+        let d = xi - mi;
+        acc += -0.5 * ((2.0 * std::f64::consts::PI * vi).ln() + d * d / vi);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blob_data(n_a: usize, n_b: usize, sep: f64, seed: u64) -> Matrix {
+        let mut rng = SeededRng::new(seed);
+        let mut m = Matrix::zeros(n_a + n_b, 3);
+        for r in 0..n_a {
+            for c in 0..3 {
+                m.set(r, c, rng.normal(0.0, 1.0));
+            }
+        }
+        for r in n_a..(n_a + n_b) {
+            for c in 0..3 {
+                m.set(r, c, rng.normal(sep, 1.0));
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let data = two_blob_data(300, 100, 5.0, 1);
+        let gmm = Gmm::fit(&data, &GmmConfig::default()).unwrap();
+        let labels = gmm.predict(&data);
+        // All of blob A together, all of blob B together.
+        let first = labels[0];
+        assert!(labels[..300].iter().all(|&l| l == first));
+        assert!(labels[300..].iter().all(|&l| l != first));
+        // Mixture weights reflect cluster sizes.
+        let w_big = gmm.weights()[first];
+        assert!((w_big - 0.75).abs() < 0.05, "big-cluster weight {w_big}");
+    }
+
+    #[test]
+    fn responsibilities_sum_to_one() {
+        let data = two_blob_data(50, 50, 3.0, 2);
+        let gmm = Gmm::fit(&data, &GmmConfig { k: 3, ..GmmConfig::default() }).unwrap();
+        let resp = gmm.responsibilities(&data);
+        for r in 0..data.rows() {
+            let s: f64 = resp.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_likelihood_improves_with_better_k() {
+        let data = two_blob_data(200, 200, 6.0, 3);
+        let g1 = Gmm::fit(&data, &GmmConfig { k: 1, ..GmmConfig::default() }).unwrap();
+        let g2 = Gmm::fit(&data, &GmmConfig { k: 2, ..GmmConfig::default() }).unwrap();
+        assert!(g2.log_likelihood() > g1.log_likelihood());
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let data = Matrix::zeros(3, 2);
+        assert!(Gmm::fit(&data, &GmmConfig { k: 0, ..GmmConfig::default() }).is_err());
+        assert!(Gmm::fit(&data, &GmmConfig { k: 5, ..GmmConfig::default() }).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = two_blob_data(100, 60, 4.0, 4);
+        let cfg = GmmConfig { seed: 9, ..GmmConfig::default() };
+        let a = Gmm::fit(&data, &cfg).unwrap().predict(&data);
+        let b = Gmm::fit(&data, &cfg).unwrap().predict(&data);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constant_data_does_not_crash() {
+        let data = Matrix::filled(20, 2, 3.0);
+        let gmm = Gmm::fit(&data, &GmmConfig::default()).unwrap();
+        let labels = gmm.predict(&data);
+        assert_eq!(labels.len(), 20);
+        assert!(gmm.log_likelihood().is_finite());
+    }
+}

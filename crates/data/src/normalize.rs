@@ -1,0 +1,213 @@
+//! Feature normalization.
+//!
+//! The paper normalizes feature values to `[-1, 1]` for its own methods
+//! (matching the generator's tanh output range) and to z-scores for several
+//! baselines; both are provided. A normalizer is always **fit on the source
+//! domain** and then applied to target samples — applying it to drifted data
+//! can legitimately produce values outside `[-1, 1]`, which is exactly the
+//! out-of-support behaviour the paper studies.
+
+use fsda_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Normalization strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NormKind {
+    /// Min-max scaling to `[-1, 1]` (the paper's choice for FS/FS+GAN).
+    MinMaxSymmetric,
+    /// Zero mean, unit variance.
+    ZScore,
+}
+
+/// A fitted, invertible per-column normalizer.
+///
+/// # Example
+///
+/// ```
+/// use fsda_data::normalize::{NormKind, Normalizer};
+/// use fsda_linalg::Matrix;
+///
+/// let train = Matrix::from_rows(&[&[0.0, 10.0], &[4.0, 20.0]]);
+/// let norm = Normalizer::fit(&train, NormKind::MinMaxSymmetric);
+/// let scaled = norm.transform(&train);
+/// assert_eq!(scaled.get(0, 0), -1.0);
+/// assert_eq!(scaled.get(1, 0), 1.0);
+/// let back = norm.inverse_transform(&scaled);
+/// assert!((back.get(1, 1) - 20.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    kind: NormKind,
+    /// Per-column offset subtracted before scaling.
+    offset: Vec<f64>,
+    /// Per-column divisor (never zero).
+    scale: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Fits the normalizer on training data (rows are samples).
+    ///
+    /// Constant columns get scale 1 so they map to 0 and invert exactly.
+    pub fn fit(data: &Matrix, kind: NormKind) -> Self {
+        let d = data.cols();
+        let mut offset = vec![0.0; d];
+        let mut scale = vec![1.0; d];
+        match kind {
+            NormKind::MinMaxSymmetric => {
+                for c in 0..d {
+                    let col = data.col(c);
+                    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                    for &v in &col {
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                    }
+                    if !lo.is_finite() || !hi.is_finite() || (hi - lo) < 1e-12 {
+                        offset[c] = if lo.is_finite() { lo } else { 0.0 };
+                        scale[c] = 1.0;
+                    } else {
+                        // Map [lo, hi] -> [-1, 1]: x' = (x - mid) / half_range.
+                        offset[c] = 0.5 * (lo + hi);
+                        scale[c] = 0.5 * (hi - lo);
+                    }
+                }
+            }
+            NormKind::ZScore => {
+                let means = data.col_means();
+                let stds = data.col_stds();
+                for c in 0..d {
+                    offset[c] = means[c];
+                    scale[c] = if stds[c] < 1e-12 { 1.0 } else { stds[c] };
+                }
+            }
+        }
+        Normalizer { kind, offset, scale }
+    }
+
+    /// The strategy this normalizer was fit with.
+    pub fn kind(&self) -> NormKind {
+        self.kind
+    }
+
+    /// Number of feature columns.
+    pub fn num_features(&self) -> usize {
+        self.offset.len()
+    }
+
+    /// Applies the normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted data.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        assert_eq!(data.cols(), self.num_features(), "Normalizer: column mismatch");
+        let mut out = data.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.offset[c]) / self.scale[c];
+            }
+        }
+        out
+    }
+
+    /// Applies the normalization to a single sample in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the fitted column count.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.num_features(), "Normalizer: column mismatch");
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = (*v - self.offset[c]) / self.scale[c];
+        }
+    }
+
+    /// Inverts the normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted data.
+    pub fn inverse_transform(&self, data: &Matrix) -> Matrix {
+        assert_eq!(data.cols(), self.num_features(), "Normalizer: column mismatch");
+        let mut out = data.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = *v * self.scale[c] + self.offset[c];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsda_linalg::SeededRng;
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let data = Matrix::from_rows(&[&[0.0], &[5.0], &[10.0]]);
+        let n = Normalizer::fit(&data, NormKind::MinMaxSymmetric);
+        let t = n.transform(&data);
+        assert_eq!(t.get(0, 0), -1.0);
+        assert_eq!(t.get(1, 0), 0.0);
+        assert_eq!(t.get(2, 0), 1.0);
+    }
+
+    #[test]
+    fn zscore_standardizes() {
+        let mut rng = SeededRng::new(1);
+        let data = Matrix::from_fn(500, 3, |_, c| rng.normal(c as f64 * 10.0, (c + 1) as f64));
+        let n = Normalizer::fit(&data, NormKind::ZScore);
+        let t = n.transform(&data);
+        let means = t.col_means();
+        let stds = t.col_stds();
+        for c in 0..3 {
+            assert!(means[c].abs() < 1e-10);
+            assert!((stds[c] - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn round_trip_both_kinds() {
+        let mut rng = SeededRng::new(2);
+        let data = Matrix::from_fn(40, 4, |_, _| rng.normal(3.0, 7.0));
+        for kind in [NormKind::MinMaxSymmetric, NormKind::ZScore] {
+            let n = Normalizer::fit(&data, kind);
+            let back = n.inverse_transform(&n.transform(&data));
+            assert!(back.try_sub(&data).unwrap().max_abs() < 1e-9, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn constant_columns_are_safe() {
+        let data = Matrix::from_rows(&[&[5.0, 1.0], &[5.0, 2.0]]);
+        for kind in [NormKind::MinMaxSymmetric, NormKind::ZScore] {
+            let n = Normalizer::fit(&data, kind);
+            let t = n.transform(&data);
+            assert!(t.is_finite(), "{kind:?}");
+            assert_eq!(t.get(0, 0), 0.0);
+            let back = n.inverse_transform(&t);
+            assert_eq!(back.get(0, 0), 5.0);
+        }
+    }
+
+    #[test]
+    fn drifted_data_can_exceed_range() {
+        let train = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        let n = Normalizer::fit(&train, NormKind::MinMaxSymmetric);
+        let drifted = n.transform(&Matrix::from_rows(&[&[5.0]]));
+        assert!(drifted.get(0, 0) > 1.0, "out-of-support values are preserved");
+    }
+
+    #[test]
+    fn transform_row_matches_matrix() {
+        let train = Matrix::from_rows(&[&[0.0, -2.0], &[4.0, 2.0]]);
+        let n = Normalizer::fit(&train, NormKind::MinMaxSymmetric);
+        let m = n.transform(&train);
+        let mut row = [0.0, -2.0];
+        n.transform_row(&mut row);
+        assert_eq!(row, [m.get(0, 0), m.get(0, 1)]);
+    }
+}

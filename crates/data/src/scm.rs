@@ -1,0 +1,598 @@
+//! Structural causal models with per-domain soft interventions.
+//!
+//! The paper models domain shift as *soft interventions* on an unknown
+//! feature subset: the target domain is the source domain after some
+//! mechanisms `P(X | Pa(X))` changed. This module makes that model
+//! executable: an [`Scm`] is a topologically-ordered list of nodes (latent
+//! or observed) with linear-Gaussian mechanisms plus per-class additive
+//! effects, and a [`DomainSpec`] lists the soft interventions that define a
+//! domain. Sampling the same SCM under two specs yields a source/target
+//! pair whose **ground-truth intervention targets are known**, which lets
+//! the test-suite and benches score the FS method's precision/recall — the
+//! real datasets could never provide that.
+
+use crate::dataset::Dataset;
+use crate::{DataError, Result};
+use fsda_linalg::SeededRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Whether a node is emitted as a dataset feature or stays hidden.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Hidden driver (e.g. overall traffic intensity); never emitted.
+    Latent,
+    /// Emitted as a feature column.
+    Observed,
+}
+
+/// One node of the SCM with a linear-Gaussian mechanism:
+/// `x = bias + Σ w_p · parent_p + class_effect[y] + ε`, `ε ~ N(0, noise_std²)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScmNode {
+    /// Human-readable name (becomes the feature name for observed nodes).
+    pub name: String,
+    /// Latent or observed.
+    pub kind: NodeKind,
+    /// Indices of parent nodes; must all be smaller than this node's index.
+    pub parents: Vec<usize>,
+    /// Linear weights, aligned with `parents`.
+    pub weights: Vec<f64>,
+    /// Constant offset.
+    pub bias: f64,
+    /// Additive per-class effect; empty means no class dependence.
+    pub class_effect: Vec<f64>,
+    /// Standard deviation of the exogenous noise.
+    pub noise_std: f64,
+}
+
+impl ScmNode {
+    /// A latent root node `N(0, noise_std²)`.
+    pub fn latent(name: impl Into<String>, noise_std: f64) -> Self {
+        ScmNode {
+            name: name.into(),
+            kind: NodeKind::Latent,
+            parents: Vec::new(),
+            weights: Vec::new(),
+            bias: 0.0,
+            class_effect: Vec::new(),
+            noise_std,
+        }
+    }
+
+    /// An observed node with the given mechanism.
+    pub fn observed(
+        name: impl Into<String>,
+        parents: Vec<usize>,
+        weights: Vec<f64>,
+        noise_std: f64,
+    ) -> Self {
+        ScmNode {
+            name: name.into(),
+            kind: NodeKind::Observed,
+            parents,
+            weights,
+            bias: 0.0,
+            class_effect: Vec::new(),
+            noise_std,
+        }
+    }
+
+    /// Builder-style per-class additive effect.
+    pub fn with_class_effect(mut self, effect: Vec<f64>) -> Self {
+        self.class_effect = effect;
+        self
+    }
+
+    /// Builder-style bias.
+    pub fn with_bias(mut self, bias: f64) -> Self {
+        self.bias = bias;
+        self
+    }
+}
+
+/// A soft intervention on one node: the mechanism keeps its parents but its
+/// distribution changes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Intervention {
+    /// Adds a constant to the node value (traffic-trend change).
+    MeanShift(f64),
+    /// Multiplies the exogenous noise standard deviation.
+    ScaleNoise(f64),
+    /// Multiplies all parent weights (mechanism change).
+    ScaleWeights(f64),
+    /// Mean shift and noise scaling combined.
+    ShiftAndScale {
+        /// Additive mean shift.
+        shift: f64,
+        /// Multiplicative noise-std factor.
+        noise_factor: f64,
+    },
+    /// Remaps the per-class effect: class `y` uses `class_effect[map[y]]`.
+    /// Models drifts where a metric's fault signature changes pattern —
+    /// the conditional `P(X | Pa, Y)` changes while the class-marginal can
+    /// stay identical. A model trained on source data is actively misled
+    /// by such features; reconstruction from invariant features is not.
+    RemapClassEffect(Vec<usize>),
+}
+
+/// The set of soft interventions that defines one domain. A node may carry
+/// several interventions (e.g. a mean shift *and* a signature remap).
+///
+/// An empty spec is the observational (source) domain.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DomainSpec {
+    interventions: BTreeMap<usize, Vec<Intervention>>,
+}
+
+impl DomainSpec {
+    /// The observational domain (no interventions).
+    pub fn observational() -> Self {
+        Self::default()
+    }
+
+    /// Adds an intervention on `node` (appending to any already present).
+    pub fn intervene(&mut self, node: usize, intervention: Intervention) -> &mut Self {
+        self.interventions.entry(node).or_default().push(intervention);
+        self
+    }
+
+    /// The interventions applied to `node` (empty slice when untouched).
+    pub fn interventions_on(&self, node: usize) -> &[Intervention] {
+        self.interventions.get(&node).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Back-compat convenience: the first intervention on `node`, if any.
+    pub fn intervention_on(&self, node: usize) -> Option<&Intervention> {
+        self.interventions_on(node).first()
+    }
+
+    /// True when `node` is an intervention target.
+    pub fn is_target(&self, node: usize) -> bool {
+        !self.interventions_on(node).is_empty()
+    }
+
+    /// Indices of all intervened nodes.
+    pub fn targets(&self) -> Vec<usize> {
+        self.interventions.keys().copied().collect()
+    }
+
+    /// True when no interventions are present.
+    pub fn is_observational(&self) -> bool {
+        self.interventions.is_empty()
+    }
+}
+
+/// A structural causal model over latent and observed nodes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scm {
+    nodes: Vec<ScmNode>,
+    num_classes: usize,
+}
+
+impl Scm {
+    /// Creates an SCM, validating topological order and mechanism shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Inconsistent`] when a node references a parent
+    /// at or after its own index, when weights/parents lengths differ, or
+    /// when a class effect has the wrong length.
+    pub fn new(nodes: Vec<ScmNode>, num_classes: usize) -> Result<Self> {
+        for (i, node) in nodes.iter().enumerate() {
+            if node.parents.len() != node.weights.len() {
+                return Err(DataError::Inconsistent(format!(
+                    "node {i} ({}): {} parents but {} weights",
+                    node.name,
+                    node.parents.len(),
+                    node.weights.len()
+                )));
+            }
+            if node.parents.iter().any(|&p| p >= i) {
+                return Err(DataError::Inconsistent(format!(
+                    "node {i} ({}) references a non-earlier parent",
+                    node.name
+                )));
+            }
+            if !node.class_effect.is_empty() && node.class_effect.len() != num_classes {
+                return Err(DataError::Inconsistent(format!(
+                    "node {i} ({}): class effect of length {} for {num_classes} classes",
+                    node.name,
+                    node.class_effect.len()
+                )));
+            }
+        }
+        Ok(Scm { nodes, num_classes })
+    }
+
+    /// Total node count (latent + observed).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The nodes, in topological order.
+    pub fn nodes(&self) -> &[ScmNode] {
+        &self.nodes
+    }
+
+    /// Indices of observed nodes, in order (defines feature-column order).
+    pub fn observed_indices(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].kind == NodeKind::Observed).collect()
+    }
+
+    /// Number of observed features.
+    pub fn num_features(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind == NodeKind::Observed).count()
+    }
+
+    /// Feature names (observed nodes, in column order).
+    pub fn feature_names(&self) -> Vec<String> {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Observed)
+            .map(|n| n.name.clone())
+            .collect()
+    }
+
+    /// Samples all node values for one unit of class `y` under `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y >= num_classes`.
+    pub fn sample_all(&self, y: usize, spec: &DomainSpec, rng: &mut SeededRng) -> Vec<f64> {
+        assert!(y < self.num_classes, "class {y} out of range");
+        let mut values = vec![0.0; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let mut weight_factor = 1.0;
+            let mut noise_factor = 1.0;
+            let mut shift = 0.0;
+            let mut effect_class = y;
+            for iv in spec.interventions_on(i) {
+                match iv {
+                    Intervention::MeanShift(s) => shift += s,
+                    Intervention::ScaleNoise(f) => noise_factor *= f,
+                    Intervention::ScaleWeights(f) => weight_factor *= f,
+                    Intervention::ShiftAndScale { shift: s, noise_factor: f } => {
+                        shift += s;
+                        noise_factor *= f;
+                    }
+                    Intervention::RemapClassEffect(map) => {
+                        assert_eq!(
+                            map.len(),
+                            self.num_classes,
+                            "RemapClassEffect: map length must equal num_classes"
+                        );
+                        effect_class = map[effect_class];
+                    }
+                }
+            }
+            let mut v = node.bias + shift;
+            for (&p, &w) in node.parents.iter().zip(&node.weights) {
+                v += weight_factor * w * values[p];
+            }
+            if !node.class_effect.is_empty() {
+                v += node.class_effect[effect_class];
+            }
+            v += rng.normal(0.0, node.noise_std * noise_factor);
+            values[i] = v;
+        }
+        values
+    }
+
+    /// Samples the observed feature vector for one unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y >= num_classes`.
+    pub fn sample_observed(&self, y: usize, spec: &DomainSpec, rng: &mut SeededRng) -> Vec<f64> {
+        let all = self.sample_all(y, spec, rng);
+        self.observed_indices().iter().map(|&i| all[i]).collect()
+    }
+
+    /// Generates a dataset with `class_counts[y]` samples of each class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Inconsistent`] when `class_counts.len() !=
+    /// num_classes`.
+    pub fn generate(
+        &self,
+        class_counts: &[usize],
+        spec: &DomainSpec,
+        rng: &mut SeededRng,
+    ) -> Result<Dataset> {
+        if class_counts.len() != self.num_classes {
+            return Err(DataError::Inconsistent(format!(
+                "{} class counts for {} classes",
+                class_counts.len(),
+                self.num_classes
+            )));
+        }
+        let total: usize = class_counts.iter().sum();
+        let d = self.num_features();
+        let mut features = fsda_linalg::Matrix::zeros(total, d);
+        let mut labels = Vec::with_capacity(total);
+        let mut r = 0;
+        for (y, &count) in class_counts.iter().enumerate() {
+            for _ in 0..count {
+                let row = self.sample_observed(y, spec, rng);
+                features.row_mut(r).copy_from_slice(&row);
+                labels.push(y);
+                r += 1;
+            }
+        }
+        let mut ds =
+            Dataset::with_names(features, labels, self.num_classes, self.feature_names())?;
+        ds.shuffle(rng);
+        Ok(ds)
+    }
+
+    /// Ground-truth domain-variant **feature columns** for a target domain
+    /// defined by `spec` (relative to the observational source).
+    ///
+    /// A feature is variant exactly when its mechanism given *observed*
+    /// parents changed: it is directly intervened, or it has an intervened
+    /// ancestor reachable through latent-only paths (a latent driver cannot
+    /// be conditioned on, so its children's observable mechanisms change).
+    /// Shifts that propagate through an *observed* intermediate node do not
+    /// make a feature variant — conditioning on the intermediate restores
+    /// invariance, which is precisely what the FS method's conditional tests
+    /// exploit.
+    pub fn ground_truth_variant(&self, spec: &DomainSpec) -> Vec<usize> {
+        let n = self.nodes.len();
+        // Latent nodes whose distribution changed (directly or via latent chain).
+        let mut affected_latent = vec![false; n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.kind != NodeKind::Latent {
+                continue;
+            }
+            let direct = spec.is_target(i);
+            let via_parent = node
+                .parents
+                .iter()
+                .any(|&p| self.nodes[p].kind == NodeKind::Latent && affected_latent[p]);
+            affected_latent[i] = direct || via_parent;
+        }
+        let mut variant = Vec::new();
+        for (col, &i) in self.observed_indices().iter().enumerate() {
+            let node = &self.nodes[i];
+            let direct = spec.is_target(i);
+            let via_latent = node
+                .parents
+                .iter()
+                .any(|&p| self.nodes[p].kind == NodeKind::Latent && affected_latent[p]);
+            if direct || via_latent {
+                variant.push(col);
+            }
+        }
+        variant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsda_linalg::stats::{mean, std_dev};
+
+    /// latent T -> x0, x0 -> x1, x2 independent.
+    fn toy_scm() -> Scm {
+        let nodes = vec![
+            ScmNode::latent("T", 1.0),
+            ScmNode::observed("x0", vec![0], vec![1.0], 0.3)
+                .with_class_effect(vec![0.0, 1.0]),
+            ScmNode::observed("x1", vec![1], vec![0.8], 0.3),
+            ScmNode::observed("x2", vec![], vec![], 1.0).with_bias(5.0),
+        ];
+        Scm::new(nodes, 2).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_structures() {
+        // Forward reference.
+        let bad = vec![ScmNode::observed("a", vec![1], vec![1.0], 1.0), ScmNode::latent("b", 1.0)];
+        assert!(Scm::new(bad, 1).is_err());
+        // Mismatched weights.
+        let bad = vec![ScmNode::observed("a", vec![], vec![1.0], 1.0)];
+        assert!(Scm::new(bad, 1).is_err());
+        // Wrong class-effect length.
+        let bad = vec![ScmNode::observed("a", vec![], vec![], 1.0)
+            .with_class_effect(vec![0.0, 1.0, 2.0])];
+        assert!(Scm::new(bad, 2).is_err());
+    }
+
+    #[test]
+    fn observed_indices_and_names() {
+        let scm = toy_scm();
+        assert_eq!(scm.observed_indices(), vec![1, 2, 3]);
+        assert_eq!(scm.num_features(), 3);
+        assert_eq!(scm.feature_names(), vec!["x0", "x1", "x2"]);
+    }
+
+    #[test]
+    fn class_effect_shifts_mean() {
+        let scm = toy_scm();
+        let spec = DomainSpec::observational();
+        let mut rng = SeededRng::new(1);
+        let xs0: Vec<f64> =
+            (0..3000).map(|_| scm.sample_observed(0, &spec, &mut rng)[0]).collect();
+        let xs1: Vec<f64> =
+            (0..3000).map(|_| scm.sample_observed(1, &spec, &mut rng)[0]).collect();
+        assert!((mean(&xs1) - mean(&xs0) - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn mean_shift_intervention_moves_node() {
+        let scm = toy_scm();
+        let mut spec = DomainSpec::observational();
+        spec.intervene(1, Intervention::MeanShift(4.0));
+        let mut rng = SeededRng::new(2);
+        let obs: Vec<f64> = (0..3000)
+            .map(|_| scm.sample_observed(0, &DomainSpec::observational(), &mut rng)[0])
+            .collect();
+        let shifted: Vec<f64> =
+            (0..3000).map(|_| scm.sample_observed(0, &spec, &mut rng)[0]).collect();
+        assert!((mean(&shifted) - mean(&obs) - 4.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn scale_noise_intervention_widens_node() {
+        let scm = toy_scm();
+        let mut spec = DomainSpec::observational();
+        spec.intervene(3, Intervention::ScaleNoise(3.0));
+        let mut rng = SeededRng::new(3);
+        let obs: Vec<f64> = (0..4000)
+            .map(|_| scm.sample_observed(0, &DomainSpec::observational(), &mut rng)[2])
+            .collect();
+        let wide: Vec<f64> =
+            (0..4000).map(|_| scm.sample_observed(0, &spec, &mut rng)[2]).collect();
+        assert!(std_dev(&wide) > 2.0 * std_dev(&obs));
+    }
+
+    #[test]
+    fn scale_weights_changes_mechanism() {
+        let scm = toy_scm();
+        let mut spec = DomainSpec::observational();
+        spec.intervene(2, Intervention::ScaleWeights(0.0)); // cut x0 -> x1
+        let mut rng = SeededRng::new(4);
+        let n = 4000;
+        let (mut xs, mut ys) = (Vec::new(), Vec::new());
+        for _ in 0..n {
+            let s = scm.sample_observed(0, &DomainSpec::observational(), &mut rng);
+            xs.push(s[0]);
+            ys.push(s[1]);
+        }
+        let cov_obs = fsda_linalg::stats::covariance(&xs, &ys);
+        xs.clear();
+        ys.clear();
+        for _ in 0..n {
+            let s = scm.sample_observed(0, &spec, &mut rng);
+            xs.push(s[0]);
+            ys.push(s[1]);
+        }
+        let cov_int = fsda_linalg::stats::covariance(&xs, &ys);
+        assert!(cov_obs > 0.5, "observational covariance should be strong: {cov_obs}");
+        assert!(cov_int.abs() < 0.1, "intervened covariance should vanish: {cov_int}");
+    }
+
+    #[test]
+    fn ground_truth_direct_intervention() {
+        let scm = toy_scm();
+        let mut spec = DomainSpec::observational();
+        spec.intervene(1, Intervention::MeanShift(1.0)); // node 1 = feature col 0
+        assert_eq!(scm.ground_truth_variant(&spec), vec![0]);
+    }
+
+    #[test]
+    fn ground_truth_latent_intervention_marks_children() {
+        let scm = toy_scm();
+        let mut spec = DomainSpec::observational();
+        spec.intervene(0, Intervention::MeanShift(2.0)); // latent T
+        // x0 (col 0) is a child of T -> variant. x1 (col 1) is downstream of
+        // x0 (observed) -> conditionally invariant. x2 (col 2) untouched.
+        assert_eq!(scm.ground_truth_variant(&spec), vec![0]);
+    }
+
+    #[test]
+    fn ground_truth_latent_chain_propagates() {
+        // T1 (latent) -> T2 (latent) -> x.
+        let nodes = vec![
+            ScmNode::latent("T1", 1.0),
+            ScmNode {
+                name: "T2".into(),
+                kind: NodeKind::Latent,
+                parents: vec![0],
+                weights: vec![1.0],
+                bias: 0.0,
+                class_effect: vec![],
+                noise_std: 0.5,
+            },
+            ScmNode::observed("x", vec![1], vec![1.0], 0.5),
+        ];
+        let scm = Scm::new(nodes, 1).unwrap();
+        let mut spec = DomainSpec::observational();
+        spec.intervene(0, Intervention::MeanShift(2.0));
+        assert_eq!(scm.ground_truth_variant(&spec), vec![0]);
+    }
+
+    #[test]
+    fn generate_respects_class_counts() {
+        let scm = toy_scm();
+        let mut rng = SeededRng::new(5);
+        let ds = scm
+            .generate(&[30, 20], &DomainSpec::observational(), &mut rng)
+            .unwrap();
+        assert_eq!(ds.len(), 50);
+        assert_eq!(ds.class_counts(), vec![30, 20]);
+        assert_eq!(ds.num_features(), 3);
+        assert!(ds.features().is_finite());
+    }
+
+    #[test]
+    fn generate_rejects_wrong_count_length() {
+        let scm = toy_scm();
+        let mut rng = SeededRng::new(6);
+        assert!(scm.generate(&[5], &DomainSpec::observational(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn domain_spec_accessors() {
+        let mut spec = DomainSpec::observational();
+        assert!(spec.is_observational());
+        spec.intervene(3, Intervention::MeanShift(1.0));
+        spec.intervene(1, Intervention::ScaleNoise(2.0));
+        assert!(!spec.is_observational());
+        assert_eq!(spec.targets(), vec![1, 3]);
+        assert!(matches!(spec.intervention_on(3), Some(&Intervention::MeanShift(_))));
+        assert!(spec.intervention_on(0).is_none());
+        assert!(spec.is_target(1));
+        assert!(!spec.is_target(0));
+    }
+
+    #[test]
+    fn multiple_interventions_compose() {
+        // MeanShift(2) + MeanShift(3) on the same node add up.
+        let scm = toy_scm();
+        let mut spec = DomainSpec::observational();
+        spec.intervene(1, Intervention::MeanShift(2.0));
+        spec.intervene(1, Intervention::MeanShift(3.0));
+        let mut rng = SeededRng::new(10);
+        let obs: Vec<f64> = (0..3000)
+            .map(|_| scm.sample_observed(0, &DomainSpec::observational(), &mut rng)[0])
+            .collect();
+        let shifted: Vec<f64> =
+            (0..3000).map(|_| scm.sample_observed(0, &spec, &mut rng)[0]).collect();
+        assert!((mean(&shifted) - mean(&obs) - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn remap_class_effect_swaps_signatures() {
+        let scm = toy_scm(); // x0 has class effects [0.0, 1.0]
+        let mut spec = DomainSpec::observational();
+        spec.intervene(1, Intervention::RemapClassEffect(vec![1, 0]));
+        let mut rng = SeededRng::new(11);
+        // Under the remap, class 0 samples get class 1's effect (+1.0).
+        let remapped: Vec<f64> =
+            (0..3000).map(|_| scm.sample_observed(0, &spec, &mut rng)[0]).collect();
+        let original: Vec<f64> = (0..3000)
+            .map(|_| scm.sample_observed(0, &DomainSpec::observational(), &mut rng)[0])
+            .collect();
+        assert!((mean(&remapped) - mean(&original) - 1.0).abs() < 0.1);
+        // And it is a ground-truth intervention target.
+        assert_eq!(scm.ground_truth_variant(&spec), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "map length")]
+    fn remap_with_wrong_length_panics() {
+        let scm = toy_scm();
+        let mut spec = DomainSpec::observational();
+        spec.intervene(1, Intervention::RemapClassEffect(vec![0]));
+        let mut rng = SeededRng::new(12);
+        let _ = scm.sample_observed(0, &spec, &mut rng);
+    }
+}

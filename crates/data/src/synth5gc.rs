@@ -1,0 +1,656 @@
+//! Synthetic 5G-core (5GC) failure-classification dataset.
+//!
+//! Mirrors the ITU "AI for Good" network-fault-management dataset the paper
+//! uses: a cloud-native 5G mobile core on OpenStack, with a **digital twin**
+//! source domain and a **real network** target domain that differ in traffic
+//! trends. The published shape is reproduced: 442 performance metrics,
+//! 16 classes (normal + 5 fault types × 3 VNFs: AMF, AUSF, UDM), 3,645
+//! source training samples, 873 target test samples, and a target training
+//! pool from which 1/5/10-shot subsets are drawn.
+//!
+//! The generator builds an explicit [`Scm`]: a latent global traffic
+//! intensity drives per-VNF load latents, which drive traffic/memory/CPU/
+//! load metrics; faults add class-dependent effects to the metric groups
+//! they physically touch (memory stress → memory metrics, interface down →
+//! interface status and traffic, ...). The target domain applies **soft
+//! interventions** (mean shifts and noise scaling, i.e. changed traffic
+//! trends) directly to a ground-truth set of variant features with three
+//! magnitude tiers — strong / medium / weak — so that, exactly as the paper
+//! observes in §VI-C, more target samples let FS detect more of them.
+//! Class-discriminative signal is deliberately concentrated on the variant
+//! features (they are the most informative metrics in-domain), which is
+//! what makes a source-only model collapse under drift.
+
+use crate::dataset::Dataset;
+use crate::scm::{DomainSpec, Intervention, Scm, ScmNode};
+use crate::Result;
+use fsda_linalg::SeededRng;
+
+/// The five fault types of the 5GC dataset.
+pub const FAULT_TYPES: [&str; 5] =
+    ["bridge_del", "if_down", "pkt_loss", "mem_stress", "vcpu_over"];
+
+/// The three VNFs faults are injected into.
+pub const FAULTY_VNFS: [&str; 3] = ["amf", "ausf", "udm"];
+
+/// All VNFs contributing metrics (faults are only injected into the first
+/// three, matching the dataset description).
+pub const ALL_VNFS: [&str; 5] = ["amf", "ausf", "udm", "smf", "upf"];
+
+/// Configuration of the synthetic 5GC generator.
+#[derive(Debug, Clone)]
+pub struct Synth5gc {
+    /// Interfaces per VNF (each contributes 3 traffic metrics + 1 status).
+    pub ifaces_per_vnf: usize,
+    /// Memory metrics per VNF.
+    pub mem_per_vnf: usize,
+    /// CPU metrics per VNF.
+    pub cpu_per_vnf: usize,
+    /// System-load metrics per VNF.
+    pub load_per_vnf: usize,
+    /// 5G-core registration metrics per VNF.
+    pub core_per_vnf: usize,
+    /// Infrastructure (host-level) distractor metrics.
+    pub infra: usize,
+    /// Ground-truth variant features with a strong shift (detectable at 1 shot).
+    pub strong_variant: usize,
+    /// Variant features with a medium shift (detectable at ~5 shots).
+    pub medium_variant: usize,
+    /// Variant features with a weak shift (detectable at ~10 shots).
+    pub weak_variant: usize,
+    /// Total source-domain training samples (spread over 16 classes).
+    pub source_total: usize,
+    /// Total target-domain test samples.
+    pub target_test_total: usize,
+    /// Target-domain training-pool samples per class (few-shot subsets are
+    /// drawn from this pool; the original dataset ships 700 ≈ 44 × 16).
+    pub target_pool_per_class: usize,
+    /// Strong-shift magnitude (absolute units; feature scale is ~1).
+    pub shift_strong: f64,
+    /// Medium-shift magnitude.
+    pub shift_medium: f64,
+    /// Weak-shift magnitude.
+    pub shift_weak: f64,
+    /// Class-effect magnitude on variant features.
+    pub signal_variant: f64,
+    /// Class-effect magnitude on invariant features (weaker: the variant
+    /// metrics are the most informative ones in-domain).
+    pub signal_invariant: f64,
+    /// Magnitude of the diffuse cross-VNF class signal on invariant
+    /// metrics (uniform in `[-signal_diffuse, signal_diffuse]` per
+    /// feature-class pair).
+    pub signal_diffuse: f64,
+}
+
+impl Synth5gc {
+    /// Paper-scale preset: 442 features, 3,645 source / 873 target-test
+    /// samples, 75 ground-truth variant features (35 strong / 33 medium /
+    /// 7 weak, matching the detection counts reported in §VI-C).
+    pub fn full() -> Self {
+        Synth5gc {
+            ifaces_per_vnf: 6,
+            mem_per_vnf: 10,
+            cpu_per_vnf: 10,
+            load_per_vnf: 4,
+            core_per_vnf: 8,
+            infra: 157,
+            strong_variant: 35,
+            medium_variant: 33,
+            weak_variant: 7,
+            source_total: 3645,
+            target_test_total: 873,
+            target_pool_per_class: 44,
+            shift_strong: 2.6,
+            shift_medium: 0.45,
+            shift_weak: 0.24,
+            signal_variant: 2.0,
+            signal_invariant: 0.6,
+            signal_diffuse: 0.1,
+        }
+    }
+
+    /// Small preset for unit/integration tests: 70 features, 16 classes,
+    /// a few hundred samples. Shift tiers are proportionally larger than
+    /// the full preset because the CI tests see far fewer samples.
+    pub fn small() -> Self {
+        Synth5gc {
+            ifaces_per_vnf: 2,
+            mem_per_vnf: 3,
+            cpu_per_vnf: 3,
+            load_per_vnf: 2,
+            core_per_vnf: 3,
+            infra: 10,
+            strong_variant: 8,
+            medium_variant: 6,
+            weak_variant: 2,
+            source_total: 640,
+            target_test_total: 320,
+            target_pool_per_class: 12,
+            shift_strong: 2.4,
+            shift_medium: 0.9,
+            shift_weak: 0.45,
+            signal_variant: 2.2,
+            signal_invariant: 0.75,
+            signal_diffuse: 0.25,
+        }
+    }
+
+    /// Number of classes: normal + 5 fault types × 3 VNFs.
+    pub fn num_classes(&self) -> usize {
+        1 + FAULT_TYPES.len() * FAULTY_VNFS.len()
+    }
+
+    /// Total observed features this configuration produces.
+    pub fn num_features(&self) -> usize {
+        let per_vnf = self.ifaces_per_vnf * 3 // traffic metrics
+            + self.ifaces_per_vnf            // status
+            + self.mem_per_vnf
+            + self.cpu_per_vnf
+            + self.load_per_vnf
+            + self.core_per_vnf;
+        per_vnf * ALL_VNFS.len() + ALL_VNFS.len() /* traffic aggregates */ + self.infra
+    }
+
+    /// Builds the SCM, the target-domain intervention spec, and the
+    /// generated train/test splits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset-construction failures (which indicate a
+    /// configuration bug).
+    pub fn generate(&self, seed: u64) -> Result<Synth5gcBundle> {
+        let mut rng = SeededRng::new(seed);
+        let (scm, target_spec) = self.build_scm(&mut rng)?;
+        let num_classes = self.num_classes();
+
+        let source_counts = spread_total(self.source_total, num_classes);
+        let test_counts = spread_total(self.target_test_total, num_classes);
+        let pool_counts = vec![self.target_pool_per_class; num_classes];
+
+        let observational = DomainSpec::observational();
+        let source_train = scm.generate(&source_counts, &observational, &mut rng)?;
+        let target_pool = scm.generate(&pool_counts, &target_spec, &mut rng)?;
+        let target_test = scm.generate(&test_counts, &target_spec, &mut rng)?;
+        let ground_truth_variant = scm.ground_truth_variant(&target_spec);
+
+        Ok(Synth5gcBundle {
+            source_train,
+            target_pool,
+            target_test,
+            ground_truth_variant,
+            scm,
+            target_spec,
+        })
+    }
+
+    /// Constructs the SCM nodes and the target-domain soft interventions.
+    fn build_scm(&self, rng: &mut SeededRng) -> Result<(Scm, DomainSpec)> {
+        let num_classes = self.num_classes();
+        let mut nodes: Vec<ScmNode> = Vec::new();
+
+        // Latents: global traffic intensity + per-VNF load.
+        let t_global = nodes.len();
+        nodes.push(ScmNode::latent("latent_traffic", 1.0));
+        let mut vnf_load = Vec::new();
+        for vnf in ALL_VNFS {
+            let idx = nodes.len();
+            let mut n = ScmNode::latent(format!("latent_load_{vnf}"), 0.5);
+            n.parents = vec![t_global];
+            n.weights = vec![0.8];
+            vnf_load.push(idx);
+            nodes.push(n);
+        }
+
+        // Class helper: class index for fault f on VNF v (v < 3).
+        let class_of = |v: usize, f: usize| 1 + v * FAULT_TYPES.len() + f;
+
+        // Metric groups. Each builder returns (node index, group tag).
+        #[derive(Clone, Copy, PartialEq)]
+        enum Group {
+            Traffic { metric: usize },
+            Status,
+            Memory,
+            Cpu,
+            Load,
+            Core,
+        }
+        // Feature bookkeeping: (node_idx, vnf_idx, group).
+        let mut features: Vec<(usize, usize, Group)> = Vec::new();
+        let mut traffic_cols_per_vnf: Vec<Vec<usize>> = vec![Vec::new(); ALL_VNFS.len()];
+
+        for (v, vnf) in ALL_VNFS.iter().enumerate() {
+            // Traffic metrics: in_bytes, out_bytes, unicast_pkts per iface.
+            for iface in 0..self.ifaces_per_vnf {
+                for (m, metric) in ["in_bytes", "out_bytes", "unicast_pkts"]
+                    .iter()
+                    .enumerate()
+                {
+                    let mut effect = vec![0.0; num_classes];
+                    if v < FAULTY_VNFS.len() {
+                        // bridge_del / if_down: traffic drops; pkt_loss hits
+                        // unicast packet counters hardest.
+                        effect[class_of(v, 0)] = -1.2;
+                        effect[class_of(v, 1)] = -0.7;
+                        effect[class_of(v, 2)] = if m == 2 { -1.0 } else { -0.1 };
+                    }
+                    let idx = nodes.len();
+                    let w = rng.uniform_range(0.55, 0.9);
+                    nodes.push(
+                        ScmNode::observed(
+                            format!("{vnf}_if{iface}_{metric}"),
+                            vec![vnf_load[v]],
+                            vec![w],
+                            0.4,
+                        )
+                        .with_class_effect(effect),
+                    );
+                    traffic_cols_per_vnf[v].push(idx);
+                    features.push((idx, v, Group::Traffic { metric: m }));
+                }
+            }
+            // Interface status.
+            for iface in 0..self.ifaces_per_vnf {
+                let mut effect = vec![0.0; num_classes];
+                if v < FAULTY_VNFS.len() {
+                    effect[class_of(v, 0)] = -1.5;
+                    effect[class_of(v, 1)] = -0.6;
+                }
+                let idx = nodes.len();
+                nodes.push(
+                    ScmNode::observed(format!("{vnf}_if{iface}_status"), vec![], vec![], 0.3)
+                        .with_bias(1.0)
+                        .with_class_effect(effect),
+                );
+                features.push((idx, v, Group::Status));
+            }
+            // Memory metrics.
+            for j in 0..self.mem_per_vnf {
+                let mut effect = vec![0.0; num_classes];
+                if v < FAULTY_VNFS.len() {
+                    effect[class_of(v, 3)] = 1.4; // mem_stress
+                    effect[class_of(v, 4)] = 0.25; // vCPU overload side effect
+                }
+                let idx = nodes.len();
+                nodes.push(
+                    ScmNode::observed(
+                        format!("{vnf}_mem_{j}"),
+                        vec![vnf_load[v]],
+                        vec![0.3],
+                        0.4,
+                    )
+                    .with_class_effect(effect),
+                );
+                features.push((idx, v, Group::Memory));
+            }
+            // CPU metrics.
+            for j in 0..self.cpu_per_vnf {
+                let mut effect = vec![0.0; num_classes];
+                if v < FAULTY_VNFS.len() {
+                    effect[class_of(v, 4)] = 1.4; // vcpu_over
+                    effect[class_of(v, 3)] = 0.3; // swapping under mem stress
+                }
+                let idx = nodes.len();
+                nodes.push(
+                    ScmNode::observed(
+                        format!("{vnf}_cpu_{j}"),
+                        vec![vnf_load[v]],
+                        vec![0.4],
+                        0.4,
+                    )
+                    .with_class_effect(effect),
+                );
+                features.push((idx, v, Group::Cpu));
+            }
+            // System load.
+            for j in 0..self.load_per_vnf {
+                let mut effect = vec![0.0; num_classes];
+                if v < FAULTY_VNFS.len() {
+                    effect[class_of(v, 3)] = 0.9;
+                    effect[class_of(v, 4)] = 0.9;
+                }
+                let idx = nodes.len();
+                nodes.push(
+                    ScmNode::observed(
+                        format!("{vnf}_load_{j}"),
+                        vec![vnf_load[v]],
+                        vec![0.5],
+                        0.35,
+                    )
+                    .with_class_effect(effect),
+                );
+                features.push((idx, v, Group::Load));
+            }
+            // 5G-core registration metrics: fault-type-specific pattern so
+            // fault types stay distinguishable even within one VNF.
+            for j in 0..self.core_per_vnf {
+                let mut effect = vec![0.0; num_classes];
+                if v < FAULTY_VNFS.len() {
+                    for f in 0..FAULT_TYPES.len() {
+                        // Distinct per-(fault, metric) signature.
+                        let s = ((f * 7 + j * 3) % 5) as f64 * 0.35 - 0.7;
+                        effect[class_of(v, f)] = s;
+                    }
+                }
+                let idx = nodes.len();
+                nodes.push(
+                    ScmNode::observed(
+                        format!("{vnf}_core5g_{j}"),
+                        vec![t_global],
+                        vec![0.3],
+                        0.4,
+                    )
+                    .with_class_effect(effect),
+                );
+                features.push((idx, v, Group::Core));
+            }
+        }
+
+        // Per-VNF traffic aggregates: children of observed traffic metrics.
+        // These shift *marginally* under drift but are conditionally
+        // invariant — the canonical case FS must not flag.
+        for (v, vnf) in ALL_VNFS.iter().enumerate() {
+            let parents: Vec<usize> =
+                traffic_cols_per_vnf[v].iter().copied().take(3).collect();
+            let weights = vec![0.33; parents.len()];
+            let idx = nodes.len();
+            nodes.push(ScmNode::observed(
+                format!("{vnf}_traffic_total"),
+                parents,
+                weights,
+                0.25,
+            ));
+            features.push((idx, v, Group::Load)); // grouped with load for bookkeeping
+        }
+
+        // Infrastructure distractors: host metrics, weak common driver.
+        for j in 0..self.infra {
+            let idx = nodes.len();
+            let (parents, weights) = if j % 3 == 0 {
+                (vec![t_global], vec![0.2])
+            } else {
+                (Vec::new(), Vec::new())
+            };
+            nodes.push(ScmNode::observed(
+                format!("infra_h{}_m{}", j / 27, j % 27),
+                parents,
+                weights,
+                0.5,
+            ));
+            features.push((idx, ALL_VNFS.len() - 1, Group::Core)); // bookkeeping only
+        }
+
+        // ---- Choose the ground-truth variant features -------------------
+        // Mostly traffic metrics (the paper's motivating drift is changed
+        // traffic trends), with a share of memory and CPU metrics — §V-B
+        // lists traffic counters, memory usage, and CPU utilization among
+        // the identified domain-variant features.
+        let needed = self.strong_variant + self.medium_variant + self.weak_variant;
+        let traffic: Vec<usize> = features
+            .iter()
+            .filter(|&&(_, _, g)| matches!(g, Group::Traffic { .. }))
+            .map(|&(idx, _, _)| idx)
+            .collect();
+        let memory: Vec<usize> = features
+            .iter()
+            .filter(|&&(_, _, g)| matches!(g, Group::Memory))
+            .map(|&(idx, _, _)| idx)
+            .collect();
+        let cpu: Vec<usize> = features
+            .iter()
+            .filter(|&&(_, _, g)| matches!(g, Group::Cpu))
+            .map(|&(idx, _, _)| idx)
+            .collect();
+        let mem_share = (needed * 3 / 20).min(memory.len());
+        let cpu_share = (needed * 3 / 20).min(cpu.len());
+        let traffic_share = needed - mem_share - cpu_share;
+        let mut variant_candidates: Vec<usize> = Vec::new();
+        variant_candidates.extend(traffic.iter().take(traffic_share));
+        variant_candidates.extend(memory.iter().take(mem_share));
+        variant_candidates.extend(cpu.iter().take(cpu_share));
+        variant_candidates.extend(traffic.iter().skip(traffic_share));
+        assert!(
+            variant_candidates.len() >= needed,
+            "not enough traffic/memory/cpu features ({}) for {needed} variant features",
+            variant_candidates.len()
+        );
+
+        // Under the target regime the fault signatures on intervened
+        // metrics change pattern: class (v, f) exhibits the signature of
+        // (v, f+1). This is the mechanism change that makes training on
+        // source-dominated data actively misleading — a handful of target
+        // shots cannot re-learn the new mapping, while FS+GAN simply
+        // regenerates source-consistent values. Normal stays normal.
+        let remap: Vec<usize> = (0..num_classes)
+            .map(|y| {
+                if y == 0 {
+                    0
+                } else {
+                    let v = (y - 1) / FAULT_TYPES.len();
+                    let f = (y - 1) % FAULT_TYPES.len();
+                    1 + v * FAULT_TYPES.len() + (f + 1) % FAULT_TYPES.len()
+                }
+            })
+            .collect();
+
+        let mut spec = DomainSpec::observational();
+        let mut variant_nodes = Vec::with_capacity(needed);
+        for (rank, &node_idx) in variant_candidates.iter().take(needed).enumerate() {
+            // Decouple intervened features from their shared latent driver:
+            // an intervened mechanism is dominated by its own shift, not the
+            // common load. Without this, a constant shift collinear with
+            // the latent correlation structure creates partial-correlation
+            // cancellations (a faithfulness violation) that no
+            // constraint-based method could be expected to survive.
+            for w in &mut nodes[node_idx].weights {
+                *w *= 0.25;
+            }
+            // Tiered shifts; the new regime is also *noisier* on the
+            // intervened metrics (real drifted traffic is bursty), which is
+            // what makes a handful of target shots so unreliable for the
+            // baselines that train on them — while FS simply excludes these
+            // features and FS+GAN regenerates clean source-like values.
+            let (magnitude, noise_factor) = if rank < self.strong_variant {
+                (self.shift_strong, 2.5)
+            } else if rank < self.strong_variant + self.medium_variant {
+                (self.shift_medium, 1.5)
+            } else {
+                (self.shift_weak, 1.0)
+            };
+            // Alternate shift sign so the drift is not a single direction.
+            let signed = if rank % 2 == 0 { magnitude } else { -magnitude };
+            let jitter = 1.0 + 0.15 * (rng.uniform() - 0.5);
+            let iv = if noise_factor > 1.0 {
+                Intervention::ShiftAndScale { shift: signed * jitter, noise_factor }
+            } else {
+                Intervention::MeanShift(signed * jitter)
+            };
+            spec.intervene(node_idx, iv);
+            if rank < self.strong_variant {
+                spec.intervene(node_idx, Intervention::RemapClassEffect(remap.clone()));
+            }
+            variant_nodes.push(node_idx);
+        }
+
+        // Class-signal allocation: variant features are the most
+        // informative in-domain; invariant ones carry weaker (scaled) signal.
+        let variant_set: std::collections::BTreeSet<usize> =
+            variant_nodes.iter().copied().collect();
+        for (idx, node) in nodes.iter_mut().enumerate() {
+            if node.class_effect.is_empty() {
+                continue;
+            }
+            let scale = if variant_set.contains(&idx) {
+                self.signal_variant
+            } else {
+                self.signal_invariant
+            };
+            for e in &mut node.class_effect {
+                *e *= scale;
+            }
+        }
+        // Diffuse cross-VNF class signal on invariant metrics: a fault
+        // anywhere slightly perturbs load, CPU, and core counters across
+        // the deployment. Individually these effects are weak; in aggregate
+        // they carry most of the recoverable class information — which is
+        // exactly why reconstructing the (sharp) variant signatures from
+        // them via the GAN beats classifying on them directly.
+        for (idx, node) in nodes.iter_mut().enumerate() {
+            if node.kind != crate::scm::NodeKind::Observed
+                || variant_set.contains(&idx)
+                || node.name.contains("traffic_total")
+            {
+                continue;
+            }
+            if node.class_effect.is_empty() {
+                node.class_effect = vec![0.0; num_classes];
+            }
+            for (y, e) in node.class_effect.iter_mut().enumerate() {
+                if y == 0 {
+                    continue; // normal keeps its baseline
+                }
+                *e += rng.uniform_range(-self.signal_diffuse, self.signal_diffuse);
+            }
+        }
+
+        let scm = Scm::new(nodes, num_classes)?;
+        Ok((scm, spec))
+    }
+}
+
+impl Default for Synth5gc {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// Generated 5GC data: splits, SCM, and ground truth.
+#[derive(Debug, Clone)]
+pub struct Synth5gcBundle {
+    /// Source-domain (digital twin) training data.
+    pub source_train: Dataset,
+    /// Target-domain training pool; few-shot subsets are drawn from here.
+    pub target_pool: Dataset,
+    /// Target-domain test data.
+    pub target_test: Dataset,
+    /// Ground-truth variant feature columns (intervention targets).
+    pub ground_truth_variant: Vec<usize>,
+    /// The underlying SCM (for diagnostics and further sampling).
+    pub scm: Scm,
+    /// The target-domain intervention spec.
+    pub target_spec: DomainSpec,
+}
+
+/// Distributes `total` samples over `classes` as evenly as possible.
+fn spread_total(total: usize, classes: usize) -> Vec<usize> {
+    let base = total / classes;
+    let extra = total % classes;
+    (0..classes).map(|c| base + usize::from(c < extra)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsda_linalg::stats::mean;
+
+    #[test]
+    fn full_preset_matches_paper_shape() {
+        let cfg = Synth5gc::full();
+        assert_eq!(cfg.num_classes(), 16);
+        assert_eq!(cfg.num_features(), 442);
+        assert_eq!(cfg.strong_variant + cfg.medium_variant + cfg.weak_variant, 75);
+    }
+
+    #[test]
+    fn small_bundle_shapes() {
+        let bundle = Synth5gc::small().generate(1).unwrap();
+        assert_eq!(bundle.source_train.num_classes(), 16);
+        assert_eq!(bundle.source_train.len(), 640);
+        assert_eq!(bundle.target_test.len(), 320);
+        assert_eq!(bundle.target_pool.class_counts(), vec![12; 16]);
+        assert_eq!(bundle.source_train.num_features(), Synth5gc::small().num_features());
+        assert_eq!(bundle.ground_truth_variant.len(), 16);
+    }
+
+    #[test]
+    fn ground_truth_excludes_aggregates() {
+        let bundle = Synth5gc::small().generate(2).unwrap();
+        let names = bundle.source_train.feature_names();
+        for &col in &bundle.ground_truth_variant {
+            assert!(
+                !names[col].contains("traffic_total"),
+                "aggregate features are conditionally invariant"
+            );
+            assert!(!names[col].contains("infra"), "infra features are invariant");
+        }
+    }
+
+    #[test]
+    fn variant_features_shift_between_domains() {
+        let bundle = Synth5gc::small().generate(3).unwrap();
+        let col = bundle.ground_truth_variant[0]; // strong-shift feature
+        let src = bundle.source_train.features().col(col);
+        let tgt = bundle.target_test.features().col(col);
+        assert!(
+            (mean(&src) - mean(&tgt)).abs() > 1.0,
+            "strong variant feature should shift: src {} tgt {}",
+            mean(&src),
+            mean(&tgt)
+        );
+    }
+
+    #[test]
+    fn invariant_features_stay_put() {
+        let bundle = Synth5gc::small().generate(4).unwrap();
+        let variant: std::collections::BTreeSet<usize> =
+            bundle.ground_truth_variant.iter().copied().collect();
+        let names = bundle.source_train.feature_names();
+        // A pure-infra feature should not shift.
+        let col = names.iter().position(|n| n.starts_with("infra")).unwrap();
+        assert!(!variant.contains(&col));
+        let src = bundle.source_train.features().col(col);
+        let tgt = bundle.target_test.features().col(col);
+        assert!(
+            (mean(&src) - mean(&tgt)).abs() < 0.25,
+            "infra feature should not drift: {} vs {}",
+            mean(&src),
+            mean(&tgt)
+        );
+    }
+
+    #[test]
+    fn classes_are_distinguishable_in_source() {
+        // The class effect moves the right metric group: memory stress on
+        // AMF raises amf_mem_* relative to normal.
+        let bundle = Synth5gc::small().generate(5).unwrap();
+        let ds = &bundle.source_train;
+        let names = ds.feature_names();
+        let mem_col = names.iter().position(|n| n.starts_with("amf_mem")).unwrap();
+        let class_mem_stress = 1 + 0 * FAULT_TYPES.len() + 3;
+        let normal_rows = ds.indices_of_class(0);
+        let stress_rows = ds.indices_of_class(class_mem_stress);
+        let col = ds.features().col(mem_col);
+        let m_norm = mean(&normal_rows.iter().map(|&i| col[i]).collect::<Vec<_>>());
+        let m_stress = mean(&stress_rows.iter().map(|&i| col[i]).collect::<Vec<_>>());
+        assert!(
+            m_stress - m_norm > 0.5,
+            "memory stress must raise AMF memory metrics: {m_norm} vs {m_stress}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_seeds() {
+        let a = Synth5gc::small().generate(7).unwrap();
+        let b = Synth5gc::small().generate(7).unwrap();
+        assert_eq!(a.source_train.features(), b.source_train.features());
+        assert_eq!(a.ground_truth_variant, b.ground_truth_variant);
+        let c = Synth5gc::small().generate(8).unwrap();
+        assert_ne!(a.source_train.features(), c.source_train.features());
+    }
+
+    #[test]
+    fn spread_total_is_even() {
+        assert_eq!(spread_total(10, 3), vec![4, 3, 3]);
+        assert_eq!(spread_total(9, 3), vec![3, 3, 3]);
+        assert_eq!(spread_total(3645, 16).iter().sum::<usize>(), 3645);
+    }
+}

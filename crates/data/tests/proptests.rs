@@ -1,0 +1,136 @@
+//! Property-based tests for the dataset layer: normalization round-trips,
+//! dataset-operation invariants, SCM ground-truth consistency, GMM
+//! responsibilities, and few-shot sampling.
+
+use fsda_data::dataset::Dataset;
+use fsda_data::fewshot::{few_shot_indices, stratified_split};
+use fsda_data::gmm::{Gmm, GmmConfig};
+use fsda_data::normalize::{NormKind, Normalizer};
+use fsda_data::scm::{DomainSpec, Intervention, Scm, ScmNode};
+use fsda_linalg::SeededRng;
+use proptest::prelude::*;
+
+fn random_dataset(seed: u64, n_per_class: usize, classes: usize, d: usize) -> Dataset {
+    let mut rng = SeededRng::new(seed);
+    let n = n_per_class * classes;
+    let x = rng.normal_matrix(n, d, 0.0, 2.0);
+    let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+    Dataset::new(x, labels, classes).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn normalizer_round_trips(seed in 0u64..1000, n in 2usize..30, d in 1usize..8, kind in 0usize..2) {
+        let mut rng = SeededRng::new(seed);
+        let x = rng.normal_matrix(n, d, 3.0, 5.0);
+        let k = [NormKind::MinMaxSymmetric, NormKind::ZScore][kind];
+        let norm = Normalizer::fit(&x, k);
+        let back = norm.inverse_transform(&norm.transform(&x));
+        prop_assert!(back.try_sub(&x).unwrap().max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn minmax_training_data_in_unit_range(seed in 0u64..1000, n in 2usize..30, d in 1usize..8) {
+        let mut rng = SeededRng::new(seed);
+        let x = rng.normal_matrix(n, d, -4.0, 10.0);
+        let norm = Normalizer::fit(&x, NormKind::MinMaxSymmetric);
+        let t = norm.transform(&x);
+        prop_assert!(t.max_abs() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn subset_preserves_label_alignment(seed in 0u64..1000) {
+        let ds = random_dataset(seed, 5, 3, 4);
+        let mut rng = SeededRng::new(seed ^ 1);
+        let k = 1 + rng.index(ds.len());
+        let idx = rng.sample_indices(ds.len(), k);
+        let sub = ds.subset(&idx);
+        for (pos, &orig) in idx.iter().enumerate() {
+            prop_assert_eq!(sub.labels()[pos], ds.labels()[orig]);
+            prop_assert_eq!(sub.features().row(pos), ds.features().row(orig));
+        }
+    }
+
+    #[test]
+    fn one_hot_rows_sum_to_one(seed in 0u64..1000, classes in 2usize..6) {
+        let ds = random_dataset(seed, 4, classes, 3);
+        let oh = ds.one_hot_labels();
+        for r in 0..ds.len() {
+            let s: f64 = oh.row(r).iter().sum();
+            prop_assert_eq!(s, 1.0);
+            prop_assert_eq!(oh.get(r, ds.labels()[r]), 1.0);
+        }
+    }
+
+    #[test]
+    fn few_shot_counts_exact(seed in 0u64..1000, classes in 2usize..5, k in 1usize..4) {
+        let ds = random_dataset(seed, 8, classes, 3);
+        let mut rng = SeededRng::new(seed ^ 2);
+        let idx = few_shot_indices(ds.labels(), classes, k, &mut rng).unwrap();
+        prop_assert_eq!(idx.len(), classes * k);
+        let sub = ds.subset(&idx);
+        prop_assert_eq!(sub.class_counts(), vec![k; classes]);
+    }
+
+    #[test]
+    fn stratified_split_partitions(seed in 0u64..1000, frac in 0.2f64..0.8) {
+        let ds = random_dataset(seed, 10, 3, 2);
+        let mut rng = SeededRng::new(seed ^ 3);
+        let (train, test) = stratified_split(&ds, frac, &mut rng).unwrap();
+        prop_assert_eq!(train.len() + test.len(), ds.len());
+        // Per-class counts partition too.
+        let tc = train.class_counts();
+        let sc = test.class_counts();
+        for ((a, b), c) in tc.iter().zip(&sc).zip(ds.class_counts()) {
+            prop_assert_eq!(a + b, c);
+        }
+    }
+
+    #[test]
+    fn scm_ground_truth_only_lists_targets_or_latent_children(seed in 0u64..200, shift in 0.5f64..5.0) {
+        // Build: latent T -> x0; x0 -> x1; x2 independent.
+        let nodes = vec![
+            ScmNode::latent("t", 1.0),
+            ScmNode::observed("x0", vec![0], vec![1.0], 0.5),
+            ScmNode::observed("x1", vec![1], vec![0.7], 0.5),
+            ScmNode::observed("x2", vec![], vec![], 1.0),
+        ];
+        let scm = Scm::new(nodes, 1).unwrap();
+        let mut spec = DomainSpec::observational();
+        // Intervene on x1 (observed, col 1) and latent T.
+        spec.intervene(2, Intervention::MeanShift(shift));
+        spec.intervene(0, Intervention::MeanShift(shift));
+        let variant = scm.ground_truth_variant(&spec);
+        // x0 (child of intervened latent) and x1 (direct target).
+        prop_assert_eq!(variant, vec![0, 1]);
+        let _ = seed;
+    }
+
+    #[test]
+    fn gmm_responsibilities_are_distributions(seed in 0u64..200, k in 1usize..4) {
+        let mut rng = SeededRng::new(seed);
+        let x = rng.normal_matrix(30, 3, 0.0, 1.0);
+        let gmm = Gmm::fit(&x, &GmmConfig { k, seed, ..GmmConfig::default() }).unwrap();
+        let resp = gmm.responsibilities(&x);
+        for r in 0..x.rows() {
+            let s: f64 = resp.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-8);
+        }
+        // Weights are a distribution too.
+        let ws: f64 = gmm.weights().iter().sum();
+        prop_assert!((ws - 1.0).abs() < 1e-8);
+        // Predictions in range.
+        prop_assert!(gmm.predict(&x).iter().all(|&c| c < k));
+    }
+
+    #[test]
+    fn dataset_concat_lengths(seed in 0u64..1000) {
+        let a = random_dataset(seed, 3, 2, 4);
+        let b = random_dataset(seed ^ 9, 5, 2, 4);
+        let c = a.concat(&b).unwrap();
+        prop_assert_eq!(c.len(), a.len() + b.len());
+        prop_assert_eq!(c.labels()[a.len()], b.labels()[0]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Vanilla autoencoder reconstructor (the FS+VanillaAE ablation of
+//! Table II): a deterministic bottleneck regressor from invariant to
+//! variant features, trained with plain MSE.
+
+use crate::{validate_fit, Reconstructor, Result};
+use fsda_linalg::{Matrix, SeededRng};
+use fsda_nn::layer::{Activation, Dense, MixedActivation, OutputSpec};
+use fsda_nn::loss::mse;
+use fsda_nn::optim::{Adam, Optimizer};
+use fsda_nn::train::BatchIter;
+use fsda_nn::Sequential;
+
+/// Hyper-parameters of [`VanillaAe`].
+#[derive(Debug, Clone)]
+pub struct AeConfig {
+    /// Bottleneck width.
+    pub bottleneck: usize,
+    /// Hidden width (matches the GAN generator).
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+}
+
+impl Default for AeConfig {
+    fn default() -> Self {
+        AeConfig {
+            bottleneck: 16,
+            hidden: 256,
+            epochs: 200,
+            batch_size: 64,
+            learning_rate: 1e-3,
+        }
+    }
+}
+
+/// The vanilla-autoencoder reconstructor.
+///
+/// Unlike the GAN/VAE it is fully deterministic: the `seed` passed to
+/// [`Reconstructor::reconstruct`] is ignored, which is precisely why it
+/// cannot model the *distribution* `P(X_var | X_inv)` — only its mean —
+/// and (per Table II) trails the GAN.
+pub struct VanillaAe {
+    config: AeConfig,
+    seed: u64,
+    net: Option<Sequential>,
+    dims: Option<(usize, usize)>,
+}
+
+impl std::fmt::Debug for VanillaAe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VanillaAe")
+            .field("config", &self.config)
+            .field("fitted", &self.net.is_some())
+            .finish()
+    }
+}
+
+impl VanillaAe {
+    /// Creates an untrained autoencoder.
+    pub fn new(config: AeConfig, seed: u64) -> Self {
+        VanillaAe { config, seed, net: None, dims: None }
+    }
+}
+
+impl Reconstructor for VanillaAe {
+    fn fit(&mut self, x_inv: &Matrix, x_var: &Matrix, y_onehot: &Matrix) -> Result<()> {
+        validate_fit(x_inv, x_var, y_onehot)?;
+        let (d_inv, d_var) = (x_inv.cols(), x_var.cols());
+        let h = self.config.hidden;
+        let mut rng = SeededRng::new(self.seed);
+        let mut net = Sequential::new();
+        net.push(Dense::new(d_inv, h, &mut rng));
+        net.push(Activation::relu());
+        net.push(Dense::new(h, self.config.bottleneck, &mut rng));
+        net.push(Activation::relu());
+        net.push(Dense::new(self.config.bottleneck, h, &mut rng));
+        net.push(Activation::relu());
+        net.push(Dense::new_xavier(h, d_var, &mut rng));
+        net.push(MixedActivation::new(OutputSpec::continuous(d_var), 1.0, rng.fork(0xAE)));
+
+        let mut opt = Adam::new(self.config.learning_rate);
+        let n = x_inv.rows();
+        for _ in 0..self.config.epochs {
+            for batch in BatchIter::new(n, self.config.batch_size.min(n), &mut rng) {
+                let b_inv = x_inv.select_rows(&batch);
+                let b_var = x_var.select_rows(&batch);
+                let recon = net.forward(&b_inv, true);
+                let (_, grad) = mse(&recon, &b_var);
+                net.zero_grad();
+                net.backward(&grad);
+                opt.step(&mut net.params_mut());
+            }
+        }
+        self.net = Some(net);
+        self.dims = Some((d_inv, d_var));
+        Ok(())
+    }
+
+    fn reconstruct(&self, x_inv: &Matrix, _seed: u64) -> Matrix {
+        let net = self.net.as_ref().expect("VanillaAe: reconstruct before fit");
+        let (d_inv, _) = self.dims.expect("dims recorded at fit");
+        assert_eq!(x_inv.cols(), d_inv, "VanillaAe: invariant-block width mismatch");
+        net.infer(x_inv)
+    }
+
+    fn name(&self) -> &'static str {
+        "ae"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsda_linalg::stats::pearson;
+
+    fn toy(n: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+        let mut rng = SeededRng::new(seed);
+        let mut x_inv = Matrix::zeros(n, 3);
+        let mut x_var = Matrix::zeros(n, 2);
+        for r in 0..n {
+            let a = rng.normal(0.0, 0.7);
+            let b = rng.normal(0.0, 0.7);
+            let c = rng.normal(0.0, 0.7);
+            x_inv.set(r, 0, a);
+            x_inv.set(r, 1, b);
+            x_inv.set(r, 2, c);
+            x_var.set(r, 0, (0.6 * a - 0.2 * c).tanh() * 0.8 + rng.normal(0.0, 0.03));
+            x_var.set(r, 1, (0.5 * b).tanh() * 0.8 + rng.normal(0.0, 0.03));
+        }
+        let y = Matrix::zeros(n, 1);
+        (x_inv, x_var, y)
+    }
+
+    #[test]
+    fn learns_conditional_mean() {
+        let (x_inv, x_var, y) = toy(256, 1);
+        let mut ae = VanillaAe::new(
+            AeConfig { hidden: 32, bottleneck: 8, epochs: 150, ..AeConfig::default() },
+            2,
+        );
+        ae.fit(&x_inv, &x_var, &y).unwrap();
+        let recon = ae.reconstruct(&x_inv, 0);
+        for c in 0..2 {
+            let r = pearson(&recon.col(c), &x_var.col(c));
+            assert!(r > 0.8, "AE should fit the regression, col {c} r = {r}");
+        }
+    }
+
+    #[test]
+    fn seed_is_ignored_deterministic() {
+        let (x_inv, x_var, y) = toy(64, 3);
+        let mut ae = VanillaAe::new(
+            AeConfig { hidden: 16, epochs: 10, ..AeConfig::default() },
+            4,
+        );
+        ae.fit(&x_inv, &x_var, &y).unwrap();
+        assert_eq!(ae.reconstruct(&x_inv, 1), ae.reconstruct(&x_inv, 999));
+    }
+
+    #[test]
+    fn name_is_ae() {
+        assert_eq!(VanillaAe::new(AeConfig::default(), 1).name(), "ae");
+    }
+
+    #[test]
+    fn rejects_empty_blocks() {
+        let mut ae = VanillaAe::new(AeConfig::default(), 1);
+        let x = Matrix::zeros(4, 2);
+        assert!(ae.fit(&x, &Matrix::zeros(4, 0), &x).is_err());
+    }
+}

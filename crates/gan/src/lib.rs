@@ -1,0 +1,129 @@
+//! Reconstruction models for domain-variant features.
+//!
+//! Step 2 of the paper's framework: a conditional GAN, trained **only on
+//! source-domain data**, learns `P(X_var | X_inv)` — how the domain-variant
+//! features look given the invariant ones. At inference the generator maps
+//! a target sample's variant features back into the source distribution, so
+//! a classifier trained on source data with *all* features can be used
+//! unchanged. Table II ablates the reconstruction family, so a VAE and a
+//! vanilla autoencoder are provided behind the same [`Reconstructor`]
+//! trait, plus the unconditioned-discriminator GAN variant (`FS+NoCond`).
+//!
+//! # Example
+//!
+//! ```
+//! use fsda_linalg::{Matrix, SeededRng};
+//! use fsda_gan::{Reconstructor, autoencoder::{AeConfig, VanillaAe}};
+//!
+//! // x_var is a linear function of x_inv; the AE learns to reconstruct it.
+//! let mut rng = SeededRng::new(0);
+//! let x_inv = Matrix::from_fn(128, 2, |_, _| rng.normal(0.0, 1.0));
+//! let x_var = Matrix::from_fn(128, 1, |r, _| 0.5 * x_inv.get(r, 0) - 0.3 * x_inv.get(r, 1));
+//! let y = Matrix::zeros(128, 1);
+//! let mut ae = VanillaAe::new(AeConfig { epochs: 200, ..AeConfig::default() }, 1);
+//! ae.fit(&x_inv, &x_var, &y)?;
+//! let recon = ae.reconstruct(&x_inv, 7);
+//! assert_eq!(recon.shape(), (128, 1));
+//! # Ok::<(), fsda_gan::GanError>(())
+//! ```
+
+pub mod autoencoder;
+pub mod cond_gan;
+pub mod vae;
+
+pub use cond_gan::{CondGan, CondGanConfig};
+
+use fsda_linalg::Matrix;
+
+/// Errors raised by reconstruction models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GanError {
+    /// Mismatched shapes or empty inputs.
+    InvalidInput(String),
+    /// Reconstruction requested before training.
+    NotFitted,
+}
+
+impl std::fmt::Display for GanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GanError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            GanError::NotFitted => write!(f, "model is not fitted"),
+        }
+    }
+}
+
+impl std::error::Error for GanError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, GanError>;
+
+/// A model reconstructing domain-variant features from invariant ones.
+///
+/// `fit` trains on source-domain samples only (the defining property of the
+/// paper's approach); `reconstruct` generates source-like variant features
+/// for arbitrary (e.g. target-domain) invariant features.
+pub trait Reconstructor: Send {
+    /// Trains on source data: invariant block, variant block, and one-hot
+    /// labels (models that do not condition on labels ignore them).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GanError::InvalidInput`] when row counts disagree or any
+    /// block is empty.
+    fn fit(&mut self, x_inv: &Matrix, x_var: &Matrix, y_onehot: &Matrix) -> Result<()>;
+
+    /// Generates variant features for the given invariant features.
+    /// `seed` drives the generator noise, so fixed seeds give reproducible
+    /// reconstructions and different seeds give Monte-Carlo samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before a successful [`Reconstructor::fit`].
+    fn reconstruct(&self, x_inv: &Matrix, seed: u64) -> Matrix;
+
+    /// Short name for reports ("gan", "gan-nocond", "vae", "ae").
+    fn name(&self) -> &'static str;
+}
+
+/// Validates the common `fit` preconditions.
+pub(crate) fn validate_fit(x_inv: &Matrix, x_var: &Matrix, y_onehot: &Matrix) -> Result<()> {
+    if x_inv.rows() == 0 {
+        return Err(GanError::InvalidInput("no training samples".into()));
+    }
+    if x_inv.cols() == 0 || x_var.cols() == 0 {
+        return Err(GanError::InvalidInput(
+            "both invariant and variant blocks must be non-empty".into(),
+        ));
+    }
+    if x_inv.rows() != x_var.rows() || x_inv.rows() != y_onehot.rows() {
+        return Err(GanError::InvalidInput(format!(
+            "row mismatch: inv {}, var {}, labels {}",
+            x_inv.rows(),
+            x_var.rows(),
+            y_onehot.rows()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(!GanError::NotFitted.to_string().is_empty());
+    }
+
+    #[test]
+    fn validate_catches_mismatches() {
+        let a = Matrix::zeros(3, 2);
+        let b = Matrix::zeros(2, 2);
+        assert!(validate_fit(&a, &b, &a).is_err());
+        assert!(validate_fit(&Matrix::zeros(0, 2), &Matrix::zeros(0, 2), &Matrix::zeros(0, 1))
+            .is_err());
+        assert!(validate_fit(&a, &Matrix::zeros(3, 0), &a).is_err());
+        assert!(validate_fit(&a, &a, &a).is_ok());
+    }
+}

@@ -1,0 +1,376 @@
+//! Matrix decompositions: Cholesky, LU solve/inverse, symmetric eigen (Jacobi).
+//!
+//! All routines operate on the dense [`Matrix`] type and are `O(n^3)`, which
+//! is ample for the covariance / precision matrices (a few hundred columns)
+//! arising in the paper's methods.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Lower-triangular Cholesky factor `L` with `A = L * L^T`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotPositiveDefinite`] when `A` is not (numerically)
+/// positive definite and [`LinalgError::ShapeMismatch`] when `A` is not square.
+///
+/// # Example
+///
+/// ```
+/// use fsda_linalg::{Matrix, decomp::cholesky};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let l = cholesky(&a)?;
+/// let back = l.matmul(&l.transpose());
+/// assert!((back.get(0, 1) - 2.0).abs() < 1e-12);
+/// # Ok::<(), fsda_linalg::LinalgError>(())
+/// ```
+pub fn cholesky(a: &Matrix) -> Result<Matrix> {
+    let n = check_square(a)?;
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite);
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `A x = b` via LU decomposition with partial pivoting.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] when `A` is numerically singular and
+/// [`LinalgError::ShapeMismatch`] when dimensions disagree.
+pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = check_square(a)?;
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch(format!("rhs length {} vs {}", b.len(), n)));
+    }
+    let (lu, perm) = lu_factor(a)?;
+    Ok(lu_substitute(&lu, &perm, b))
+}
+
+/// Inverse of a square matrix via LU decomposition.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] when `A` is numerically singular and
+/// [`LinalgError::ShapeMismatch`] when `A` is not square.
+pub fn inverse(a: &Matrix) -> Result<Matrix> {
+    let n = check_square(a)?;
+    let (lu, perm) = lu_factor(a)?;
+    let mut inv = Matrix::zeros(n, n);
+    let mut e = vec![0.0; n];
+    for c in 0..n {
+        e[c] = 1.0;
+        let x = lu_substitute(&lu, &perm, &e);
+        for r in 0..n {
+            inv.set(r, c, x[r]);
+        }
+        e[c] = 0.0;
+    }
+    Ok(inv)
+}
+
+/// Log-determinant of a positive-definite matrix via Cholesky.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotPositiveDefinite`] when `A` is not positive
+/// definite.
+pub fn log_det_pd(a: &Matrix) -> Result<f64> {
+    let l = cholesky(a)?;
+    let mut acc = 0.0;
+    for i in 0..l.rows() {
+        acc += l.get(i, i).ln();
+    }
+    Ok(2.0 * acc)
+}
+
+/// Eigen-decomposition of a symmetric matrix via the cyclic Jacobi method.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvalues sorted in
+/// descending order; `eigenvectors` holds the corresponding unit
+/// eigenvectors as **columns**.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] when `A` is not square.
+pub fn sym_eigen(a: &Matrix) -> Result<(Vec<f64>, Matrix)> {
+    let n = check_square(a)?;
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let max_sweeps = 100;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m.get(i, j).powi(2);
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation to rows/columns p and q.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap_or(std::cmp::Ordering::Equal));
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let eigenvectors = v.select_cols(&order);
+    Ok((eigenvalues, eigenvectors))
+}
+
+/// Computes `A^{-1/2}` of a symmetric positive-semidefinite matrix using its
+/// eigen-decomposition, flooring eigenvalues at `eps` for stability.
+///
+/// Used by CORAL-style whitening and the linear-ICA step of CMT.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] when `A` is not square.
+pub fn inv_sqrt_psd(a: &Matrix, eps: f64) -> Result<Matrix> {
+    let (vals, vecs) = sym_eigen(a)?;
+    scaled_eigen_product(&vals, &vecs, |v| 1.0 / v.max(eps).sqrt())
+}
+
+/// Computes `A^{1/2}` of a symmetric positive-semidefinite matrix, flooring
+/// eigenvalues at `eps`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] when `A` is not square.
+pub fn sqrt_psd(a: &Matrix, eps: f64) -> Result<Matrix> {
+    let (vals, vecs) = sym_eigen(a)?;
+    scaled_eigen_product(&vals, &vecs, |v| v.max(eps).sqrt())
+}
+
+fn scaled_eigen_product(
+    vals: &[f64],
+    vecs: &Matrix,
+    f: impl Fn(f64) -> f64,
+) -> Result<Matrix> {
+    let n = vals.len();
+    let mut d = Matrix::zeros(n, n);
+    for i in 0..n {
+        d.set(i, i, f(vals[i]));
+    }
+    Ok(vecs.matmul(&d).matmul(&vecs.transpose()))
+}
+
+fn check_square(a: &Matrix) -> Result<usize> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::ShapeMismatch(format!(
+            "expected square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    Ok(a.rows())
+}
+
+fn lu_factor(a: &Matrix) -> Result<(Matrix, Vec<usize>)> {
+    let n = a.rows();
+    let mut lu = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    for col in 0..n {
+        // Partial pivoting.
+        let mut pivot = col;
+        let mut best = lu.get(col, col).abs();
+        for r in (col + 1)..n {
+            let v = lu.get(r, col).abs();
+            if v > best {
+                best = v;
+                pivot = r;
+            }
+        }
+        if best < 1e-12 {
+            return Err(LinalgError::Singular);
+        }
+        if pivot != col {
+            perm.swap(pivot, col);
+            for c in 0..n {
+                let tmp = lu.get(col, c);
+                lu.set(col, c, lu.get(pivot, c));
+                lu.set(pivot, c, tmp);
+            }
+        }
+        let d = lu.get(col, col);
+        for r in (col + 1)..n {
+            let factor = lu.get(r, col) / d;
+            lu.set(r, col, factor);
+            for c in (col + 1)..n {
+                let v = lu.get(r, c) - factor * lu.get(col, c);
+                lu.set(r, c, v);
+            }
+        }
+    }
+    Ok((lu, perm))
+}
+
+fn lu_substitute(lu: &Matrix, perm: &[usize], b: &[f64]) -> Vec<f64> {
+    let n = lu.rows();
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[perm[i]];
+        for j in 0..i {
+            sum -= lu.get(i, j) * y[j];
+        }
+        y[i] = sum;
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for j in (i + 1)..n {
+            sum -= lu.get(i, j) * x[j];
+        }
+        x[i] = sum / lu.get(i, i);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 2.0]])
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd3();
+        let l = cholesky(&a).unwrap();
+        let back = l.matmul(&l.transpose());
+        assert!(back.try_sub(&a).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert_eq!(cholesky(&a).unwrap_err(), LinalgError::NotPositiveDefinite);
+    }
+
+    #[test]
+    fn cholesky_rejects_nonsquare() {
+        assert!(matches!(cholesky(&Matrix::zeros(2, 3)), Err(LinalgError::ShapeMismatch(_))));
+    }
+
+    #[test]
+    fn lu_solve_recovers_solution() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let x = lu_solve(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lu_solve_rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(lu_solve(&a, &[1.0, 2.0]).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = spd3();
+        let inv = inverse(&a).unwrap();
+        let id = a.matmul(&inv);
+        assert!(id.try_sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn log_det_matches_2x2() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 8.0]]);
+        assert!((log_det_pd(&a).unwrap() - (16.0_f64).ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sym_eigen_diagonalizes() {
+        let a = spd3();
+        let (vals, vecs) = sym_eigen(&a).unwrap();
+        // Descending order.
+        assert!(vals[0] >= vals[1] && vals[1] >= vals[2]);
+        // A v = lambda v for each column.
+        for k in 0..3 {
+            let v = vecs.col(k);
+            let av = a.matvec(&v);
+            for i in 0..3 {
+                assert!((av[i] - vals[k] * v[i]).abs() < 1e-8, "eigenpair {k} mismatch");
+            }
+        }
+        // Trace preserved.
+        let trace: f64 = (0..3).map(|i| a.get(i, i)).sum();
+        assert!((vals.iter().sum::<f64>() - trace).abs() < 1e-8);
+    }
+
+    #[test]
+    fn inv_sqrt_psd_whitens() {
+        let a = spd3();
+        let w = inv_sqrt_psd(&a, 1e-12).unwrap();
+        // W * A * W = I
+        let id = w.matmul(&a).matmul(&w);
+        assert!(id.try_sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn sqrt_psd_squares_back() {
+        let a = spd3();
+        let s = sqrt_psd(&a, 1e-12).unwrap();
+        let back = s.matmul(&s);
+        assert!(back.try_sub(&a).unwrap().max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn eigen_identity() {
+        let (vals, _) = sym_eigen(&Matrix::identity(5)).unwrap();
+        for v in vals {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Seeded random sampling used across the workspace.
+//!
+//! [`SeededRng`] wraps [`rand::rngs::StdRng`] and adds the distributions the
+//! paper's methods require (normal via Box–Muller, multivariate normal via
+//! Cholesky, categorical, Gumbel) without pulling in `rand_distr`.
+
+use crate::decomp::cholesky;
+use crate::{Matrix, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random-number generator with the distributions needed by
+/// the `fsda` stack.
+///
+/// Every stochastic component in the workspace takes a `u64` seed so that
+/// experiments and tests are exactly reproducible.
+///
+/// # Example
+///
+/// ```
+/// use fsda_linalg::SeededRng;
+///
+/// let mut a = SeededRng::new(7);
+/// let mut b = SeededRng::new(7);
+/// assert_eq!(a.normal(0.0, 1.0), b.normal(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: StdRng,
+    /// Cached second Box–Muller draw.
+    spare_normal: Option<f64>,
+}
+
+impl SeededRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRng { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+    }
+
+    /// Derives an independent child generator; `stream` distinguishes
+    /// children of the same parent deterministically.
+    pub fn fork(&mut self, stream: u64) -> SeededRng {
+        let seed = self.inner.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SeededRng::new(seed)
+    }
+
+    /// Draws a fresh 64-bit seed (for deriving per-worker generators).
+    pub fn next_seed(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "uniform_range: lo {lo} >= hi {hi}");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index: n must be positive");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Normal sample via the Box–Muller transform.
+    pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
+        let z = match self.spare_normal.take() {
+            Some(z) => z,
+            None => {
+                // Draw u in (0,1] to avoid ln(0).
+                let u = 1.0 - self.uniform();
+                let v = self.uniform();
+                let r = (-2.0 * u.ln()).sqrt();
+                let theta = 2.0 * std::f64::consts::PI * v;
+                self.spare_normal = Some(r * theta.sin());
+                r * theta.cos()
+            }
+        };
+        mean + std * z
+    }
+
+    /// Vector of i.i.d. standard-normal samples.
+    pub fn normal_vec(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.normal(0.0, 1.0)).collect()
+    }
+
+    /// Matrix of i.i.d. normal samples.
+    pub fn normal_matrix(&mut self, rows: usize, cols: usize, mean: f64, std: f64) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| self.normal(mean, std))
+    }
+
+    /// One sample from a multivariate normal `N(mean, cov)` via Cholesky.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `cov` is not positive definite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean.len() != cov.rows()`.
+    pub fn multivariate_normal(&mut self, mean: &[f64], cov: &Matrix) -> Result<Vec<f64>> {
+        assert_eq!(mean.len(), cov.rows(), "multivariate_normal: dim mismatch");
+        let l = cholesky(cov)?;
+        let z = self.normal_vec(mean.len());
+        let mut out = l.matvec(&z);
+        for (o, &m) in out.iter_mut().zip(mean) {
+            *o += m;
+        }
+        Ok(out)
+    }
+
+    /// Samples an index from unnormalized non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn categorical(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "categorical: empty weights");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "categorical: weights sum to zero");
+        let mut u = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            u -= w;
+            if u <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Standard Gumbel(0, 1) sample (used by the Gumbel-softmax output in
+    /// the CTGAN-style generator).
+    pub fn gumbel(&mut self) -> f64 {
+        let u = (1.0 - self.uniform()).max(1e-300);
+        -(-u.ln()).ln()
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `0..n` (order randomized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "sample_indices: k {k} > n {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        // Partial Fisher–Yates: only the first k positions are needed.
+        for i in 0..k {
+            let j = i + self.index(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+impl RngCore for SeededRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> std::result::Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean, std_dev};
+
+    #[test]
+    fn determinism_same_seed() {
+        let mut a = SeededRng::new(123);
+        let mut b = SeededRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let va: Vec<f64> = (0..16).map(|_| a.uniform()).collect();
+        let vb: Vec<f64> = (0..16).map(|_| b.uniform()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = SeededRng::new(9);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        assert_ne!(c1.uniform(), c2.uniform());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SeededRng::new(5);
+        let xs: Vec<f64> = (0..20_000).map(|_| rng.normal(3.0, 2.0)).collect();
+        assert!((mean(&xs) - 3.0).abs() < 0.1);
+        assert!((std_dev(&xs) - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn multivariate_normal_covariance() {
+        let mut rng = SeededRng::new(11);
+        let cov = Matrix::from_rows(&[&[2.0, 0.8], &[0.8, 1.0]]);
+        let n = 20_000;
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let s = rng.multivariate_normal(&[1.0, -1.0], &cov).unwrap();
+            xs.push(s[0]);
+            ys.push(s[1]);
+        }
+        assert!((mean(&xs) - 1.0).abs() < 0.05);
+        assert!((mean(&ys) + 1.0).abs() < 0.05);
+        let c = crate::stats::covariance(&xs, &ys);
+        assert!((c - 0.8).abs() < 0.08, "covariance {c}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = SeededRng::new(21);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[rng.categorical(&[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!((counts[2] as f64 / 30_000.0 - 0.7).abs() < 0.02);
+        assert!((counts[0] as f64 / 30_000.0 - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut rng = SeededRng::new(31);
+        let idx = rng.sample_indices(10, 5);
+        assert_eq!(idx.len(), 5);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+        assert!(idx.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SeededRng::new(41);
+        let mut xs: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gumbel_is_finite() {
+        let mut rng = SeededRng::new(51);
+        for _ in 0..1000 {
+            assert!(rng.gumbel().is_finite());
+        }
+    }
+
+    #[test]
+    fn uniform_range_bounds() {
+        let mut rng = SeededRng::new(61);
+        for _ in 0..1000 {
+            let v = rng.uniform_range(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+}

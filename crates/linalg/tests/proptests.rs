@@ -1,0 +1,156 @@
+//! Property-based tests for the linear-algebra core.
+
+use fsda_linalg::decomp::{cholesky, inverse, lu_solve, sym_eigen};
+use fsda_linalg::stats::{correlation_matrix, fisher_z, ks_statistic, normal_cdf, pearson};
+use fsda_linalg::{Matrix, SeededRng};
+use proptest::prelude::*;
+
+/// A random well-conditioned symmetric positive-definite matrix.
+fn spd_matrix(seed: u64, n: usize) -> Matrix {
+    let mut rng = SeededRng::new(seed);
+    let a = rng.normal_matrix(n + 2, n, 0.0, 1.0);
+    let mut m = a.transpose().matmul(&a);
+    for i in 0..n {
+        m.set(i, i, m.get(i, i) + 0.5);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(seed in 0u64..1000, rows in 1usize..8, cols in 1usize..8) {
+        let mut rng = SeededRng::new(seed);
+        let m = rng.normal_matrix(rows, cols, 0.0, 1.0);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_associates_with_identity(seed in 0u64..1000, n in 1usize..7) {
+        let mut rng = SeededRng::new(seed);
+        let m = rng.normal_matrix(n, n, 0.0, 1.0);
+        let id = Matrix::identity(n);
+        prop_assert!(m.matmul(&id).try_sub(&m).unwrap().max_abs() < 1e-12);
+        prop_assert!(id.matmul(&m).try_sub(&m).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn vstack_hstack_shapes(seed in 0u64..1000, r in 1usize..5, c in 1usize..5) {
+        let mut rng = SeededRng::new(seed);
+        let a = rng.normal_matrix(r, c, 0.0, 1.0);
+        let b = rng.normal_matrix(r, c, 0.0, 1.0);
+        let v = a.vstack(&b).unwrap();
+        prop_assert_eq!(v.shape(), (2 * r, c));
+        let h = a.hstack(&b).unwrap();
+        prop_assert_eq!(h.shape(), (r, 2 * c));
+        // Content preserved.
+        prop_assert_eq!(v.row(0), a.row(0));
+        prop_assert_eq!(&h.row(0)[..c], a.row(0));
+    }
+
+    #[test]
+    fn cholesky_reconstructs_spd(seed in 0u64..500, n in 1usize..7) {
+        let m = spd_matrix(seed, n);
+        let l = cholesky(&m).unwrap();
+        let back = l.matmul(&l.transpose());
+        prop_assert!(back.try_sub(&m).unwrap().max_abs() < 1e-8 * (1.0 + m.max_abs()));
+    }
+
+    #[test]
+    fn inverse_round_trip(seed in 0u64..500, n in 1usize..7) {
+        let m = spd_matrix(seed, n);
+        let inv = inverse(&m).unwrap();
+        let id = m.matmul(&inv);
+        prop_assert!(id.try_sub(&Matrix::identity(n)).unwrap().max_abs() < 1e-7);
+    }
+
+    #[test]
+    fn lu_solve_solves(seed in 0u64..500, n in 1usize..7) {
+        let m = spd_matrix(seed, n);
+        let mut rng = SeededRng::new(seed ^ 0x55);
+        let x: Vec<f64> = rng.normal_vec(n);
+        let b = m.matvec(&x);
+        let solved = lu_solve(&m, &b).unwrap();
+        for (a, e) in solved.iter().zip(&x) {
+            prop_assert!((a - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn eigenvalues_of_spd_are_positive(seed in 0u64..500, n in 1usize..7) {
+        let m = spd_matrix(seed, n);
+        let (vals, _) = sym_eigen(&m).unwrap();
+        for v in vals {
+            prop_assert!(v > 0.0, "SPD eigenvalue must be positive: {v}");
+        }
+    }
+
+    #[test]
+    fn pearson_bounded(seed in 0u64..1000, n in 2usize..40) {
+        let mut rng = SeededRng::new(seed);
+        let xs: Vec<f64> = rng.normal_vec(n);
+        let ys: Vec<f64> = rng.normal_vec(n);
+        let r = pearson(&xs, &ys);
+        prop_assert!((-1.0..=1.0).contains(&r));
+        // Self-correlation is 1.
+        prop_assert!((pearson(&xs, &xs) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlation_matrix_is_symmetric_unit_diag(seed in 0u64..500, n in 2usize..20, d in 2usize..6) {
+        let mut rng = SeededRng::new(seed);
+        let m = rng.normal_matrix(n, d, 0.0, 1.0);
+        let c = correlation_matrix(&m).unwrap();
+        for i in 0..d {
+            prop_assert!((c.get(i, i) - 1.0).abs() < 1e-9);
+            for j in 0..d {
+                prop_assert!((c.get(i, j) - c.get(j, i)).abs() < 1e-12);
+                prop_assert!(c.get(i, j).abs() <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn fisher_z_is_odd_and_monotone(r in -0.99f64..0.99) {
+        prop_assert!((fisher_z(r) + fisher_z(-r)).abs() < 1e-12);
+        prop_assert!(fisher_z(r) <= fisher_z((r + 0.005).min(0.999)));
+    }
+
+    #[test]
+    fn normal_cdf_monotone_bounded(x in -6.0f64..6.0) {
+        let c = normal_cdf(x);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!(normal_cdf(x) <= normal_cdf(x + 0.01) + 1e-12);
+    }
+
+    #[test]
+    fn ks_statistic_bounded_and_zero_on_self(seed in 0u64..1000, n in 1usize..50) {
+        let mut rng = SeededRng::new(seed);
+        let xs: Vec<f64> = rng.normal_vec(n);
+        let ys: Vec<f64> = rng.normal_vec(n);
+        let d = ks_statistic(&xs, &ys);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!(ks_statistic(&xs, &xs) < 1e-12);
+    }
+
+    #[test]
+    fn sample_indices_unique(seed in 0u64..1000, n in 1usize..50) {
+        let mut rng = SeededRng::new(seed);
+        let k = (n / 2).max(1);
+        let idx = rng.sample_indices(n, k);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k);
+    }
+
+    #[test]
+    fn select_rows_preserves_content(seed in 0u64..1000, n in 2usize..10, c in 1usize..5) {
+        let mut rng = SeededRng::new(seed);
+        let m = rng.normal_matrix(n, c, 0.0, 1.0);
+        let sel = m.select_rows(&[n - 1, 0]);
+        prop_assert_eq!(sel.row(0), m.row(n - 1));
+        prop_assert_eq!(sel.row(1), m.row(0));
+    }
+}

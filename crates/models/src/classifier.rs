@@ -1,0 +1,199 @@
+//! The model-agnostic [`Classifier`] trait and the classifier factory.
+
+use crate::{ModelError, Result};
+use fsda_linalg::Matrix;
+
+/// A multi-class classifier over tabular features.
+///
+/// All four of the paper's classifier families implement this trait, which
+/// is what makes the DA framework model-agnostic. `fit_weighted` is the
+/// core training entry point (the S&T baseline up-weights target-domain
+/// shots); `fit` is the unweighted convenience wrapper.
+pub trait Classifier: Send {
+    /// Trains on `x` (rows are samples) with per-sample `weights`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidInput`] when shapes disagree, inputs
+    /// are empty, or a label is `>= num_classes`.
+    fn fit_weighted(
+        &mut self,
+        x: &Matrix,
+        y: &[usize],
+        weights: &[f64],
+        num_classes: usize,
+    ) -> Result<()>;
+
+    /// Trains with unit weights.
+    ///
+    /// # Errors
+    ///
+    /// As [`Classifier::fit_weighted`].
+    fn fit(&mut self, x: &Matrix, y: &[usize], num_classes: usize) -> Result<()> {
+        let weights = vec![1.0; y.len()];
+        self.fit_weighted(x, y, &weights, num_classes)
+    }
+
+    /// Class-probability estimates, one row per sample (rows sum to 1).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when called before `fit`.
+    fn predict_proba(&self, x: &Matrix) -> Matrix;
+
+    /// Hard class predictions (argmax of [`Classifier::predict_proba`]).
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        argmax_rows(&self.predict_proba(x))
+    }
+
+    /// Short human-readable model name ("tnet", "mlp", "rf", "xgb").
+    fn name(&self) -> &'static str;
+}
+
+/// Row-wise argmax helper shared by classifier implementations.
+pub fn argmax_rows(probs: &Matrix) -> Vec<usize> {
+    (0..probs.rows())
+        .map(|r| {
+            probs
+                .row(r)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Validates the common fit preconditions shared by all classifiers.
+pub(crate) fn validate_fit(
+    x: &Matrix,
+    y: &[usize],
+    weights: &[f64],
+    num_classes: usize,
+) -> Result<()> {
+    if x.rows() == 0 || x.cols() == 0 {
+        return Err(ModelError::InvalidInput("empty feature matrix".into()));
+    }
+    if x.rows() != y.len() {
+        return Err(ModelError::InvalidInput(format!(
+            "{} rows but {} labels",
+            x.rows(),
+            y.len()
+        )));
+    }
+    if weights.len() != y.len() {
+        return Err(ModelError::InvalidInput(format!(
+            "{} weights for {} samples",
+            weights.len(),
+            y.len()
+        )));
+    }
+    if num_classes < 2 {
+        return Err(ModelError::InvalidInput("need at least 2 classes".into()));
+    }
+    if let Some(&bad) = y.iter().find(|&&l| l >= num_classes) {
+        return Err(ModelError::InvalidInput(format!(
+            "label {bad} out of range for {num_classes} classes"
+        )));
+    }
+    if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+        return Err(ModelError::InvalidInput("weights must be finite and non-negative".into()));
+    }
+    Ok(())
+}
+
+/// The four classifier families of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClassifierKind {
+    /// Deep tabular network (TNet in the paper's tables).
+    Tnet,
+    /// Plain multilayer perceptron.
+    Mlp,
+    /// Random forest.
+    RandomForest,
+    /// XGBoost-style gradient-boosted trees.
+    Xgb,
+}
+
+impl ClassifierKind {
+    /// All four kinds, in the paper's column order.
+    pub const ALL: [ClassifierKind; 4] = [
+        ClassifierKind::Tnet,
+        ClassifierKind::Mlp,
+        ClassifierKind::RandomForest,
+        ClassifierKind::Xgb,
+    ];
+
+    /// Constructs a default-configured classifier of this kind.
+    pub fn build(self, seed: u64) -> Box<dyn Classifier> {
+        match self {
+            ClassifierKind::Tnet => Box::new(crate::tnet::TnetClassifier::new(
+                crate::tnet::TnetConfig::default(),
+                seed,
+            )),
+            ClassifierKind::Mlp => Box::new(crate::mlp::MlpClassifier::new(
+                crate::mlp::MlpConfig::default(),
+                seed,
+            )),
+            ClassifierKind::RandomForest => Box::new(crate::forest::RandomForest::new(
+                crate::forest::ForestConfig::default(),
+                seed,
+            )),
+            ClassifierKind::Xgb => Box::new(crate::gbdt::GradientBoosting::new(
+                crate::gbdt::GbdtConfig::default(),
+                seed,
+            )),
+        }
+    }
+
+    /// The table column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClassifierKind::Tnet => "TNet",
+            ClassifierKind::Mlp => "MLP",
+            ClassifierKind::RandomForest => "RF",
+            ClassifierKind::Xgb => "XGB",
+        }
+    }
+}
+
+impl std::fmt::Display for ClassifierKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_rows_picks_largest() {
+        let m = Matrix::from_rows(&[&[0.1, 0.9], &[0.8, 0.2]]);
+        assert_eq!(argmax_rows(&m), vec![1, 0]);
+    }
+
+    #[test]
+    fn validate_fit_rejects_bad_inputs() {
+        let x = Matrix::zeros(2, 2);
+        let ok = validate_fit(&x, &[0, 1], &[1.0, 1.0], 2);
+        assert!(ok.is_ok());
+        assert!(validate_fit(&Matrix::zeros(0, 2), &[], &[], 2).is_err());
+        assert!(validate_fit(&x, &[0], &[1.0], 2).is_err());
+        assert!(validate_fit(&x, &[0, 1], &[1.0], 2).is_err());
+        assert!(validate_fit(&x, &[0, 5], &[1.0, 1.0], 2).is_err());
+        assert!(validate_fit(&x, &[0, 1], &[1.0, -1.0], 2).is_err());
+        assert!(validate_fit(&x, &[0, 0], &[1.0, 1.0], 1).is_err());
+    }
+
+    #[test]
+    fn kind_labels_and_factory() {
+        for kind in ClassifierKind::ALL {
+            let model = kind.build(1);
+            assert!(!model.name().is_empty());
+            assert!(!kind.label().is_empty());
+            assert_eq!(format!("{kind}"), kind.label());
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Embedding network for the metric-based few-shot baselines (MatchNet,
+//! ProtoNet) and for the SCL baseline's representation learning.
+
+use crate::classifier::validate_fit;
+use crate::Result;
+use fsda_linalg::{matrix, Matrix, SeededRng};
+use fsda_nn::layer::{Activation, Dense};
+use fsda_nn::loss::cross_entropy;
+use fsda_nn::optim::{Adam, Optimizer};
+use fsda_nn::train::BatchIter;
+use fsda_nn::Sequential;
+
+/// Hyper-parameters of [`EmbeddingNet`].
+#[derive(Debug, Clone)]
+pub struct EmbeddingConfig {
+    /// Hidden-layer widths of the encoder trunk.
+    pub hidden: Vec<usize>,
+    /// Output embedding dimension.
+    pub embed_dim: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+}
+
+impl Default for EmbeddingConfig {
+    fn default() -> Self {
+        EmbeddingConfig {
+            hidden: vec![128],
+            embed_dim: 32,
+            epochs: 60,
+            batch_size: 64,
+            learning_rate: 1e-3,
+        }
+    }
+}
+
+/// An encoder mapping samples to a metric space, trained on source-domain
+/// classification (embedding trunk + softmax head). MatchNet classifies by
+/// attention over support-set embeddings; ProtoNet by distance to class
+/// prototypes — both consume [`EmbeddingNet::embed`].
+pub struct EmbeddingNet {
+    config: EmbeddingConfig,
+    seed: u64,
+    encoder: Option<Sequential>,
+    head: Option<Sequential>,
+}
+
+impl std::fmt::Debug for EmbeddingNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EmbeddingNet")
+            .field("config", &self.config)
+            .field("fitted", &self.encoder.is_some())
+            .finish()
+    }
+}
+
+impl EmbeddingNet {
+    /// Creates an untrained embedding network.
+    pub fn new(config: EmbeddingConfig, seed: u64) -> Self {
+        EmbeddingNet { config, seed, encoder: None, head: None }
+    }
+
+    /// Trains encoder + classification head on labelled source data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ModelError::InvalidInput`] on malformed inputs.
+    pub fn fit(&mut self, x: &Matrix, y: &[usize], num_classes: usize) -> Result<()> {
+        let w = vec![1.0; y.len()];
+        validate_fit(x, y, &w, num_classes)?;
+        let mut rng = SeededRng::new(self.seed);
+        let mut encoder = Sequential::new();
+        let mut prev = x.cols();
+        for &hdim in &self.config.hidden {
+            encoder.push(Dense::new(prev, hdim, &mut rng));
+            encoder.push(Activation::relu());
+            prev = hdim;
+        }
+        encoder.push(Dense::new(prev, self.config.embed_dim, &mut rng));
+        let mut head = Sequential::new();
+        head.push(Activation::relu());
+        head.push(Dense::new(self.config.embed_dim, num_classes, &mut rng));
+
+        let mut opt = Adam::new(self.config.learning_rate);
+        for _ in 0..self.config.epochs {
+            for batch in BatchIter::new(x.rows(), self.config.batch_size.min(x.rows()), &mut rng)
+            {
+                let bx = x.select_rows(&batch);
+                let by: Vec<usize> = batch.iter().map(|&i| y[i]).collect();
+                let emb = encoder.forward(&bx, true);
+                let logits = head.forward(&emb, true);
+                let (_, grad) = cross_entropy(&logits, &by);
+                encoder.zero_grad();
+                head.zero_grad();
+                let grad_emb = head.backward(&grad);
+                encoder.backward(&grad_emb);
+                let mut params = encoder.params_mut();
+                params.extend(head.params_mut());
+                opt.step(&mut params);
+            }
+        }
+        self.encoder = Some(encoder);
+        self.head = Some(head);
+        Ok(())
+    }
+
+    /// Maps samples to embeddings.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before [`EmbeddingNet::fit`].
+    pub fn embed(&self, x: &Matrix) -> Matrix {
+        let encoder = self.encoder.as_ref().expect("EmbeddingNet: embed before fit");
+        encoder.infer(x)
+    }
+
+    /// Maps samples to L2-normalized embeddings (for cosine attention).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before [`EmbeddingNet::fit`].
+    pub fn embed_normalized(&self, x: &Matrix) -> Matrix {
+        let mut e = self.embed(x);
+        for r in 0..e.rows() {
+            let norm = matrix::norm(e.row(r)).max(1e-12);
+            for v in e.row_mut(r) {
+                *v /= norm;
+            }
+        }
+        e
+    }
+
+    /// Embedding dimension.
+    pub fn embed_dim(&self) -> usize {
+        self.config.embed_dim
+    }
+}
+
+/// Per-class mean embeddings ("prototypes").
+///
+/// # Panics
+///
+/// Panics if labels and rows disagree or a label is out of range.
+pub fn class_prototypes(embeddings: &Matrix, labels: &[usize], num_classes: usize) -> Matrix {
+    assert_eq!(embeddings.rows(), labels.len(), "class_prototypes: length mismatch");
+    let d = embeddings.cols();
+    let mut protos = Matrix::zeros(num_classes, d);
+    let mut counts = vec![0usize; num_classes];
+    for (r, &l) in labels.iter().enumerate() {
+        assert!(l < num_classes, "label out of range");
+        counts[l] += 1;
+        let row = embeddings.row(r);
+        let p = protos.row_mut(l);
+        for (pv, &x) in p.iter_mut().zip(row) {
+            *pv += x;
+        }
+    }
+    for (c, &count) in counts.iter().enumerate() {
+        if count > 0 {
+            for v in protos.row_mut(c) {
+                *v /= count as f64;
+            }
+        }
+    }
+    protos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n_per: usize, classes: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = SeededRng::new(seed);
+        let n = n_per * classes;
+        let mut x = Matrix::zeros(n, 4);
+        let mut y = Vec::with_capacity(n);
+        for c in 0..classes {
+            for _ in 0..n_per {
+                let r = y.len();
+                for j in 0..4 {
+                    let center = if j % classes == c { 3.0 } else { 0.0 };
+                    x.set(r, j, rng.normal(center, 0.6));
+                }
+                y.push(c);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn embeddings_cluster_by_class() {
+        let (x, y) = blobs(30, 3, 1);
+        let mut net = EmbeddingNet::new(
+            EmbeddingConfig { epochs: 40, ..EmbeddingConfig::default() },
+            2,
+        );
+        net.fit(&x, &y, 3).unwrap();
+        let emb = net.embed(&x);
+        let protos = class_prototypes(&emb, &y, 3);
+        // Samples are closer to their own prototype than to others.
+        let mut correct = 0;
+        for r in 0..emb.rows() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for c in 0..3 {
+                let d = matrix::euclidean_distance(emb.row(r), protos.row(c));
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if best == y[r] {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / emb.rows() as f64 > 0.95);
+    }
+
+    #[test]
+    fn normalized_embeddings_have_unit_norm() {
+        let (x, y) = blobs(10, 2, 2);
+        let mut net = EmbeddingNet::new(
+            EmbeddingConfig { epochs: 5, ..EmbeddingConfig::default() },
+            3,
+        );
+        net.fit(&x, &y, 2).unwrap();
+        let e = net.embed_normalized(&x);
+        for r in 0..e.rows() {
+            assert!((matrix::norm(e.row(r)) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn prototypes_are_means() {
+        let emb = Matrix::from_rows(&[&[1.0, 0.0], &[3.0, 0.0], &[0.0, 2.0]]);
+        let protos = class_prototypes(&emb, &[0, 0, 1], 2);
+        assert_eq!(protos.row(0), &[2.0, 0.0]);
+        assert_eq!(protos.row(1), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_class_prototype_is_zero() {
+        let emb = Matrix::from_rows(&[&[1.0]]);
+        let protos = class_prototypes(&emb, &[0], 3);
+        assert_eq!(protos.row(2), &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "embed before fit")]
+    fn embed_before_fit_panics() {
+        let net = EmbeddingNet::new(EmbeddingConfig::default(), 1);
+        let _ = net.embed(&Matrix::zeros(1, 2));
+    }
+}

@@ -1,0 +1,290 @@
+//! Random forest: bagged CART trees with feature subsampling, trained in
+//! parallel with `crossbeam` scoped threads.
+
+use crate::classifier::{validate_fit, Classifier};
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::Result;
+use fsda_linalg::{Matrix, SeededRng};
+
+/// Hyper-parameters of [`RandomForest`].
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub num_trees: usize,
+    /// Maximum depth per tree.
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Features per split; `None` = `sqrt(d)`.
+    pub mtry: Option<usize>,
+    /// Bootstrap-sample fraction of the training set per tree.
+    pub sample_fraction: f64,
+    /// Worker threads (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            num_trees: 100,
+            max_depth: 16,
+            min_samples_leaf: 2,
+            mtry: None,
+            sample_fraction: 1.0,
+            threads: 4,
+        }
+    }
+}
+
+/// A random-forest classifier (the "RF" column of the paper's tables).
+pub struct RandomForest {
+    config: ForestConfig,
+    seed: u64,
+    trees: Vec<DecisionTree>,
+    num_classes: usize,
+}
+
+impl std::fmt::Debug for RandomForest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RandomForest")
+            .field("config", &self.config)
+            .field("trees", &self.trees.len())
+            .finish()
+    }
+}
+
+impl RandomForest {
+    /// Creates an untrained forest.
+    pub fn new(config: ForestConfig, seed: u64) -> Self {
+        RandomForest { config, seed, trees: Vec::new(), num_classes: 0 }
+    }
+
+    /// Number of fitted trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit_weighted(
+        &mut self,
+        x: &Matrix,
+        y: &[usize],
+        weights: &[f64],
+        num_classes: usize,
+    ) -> Result<()> {
+        validate_fit(x, y, weights, num_classes)?;
+        let n = x.rows();
+        let d = x.cols();
+        let mtry = self.config.mtry.unwrap_or_else(|| (d as f64).sqrt().ceil() as usize);
+        let tree_cfg = TreeConfig {
+            max_depth: self.config.max_depth,
+            min_samples_leaf: self.config.min_samples_leaf,
+            mtry: Some(mtry.clamp(1, d)),
+        };
+        let boot_n = ((n as f64) * self.config.sample_fraction).round().max(1.0) as usize;
+        // Pre-derive one seed per tree so thread scheduling cannot change
+        // the result.
+        let seeds: Vec<u64> = {
+            let mut rng = SeededRng::new(self.seed);
+            (0..self.config.num_trees).map(|_| rng.next_seed()).collect()
+        };
+        let threads = self.config.threads.max(1);
+        let mut trees: Vec<Option<DecisionTree>> = (0..self.config.num_trees).map(|_| None).collect();
+        if threads == 1 {
+            for (t, slot) in trees.iter_mut().enumerate() {
+                *slot = Some(fit_one_tree(
+                    x, y, weights, num_classes, &tree_cfg, boot_n, seeds[t],
+                )?);
+            }
+        } else {
+            let chunk = self.config.num_trees.div_ceil(threads);
+            let results: std::result::Result<(), crate::ModelError> =
+                crossbeam::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for (c, slots) in trees.chunks_mut(chunk).enumerate() {
+                        let seeds = &seeds;
+                        let tree_cfg = &tree_cfg;
+                        let handle = scope.spawn(move |_| -> Result<()> {
+                            for (k, slot) in slots.iter_mut().enumerate() {
+                                let t = c * chunk + k;
+                                *slot = Some(fit_one_tree(
+                                    x, y, weights, num_classes, tree_cfg, boot_n, seeds[t],
+                                )?);
+                            }
+                            Ok(())
+                        });
+                        handles.push(handle);
+                    }
+                    for h in handles {
+                        h.join().expect("forest worker panicked")?;
+                    }
+                    Ok(())
+                })
+                .expect("crossbeam scope failed");
+            results?;
+        }
+        self.trees = trees.into_iter().map(|t| t.expect("all trees fitted")).collect();
+        self.num_classes = num_classes;
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        assert!(!self.trees.is_empty(), "RandomForest: predict before fit");
+        let mut out = Matrix::zeros(x.rows(), self.num_classes);
+        for tree in &self.trees {
+            for r in 0..x.rows() {
+                let probs = tree.predict_proba_row(x.row(r));
+                let row = out.row_mut(r);
+                for (o, &p) in row.iter_mut().zip(probs) {
+                    *o += p;
+                }
+            }
+        }
+        out.map_inplace(|v| v / self.trees.len() as f64);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "rf"
+    }
+}
+
+fn fit_one_tree(
+    x: &Matrix,
+    y: &[usize],
+    weights: &[f64],
+    num_classes: usize,
+    cfg: &TreeConfig,
+    boot_n: usize,
+    seed: u64,
+) -> Result<DecisionTree> {
+    let mut rng = SeededRng::new(seed);
+    let n = x.rows();
+    // Weighted bootstrap: sample indices proportionally to the sample
+    // weights, so up-weighted target shots appear in more trees.
+    let total_w: f64 = weights.iter().sum();
+    let uniform = weights.iter().all(|&w| (w - weights[0]).abs() < 1e-12);
+    let idx: Vec<usize> = if uniform {
+        (0..boot_n).map(|_| rng.index(n)).collect()
+    } else {
+        let mut cum = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w;
+            cum.push(acc);
+        }
+        (0..boot_n)
+            .map(|_| {
+                let u = rng.uniform() * total_w;
+                cum.partition_point(|&c| c < u).min(n - 1)
+            })
+            .collect()
+    };
+    let bx = x.select_rows(&idx);
+    let by: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
+    let bw = vec![1.0; by.len()];
+    DecisionTree::fit(&bx, &by, &bw, num_classes, cfg, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::macro_f1;
+
+    fn blobs(n_per: usize, classes: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = SeededRng::new(seed);
+        let n = n_per * classes;
+        let mut x = Matrix::zeros(n, 5);
+        let mut y = Vec::with_capacity(n);
+        for c in 0..classes {
+            for _ in 0..n_per {
+                let r = y.len();
+                for j in 0..5 {
+                    let center = if j % classes == c { 3.0 } else { 0.0 };
+                    x.set(r, j, rng.normal(center, 0.8));
+                }
+                y.push(c);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_blobs() {
+        let (x, y) = blobs(40, 3, 1);
+        let mut f = RandomForest::new(
+            ForestConfig { num_trees: 30, threads: 2, ..ForestConfig::default() },
+            5,
+        );
+        f.fit(&x, &y, 3).unwrap();
+        assert_eq!(f.num_trees(), 30);
+        let pred = f.predict(&x);
+        assert!(macro_f1(&y, &pred, 3) > 0.97);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (x, y) = blobs(25, 2, 2);
+        let mut seq = RandomForest::new(
+            ForestConfig { num_trees: 12, threads: 1, ..ForestConfig::default() },
+            9,
+        );
+        let mut par = RandomForest::new(
+            ForestConfig { num_trees: 12, threads: 4, ..ForestConfig::default() },
+            9,
+        );
+        seq.fit(&x, &y, 2).unwrap();
+        par.fit(&x, &y, 2).unwrap();
+        assert_eq!(seq.predict_proba(&x), par.predict_proba(&x), "threading must not change output");
+    }
+
+    #[test]
+    fn weighted_bootstrap_prefers_heavy_samples() {
+        // A cloud of class 0 plus few heavy class-1 points at the same spot.
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut y = Vec::new();
+        let mut w = Vec::new();
+        for i in 0..30 {
+            rows.push(vec![i as f64 * 0.01, 0.0]);
+            y.push(0);
+            w.push(1.0);
+        }
+        for _ in 0..3 {
+            rows.push(vec![0.15, 0.0]);
+            y.push(1);
+            w.push(50.0);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let mut f = RandomForest::new(
+            ForestConfig { num_trees: 25, threads: 1, ..ForestConfig::default() },
+            3,
+        );
+        f.fit_weighted(&x, &y, &w, 2).unwrap();
+        let p = f.predict_proba(&Matrix::from_rows(&[&[0.15, 0.0]]));
+        assert!(p.get(0, 1) > 0.5, "heavy minority should win locally: {}", p.get(0, 1));
+    }
+
+    #[test]
+    fn probabilities_rows_sum_to_one() {
+        let (x, y) = blobs(15, 2, 3);
+        let mut f = RandomForest::new(
+            ForestConfig { num_trees: 10, threads: 2, ..ForestConfig::default() },
+            4,
+        );
+        f.fit(&x, &y, 2).unwrap();
+        let p = f.predict_proba(&x);
+        for r in 0..p.rows() {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        let f = RandomForest::new(ForestConfig::default(), 1);
+        let _ = f.predict_proba(&Matrix::zeros(1, 2));
+    }
+}

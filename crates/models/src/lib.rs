@@ -1,0 +1,72 @@
+//! Network-management classifiers and evaluation metrics.
+//!
+//! The paper's DA methods are *model-agnostic*: they are evaluated with four
+//! classifier families — TNet (a deep tabular network), MLP, random forest,
+//! and XGBoost-style gradient boosting. This crate implements all four from
+//! scratch behind one [`Classifier`] trait (weighted fitting included, which
+//! the S&T baseline needs), plus the embedding network used by the
+//! MatchNet/ProtoNet few-shot baselines and the F1 metrics the paper
+//! reports.
+//!
+//! # Example
+//!
+//! ```
+//! use fsda_linalg::Matrix;
+//! use fsda_models::{Classifier, classifier::ClassifierKind, metrics::macro_f1};
+//!
+//! let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.1, 0.0], &[5.0, 5.0], &[5.1, 5.0]]);
+//! let y = vec![0, 0, 1, 1];
+//! let mut model = ClassifierKind::RandomForest.build(42);
+//! model.fit(&x, &y, 2)?;
+//! let pred = model.predict(&x);
+//! assert!(macro_f1(&y, &pred, 2) > 0.99);
+//! # Ok::<(), fsda_models::ModelError>(())
+//! ```
+
+pub mod classifier;
+pub mod embedding;
+pub mod forest;
+pub mod gbdt;
+pub mod metrics;
+pub mod mlp;
+pub mod tnet;
+pub mod tree;
+
+pub use classifier::{Classifier, ClassifierKind};
+
+/// Errors raised by model training and prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Features/labels disagree or are empty.
+    InvalidInput(String),
+    /// Prediction was requested before `fit`.
+    NotFitted,
+    /// Numeric failure during training.
+    Numeric(String),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            ModelError::NotFitted => write!(f, "model is not fitted"),
+            ModelError::Numeric(msg) => write!(f, "numeric failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(!ModelError::NotFitted.to_string().is_empty());
+        assert!(ModelError::InvalidInput("x".into()).to_string().contains('x'));
+    }
+}

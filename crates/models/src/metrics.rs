@@ -1,0 +1,187 @@
+//! Evaluation metrics: the macro-averaged F1 the paper reports, plus the
+//! per-class quantities behind it.
+
+use fsda_linalg::Matrix;
+
+/// Confusion matrix: `m[true][pred]` counts.
+///
+/// # Panics
+///
+/// Panics if the label slices have different lengths or contain labels
+/// `>= num_classes`.
+pub fn confusion_matrix(y_true: &[usize], y_pred: &[usize], num_classes: usize) -> Matrix {
+    assert_eq!(y_true.len(), y_pred.len(), "confusion_matrix: length mismatch");
+    let mut m = Matrix::zeros(num_classes, num_classes);
+    for (&t, &p) in y_true.iter().zip(y_pred) {
+        assert!(t < num_classes && p < num_classes, "label out of range");
+        m.set(t, p, m.get(t, p) + 1.0);
+    }
+    m
+}
+
+/// Per-class precision, recall, and F1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassScores {
+    /// Precision per class (0 when the class was never predicted).
+    pub precision: Vec<f64>,
+    /// Recall per class (0 when the class never occurs).
+    pub recall: Vec<f64>,
+    /// F1 per class.
+    pub f1: Vec<f64>,
+    /// True-sample count per class.
+    pub support: Vec<usize>,
+}
+
+/// Computes per-class precision/recall/F1 from predictions.
+///
+/// # Panics
+///
+/// As [`confusion_matrix`].
+pub fn class_scores(y_true: &[usize], y_pred: &[usize], num_classes: usize) -> ClassScores {
+    let cm = confusion_matrix(y_true, y_pred, num_classes);
+    let mut precision = vec![0.0; num_classes];
+    let mut recall = vec![0.0; num_classes];
+    let mut f1 = vec![0.0; num_classes];
+    let mut support = vec![0usize; num_classes];
+    for c in 0..num_classes {
+        let tp = cm.get(c, c);
+        let pred_c: f64 = (0..num_classes).map(|t| cm.get(t, c)).sum();
+        let true_c: f64 = (0..num_classes).map(|p| cm.get(c, p)).sum();
+        support[c] = true_c as usize;
+        precision[c] = if pred_c > 0.0 { tp / pred_c } else { 0.0 };
+        recall[c] = if true_c > 0.0 { tp / true_c } else { 0.0 };
+        let denom = precision[c] + recall[c];
+        f1[c] = if denom > 0.0 { 2.0 * precision[c] * recall[c] / denom } else { 0.0 };
+    }
+    ClassScores { precision, recall, f1, support }
+}
+
+/// Macro-averaged F1 over the classes that actually occur in `y_true`.
+///
+/// The paper reports F1 scores in `[0, 100]`-style percentages; this
+/// function returns the `[0, 1]` value — multiply by 100 for table output.
+///
+/// # Panics
+///
+/// As [`confusion_matrix`].
+pub fn macro_f1(y_true: &[usize], y_pred: &[usize], num_classes: usize) -> f64 {
+    let scores = class_scores(y_true, y_pred, num_classes);
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for c in 0..num_classes {
+        if scores.support[c] > 0 {
+            sum += scores.f1[c];
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return 0.0;
+    }
+    sum / count as f64
+}
+
+/// Plain accuracy.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(y_true: &[usize], y_pred: &[usize]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "accuracy: length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let hits = y_true.iter().zip(y_pred).filter(|(&t, &p)| t == p).count();
+    hits as f64 / y_true.len() as f64
+}
+
+/// Weighted (by support) F1 — occasionally useful alongside the macro
+/// value; the paper's tables are macro-F1.
+///
+/// # Panics
+///
+/// As [`confusion_matrix`].
+pub fn weighted_f1(y_true: &[usize], y_pred: &[usize], num_classes: usize) -> f64 {
+    let scores = class_scores(y_true, y_pred, num_classes);
+    let total: usize = scores.support.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    scores
+        .f1
+        .iter()
+        .zip(&scores.support)
+        .map(|(&f, &s)| f * s as f64)
+        .sum::<f64>()
+        / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let cm = confusion_matrix(&[0, 0, 1, 1], &[0, 1, 1, 1], 2);
+        assert_eq!(cm.get(0, 0), 1.0);
+        assert_eq!(cm.get(0, 1), 1.0);
+        assert_eq!(cm.get(1, 1), 2.0);
+        assert_eq!(cm.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn perfect_prediction_is_one() {
+        let y = vec![0, 1, 2, 0, 1, 2];
+        assert_eq!(macro_f1(&y, &y, 3), 1.0);
+        assert_eq!(accuracy(&y, &y), 1.0);
+        assert_eq!(weighted_f1(&y, &y, 3), 1.0);
+    }
+
+    #[test]
+    fn always_wrong_is_zero() {
+        let y_true = vec![0, 0, 1, 1];
+        let y_pred = vec![1, 1, 0, 0];
+        assert_eq!(macro_f1(&y_true, &y_pred, 2), 0.0);
+        assert_eq!(accuracy(&y_true, &y_pred), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_hand_computed() {
+        // Class 0: tp=2, fp=1, fn=0 => p=2/3, r=1, f1=0.8.
+        // Class 1: tp=1, fp=0, fn=1 => p=1, r=0.5, f1=2/3.
+        let y_true = vec![0, 0, 1, 1];
+        let y_pred = vec![0, 0, 0, 1];
+        let f1 = macro_f1(&y_true, &y_pred, 2);
+        assert!((f1 - (0.8 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_ignores_absent_classes() {
+        // Class 2 never occurs in y_true: it must not drag the average down.
+        let y_true = vec![0, 1];
+        let y_pred = vec![0, 1];
+        assert_eq!(macro_f1(&y_true, &y_pred, 3), 1.0);
+    }
+
+    #[test]
+    fn unpredicted_class_gets_zero_precision() {
+        let scores = class_scores(&[0, 1], &[0, 0], 2);
+        assert_eq!(scores.precision[1], 0.0);
+        assert_eq!(scores.recall[1], 0.0);
+        assert_eq!(scores.f1[1], 0.0);
+        assert_eq!(scores.support, vec![1, 1]);
+    }
+
+    #[test]
+    fn weighted_f1_reflects_support() {
+        // Majority class correct, minority wrong: weighted > macro.
+        let y_true = vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        let y_pred = vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        assert!(weighted_f1(&y_true, &y_pred, 2) > macro_f1(&y_true, &y_pred, 2));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(macro_f1(&[], &[], 3), 0.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Multilayer-perceptron classifier.
+
+use crate::classifier::{validate_fit, Classifier};
+use crate::Result;
+use fsda_linalg::{Matrix, SeededRng};
+use fsda_nn::layer::{Activation, Dense};
+use fsda_nn::loss::{softmax, weighted_cross_entropy};
+use fsda_nn::optim::{Adam, Optimizer};
+use fsda_nn::train::BatchIter;
+use fsda_nn::Sequential;
+
+/// Hyper-parameters of the [`MlpClassifier`].
+#[derive(Debug, Clone)]
+pub struct MlpConfig {
+    /// Hidden-layer widths.
+    pub hidden: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Decoupled weight decay.
+    pub weight_decay: f64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden: vec![128, 64],
+            epochs: 60,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            weight_decay: 1e-5,
+        }
+    }
+}
+
+/// A plain fully-connected classifier (`Dense → ReLU` stacks with a linear
+/// softmax head), the "MLP" column of the paper's tables.
+pub struct MlpClassifier {
+    config: MlpConfig,
+    seed: u64,
+    net: Option<Sequential>,
+    num_classes: usize,
+}
+
+impl std::fmt::Debug for MlpClassifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MlpClassifier")
+            .field("config", &self.config)
+            .field("fitted", &self.net.is_some())
+            .finish()
+    }
+}
+
+impl MlpClassifier {
+    /// Creates an untrained classifier.
+    pub fn new(config: MlpConfig, seed: u64) -> Self {
+        MlpClassifier { config, seed, net: None, num_classes: 0 }
+    }
+
+    fn build_net(&self, in_dim: usize, out_dim: usize, rng: &mut SeededRng) -> Sequential {
+        let mut net = Sequential::new();
+        let mut prev = in_dim;
+        for &h in &self.config.hidden {
+            net.push(Dense::new(prev, h, rng));
+            net.push(Activation::relu());
+            prev = h;
+        }
+        net.push(Dense::new(prev, out_dim, rng));
+        net
+    }
+
+    /// Fine-tunes all parameters on new data (used by the Fine-Tune
+    /// baseline, which the paper applies to the MLP only). Re-optimizes
+    /// every layer, matching the paper's finding that full re-optimization
+    /// beats last-layer-only updates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ModelError::NotFitted`] when called before `fit`
+    /// and [`crate::ModelError::InvalidInput`] on shape problems.
+    pub fn fine_tune(
+        &mut self,
+        x: &Matrix,
+        y: &[usize],
+        epochs: usize,
+        learning_rate: f64,
+    ) -> Result<()> {
+        let num_classes = self.num_classes;
+        let weights = vec![1.0; y.len()];
+        validate_fit(x, y, &weights, num_classes)?;
+        let net = self.net.as_mut().ok_or(crate::ModelError::NotFitted)?;
+        let mut rng = SeededRng::new(self.seed ^ 0xF1E7);
+        let mut opt = Adam::with_decay(learning_rate, 0.0);
+        for _ in 0..epochs {
+            for batch in BatchIter::new(x.rows(), self.config.batch_size.min(x.rows()), &mut rng)
+            {
+                let bx = x.select_rows(&batch);
+                let by: Vec<usize> = batch.iter().map(|&i| y[i]).collect();
+                let bw = vec![1.0; by.len()];
+                let logits = net.forward(&bx, true);
+                let (_, grad) = weighted_cross_entropy(&logits, &by, &bw);
+                net.zero_grad();
+                net.backward(&grad);
+                opt.step(&mut net.params_mut());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Classifier for MlpClassifier {
+    fn fit_weighted(
+        &mut self,
+        x: &Matrix,
+        y: &[usize],
+        weights: &[f64],
+        num_classes: usize,
+    ) -> Result<()> {
+        validate_fit(x, y, weights, num_classes)?;
+        let mut rng = SeededRng::new(self.seed);
+        let mut net = self.build_net(x.cols(), num_classes, &mut rng);
+        let mut opt = Adam::with_decay(self.config.learning_rate, self.config.weight_decay);
+        for _ in 0..self.config.epochs {
+            for batch in BatchIter::new(x.rows(), self.config.batch_size.min(x.rows()), &mut rng)
+            {
+                let bx = x.select_rows(&batch);
+                let by: Vec<usize> = batch.iter().map(|&i| y[i]).collect();
+                let bw: Vec<f64> = batch.iter().map(|&i| weights[i]).collect();
+                let logits = net.forward(&bx, true);
+                let (_, grad) = weighted_cross_entropy(&logits, &by, &bw);
+                net.zero_grad();
+                net.backward(&grad);
+                opt.step(&mut net.params_mut());
+            }
+        }
+        self.net = Some(net);
+        self.num_classes = num_classes;
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let net = self.net.as_ref().expect("MlpClassifier: predict before fit");
+        softmax(&net.infer(x))
+    }
+
+    fn name(&self) -> &'static str {
+        "mlp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::macro_f1;
+
+    fn blobs(n_per: usize, classes: usize, sep: f64, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = SeededRng::new(seed);
+        let n = n_per * classes;
+        let mut x = Matrix::zeros(n, 4);
+        let mut y = Vec::with_capacity(n);
+        for c in 0..classes {
+            for _ in 0..n_per {
+                let r = y.len();
+                for j in 0..4 {
+                    let center = if j % classes == c { sep } else { 0.0 };
+                    x.set(r, j, rng.normal(center, 0.6));
+                }
+                y.push(c);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_separable_blobs() {
+        let (x, y) = blobs(40, 3, 2.5, 1);
+        let mut m = MlpClassifier::new(MlpConfig { epochs: 40, ..MlpConfig::default() }, 7);
+        m.fit(&x, &y, 3).unwrap();
+        let pred = m.predict(&x);
+        assert!(macro_f1(&y, &pred, 3) > 0.95);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (x, y) = blobs(20, 2, 2.0, 2);
+        let mut m = MlpClassifier::new(MlpConfig { epochs: 10, ..MlpConfig::default() }, 3);
+        m.fit(&x, &y, 2).unwrap();
+        let p = m.predict_proba(&x);
+        for r in 0..p.rows() {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn weighted_fit_prioritizes_heavy_samples() {
+        // Two contradictory labelings of the same region; the heavy samples win.
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.1], &[1.1, 0.0], &[0.9, 0.05]]);
+        let y = vec![0, 0, 1, 1];
+        let w = vec![0.01, 0.01, 10.0, 10.0];
+        let mut m = MlpClassifier::new(MlpConfig { epochs: 120, ..MlpConfig::default() }, 5);
+        m.fit_weighted(&x, &y, &w, 2).unwrap();
+        let pred = m.predict(&Matrix::from_rows(&[&[1.0, 0.05]]));
+        assert_eq!(pred[0], 1, "heavily weighted class should dominate");
+    }
+
+    #[test]
+    fn fine_tune_moves_decision() {
+        let (x, y) = blobs(30, 2, 2.0, 3);
+        let mut m = MlpClassifier::new(MlpConfig { epochs: 30, ..MlpConfig::default() }, 11);
+        m.fit(&x, &y, 2).unwrap();
+        // Fine-tune with flipped labels; predictions should flip too.
+        let flipped: Vec<usize> = y.iter().map(|&c| 1 - c).collect();
+        m.fine_tune(&x, &flipped, 60, 1e-3).unwrap();
+        let pred = m.predict(&x);
+        assert!(macro_f1(&flipped, &pred, 2) > 0.9);
+    }
+
+    #[test]
+    fn fine_tune_requires_fit() {
+        let mut m = MlpClassifier::new(MlpConfig::default(), 1);
+        let x = Matrix::zeros(2, 2);
+        assert!(m.fine_tune(&x, &[0, 1], 1, 1e-3).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        let m = MlpClassifier::new(MlpConfig::default(), 1);
+        let _ = m.predict_proba(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        let mut m = MlpClassifier::new(MlpConfig::default(), 1);
+        assert!(m.fit(&Matrix::zeros(2, 2), &[0, 9], 2).is_err());
+    }
+}

@@ -1,0 +1,501 @@
+//! Weighted CART decision trees (Gini impurity), the building block of the
+//! random forest and — in regression form — of gradient boosting.
+
+use crate::classifier::validate_fit;
+use crate::Result;
+use fsda_linalg::{Matrix, SeededRng};
+
+/// Hyper-parameters for a single classification tree.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum (weighted) samples required in a leaf.
+    pub min_samples_leaf: usize,
+    /// Number of features examined per split; `None` uses all features
+    /// (forests use `sqrt(d)`).
+    pub mtry: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: 16, min_samples_leaf: 2, mtry: None }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { probs: Vec<f64> },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// A fitted CART classification tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    num_classes: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on weighted samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ModelError::InvalidInput`] on malformed inputs.
+    pub fn fit(
+        x: &Matrix,
+        y: &[usize],
+        weights: &[f64],
+        num_classes: usize,
+        config: &TreeConfig,
+        rng: &mut SeededRng,
+    ) -> Result<Self> {
+        validate_fit(x, y, weights, num_classes)?;
+        let mut tree = DecisionTree { nodes: Vec::new(), num_classes };
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        tree.grow(x, y, weights, &indices, 0, config, rng);
+        Ok(tree)
+    }
+
+    /// Number of nodes in the tree.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum depth reached (root = 0); 0 for a single leaf.
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            rec(&self.nodes, 0)
+        }
+    }
+
+    /// Class-probability estimate for one sample.
+    pub fn predict_proba_row(&self, row: &[f64]) -> &[f64] {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { probs } => return probs,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Class probabilities for a batch.
+    pub fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.num_classes);
+        for r in 0..x.rows() {
+            out.row_mut(r).copy_from_slice(self.predict_proba_row(x.row(r)));
+        }
+        out
+    }
+
+    fn grow(
+        &mut self,
+        x: &Matrix,
+        y: &[usize],
+        weights: &[f64],
+        indices: &[usize],
+        depth: usize,
+        config: &TreeConfig,
+        rng: &mut SeededRng,
+    ) -> usize {
+        let (class_w, total_w) = class_weights(y, weights, indices, self.num_classes);
+        let node_gini = gini(&class_w, total_w);
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            let probs: Vec<f64> = if total_w > 0.0 {
+                class_w.iter().map(|&w| w / total_w).collect()
+            } else {
+                vec![1.0 / self.num_classes as f64; self.num_classes]
+            };
+            nodes.push(Node::Leaf { probs });
+            nodes.len() - 1
+        };
+        if depth >= config.max_depth
+            || indices.len() < 2 * config.min_samples_leaf
+            || node_gini <= 1e-12
+        {
+            return make_leaf(&mut self.nodes);
+        }
+
+        // Candidate features.
+        let d = x.cols();
+        let features: Vec<usize> = match config.mtry {
+            Some(m) if m < d => rng.sample_indices(d, m),
+            _ => (0..d).collect(),
+        };
+
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        let mut sortable: Vec<(f64, usize)> = Vec::with_capacity(indices.len());
+        for &f in &features {
+            sortable.clear();
+            sortable.extend(indices.iter().map(|&i| (x.get(i, f), i)));
+            sortable
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let mut left_w = vec![0.0; self.num_classes];
+            let mut left_total = 0.0;
+            let mut left_count = 0usize;
+            for k in 0..sortable.len() - 1 {
+                let (v, i) = sortable[k];
+                left_w[y[i]] += weights[i];
+                left_total += weights[i];
+                left_count += 1;
+                let next_v = sortable[k + 1].0;
+                if next_v <= v {
+                    continue; // no valid threshold between equal values
+                }
+                if left_count < config.min_samples_leaf
+                    || indices.len() - left_count < config.min_samples_leaf
+                {
+                    continue;
+                }
+                let right_total = total_w - left_total;
+                if left_total <= 0.0 || right_total <= 0.0 {
+                    continue;
+                }
+                let mut right_w = class_w.clone();
+                for (rw, lw) in right_w.iter_mut().zip(&left_w) {
+                    *rw -= lw;
+                }
+                let gain = node_gini
+                    - (left_total / total_w) * gini(&left_w, left_total)
+                    - (right_total / total_w) * gini(&right_w, right_total);
+                if gain > 1e-12 && best.map_or(true, |(g, _, _)| gain > g) {
+                    best = Some((gain, f, 0.5 * (v + next_v)));
+                }
+            }
+        }
+
+        let Some((_, feature, threshold)) = best else {
+            return make_leaf(&mut self.nodes);
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| x.get(i, feature) <= threshold);
+        // Reserve a slot for this split node before growing children.
+        let slot = self.nodes.len();
+        self.nodes.push(Node::Leaf { probs: Vec::new() }); // placeholder
+        let left = self.grow(x, y, weights, &left_idx, depth + 1, config, rng);
+        let right = self.grow(x, y, weights, &right_idx, depth + 1, config, rng);
+        self.nodes[slot] = Node::Split { feature, threshold, left, right };
+        slot
+    }
+}
+
+fn class_weights(
+    y: &[usize],
+    weights: &[f64],
+    indices: &[usize],
+    num_classes: usize,
+) -> (Vec<f64>, f64) {
+    let mut class_w = vec![0.0; num_classes];
+    let mut total = 0.0;
+    for &i in indices {
+        class_w[y[i]] += weights[i];
+        total += weights[i];
+    }
+    (class_w, total)
+}
+
+fn gini(class_w: &[f64], total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    1.0 - class_w.iter().map(|&w| (w / total) * (w / total)).sum::<f64>()
+}
+
+/// A regression tree fit to gradient/hessian pairs with the XGBoost
+/// second-order split criterion. Used by [`crate::gbdt`].
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<RegNode>,
+}
+
+#[derive(Debug, Clone)]
+enum RegNode {
+    Leaf { value: f64 },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// Hyper-parameters for the boosting regression trees.
+#[derive(Debug, Clone)]
+pub struct RegTreeConfig {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// L2 regularization on leaf values (XGBoost lambda).
+    pub lambda: f64,
+    /// Minimum hessian sum per child (XGBoost `min_child_weight`).
+    pub min_child_weight: f64,
+    /// Minimum gain to split (XGBoost gamma).
+    pub gamma: f64,
+    /// Features examined per split; `None` uses all.
+    pub mtry: Option<usize>,
+}
+
+impl Default for RegTreeConfig {
+    fn default() -> Self {
+        RegTreeConfig {
+            max_depth: 5,
+            lambda: 1.0,
+            min_child_weight: 1.0,
+            gamma: 0.0,
+            mtry: None,
+        }
+    }
+}
+
+impl RegressionTree {
+    /// Fits a regression tree to per-sample gradients `g` and hessians `h`
+    /// over the rows of `x` at `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g`, `h`, and `x` row counts disagree.
+    pub fn fit(
+        x: &Matrix,
+        g: &[f64],
+        h: &[f64],
+        indices: &[usize],
+        config: &RegTreeConfig,
+        rng: &mut SeededRng,
+    ) -> Self {
+        assert_eq!(x.rows(), g.len(), "RegressionTree: gradient count mismatch");
+        assert_eq!(g.len(), h.len(), "RegressionTree: hessian count mismatch");
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        tree.grow(x, g, h, indices, 0, config, rng);
+        tree
+    }
+
+    /// Predicted value for one sample.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                RegNode::Leaf { value } => return *value,
+                RegNode::Split { feature, threshold, left, right } => {
+                    i = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn grow(
+        &mut self,
+        x: &Matrix,
+        g: &[f64],
+        h: &[f64],
+        indices: &[usize],
+        depth: usize,
+        config: &RegTreeConfig,
+        rng: &mut SeededRng,
+    ) -> usize {
+        let g_sum: f64 = indices.iter().map(|&i| g[i]).sum();
+        let h_sum: f64 = indices.iter().map(|&i| h[i]).sum();
+        let leaf_value = -g_sum / (h_sum + config.lambda);
+        let make_leaf = |nodes: &mut Vec<RegNode>| {
+            nodes.push(RegNode::Leaf { value: leaf_value });
+            nodes.len() - 1
+        };
+        if depth >= config.max_depth || indices.len() < 2 {
+            return make_leaf(&mut self.nodes);
+        }
+        let parent_score = g_sum * g_sum / (h_sum + config.lambda);
+        let d = x.cols();
+        let features: Vec<usize> = match config.mtry {
+            Some(m) if m < d => rng.sample_indices(d, m),
+            _ => (0..d).collect(),
+        };
+        let mut best: Option<(f64, usize, f64)> = None;
+        let mut sortable: Vec<(f64, usize)> = Vec::with_capacity(indices.len());
+        for &f in &features {
+            sortable.clear();
+            sortable.extend(indices.iter().map(|&i| (x.get(i, f), i)));
+            sortable
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let mut gl = 0.0;
+            let mut hl = 0.0;
+            for k in 0..sortable.len() - 1 {
+                let (v, i) = sortable[k];
+                gl += g[i];
+                hl += h[i];
+                let next_v = sortable[k + 1].0;
+                if next_v <= v {
+                    continue;
+                }
+                let hr = h_sum - hl;
+                if hl < config.min_child_weight || hr < config.min_child_weight {
+                    continue;
+                }
+                let gr = g_sum - gl;
+                let gain = 0.5
+                    * (gl * gl / (hl + config.lambda) + gr * gr / (hr + config.lambda)
+                        - parent_score)
+                    - config.gamma;
+                if gain > 1e-12 && best.map_or(true, |(bg, _, _)| gain > bg) {
+                    best = Some((gain, f, 0.5 * (v + next_v)));
+                }
+            }
+        }
+        let Some((_, feature, threshold)) = best else {
+            return make_leaf(&mut self.nodes);
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| x.get(i, feature) <= threshold);
+        let slot = self.nodes.len();
+        self.nodes.push(RegNode::Leaf { value: 0.0 });
+        let left = self.grow(x, g, h, &left_idx, depth + 1, config, rng);
+        let right = self.grow(x, g, h, &right_idx, depth + 1, config, rng);
+        self.nodes[slot] = RegNode::Split { feature, threshold, left, right };
+        slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let a = f64::from(i % 2);
+            let b = f64::from((i / 2) % 2);
+            rows.push([a + 0.01 * i as f64 / 40.0, b]);
+            y.push(usize::from((a + b) as usize % 2 == 1));
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Matrix::from_rows(&refs), y)
+    }
+
+    #[test]
+    fn fits_xor_exactly() {
+        let (x, y) = xor_data();
+        let w = vec![1.0; y.len()];
+        let mut rng = SeededRng::new(1);
+        let cfg = TreeConfig { min_samples_leaf: 1, ..TreeConfig::default() };
+        let tree = DecisionTree::fit(&x, &y, &w, 2, &cfg, &mut rng).unwrap();
+        for r in 0..x.rows() {
+            let probs = tree.predict_proba_row(x.row(r));
+            let pred = usize::from(probs[1] > probs[0]);
+            assert_eq!(pred, y[r], "row {r}");
+        }
+        assert!(tree.depth() >= 2, "XOR needs at least two levels");
+    }
+
+    #[test]
+    fn pure_node_is_single_leaf() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let y = vec![1, 1, 1];
+        let w = vec![1.0; 3];
+        let mut rng = SeededRng::new(2);
+        let tree =
+            DecisionTree::fit(&x, &y, &w, 2, &TreeConfig::default(), &mut rng).unwrap();
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.predict_proba_row(&[5.0]), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn max_depth_limits_tree() {
+        let (x, y) = xor_data();
+        let w = vec![1.0; y.len()];
+        let mut rng = SeededRng::new(3);
+        let cfg = TreeConfig { max_depth: 1, ..TreeConfig::default() };
+        let tree = DecisionTree::fit(&x, &y, &w, 2, &cfg, &mut rng).unwrap();
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn weights_shift_leaf_probabilities() {
+        // Same point, conflicting labels; the heavier label wins.
+        let x = Matrix::from_rows(&[&[0.0], &[0.0], &[0.0]]);
+        let y = vec![0, 1, 1];
+        let w = vec![10.0, 1.0, 1.0];
+        let mut rng = SeededRng::new(4);
+        let tree =
+            DecisionTree::fit(&x, &y, &w, 2, &TreeConfig::default(), &mut rng).unwrap();
+        let probs = tree.predict_proba_row(&[0.0]);
+        assert!(probs[0] > 0.8, "weighted majority should dominate: {probs:?}");
+    }
+
+    #[test]
+    fn proba_batch_rows_sum_to_one() {
+        let (x, y) = xor_data();
+        let w = vec![1.0; y.len()];
+        let mut rng = SeededRng::new(5);
+        let tree =
+            DecisionTree::fit(&x, &y, &w, 2, &TreeConfig::default(), &mut rng).unwrap();
+        let p = tree.predict_proba(&x);
+        for r in 0..p.rows() {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn regression_tree_fits_step_function() {
+        // Minimizing 0.5*h*(v + g/h)^2: with h = 1, leaf value = -g.
+        // Step target: y = 2 for x < 0, y = -1 for x >= 0. Feed g = -y, h = 1.
+        let n = 50;
+        let x = Matrix::from_fn(n, 1, |i, _| i as f64 / n as f64 - 0.5);
+        let g: Vec<f64> = (0..n).map(|i| if (i as f64 / n as f64) < 0.5 { -2.0 } else { 1.0 }).collect();
+        let h = vec![1.0; n];
+        let idx: Vec<usize> = (0..n).collect();
+        let mut rng = SeededRng::new(6);
+        let cfg = RegTreeConfig { lambda: 0.0, ..RegTreeConfig::default() };
+        let tree = RegressionTree::fit(&x, &g, &h, &idx, &cfg, &mut rng);
+        assert!((tree.predict_row(&[-0.4]) - 2.0).abs() < 1e-9);
+        assert!((tree.predict_row(&[0.4]) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_tree_lambda_shrinks_leaves() {
+        let x = Matrix::from_fn(10, 1, |i, _| i as f64);
+        let g = vec![-1.0; 10];
+        let h = vec![1.0; 10];
+        let idx: Vec<usize> = (0..10).collect();
+        let mut rng = SeededRng::new(7);
+        let no_reg = RegressionTree::fit(
+            &x,
+            &g,
+            &h,
+            &idx,
+            &RegTreeConfig { lambda: 0.0, ..RegTreeConfig::default() },
+            &mut rng,
+        );
+        let reg = RegressionTree::fit(
+            &x,
+            &g,
+            &h,
+            &idx,
+            &RegTreeConfig { lambda: 10.0, ..RegTreeConfig::default() },
+            &mut rng,
+        );
+        assert!(reg.predict_row(&[0.0]).abs() < no_reg.predict_row(&[0.0]).abs());
+    }
+
+    #[test]
+    fn mtry_restricts_split_features() {
+        // With mtry = 1 over 2 features the tree still fits (just may need
+        // more depth); sanity check that it runs and predicts.
+        let (x, y) = xor_data();
+        let w = vec![1.0; y.len()];
+        let mut rng = SeededRng::new(8);
+        let cfg = TreeConfig { mtry: Some(1), ..TreeConfig::default() };
+        let tree = DecisionTree::fit(&x, &y, &w, 2, &cfg, &mut rng).unwrap();
+        assert!(tree.num_nodes() >= 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for classifiers and metrics.
+
+use fsda_linalg::{Matrix, SeededRng};
+use fsda_models::classifier::argmax_rows;
+use fsda_models::forest::{ForestConfig, RandomForest};
+use fsda_models::gbdt::{GbdtConfig, GradientBoosting};
+use fsda_models::metrics::{accuracy, class_scores, confusion_matrix, macro_f1, weighted_f1};
+use fsda_models::tree::{DecisionTree, TreeConfig};
+use fsda_models::Classifier;
+use proptest::prelude::*;
+
+fn random_labels(seed: u64, n: usize, k: usize) -> (Vec<usize>, Vec<usize>) {
+    let mut rng = SeededRng::new(seed);
+    let t: Vec<usize> = (0..n).map(|_| rng.index(k)).collect();
+    let p: Vec<usize> = (0..n).map(|_| rng.index(k)).collect();
+    (t, p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn f1_bounded_and_perfect_on_self(seed in 0u64..1000, n in 1usize..60, k in 2usize..6) {
+        let (t, p) = random_labels(seed, n, k);
+        let f1 = macro_f1(&t, &p, k);
+        prop_assert!((0.0..=1.0).contains(&f1));
+        prop_assert_eq!(macro_f1(&t, &t, k), 1.0);
+        prop_assert!((0.0..=1.0).contains(&weighted_f1(&t, &p, k)));
+        prop_assert!((0.0..=1.0).contains(&accuracy(&t, &p)));
+    }
+
+    #[test]
+    fn confusion_matrix_row_sums_equal_support(seed in 0u64..1000, n in 1usize..40, k in 2usize..5) {
+        let (t, p) = random_labels(seed, n, k);
+        let cm = confusion_matrix(&t, &p, k);
+        let scores = class_scores(&t, &p, k);
+        for c in 0..k {
+            let row_sum: f64 = (0..k).map(|j| cm.get(c, j)).sum();
+            prop_assert_eq!(row_sum as usize, scores.support[c]);
+        }
+        let total: f64 = cm.as_slice().iter().sum();
+        prop_assert_eq!(total as usize, n);
+    }
+
+    #[test]
+    fn precision_recall_bounded(seed in 0u64..1000, n in 1usize..40, k in 2usize..5) {
+        let (t, p) = random_labels(seed, n, k);
+        let s = class_scores(&t, &p, k);
+        for c in 0..k {
+            prop_assert!((0.0..=1.0).contains(&s.precision[c]));
+            prop_assert!((0.0..=1.0).contains(&s.recall[c]));
+            prop_assert!((0.0..=1.0).contains(&s.f1[c]));
+        }
+    }
+
+    #[test]
+    fn tree_fits_training_data_perfectly_when_separable(seed in 0u64..200) {
+        // Distinct feature values per sample => a deep tree memorizes.
+        let mut rng = SeededRng::new(seed);
+        let n = 20;
+        let x = Matrix::from_fn(n, 1, |i, _| i as f64 + rng.uniform() * 0.3);
+        let y: Vec<usize> = (0..n).map(|_| rng.index(3)).collect();
+        let w = vec![1.0; n];
+        let cfg = TreeConfig { max_depth: 32, min_samples_leaf: 1, mtry: None };
+        let tree = DecisionTree::fit(&x, &y, &w, 3, &cfg, &mut rng).unwrap();
+        for r in 0..n {
+            let probs = tree.predict_proba_row(x.row(r));
+            let pred = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            prop_assert_eq!(pred, y[r]);
+        }
+    }
+
+    #[test]
+    fn forest_probabilities_are_distributions(seed in 0u64..100) {
+        let mut rng = SeededRng::new(seed);
+        let x = rng.normal_matrix(30, 3, 0.0, 1.0);
+        let y: Vec<usize> = (0..30).map(|_| rng.index(2)).collect();
+        let mut f = RandomForest::new(
+            ForestConfig { num_trees: 5, threads: 1, ..ForestConfig::default() },
+            seed,
+        );
+        f.fit(&x, &y, 2).unwrap();
+        let p = f.predict_proba(&x);
+        for r in 0..30 {
+            let s: f64 = p.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+        prop_assert_eq!(f.predict(&x), argmax_rows(&p));
+    }
+
+    #[test]
+    fn gbdt_probabilities_are_distributions(seed in 0u64..50) {
+        let mut rng = SeededRng::new(seed);
+        let x = rng.normal_matrix(24, 3, 0.0, 1.0);
+        let y: Vec<usize> = (0..24).map(|_| rng.index(3)).collect();
+        let mut m = GradientBoosting::new(
+            GbdtConfig { rounds: 3, ..GbdtConfig::default() },
+            seed,
+        );
+        m.fit(&x, &y, 3).unwrap();
+        let p = m.predict_proba(&x);
+        prop_assert!(p.is_finite());
+        for r in 0..24 {
+            let s: f64 = p.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn argmax_rows_selects_max(seed in 0u64..1000, n in 1usize..10, k in 1usize..6) {
+        let mut rng = SeededRng::new(seed);
+        let m = rng.normal_matrix(n, k, 0.0, 1.0);
+        let picks = argmax_rows(&m);
+        for (r, &c) in picks.iter().enumerate() {
+            for j in 0..k {
+                prop_assert!(m.get(r, c) >= m.get(r, j));
+            }
+        }
+    }
+}

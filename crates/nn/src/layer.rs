@@ -1,0 +1,639 @@
+//! The [`Layer`] trait and stateless / parametric layers.
+
+use crate::Param;
+use fsda_linalg::{Matrix, SeededRng};
+
+/// A differentiable network layer.
+///
+/// `forward` caches whatever it needs so that a following `backward` can
+/// compute the gradient with respect to the layer input and accumulate
+/// parameter gradients. Layers are used through [`crate::Sequential`] in
+/// practice.
+pub trait Layer: Send {
+    /// Computes the layer output for a batch (rows are samples).
+    /// `train` toggles training-time behaviour (dropout, batch statistics).
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix;
+
+    /// Propagates `grad_output` (dL/d output) back through the layer,
+    /// accumulating parameter gradients, and returns dL/d input.
+    ///
+    /// Must be called after a `forward` on the same batch.
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+
+    /// Inference-only forward pass: evaluation-mode behaviour, no caching,
+    /// usable through a shared reference (classifiers predict with `&self`).
+    fn infer(&self, input: &Matrix) -> Matrix;
+
+    /// Mutable views of the layer's parameters and gradients (empty for
+    /// stateless layers). The order must be stable across calls.
+    fn params_mut(&mut self) -> Vec<Param<'_>> {
+        Vec::new()
+    }
+
+    /// Zeroes accumulated parameter gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.grad.map_inplace(|_| 0.0);
+        }
+    }
+
+    /// Number of scalar parameters (for reporting).
+    fn num_params(&self) -> usize {
+        0
+    }
+}
+
+/// Fully-connected affine layer `y = x W^T + b`.
+///
+/// Weights are stored as an `(out, in)` matrix and initialized with
+/// He-uniform scaling, which works well for the ReLU-family activations the
+/// paper's architectures use.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weight: Matrix,
+    bias: Matrix,
+    grad_weight: Matrix,
+    grad_bias: Matrix,
+    input: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-uniform initialization.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut SeededRng) -> Self {
+        let bound = (6.0 / in_dim as f64).sqrt();
+        let weight = Matrix::from_fn(out_dim, in_dim, |_, _| rng.uniform_range(-bound, bound));
+        Dense {
+            weight,
+            bias: Matrix::zeros(1, out_dim),
+            grad_weight: Matrix::zeros(out_dim, in_dim),
+            grad_bias: Matrix::zeros(1, out_dim),
+            input: None,
+        }
+    }
+
+    /// Creates a dense layer with Xavier-uniform initialization (preferred
+    /// for tanh/sigmoid outputs).
+    pub fn new_xavier(in_dim: usize, out_dim: usize, rng: &mut SeededRng) -> Self {
+        let bound = (6.0 / (in_dim + out_dim) as f64).sqrt();
+        let weight = Matrix::from_fn(out_dim, in_dim, |_, _| rng.uniform_range(-bound, bound));
+        Dense {
+            weight,
+            bias: Matrix::zeros(1, out_dim),
+            grad_weight: Matrix::zeros(out_dim, in_dim),
+            grad_bias: Matrix::zeros(1, out_dim),
+            input: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Borrow of the weight matrix (for tests and inspection).
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Matrix, _train: bool) -> Matrix {
+        let out = self.infer(input);
+        self.input = Some(input.clone());
+        out
+    }
+
+    fn infer(&self, input: &Matrix) -> Matrix {
+        debug_assert_eq!(input.cols(), self.in_dim(), "Dense: input dim mismatch");
+        let mut out = input.matmul(&self.weight.transpose());
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (o, &b) in row.iter_mut().zip(self.bias.row(0)) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self.input.as_ref().expect("Dense::backward called before forward");
+        // dW += g^T x ; db += sum_rows g ; dx = g W
+        self.grad_weight.axpy(1.0, &grad_output.transpose().matmul(input));
+        for r in 0..grad_output.rows() {
+            let g = grad_output.row(r);
+            let gb = self.grad_bias.row_mut(0);
+            for (b, &v) in gb.iter_mut().zip(g) {
+                *b += v;
+            }
+        }
+        grad_output.matmul(&self.weight)
+    }
+
+    fn params_mut(&mut self) -> Vec<Param<'_>> {
+        vec![
+            Param { value: &mut self.weight, grad: &mut self.grad_weight },
+            Param { value: &mut self.bias, grad: &mut self.grad_bias },
+        ]
+    }
+
+    fn num_params(&self) -> usize {
+        self.weight.rows() * self.weight.cols() + self.bias.cols()
+    }
+}
+
+/// Supported elementwise activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationKind {
+    /// `max(0, x)`.
+    Relu,
+    /// `x` for `x > 0`, `alpha * x` otherwise, with `alpha = 0.2` (the CTGAN
+    /// discriminator default).
+    LeakyRelu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+/// Stateless elementwise activation layer.
+#[derive(Debug, Clone)]
+pub struct Activation {
+    kind: ActivationKind,
+    input: Option<Matrix>,
+}
+
+impl Activation {
+    /// Creates an activation of the given kind.
+    pub fn new(kind: ActivationKind) -> Self {
+        Activation { kind, input: None }
+    }
+
+    /// ReLU activation.
+    pub fn relu() -> Self {
+        Self::new(ActivationKind::Relu)
+    }
+
+    /// LeakyReLU activation with slope 0.2.
+    pub fn leaky_relu() -> Self {
+        Self::new(ActivationKind::LeakyRelu)
+    }
+
+    /// Tanh activation.
+    pub fn tanh() -> Self {
+        Self::new(ActivationKind::Tanh)
+    }
+
+    /// Sigmoid activation.
+    pub fn sigmoid() -> Self {
+        Self::new(ActivationKind::Sigmoid)
+    }
+
+    /// The activation kind.
+    pub fn kind(&self) -> ActivationKind {
+        self.kind
+    }
+
+    fn apply(&self, x: f64) -> f64 {
+        match self.kind {
+            ActivationKind::Relu => x.max(0.0),
+            ActivationKind::LeakyRelu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.2 * x
+                }
+            }
+            ActivationKind::Tanh => x.tanh(),
+            ActivationKind::Sigmoid => sigmoid(x),
+        }
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        match self.kind {
+            ActivationKind::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActivationKind::LeakyRelu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.2
+                }
+            }
+            ActivationKind::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            ActivationKind::Sigmoid => {
+                let s = sigmoid(x);
+                s * (1.0 - s)
+            }
+        }
+    }
+}
+
+impl Layer for Activation {
+    fn forward(&mut self, input: &Matrix, _train: bool) -> Matrix {
+        self.input = Some(input.clone());
+        input.map(|x| self.apply(x))
+    }
+
+    fn infer(&self, input: &Matrix) -> Matrix {
+        input.map(|x| self.apply(x))
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self.input.as_ref().expect("Activation::backward called before forward");
+        let mut out = grad_output.clone();
+        for (g, &x) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            *g *= self.derivative(x);
+        }
+        out
+    }
+}
+
+/// Numerically-stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Gradient-reversal layer used by DANN: identity on the forward pass,
+/// multiplies the gradient by `-lambda` on the backward pass.
+#[derive(Debug, Clone)]
+pub struct GradientReversal {
+    lambda: f64,
+}
+
+impl GradientReversal {
+    /// Creates a reversal layer with the given strength `lambda`.
+    pub fn new(lambda: f64) -> Self {
+        GradientReversal { lambda }
+    }
+
+    /// Updates the reversal strength (DANN schedules it during training).
+    pub fn set_lambda(&mut self, lambda: f64) {
+        self.lambda = lambda;
+    }
+
+    /// Current reversal strength.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Layer for GradientReversal {
+    fn forward(&mut self, input: &Matrix, _train: bool) -> Matrix {
+        input.clone()
+    }
+
+    fn infer(&self, input: &Matrix) -> Matrix {
+        input.clone()
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        grad_output.scale(-self.lambda)
+    }
+}
+
+/// Column spans of a CTGAN-style mixed output: a contiguous block of
+/// continuous columns squashed with `tanh`, followed by zero or more one-hot
+/// blocks produced with Gumbel-softmax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputSpec {
+    /// Number of leading continuous columns (tanh).
+    pub continuous: usize,
+    /// Sizes of the discrete one-hot blocks that follow.
+    pub discrete_blocks: Vec<usize>,
+}
+
+impl OutputSpec {
+    /// A purely continuous output of `n` columns.
+    pub fn continuous(n: usize) -> Self {
+        OutputSpec { continuous: n, discrete_blocks: Vec::new() }
+    }
+
+    /// Total number of output columns.
+    pub fn width(&self) -> usize {
+        self.continuous + self.discrete_blocks.iter().sum::<usize>()
+    }
+}
+
+/// CTGAN-style mixed output head: `tanh` over the continuous block and
+/// Gumbel-softmax over each discrete block.
+///
+/// The Gumbel-softmax uses the straight-through-free "soft" sample during
+/// training, which keeps the layer differentiable; the gradient treats the
+/// Gumbel noise as constant (the standard reparameterization).
+#[derive(Debug, Clone)]
+pub struct MixedActivation {
+    spec: OutputSpec,
+    temperature: f64,
+    rng: SeededRng,
+    /// Cached (input logits + gumbel noise already added, softmax outputs).
+    cache: Option<(Matrix, Matrix)>,
+}
+
+impl MixedActivation {
+    /// Creates a mixed output head with Gumbel-softmax temperature `tau`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau <= 0`.
+    pub fn new(spec: OutputSpec, tau: f64, rng: SeededRng) -> Self {
+        assert!(tau > 0.0, "MixedActivation: temperature must be positive");
+        MixedActivation { spec, temperature: tau, rng, cache: None }
+    }
+
+    /// The output spec.
+    pub fn spec(&self) -> &OutputSpec {
+        &self.spec
+    }
+}
+
+impl Layer for MixedActivation {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        debug_assert_eq!(input.cols(), self.spec.width(), "MixedActivation: width mismatch");
+        let rows = input.rows();
+        let mut noisy = input.clone();
+        let mut out = Matrix::zeros(rows, input.cols());
+        for r in 0..rows {
+            for c in 0..self.spec.continuous {
+                out.set(r, c, input.get(r, c).tanh());
+            }
+        }
+        let mut offset = self.spec.continuous;
+        for &block in &self.spec.discrete_blocks.clone() {
+            for r in 0..rows {
+                // Add Gumbel noise during training; plain softmax at eval.
+                let mut logits: Vec<f64> = (0..block)
+                    .map(|k| {
+                        let l = input.get(r, offset + k) / self.temperature;
+                        if train {
+                            l + self.rng.gumbel() / self.temperature
+                        } else {
+                            l
+                        }
+                    })
+                    .collect();
+                let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut sum = 0.0;
+                for l in &mut logits {
+                    *l = (*l - max).exp();
+                    sum += *l;
+                }
+                for (k, l) in logits.iter().enumerate() {
+                    let p = l / sum;
+                    out.set(r, offset + k, p);
+                    noisy.set(r, offset + k, p); // cache softmax output for backward
+                }
+            }
+            offset += block;
+        }
+        self.cache = Some((input.clone(), noisy));
+        out
+    }
+
+    fn infer(&self, input: &Matrix) -> Matrix {
+        debug_assert_eq!(input.cols(), self.spec.width(), "MixedActivation: width mismatch");
+        let rows = input.rows();
+        let mut out = Matrix::zeros(rows, input.cols());
+        for r in 0..rows {
+            for c in 0..self.spec.continuous {
+                out.set(r, c, input.get(r, c).tanh());
+            }
+        }
+        let mut offset = self.spec.continuous;
+        for &block in &self.spec.discrete_blocks {
+            for r in 0..rows {
+                let mut logits: Vec<f64> =
+                    (0..block).map(|k| input.get(r, offset + k) / self.temperature).collect();
+                let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut sum = 0.0;
+                for l in &mut logits {
+                    *l = (*l - max).exp();
+                    sum += *l;
+                }
+                for (k, l) in logits.iter().enumerate() {
+                    out.set(r, offset + k, l / sum);
+                }
+            }
+            offset += block;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let (input, soft) =
+            self.cache.as_ref().expect("MixedActivation::backward called before forward");
+        let mut grad = grad_output.clone();
+        let rows = grad.rows();
+        for r in 0..rows {
+            for c in 0..self.spec.continuous {
+                let t = input.get(r, c).tanh();
+                let v = grad.get(r, c) * (1.0 - t * t);
+                grad.set(r, c, v);
+            }
+        }
+        let mut offset = self.spec.continuous;
+        for &block in &self.spec.discrete_blocks {
+            for r in 0..rows {
+                // Softmax Jacobian: dL/dz_k = (g_k - sum_j g_j p_j) * p_k / tau
+                let ps: Vec<f64> = (0..block).map(|k| soft.get(r, offset + k)).collect();
+                let gs: Vec<f64> = (0..block).map(|k| grad_output.get(r, offset + k)).collect();
+                let dot: f64 = ps.iter().zip(&gs).map(|(&p, &g)| p * g).sum();
+                for k in 0..block {
+                    grad.set(r, offset + k, (gs[k] - dot) * ps[k] / self.temperature);
+                }
+            }
+            offset += block;
+        }
+        grad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(layer: &mut impl Layer, input: &Matrix, tol: f64) {
+        // Analytic input-gradient vs central finite differences of sum(output).
+        let out = layer.forward(input, false);
+        let ones = Matrix::filled(out.rows(), out.cols(), 1.0);
+        let analytic = layer.backward(&ones);
+        let eps = 1e-5;
+        for i in 0..input.rows() {
+            for j in 0..input.cols() {
+                let mut plus = input.clone();
+                plus.set(i, j, input.get(i, j) + eps);
+                let mut minus = input.clone();
+                minus.set(i, j, input.get(i, j) - eps);
+                let f_plus: f64 = layer.forward(&plus, false).as_slice().iter().sum();
+                let f_minus: f64 = layer.forward(&minus, false).as_slice().iter().sum();
+                let numeric = (f_plus - f_minus) / (2.0 * eps);
+                assert!(
+                    (analytic.get(i, j) - numeric).abs() < tol,
+                    "grad mismatch at ({i},{j}): analytic {} vs numeric {}",
+                    analytic.get(i, j),
+                    numeric
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_forward_shape_and_bias() {
+        let mut rng = SeededRng::new(1);
+        let mut d = Dense::new(3, 2, &mut rng);
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[0.0, 0.0, 0.0]]);
+        let y = d.forward(&x, true);
+        assert_eq!(y.shape(), (2, 2));
+        // Zero input row => output equals bias (zero-initialized).
+        assert_eq!(y.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn dense_input_gradient_matches_finite_diff() {
+        let mut rng = SeededRng::new(2);
+        let mut d = Dense::new(4, 3, &mut rng);
+        let x = Matrix::from_fn(2, 4, |i, j| (i as f64 - j as f64) * 0.3);
+        finite_diff_check(&mut d, &x, 1e-6);
+    }
+
+    #[test]
+    fn dense_weight_gradient_matches_finite_diff() {
+        let mut rng = SeededRng::new(3);
+        let mut d = Dense::new(2, 2, &mut rng);
+        let x = Matrix::from_rows(&[&[0.5, -1.0], &[1.5, 2.0]]);
+        let out = d.forward(&x, true);
+        let ones = Matrix::filled(out.rows(), out.cols(), 1.0);
+        d.zero_grad();
+        d.backward(&ones);
+        let analytic = d.grad_weight.clone();
+        let eps = 1e-6;
+        for i in 0..2 {
+            for j in 0..2 {
+                let orig = d.weight.get(i, j);
+                d.weight.set(i, j, orig + eps);
+                let fp: f64 = d.forward(&x, true).as_slice().iter().sum();
+                d.weight.set(i, j, orig - eps);
+                let fm: f64 = d.forward(&x, true).as_slice().iter().sum();
+                d.weight.set(i, j, orig);
+                let numeric = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (analytic.get(i, j) - numeric).abs() < 1e-5,
+                    "weight grad mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn activations_match_finite_diff() {
+        let x = Matrix::from_fn(3, 3, |i, j| (i as f64 * 3.0 + j as f64) * 0.37 - 1.3);
+        for kind in [
+            ActivationKind::Relu,
+            ActivationKind::LeakyRelu,
+            ActivationKind::Tanh,
+            ActivationKind::Sigmoid,
+        ] {
+            let mut a = Activation::new(kind);
+            finite_diff_check(&mut a, &x, 1e-5);
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut a = Activation::relu();
+        let y = a.forward(&Matrix::from_rows(&[&[-1.0, 2.0]]), true);
+        assert_eq!(y.row(0), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn leaky_relu_keeps_small_negative_slope() {
+        let mut a = Activation::leaky_relu();
+        let y = a.forward(&Matrix::from_rows(&[&[-1.0, 2.0]]), true);
+        assert_eq!(y.row(0), &[-0.2, 2.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_reversal_flips_and_scales() {
+        let mut g = GradientReversal::new(0.5);
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert_eq!(g.forward(&x, true), x);
+        let back = g.backward(&Matrix::from_rows(&[&[2.0, -4.0]]));
+        assert_eq!(back.row(0), &[-1.0, 2.0]);
+        g.set_lambda(1.0);
+        assert_eq!(g.lambda(), 1.0);
+    }
+
+    #[test]
+    fn mixed_activation_continuous_only_is_tanh() {
+        let rng = SeededRng::new(4);
+        let mut m = MixedActivation::new(OutputSpec::continuous(2), 0.5, rng);
+        let x = Matrix::from_rows(&[&[0.5, -0.5]]);
+        let y = m.forward(&x, true);
+        assert!((y.get(0, 0) - 0.5_f64.tanh()).abs() < 1e-12);
+        assert!((y.get(0, 1) + 0.5_f64.tanh()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_activation_discrete_block_sums_to_one() {
+        let rng = SeededRng::new(5);
+        let spec = OutputSpec { continuous: 1, discrete_blocks: vec![3] };
+        let mut m = MixedActivation::new(spec, 0.7, rng);
+        let x = Matrix::from_rows(&[&[0.3, 1.0, -2.0, 0.5]]);
+        for train in [true, false] {
+            let y = m.forward(&x, train);
+            let s: f64 = (1..4).map(|c| y.get(0, c)).sum();
+            assert!((s - 1.0).abs() < 1e-9, "softmax block must sum to 1 (train={train})");
+            assert!((0..4).all(|c| y.get(0, c).is_finite()));
+        }
+    }
+
+    #[test]
+    fn mixed_activation_eval_grad_matches_finite_diff() {
+        // In eval mode there is no Gumbel noise, so the finite-difference
+        // check is exact.
+        let rng = SeededRng::new(6);
+        let spec = OutputSpec { continuous: 2, discrete_blocks: vec![2] };
+        let mut m = MixedActivation::new(spec, 1.0, rng);
+        let x = Matrix::from_rows(&[&[0.2, -0.4, 0.9, -0.1]]);
+        finite_diff_check(&mut m, &x, 1e-5);
+    }
+
+    #[test]
+    fn output_spec_width() {
+        let spec = OutputSpec { continuous: 3, discrete_blocks: vec![2, 4] };
+        assert_eq!(spec.width(), 9);
+        assert_eq!(OutputSpec::continuous(5).width(), 5);
+    }
+
+    #[test]
+    fn num_params_counts_weights_and_bias() {
+        let mut rng = SeededRng::new(7);
+        let d = Dense::new(10, 4, &mut rng);
+        assert_eq!(d.num_params(), 44);
+    }
+}

@@ -1,0 +1,81 @@
+//! A from-scratch dense neural-network substrate with explicit
+//! forward/backward passes.
+//!
+//! The paper's models are all small fully-connected networks over tabular
+//! data (generator/discriminator with two hidden layers of 128–256 units,
+//! MLP/TNet classifiers, DANN, embedding networks). No mature Rust crate
+//! covers adversarial training of such nets, so this crate implements the
+//! substrate directly: every [`Layer`] computes its output and, given the
+//! gradient of the loss with respect to that output, the gradient with
+//! respect to its input (and accumulates parameter gradients).
+//!
+//! # Modules
+//!
+//! * [`layer`] — the [`Layer`] trait, [`Dense`](layer::Dense), activations,
+//!   gradient-reversal (for DANN), and mixed tanh/Gumbel-softmax outputs
+//!   (for the CTGAN-style generator).
+//! * [`norm`] — [`BatchNorm1d`](norm::BatchNorm1d) and
+//!   [`Dropout`](norm::Dropout).
+//! * [`sequential`] — [`Sequential`] container.
+//! * [`optim`] — [`Sgd`](optim::Sgd) and [`Adam`](optim::Adam) (+ weight
+//!   decay, as used by the paper).
+//! * [`loss`] — BCE-with-logits, softmax cross-entropy, MSE,
+//!   supervised-contrastive.
+//! * [`train`] — mini-batch iteration helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use fsda_linalg::{Matrix, SeededRng};
+//! use fsda_nn::layer::{Activation, Dense};
+//! use fsda_nn::loss::mse;
+//! use fsda_nn::optim::{Adam, Optimizer};
+//! use fsda_nn::Sequential;
+//!
+//! let mut rng = SeededRng::new(0);
+//! let mut net = Sequential::new();
+//! net.push(Dense::new(1, 8, &mut rng));
+//! net.push(Activation::relu());
+//! net.push(Dense::new(8, 1, &mut rng));
+//!
+//! let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
+//! let y = Matrix::from_rows(&[&[1.0], &[3.0], &[5.0]]);
+//! let mut opt = Adam::new(1e-2);
+//! for _ in 0..200 {
+//!     let pred = net.forward(&x, true);
+//!     let (_, grad) = mse(&pred, &y);
+//!     net.zero_grad();
+//!     net.backward(&grad);
+//!     opt.step(&mut net.params_mut());
+//! }
+//! let pred = net.forward(&x, false);
+//! assert!((pred.get(1, 0) - 3.0).abs() < 0.5);
+//! ```
+
+pub mod layer;
+pub mod loss;
+pub mod norm;
+pub mod optim;
+pub mod sequential;
+pub mod state;
+pub mod train;
+
+pub use layer::Layer;
+pub use sequential::Sequential;
+
+/// A mutable view of one parameter tensor and its accumulated gradient.
+///
+/// Optimizers receive a `Vec<Param>` whose order is stable across steps, so
+/// per-parameter state (Adam moments) can be kept positionally.
+pub struct Param<'a> {
+    /// The parameter values.
+    pub value: &'a mut fsda_linalg::Matrix,
+    /// The accumulated gradient (same shape as `value`).
+    pub grad: &'a mut fsda_linalg::Matrix,
+}
+
+impl std::fmt::Debug for Param<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Param").field("shape", &self.value.shape()).finish()
+    }
+}

@@ -1,0 +1,366 @@
+//! Loss functions. Each returns `(scalar_loss, gradient_wrt_input)` with the
+//! gradient already averaged over the batch, ready to feed
+//! [`crate::Sequential::backward`].
+
+use crate::layer::sigmoid;
+use fsda_linalg::Matrix;
+
+/// Mean-squared error `mean((pred - target)^2)`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "mse: shape mismatch");
+    let n = pred.as_slice().len().max(1) as f64;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    let mut loss = 0.0;
+    for ((g, &p), &t) in
+        grad.as_mut_slice().iter_mut().zip(pred.as_slice()).zip(target.as_slice())
+    {
+        let d = p - t;
+        loss += d * d;
+        *g = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+/// Binary cross-entropy on **logits** (numerically stable):
+/// `mean(max(z,0) - z*t + log(1 + exp(-|z|)))`.
+///
+/// `target` entries must be in `[0, 1]` (usually 0/1 labels, but soft labels
+/// are supported).
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn bce_with_logits(logits: &Matrix, target: &Matrix) -> (f64, Matrix) {
+    assert_eq!(logits.shape(), target.shape(), "bce_with_logits: shape mismatch");
+    let n = logits.as_slice().len().max(1) as f64;
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    let mut loss = 0.0;
+    for ((g, &z), &t) in
+        grad.as_mut_slice().iter_mut().zip(logits.as_slice()).zip(target.as_slice())
+    {
+        debug_assert!((0.0..=1.0).contains(&t), "bce target must be in [0,1]");
+        loss += z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln();
+        *g = (sigmoid(z) - t) / n;
+    }
+    (loss / n, grad)
+}
+
+/// Row-wise softmax of a logits matrix.
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Softmax cross-entropy on logits against integer class labels.
+///
+/// Returns the mean negative log-likelihood and the batch-averaged gradient
+/// `softmax(z) - onehot(y)` per row.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or any label is out of range.
+pub fn cross_entropy(logits: &Matrix, labels: &[usize]) -> (f64, Matrix) {
+    assert_eq!(labels.len(), logits.rows(), "cross_entropy: label count mismatch");
+    let probs = softmax(logits);
+    let n = logits.rows().max(1) as f64;
+    let mut grad = probs.clone();
+    let mut loss = 0.0;
+    for (r, &y) in labels.iter().enumerate() {
+        assert!(y < logits.cols(), "cross_entropy: label {y} out of range");
+        loss -= probs.get(r, y).max(1e-15).ln();
+        grad.set(r, y, grad.get(r, y) - 1.0);
+    }
+    grad.map_inplace(|v| v / n);
+    (loss / n, grad)
+}
+
+/// Weighted softmax cross-entropy: like [`cross_entropy`] but each sample
+/// contributes with weight `w_i` (normalized by the weight sum). Used by the
+/// S&T baseline, which up-weights the few target-domain shots.
+///
+/// # Panics
+///
+/// Panics if lengths disagree or all weights are zero.
+pub fn weighted_cross_entropy(
+    logits: &Matrix,
+    labels: &[usize],
+    weights: &[f64],
+) -> (f64, Matrix) {
+    assert_eq!(labels.len(), logits.rows(), "weighted_cross_entropy: label count mismatch");
+    assert_eq!(weights.len(), logits.rows(), "weighted_cross_entropy: weight count mismatch");
+    let wsum: f64 = weights.iter().sum();
+    assert!(wsum > 0.0, "weighted_cross_entropy: weights sum to zero");
+    let probs = softmax(logits);
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    let mut loss = 0.0;
+    for (r, (&y, &w)) in labels.iter().zip(weights).enumerate() {
+        assert!(y < logits.cols(), "weighted_cross_entropy: label {y} out of range");
+        loss -= w * probs.get(r, y).max(1e-15).ln();
+        for c in 0..logits.cols() {
+            let indicator = if c == y { 1.0 } else { 0.0 };
+            grad.set(r, c, w * (probs.get(r, c) - indicator) / wsum);
+        }
+    }
+    (loss / wsum, grad)
+}
+
+/// Supervised contrastive loss (Khosla et al.) over a batch of L2-normalized
+/// embeddings, as used by the SCL baseline.
+///
+/// For each anchor `i`, positives are the other samples with the same label;
+/// similarity is the dot product divided by `temperature`. Returns the mean
+/// loss over anchors that have at least one positive, and the gradient with
+/// respect to the (unnormalized) embeddings, including the normalization
+/// Jacobian.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != embeddings.rows()` or `temperature <= 0`.
+pub fn supervised_contrastive(
+    embeddings: &Matrix,
+    labels: &[usize],
+    temperature: f64,
+) -> (f64, Matrix) {
+    assert_eq!(labels.len(), embeddings.rows(), "supervised_contrastive: label mismatch");
+    assert!(temperature > 0.0, "supervised_contrastive: temperature must be positive");
+    let n = embeddings.rows();
+    let d = embeddings.cols();
+    // L2-normalize rows, keeping norms for the Jacobian.
+    let mut z = embeddings.clone();
+    let mut norms = vec![0.0; n];
+    for r in 0..n {
+        let norm = fsda_linalg::matrix::norm(z.row(r)).max(1e-12);
+        norms[r] = norm;
+        for v in z.row_mut(r) {
+            *v /= norm;
+        }
+    }
+    // Pairwise similarities.
+    let sim = z.matmul(&z.transpose()).scale(1.0 / temperature);
+    let mut grad_z = Matrix::zeros(n, d);
+    let mut loss = 0.0;
+    let mut anchors = 0usize;
+    for i in 0..n {
+        let positives: Vec<usize> =
+            (0..n).filter(|&j| j != i && labels[j] == labels[i]).collect();
+        if positives.is_empty() {
+            continue;
+        }
+        anchors += 1;
+        // log-sum-exp over all j != i.
+        let mut max_s = f64::NEG_INFINITY;
+        for j in 0..n {
+            if j != i {
+                max_s = max_s.max(sim.get(i, j));
+            }
+        }
+        let mut denom = 0.0;
+        for j in 0..n {
+            if j != i {
+                denom += (sim.get(i, j) - max_s).exp();
+            }
+        }
+        let log_denom = max_s + denom.ln();
+        let p_count = positives.len() as f64;
+        for &p in &positives {
+            loss += -(sim.get(i, p) - log_denom) / p_count;
+        }
+        // Gradient wrt normalized embeddings z_i and z_j.
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            let softmax_ij = (sim.get(i, j) - log_denom).exp();
+            let pos_ij = if labels[j] == labels[i] { 1.0 / p_count } else { 0.0 };
+            let coeff = (softmax_ij - pos_ij) / temperature;
+            // dL/dz_i += coeff * z_j ; dL/dz_j += coeff * z_i
+            for c in 0..d {
+                let gi = grad_z.get(i, c) + coeff * z.get(j, c);
+                grad_z.set(i, c, gi);
+                let gj = grad_z.get(j, c) + coeff * z.get(i, c);
+                grad_z.set(j, c, gj);
+            }
+        }
+    }
+    if anchors == 0 {
+        return (0.0, Matrix::zeros(n, d));
+    }
+    let scale = 1.0 / anchors as f64;
+    loss *= scale;
+    // Back through the L2 normalization: dL/dx = (I - z z^T)/||x|| * dL/dz.
+    let mut grad = Matrix::zeros(n, d);
+    for r in 0..n {
+        let zr = z.row(r);
+        let gr: Vec<f64> = grad_z.row(r).iter().map(|&g| g * scale).collect();
+        let zg: f64 = zr.iter().zip(&gr).map(|(&a, &b)| a * b).sum();
+        for c in 0..d {
+            grad.set(r, c, (gr[c] - zr[c] * zg) / norms[r]);
+        }
+    }
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsda_linalg::SeededRng;
+
+    #[test]
+    fn mse_zero_at_target() {
+        let y = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let (loss, grad) = mse(&y, &y);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn mse_gradient_direction() {
+        let pred = Matrix::from_rows(&[&[2.0]]);
+        let target = Matrix::from_rows(&[&[0.0]]);
+        let (loss, grad) = mse(&pred, &target);
+        assert_eq!(loss, 4.0);
+        assert!(grad.get(0, 0) > 0.0, "gradient points away from target");
+    }
+
+    #[test]
+    fn bce_matches_manual_computation() {
+        let z = Matrix::from_rows(&[&[0.0]]);
+        let t = Matrix::from_rows(&[&[1.0]]);
+        let (loss, grad) = bce_with_logits(&z, &t);
+        assert!((loss - (2.0_f64).ln()).abs() < 1e-12);
+        assert!((grad.get(0, 0) + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bce_is_stable_for_large_logits() {
+        let z = Matrix::from_rows(&[&[1000.0, -1000.0]]);
+        let t = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let (loss, grad) = bce_with_logits(&z, &t);
+        assert!(loss.is_finite() && loss < 1e-6);
+        assert!(grad.is_finite());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let z = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[100.0, 100.0, 100.0]]);
+        let p = softmax(&z);
+        for r in 0..2 {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        assert!((p.get(1, 0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_small_loss() {
+        let z = Matrix::from_rows(&[&[10.0, -10.0], &[-10.0, 10.0]]);
+        let (loss, _) = cross_entropy(&z, &[0, 1]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_diff() {
+        let z = Matrix::from_rows(&[&[0.3, -0.2, 0.5], &[1.0, 0.0, -1.0]]);
+        let labels = [2usize, 0usize];
+        let (_, grad) = cross_entropy(&z, &labels);
+        let eps = 1e-6;
+        for i in 0..2 {
+            for j in 0..3 {
+                let mut zp = z.clone();
+                zp.set(i, j, z.get(i, j) + eps);
+                let mut zm = z.clone();
+                zm.set(i, j, z.get(i, j) - eps);
+                let (lp, _) = cross_entropy(&zp, &labels);
+                let (lm, _) = cross_entropy(&zm, &labels);
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!((grad.get(i, j) - numeric).abs() < 1e-6, "ce grad mismatch ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_ce_upweights_samples() {
+        let z = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 0.0]]);
+        // Both samples mispredicted equally; weights skew the gradient.
+        let (_, g1) = weighted_cross_entropy(&z, &[0, 1], &[1.0, 1.0]);
+        let (_, g9) = weighted_cross_entropy(&z, &[0, 1], &[9.0, 1.0]);
+        assert!(g9.get(0, 0).abs() > g1.get(0, 0).abs());
+        assert!(g9.get(1, 0).abs() < g1.get(1, 0).abs());
+    }
+
+    #[test]
+    fn weighted_ce_reduces_to_ce_with_unit_weights() {
+        let z = Matrix::from_rows(&[&[0.2, -0.1], &[0.4, 0.9]]);
+        let (l1, g1) = cross_entropy(&z, &[0, 1]);
+        let (l2, g2) = weighted_cross_entropy(&z, &[0, 1], &[1.0, 1.0]);
+        assert!((l1 - l2).abs() < 1e-12);
+        assert!(g1.try_sub(&g2).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn supcon_loss_lower_for_clustered_embeddings() {
+        // Well-separated same-class embeddings should have lower loss than
+        // mixed ones.
+        let clustered = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.99, 0.01],
+            &[0.0, 1.0],
+            &[0.01, 0.99],
+        ]);
+        let mixed =
+            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[0.0, 1.0]]);
+        let labels = [0, 0, 1, 1];
+        let (l_good, _) = supervised_contrastive(&clustered, &labels, 0.5);
+        let (l_bad, _) = supervised_contrastive(&mixed, &labels, 0.5);
+        assert!(l_good < l_bad, "clustered {l_good} vs mixed {l_bad}");
+    }
+
+    #[test]
+    fn supcon_gradient_matches_finite_diff() {
+        let mut rng = SeededRng::new(8);
+        let emb = Matrix::from_fn(4, 3, |_, _| rng.normal(0.0, 1.0));
+        let labels = [0, 1, 0, 1];
+        let (_, grad) = supervised_contrastive(&emb, &labels, 0.7);
+        let eps = 1e-6;
+        for i in 0..4 {
+            for j in 0..3 {
+                let mut ep = emb.clone();
+                ep.set(i, j, emb.get(i, j) + eps);
+                let mut em = emb.clone();
+                em.set(i, j, emb.get(i, j) - eps);
+                let (lp, _) = supervised_contrastive(&ep, &labels, 0.7);
+                let (lm, _) = supervised_contrastive(&em, &labels, 0.7);
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (grad.get(i, j) - numeric).abs() < 1e-5,
+                    "supcon grad mismatch ({i},{j}): {} vs {numeric}",
+                    grad.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn supcon_no_positives_returns_zero() {
+        let emb = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let (loss, grad) = supervised_contrastive(&emb, &[0, 1], 0.5);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.max_abs(), 0.0);
+    }
+}

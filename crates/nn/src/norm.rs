@@ -1,0 +1,314 @@
+//! Normalization and regularization layers: batch norm and dropout.
+
+use crate::{Layer, Param};
+use fsda_linalg::{Matrix, SeededRng};
+
+/// 1-D batch normalization over feature columns.
+///
+/// During training, normalizes each column with the batch mean/variance and
+/// updates exponential running statistics; at evaluation the running
+/// statistics are used. Matches the CTGAN generator blocks
+/// (`Dense -> BatchNorm -> ReLU`).
+#[derive(Debug, Clone)]
+pub struct BatchNorm1d {
+    gamma: Matrix,
+    beta: Matrix,
+    grad_gamma: Matrix,
+    grad_beta: Matrix,
+    running_mean: Vec<f64>,
+    running_var: Vec<f64>,
+    momentum: f64,
+    eps: f64,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    x_hat: Matrix,
+    std_inv: Vec<f64>,
+}
+
+impl BatchNorm1d {
+    /// Creates a batch-norm layer over `dim` features with momentum 0.9.
+    pub fn new(dim: usize) -> Self {
+        BatchNorm1d {
+            gamma: Matrix::filled(1, dim, 1.0),
+            beta: Matrix::zeros(1, dim),
+            grad_gamma: Matrix::zeros(1, dim),
+            grad_beta: Matrix::zeros(1, dim),
+            running_mean: vec![0.0; dim],
+            running_var: vec![1.0; dim],
+            momentum: 0.9,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.gamma.cols()
+    }
+}
+
+impl Layer for BatchNorm1d {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        let (n, d) = input.shape();
+        debug_assert_eq!(d, self.dim(), "BatchNorm1d: dim mismatch");
+        let (mean, var) = if train && n > 1 {
+            let mean = input.col_means();
+            let mut var = vec![0.0; d];
+            for row in input.iter_rows() {
+                for ((v, &x), &m) in var.iter_mut().zip(row).zip(&mean) {
+                    let diff = x - m;
+                    *v += diff * diff;
+                }
+            }
+            for v in &mut var {
+                *v /= n as f64; // biased variance, as in standard BN
+            }
+            for i in 0..d {
+                self.running_mean[i] =
+                    self.momentum * self.running_mean[i] + (1.0 - self.momentum) * mean[i];
+                self.running_var[i] =
+                    self.momentum * self.running_var[i] + (1.0 - self.momentum) * var[i];
+            }
+            (mean, var)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+        let std_inv: Vec<f64> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut x_hat = Matrix::zeros(n, d);
+        let mut out = Matrix::zeros(n, d);
+        for r in 0..n {
+            let row = input.row(r);
+            for c in 0..d {
+                let xh = (row[c] - mean[c]) * std_inv[c];
+                x_hat.set(r, c, xh);
+                out.set(r, c, self.gamma.get(0, c) * xh + self.beta.get(0, c));
+            }
+        }
+        if train {
+            self.cache = Some(BnCache { x_hat, std_inv });
+        }
+        out
+    }
+
+    fn infer(&self, input: &Matrix) -> Matrix {
+        let (n, d) = input.shape();
+        debug_assert_eq!(d, self.dim(), "BatchNorm1d: dim mismatch");
+        let std_inv: Vec<f64> =
+            self.running_var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut out = Matrix::zeros(n, d);
+        for r in 0..n {
+            let row = input.row(r);
+            for c in 0..d {
+                let xh = (row[c] - self.running_mean[c]) * std_inv[c];
+                out.set(r, c, self.gamma.get(0, c) * xh + self.beta.get(0, c));
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let cache = self.cache.as_ref().expect("BatchNorm1d::backward before forward(train)");
+        let (n, d) = grad_output.shape();
+        let nf = n as f64;
+        let mut grad_input = Matrix::zeros(n, d);
+        for c in 0..d {
+            let gamma = self.gamma.get(0, c);
+            let mut sum_g = 0.0;
+            let mut sum_gx = 0.0;
+            for r in 0..n {
+                let g = grad_output.get(r, c);
+                sum_g += g;
+                sum_gx += g * cache.x_hat.get(r, c);
+            }
+            self.grad_beta.set(0, c, self.grad_beta.get(0, c) + sum_g);
+            self.grad_gamma.set(0, c, self.grad_gamma.get(0, c) + sum_gx);
+            let k = gamma * cache.std_inv[c] / nf;
+            for r in 0..n {
+                let g = grad_output.get(r, c);
+                let xh = cache.x_hat.get(r, c);
+                grad_input.set(r, c, k * (nf * g - sum_g - xh * sum_gx));
+            }
+        }
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<Param<'_>> {
+        vec![
+            Param { value: &mut self.gamma, grad: &mut self.grad_gamma },
+            Param { value: &mut self.beta, grad: &mut self.grad_beta },
+        ]
+    }
+
+    fn num_params(&self) -> usize {
+        2 * self.dim()
+    }
+}
+
+/// Inverted dropout: active only during training; evaluation is identity.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f64,
+    rng: SeededRng,
+    mask: Option<Matrix>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer dropping each unit with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn new(p: f64, rng: SeededRng) -> Self {
+        assert!((0.0..1.0).contains(&p), "Dropout: p must be in [0,1), got {p}");
+        Dropout { p, rng, mask: None }
+    }
+
+    /// Drop probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let mask =
+            Matrix::from_fn(input.rows(), input.cols(), |_, _| {
+                if self.rng.bernoulli(keep) {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            });
+        let out = input.try_hadamard(&mask).expect("same shape by construction");
+        self.mask = Some(mask);
+        out
+    }
+
+    fn infer(&self, input: &Matrix) -> Matrix {
+        input.clone()
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        match &self.mask {
+            Some(mask) => grad_output.try_hadamard(mask).expect("same shape by construction"),
+            None => grad_output.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batchnorm_normalizes_training_batch() {
+        let mut bn = BatchNorm1d::new(2);
+        let x = Matrix::from_rows(&[&[10.0, -5.0], &[20.0, -3.0], &[30.0, -1.0], &[40.0, 1.0]]);
+        let y = bn.forward(&x, true);
+        let means = y.col_means();
+        for m in means {
+            assert!(m.abs() < 1e-9, "batch-normalized mean should be ~0, got {m}");
+        }
+        // Biased std of normalized output ~ 1.
+        for c in 0..2 {
+            let col = y.col(c);
+            let var: f64 = col.iter().map(|v| v * v).sum::<f64>() / col.len() as f64;
+            assert!((var - 1.0).abs() < 1e-3, "variance {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut bn = BatchNorm1d::new(1);
+        let x = Matrix::from_rows(&[&[100.0], &[102.0], &[98.0], &[101.0]]);
+        for _ in 0..200 {
+            bn.forward(&x, true);
+        }
+        // After enough updates the running mean approaches ~100.25, so a
+        // sample at the mean maps near zero in eval mode.
+        let y = bn.forward(&Matrix::from_rows(&[&[100.25]]), false);
+        assert!(y.get(0, 0).abs() < 0.5, "eval output {}", y.get(0, 0));
+    }
+
+    #[test]
+    fn batchnorm_gradient_matches_finite_diff() {
+        let mut bn = BatchNorm1d::new(3);
+        let x = Matrix::from_fn(5, 3, |i, j| (i as f64 + 1.0) * (j as f64 + 0.5) * 0.7);
+        let out = bn.forward(&x, true);
+        let ones = Matrix::filled(out.rows(), out.cols(), 1.0);
+        // Weight the output sum by position so the gradient isn't trivially
+        // zero (sum of a normalized column is invariant to input shifts).
+        let weights = Matrix::from_fn(out.rows(), out.cols(), |i, j| {
+            ((i * 7 + j * 3) % 5) as f64 * 0.25 + 0.1
+        });
+        let analytic = {
+            bn.zero_grad();
+            bn.backward(&weights)
+        };
+        let _ = ones;
+        let eps = 1e-5;
+        let weighted_sum = |m: &Matrix, w: &Matrix| -> f64 {
+            m.as_slice().iter().zip(w.as_slice()).map(|(&a, &b)| a * b).sum()
+        };
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                let mut plus = x.clone();
+                plus.set(i, j, x.get(i, j) + eps);
+                let mut minus = x.clone();
+                minus.set(i, j, x.get(i, j) - eps);
+                let mut bn_p = BatchNorm1d::new(3);
+                let mut bn_m = BatchNorm1d::new(3);
+                let fp = weighted_sum(&bn_p.forward(&plus, true), &weights);
+                let fm = weighted_sum(&bn_m.forward(&minus, true), &weights);
+                let numeric = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (analytic.get(i, j) - numeric).abs() < 1e-4,
+                    "bn grad mismatch at ({i},{j}): {} vs {numeric}",
+                    analytic.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut d = Dropout::new(0.5, SeededRng::new(1));
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let mut d = Dropout::new(0.3, SeededRng::new(2));
+        let x = Matrix::filled(200, 50, 1.0);
+        let y = d.forward(&x, true);
+        let mean: f64 = y.as_slice().iter().sum::<f64>() / y.as_slice().len() as f64;
+        assert!((mean - 1.0).abs() < 0.05, "inverted dropout keeps E[x]: {mean}");
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, SeededRng::new(3));
+        let x = Matrix::filled(4, 4, 1.0);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Matrix::filled(4, 4, 1.0));
+        // Gradient is zero exactly where the output was dropped.
+        for (o, gr) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*o == 0.0, *gr == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0,1)")]
+    fn dropout_rejects_invalid_p() {
+        let _ = Dropout::new(1.0, SeededRng::new(4));
+    }
+}

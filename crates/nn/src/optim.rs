@@ -1,0 +1,266 @@
+//! Optimizers: SGD (with momentum) and Adam (with decoupled weight decay).
+
+use crate::Param;
+use fsda_linalg::Matrix;
+
+/// A gradient-based parameter optimizer.
+///
+/// `step` consumes the current parameter/gradient views (in a stable order)
+/// and updates the values in place. State (momentum, Adam moments) is kept
+/// positionally, so the same network must be passed on every call.
+pub trait Optimizer {
+    /// Applies one update step.
+    fn step(&mut self, params: &mut [Param<'_>]);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Overrides the learning rate (used by schedules).
+    fn set_learning_rate(&mut self, lr: f64);
+}
+
+/// Stochastic gradient descent with optional classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f64) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with momentum coefficient `momentum` in `[0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or `momentum` is outside `[0, 1)`.
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        assert!(lr > 0.0, "Sgd: lr must be positive");
+        assert!((0.0..1.0).contains(&momentum), "Sgd: momentum must be in [0,1)");
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [Param<'_>]) {
+        if self.velocity.len() != params.len() {
+            self.velocity =
+                params.iter().map(|p| Matrix::zeros(p.value.rows(), p.value.cols())).collect();
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                for (vi, &gi) in v.as_mut_slice().iter_mut().zip(p.grad.as_slice()) {
+                    *vi = self.momentum * *vi + gi;
+                }
+                p.value.axpy(-self.lr, v);
+            } else {
+                p.value.axpy(-self.lr, p.grad);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer with decoupled weight decay (AdamW-style).
+///
+/// The paper trains the GAN with learning rate `2e-4` and decay `1e-6`;
+/// [`Adam::for_gan`] matches those defaults.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    weight_decay: f64,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Adam with standard betas `(0.9, 0.999)` and no weight decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f64) -> Self {
+        Self::with_decay(lr, 0.0)
+    }
+
+    /// Adam with decoupled weight decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or `weight_decay < 0`.
+    pub fn with_decay(lr: f64, weight_decay: f64) -> Self {
+        assert!(lr > 0.0, "Adam: lr must be positive");
+        assert!(weight_decay >= 0.0, "Adam: weight_decay must be non-negative");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// The paper's GAN settings: `lr = 2e-4`, decay `1e-6`, betas
+    /// `(0.5, 0.9)` (the CTGAN convention for adversarial stability).
+    pub fn for_gan() -> Self {
+        let mut a = Self::with_decay(2e-4, 1e-6);
+        a.beta1 = 0.5;
+        a.beta2 = 0.9;
+        a
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [Param<'_>]) {
+        if self.m.len() != params.len() {
+            self.m =
+                params.iter().map(|p| Matrix::zeros(p.value.rows(), p.value.cols())).collect();
+            self.v =
+                params.iter().map(|p| Matrix::zeros(p.value.rows(), p.value.cols())).collect();
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            let values = p.value.as_mut_slice();
+            for (((mi, vi), &gi), val) in m
+                .as_mut_slice()
+                .iter_mut()
+                .zip(v.as_mut_slice())
+                .zip(p.grad.as_slice())
+                .zip(values)
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                *val -= self.lr * (m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * *val);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Activation, Dense};
+    use crate::loss::mse;
+    use crate::Sequential;
+    use fsda_linalg::{Matrix, SeededRng};
+
+    fn quadratic_descent(opt: &mut dyn Optimizer) -> f64 {
+        // Minimize f(w) = (w - 3)^2 elementwise.
+        let mut w = Matrix::filled(1, 1, 0.0);
+        let mut g = Matrix::zeros(1, 1);
+        for _ in 0..500 {
+            let grad = 2.0 * (w.get(0, 0) - 3.0);
+            g.set(0, 0, grad);
+            let mut params = [Param { value: &mut w, grad: &mut g }];
+            opt.step(&mut params);
+        }
+        w.get(0, 0)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        assert!((quadratic_descent(&mut opt) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        assert!((quadratic_descent(&mut opt) - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.05);
+        assert!((quadratic_descent(&mut opt) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_weight_decay_shrinks_toward_zero() {
+        // With pure decay (zero gradient) the parameter should shrink.
+        let mut opt = Adam::with_decay(0.1, 0.5);
+        let mut w = Matrix::filled(1, 1, 1.0);
+        let mut g = Matrix::zeros(1, 1);
+        for _ in 0..50 {
+            let mut params = [Param { value: &mut w, grad: &mut g }];
+            opt.step(&mut params);
+        }
+        assert!(w.get(0, 0).abs() < 0.1, "decay should shrink weight: {}", w.get(0, 0));
+    }
+
+    #[test]
+    fn adam_trains_network_to_fit_xor() {
+        let mut rng = SeededRng::new(11);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 16, &mut rng));
+        net.push(Activation::tanh());
+        net.push(Dense::new(16, 1, &mut rng));
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let y = Matrix::from_rows(&[&[0.0], &[1.0], &[1.0], &[0.0]]);
+        let mut opt = Adam::new(0.02);
+        let mut last = f64::MAX;
+        for _ in 0..800 {
+            let pred = net.forward(&x, true);
+            let (loss, grad) = mse(&pred, &y);
+            net.zero_grad();
+            net.backward(&grad);
+            opt.step(&mut net.params_mut());
+            last = loss;
+        }
+        assert!(last < 0.02, "XOR should be learnable, final loss {last}");
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Adam::new(1e-3);
+        assert_eq!(opt.learning_rate(), 1e-3);
+        opt.set_learning_rate(5e-4);
+        assert_eq!(opt.learning_rate(), 5e-4);
+        let gan = Adam::for_gan();
+        assert_eq!(gan.learning_rate(), 2e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "lr must be positive")]
+    fn rejects_nonpositive_lr() {
+        let _ = Adam::new(0.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Sequential container composing [`Layer`]s.
+
+use crate::{Layer, Param};
+use fsda_linalg::Matrix;
+
+/// An ordered stack of layers applied one after another.
+///
+/// `Sequential` itself implements [`Layer`], so networks can be nested
+/// (e.g. a shared feature extractor feeding two heads in DANN).
+///
+/// # Example
+///
+/// ```
+/// use fsda_linalg::{Matrix, SeededRng};
+/// use fsda_nn::layer::{Activation, Dense};
+/// use fsda_nn::Sequential;
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut net = Sequential::new();
+/// net.push(Dense::new(4, 8, &mut rng));
+/// net.push(Activation::relu());
+/// net.push(Dense::new(8, 2, &mut rng));
+/// let out = net.forward(&Matrix::zeros(3, 4), false);
+/// assert_eq!(out.shape(), (3, 2));
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer to the end of the stack.
+    pub fn push(&mut self, layer: impl Layer + 'static) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer (useful when building dynamically).
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs the forward pass through every layer.
+    pub fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Inference-only forward pass through every layer (`&self`).
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer(&x);
+        }
+        x
+    }
+
+    /// Runs the backward pass in reverse layer order and returns the
+    /// gradient with respect to the network input.
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Collects mutable parameter views from all layers, in layer order.
+    pub fn params_mut(&mut self) -> Vec<Param<'_>> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.num_params()).sum()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("layers", &self.layers.len())
+            .field("params", &self.num_params())
+            .finish()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        Sequential::forward(self, input, train)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        Sequential::backward(self, grad_output)
+    }
+
+    fn infer(&self, input: &Matrix) -> Matrix {
+        Sequential::infer(self, input)
+    }
+
+    fn params_mut(&mut self) -> Vec<Param<'_>> {
+        Sequential::params_mut(self)
+    }
+
+    fn zero_grad(&mut self) {
+        Sequential::zero_grad(self)
+    }
+
+    fn num_params(&self) -> usize {
+        Sequential::num_params(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Activation, Dense};
+    use fsda_linalg::SeededRng;
+
+    fn two_layer(rng: &mut SeededRng) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Dense::new(3, 5, rng));
+        net.push(Activation::tanh());
+        net.push(Dense::new(5, 2, rng));
+        net
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = SeededRng::new(1);
+        let mut net = two_layer(&mut rng);
+        let out = net.forward(&Matrix::zeros(7, 3), true);
+        assert_eq!(out.shape(), (7, 2));
+        assert_eq!(net.len(), 3);
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_diff() {
+        let mut rng = SeededRng::new(2);
+        let mut net = two_layer(&mut rng);
+        let x = Matrix::from_fn(2, 3, |i, j| 0.1 * (i as f64 + 1.0) * (j as f64 - 1.0));
+        let out = net.forward(&x, false);
+        let ones = Matrix::filled(out.rows(), out.cols(), 1.0);
+        let analytic = net.backward(&ones);
+        let eps = 1e-5;
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                let mut plus = x.clone();
+                plus.set(i, j, x.get(i, j) + eps);
+                let mut minus = x.clone();
+                minus.set(i, j, x.get(i, j) - eps);
+                let fp: f64 = net.forward(&plus, false).as_slice().iter().sum();
+                let fm: f64 = net.forward(&minus, false).as_slice().iter().sum();
+                let numeric = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (analytic.get(i, j) - numeric).abs() < 1e-5,
+                    "grad mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn params_are_collected_in_order() {
+        let mut rng = SeededRng::new(3);
+        let mut net = two_layer(&mut rng);
+        let params = net.params_mut();
+        // Dense(3->5): W + b, Dense(5->2): W + b.
+        assert_eq!(params.len(), 4);
+        assert_eq!(params[0].value.shape(), (5, 3));
+        assert_eq!(params[3].value.shape(), (1, 2));
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulation() {
+        let mut rng = SeededRng::new(4);
+        let mut net = two_layer(&mut rng);
+        let x = Matrix::filled(2, 3, 1.0);
+        let out = net.forward(&x, true);
+        net.backward(&Matrix::filled(out.rows(), out.cols(), 1.0));
+        let nonzero = net.params_mut().iter().any(|p| p.grad.max_abs() > 0.0);
+        assert!(nonzero);
+        net.zero_grad();
+        for p in net.params_mut() {
+            assert_eq!(p.grad.max_abs(), 0.0);
+        }
+    }
+
+    #[test]
+    fn num_params_sums_layers() {
+        let mut rng = SeededRng::new(5);
+        let net = {
+            let mut n = Sequential::new();
+            n.push(Dense::new(3, 5, &mut rng));
+            n.push(Dense::new(5, 2, &mut rng));
+            n
+        };
+        assert_eq!(net.num_params(), (3 * 5 + 5) + (5 * 2 + 2));
+    }
+
+    #[test]
+    fn debug_mentions_layer_count() {
+        let net = Sequential::new();
+        assert!(format!("{net:?}").contains("layers"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Mini-batch iteration helpers shared by every trained model in the
+//! workspace.
+
+use fsda_linalg::{Matrix, SeededRng};
+
+/// Yields shuffled mini-batches of row indices, epoch by epoch.
+///
+/// # Example
+///
+/// ```
+/// use fsda_linalg::SeededRng;
+/// use fsda_nn::train::BatchIter;
+///
+/// let mut rng = SeededRng::new(0);
+/// let batches: Vec<Vec<usize>> = BatchIter::new(10, 4, &mut rng).collect();
+/// assert_eq!(batches.len(), 3); // 4 + 4 + 2
+/// let total: usize = batches.iter().map(Vec::len).sum();
+/// assert_eq!(total, 10);
+/// ```
+#[derive(Debug)]
+pub struct BatchIter {
+    order: Vec<usize>,
+    batch_size: usize,
+    pos: usize,
+}
+
+impl BatchIter {
+    /// Creates a single-epoch iterator over `n` samples in batches of
+    /// `batch_size` (the final batch may be smaller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(n: usize, batch_size: usize, rng: &mut SeededRng) -> Self {
+        assert!(batch_size > 0, "BatchIter: batch_size must be positive");
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+        BatchIter { order, batch_size, pos: 0 }
+    }
+}
+
+impl Iterator for BatchIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.pos >= self.order.len() {
+            return None;
+        }
+        let end = (self.pos + self.batch_size).min(self.order.len());
+        let batch = self.order[self.pos..end].to_vec();
+        self.pos = end;
+        Some(batch)
+    }
+}
+
+/// Training hyper-parameters shared by the NN-based models.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Decoupled weight decay.
+    pub weight_decay: f64,
+    /// RNG seed for shuffling and initialization.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 100,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            weight_decay: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Builder-style override of `epochs`.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Builder-style override of `batch_size`.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Builder-style override of `learning_rate`.
+    pub fn with_learning_rate(mut self, lr: f64) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Builder-style override of `seed`.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Gathers the rows at `indices` from `x` and the corresponding `labels`.
+///
+/// # Panics
+///
+/// Panics if any index is out of bounds.
+pub fn gather_batch(x: &Matrix, labels: &[usize], indices: &[usize]) -> (Matrix, Vec<usize>) {
+    let bx = x.select_rows(indices);
+    let by = indices.iter().map(|&i| labels[i]).collect();
+    (bx, by)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_cover_all_indices_once() {
+        let mut rng = SeededRng::new(1);
+        let mut seen: Vec<usize> = BatchIter::new(23, 5, &mut rng).flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batches_are_shuffled() {
+        let mut rng = SeededRng::new(2);
+        let flat: Vec<usize> = BatchIter::new(100, 100, &mut rng).flatten().collect();
+        assert_ne!(flat, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_dataset_yields_nothing() {
+        let mut rng = SeededRng::new(3);
+        assert_eq!(BatchIter::new(0, 4, &mut rng).count(), 0);
+    }
+
+    #[test]
+    fn gather_batch_selects_rows_and_labels() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
+        let labels = vec![10, 11, 12];
+        let (bx, by) = gather_batch(&x, &labels, &[2, 0]);
+        assert_eq!(bx.row(0), &[2.0]);
+        assert_eq!(by, vec![12, 10]);
+    }
+
+    #[test]
+    fn config_builder() {
+        let c = TrainConfig::default().with_epochs(5).with_batch_size(16).with_seed(9);
+        assert_eq!(c.epochs, 5);
+        assert_eq!(c.batch_size, 16);
+        assert_eq!(c.seed, 9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the NN substrate: gradient correctness against
+//! finite differences for randomized architectures and inputs, plus loss
+//! invariants.
+
+use fsda_linalg::{Matrix, SeededRng};
+use fsda_nn::layer::{Activation, ActivationKind, Dense};
+use fsda_nn::loss::{bce_with_logits, cross_entropy, mse, softmax};
+use fsda_nn::Sequential;
+use proptest::prelude::*;
+
+fn finite_diff_input_grad(net: &mut Sequential, x: &Matrix, tol: f64) -> Result<(), TestCaseError> {
+    let out = net.forward(x, false);
+    let ones = Matrix::filled(out.rows(), out.cols(), 1.0);
+    let analytic = net.backward(&ones);
+    let eps = 1e-5;
+    for i in 0..x.rows() {
+        for j in 0..x.cols() {
+            let mut plus = x.clone();
+            plus.set(i, j, x.get(i, j) + eps);
+            let mut minus = x.clone();
+            minus.set(i, j, x.get(i, j) - eps);
+            let fp: f64 = net.forward(&plus, false).as_slice().iter().sum();
+            let fm: f64 = net.forward(&minus, false).as_slice().iter().sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            prop_assert!(
+                (analytic.get(i, j) - numeric).abs() < tol,
+                "grad mismatch at ({}, {}): {} vs {}",
+                i,
+                j,
+                analytic.get(i, j),
+                numeric
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_mlp_gradients_match_finite_diff(
+        seed in 0u64..500,
+        in_dim in 1usize..5,
+        hidden in 1usize..6,
+        act in 0usize..3,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let kind = [ActivationKind::Tanh, ActivationKind::Sigmoid, ActivationKind::LeakyRelu][act];
+        let mut net = Sequential::new();
+        net.push(Dense::new(in_dim, hidden, &mut rng));
+        net.push(Activation::new(kind));
+        net.push(Dense::new(hidden, 2, &mut rng));
+        let x = rng.normal_matrix(2, in_dim, 0.0, 1.0);
+        finite_diff_input_grad(&mut net, &x, 1e-4)?;
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(seed in 0u64..1000, n in 1usize..6, k in 2usize..6) {
+        let mut rng = SeededRng::new(seed);
+        let z = rng.normal_matrix(n, k, 0.0, 3.0);
+        let p = softmax(&z);
+        for r in 0..n {
+            let s: f64 = p.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+            prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_invariant_to_row_shift(seed in 0u64..1000, shift in -50.0f64..50.0) {
+        let mut rng = SeededRng::new(seed);
+        let z = rng.normal_matrix(1, 4, 0.0, 1.0);
+        let shifted = z.map(|v| v + shift);
+        let a = softmax(&z);
+        let b = softmax(&shifted);
+        prop_assert!(a.try_sub(&b).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative_and_grad_sums_zero(seed in 0u64..1000, n in 1usize..5, k in 2usize..5) {
+        let mut rng = SeededRng::new(seed);
+        let z = rng.normal_matrix(n, k, 0.0, 2.0);
+        let labels: Vec<usize> = (0..n).map(|_| rng.index(k)).collect();
+        let (loss, grad) = cross_entropy(&z, &labels);
+        prop_assert!(loss >= 0.0);
+        // Each row's gradient sums to zero (softmax minus one-hot).
+        for r in 0..n {
+            let s: f64 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-9, "row gradient must sum to 0, got {s}");
+        }
+    }
+
+    #[test]
+    fn bce_loss_nonnegative_and_stable(seed in 0u64..1000, scale in 0.1f64..500.0) {
+        let mut rng = SeededRng::new(seed);
+        let z = rng.normal_matrix(3, 2, 0.0, scale);
+        let t = Matrix::from_fn(3, 2, |_, _| f64::from(rng.bernoulli(0.5)));
+        let (loss, grad) = bce_with_logits(&z, &t);
+        prop_assert!(loss.is_finite() && loss >= 0.0);
+        prop_assert!(grad.is_finite());
+    }
+
+    #[test]
+    fn mse_zero_iff_equal(seed in 0u64..1000, n in 1usize..6) {
+        let mut rng = SeededRng::new(seed);
+        let a = rng.normal_matrix(n, 3, 0.0, 1.0);
+        let (loss, _) = mse(&a, &a);
+        prop_assert_eq!(loss, 0.0);
+        let b = a.map(|v| v + 1.0);
+        let (loss2, _) = mse(&a, &b);
+        prop_assert!((loss2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_infer_matches_eval_forward(seed in 0u64..500, n in 1usize..5) {
+        let mut rng = SeededRng::new(seed);
+        let mut net = Sequential::new();
+        net.push(Dense::new(3, 4, &mut rng));
+        net.push(Activation::relu());
+        net.push(Dense::new(4, 2, &mut rng));
+        let x = rng.normal_matrix(n, 3, 0.0, 1.0);
+        let a = net.forward(&x, false);
+        let b = net.infer(&x);
+        prop_assert!(a.try_sub(&b).unwrap().max_abs() < 1e-12);
+    }
+}

@@ -1,0 +1,69 @@
+//! Integration test sweeping all thirteen Table-I methods through the
+//! experiment runner — every method must run end-to-end, and our approaches
+//! must rank at the top, reproducing the table's qualitative outcome.
+
+use fsda::core::adapter::Budget;
+use fsda::core::experiment::{run_grid, ExperimentConfig, Scenario};
+use fsda::core::method::Method;
+use fsda::core::report::{format_table1, method_means};
+use fsda::data::synth5gc::Synth5gc;
+use fsda::models::ClassifierKind;
+
+#[test]
+fn all_thirteen_methods_run_and_ours_lead() {
+    let b = Synth5gc::small().generate(1).unwrap();
+    let scenario = Scenario {
+        name: "5GC".into(),
+        source: b.source_train,
+        target_pool: b.target_pool,
+        pool_groups: None,
+        num_groups: 16,
+        target_test: b.target_test,
+    };
+    let cfg = ExperimentConfig {
+        shots: vec![5],
+        repeats: 1,
+        budget: Budget::quick(),
+        seed: 3,
+        parallel: false,
+    };
+    // One classifier column keeps the runtime reasonable; the grid still
+    // exercises every method implementation. The MLP column carries the
+    // paper's collapse mechanism at reduced scale.
+    let grid = run_grid(&scenario, &Method::TABLE1, &[ClassifierKind::Mlp], &cfg).unwrap();
+
+    // 9 model-agnostic methods x 1 classifier + 4 model-specific.
+    assert_eq!(grid.len(), 13);
+    for e in &grid {
+        assert!(
+            (0.0..=1.0).contains(&e.result.mean_f1),
+            "{}: f1 out of range",
+            e.method.label()
+        );
+    }
+
+    // Rendering works and mentions every method.
+    let table = format_table1("5GC (reduced)", &grid, &[5]);
+    for m in Method::TABLE1 {
+        assert!(table.contains(m.label()), "table missing {}", m.label());
+    }
+
+    // Shape: our methods lead, SrcOnly trails badly — Table I's outcome.
+    let mut means = method_means(&grid, 5);
+    means.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let score =
+        |m: Method| means.iter().find(|&&(x, _)| x == m).map(|&(_, f)| f).unwrap();
+    let top3: Vec<Method> = means.iter().take(3).map(|&(m, _)| m).collect();
+    assert!(
+        top3.contains(&Method::Fs) || top3.contains(&Method::FsGan),
+        "FS/FS+GAN should rank in the top 3, got {top3:?} (full ranking {means:?})"
+    );
+    assert!(
+        score(Method::Fs) > score(Method::SourceAndTarget),
+        "FS must beat S&T: {means:?}"
+    );
+    assert!(
+        score(Method::FsGan) > score(Method::SrcOnly) + 15.0,
+        "FS+GAN must strongly mitigate the drift: {means:?}"
+    );
+}
