@@ -28,14 +28,18 @@ fn main() {
     let mut rng = SeededRng::new(scale.seed + 72);
     let shots = scenario.draw_shots(5, &mut rng).expect("draw failed");
     let separation =
-        FeatureSeparation::fit(&scenario.source, &shots, &FsConfig::default())
-            .expect("FS failed");
+        FeatureSeparation::fit(&scenario.source, &shots, &FsConfig::default()).expect("FS failed");
     let (inv_src, var_src) = separation.split_normalized(scenario.source.features());
-    let normalized_src = separation.normalizer().transform(scenario.source.features());
-    let mut classifier =
-        build_classifier(ClassifierKind::RandomForest, 7, &scale.budget());
+    let normalized_src = separation
+        .normalizer()
+        .transform(scenario.source.features());
+    let mut classifier = build_classifier(ClassifierKind::RandomForest, 7, &scale.budget());
     classifier
-        .fit(&normalized_src, scenario.source.labels(), scenario.source.num_classes())
+        .fit(
+            &normalized_src,
+            scenario.source.labels(),
+            scenario.source.num_classes(),
+        )
         .expect("classifier fit failed");
     let (inv_test, _) = separation.split_normalized(scenario.target_test.features());
     let labels = scenario.target_test.labels();
@@ -52,7 +56,11 @@ fn main() {
     };
     for noise_dim in [2usize, 8, base.noise_dim, 2 * base.noise_dim] {
         let mut gan = CondGan::new(
-            CondGanConfig { noise_dim, epochs: scale.budget().gan_epochs, ..base.clone() },
+            CondGanConfig {
+                noise_dim,
+                epochs: scale.budget().gan_epochs,
+                ..base.clone()
+            },
             9,
         );
         gan.fit(&inv_src, &var_src, &scenario.source.one_hot_labels())

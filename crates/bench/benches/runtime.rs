@@ -29,8 +29,8 @@ fn main() {
 
     // FS timing.
     let t0 = Instant::now();
-    let fs = FeatureSeparation::fit(&scenario.source, &shots, &FsConfig::default())
-        .expect("FS failed");
+    let fs =
+        FeatureSeparation::fit(&scenario.source, &shots, &FsConfig::default()).expect("FS failed");
     let fs_time = t0.elapsed();
     println!(
         "\nFS method:        {:>8.2?}  ({} CI tests, {} variant features)  [paper: 42 min on 2x Xeon]",
@@ -47,8 +47,7 @@ fn main() {
         ..AdapterConfig::default()
     };
     let t0 = Instant::now();
-    let adapter =
-        FsGanAdapter::fit(&scenario.source, &shots, &cfg, 3).expect("adapter fit failed");
+    let adapter = FsGanAdapter::fit(&scenario.source, &shots, &cfg, 3).expect("adapter fit failed");
     let fit_time = t0.elapsed();
 
     let t0 = Instant::now();

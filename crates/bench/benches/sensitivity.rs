@@ -68,18 +68,30 @@ fn variance_analysis(name: &str, scenario: &Scenario, scale: &BenchScale) {
 
 fn alpha_sweep_scored(name: &str, scenario: &Scenario, truth: &[usize]) {
     println!("\n-- ablation: CI significance level alpha ({name}, k=5) --");
-    println!("{:>10} {:>10} {:>10} {:>10}", "alpha", "variant", "precision", "recall");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10}",
+        "alpha", "variant", "precision", "recall"
+    );
     let mut rng = SeededRng::new(77);
     let shots = scenario.draw_shots(5, &mut rng).expect("draw failed");
     for alpha in [0.05, 0.01, 1e-3, 1e-5] {
         let fs = FeatureSeparation::fit(
             &scenario.source,
             &shots,
-            &FsConfig { alpha, ..FsConfig::default() },
+            &FsConfig {
+                alpha,
+                ..FsConfig::default()
+            },
         )
         .expect("FS failed");
         let (p, r) = fs.score_against(truth);
-        println!("{:>10.0e} {:>10} {:>10.2} {:>10.2}", alpha, fs.variant().len(), p, r);
+        println!(
+            "{:>10.0e} {:>10} {:>10.2} {:>10.2}",
+            alpha,
+            fs.variant().len(),
+            p,
+            r
+        );
     }
 }
 

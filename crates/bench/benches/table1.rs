@@ -15,13 +15,13 @@ use fsda_models::ClassifierKind;
 fn selected_methods() -> Vec<Method> {
     match std::env::var("FSDA_METHODS") {
         Ok(spec) => {
-            let wanted: Vec<String> =
-                spec.split(',').map(|s| s.trim().to_lowercase()).collect();
+            let wanted: Vec<String> = spec.split(',').map(|s| s.trim().to_lowercase()).collect();
             Method::TABLE1
                 .into_iter()
                 .filter(|m| {
                     wanted.iter().any(|w| {
-                        m.label().to_lowercase().contains(w) || format!("{m:?}").to_lowercase() == *w
+                        m.label().to_lowercase().contains(w)
+                            || format!("{m:?}").to_lowercase() == *w
                     })
                 })
                 .collect()
@@ -38,8 +38,7 @@ fn run_block(
     paper_block: &[(Method, [[f64; 4]; 3])],
 ) {
     let config = scale.experiment_config();
-    let grid = run_grid(scenario, methods, &ClassifierKind::ALL, &config)
-        .expect("grid run failed");
+    let grid = run_grid(scenario, methods, &ClassifierKind::ALL, &config).expect("grid run failed");
     println!("\n{}", format_table1(name, &grid, &config.shots));
 
     // Paper-vs-measured for the cells we ran.
@@ -52,7 +51,12 @@ fn run_block(
         };
         let col = entry
             .classifier
-            .map(|c| ClassifierKind::ALL.iter().position(|&x| x == c).unwrap_or(0))
+            .map(|c| {
+                ClassifierKind::ALL
+                    .iter()
+                    .position(|&x| x == c)
+                    .unwrap_or(0)
+            })
             .unwrap_or(0);
         if let Some((_, vals)) = paper_block.iter().find(|(m, _)| *m == entry.method) {
             rows.push((
@@ -62,7 +66,10 @@ fn run_block(
                     entry.classifier.map(|c| c.label()).unwrap_or("(own)"),
                     entry.shots
                 ),
-                Comparison { paper: vals[k_idx][col], measured: entry.result.percent() },
+                Comparison {
+                    paper: vals[k_idx][col],
+                    measured: entry.result.percent(),
+                },
             ));
         }
     }
@@ -87,7 +94,13 @@ fn main() {
     run_block("Table I — 5GC", &gc, &methods, &scale, &paper::TABLE1_5GC);
 
     let (ipc, _) = scenario_5gipc(&scale, scale.seed.wrapping_add(2));
-    run_block("Table I — 5GIPC", &ipc, &methods, &scale, &paper::TABLE1_5GIPC);
+    run_block(
+        "Table I — 5GIPC",
+        &ipc,
+        &methods,
+        &scale,
+        &paper::TABLE1_5GIPC,
+    );
 
     println!(
         "\nShape expectations (paper): FS+GAN > FS > causal/few-shot baselines >\n\

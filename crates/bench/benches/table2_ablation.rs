@@ -20,10 +20,17 @@ fn run_block(name: &str, scenario: &Scenario, scale: &BenchScale, paper_col: usi
                 .expect("ablation cell failed");
             print!(" {:>7.1}", cell.percent());
             let paper_vals = paper::TABLE2[i];
-            let p = if paper_col == 0 { paper_vals.1[k_idx] } else { paper_vals.2[k_idx] };
+            let p = if paper_col == 0 {
+                paper_vals.1[k_idx]
+            } else {
+                paper_vals.2[k_idx]
+            };
             rows.push((
                 format!("{} k={}", method.label(), k),
-                Comparison { paper: p, measured: cell.percent() },
+                Comparison {
+                    paper: p,
+                    measured: cell.percent(),
+                },
             ));
         }
         println!();

@@ -32,8 +32,16 @@ fn main() {
         "adapter", "Target_1 k=1/5/10", "Target_2 k=1/5/10"
     );
     for (a_idx, (label, pool, groups)) in [
-        ("FS+GAN_1", &bundle.target1_pool, &bundle.target1_pool_groups),
-        ("FS+GAN_2", &bundle.target2_pool, &bundle.target2_pool_groups),
+        (
+            "FS+GAN_1",
+            &bundle.target1_pool,
+            &bundle.target1_pool_groups,
+        ),
+        (
+            "FS+GAN_2",
+            &bundle.target2_pool,
+            &bundle.target2_pool_groups,
+        ),
     ]
     .into_iter()
     .enumerate()
@@ -42,8 +50,8 @@ fn main() {
         let mut cells_t2 = Vec::new();
         for (k_idx, k) in [1usize, 5, 10].into_iter().enumerate() {
             let mut rng = SeededRng::new(scale.seed + 100 + k as u64 + a_idx as u64 * 7);
-            let idx = few_shot_indices(groups, NUM_GROUPS, k, &mut rng)
-                .expect("few-shot draw failed");
+            let idx =
+                few_shot_indices(groups, NUM_GROUPS, k, &mut rng).expect("few-shot draw failed");
             let shots = pool.subset(&idx);
             let adapter = FsGanAdapter::fit(&bundle.source_train, &shots, &cfg, 41 + k as u64)
                 .expect("adapter fit failed");
@@ -62,11 +70,17 @@ fn main() {
             let (p1, p2) = (paper::TABLE3[a_idx].1[k_idx], paper::TABLE3[a_idx].2[k_idx]);
             rows.push((
                 format!("{label} on T1 k={k}"),
-                Comparison { paper: p1, measured: f1_t1 },
+                Comparison {
+                    paper: p1,
+                    measured: f1_t1,
+                },
             ));
             rows.push((
                 format!("{label} on T2 k={k}"),
-                Comparison { paper: p2, measured: f1_t2 },
+                Comparison {
+                    paper: p2,
+                    measured: f1_t2,
+                },
             ));
             cells_t1.push(f1_t1);
             cells_t2.push(f1_t2);
@@ -76,7 +90,10 @@ fn main() {
             label, cells_t1[0], cells_t1[1], cells_t1[2], cells_t2[0], cells_t2[1], cells_t2[2]
         );
     }
-    println!("\n{}", fsda_core::report::format_comparison("Table III", &rows));
+    println!(
+        "\n{}",
+        fsda_core::report::format_comparison("Table III", &rows)
+    );
     println!(
         "Shape expectation (paper): each adapter is best on its own target, but the\n\
          TNet model — trained once, on Source only — stays competitive when the\n\

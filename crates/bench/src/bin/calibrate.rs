@@ -18,7 +18,11 @@ fn main() {
     let sv: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2.0);
     let si: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.6);
     let full = std::env::var("CAL_FULL").is_ok();
-    let mut gen = if full { Synth5gc::full() } else { Synth5gc::small() };
+    let mut gen = if full {
+        Synth5gc::full()
+    } else {
+        Synth5gc::small()
+    };
     gen.signal_variant = sv;
     gen.signal_invariant = si;
     if let Some(sh) = args.get(3).and_then(|s| s.parse().ok()) {
@@ -36,7 +40,11 @@ fn main() {
     let cfg = ExperimentConfig {
         shots: vec![5],
         repeats: if full { 1 } else { 2 },
-        budget: if full { Budget::full() } else { Budget::quick() },
+        budget: if full {
+            Budget::full()
+        } else {
+            Budget::quick()
+        },
         seed: 3,
         parallel: true,
     };
@@ -49,7 +57,14 @@ fn main() {
     let methods = if full {
         vec![Method::SrcOnly, Method::SourceAndTarget, Method::Fs]
     } else {
-        vec![Method::SrcOnly, Method::TarOnly, Method::SourceAndTarget, Method::Cmt, Method::Fs, Method::FsGan]
+        vec![
+            Method::SrcOnly,
+            Method::TarOnly,
+            Method::SourceAndTarget,
+            Method::Cmt,
+            Method::Fs,
+            Method::FsGan,
+        ]
     };
     for kind in kinds {
         print!("{:>4}:", kind.label());

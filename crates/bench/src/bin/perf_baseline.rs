@@ -1,0 +1,163 @@
+//! §VI-D-style performance baseline for the parallel CI-testing engine.
+//!
+//! Runs the PC causal search over a grid of (features × samples × threads)
+//! on block-correlated synthetic data, records CI tests/second and the
+//! speedup over the single-threaded path, verifies that every parallel run
+//! is bit-identical to its sequential counterpart, and writes the grid to
+//! `BENCH_runtime.json` at the repository root.
+//!
+//! `cargo run -p fsda-bench --release --bin perf_baseline`
+//!
+//! The 442-feature rows mirror the paper's 5GC dataset width; the paper
+//! reports FS running times in the order of seconds on that width, which is
+//! the regime this baseline tracks.
+
+use fsda_causal::ci::FisherZ;
+use fsda_causal::pc::{pc, PcConfig, PcResult};
+use fsda_linalg::{Matrix, SeededRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Block-correlated linear-Gaussian data: every eighth variable starts a new
+/// independent block; within a block each variable loads on its predecessor.
+/// Cross-block edges die in the marginal round, within-block structure
+/// exercises the deeper conditioning rounds.
+fn block_chain_data(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = SeededRng::new(seed);
+    let mut m = Matrix::zeros(n, d);
+    for r in 0..n {
+        for c in 0..d {
+            let v = if c % 8 == 0 {
+                rng.normal(0.0, 1.0)
+            } else {
+                0.8 * m.get(r, c - 1) + rng.normal(0.0, 0.6)
+            };
+            m.set(r, c, v);
+        }
+    }
+    m
+}
+
+struct Cell {
+    features: usize,
+    samples: usize,
+    threads: usize,
+    elapsed_s: f64,
+    tests_run: usize,
+    tests_per_sec: f64,
+    speedup_vs_1: f64,
+    identical_to_sequential: bool,
+    edges: usize,
+}
+
+fn run_pc(test: &FisherZ, threads: usize) -> (PcResult, f64) {
+    let config = PcConfig {
+        alpha: 0.01,
+        max_cond_size: 2,
+        parallel: threads > 1,
+        num_threads: Some(threads),
+    };
+    let start = Instant::now();
+    let result = pc(test, &config).expect("PC run");
+    (result, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let feature_grid = [64usize, 128, 442];
+    let thread_grid = [1usize, 2, 4, 8];
+    let samples_for = |d: usize| if d >= 442 { 256 } else { 512 };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!("perf_baseline: PC causal search, block-chain data, alpha=0.01, max_cond_size=2");
+    println!("host parallelism: {cores} core(s)\n");
+    println!(
+        "{:>9} {:>8} {:>8} {:>10} {:>10} {:>14} {:>9} {:>10}",
+        "features", "samples", "threads", "edges", "CI tests", "tests/sec", "time (s)", "speedup"
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &d in &feature_grid {
+        let n = samples_for(d);
+        let data = block_chain_data(n, d, 42);
+        let test = FisherZ::new(&data).expect("correlation matrix");
+        let mut baseline: Option<(PcResult, f64)> = None;
+        for &t in &thread_grid {
+            let (result, elapsed) = run_pc(&test, t);
+            let (seq, seq_time) = match &baseline {
+                Some(b) => (&b.0, b.1),
+                None => {
+                    baseline = Some((result.clone(), elapsed));
+                    let b = baseline.as_ref().unwrap();
+                    (&b.0, b.1)
+                }
+            };
+            let identical = result.graph == seq.graph
+                && result.sepsets == seq.sepsets
+                && result.tests_run == seq.tests_run;
+            assert!(
+                identical,
+                "thread count {t} changed the learned CPDAG at d={d}"
+            );
+            let cell = Cell {
+                features: d,
+                samples: n,
+                threads: t,
+                elapsed_s: elapsed,
+                tests_run: result.tests_run,
+                tests_per_sec: result.tests_run as f64 / elapsed.max(1e-12),
+                speedup_vs_1: seq_time / elapsed.max(1e-12),
+                identical_to_sequential: identical,
+                edges: result.graph.num_edges(),
+            };
+            println!(
+                "{:>9} {:>8} {:>8} {:>10} {:>10} {:>14.0} {:>9.3} {:>9.2}x",
+                cell.features,
+                cell.samples,
+                cell.threads,
+                cell.edges,
+                cell.tests_run,
+                cell.tests_per_sec,
+                cell.elapsed_s,
+                cell.speedup_vs_1
+            );
+            cells.push(cell);
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"pc_causal_search_parallel\",");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"PC skeleton+orientation over block-chain data; \
+         parallel rows are verified bit-identical to threads=1\","
+    );
+    let _ = writeln!(json, "  \"alpha\": 0.01,");
+    let _ = writeln!(json, "  \"max_cond_size\": 2,");
+    let _ = writeln!(json, "  \"host_parallelism\": {cores},");
+    json.push_str("  \"cells\": [\n");
+    for (k, c) in cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"features\": {}, \"samples\": {}, \"threads\": {}, \
+             \"edges\": {}, \"ci_tests\": {}, \"tests_per_sec\": {:.1}, \
+             \"elapsed_s\": {:.6}, \"speedup_vs_1\": {:.3}, \
+             \"identical_to_sequential\": {}}}",
+            c.features,
+            c.samples,
+            c.threads,
+            c.edges,
+            c.tests_run,
+            c.tests_per_sec,
+            c.elapsed_s,
+            c.speedup_vs_1,
+            c.identical_to_sequential
+        );
+        json.push_str(if k + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+    std::fs::write(path, &json).expect("write BENCH_runtime.json");
+    println!("\nwrote {path}");
+}

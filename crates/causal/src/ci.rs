@@ -11,7 +11,14 @@ use fsda_linalg::stats::{correlation_matrix, fisher_z_pvalue, partial_correlatio
 use fsda_linalg::Matrix;
 
 /// A conditional-independence oracle over a fixed dataset.
-pub trait CondIndepTest {
+///
+/// The trait requires [`Sync`] because the PC skeleton and the F-node
+/// search fan their per-edge / per-feature queries out to a worker pool
+/// (`fsda_linalg::par`): every worker holds a shared reference to the same
+/// oracle, which is safe precisely because an oracle is immutable after
+/// construction — [`FisherZ`] precomputes its correlation matrix once and
+/// every query is read-only.
+pub trait CondIndepTest: Sync {
     /// P-value of the null hypothesis `x_i ⟂ x_j | x_cond`.
     ///
     /// # Errors
@@ -62,7 +69,10 @@ impl FisherZ {
             )));
         }
         let corr = correlation_matrix(data)?;
-        Ok(FisherZ { corr, n: data.rows() })
+        Ok(FisherZ {
+            corr,
+            n: data.rows(),
+        })
     }
 
     /// Builds the test directly from a precomputed correlation matrix and
@@ -72,7 +82,11 @@ impl FisherZ {
     ///
     /// Panics if `corr` is not square.
     pub fn from_correlation(corr: Matrix, n: usize) -> Self {
-        assert_eq!(corr.rows(), corr.cols(), "from_correlation: matrix must be square");
+        assert_eq!(
+            corr.rows(),
+            corr.cols(),
+            "from_correlation: matrix must be square"
+        );
         FisherZ { corr, n }
     }
 
@@ -175,7 +189,10 @@ mod tests {
     #[test]
     fn rejects_tiny_datasets() {
         let m = Matrix::zeros(3, 2);
-        assert!(matches!(FisherZ::new(&m), Err(CausalError::InsufficientData(_))));
+        assert!(matches!(
+            FisherZ::new(&m),
+            Err(CausalError::InsufficientData(_))
+        ));
     }
 
     #[test]
@@ -204,7 +221,10 @@ mod tests {
         let tgt = Matrix::zeros(2, 4);
         assert!(matches!(
             combine_with_fnode(&src, &tgt),
-            Err(CausalError::FeatureMismatch { source: 3, target: 4 })
+            Err(CausalError::FeatureMismatch {
+                source: 3,
+                target: 4
+            })
         ));
     }
 
@@ -222,12 +242,23 @@ mod tests {
     fn fnode_correlates_with_shifted_feature() {
         let mut rng = SeededRng::new(3);
         let src = Matrix::from_fn(400, 2, |_, _| rng.normal(0.0, 1.0));
-        let tgt =
-            Matrix::from_fn(80, 2, |_, c| if c == 0 { rng.normal(2.5, 1.0) } else { rng.normal(0.0, 1.0) });
+        let tgt = Matrix::from_fn(80, 2, |_, c| {
+            if c == 0 {
+                rng.normal(2.5, 1.0)
+            } else {
+                rng.normal(0.0, 1.0)
+            }
+        });
         let combined = combine_with_fnode(&src, &tgt).unwrap();
         let t = FisherZ::new(&combined).unwrap();
         let f = 2; // F-node index
-        assert!(!t.independent(0, f, &[], 0.01).unwrap(), "shifted feature depends on F");
-        assert!(t.independent(1, f, &[], 0.01).unwrap(), "invariant feature independent of F");
+        assert!(
+            !t.independent(0, f, &[], 0.01).unwrap(),
+            "shifted feature depends on F"
+        );
+        assert!(
+            t.independent(1, f, &[], 0.01).unwrap(),
+            "invariant feature independent of F"
+        );
     }
 }

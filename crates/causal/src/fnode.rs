@@ -19,6 +19,7 @@
 use crate::ci::{combine_with_fnode, CondIndepTest, FisherZ};
 use crate::graph::for_each_subset;
 use crate::Result;
+use fsda_linalg::par::{par_map, resolve_threads};
 use fsda_linalg::Matrix;
 
 /// Configuration of the F-node search.
@@ -34,11 +35,36 @@ pub struct FnodeConfig {
     /// feature under test. Keeps the subset enumeration tractable at
     /// 442 features.
     pub max_candidates: usize,
+    /// Fan the per-feature CI tests of each stage out to a worker pool.
+    /// Every stage already evaluates features against a snapshot of the
+    /// F-adjacency, so the result is bit-identical to the sequential path;
+    /// only wall-clock changes.
+    pub parallel: bool,
+    /// Worker threads when `parallel` is set; `None` uses every available
+    /// core. Ignored when `parallel` is `false`.
+    pub num_threads: Option<usize>,
 }
 
 impl Default for FnodeConfig {
     fn default() -> Self {
-        FnodeConfig { alpha: 0.01, max_cond_size: 1, max_candidates: 6 }
+        FnodeConfig {
+            alpha: 0.01,
+            max_cond_size: 1,
+            max_candidates: 6,
+            parallel: false,
+            num_threads: None,
+        }
+    }
+}
+
+impl FnodeConfig {
+    /// Worker count this configuration resolves to (1 when sequential).
+    pub fn effective_threads(&self) -> usize {
+        if self.parallel {
+            resolve_threads(self.num_threads)
+        } else {
+            1
+        }
     }
 }
 
@@ -111,67 +137,41 @@ pub fn find_intervened_features_with(
     );
     let f = num_features;
     let mut tests_run = 0usize;
+    let threads = config.effective_threads();
+    let features: Vec<usize> = (0..num_features).collect();
 
-    // Effect sizes: marginal correlation with F.
+    // Effect sizes: marginal correlation with F. Each query is independent,
+    // so the pool applies; errors propagate in feature order exactly as the
+    // sequential loop would.
     let mut f_correlation = Vec::with_capacity(num_features);
-    for x in 0..num_features {
-        f_correlation.push(test.partial_corr(x, f, &[])?);
+    for r in par_map(threads, &features, |_, &x| test.partial_corr(x, f, &[])) {
+        f_correlation.push(r?);
     }
 
     // Stage 0: marginal tests — the initial F-adjacency.
     let mut adjacent: Vec<bool> = Vec::with_capacity(num_features);
-    for x in 0..num_features {
+    for r in par_map(threads, &features, |_, &x| {
+        test.independent(x, f, &[], config.alpha)
+    }) {
         tests_run += 1;
-        adjacent.push(!test.independent(x, f, &[], config.alpha)?);
+        adjacent.push(!r?);
     }
 
     // Stages 1..=max_cond_size: condition on other current F-neighbours.
     for cond_size in 1..=config.max_cond_size {
         // PC-stable style: snapshot the adjacency for this stage so the
-        // outcome does not depend on feature iteration order.
-        let snapshot: Vec<usize> =
-            (0..num_features).filter(|&x| adjacent[x]).collect();
+        // outcome depends on neither feature iteration order nor the worker
+        // schedule — each feature is a pure function of the snapshot.
+        let snapshot: Vec<usize> = (0..num_features).filter(|&x| adjacent[x]).collect();
         if snapshot.len() <= cond_size {
             break;
         }
-        for &x in &snapshot {
-            if !adjacent[x] {
-                continue;
-            }
-            // Conditioning candidates: other F-neighbours, ranked by
-            // |corr(candidate, x)| so the most plausible mediators are
-            // tried first, truncated for tractability.
-            let mut candidates: Vec<usize> =
-                snapshot.iter().copied().filter(|&c| c != x).collect();
-            let mut scored: Vec<(usize, f64)> = candidates
-                .drain(..)
-                .map(|c| {
-                    let r = test.partial_corr(c, x, &[]).unwrap_or(0.0);
-                    (c, r.abs())
-                })
-                .collect();
-            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-            let candidates: Vec<usize> = scored
-                .into_iter()
-                .take(config.max_candidates)
-                .map(|(c, _)| c)
-                .collect();
-            if candidates.len() < cond_size {
-                continue;
-            }
-            let mut err: Option<crate::CausalError> = None;
-            let mut local_tests = 0usize;
-            let separated = for_each_subset(&candidates, cond_size, |cond| {
-                local_tests += 1;
-                match test.independent(x, f, cond, config.alpha) {
-                    Ok(true) => true,
-                    Ok(false) => false,
-                    Err(e) => {
-                        err = Some(e);
-                        true
-                    }
-                }
-            });
+        let outcomes = par_map(threads, &snapshot, |_, &x| {
+            evaluate_feature(test, &snapshot, x, f, cond_size, config)
+        });
+        // Sequential fold in snapshot (ascending feature) order: the test
+        // counter, error propagation, and adjacency updates all happen here.
+        for (&x, (local_tests, separated, err)) in snapshot.iter().zip(outcomes) {
             tests_run += local_tests;
             if let Some(e) = err {
                 return Err(e);
@@ -184,7 +184,63 @@ pub fn find_intervened_features_with(
 
     let variant: Vec<usize> = (0..num_features).filter(|&x| adjacent[x]).collect();
     let invariant: Vec<usize> = (0..num_features).filter(|&x| !adjacent[x]).collect();
-    Ok(FnodeResult { variant, invariant, f_correlation, tests_run })
+    Ok(FnodeResult {
+        variant,
+        invariant,
+        f_correlation,
+        tests_run,
+    })
+}
+
+/// Evaluates one feature against one stage's F-adjacency snapshot: ranks the
+/// other F-neighbours as conditioning candidates and searches size-`cond_size`
+/// subsets for one separating `x` from the F-node.
+///
+/// Pure function of its arguments — the unit of work handed to the pool.
+/// Returns `(tests_performed, separated, first_error)`.
+fn evaluate_feature(
+    test: &FisherZ,
+    snapshot: &[usize],
+    x: usize,
+    f: usize,
+    cond_size: usize,
+    config: &FnodeConfig,
+) -> (usize, bool, Option<crate::CausalError>) {
+    // Conditioning candidates: other F-neighbours, ranked by
+    // |corr(candidate, x)| so the most plausible mediators are tried first,
+    // truncated for tractability.
+    let mut scored: Vec<(usize, f64)> = snapshot
+        .iter()
+        .copied()
+        .filter(|&c| c != x)
+        .map(|c| {
+            let r = test.partial_corr(c, x, &[]).unwrap_or(0.0);
+            (c, r.abs())
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let candidates: Vec<usize> = scored
+        .into_iter()
+        .take(config.max_candidates)
+        .map(|(c, _)| c)
+        .collect();
+    if candidates.len() < cond_size {
+        return (0, false, None);
+    }
+    let mut err: Option<crate::CausalError> = None;
+    let mut local_tests = 0usize;
+    let separated = for_each_subset(&candidates, cond_size, |cond| {
+        local_tests += 1;
+        match test.independent(x, f, cond, config.alpha) {
+            Ok(true) => true,
+            Ok(false) => false,
+            Err(e) => {
+                err = Some(e);
+                true
+            }
+        }
+    });
+    (local_tests, separated && err.is_none(), err)
 }
 
 #[cfg(test)]
@@ -200,9 +256,17 @@ mod tests {
         let mut rng = SeededRng::new(seed);
         let gen = |rng: &mut SeededRng, shift: bool| {
             let x0 = rng.normal(0.0, 1.0);
-            let x1 = if shift { rng.normal(3.0, 1.0) } else { rng.normal(0.0, 1.0) };
+            let x1 = if shift {
+                rng.normal(3.0, 1.0)
+            } else {
+                rng.normal(0.0, 1.0)
+            };
             let x2 = 1.2 * x1 + rng.normal(0.0, 0.4);
-            let x3 = if shift { rng.normal(0.0, 3.0) } else { rng.normal(0.0, 1.0) };
+            let x3 = if shift {
+                rng.normal(0.0, 3.0)
+            } else {
+                rng.normal(0.0, 1.0)
+            };
             let x4 = 0.8 * x0 + rng.normal(0.0, 0.4);
             [x0, x1, x2, x3, x4]
         };
@@ -221,7 +285,11 @@ mod tests {
     fn identifies_mean_shift_target() {
         let (src, tgt) = two_domain_data(1000, 200, 1);
         let res = find_intervened_features(&src, &tgt, &FnodeConfig::default()).unwrap();
-        assert!(res.variant.contains(&1), "x1 (mean-shifted) must be variant: {:?}", res.variant);
+        assert!(
+            res.variant.contains(&1),
+            "x1 (mean-shifted) must be variant: {:?}",
+            res.variant
+        );
         assert!(res.invariant.contains(&0), "x0 is invariant");
         assert!(res.invariant.contains(&4), "x4 is invariant");
     }
@@ -231,7 +299,12 @@ mod tests {
         // x2 = f(x1): marginally shifted, but x2 ⟂ F | x1, so conditioning
         // should remove it from the variant set.
         let (src, tgt) = two_domain_data(3000, 600, 2);
-        let cfg = FnodeConfig { alpha: 0.01, max_cond_size: 1, max_candidates: 10 };
+        let cfg = FnodeConfig {
+            alpha: 0.01,
+            max_cond_size: 1,
+            max_candidates: 10,
+            ..FnodeConfig::default()
+        };
         let res = find_intervened_features(&src, &tgt, &cfg).unwrap();
         assert!(res.variant.contains(&1));
         assert!(
@@ -246,7 +319,10 @@ mod tests {
         let mut rng = SeededRng::new(3);
         let src = Matrix::from_fn(800, 4, |_, _| rng.normal(0.0, 1.0));
         let tgt = Matrix::from_fn(160, 4, |_, _| rng.normal(0.0, 1.0));
-        let cfg = FnodeConfig { alpha: 0.001, ..FnodeConfig::default() };
+        let cfg = FnodeConfig {
+            alpha: 0.001,
+            ..FnodeConfig::default()
+        };
         let res = find_intervened_features(&src, &tgt, &cfg).unwrap();
         assert!(
             res.variant.len() <= 1,
@@ -277,14 +353,20 @@ mod tests {
             .iter()
             .map(|&n| {
                 let (src, tgt) = build(n, 7);
-                find_intervened_features(&src, &tgt, &cfg).unwrap().variant.len()
+                find_intervened_features(&src, &tgt, &cfg)
+                    .unwrap()
+                    .variant
+                    .len()
             })
             .collect();
         assert!(
             counts[1] >= counts[0],
             "detection count should not decrease with more samples: {counts:?}"
         );
-        assert!(counts[1] >= 2, "large sample should detect the shifted block: {counts:?}");
+        assert!(
+            counts[1] >= 2,
+            "large sample should detect the shifted block: {counts:?}"
+        );
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! Graph structures for constraint-based causal discovery.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Edge mark between two adjacent nodes of a partially-directed graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EdgeKind {
     /// Undirected `a - b`.
     Undirected,
@@ -17,7 +16,7 @@ pub enum EdgeKind {
 /// Adjacency is kept as a dense symmetric boolean structure plus a set of
 /// directed marks; node count is small (features of one dataset), so the
 /// dense representation is simplest and fast.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
     n: usize,
     /// `adj[i*n + j]` — i and j are adjacent (symmetric).
@@ -29,7 +28,11 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty graph over `n` nodes.
     pub fn empty(n: usize) -> Self {
-        Graph { n, adj: vec![false; n * n], dir: vec![false; n * n] }
+        Graph {
+            n,
+            adj: vec![false; n * n],
+            dir: vec![false; n * n],
+        }
     }
 
     /// Creates the complete undirected graph over `n` nodes.
@@ -79,7 +82,10 @@ impl Graph {
     ///
     /// Panics if indices are out of bounds or `i == j`.
     pub fn add_edge(&mut self, i: usize, j: usize) {
-        assert!(i < self.n && j < self.n && i != j, "add_edge: invalid pair ({i},{j})");
+        assert!(
+            i < self.n && j < self.n && i != j,
+            "add_edge: invalid pair ({i},{j})"
+        );
         self.adj[i * self.n + j] = true;
         self.adj[j * self.n + i] = true;
     }
@@ -115,7 +121,9 @@ impl Graph {
 
     /// All neighbours of `i` (regardless of orientation), ascending.
     pub fn neighbors(&self, i: usize) -> Vec<usize> {
-        (0..self.n).filter(|&j| j != i && self.adj[i * self.n + j]).collect()
+        (0..self.n)
+            .filter(|&j| j != i && self.adj[i * self.n + j])
+            .collect()
     }
 
     /// Parents of `i`: nodes `p` with `p -> i`.
@@ -150,7 +158,7 @@ impl Graph {
 
 /// Separating sets recorded during skeleton discovery: `sepset(i, j)` is the
 /// conditioning set that rendered `i` and `j` independent.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SepSets {
     inner: std::collections::BTreeMap<(usize, usize), BTreeSet<usize>>,
 }
@@ -171,7 +179,8 @@ impl SepSets {
 
     /// Records the separating set for the pair `(i, j)`.
     pub fn insert(&mut self, i: usize, j: usize, set: impl IntoIterator<Item = usize>) {
-        self.inner.insert(Self::key(i, j), set.into_iter().collect());
+        self.inner
+            .insert(Self::key(i, j), set.into_iter().collect());
     }
 
     /// Returns the separating set for `(i, j)` if one was recorded.

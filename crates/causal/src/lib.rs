@@ -36,6 +36,8 @@
 //! # Ok::<(), fsda_causal::CausalError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod ci;
 pub mod fnode;
 pub mod graph;
@@ -64,7 +66,10 @@ impl std::fmt::Display for CausalError {
         match self {
             CausalError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
             CausalError::FeatureMismatch { source, target } => {
-                write!(f, "feature count mismatch: source {source} vs target {target}")
+                write!(
+                    f,
+                    "feature count mismatch: source {source} vs target {target}"
+                )
             }
             CausalError::Linalg(msg) => write!(f, "linear algebra failure: {msg}"),
         }
@@ -88,9 +93,14 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = CausalError::FeatureMismatch { source: 3, target: 4 };
+        let e = CausalError::FeatureMismatch {
+            source: 3,
+            target: 4,
+        };
         assert!(e.to_string().contains('3'));
-        assert!(!CausalError::InsufficientData("x".into()).to_string().is_empty());
+        assert!(!CausalError::InsufficientData("x".into())
+            .to_string()
+            .is_empty());
     }
 
     #[test]

@@ -10,19 +10,71 @@
 use crate::ci::CondIndepTest;
 use crate::graph::{for_each_subset, Graph, SepSets};
 use crate::Result;
+use fsda_linalg::par::{par_map, resolve_threads};
 
 /// Configuration for [`pc`].
+///
+/// # Parallel vs sequential equivalence
+///
+/// The skeleton phase is *PC-stable*: each conditioning-set-size round
+/// tests every surviving edge against a snapshot of the adjacency taken at
+/// the start of the round, and removals are applied afterwards in canonical
+/// edge order. Because every edge's test is then a pure function of the
+/// snapshot, fanning the edges out to a worker pool cannot change the
+/// result — `parallel` is a pure performance knob:
+///
+/// ```
+/// use fsda_causal::ci::FisherZ;
+/// use fsda_causal::pc::{pc, PcConfig};
+/// use fsda_linalg::{Matrix, SeededRng};
+///
+/// let mut rng = SeededRng::new(7);
+/// let data = Matrix::from_fn(500, 6, |_, c| {
+///     let base = rng.normal(0.0, 1.0);
+///     if c % 2 == 1 { 0.9 * base + rng.normal(0.0, 0.5) } else { base }
+/// });
+/// let test = FisherZ::new(&data)?;
+/// let seq = pc(&test, &PcConfig::default())?;
+/// let par = pc(&test, &PcConfig { parallel: true, num_threads: Some(4), ..PcConfig::default() })?;
+/// assert_eq!(seq.graph, par.graph);
+/// assert_eq!(seq.sepsets, par.sepsets);
+/// assert_eq!(seq.tests_run, par.tests_run);
+/// # Ok::<(), fsda_causal::CausalError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct PcConfig {
     /// Significance level for the CI tests.
     pub alpha: f64,
     /// Maximum conditioning-set size during skeleton discovery.
     pub max_cond_size: usize,
+    /// Fan each round's edge-wise CI tests out to a worker pool. The
+    /// output is bit-identical to the sequential path (see the type-level
+    /// docs); only wall-clock changes.
+    pub parallel: bool,
+    /// Worker threads when `parallel` is set; `None` uses every available
+    /// core. Ignored when `parallel` is `false`.
+    pub num_threads: Option<usize>,
 }
 
 impl Default for PcConfig {
     fn default() -> Self {
-        PcConfig { alpha: 0.01, max_cond_size: 3 }
+        PcConfig {
+            alpha: 0.01,
+            max_cond_size: 3,
+            parallel: false,
+            num_threads: None,
+        }
+    }
+}
+
+impl PcConfig {
+    /// Worker count this configuration resolves to (1 when sequential).
+    pub fn effective_threads(&self) -> usize {
+        if self.parallel {
+            resolve_threads(self.num_threads)
+        } else {
+            1
+        }
     }
 }
 
@@ -45,7 +97,11 @@ pub struct PcResult {
 /// conditioning sets).
 pub fn pc(test: &dyn CondIndepTest, config: &PcConfig) -> Result<PcResult> {
     let (graph, sepsets, tests_run) = skeleton(test, config, None)?;
-    let mut result = PcResult { graph, sepsets, tests_run };
+    let mut result = PcResult {
+        graph,
+        sepsets,
+        tests_run,
+    };
     orient_v_structures(&mut result.graph, &result.sepsets);
     apply_meek_rules(&mut result.graph);
     Ok(result)
@@ -68,58 +124,113 @@ pub(crate) fn skeleton(
     let mut graph = Graph::complete(n);
     let mut sepsets = SepSets::new();
     let mut tests_run = 0usize;
+    let threads = config.effective_threads();
     for cond_size in 0..=config.max_cond_size {
-        let mut removed_any = false;
-        // Iterate over a stable snapshot of current edges.
+        // PC-stable: snapshot the adjacency at the start of the round. Every
+        // edge is tested against this snapshot, so the per-edge outcomes are
+        // independent of both each other and the evaluation schedule — which
+        // is what makes the parallel fan-out below exact rather than
+        // approximate.
+        let neighbors: Vec<Vec<usize>> = (0..n).map(|i| graph.neighbors(i)).collect();
         let edges: Vec<(usize, usize)> = (0..n)
             .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
             .filter(|&(i, j)| graph.adjacent(i, j))
             .collect();
-        for (i, j) in edges {
-            if !graph.adjacent(i, j) {
-                continue;
+        let outcomes = par_map(threads, &edges, |_, &(i, j)| {
+            evaluate_edge(test, &neighbors, i, j, cond_size, config.alpha)
+        });
+        // Apply results sequentially in canonical (i < j lexicographic) edge
+        // order: removals, sepset insertions, the test counter, and error
+        // propagation all happen here, so the fold is identical for every
+        // thread count.
+        let mut removed_any = false;
+        for (&(i, j), outcome) in edges.iter().zip(outcomes) {
+            tests_run += outcome.tests;
+            if let Some(e) = outcome.err {
+                return Err(e);
             }
-            // Candidate conditioning variables: adj(i) \ {j} (PC-stable
-            // style would snapshot; we test both directions' adjacency sets).
-            let mut removed = false;
-            for &(a, b) in &[(i, j), (j, i)] {
-                let mut candidates = graph.neighbors(a);
-                candidates.retain(|&k| k != b);
-                if candidates.len() < cond_size {
-                    continue;
-                }
-                let mut err: Option<crate::CausalError> = None;
-                let found = for_each_subset(&candidates, cond_size, |cond| {
-                    tests_run += 1;
-                    match test.independent(a, b, cond, config.alpha) {
-                        Ok(true) => {
-                            sepsets.insert(a, b, cond.iter().copied());
-                            true
-                        }
-                        Ok(false) => false,
-                        Err(e) => {
-                            err = Some(e);
-                            true
-                        }
-                    }
-                });
-                if let Some(e) = err {
-                    return Err(e);
-                }
-                if found {
-                    graph.remove_edge(i, j);
-                    removed = true;
-                    removed_any = true;
-                    break;
-                }
+            if let Some((a, b, sep)) = outcome.removal {
+                graph.remove_edge(i, j);
+                sepsets.insert(a, b, sep);
+                removed_any = true;
             }
-            let _ = removed;
         }
         if !removed_any && cond_size > 0 {
             break;
         }
     }
     Ok((graph, sepsets, tests_run))
+}
+
+/// Result of testing one edge against one round's adjacency snapshot.
+struct EdgeOutcome {
+    /// CI tests performed while evaluating this edge.
+    tests: usize,
+    /// `Some((a, b, sepset))` when a separating set was found; `(a, b)` is
+    /// the direction whose candidate set produced it.
+    removal: Option<(usize, usize, Vec<usize>)>,
+    /// First CI-test failure, if any (wins over `removal`).
+    err: Option<crate::CausalError>,
+}
+
+/// Tests edge `(i, j)` against the round snapshot: for each direction, every
+/// size-`cond_size` subset of the snapshot neighbours of the near endpoint
+/// (minus the far endpoint) is tried until one separates the pair.
+///
+/// Pure function of its arguments — this is the unit of work handed to the
+/// worker pool, and the reason the pool needs nothing beyond `&self` access
+/// to the oracle.
+fn evaluate_edge(
+    test: &dyn CondIndepTest,
+    neighbors: &[Vec<usize>],
+    i: usize,
+    j: usize,
+    cond_size: usize,
+    alpha: f64,
+) -> EdgeOutcome {
+    let mut tests = 0usize;
+    for &(a, b) in &[(i, j), (j, i)] {
+        let mut candidates = neighbors[a].clone();
+        candidates.retain(|&k| k != b);
+        if candidates.len() < cond_size {
+            continue;
+        }
+        let mut err: Option<crate::CausalError> = None;
+        let mut sep: Option<Vec<usize>> = None;
+        for_each_subset(&candidates, cond_size, |cond| {
+            tests += 1;
+            match test.independent(a, b, cond, alpha) {
+                Ok(true) => {
+                    sep = Some(cond.to_vec());
+                    true
+                }
+                Ok(false) => false,
+                Err(e) => {
+                    err = Some(e);
+                    true
+                }
+            }
+        });
+        if err.is_some() {
+            return EdgeOutcome {
+                tests,
+                removal: None,
+                err,
+            };
+        }
+        if let Some(sep) = sep {
+            return EdgeOutcome {
+                tests,
+                removal: Some((a, b, sep)),
+                err: None,
+            };
+        }
+    }
+    EdgeOutcome {
+        tests,
+        removal: None,
+        err: None,
+    }
 }
 
 /// Orients unshielded colliders `i -> k <- j` where `k` is not in
@@ -247,7 +358,10 @@ mod tests {
         let result = pc(&test, &PcConfig::default()).unwrap();
         assert!(result.graph.adjacent(0, 1));
         assert!(result.graph.adjacent(1, 2));
-        assert!(!result.graph.adjacent(0, 2), "chain endpoints must be separated by x1");
+        assert!(
+            !result.graph.adjacent(0, 2),
+            "chain endpoints must be separated by x1"
+        );
         assert!(result.tests_run > 0);
     }
 
@@ -269,7 +383,15 @@ mod tests {
         let mut rng = SeededRng::new(3);
         let data = Matrix::from_fn(2000, 4, |_, _| rng.normal(0.0, 1.0));
         let test = FisherZ::new(&data).unwrap();
-        let result = pc(&test, &PcConfig { alpha: 0.001, max_cond_size: 2 }).unwrap();
+        let result = pc(
+            &test,
+            &PcConfig {
+                alpha: 0.001,
+                max_cond_size: 2,
+                ..PcConfig::default()
+            },
+        )
+        .unwrap();
         assert_eq!(result.graph.num_edges(), 0);
     }
 

@@ -77,18 +77,20 @@ impl Default for Budget {
 }
 
 /// Builds a classifier of the given kind under a budget.
-pub fn build_classifier(
-    kind: ClassifierKind,
-    seed: u64,
-    budget: &Budget,
-) -> Box<dyn Classifier> {
+pub fn build_classifier(kind: ClassifierKind, seed: u64, budget: &Budget) -> Box<dyn Classifier> {
     match kind {
         ClassifierKind::Tnet => Box::new(TnetClassifier::new(
-            TnetConfig { epochs: budget.nn_epochs, ..TnetConfig::default() },
+            TnetConfig {
+                epochs: budget.nn_epochs,
+                ..TnetConfig::default()
+            },
             seed,
         )),
         ClassifierKind::Mlp => Box::new(MlpClassifier::new(
-            MlpConfig { epochs: budget.nn_epochs, ..MlpConfig::default() },
+            MlpConfig {
+                epochs: budget.nn_epochs,
+                ..MlpConfig::default()
+            },
             seed,
         )),
         ClassifierKind::RandomForest => Box::new(RandomForest::new(
@@ -100,7 +102,10 @@ pub fn build_classifier(
             seed,
         )),
         ClassifierKind::Xgb => Box::new(GradientBoosting::new(
-            GbdtConfig { rounds: budget.gbdt_rounds, ..GbdtConfig::default() },
+            GbdtConfig {
+                rounds: budget.gbdt_rounds,
+                ..GbdtConfig::default()
+            },
             seed,
         )),
     }
@@ -148,19 +153,34 @@ pub fn build_reconstructor(
     let hidden = base.hidden;
     match kind {
         ReconKind::Gan => Box::new(CondGan::new(
-            CondGanConfig { epochs: budget.gan_epochs, ..base },
+            CondGanConfig {
+                epochs: budget.gan_epochs,
+                ..base
+            },
             seed,
         )),
         ReconKind::GanNoCond => Box::new(CondGan::new(
-            CondGanConfig { epochs: budget.gan_epochs, ..base }.without_label_conditioning(),
+            CondGanConfig {
+                epochs: budget.gan_epochs,
+                ..base
+            }
+            .without_label_conditioning(),
             seed,
         )),
         ReconKind::Vae => Box::new(Vae::new(
-            VaeConfig { hidden, epochs: budget.gan_epochs, ..VaeConfig::default() },
+            VaeConfig {
+                hidden,
+                epochs: budget.gan_epochs,
+                ..VaeConfig::default()
+            },
             seed,
         )),
         ReconKind::VanillaAe => Box::new(VanillaAe::new(
-            AeConfig { hidden, epochs: budget.gan_epochs, ..AeConfig::default() },
+            AeConfig {
+                hidden,
+                epochs: budget.gan_epochs,
+                ..AeConfig::default()
+            },
             seed,
         )),
     }
@@ -193,7 +213,10 @@ impl Default for AdapterConfig {
 impl AdapterConfig {
     /// Reduced-budget configuration for tests.
     pub fn quick() -> Self {
-        AdapterConfig { budget: Budget::quick(), ..AdapterConfig::default() }
+        AdapterConfig {
+            budget: Budget::quick(),
+            ..AdapterConfig::default()
+        }
     }
 
     /// Builder-style classifier override.
@@ -249,7 +272,11 @@ impl FsAdapter {
         let (inv, _) = separation.split_normalized(source.features());
         let mut classifier = build_classifier(config.classifier, seed, &config.budget);
         classifier.fit(&inv, source.labels(), source.num_classes())?;
-        Ok(FsAdapter { separation, classifier, num_classes: source.num_classes() })
+        Ok(FsAdapter {
+            separation,
+            classifier,
+            num_classes: source.num_classes(),
+        })
     }
 
     /// The underlying feature separation.
@@ -284,7 +311,11 @@ impl std::fmt::Debug for FsGanAdapter {
             .field("variant_features", &self.separation.variant().len())
             .field(
                 "reconstructor",
-                &self.reconstructor.as_ref().map(|r| r.name()).unwrap_or("none"),
+                &self
+                    .reconstructor
+                    .as_ref()
+                    .map(|r| r.name())
+                    .unwrap_or("none"),
             )
             .field("classifier", &self.classifier.name())
             .finish()
@@ -467,7 +498,10 @@ mod tests {
             f1 > f1_src + 0.05,
             "FS+GAN ({f1:.3}) must clearly beat SrcOnly ({f1_src:.3}) under drift"
         );
-        assert!(f1 > 0.3, "FS+GAN should recover substantial performance, got {f1:.3}");
+        assert!(
+            f1 > 0.3,
+            "FS+GAN should recover substantial performance, got {f1:.3}"
+        );
     }
 
     #[test]
@@ -479,7 +513,10 @@ mod tests {
         // Variant columns were reconstructed by the tanh generator: bounded.
         for &c in adapter.separation().variant() {
             let col = transformed.col(c);
-            assert!(col.iter().all(|v| v.abs() <= 1.0 + 1e-9), "column {c} out of range");
+            assert!(
+                col.iter().all(|v| v.abs() <= 1.0 + 1e-9),
+                "column {c} out of range"
+            );
         }
     }
 
@@ -490,12 +527,8 @@ mod tests {
         let adapter = FsGanAdapter::fit(&bundle.source_train, &shots, &cfg, 13).unwrap();
         let single = adapter.predict(bundle.target_test.features());
         let mc = adapter.predict_mc(bundle.target_test.features(), 3);
-        let agreement = single
-            .iter()
-            .zip(&mc)
-            .filter(|(a, b)| a == b)
-            .count() as f64
-            / single.len() as f64;
+        let agreement =
+            single.iter().zip(&mc).filter(|(a, b)| a == b).count() as f64 / single.len() as f64;
         assert!(agreement > 0.8, "M=1 vs M=3 agreement {agreement}");
     }
 

@@ -62,8 +62,7 @@ pub fn align_coral(source: &Matrix, target_shots: &Matrix) -> Result<Matrix> {
     };
     for i in 0..d {
         for j in 0..d {
-            let shrunk = lambda * cov_t.get(i, j)
-                + if i == j { (1.0 - lambda) * 1.0 } else { 0.0 };
+            let shrunk = lambda * cov_t.get(i, j) + if i == j { (1.0 - lambda) * 1.0 } else { 0.0 };
             cov_t.set(i, j, shrunk);
         }
     }
@@ -109,6 +108,7 @@ fn solve_upper_right(b: &Matrix, l: &Matrix) -> Matrix {
         let row = b.row(r);
         let dst = out.row_mut(r);
         // Solve x L^T = row  =>  L x^T = row^T (forward substitution).
+        #[allow(clippy::needless_range_loop)] // triangular solve reads dst[..i]
         for i in 0..d {
             let mut sum = row[i];
             for j in 0..i {
@@ -138,7 +138,12 @@ mod tests {
         let mu_a = aligned.col_means();
         let mu_t = tgt.col_means();
         for c in 0..3 {
-            assert!((mu_a[c] - mu_t[c]).abs() < 0.2, "mean col {c}: {} vs {}", mu_a[c], mu_t[c]);
+            assert!(
+                (mu_a[c] - mu_t[c]).abs() < 0.2,
+                "mean col {c}: {} vs {}",
+                mu_a[c],
+                mu_t[c]
+            );
         }
         // Variances move toward the target's (shrinkage keeps them between).
         let sd_a = aligned.col_stds();

@@ -10,12 +10,12 @@
 use super::{zscore_pair, DaContext};
 use crate::Result;
 use fsda_linalg::{Matrix, SeededRng};
+use fsda_models::classifier::argmax_rows;
 use fsda_nn::layer::{Activation, Dense, GradientReversal};
 use fsda_nn::loss::{bce_with_logits, softmax};
 use fsda_nn::optim::{Adam, Optimizer};
 use fsda_nn::train::BatchIter;
 use fsda_nn::Sequential;
-use fsda_models::classifier::argmax_rows;
 
 /// Hyper-parameters of the DANN baseline.
 #[derive(Debug, Clone)]
@@ -55,7 +55,10 @@ impl Default for DannConfig {
 /// Returns an error when inputs are malformed (propagated from dataset
 /// plumbing); training itself is infallible.
 pub fn dann(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
-    let config = DannConfig { epochs: ctx.budget.nn_epochs, ..DannConfig::default() };
+    let config = DannConfig {
+        epochs: ctx.budget.nn_epochs,
+        ..DannConfig::default()
+    };
     run_with_config(ctx, &config)
 }
 
@@ -92,7 +95,7 @@ pub fn run_with_config(ctx: &DaContext<'_>, config: &DannConfig) -> Result<Vec<u
     let total_steps = (config.epochs * n.div_ceil(config.batch_size)).max(1);
     let mut step = 0usize;
     // Up-weight target shots in the label loss so they are not drowned out.
-    let shot_weight = (n_src as f64 / ctx.target_shots.len() as f64).max(1.0).min(50.0);
+    let shot_weight = (n_src as f64 / ctx.target_shots.len() as f64).clamp(1.0, 50.0);
     for _ in 0..config.epochs {
         for batch in BatchIter::new(n, config.batch_size.min(n), &mut rng) {
             step += 1;
@@ -102,9 +105,7 @@ pub fn run_with_config(ctx: &DaContext<'_>, config: &DannConfig) -> Result<Vec<u
             grl.set_lambda(lambda * config.domain_loss_weight);
             let bx = train.select_rows(&batch);
             let by: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
-            let bdom = Matrix::from_fn(batch.len(), 1, |r, _| {
-                f64::from(batch[r] >= n_src)
-            });
+            let bdom = Matrix::from_fn(batch.len(), 1, |r, _| f64::from(batch[r] >= n_src));
             let bw: Vec<f64> = batch
                 .iter()
                 .map(|&i| if i >= n_src { shot_weight } else { 1.0 })
@@ -115,16 +116,16 @@ pub fn run_with_config(ctx: &DaContext<'_>, config: &DannConfig) -> Result<Vec<u
             domain_head.zero_grad();
             let feats = extractor.forward(&bx, true);
             let logits = label_head.forward(&feats, true);
-            let (_, grad_label) =
-                fsda_nn::loss::weighted_cross_entropy(&logits, &by, &bw);
+            let (_, grad_label) = fsda_nn::loss::weighted_cross_entropy(&logits, &by, &bw);
             let grad_feats_label = label_head.backward(&grad_label);
             let feats_rev = fsda_nn::Layer::forward(&mut grl, &feats, true);
             let dom_logits = domain_head.forward(&feats_rev, true);
             let (_, grad_dom) = bce_with_logits(&dom_logits, &bdom);
             let grad_feats_dom =
                 fsda_nn::Layer::backward(&mut grl, &domain_head.backward(&grad_dom));
-            let grad_feats =
-                grad_feats_label.try_add(&grad_feats_dom).expect("same shape");
+            let grad_feats = grad_feats_label
+                .try_add(&grad_feats_dom)
+                .expect("same shape");
             extractor.backward(&grad_feats);
             let mut params = extractor.params_mut();
             params.extend(label_head.params_mut());

@@ -52,10 +52,7 @@ pub fn matchnet(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
 /// # Errors
 ///
 /// As [`matchnet`].
-pub fn matchnet_with_config(
-    ctx: &DaContext<'_>,
-    config: &FewShotConfig,
-) -> Result<Vec<usize>> {
+pub fn matchnet_with_config(ctx: &DaContext<'_>, config: &FewShotConfig) -> Result<Vec<usize>> {
     let (train, test, norm) = zscore_pair(ctx.source.features(), ctx.test_features);
     let mut net = EmbeddingNet::new(config.embedding.clone(), ctx.seed);
     net.fit(&train, ctx.source.labels(), ctx.source.num_classes())?;
@@ -109,10 +106,7 @@ pub fn protonet(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
 /// # Errors
 ///
 /// As [`protonet`].
-pub fn protonet_with_config(
-    ctx: &DaContext<'_>,
-    config: &FewShotConfig,
-) -> Result<Vec<usize>> {
+pub fn protonet_with_config(ctx: &DaContext<'_>, config: &FewShotConfig) -> Result<Vec<usize>> {
     let (train, test, norm) = zscore_pair(ctx.source.features(), ctx.test_features);
     let mut net = EmbeddingNet::new(config.embedding.clone(), ctx.seed);
     net.fit(&train, ctx.source.labels(), ctx.source.num_classes())?;
@@ -133,8 +127,8 @@ pub fn protonet_with_config(
     // Blend: classes with target shots move toward the target prototype.
     let d = src_protos.cols();
     let mut protos = src_protos.clone();
-    for c in 0..num_classes {
-        if shot_counts[c] > 0 {
+    for (c, &count) in shot_counts.iter().enumerate() {
+        if count > 0 {
             for j in 0..d {
                 let blended = (1.0 - config.target_blend) * src_protos.get(c, j)
                     + config.target_blend * shot_protos.get(c, j);
@@ -177,7 +171,10 @@ mod tests {
         let (bundle, shots) = scenario(11, 10);
         let f_src = f1_of(src_only, &bundle, &shots, ClassifierKind::Mlp, 13);
         let f_mn = f1_of(matchnet, &bundle, &shots, ClassifierKind::Mlp, 13);
-        assert!(f_mn > f_src, "MatchNet ({f_mn:.3}) should beat SrcOnly ({f_src:.3})");
+        assert!(
+            f_mn > f_src,
+            "MatchNet ({f_mn:.3}) should beat SrcOnly ({f_src:.3})"
+        );
     }
 
     #[test]
@@ -185,7 +182,10 @@ mod tests {
         let (bundle, shots) = scenario(12, 10);
         let f_src = f1_of(src_only, &bundle, &shots, ClassifierKind::Mlp, 14);
         let f_pn = f1_of(protonet, &bundle, &shots, ClassifierKind::Mlp, 14);
-        assert!(f_pn > f_src, "ProtoNet ({f_pn:.3}) should beat SrcOnly ({f_src:.3})");
+        assert!(
+            f_pn > f_src,
+            "ProtoNet ({f_pn:.3}) should beat SrcOnly ({f_src:.3})"
+        );
     }
 
     #[test]

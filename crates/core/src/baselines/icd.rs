@@ -32,7 +32,10 @@ pub struct IcdConfig {
 
 impl Default for IcdConfig {
     fn default() -> Self {
-        IcdConfig { alpha: 1e-3, min_effect: 0.55 }
+        IcdConfig {
+            alpha: 1e-3,
+            min_effect: 0.55,
+        }
     }
 }
 
@@ -109,8 +112,8 @@ mod tests {
             cfg.alpha,
             cfg.min_effect,
         );
-        let fs = FeatureSeparation::fit(&bundle.source_train, &shots, &FsConfig::default())
-            .unwrap();
+        let fs =
+            FeatureSeparation::fit(&bundle.source_train, &shots, &FsConfig::default()).unwrap();
         let variant_icd = bundle.source_train.num_features() - inv_icd.len();
         assert!(
             variant_icd < fs.variant().len(),
@@ -139,8 +142,14 @@ mod tests {
             budget: &budget,
             seed: 20,
         };
-        let pred =
-            icd_with_config(&ctx, &IcdConfig { alpha: 1.0, min_effect: 0.0 }).unwrap();
+        let pred = icd_with_config(
+            &ctx,
+            &IcdConfig {
+                alpha: 1.0,
+                min_effect: 0.0,
+            },
+        )
+        .unwrap();
         assert_eq!(pred.len(), bundle.target_test.len());
     }
 }

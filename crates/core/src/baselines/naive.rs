@@ -27,7 +27,11 @@ pub fn src_only(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
 pub fn tar_only(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
     let (train, test, _) = zscore_pair(ctx.target_shots.features(), ctx.test_features);
     let mut model = build_classifier(ctx.classifier, ctx.seed, ctx.budget);
-    model.fit(&train, ctx.target_shots.labels(), ctx.target_shots.num_classes())?;
+    model.fit(
+        &train,
+        ctx.target_shots.labels(),
+        ctx.target_shots.num_classes(),
+    )?;
     Ok(model.predict(&test))
 }
 
@@ -63,12 +67,20 @@ pub fn source_and_target(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
 pub fn fine_tune(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
     let (train, test, norm) = zscore_pair(ctx.source.features(), ctx.test_features);
     let mut model = MlpClassifier::new(
-        MlpConfig { epochs: ctx.budget.nn_epochs, ..MlpConfig::default() },
+        MlpConfig {
+            epochs: ctx.budget.nn_epochs,
+            ..MlpConfig::default()
+        },
         ctx.seed,
     );
     model.fit(&train, ctx.source.labels(), ctx.source.num_classes())?;
     let shots = norm.transform(ctx.target_shots.features());
-    model.fine_tune(&shots, ctx.target_shots.labels(), ctx.budget.nn_epochs, 2e-4)?;
+    model.fine_tune(
+        &shots,
+        ctx.target_shots.labels(),
+        ctx.budget.nn_epochs,
+        2e-4,
+    )?;
     Ok(model.predict(&test))
 }
 
@@ -86,8 +98,14 @@ mod tests {
         let (bundle, shots) = scenario(1, 5);
         let f_rf = f1_of(src_only, &bundle, &shots, ClassifierKind::RandomForest, 3);
         let f_mlp = f1_of(src_only, &bundle, &shots, ClassifierKind::Mlp, 3);
-        assert!(f_rf < 0.6, "SrcOnly RF should degrade under drift, got {f_rf:.3}");
-        assert!(f_mlp < 0.7, "SrcOnly MLP should degrade under drift, got {f_mlp:.3}");
+        assert!(
+            f_rf < 0.6,
+            "SrcOnly RF should degrade under drift, got {f_rf:.3}"
+        );
+        assert!(
+            f_mlp < 0.7,
+            "SrcOnly MLP should degrade under drift, got {f_mlp:.3}"
+        );
     }
 
     #[test]
@@ -105,7 +123,13 @@ mod tests {
     fn snt_beats_tar_only() {
         let (bundle, shots) = scenario(3, 5);
         let f_tar = f1_of(tar_only, &bundle, &shots, ClassifierKind::RandomForest, 5);
-        let f_snt = f1_of(source_and_target, &bundle, &shots, ClassifierKind::RandomForest, 5);
+        let f_snt = f1_of(
+            source_and_target,
+            &bundle,
+            &shots,
+            ClassifierKind::RandomForest,
+            5,
+        );
         assert!(
             f_snt + 0.05 > f_tar,
             "S&T ({f_snt:.3}) should be at least comparable to TarOnly ({f_tar:.3})"

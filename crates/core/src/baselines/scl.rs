@@ -99,7 +99,7 @@ pub fn run_with_config(ctx: &DaContext<'_>, config: &SclConfig) -> Result<Vec<us
     head.push(Dense::new(config.embed_dim, num_classes, &mut rng));
 
     let mut opt = Adam::new(config.learning_rate);
-    let shot_weight = (n_src as f64 / ctx.target_shots.len() as f64).max(1.0).min(50.0);
+    let shot_weight = (n_src as f64 / ctx.target_shots.len() as f64).clamp(1.0, 50.0);
     let epochs = config.epochs + config.head_epochs;
     for _ in 0..epochs {
         for batch in BatchIter::new(n, config.batch_size.min(n), &mut rng) {
@@ -112,8 +112,7 @@ pub fn run_with_config(ctx: &DaContext<'_>, config: &SclConfig) -> Result<Vec<us
                 .iter()
                 .map(|&i| if i >= n_src { shot_weight } else { 1.0 })
                 .collect();
-            let bdom =
-                Matrix::from_fn(batch.len(), 1, |r, _| f64::from(batch[r] >= n_src));
+            let bdom = Matrix::from_fn(batch.len(), 1, |r, _| f64::from(batch[r] >= n_src));
             encoder.zero_grad();
             domain_head.zero_grad();
             head.zero_grad();
@@ -125,8 +124,7 @@ pub fn run_with_config(ctx: &DaContext<'_>, config: &SclConfig) -> Result<Vec<us
             let emb_rev = fsda_nn::Layer::forward(&mut grl, &emb, true);
             let dom_logits = domain_head.forward(&emb_rev, true);
             let (_, grad_dom) = bce_with_logits(&dom_logits, &bdom);
-            let grad_dom_emb =
-                fsda_nn::Layer::backward(&mut grl, &domain_head.backward(&grad_dom));
+            let grad_dom_emb = fsda_nn::Layer::backward(&mut grl, &domain_head.backward(&grad_dom));
             let grad_emb = grad_supcon
                 .try_add(&grad_ce_emb)
                 .and_then(|g| g.try_add(&grad_dom_emb))
@@ -154,7 +152,10 @@ mod tests {
         let (bundle, shots) = scenario(9, 10);
         let f_src = f1_of(src_only, &bundle, &shots, ClassifierKind::Mlp, 11);
         let f_scl = f1_of(scl, &bundle, &shots, ClassifierKind::Mlp, 11);
-        assert!(f_scl > f_src, "SCL ({f_scl:.3}) should beat SrcOnly ({f_src:.3})");
+        assert!(
+            f_scl > f_src,
+            "SCL ({f_scl:.3}) should beat SrcOnly ({f_src:.3})"
+        );
     }
 
     #[test]

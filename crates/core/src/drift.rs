@@ -72,7 +72,10 @@ impl DriftDetector {
     ///
     /// Panics if `source` has no rows or no columns.
     pub fn fit(source: &Matrix, config: DriftConfig) -> Self {
-        assert!(source.rows() > 0 && source.cols() > 0, "DriftDetector: empty source");
+        assert!(
+            source.rows() > 0 && source.cols() > 0,
+            "DriftDetector: empty source"
+        );
         let d = source.cols();
         let mut means = Vec::with_capacity(d);
         let mut stds = Vec::with_capacity(d);
@@ -84,7 +87,12 @@ impl DriftDetector {
             stds.push(std_dev(&col).max(1e-9));
             reference.push(col.into_iter().step_by(step).collect());
         }
-        DriftDetector { means, stds, reference, config }
+        DriftDetector {
+            means,
+            stds,
+            reference,
+            config,
+        }
     }
 
     /// Number of monitored features.
@@ -98,7 +106,11 @@ impl DriftDetector {
     ///
     /// Panics if the window's column count differs from the source.
     pub fn score(&self, window: &Matrix) -> DriftReport {
-        assert_eq!(window.cols(), self.num_features(), "DriftDetector: column mismatch");
+        assert_eq!(
+            window.cols(),
+            self.num_features(),
+            "DriftDetector: column mismatch"
+        );
         let d = self.num_features();
         let mut drifted = Vec::new();
         let mut z_scores = Vec::with_capacity(d);
@@ -115,7 +127,12 @@ impl DriftDetector {
         }
         let readapt =
             drifted.len() as f64 >= self.config.feature_fraction * d as f64 && !drifted.is_empty();
-        DriftReport { drifted_features: drifted, z_scores, ks, readapt }
+        DriftReport {
+            drifted_features: drifted,
+            z_scores,
+            ks,
+            readapt,
+        }
     }
 }
 
@@ -136,7 +153,11 @@ mod tests {
         let mut rng = SeededRng::new(2);
         let window = rng.normal_matrix(100, 10, 0.0, 1.0);
         let report = det.score(&window);
-        assert!(!report.readapt, "in-distribution window flagged: {:?}", report.drifted_features);
+        assert!(
+            !report.readapt,
+            "in-distribution window flagged: {:?}",
+            report.drifted_features
+        );
         assert!(report.drifted_features.len() <= 1);
     }
 
@@ -175,7 +196,10 @@ mod tests {
             }
         });
         let report = det.score(&window);
-        assert!(report.drifted_features.contains(&0), "variance drift missed");
+        assert!(
+            report.drifted_features.contains(&0),
+            "variance drift missed"
+        );
         assert!(report.z_scores[0] < 1.0, "mean did not move");
         assert!(report.ks[0] > 0.3);
     }

@@ -5,7 +5,7 @@
 
 use crate::adapter::Budget;
 use crate::method::{run_method, Method};
-use crate::{CoreError, Result};
+use crate::Result;
 use fsda_data::fewshot::few_shot_indices;
 use fsda_data::Dataset;
 use fsda_linalg::SeededRng;
@@ -39,9 +39,12 @@ impl Scenario {
     pub fn draw_shots(&self, k: usize, rng: &mut SeededRng) -> Result<Dataset> {
         let idx = match &self.pool_groups {
             Some(groups) => few_shot_indices(groups, self.num_groups, k, rng)?,
-            None => {
-                few_shot_indices(self.target_pool.labels(), self.target_pool.num_classes(), k, rng)?
-            }
+            None => few_shot_indices(
+                self.target_pool.labels(),
+                self.target_pool.num_classes(),
+                k,
+                rng,
+            )?,
         };
         Ok(self.target_pool.subset(&idx))
     }
@@ -102,7 +105,11 @@ impl CellResult {
     fn from_runs(runs: Vec<f64>) -> Self {
         let mean = fsda_linalg::stats::mean(&runs);
         let std = fsda_linalg::stats::std_dev(&runs);
-        CellResult { mean_f1: mean, std_f1: std, runs }
+        CellResult {
+            mean_f1: mean,
+            std_f1: std,
+            runs,
+        }
     }
 
     /// Mean F1 as the paper's 0–100 number.
@@ -157,22 +164,16 @@ pub fn run_cell(
             scenario.target_test.num_classes(),
         ))
     };
-    let runs: Vec<f64> = if config.parallel && config.repeats > 1 {
-        let results: Vec<Result<f64>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = repeat_seeds
-                .iter()
-                .map(|&s| scope.spawn(move |_| run_one(s)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("experiment worker panicked"))
-                .collect()
-        })
-        .map_err(|_| CoreError::InvalidInput("experiment scope panicked".into()))?;
-        results.into_iter().collect::<Result<Vec<f64>>>()?
+    // Each repeat is a pure function of its pre-derived seed, so the pool
+    // cannot change any run's F1; errors propagate in repeat order.
+    let threads = if config.parallel {
+        repeat_seeds.len().max(1)
     } else {
-        repeat_seeds.iter().map(|&s| run_one(s)).collect::<Result<Vec<f64>>>()?
+        1
     };
+    let runs = fsda_linalg::par::par_map(threads, &repeat_seeds, |_, &s| run_one(s))
+        .into_iter()
+        .collect::<Result<Vec<f64>>>()?;
     Ok(CellResult::from_runs(runs))
 }
 
@@ -208,9 +209,13 @@ pub fn run_grid(
                 }
             } else {
                 // Model-specific: single column; classifier arg is unused.
-                let result =
-                    run_cell(scenario, method, ClassifierKind::Mlp, k, config)?;
-                out.push(GridEntry { method, classifier: None, shots: k, result });
+                let result = run_cell(scenario, method, ClassifierKind::Mlp, k, config)?;
+                out.push(GridEntry {
+                    method,
+                    classifier: None,
+                    shots: k,
+                    result,
+                });
             }
         }
     }
@@ -247,8 +252,7 @@ mod tests {
     fn run_cell_produces_sane_f1() {
         let s = small_scenario(3);
         let cfg = ExperimentConfig::quick();
-        let cell =
-            run_cell(&s, Method::SrcOnly, ClassifierKind::RandomForest, 5, &cfg).unwrap();
+        let cell = run_cell(&s, Method::SrcOnly, ClassifierKind::RandomForest, 5, &cfg).unwrap();
         assert_eq!(cell.runs.len(), 1);
         assert!((0.0..=1.0).contains(&cell.mean_f1));
         assert!((0.0..=100.0).contains(&cell.percent()));
@@ -260,11 +264,9 @@ mod tests {
         let mut cfg = ExperimentConfig::quick();
         cfg.repeats = 2;
         cfg.parallel = false;
-        let seq =
-            run_cell(&s, Method::TarOnly, ClassifierKind::RandomForest, 5, &cfg).unwrap();
+        let seq = run_cell(&s, Method::TarOnly, ClassifierKind::RandomForest, 5, &cfg).unwrap();
         cfg.parallel = true;
-        let par =
-            run_cell(&s, Method::TarOnly, ClassifierKind::RandomForest, 5, &cfg).unwrap();
+        let par = run_cell(&s, Method::TarOnly, ClassifierKind::RandomForest, 5, &cfg).unwrap();
         assert_eq!(seq.runs, par.runs, "threading must not change results");
     }
 

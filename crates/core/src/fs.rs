@@ -15,11 +15,25 @@ pub struct FsConfig {
     pub max_cond_size: usize,
     /// Cap on conditioning candidates per feature.
     pub max_candidates: usize,
+    /// Run the F-node search's CI tests on a worker pool. The separation is
+    /// bit-identical to the sequential path (see
+    /// [`fsda_causal::fnode::FnodeConfig::parallel`]); only wall-clock
+    /// changes.
+    pub parallel: bool,
+    /// Worker threads when `parallel` is set; `None` uses every available
+    /// core.
+    pub num_threads: Option<usize>,
 }
 
 impl Default for FsConfig {
     fn default() -> Self {
-        FsConfig { alpha: 0.01, max_cond_size: 1, max_candidates: 6 }
+        FsConfig {
+            alpha: 0.01,
+            max_cond_size: 1,
+            max_candidates: 6,
+            parallel: false,
+            num_threads: None,
+        }
     }
 }
 
@@ -29,6 +43,8 @@ impl From<&FsConfig> for FnodeConfig {
             alpha: c.alpha,
             max_cond_size: c.max_cond_size,
             max_candidates: c.max_candidates,
+            parallel: c.parallel,
+            num_threads: c.num_threads,
         }
     }
 }
@@ -118,7 +134,11 @@ impl FeatureSeparation {
     ///
     /// Panics if block shapes are inconsistent with the separation.
     pub fn reassemble(&self, inv_block: &Matrix, var_block: &Matrix) -> Matrix {
-        assert_eq!(inv_block.cols(), self.invariant.len(), "invariant block width");
+        assert_eq!(
+            inv_block.cols(),
+            self.invariant.len(),
+            "invariant block width"
+        );
         assert_eq!(var_block.cols(), self.variant.len(), "variant block width");
         assert_eq!(inv_block.rows(), var_block.rows(), "row mismatch");
         let mut out = Matrix::zeros(inv_block.rows(), self.num_features);
@@ -139,9 +159,16 @@ impl FeatureSeparation {
         let truth: std::collections::BTreeSet<usize> =
             ground_truth_variant.iter().copied().collect();
         let hits = self.variant.iter().filter(|c| truth.contains(c)).count() as f64;
-        let precision =
-            if self.variant.is_empty() { 1.0 } else { hits / self.variant.len() as f64 };
-        let recall = if truth.is_empty() { 1.0 } else { hits / truth.len() as f64 };
+        let precision = if self.variant.is_empty() {
+            1.0
+        } else {
+            hits / self.variant.len() as f64
+        };
+        let recall = if truth.is_empty() {
+            1.0
+        } else {
+            hits / truth.len() as f64
+        };
         (precision, recall)
     }
 }
@@ -157,8 +184,8 @@ mod tests {
         let bundle = Synth5gc::small().generate(seed).unwrap();
         let mut rng = SeededRng::new(seed ^ 0xFF);
         let target = few_shot_subset(&bundle.target_pool, shots, &mut rng).unwrap();
-        let fs = FeatureSeparation::fit(&bundle.source_train, &target, &FsConfig::default())
-            .unwrap();
+        let fs =
+            FeatureSeparation::fit(&bundle.source_train, &target, &FsConfig::default()).unwrap();
         (fs, bundle.ground_truth_variant)
     }
 
@@ -167,7 +194,10 @@ mod tests {
         let (fs, truth) = separation(10, 1);
         let (precision, recall) = fs.score_against(&truth);
         assert!(precision > 0.7, "precision {precision}");
-        assert!(recall > 0.5, "recall {recall} (strong + medium tiers detectable at 10 shots)");
+        assert!(
+            recall > 0.5,
+            "recall {recall} (strong + medium tiers detectable at 10 shots)"
+        );
         assert!(fs.tests_run() > 0);
     }
 

@@ -66,8 +66,12 @@ impl Method {
     ];
 
     /// The rows of Table II (reconstruction-strategy ablation).
-    pub const TABLE2: [Method; 4] =
-        [Method::FsGan, Method::FsNoCond, Method::FsVae, Method::FsVanillaAe];
+    pub const TABLE2: [Method; 4] = [
+        Method::FsGan,
+        Method::FsNoCond,
+        Method::FsVae,
+        Method::FsVanillaAe,
+    ];
 
     /// Table row label, matching the paper.
     pub fn label(self) -> &'static str {
@@ -139,7 +143,14 @@ pub fn run_method(
     budget: &Budget,
     seed: u64,
 ) -> Result<Vec<usize>> {
-    let ctx = DaContext { source, target_shots, test_features, classifier, budget, seed };
+    let ctx = DaContext {
+        source,
+        target_shots,
+        test_features,
+        classifier,
+        budget,
+        seed,
+    };
     match method {
         Method::FsGan | Method::FsNoCond | Method::FsVae | Method::FsVanillaAe => {
             let recon = match method {
@@ -201,7 +212,10 @@ mod tests {
         assert!(Method::Cmt.is_model_agnostic());
         assert!(!Method::Dann.is_model_agnostic());
         assert!(!Method::MatchNet.is_model_agnostic());
-        assert_eq!(Method::FineTune.fixed_classifier(), Some(ClassifierKind::Mlp));
+        assert_eq!(
+            Method::FineTune.fixed_classifier(),
+            Some(ClassifierKind::Mlp)
+        );
         assert_eq!(Method::FsGan.fixed_classifier(), None);
     }
 

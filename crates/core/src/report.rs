@@ -75,12 +75,19 @@ impl Comparison {
 pub fn format_comparison(title: &str, rows: &[(String, Comparison)]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== {title} (paper vs measured, F1 x100) ==");
-    let _ = writeln!(out, "{:<36} {:>8} {:>9} {:>7}", "Cell", "paper", "measured", "gap");
+    let _ = writeln!(
+        out,
+        "{:<36} {:>8} {:>9} {:>7}",
+        "Cell", "paper", "measured", "gap"
+    );
     for (label, c) in rows {
         let _ = writeln!(
             out,
             "{:<36} {:>8.1} {:>9.1} {:>7.1}",
-            label, c.paper, c.measured, c.gap()
+            label,
+            c.paper,
+            c.measured,
+            c.gap()
         );
     }
     out
@@ -131,12 +138,21 @@ mod tests {
     use super::*;
     use crate::experiment::CellResult;
 
-    fn entry(method: Method, classifier: Option<ClassifierKind>, shots: usize, f1: f64) -> GridEntry {
+    fn entry(
+        method: Method,
+        classifier: Option<ClassifierKind>,
+        shots: usize,
+        f1: f64,
+    ) -> GridEntry {
         GridEntry {
             method,
             classifier,
             shots,
-            result: CellResult { mean_f1: f1, std_f1: 0.0, runs: vec![f1] },
+            result: CellResult {
+                mean_f1: f1,
+                std_f1: 0.0,
+                runs: vec![f1],
+            },
         }
     }
 
@@ -159,7 +175,10 @@ mod tests {
     fn comparison_formatting() {
         let rows = vec![(
             "FS+GAN TNet k=1".to_string(),
-            Comparison { paper: 89.7, measured: 85.0 },
+            Comparison {
+                paper: 89.7,
+                measured: 85.0,
+            },
         )];
         let s = format_comparison("Table I", &rows);
         assert!(s.contains("89.7"));

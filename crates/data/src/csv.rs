@@ -94,13 +94,20 @@ pub fn read_csv<R: Read>(input: R) -> Result<Dataset> {
                 DataError::Numeric(format!("csv row {}: bad number ({e})", lineno + 2))
             })?);
         }
-        labels.push(cells[d].trim().parse::<usize>().map_err(|e| {
-            DataError::Numeric(format!("csv row {}: bad label ({e})", lineno + 2))
-        })?);
+        labels.push(
+            cells[d].trim().parse::<usize>().map_err(|e| {
+                DataError::Numeric(format!("csv row {}: bad label ({e})", lineno + 2))
+            })?,
+        );
     }
     let n = labels.len();
     let num_classes = labels.iter().copied().max().map_or(1, |m| m + 1);
-    Dataset::with_names(Matrix::from_vec(n, d, values), labels, num_classes, feature_names)
+    Dataset::with_names(
+        Matrix::from_vec(n, d, values),
+        labels,
+        num_classes,
+        feature_names,
+    )
 }
 
 #[cfg(test)]
@@ -141,19 +148,28 @@ mod tests {
     #[test]
     fn rejects_missing_label_column() {
         let input = "a,b\n1,2\n";
-        assert!(matches!(read_csv(input.as_bytes()), Err(DataError::Inconsistent(_))));
+        assert!(matches!(
+            read_csv(input.as_bytes()),
+            Err(DataError::Inconsistent(_))
+        ));
     }
 
     #[test]
     fn rejects_ragged_rows() {
         let input = "a,label\n1,0\n1,2,0\n";
-        assert!(matches!(read_csv(input.as_bytes()), Err(DataError::Inconsistent(_))));
+        assert!(matches!(
+            read_csv(input.as_bytes()),
+            Err(DataError::Inconsistent(_))
+        ));
     }
 
     #[test]
     fn rejects_non_numeric() {
         let input = "a,label\nfoo,0\n";
-        assert!(matches!(read_csv(input.as_bytes()), Err(DataError::Numeric(_))));
+        assert!(matches!(
+            read_csv(input.as_bytes()),
+            Err(DataError::Numeric(_))
+        ));
     }
 
     #[test]

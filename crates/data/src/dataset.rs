@@ -2,7 +2,6 @@
 
 use crate::{DataError, Result};
 use fsda_linalg::{Matrix, SeededRng};
-use serde::{Deserialize, Serialize};
 
 /// A labelled tabular dataset: one row per sample, one column per
 /// performance metric.
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(ds.class_counts(), vec![1, 1]);
 /// # Ok::<(), fsda_data::DataError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     features: Matrix,
     labels: Vec<usize>,
@@ -47,7 +46,12 @@ impl Dataset {
             return Err(DataError::UnknownClass(bad));
         }
         let feature_names = (0..features.cols()).map(|i| format!("f{i}")).collect();
-        Ok(Dataset { features, labels, num_classes, feature_names })
+        Ok(Dataset {
+            features,
+            labels,
+            num_classes,
+            feature_names,
+        })
     }
 
     /// Like [`Dataset::new`] but with explicit feature names.
@@ -120,7 +124,9 @@ impl Dataset {
 
     /// Indices of all samples with the given class.
     pub fn indices_of_class(&self, class: usize) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.labels[i] == class).collect()
+        (0..self.len())
+            .filter(|&i| self.labels[i] == class)
+            .collect()
     }
 
     /// Returns a new dataset containing the given rows (order preserved,
@@ -148,7 +154,10 @@ impl Dataset {
             features: self.features.select_cols(columns),
             labels: self.labels.clone(),
             num_classes: self.num_classes,
-            feature_names: columns.iter().map(|&c| self.feature_names[c].clone()).collect(),
+            feature_names: columns
+                .iter()
+                .map(|&c| self.feature_names[c].clone())
+                .collect(),
         }
     }
 
@@ -220,7 +229,10 @@ mod tests {
             Dataset::new(x.clone(), vec![0], 2),
             Err(DataError::Inconsistent(_))
         ));
-        assert!(matches!(Dataset::new(x, vec![0, 5], 2), Err(DataError::UnknownClass(5))));
+        assert!(matches!(
+            Dataset::new(x, vec![0, 5], 2),
+            Err(DataError::UnknownClass(5))
+        ));
     }
 
     #[test]
@@ -243,13 +255,8 @@ mod tests {
     #[test]
     fn select_features_renames() {
         let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
-        let ds = Dataset::with_names(
-            x,
-            vec![0],
-            1,
-            vec!["a".into(), "b".into(), "c".into()],
-        )
-        .unwrap();
+        let ds =
+            Dataset::with_names(x, vec![0], 1, vec!["a".into(), "b".into(), "c".into()]).unwrap();
         let sel = ds.select_features(&[2, 0]);
         assert_eq!(sel.feature_names(), &["c".to_string(), "a".to_string()]);
         assert_eq!(sel.features().row(0), &[3.0, 1.0]);

@@ -33,7 +33,13 @@ pub struct GmmConfig {
 
 impl Default for GmmConfig {
     fn default() -> Self {
-        GmmConfig { k: 2, max_iter: 200, tol: 1e-6, var_floor: 1e-6, seed: 0 }
+        GmmConfig {
+            k: 2,
+            max_iter: 200,
+            tol: 1e-6,
+            var_floor: 1e-6,
+            seed: 0,
+        }
     }
 }
 
@@ -85,8 +91,7 @@ impl Gmm {
 
         // Global variance for initialization.
         let stds = data.col_stds();
-        let init_var: Vec<f64> =
-            stds.iter().map(|s| (s * s).max(config.var_floor)).collect();
+        let init_var: Vec<f64> = stds.iter().map(|s| (s * s).max(config.var_floor)).collect();
         let mut vars: Vec<Vec<f64>> = (0..k).map(|_| init_var.clone()).collect();
         let mut weights = vec![1.0 / k as f64; k];
 
@@ -108,8 +113,8 @@ impl Gmm {
                     sum += *v;
                 }
                 ll += max + sum.ln();
-                for c in 0..k {
-                    resp.set(r, c, logp[c] / sum);
+                for (c, &lp) in logp.iter().enumerate() {
+                    resp.set(r, c, lp / sum);
                 }
             }
             log_likelihood = ll / n as f64;
@@ -148,7 +153,12 @@ impl Gmm {
                 vars[c] = var;
             }
         }
-        Ok(Gmm { weights, means, vars, log_likelihood })
+        Ok(Gmm {
+            weights,
+            means,
+            vars,
+            log_likelihood,
+        })
     }
 
     /// Fits `restarts` GMMs with different initializations and keeps the
@@ -161,13 +171,21 @@ impl Gmm {
     /// As [`Gmm::fit`]; additionally rejects `restarts == 0`.
     pub fn fit_best(data: &Matrix, config: &GmmConfig, restarts: usize) -> Result<Self> {
         if restarts == 0 {
-            return Err(DataError::Inconsistent("fit_best needs restarts >= 1".into()));
+            return Err(DataError::Inconsistent(
+                "fit_best needs restarts >= 1".into(),
+            ));
         }
         let mut best: Option<Gmm> = None;
         for r in 0..restarts {
-            let cfg = GmmConfig { seed: config.seed.wrapping_add(r as u64 * 7919), ..config.clone() };
+            let cfg = GmmConfig {
+                seed: config.seed.wrapping_add(r as u64 * 7919),
+                ..config.clone()
+            };
             let fitted = Gmm::fit(data, &cfg)?;
-            if best.as_ref().is_none_or(|b| fitted.log_likelihood > b.log_likelihood) {
+            if best
+                .as_ref()
+                .is_none_or(|b| fitted.log_likelihood > b.log_likelihood)
+            {
                 best = Some(fitted);
             }
         }
@@ -213,8 +231,8 @@ impl Gmm {
                 *v = (*v - max).exp();
                 sum += *v;
             }
-            for c in 0..k {
-                out.set(r, c, logp[c] / sum);
+            for (c, &lp) in logp.iter().enumerate() {
+                out.set(r, c, lp / sum);
             }
         }
         out
@@ -282,7 +300,14 @@ mod tests {
     #[test]
     fn responsibilities_sum_to_one() {
         let data = two_blob_data(50, 50, 3.0, 2);
-        let gmm = Gmm::fit(&data, &GmmConfig { k: 3, ..GmmConfig::default() }).unwrap();
+        let gmm = Gmm::fit(
+            &data,
+            &GmmConfig {
+                k: 3,
+                ..GmmConfig::default()
+            },
+        )
+        .unwrap();
         let resp = gmm.responsibilities(&data);
         for r in 0..data.rows() {
             let s: f64 = resp.row(r).iter().sum();
@@ -293,22 +318,53 @@ mod tests {
     #[test]
     fn log_likelihood_improves_with_better_k() {
         let data = two_blob_data(200, 200, 6.0, 3);
-        let g1 = Gmm::fit(&data, &GmmConfig { k: 1, ..GmmConfig::default() }).unwrap();
-        let g2 = Gmm::fit(&data, &GmmConfig { k: 2, ..GmmConfig::default() }).unwrap();
+        let g1 = Gmm::fit(
+            &data,
+            &GmmConfig {
+                k: 1,
+                ..GmmConfig::default()
+            },
+        )
+        .unwrap();
+        let g2 = Gmm::fit(
+            &data,
+            &GmmConfig {
+                k: 2,
+                ..GmmConfig::default()
+            },
+        )
+        .unwrap();
         assert!(g2.log_likelihood() > g1.log_likelihood());
     }
 
     #[test]
     fn rejects_invalid_configs() {
         let data = Matrix::zeros(3, 2);
-        assert!(Gmm::fit(&data, &GmmConfig { k: 0, ..GmmConfig::default() }).is_err());
-        assert!(Gmm::fit(&data, &GmmConfig { k: 5, ..GmmConfig::default() }).is_err());
+        assert!(Gmm::fit(
+            &data,
+            &GmmConfig {
+                k: 0,
+                ..GmmConfig::default()
+            }
+        )
+        .is_err());
+        assert!(Gmm::fit(
+            &data,
+            &GmmConfig {
+                k: 5,
+                ..GmmConfig::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn deterministic_given_seed() {
         let data = two_blob_data(100, 60, 4.0, 4);
-        let cfg = GmmConfig { seed: 9, ..GmmConfig::default() };
+        let cfg = GmmConfig {
+            seed: 9,
+            ..GmmConfig::default()
+        };
         let a = Gmm::fit(&data, &cfg).unwrap().predict(&data);
         let b = Gmm::fit(&data, &cfg).unwrap().predict(&data);
         assert_eq!(a, b);

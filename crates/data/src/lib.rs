@@ -81,6 +81,8 @@ mod tests {
     #[test]
     fn errors_display() {
         assert!(!DataError::UnknownClass(3).to_string().is_empty());
-        assert!(DataError::Inconsistent("x".into()).to_string().contains('x'));
+        assert!(DataError::Inconsistent("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

@@ -8,10 +8,9 @@
 //! out-of-support behaviour the paper studies.
 
 use fsda_linalg::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// Normalization strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NormKind {
     /// Min-max scaling to `[-1, 1]` (the paper's choice for FS/FS+GAN).
     MinMaxSymmetric,
@@ -35,7 +34,7 @@ pub enum NormKind {
 /// let back = norm.inverse_transform(&scaled);
 /// assert!((back.get(1, 1) - 20.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Normalizer {
     kind: NormKind,
     /// Per-column offset subtracted before scaling.
@@ -80,7 +79,11 @@ impl Normalizer {
                 }
             }
         }
-        Normalizer { kind, offset, scale }
+        Normalizer {
+            kind,
+            offset,
+            scale,
+        }
     }
 
     /// The strategy this normalizer was fit with.
@@ -99,7 +102,11 @@ impl Normalizer {
     ///
     /// Panics if the column count differs from the fitted data.
     pub fn transform(&self, data: &Matrix) -> Matrix {
-        assert_eq!(data.cols(), self.num_features(), "Normalizer: column mismatch");
+        assert_eq!(
+            data.cols(),
+            self.num_features(),
+            "Normalizer: column mismatch"
+        );
         let mut out = data.clone();
         for r in 0..out.rows() {
             let row = out.row_mut(r);
@@ -116,7 +123,11 @@ impl Normalizer {
     ///
     /// Panics if the length differs from the fitted column count.
     pub fn transform_row(&self, row: &mut [f64]) {
-        assert_eq!(row.len(), self.num_features(), "Normalizer: column mismatch");
+        assert_eq!(
+            row.len(),
+            self.num_features(),
+            "Normalizer: column mismatch"
+        );
         for (c, v) in row.iter_mut().enumerate() {
             *v = (*v - self.offset[c]) / self.scale[c];
         }
@@ -128,7 +139,11 @@ impl Normalizer {
     ///
     /// Panics if the column count differs from the fitted data.
     pub fn inverse_transform(&self, data: &Matrix) -> Matrix {
-        assert_eq!(data.cols(), self.num_features(), "Normalizer: column mismatch");
+        assert_eq!(
+            data.cols(),
+            self.num_features(),
+            "Normalizer: column mismatch"
+        );
         let mut out = data.clone();
         for r in 0..out.rows() {
             let row = out.row_mut(r);
@@ -198,7 +213,10 @@ mod tests {
         let train = Matrix::from_rows(&[&[0.0], &[1.0]]);
         let n = Normalizer::fit(&train, NormKind::MinMaxSymmetric);
         let drifted = n.transform(&Matrix::from_rows(&[&[5.0]]));
-        assert!(drifted.get(0, 0) > 1.0, "out-of-support values are preserved");
+        assert!(
+            drifted.get(0, 0) > 1.0,
+            "out-of-support values are preserved"
+        );
     }
 
     #[test]

@@ -14,11 +14,10 @@
 use crate::dataset::Dataset;
 use crate::{DataError, Result};
 use fsda_linalg::SeededRng;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Whether a node is emitted as a dataset feature or stays hidden.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeKind {
     /// Hidden driver (e.g. overall traffic intensity); never emitted.
     Latent,
@@ -28,7 +27,7 @@ pub enum NodeKind {
 
 /// One node of the SCM with a linear-Gaussian mechanism:
 /// `x = bias + Σ w_p · parent_p + class_effect[y] + ε`, `ε ~ N(0, noise_std²)`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScmNode {
     /// Human-readable name (becomes the feature name for observed nodes).
     pub name: String,
@@ -93,7 +92,7 @@ impl ScmNode {
 
 /// A soft intervention on one node: the mechanism keeps its parents but its
 /// distribution changes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Intervention {
     /// Adds a constant to the node value (traffic-trend change).
     MeanShift(f64),
@@ -120,7 +119,7 @@ pub enum Intervention {
 /// several interventions (e.g. a mean shift *and* a signature remap).
 ///
 /// An empty spec is the observational (source) domain.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DomainSpec {
     interventions: BTreeMap<usize, Vec<Intervention>>,
 }
@@ -133,13 +132,19 @@ impl DomainSpec {
 
     /// Adds an intervention on `node` (appending to any already present).
     pub fn intervene(&mut self, node: usize, intervention: Intervention) -> &mut Self {
-        self.interventions.entry(node).or_default().push(intervention);
+        self.interventions
+            .entry(node)
+            .or_default()
+            .push(intervention);
         self
     }
 
     /// The interventions applied to `node` (empty slice when untouched).
     pub fn interventions_on(&self, node: usize) -> &[Intervention] {
-        self.interventions.get(&node).map(|v| v.as_slice()).unwrap_or(&[])
+        self.interventions
+            .get(&node)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Back-compat convenience: the first intervention on `node`, if any.
@@ -164,7 +169,7 @@ impl DomainSpec {
 }
 
 /// A structural causal model over latent and observed nodes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Scm {
     nodes: Vec<ScmNode>,
     num_classes: usize,
@@ -222,12 +227,17 @@ impl Scm {
 
     /// Indices of observed nodes, in order (defines feature-column order).
     pub fn observed_indices(&self) -> Vec<usize> {
-        (0..self.nodes.len()).filter(|&i| self.nodes[i].kind == NodeKind::Observed).collect()
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].kind == NodeKind::Observed)
+            .collect()
     }
 
     /// Number of observed features.
     pub fn num_features(&self) -> usize {
-        self.nodes.iter().filter(|n| n.kind == NodeKind::Observed).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Observed)
+            .count()
     }
 
     /// Feature names (observed nodes, in column order).
@@ -257,7 +267,10 @@ impl Scm {
                     Intervention::MeanShift(s) => shift += s,
                     Intervention::ScaleNoise(f) => noise_factor *= f,
                     Intervention::ScaleWeights(f) => weight_factor *= f,
-                    Intervention::ShiftAndScale { shift: s, noise_factor: f } => {
+                    Intervention::ShiftAndScale {
+                        shift: s,
+                        noise_factor: f,
+                    } => {
                         shift += s;
                         noise_factor *= f;
                     }
@@ -326,8 +339,7 @@ impl Scm {
                 r += 1;
             }
         }
-        let mut ds =
-            Dataset::with_names(features, labels, self.num_classes, self.feature_names())?;
+        let mut ds = Dataset::with_names(features, labels, self.num_classes, self.feature_names())?;
         ds.shuffle(rng);
         Ok(ds)
     }
@@ -383,8 +395,7 @@ mod tests {
     fn toy_scm() -> Scm {
         let nodes = vec![
             ScmNode::latent("T", 1.0),
-            ScmNode::observed("x0", vec![0], vec![1.0], 0.3)
-                .with_class_effect(vec![0.0, 1.0]),
+            ScmNode::observed("x0", vec![0], vec![1.0], 0.3).with_class_effect(vec![0.0, 1.0]),
             ScmNode::observed("x1", vec![1], vec![0.8], 0.3),
             ScmNode::observed("x2", vec![], vec![], 1.0).with_bias(5.0),
         ];
@@ -394,14 +405,18 @@ mod tests {
     #[test]
     fn validation_rejects_bad_structures() {
         // Forward reference.
-        let bad = vec![ScmNode::observed("a", vec![1], vec![1.0], 1.0), ScmNode::latent("b", 1.0)];
+        let bad = vec![
+            ScmNode::observed("a", vec![1], vec![1.0], 1.0),
+            ScmNode::latent("b", 1.0),
+        ];
         assert!(Scm::new(bad, 1).is_err());
         // Mismatched weights.
         let bad = vec![ScmNode::observed("a", vec![], vec![1.0], 1.0)];
         assert!(Scm::new(bad, 1).is_err());
         // Wrong class-effect length.
-        let bad = vec![ScmNode::observed("a", vec![], vec![], 1.0)
-            .with_class_effect(vec![0.0, 1.0, 2.0])];
+        let bad = vec![
+            ScmNode::observed("a", vec![], vec![], 1.0).with_class_effect(vec![0.0, 1.0, 2.0])
+        ];
         assert!(Scm::new(bad, 2).is_err());
     }
 
@@ -418,10 +433,12 @@ mod tests {
         let scm = toy_scm();
         let spec = DomainSpec::observational();
         let mut rng = SeededRng::new(1);
-        let xs0: Vec<f64> =
-            (0..3000).map(|_| scm.sample_observed(0, &spec, &mut rng)[0]).collect();
-        let xs1: Vec<f64> =
-            (0..3000).map(|_| scm.sample_observed(1, &spec, &mut rng)[0]).collect();
+        let xs0: Vec<f64> = (0..3000)
+            .map(|_| scm.sample_observed(0, &spec, &mut rng)[0])
+            .collect();
+        let xs1: Vec<f64> = (0..3000)
+            .map(|_| scm.sample_observed(1, &spec, &mut rng)[0])
+            .collect();
         assert!((mean(&xs1) - mean(&xs0) - 1.0).abs() < 0.1);
     }
 
@@ -434,8 +451,9 @@ mod tests {
         let obs: Vec<f64> = (0..3000)
             .map(|_| scm.sample_observed(0, &DomainSpec::observational(), &mut rng)[0])
             .collect();
-        let shifted: Vec<f64> =
-            (0..3000).map(|_| scm.sample_observed(0, &spec, &mut rng)[0]).collect();
+        let shifted: Vec<f64> = (0..3000)
+            .map(|_| scm.sample_observed(0, &spec, &mut rng)[0])
+            .collect();
         assert!((mean(&shifted) - mean(&obs) - 4.0).abs() < 0.15);
     }
 
@@ -448,8 +466,9 @@ mod tests {
         let obs: Vec<f64> = (0..4000)
             .map(|_| scm.sample_observed(0, &DomainSpec::observational(), &mut rng)[2])
             .collect();
-        let wide: Vec<f64> =
-            (0..4000).map(|_| scm.sample_observed(0, &spec, &mut rng)[2]).collect();
+        let wide: Vec<f64> = (0..4000)
+            .map(|_| scm.sample_observed(0, &spec, &mut rng)[2])
+            .collect();
         assert!(std_dev(&wide) > 2.0 * std_dev(&obs));
     }
 
@@ -475,8 +494,14 @@ mod tests {
             ys.push(s[1]);
         }
         let cov_int = fsda_linalg::stats::covariance(&xs, &ys);
-        assert!(cov_obs > 0.5, "observational covariance should be strong: {cov_obs}");
-        assert!(cov_int.abs() < 0.1, "intervened covariance should vanish: {cov_int}");
+        assert!(
+            cov_obs > 0.5,
+            "observational covariance should be strong: {cov_obs}"
+        );
+        assert!(
+            cov_int.abs() < 0.1,
+            "intervened covariance should vanish: {cov_int}"
+        );
     }
 
     #[test]
@@ -492,8 +517,8 @@ mod tests {
         let scm = toy_scm();
         let mut spec = DomainSpec::observational();
         spec.intervene(0, Intervention::MeanShift(2.0)); // latent T
-        // x0 (col 0) is a child of T -> variant. x1 (col 1) is downstream of
-        // x0 (observed) -> conditionally invariant. x2 (col 2) untouched.
+                                                         // x0 (col 0) is a child of T -> variant. x1 (col 1) is downstream of
+                                                         // x0 (observed) -> conditionally invariant. x2 (col 2) untouched.
         assert_eq!(scm.ground_truth_variant(&spec), vec![0]);
     }
 
@@ -536,7 +561,9 @@ mod tests {
     fn generate_rejects_wrong_count_length() {
         let scm = toy_scm();
         let mut rng = SeededRng::new(6);
-        assert!(scm.generate(&[5], &DomainSpec::observational(), &mut rng).is_err());
+        assert!(scm
+            .generate(&[5], &DomainSpec::observational(), &mut rng)
+            .is_err());
     }
 
     #[test]
@@ -547,7 +574,10 @@ mod tests {
         spec.intervene(1, Intervention::ScaleNoise(2.0));
         assert!(!spec.is_observational());
         assert_eq!(spec.targets(), vec![1, 3]);
-        assert!(matches!(spec.intervention_on(3), Some(&Intervention::MeanShift(_))));
+        assert!(matches!(
+            spec.intervention_on(3),
+            Some(&Intervention::MeanShift(_))
+        ));
         assert!(spec.intervention_on(0).is_none());
         assert!(spec.is_target(1));
         assert!(!spec.is_target(0));
@@ -564,8 +594,9 @@ mod tests {
         let obs: Vec<f64> = (0..3000)
             .map(|_| scm.sample_observed(0, &DomainSpec::observational(), &mut rng)[0])
             .collect();
-        let shifted: Vec<f64> =
-            (0..3000).map(|_| scm.sample_observed(0, &spec, &mut rng)[0]).collect();
+        let shifted: Vec<f64> = (0..3000)
+            .map(|_| scm.sample_observed(0, &spec, &mut rng)[0])
+            .collect();
         assert!((mean(&shifted) - mean(&obs) - 5.0).abs() < 0.2);
     }
 
@@ -576,8 +607,9 @@ mod tests {
         spec.intervene(1, Intervention::RemapClassEffect(vec![1, 0]));
         let mut rng = SeededRng::new(11);
         // Under the remap, class 0 samples get class 1's effect (+1.0).
-        let remapped: Vec<f64> =
-            (0..3000).map(|_| scm.sample_observed(0, &spec, &mut rng)[0]).collect();
+        let remapped: Vec<f64> = (0..3000)
+            .map(|_| scm.sample_observed(0, &spec, &mut rng)[0])
+            .collect();
         let original: Vec<f64> = (0..3000)
             .map(|_| scm.sample_observed(0, &DomainSpec::observational(), &mut rng)[0])
             .collect();

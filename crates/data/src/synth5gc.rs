@@ -27,8 +27,13 @@ use crate::Result;
 use fsda_linalg::SeededRng;
 
 /// The five fault types of the 5GC dataset.
-pub const FAULT_TYPES: [&str; 5] =
-    ["bridge_del", "if_down", "pkt_loss", "mem_stress", "vcpu_over"];
+pub const FAULT_TYPES: [&str; 5] = [
+    "bridge_del",
+    "if_down",
+    "pkt_loss",
+    "mem_stress",
+    "vcpu_over",
+];
 
 /// The three VNFs faults are injected into.
 pub const FAULTY_VNFS: [&str; 3] = ["amf", "ausf", "udm"];
@@ -221,10 +226,7 @@ impl Synth5gc {
         for (v, vnf) in ALL_VNFS.iter().enumerate() {
             // Traffic metrics: in_bytes, out_bytes, unicast_pkts per iface.
             for iface in 0..self.ifaces_per_vnf {
-                for (m, metric) in ["in_bytes", "out_bytes", "unicast_pkts"]
-                    .iter()
-                    .enumerate()
-                {
+                for (m, metric) in ["in_bytes", "out_bytes", "unicast_pkts"].iter().enumerate() {
                     let mut effect = vec![0.0; num_classes];
                     if v < FAULTY_VNFS.len() {
                         // bridge_del / if_down: traffic drops; pkt_loss hits
@@ -272,13 +274,8 @@ impl Synth5gc {
                 }
                 let idx = nodes.len();
                 nodes.push(
-                    ScmNode::observed(
-                        format!("{vnf}_mem_{j}"),
-                        vec![vnf_load[v]],
-                        vec![0.3],
-                        0.4,
-                    )
-                    .with_class_effect(effect),
+                    ScmNode::observed(format!("{vnf}_mem_{j}"), vec![vnf_load[v]], vec![0.3], 0.4)
+                        .with_class_effect(effect),
                 );
                 features.push((idx, v, Group::Memory));
             }
@@ -291,13 +288,8 @@ impl Synth5gc {
                 }
                 let idx = nodes.len();
                 nodes.push(
-                    ScmNode::observed(
-                        format!("{vnf}_cpu_{j}"),
-                        vec![vnf_load[v]],
-                        vec![0.4],
-                        0.4,
-                    )
-                    .with_class_effect(effect),
+                    ScmNode::observed(format!("{vnf}_cpu_{j}"), vec![vnf_load[v]], vec![0.4], 0.4)
+                        .with_class_effect(effect),
                 );
                 features.push((idx, v, Group::Cpu));
             }
@@ -333,13 +325,8 @@ impl Synth5gc {
                 }
                 let idx = nodes.len();
                 nodes.push(
-                    ScmNode::observed(
-                        format!("{vnf}_core5g_{j}"),
-                        vec![t_global],
-                        vec![0.3],
-                        0.4,
-                    )
-                    .with_class_effect(effect),
+                    ScmNode::observed(format!("{vnf}_core5g_{j}"), vec![t_global], vec![0.3], 0.4)
+                        .with_class_effect(effect),
                 );
                 features.push((idx, v, Group::Core));
             }
@@ -349,8 +336,7 @@ impl Synth5gc {
         // These shift *marginally* under drift but are conditionally
         // invariant — the canonical case FS must not flag.
         for (v, vnf) in ALL_VNFS.iter().enumerate() {
-            let parents: Vec<usize> =
-                traffic_cols_per_vnf[v].iter().copied().take(3).collect();
+            let parents: Vec<usize> = traffic_cols_per_vnf[v].iter().copied().take(3).collect();
             let weights = vec![0.33; parents.len()];
             let idx = nodes.len();
             nodes.push(ScmNode::observed(
@@ -460,7 +446,10 @@ impl Synth5gc {
             let signed = if rank % 2 == 0 { magnitude } else { -magnitude };
             let jitter = 1.0 + 0.15 * (rng.uniform() - 0.5);
             let iv = if noise_factor > 1.0 {
-                Intervention::ShiftAndScale { shift: signed * jitter, noise_factor }
+                Intervention::ShiftAndScale {
+                    shift: signed * jitter,
+                    noise_factor,
+                }
             } else {
                 Intervention::MeanShift(signed * jitter)
             };
@@ -544,7 +533,9 @@ pub struct Synth5gcBundle {
 fn spread_total(total: usize, classes: usize) -> Vec<usize> {
     let base = total / classes;
     let extra = total % classes;
-    (0..classes).map(|c| base + usize::from(c < extra)).collect()
+    (0..classes)
+        .map(|c| base + usize::from(c < extra))
+        .collect()
 }
 
 #[cfg(test)]
@@ -557,7 +548,10 @@ mod tests {
         let cfg = Synth5gc::full();
         assert_eq!(cfg.num_classes(), 16);
         assert_eq!(cfg.num_features(), 442);
-        assert_eq!(cfg.strong_variant + cfg.medium_variant + cfg.weak_variant, 75);
+        assert_eq!(
+            cfg.strong_variant + cfg.medium_variant + cfg.weak_variant,
+            75
+        );
     }
 
     #[test]
@@ -567,7 +561,10 @@ mod tests {
         assert_eq!(bundle.source_train.len(), 640);
         assert_eq!(bundle.target_test.len(), 320);
         assert_eq!(bundle.target_pool.class_counts(), vec![12; 16]);
-        assert_eq!(bundle.source_train.num_features(), Synth5gc::small().num_features());
+        assert_eq!(
+            bundle.source_train.num_features(),
+            Synth5gc::small().num_features()
+        );
         assert_eq!(bundle.ground_truth_variant.len(), 16);
     }
 
@@ -580,7 +577,10 @@ mod tests {
                 !names[col].contains("traffic_total"),
                 "aggregate features are conditionally invariant"
             );
-            assert!(!names[col].contains("infra"), "infra features are invariant");
+            assert!(
+                !names[col].contains("infra"),
+                "infra features are invariant"
+            );
         }
     }
 
@@ -625,7 +625,10 @@ mod tests {
         let ds = &bundle.source_train;
         let names = ds.feature_names();
         let mem_col = names.iter().position(|n| n.starts_with("amf_mem")).unwrap();
-        let class_mem_stress = 1 + 0 * FAULT_TYPES.len() + 3;
+        // Class id = 1 + nf_index * |FAULT_TYPES| + fault_index; AMF is
+        // nf_index 0 and memory stress is fault_index 3.
+        let (nf_index, fault_index) = (0, 3);
+        let class_mem_stress = 1 + nf_index * FAULT_TYPES.len() + fault_index;
         let normal_rows = ds.indices_of_class(0);
         let stress_rows = ds.indices_of_class(class_mem_stress);
         let col = ds.features().col(mem_col);

@@ -25,8 +25,12 @@ use fsda_linalg::SeededRng;
 pub const VNFS: [&str; 5] = ["tr01", "tr02", "intgw01", "intgw02", "rr01"];
 
 /// The four injected fault types (index 0 is reserved for "normal").
-pub const FAULT_TYPES: [&str; 4] =
-    ["node_failure", "interface_failure", "packet_loss", "packet_delay"];
+pub const FAULT_TYPES: [&str; 4] = [
+    "node_failure",
+    "interface_failure",
+    "packet_loss",
+    "packet_delay",
+];
 
 /// Number of few-shot groups: normal + the four fault types.
 pub const NUM_GROUPS: usize = 5;
@@ -190,13 +194,16 @@ impl Synth5gipc {
             .source_train
             .concat(&bundle.target_test)
             .map_err(|e| crate::DataError::Inconsistent(e.to_string()))?;
-        let true_domain: Vec<usize> = std::iter::repeat(0)
-            .take(bundle.source_train.len())
-            .chain(std::iter::repeat(1).take(bundle.target_test.len()))
+        let true_domain: Vec<usize> = std::iter::repeat_n(0, bundle.source_train.len())
+            .chain(std::iter::repeat_n(1, bundle.target_test.len()))
             .collect();
         let gmm = Gmm::fit_best(
             all.features(),
-            &GmmConfig { k: 2, seed, ..GmmConfig::default() },
+            &GmmConfig {
+                k: 2,
+                seed,
+                ..GmmConfig::default()
+            },
             8,
         )?;
         let assignment = gmm.predict(all.features());
@@ -308,7 +315,11 @@ impl Synth5gipc {
             .iter()
             .map(|&c| if c == 0 { 0 } else { 1 + (c - 1) / VNFS.len() })
             .collect();
-        let binary: Vec<usize> = internal.labels().iter().map(|&c| usize::from(c > 0)).collect();
+        let binary: Vec<usize> = internal
+            .labels()
+            .iter()
+            .map(|&c| usize::from(c > 0))
+            .collect();
         let ds = Dataset::with_names(
             internal.features().clone(),
             binary,
@@ -320,11 +331,7 @@ impl Synth5gipc {
 
     /// Builds the SCM plus `num_domains` domain specs (index 0 is always
     /// observational).
-    fn build_scm(
-        &self,
-        rng: &mut SeededRng,
-        num_domains: usize,
-    ) -> Result<(Scm, Vec<DomainSpec>)> {
+    fn build_scm(&self, rng: &mut SeededRng, num_domains: usize) -> Result<(Scm, Vec<DomainSpec>)> {
         let classes = self.internal_classes();
         let mut nodes: Vec<ScmNode> = Vec::new();
         let t_global = nodes.len();
@@ -434,8 +441,18 @@ impl Synth5gipc {
             .filter(|&&(_, g)| g == Group::Packets)
             .map(|&(i, _)| i)
             .collect();
-        candidates.extend(features.iter().filter(|&&(_, g)| g == Group::Cpu).map(|&(i, _)| i));
-        candidates.extend(features.iter().filter(|&&(_, g)| g == Group::Mem).map(|&(i, _)| i));
+        candidates.extend(
+            features
+                .iter()
+                .filter(|&&(_, g)| g == Group::Cpu)
+                .map(|&(i, _)| i),
+        );
+        candidates.extend(
+            features
+                .iter()
+                .filter(|&&(_, g)| g == Group::Mem)
+                .map(|&(i, _)| i),
+        );
         let needed = self.strong_variant + self.medium_variant + self.weak_variant;
         assert!(
             candidates.len() >= needed,
@@ -616,7 +633,10 @@ mod tests {
     fn full_preset_matches_paper_shape() {
         let cfg = Synth5gipc::full();
         assert_eq!(cfg.num_features(), 116);
-        assert_eq!(cfg.strong_variant + cfg.medium_variant + cfg.weak_variant, 37);
+        assert_eq!(
+            cfg.strong_variant + cfg.medium_variant + cfg.weak_variant,
+            37
+        );
         assert_eq!(cfg.source_normal, 5315);
         assert_eq!(cfg.target_faults, [95, 124, 311, 546]);
     }

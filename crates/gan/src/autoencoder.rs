@@ -62,7 +62,12 @@ impl std::fmt::Debug for VanillaAe {
 impl VanillaAe {
     /// Creates an untrained autoencoder.
     pub fn new(config: AeConfig, seed: u64) -> Self {
-        VanillaAe { config, seed, net: None, dims: None }
+        VanillaAe {
+            config,
+            seed,
+            net: None,
+            dims: None,
+        }
     }
 }
 
@@ -80,7 +85,11 @@ impl Reconstructor for VanillaAe {
         net.push(Dense::new(self.config.bottleneck, h, &mut rng));
         net.push(Activation::relu());
         net.push(Dense::new_xavier(h, d_var, &mut rng));
-        net.push(MixedActivation::new(OutputSpec::continuous(d_var), 1.0, rng.fork(0xAE)));
+        net.push(MixedActivation::new(
+            OutputSpec::continuous(d_var),
+            1.0,
+            rng.fork(0xAE),
+        ));
 
         let mut opt = Adam::new(self.config.learning_rate);
         let n = x_inv.rows();
@@ -101,9 +110,16 @@ impl Reconstructor for VanillaAe {
     }
 
     fn reconstruct(&self, x_inv: &Matrix, _seed: u64) -> Matrix {
-        let net = self.net.as_ref().expect("VanillaAe: reconstruct before fit");
+        let net = self
+            .net
+            .as_ref()
+            .expect("VanillaAe: reconstruct before fit");
         let (d_inv, _) = self.dims.expect("dims recorded at fit");
-        assert_eq!(x_inv.cols(), d_inv, "VanillaAe: invariant-block width mismatch");
+        assert_eq!(
+            x_inv.cols(),
+            d_inv,
+            "VanillaAe: invariant-block width mismatch"
+        );
         net.infer(x_inv)
     }
 
@@ -128,7 +144,11 @@ mod tests {
             x_inv.set(r, 0, a);
             x_inv.set(r, 1, b);
             x_inv.set(r, 2, c);
-            x_var.set(r, 0, (0.6 * a - 0.2 * c).tanh() * 0.8 + rng.normal(0.0, 0.03));
+            x_var.set(
+                r,
+                0,
+                (0.6 * a - 0.2 * c).tanh() * 0.8 + rng.normal(0.0, 0.03),
+            );
             x_var.set(r, 1, (0.5 * b).tanh() * 0.8 + rng.normal(0.0, 0.03));
         }
         let y = Matrix::zeros(n, 1);
@@ -139,7 +159,12 @@ mod tests {
     fn learns_conditional_mean() {
         let (x_inv, x_var, y) = toy(256, 1);
         let mut ae = VanillaAe::new(
-            AeConfig { hidden: 32, bottleneck: 8, epochs: 150, ..AeConfig::default() },
+            AeConfig {
+                hidden: 32,
+                bottleneck: 8,
+                epochs: 150,
+                ..AeConfig::default()
+            },
             2,
         );
         ae.fit(&x_inv, &x_var, &y).unwrap();
@@ -154,7 +179,11 @@ mod tests {
     fn seed_is_ignored_deterministic() {
         let (x_inv, x_var, y) = toy(64, 3);
         let mut ae = VanillaAe::new(
-            AeConfig { hidden: 16, epochs: 10, ..AeConfig::default() },
+            AeConfig {
+                hidden: 16,
+                epochs: 10,
+                ..AeConfig::default()
+            },
             4,
         );
         ae.fit(&x_inv, &x_var, &y).unwrap();

@@ -70,7 +70,11 @@ impl CondGanConfig {
 
     /// The paper's 5GIPC settings (116 features): noise 15, hidden 128.
     pub fn for_5gipc() -> Self {
-        CondGanConfig { noise_dim: 15, hidden: 128, ..Self::default() }
+        CondGanConfig {
+            noise_dim: 15,
+            hidden: 128,
+            ..Self::default()
+        }
     }
 
     /// The FS+NoCond ablation: discriminator not conditioned on the label.
@@ -102,7 +106,13 @@ impl std::fmt::Debug for CondGan {
 impl CondGan {
     /// Creates an untrained GAN.
     pub fn new(config: CondGanConfig, seed: u64) -> Self {
-        CondGan { config, seed, generator: None, dims: None, history: Vec::new() }
+        CondGan {
+            config,
+            seed,
+            generator: None,
+            dims: None,
+            history: Vec::new(),
+        }
     }
 
     /// Per-epoch `(discriminator_loss, generator_loss)` history.
@@ -120,7 +130,11 @@ impl CondGan {
         g.push(BatchNorm1d::new(h));
         g.push(Activation::relu());
         g.push(Dense::new_xavier(h, d_var, rng));
-        g.push(MixedActivation::new(OutputSpec::continuous(d_var), 1.0, rng.fork(0x6A)));
+        g.push(MixedActivation::new(
+            OutputSpec::continuous(d_var),
+            1.0,
+            rng.fork(0x6A),
+        ));
         g
     }
 
@@ -142,7 +156,11 @@ impl Reconstructor for CondGan {
     fn fit(&mut self, x_inv: &Matrix, x_var: &Matrix, y_onehot: &Matrix) -> Result<()> {
         validate_fit(x_inv, x_var, y_onehot)?;
         let (d_inv, d_var) = (x_inv.cols(), x_var.cols());
-        let label_dim = if self.config.condition_on_label { y_onehot.cols() } else { 0 };
+        let label_dim = if self.config.condition_on_label {
+            y_onehot.cols()
+        } else {
+            0
+        };
         let mut rng = SeededRng::new(self.seed);
         let mut gen = self.build_generator(d_inv, d_var, &mut rng);
         let mut disc = self.build_discriminator(d_inv + d_var + label_dim, &mut rng);
@@ -196,9 +214,8 @@ impl Reconstructor for CondGan {
                 let (loss_g, grad) = bce_with_logits(&logits, &ones);
                 disc.zero_grad(); // discard D's gradients from this pass
                 let grad_d_in = disc.backward(&grad);
-                let mut grad_fake_var = grad_d_in.select_cols(
-                    &(d_inv..d_inv + d_var).collect::<Vec<_>>(),
-                );
+                let mut grad_fake_var =
+                    grad_d_in.select_cols(&(d_inv..d_inv + d_var).collect::<Vec<_>>());
                 if self.config.recon_weight > 0.0 {
                     let (_, grad_mse) = fsda_nn::loss::mse(&fake_var, &b_var);
                     grad_fake_var.axpy(self.config.recon_weight, &grad_mse);
@@ -220,9 +237,16 @@ impl Reconstructor for CondGan {
     }
 
     fn reconstruct(&self, x_inv: &Matrix, seed: u64) -> Matrix {
-        let gen = self.generator.as_ref().expect("CondGan: reconstruct before fit");
+        let gen = self
+            .generator
+            .as_ref()
+            .expect("CondGan: reconstruct before fit");
         let (d_inv, _) = self.dims.expect("dims recorded at fit");
-        assert_eq!(x_inv.cols(), d_inv, "CondGan: invariant-block width mismatch");
+        assert_eq!(
+            x_inv.cols(),
+            d_inv,
+            "CondGan: invariant-block width mismatch"
+        );
         let mut rng = SeededRng::new(seed);
         let z = rng.normal_matrix(x_inv.rows(), self.config.noise_dim, 0.0, 1.0);
         let g_in = x_inv.hstack(&z).expect("row counts match");
@@ -238,12 +262,7 @@ impl Reconstructor for CondGan {
     }
 }
 
-fn concat_d_input(
-    x_inv: &Matrix,
-    x_var: &Matrix,
-    y_onehot: &Matrix,
-    label_dim: usize,
-) -> Matrix {
+fn concat_d_input(x_inv: &Matrix, x_var: &Matrix, y_onehot: &Matrix, label_dim: usize) -> Matrix {
     let base = x_inv.hstack(x_var).expect("row counts match");
     if label_dim == 0 {
         base
@@ -271,14 +290,23 @@ mod tests {
             let b = rng.normal(0.0, 0.3);
             x_inv.set(r, 0, a);
             x_inv.set(r, 1, b);
-            x_var.set(r, 0, (0.8 * a - 0.4 * b).tanh() * 0.9 + rng.normal(0.0, 0.05));
+            x_var.set(
+                r,
+                0,
+                (0.8 * a - 0.4 * b).tanh() * 0.9 + rng.normal(0.0, 0.05),
+            );
             y.set(r, class, 1.0);
         }
         (x_inv, x_var, y)
     }
 
     fn quick_config() -> CondGanConfig {
-        CondGanConfig { noise_dim: 4, hidden: 32, epochs: 60, ..CondGanConfig::default() }
+        CondGanConfig {
+            noise_dim: 4,
+            hidden: 32,
+            epochs: 60,
+            ..CondGanConfig::default()
+        }
     }
 
     #[test]
@@ -288,7 +316,10 @@ mod tests {
         gan.fit(&x_inv, &x_var, &y).unwrap();
         let recon = gan.reconstruct(&x_inv, 3);
         let r = pearson(&recon.col(0), &x_var.col(0));
-        assert!(r > 0.5, "GAN reconstruction should track the mechanism, r = {r}");
+        assert!(
+            r > 0.5,
+            "GAN reconstruction should track the mechanism, r = {r}"
+        );
     }
 
     #[test]
@@ -305,7 +336,10 @@ mod tests {
         // Monte-Carlo draws give nearly identical reconstructions.
         let (x_inv, x_var, y) = toy_source(256, 6);
         let mut gan = CondGan::new(
-            CondGanConfig { noise_dim: 2, ..quick_config() },
+            CondGanConfig {
+                noise_dim: 2,
+                ..quick_config()
+            },
             7,
         );
         gan.fit(&x_inv, &x_var, &y).unwrap();
@@ -359,7 +393,13 @@ mod tests {
     #[test]
     fn loss_history_is_recorded() {
         let (x_inv, x_var, y) = toy_source(64, 14);
-        let mut gan = CondGan::new(CondGanConfig { epochs: 5, ..quick_config() }, 15);
+        let mut gan = CondGan::new(
+            CondGanConfig {
+                epochs: 5,
+                ..quick_config()
+            },
+            15,
+        );
         gan.fit(&x_inv, &x_var, &y).unwrap();
         assert_eq!(gan.loss_history().len(), 5);
         for &(d, g) in gan.loss_history() {
@@ -375,7 +415,10 @@ mod tests {
         let recon = gan.reconstruct(&x_inv, 18);
         let m_real = mean(&x_var.col(0));
         let m_fake = mean(&recon.col(0));
-        assert!((m_real - m_fake).abs() < 0.4, "means: real {m_real}, fake {m_fake}");
+        assert!(
+            (m_real - m_fake).abs() < 0.4,
+            "means: real {m_real}, fake {m_fake}"
+        );
     }
 
     #[test]
@@ -383,8 +426,9 @@ mod tests {
         let mut gan = CondGan::new(quick_config(), 1);
         let a = Matrix::zeros(3, 2);
         let b = Matrix::zeros(2, 1);
-        assert_eq!(gan.fit(&a, &b, &a).unwrap_err(), GanError::InvalidInput(
-            "row mismatch: inv 3, var 2, labels 3".into(),
-        ));
+        assert_eq!(
+            gan.fit(&a, &b, &a).unwrap_err(),
+            GanError::InvalidInput("row mismatch: inv 3, var 2, labels 3".into(),)
+        );
     }
 }

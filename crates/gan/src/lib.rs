@@ -121,8 +121,12 @@ mod tests {
         let a = Matrix::zeros(3, 2);
         let b = Matrix::zeros(2, 2);
         assert!(validate_fit(&a, &b, &a).is_err());
-        assert!(validate_fit(&Matrix::zeros(0, 2), &Matrix::zeros(0, 2), &Matrix::zeros(0, 1))
-            .is_err());
+        assert!(validate_fit(
+            &Matrix::zeros(0, 2),
+            &Matrix::zeros(0, 2),
+            &Matrix::zeros(0, 1)
+        )
+        .is_err());
         assert!(validate_fit(&a, &Matrix::zeros(3, 0), &a).is_err());
         assert!(validate_fit(&a, &a, &a).is_ok());
     }

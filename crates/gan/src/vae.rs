@@ -63,7 +63,12 @@ impl std::fmt::Debug for Vae {
 impl Vae {
     /// Creates an untrained VAE.
     pub fn new(config: VaeConfig, seed: u64) -> Self {
-        Vae { config, seed, decoder: None, dims: None }
+        Vae {
+            config,
+            seed,
+            decoder: None,
+            dims: None,
+        }
     }
 }
 
@@ -88,7 +93,11 @@ impl Reconstructor for Vae {
         decoder.push(Dense::new(h, h, &mut rng));
         decoder.push(Activation::relu());
         decoder.push(Dense::new_xavier(h, d_var, &mut rng));
-        decoder.push(MixedActivation::new(OutputSpec::continuous(d_var), 1.0, rng.fork(0x7E)));
+        decoder.push(MixedActivation::new(
+            OutputSpec::continuous(d_var),
+            1.0,
+            rng.fork(0x7E),
+        ));
 
         let mut opt = Adam::new(self.config.learning_rate);
         let n = x_inv.rows();
@@ -118,11 +127,7 @@ impl Reconstructor for Vae {
                 let mut grad_recon = Matrix::zeros(b, d_var);
                 for r in 0..b {
                     for c in 0..d_var {
-                        grad_recon.set(
-                            r,
-                            c,
-                            2.0 * (recon.get(r, c) - b_var.get(r, c)) / count,
-                        );
+                        grad_recon.set(r, c, 2.0 * (recon.get(r, c) - b_var.get(r, c)) / count);
                     }
                 }
                 encoder.zero_grad();
@@ -130,8 +135,7 @@ impl Reconstructor for Vae {
                 let grad_dec_in = decoder.backward(&grad_recon);
                 // Gradient wrt z flows back through the reparameterization
                 // into mu (identity) and logvar (0.5 * std * eps).
-                let grad_z =
-                    grad_dec_in.select_cols(&(d_inv..d_inv + zd).collect::<Vec<_>>());
+                let grad_z = grad_dec_in.select_cols(&(d_inv..d_inv + zd).collect::<Vec<_>>());
                 let kl_scale = self.config.beta / (b * zd) as f64;
                 let mut grad_enc_out = Matrix::zeros(b, 2 * zd);
                 for r in 0..b {
@@ -187,14 +191,23 @@ mod tests {
             let b = rng.normal(0.0, 0.7);
             x_inv.set(r, 0, a);
             x_inv.set(r, 1, b);
-            x_var.set(r, 0, (0.7 * a + 0.3 * b).tanh() * 0.8 + rng.normal(0.0, 0.05));
+            x_var.set(
+                r,
+                0,
+                (0.7 * a + 0.3 * b).tanh() * 0.8 + rng.normal(0.0, 0.05),
+            );
         }
         let y = Matrix::zeros(n, 1);
         (x_inv, x_var, y)
     }
 
     fn quick() -> VaeConfig {
-        VaeConfig { hidden: 32, latent_dim: 4, epochs: 120, ..VaeConfig::default() }
+        VaeConfig {
+            hidden: 32,
+            latent_dim: 4,
+            epochs: 120,
+            ..VaeConfig::default()
+        }
     }
 
     #[test]
@@ -204,13 +217,22 @@ mod tests {
         vae.fit(&x_inv, &x_var, &y).unwrap();
         let recon = vae.reconstruct(&x_inv, 3);
         let r = pearson(&recon.col(0), &x_var.col(0));
-        assert!(r > 0.6, "VAE should reconstruct the conditional mean, r = {r}");
+        assert!(
+            r > 0.6,
+            "VAE should reconstruct the conditional mean, r = {r}"
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
         let (x_inv, x_var, y) = toy(64, 4);
-        let mut vae = Vae::new(VaeConfig { epochs: 10, ..quick() }, 5);
+        let mut vae = Vae::new(
+            VaeConfig {
+                epochs: 10,
+                ..quick()
+            },
+            5,
+        );
         vae.fit(&x_inv, &x_var, &y).unwrap();
         assert_eq!(vae.reconstruct(&x_inv, 6), vae.reconstruct(&x_inv, 6));
     }
@@ -218,7 +240,13 @@ mod tests {
     #[test]
     fn output_is_bounded() {
         let (x_inv, x_var, y) = toy(64, 7);
-        let mut vae = Vae::new(VaeConfig { epochs: 10, ..quick() }, 8);
+        let mut vae = Vae::new(
+            VaeConfig {
+                epochs: 10,
+                ..quick()
+            },
+            8,
+        );
         vae.fit(&x_inv, &x_var, &y).unwrap();
         let recon = vae.reconstruct(&x_inv.map(|v| v + 100.0), 9);
         assert!(recon.max_abs() <= 1.0 + 1e-9);

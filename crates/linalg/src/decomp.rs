@@ -55,7 +55,11 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix> {
 pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     let n = check_square(a)?;
     if b.len() != n {
-        return Err(LinalgError::ShapeMismatch(format!("rhs length {} vs {}", b.len(), n)));
+        return Err(LinalgError::ShapeMismatch(format!(
+            "rhs length {} vs {}",
+            b.len(),
+            n
+        )));
     }
     let (lu, perm) = lu_factor(a)?;
     Ok(lu_substitute(&lu, &perm, b))
@@ -75,8 +79,8 @@ pub fn inverse(a: &Matrix) -> Result<Matrix> {
     for c in 0..n {
         e[c] = 1.0;
         let x = lu_substitute(&lu, &perm, &e);
-        for r in 0..n {
-            inv.set(r, c, x[r]);
+        for (r, &v) in x.iter().enumerate() {
+            inv.set(r, c, v);
         }
         e[c] = 0.0;
     }
@@ -158,7 +162,11 @@ pub fn sym_eigen(a: &Matrix) -> Result<(Vec<f64>, Matrix)> {
     }
     let mut order: Vec<usize> = (0..n).collect();
     let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
-    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&i, &j| {
+        diag[j]
+            .partial_cmp(&diag[i])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let eigenvalues: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
     let eigenvectors = v.select_cols(&order);
     Ok((eigenvalues, eigenvectors))
@@ -188,15 +196,11 @@ pub fn sqrt_psd(a: &Matrix, eps: f64) -> Result<Matrix> {
     scaled_eigen_product(&vals, &vecs, |v| v.max(eps).sqrt())
 }
 
-fn scaled_eigen_product(
-    vals: &[f64],
-    vecs: &Matrix,
-    f: impl Fn(f64) -> f64,
-) -> Result<Matrix> {
+fn scaled_eigen_product(vals: &[f64], vecs: &Matrix, f: impl Fn(f64) -> f64) -> Result<Matrix> {
     let n = vals.len();
     let mut d = Matrix::zeros(n, n);
-    for i in 0..n {
-        d.set(i, i, f(vals[i]));
+    for (i, &v) in vals.iter().enumerate() {
+        d.set(i, i, f(v));
     }
     Ok(vecs.matmul(&d).matmul(&vecs.transpose()))
 }
@@ -251,6 +255,8 @@ fn lu_factor(a: &Matrix) -> Result<(Matrix, Vec<usize>)> {
     Ok((lu, perm))
 }
 
+// Triangular substitution is clearest with explicit indices.
+#[allow(clippy::needless_range_loop)]
 fn lu_substitute(lu: &Matrix, perm: &[usize], b: &[f64]) -> Vec<f64> {
     let n = lu.rows();
     let mut y = vec![0.0; n];
@@ -296,7 +302,10 @@ mod tests {
 
     #[test]
     fn cholesky_rejects_nonsquare() {
-        assert!(matches!(cholesky(&Matrix::zeros(2, 3)), Err(LinalgError::ShapeMismatch(_))));
+        assert!(matches!(
+            cholesky(&Matrix::zeros(2, 3)),
+            Err(LinalgError::ShapeMismatch(_))
+        ));
     }
 
     #[test]
@@ -313,7 +322,10 @@ mod tests {
     #[test]
     fn lu_solve_rejects_singular() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
-        assert_eq!(lu_solve(&a, &[1.0, 2.0]).unwrap_err(), LinalgError::Singular);
+        assert_eq!(
+            lu_solve(&a, &[1.0, 2.0]).unwrap_err(),
+            LinalgError::Singular
+        );
     }
 
     #[test]
@@ -337,11 +349,11 @@ mod tests {
         // Descending order.
         assert!(vals[0] >= vals[1] && vals[1] >= vals[2]);
         // A v = lambda v for each column.
-        for k in 0..3 {
+        for (k, &val) in vals.iter().enumerate() {
             let v = vecs.col(k);
             let av = a.matvec(&v);
             for i in 0..3 {
-                assert!((av[i] - vals[k] * v[i]).abs() < 1e-8, "eigenpair {k} mismatch");
+                assert!((av[i] - val * v[i]).abs() < 1e-8, "eigenpair {k} mismatch");
             }
         }
         // Trace preserved.

@@ -13,6 +13,9 @@
 //! * [`stats`] — means, covariance, (partial) correlation, Fisher-z tests.
 //! * [`rng`] — seeded sampling: normal (Box–Muller), multivariate normal,
 //!   categorical, Gumbel.
+//! * [`par`] — the deterministic self-scheduling worker pool behind every
+//!   parallel hot loop in the workspace (PC skeleton, F-node search,
+//!   random forest, experiment repeats).
 //!
 //! # Example
 //!
@@ -26,6 +29,7 @@
 
 pub mod decomp;
 pub mod matrix;
+pub mod par;
 pub mod rng;
 pub mod stats;
 

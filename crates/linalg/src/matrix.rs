@@ -1,7 +1,6 @@
 //! Row-major dense matrix type and core operations.
 
 use crate::{LinalgError, Result};
-use serde::{Deserialize, Serialize};
 
 /// A dense, row-major `f64` matrix.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(m.shape(), (2, 3));
 /// assert_eq!(m.get(1, 2), 6.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -28,12 +27,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -72,10 +79,19 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "from_rows: row {i} has length {} != {cols}", r.len());
+            assert_eq!(
+                r.len(),
+                cols,
+                "from_rows: row {i} has length {} != {cols}",
+                r.len()
+            );
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds a matrix by evaluating `f(row, col)` at every position.
@@ -111,7 +127,10 @@ impl Matrix {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -122,7 +141,10 @@ impl Matrix {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds"
+        );
         self.data[row * self.cols + col] = value;
     }
 
@@ -143,7 +165,9 @@ impl Matrix {
     /// Copies column `c` into a new vector.
     pub fn col(&self, c: usize) -> Vec<f64> {
         assert!(c < self.cols, "col {c} out of bounds");
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Borrows the underlying row-major data.
@@ -212,7 +236,13 @@ impl Matrix {
     ///
     /// Panics if `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(v.len(), self.cols, "matvec: vector length {} != cols {}", v.len(), self.cols);
+        assert_eq!(
+            v.len(),
+            self.cols,
+            "matvec: vector length {} != cols {}",
+            v.len(),
+            self.cols
+        );
         self.iter_rows().map(|row| dot(row, v)).collect()
     }
 
@@ -250,8 +280,17 @@ impl Matrix {
                 self.rows, self.cols, other.rows, other.cols
             )));
         }
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Returns a new matrix with `f` applied to every element.
@@ -331,7 +370,11 @@ impl Matrix {
         }
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        Ok(Matrix { rows: self.rows + other.rows, cols: self.cols, data })
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Concatenates `self` and `other` side by side (column-wise).
@@ -352,7 +395,11 @@ impl Matrix {
             data.extend_from_slice(self.row(r));
             data.extend_from_slice(other.row(r));
         }
-        Ok(Matrix { rows: self.rows, cols, data })
+        Ok(Matrix {
+            rows: self.rows,
+            cols,
+            data,
+        })
     }
 
     /// Mean of each column.
@@ -456,7 +503,11 @@ pub fn norm(a: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "euclidean_distance: length mismatch");
-    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Cosine similarity between two slices; 0.0 when either has zero norm.
@@ -548,9 +599,18 @@ mod tests {
     fn shape_mismatch_errors() {
         let m = sample();
         let other = Matrix::zeros(3, 3);
-        assert!(matches!(m.try_add(&other), Err(LinalgError::ShapeMismatch(_))));
-        assert!(matches!(m.vstack(&Matrix::zeros(1, 2)), Err(LinalgError::ShapeMismatch(_))));
-        assert!(matches!(m.hstack(&Matrix::zeros(3, 1)), Err(LinalgError::ShapeMismatch(_))));
+        assert!(matches!(
+            m.try_add(&other),
+            Err(LinalgError::ShapeMismatch(_))
+        ));
+        assert!(matches!(
+            m.vstack(&Matrix::zeros(1, 2)),
+            Err(LinalgError::ShapeMismatch(_))
+        ));
+        assert!(matches!(
+            m.hstack(&Matrix::zeros(3, 1)),
+            Err(LinalgError::ShapeMismatch(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! A minimal self-scheduling worker pool for deterministic fan-out.
+//!
+//! Every parallel hot loop in the workspace — edge-wise CI tests in the PC
+//! skeleton, per-feature tests in the F-node search, per-tree fitting in
+//! the random forest, per-repeat experiment cells — has the same shape:
+//! a list of **independent, read-only-input** work items whose results must
+//! be combined *as if they had been computed sequentially*. This module is
+//! the single implementation of that shape.
+//!
+//! # Determinism contract
+//!
+//! [`par_map`] returns results **in input order**, regardless of how the
+//! operating system schedules the workers. Callers that fold the returned
+//! vector in input order therefore produce bit-identical output for every
+//! thread count, including 1 — this is what lets `PcConfig::parallel` and
+//! `ForestConfig::threads` be pure performance knobs (see
+//! `docs/ARCHITECTURE.md`, "Parallelism and determinism"). Two rules make
+//! it work:
+//!
+//! 1. the closure must be a pure function of `(index, item)` — any hidden
+//!    mutable state would reintroduce schedule dependence, which is why the
+//!    pool requires `F: Sync` and hands out shared references only;
+//! 2. all order-sensitive effects (graph edge removals, error propagation,
+//!    RNG consumption) stay in the caller's sequential fold over the
+//!    returned vector.
+//!
+//! Workers self-schedule by claiming the next unclaimed index from a shared
+//! atomic counter, so a slow item (a large conditioning set, a deep tree)
+//! does not stall the remaining work the way fixed chunking would.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Resolves a requested worker count: `None` means "all available cores".
+///
+/// Used by every `num_threads: Option<usize>` knob in the workspace.
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    match requested {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Maps `f` over `items` on `threads` workers and returns the results in
+/// **input order**.
+///
+/// With `threads <= 1` (or fewer than two items) the map runs inline on the
+/// calling thread; the parallel path produces the identical vector, so the
+/// thread count never changes a caller's observable output.
+///
+/// # Panics
+///
+/// Panics if `f` panics on any worker (the scope joins all workers first,
+/// then re-raises a generic scope panic).
+///
+/// # Example
+///
+/// ```
+/// use fsda_linalg::par::par_map;
+///
+/// let items: Vec<u64> = (0..100).collect();
+/// let seq = par_map(1, &items, |i, &x| x * x + i as u64);
+/// let par = par_map(4, &items, |i, &x| x * x + i as u64);
+/// assert_eq!(seq, par);
+/// ```
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(items.len()) {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                // Send can only fail if the receiver is gone, which means
+                // the scope is unwinding from another worker's panic.
+                if tx.send((i, f(i, &items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in rx {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("par_map: every index is claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(8, &items, |i, &x| {
+            assert_eq!(i, x);
+            x * 3
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_inline() {
+        let items: Vec<f64> = (0..257).map(|i| i as f64 * 0.37).collect();
+        let f = |i: usize, x: &f64| (x.sin() * i as f64).to_bits();
+        assert_eq!(par_map(1, &items, f), par_map(5, &items, f));
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<u8> = vec![];
+        assert!(par_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(4, &[9u8], |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = [1, 2, 3];
+        assert_eq!(par_map(64, &items, |_, &x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn resolve_threads_floors_at_one() {
+        assert_eq!(resolve_threads(Some(0)), 1);
+        assert_eq!(resolve_threads(Some(7)), 7);
+        assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..64).collect();
+        let _ = par_map(4, &items, |_, &x| {
+            if x == 33 {
+                panic!("worker boom");
+            }
+            x
+        });
+    }
+}

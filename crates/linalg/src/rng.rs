@@ -1,13 +1,15 @@
 //! Seeded random sampling used across the workspace.
 //!
-//! [`SeededRng`] wraps [`rand::rngs::StdRng`] and adds the distributions the
+//! [`SeededRng`] is a self-contained xoshiro256++ generator (seeded through
+//! SplitMix64, the reference recommendation) with the distributions the
 //! paper's methods require (normal via Box–Muller, multivariate normal via
-//! Cholesky, categorical, Gumbel) without pulling in `rand_distr`.
+//! Cholesky, categorical, Gumbel). Implementing the generator in-tree keeps
+//! the workspace free of registry dependencies so it builds offline; the
+//! algorithm is the public-domain reference construction of Blackman and
+//! Vigna.
 
 use crate::decomp::cholesky;
 use crate::{Matrix, Result};
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
 
 /// A deterministic random-number generator with the distributions needed by
 /// the `fsda` stack.
@@ -26,32 +28,69 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SeededRng {
-    inner: StdRng,
+    /// xoshiro256++ state; never all-zero by construction.
+    s: [u64; 4],
     /// Cached second Box–Muller draw.
     spare_normal: Option<f64>,
+}
+
+/// One SplitMix64 step — used to expand the 64-bit seed into generator
+/// state with good avalanche behaviour even for small sequential seeds.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SeededRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SeededRng { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SeededRng {
+            s,
+            spare_normal: None,
+        }
+    }
+
+    /// One xoshiro256++ step.
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child generator; `stream` distinguishes
     /// children of the same parent deterministically.
     pub fn fork(&mut self, stream: u64) -> SeededRng {
-        let seed = self.inner.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let seed = self.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SeededRng::new(seed)
     }
 
     /// Draws a fresh 64-bit seed (for deriving per-worker generators).
     pub fn next_seed(&mut self) -> u64 {
-        self.inner.next_u64()
+        self.next_u64()
     }
 
-    /// Uniform sample in `[0, 1)`.
+    /// Uniform sample in `[0, 1)` with the full 53 bits of mantissa.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -64,14 +103,14 @@ impl SeededRng {
         lo + (hi - lo) * self.uniform()
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)` (widening-multiply range reduction).
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index: n must be positive");
-        self.inner.gen_range(0..n)
+        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
     }
 
     /// Bernoulli draw with success probability `p`.
@@ -175,21 +214,6 @@ impl SeededRng {
         }
         idx.truncate(k);
         idx
-    }
-}
-
-impl RngCore for SeededRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> std::result::Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 

@@ -42,7 +42,11 @@ pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
     }
     let mx = mean(xs);
     let my = mean(ys);
-    xs.iter().zip(ys).map(|(&x, &y)| (x - mx) * (y - my)).sum::<f64>() / (xs.len() - 1) as f64
+    xs.iter()
+        .zip(ys)
+        .map(|(&x, &y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / (xs.len() - 1) as f64
 }
 
 /// Pearson correlation; 0.0 when either input is (numerically) constant.
@@ -66,7 +70,9 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 /// Returns [`LinalgError::Empty`] when `data` has fewer than two rows.
 pub fn covariance_matrix(data: &Matrix) -> Result<Matrix> {
     if data.rows() < 2 {
-        return Err(LinalgError::Empty("covariance_matrix needs >= 2 rows".into()));
+        return Err(LinalgError::Empty(
+            "covariance_matrix needs >= 2 rows".into(),
+        ));
     }
     let n = data.rows();
     let d = data.cols();
@@ -198,8 +204,7 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -212,13 +217,16 @@ pub fn erf(x: f64) -> f64 {
 ///
 /// Panics if `p` is not strictly inside `(0, 1)`.
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "normal_quantile: p must be in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal_quantile: p must be in (0,1), got {p}"
+    );
     // Coefficients for the central and tail regions.
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.38357751867269e+02,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -396,9 +404,15 @@ mod tests {
         }
         let corr = correlation_matrix(&data).unwrap();
         let marginal = corr.get(0, 1);
-        assert!(marginal.abs() > 0.5, "marginal correlation should be strong: {marginal}");
+        assert!(
+            marginal.abs() > 0.5,
+            "marginal correlation should be strong: {marginal}"
+        );
         let partial = partial_correlation(&corr, 0, 1, &[2]).unwrap();
-        assert!(partial.abs() < 0.1, "partial correlation should vanish: {partial}");
+        assert!(
+            partial.abs() < 0.1,
+            "partial correlation should vanish: {partial}"
+        );
     }
 
     #[test]
@@ -432,8 +446,14 @@ mod tests {
         let a: Vec<f64> = (0..300).map(|_| rng.normal(0.0, 1.0)).collect();
         let b: Vec<f64> = (0..300).map(|_| rng.normal(2.0, 1.0)).collect();
         let same: Vec<f64> = (0..300).map(|_| rng.normal(0.0, 1.0)).collect();
-        assert!(ks_pvalue(&a, &b) < 0.01, "shifted distributions should be detected");
-        assert!(ks_pvalue(&a, &same) > 0.01, "same distributions should not be rejected");
+        assert!(
+            ks_pvalue(&a, &b) < 0.01,
+            "shifted distributions should be detected"
+        );
+        assert!(
+            ks_pvalue(&a, &same) > 0.01,
+            "same distributions should not be rejected"
+        );
     }
 
     #[test]

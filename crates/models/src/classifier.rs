@@ -98,7 +98,9 @@ pub(crate) fn validate_fit(
         )));
     }
     if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
-        return Err(ModelError::InvalidInput("weights must be finite and non-negative".into()));
+        return Err(ModelError::InvalidInput(
+            "weights must be finite and non-negative".into(),
+        ));
     }
     Ok(())
 }

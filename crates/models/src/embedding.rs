@@ -60,7 +60,12 @@ impl std::fmt::Debug for EmbeddingNet {
 impl EmbeddingNet {
     /// Creates an untrained embedding network.
     pub fn new(config: EmbeddingConfig, seed: u64) -> Self {
-        EmbeddingNet { config, seed, encoder: None, head: None }
+        EmbeddingNet {
+            config,
+            seed,
+            encoder: None,
+            head: None,
+        }
     }
 
     /// Trains encoder + classification head on labelled source data.
@@ -86,8 +91,7 @@ impl EmbeddingNet {
 
         let mut opt = Adam::new(self.config.learning_rate);
         for _ in 0..self.config.epochs {
-            for batch in BatchIter::new(x.rows(), self.config.batch_size.min(x.rows()), &mut rng)
-            {
+            for batch in BatchIter::new(x.rows(), self.config.batch_size.min(x.rows()), &mut rng) {
                 let bx = x.select_rows(&batch);
                 let by: Vec<usize> = batch.iter().map(|&i| y[i]).collect();
                 let emb = encoder.forward(&bx, true);
@@ -113,7 +117,10 @@ impl EmbeddingNet {
     ///
     /// Panics when called before [`EmbeddingNet::fit`].
     pub fn embed(&self, x: &Matrix) -> Matrix {
-        let encoder = self.encoder.as_ref().expect("EmbeddingNet: embed before fit");
+        let encoder = self
+            .encoder
+            .as_ref()
+            .expect("EmbeddingNet: embed before fit");
         encoder.infer(x)
     }
 
@@ -145,7 +152,11 @@ impl EmbeddingNet {
 ///
 /// Panics if labels and rows disagree or a label is out of range.
 pub fn class_prototypes(embeddings: &Matrix, labels: &[usize], num_classes: usize) -> Matrix {
-    assert_eq!(embeddings.rows(), labels.len(), "class_prototypes: length mismatch");
+    assert_eq!(
+        embeddings.rows(),
+        labels.len(),
+        "class_prototypes: length mismatch"
+    );
     let d = embeddings.cols();
     let mut protos = Matrix::zeros(num_classes, d);
     let mut counts = vec![0usize; num_classes];
@@ -194,7 +205,10 @@ mod tests {
     fn embeddings_cluster_by_class() {
         let (x, y) = blobs(30, 3, 1);
         let mut net = EmbeddingNet::new(
-            EmbeddingConfig { epochs: 40, ..EmbeddingConfig::default() },
+            EmbeddingConfig {
+                epochs: 40,
+                ..EmbeddingConfig::default()
+            },
             2,
         );
         net.fit(&x, &y, 3).unwrap();
@@ -202,7 +216,7 @@ mod tests {
         let protos = class_prototypes(&emb, &y, 3);
         // Samples are closer to their own prototype than to others.
         let mut correct = 0;
-        for r in 0..emb.rows() {
+        for (r, &label) in y.iter().enumerate() {
             let mut best = 0;
             let mut best_d = f64::INFINITY;
             for c in 0..3 {
@@ -212,7 +226,7 @@ mod tests {
                     best = c;
                 }
             }
-            if best == y[r] {
+            if best == label {
                 correct += 1;
             }
         }
@@ -223,7 +237,10 @@ mod tests {
     fn normalized_embeddings_have_unit_norm() {
         let (x, y) = blobs(10, 2, 2);
         let mut net = EmbeddingNet::new(
-            EmbeddingConfig { epochs: 5, ..EmbeddingConfig::default() },
+            EmbeddingConfig {
+                epochs: 5,
+                ..EmbeddingConfig::default()
+            },
             3,
         );
         net.fit(&x, &y, 2).unwrap();

@@ -1,9 +1,10 @@
 //! Random forest: bagged CART trees with feature subsampling, trained in
-//! parallel with `crossbeam` scoped threads.
+//! parallel on the shared `fsda_linalg::par` worker pool.
 
 use crate::classifier::{validate_fit, Classifier};
 use crate::tree::{DecisionTree, TreeConfig};
 use crate::Result;
+use fsda_linalg::par::par_map;
 use fsda_linalg::{Matrix, SeededRng};
 
 /// Hyper-parameters of [`RandomForest`].
@@ -56,7 +57,12 @@ impl std::fmt::Debug for RandomForest {
 impl RandomForest {
     /// Creates an untrained forest.
     pub fn new(config: ForestConfig, seed: u64) -> Self {
-        RandomForest { config, seed, trees: Vec::new(), num_classes: 0 }
+        RandomForest {
+            config,
+            seed,
+            trees: Vec::new(),
+            num_classes: 0,
+        }
     }
 
     /// Number of fitted trees.
@@ -76,7 +82,10 @@ impl Classifier for RandomForest {
         validate_fit(x, y, weights, num_classes)?;
         let n = x.rows();
         let d = x.cols();
-        let mtry = self.config.mtry.unwrap_or_else(|| (d as f64).sqrt().ceil() as usize);
+        let mtry = self
+            .config
+            .mtry
+            .unwrap_or_else(|| (d as f64).sqrt().ceil() as usize);
         let tree_cfg = TreeConfig {
             max_depth: self.config.max_depth,
             min_samples_leaf: self.config.min_samples_leaf,
@@ -87,44 +96,17 @@ impl Classifier for RandomForest {
         // the result.
         let seeds: Vec<u64> = {
             let mut rng = SeededRng::new(self.seed);
-            (0..self.config.num_trees).map(|_| rng.next_seed()).collect()
+            (0..self.config.num_trees)
+                .map(|_| rng.next_seed())
+                .collect()
         };
+        // Each tree is a pure function of its pre-derived seed, so the pool
+        // cannot change the fitted forest; errors propagate in tree order.
         let threads = self.config.threads.max(1);
-        let mut trees: Vec<Option<DecisionTree>> = (0..self.config.num_trees).map(|_| None).collect();
-        if threads == 1 {
-            for (t, slot) in trees.iter_mut().enumerate() {
-                *slot = Some(fit_one_tree(
-                    x, y, weights, num_classes, &tree_cfg, boot_n, seeds[t],
-                )?);
-            }
-        } else {
-            let chunk = self.config.num_trees.div_ceil(threads);
-            let results: std::result::Result<(), crate::ModelError> =
-                crossbeam::thread::scope(|scope| {
-                    let mut handles = Vec::new();
-                    for (c, slots) in trees.chunks_mut(chunk).enumerate() {
-                        let seeds = &seeds;
-                        let tree_cfg = &tree_cfg;
-                        let handle = scope.spawn(move |_| -> Result<()> {
-                            for (k, slot) in slots.iter_mut().enumerate() {
-                                let t = c * chunk + k;
-                                *slot = Some(fit_one_tree(
-                                    x, y, weights, num_classes, tree_cfg, boot_n, seeds[t],
-                                )?);
-                            }
-                            Ok(())
-                        });
-                        handles.push(handle);
-                    }
-                    for h in handles {
-                        h.join().expect("forest worker panicked")?;
-                    }
-                    Ok(())
-                })
-                .expect("crossbeam scope failed");
-            results?;
-        }
-        self.trees = trees.into_iter().map(|t| t.expect("all trees fitted")).collect();
+        let fitted = par_map(threads, &seeds, |_, &seed| {
+            fit_one_tree(x, y, weights, num_classes, &tree_cfg, boot_n, seed)
+        });
+        self.trees = fitted.into_iter().collect::<Result<Vec<_>>>()?;
         self.num_classes = num_classes;
         Ok(())
     }
@@ -214,7 +196,11 @@ mod tests {
     fn learns_blobs() {
         let (x, y) = blobs(40, 3, 1);
         let mut f = RandomForest::new(
-            ForestConfig { num_trees: 30, threads: 2, ..ForestConfig::default() },
+            ForestConfig {
+                num_trees: 30,
+                threads: 2,
+                ..ForestConfig::default()
+            },
             5,
         );
         f.fit(&x, &y, 3).unwrap();
@@ -227,16 +213,28 @@ mod tests {
     fn parallel_matches_sequential() {
         let (x, y) = blobs(25, 2, 2);
         let mut seq = RandomForest::new(
-            ForestConfig { num_trees: 12, threads: 1, ..ForestConfig::default() },
+            ForestConfig {
+                num_trees: 12,
+                threads: 1,
+                ..ForestConfig::default()
+            },
             9,
         );
         let mut par = RandomForest::new(
-            ForestConfig { num_trees: 12, threads: 4, ..ForestConfig::default() },
+            ForestConfig {
+                num_trees: 12,
+                threads: 4,
+                ..ForestConfig::default()
+            },
             9,
         );
         seq.fit(&x, &y, 2).unwrap();
         par.fit(&x, &y, 2).unwrap();
-        assert_eq!(seq.predict_proba(&x), par.predict_proba(&x), "threading must not change output");
+        assert_eq!(
+            seq.predict_proba(&x),
+            par.predict_proba(&x),
+            "threading must not change output"
+        );
     }
 
     #[test]
@@ -258,19 +256,31 @@ mod tests {
         let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
         let x = Matrix::from_rows(&refs);
         let mut f = RandomForest::new(
-            ForestConfig { num_trees: 25, threads: 1, ..ForestConfig::default() },
+            ForestConfig {
+                num_trees: 25,
+                threads: 1,
+                ..ForestConfig::default()
+            },
             3,
         );
         f.fit_weighted(&x, &y, &w, 2).unwrap();
         let p = f.predict_proba(&Matrix::from_rows(&[&[0.15, 0.0]]));
-        assert!(p.get(0, 1) > 0.5, "heavy minority should win locally: {}", p.get(0, 1));
+        assert!(
+            p.get(0, 1) > 0.5,
+            "heavy minority should win locally: {}",
+            p.get(0, 1)
+        );
     }
 
     #[test]
     fn probabilities_rows_sum_to_one() {
         let (x, y) = blobs(15, 2, 3);
         let mut f = RandomForest::new(
-            ForestConfig { num_trees: 10, threads: 2, ..ForestConfig::default() },
+            ForestConfig {
+                num_trees: 10,
+                threads: 2,
+                ..ForestConfig::default()
+            },
             4,
         );
         f.fit(&x, &y, 2).unwrap();

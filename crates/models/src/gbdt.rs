@@ -62,7 +62,13 @@ impl std::fmt::Debug for GradientBoosting {
 impl GradientBoosting {
     /// Creates an untrained booster.
     pub fn new(config: GbdtConfig, seed: u64) -> Self {
-        GradientBoosting { config, seed, trees: Vec::new(), base_score: Vec::new(), num_classes: 0 }
+        GradientBoosting {
+            config,
+            seed,
+            trees: Vec::new(),
+            base_score: Vec::new(),
+            num_classes: 0,
+        }
     }
 
     /// Number of boosting rounds fitted.
@@ -152,7 +158,10 @@ impl Classifier for GradientBoosting {
     }
 
     fn predict_proba(&self, x: &Matrix) -> Matrix {
-        assert!(!self.trees.is_empty(), "GradientBoosting: predict before fit");
+        assert!(
+            !self.trees.is_empty(),
+            "GradientBoosting: predict before fit"
+        );
         softmax(&self.raw_scores(x))
     }
 
@@ -187,7 +196,13 @@ mod tests {
     #[test]
     fn learns_blobs() {
         let (x, y) = blobs(40, 3, 1);
-        let mut m = GradientBoosting::new(GbdtConfig { rounds: 15, ..GbdtConfig::default() }, 2);
+        let mut m = GradientBoosting::new(
+            GbdtConfig {
+                rounds: 15,
+                ..GbdtConfig::default()
+            },
+            2,
+        );
         m.fit(&x, &y, 3).unwrap();
         assert_eq!(m.rounds_fitted(), 15);
         let pred = m.predict(&x);
@@ -203,13 +218,20 @@ mod tests {
         for _ in 0..200 {
             let a = rng.bernoulli(0.5);
             let b = rng.bernoulli(0.5);
-            rows.push([f64::from(a) + rng.normal(0.0, 0.1), f64::from(b) + rng.normal(0.0, 0.1)]);
+            rows.push([
+                f64::from(a) + rng.normal(0.0, 0.1),
+                f64::from(b) + rng.normal(0.0, 0.1),
+            ]);
             y.push(usize::from(a != b));
         }
         let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
         let x = Matrix::from_rows(&refs);
         let mut m = GradientBoosting::new(
-            GbdtConfig { rounds: 20, max_depth: 3, ..GbdtConfig::default() },
+            GbdtConfig {
+                rounds: 20,
+                max_depth: 3,
+                ..GbdtConfig::default()
+            },
             4,
         );
         m.fit(&x, &y, 2).unwrap();
@@ -221,11 +243,23 @@ mod tests {
     fn base_score_reflects_priors() {
         // With zero rounds, prediction = class prior.
         let (x, y) = blobs(10, 2, 5);
-        let mut m = GradientBoosting::new(GbdtConfig { rounds: 0, ..GbdtConfig::default() }, 6);
+        let mut m = GradientBoosting::new(
+            GbdtConfig {
+                rounds: 0,
+                ..GbdtConfig::default()
+            },
+            6,
+        );
         m.fit(&x, &y, 2).unwrap();
         // rounds = 0 means trees is empty -> predict panics per contract;
         // check raw base score instead via one fitted round.
-        let mut m1 = GradientBoosting::new(GbdtConfig { rounds: 1, ..GbdtConfig::default() }, 6);
+        let mut m1 = GradientBoosting::new(
+            GbdtConfig {
+                rounds: 1,
+                ..GbdtConfig::default()
+            },
+            6,
+        );
         m1.fit(&x, &y, 2).unwrap();
         let p = m1.predict_proba(&x);
         assert!(p.is_finite());
@@ -236,16 +270,32 @@ mod tests {
         let x = Matrix::from_rows(&[&[0.0], &[0.0], &[0.0], &[1.0]]);
         let y = vec![0, 1, 1, 0];
         let heavy0 = vec![20.0, 1.0, 1.0, 1.0];
-        let mut m = GradientBoosting::new(GbdtConfig { rounds: 10, ..GbdtConfig::default() }, 7);
+        let mut m = GradientBoosting::new(
+            GbdtConfig {
+                rounds: 10,
+                ..GbdtConfig::default()
+            },
+            7,
+        );
         m.fit_weighted(&x, &y, &heavy0, 2).unwrap();
         let p = m.predict_proba(&Matrix::from_rows(&[&[0.0]]));
-        assert!(p.get(0, 0) > 0.5, "upweighted class 0 should win: {}", p.get(0, 0));
+        assert!(
+            p.get(0, 0) > 0.5,
+            "upweighted class 0 should win: {}",
+            p.get(0, 0)
+        );
     }
 
     #[test]
     fn probabilities_rows_sum_to_one() {
         let (x, y) = blobs(15, 2, 8);
-        let mut m = GradientBoosting::new(GbdtConfig { rounds: 5, ..GbdtConfig::default() }, 9);
+        let mut m = GradientBoosting::new(
+            GbdtConfig {
+                rounds: 5,
+                ..GbdtConfig::default()
+            },
+            9,
+        );
         m.fit(&x, &y, 2).unwrap();
         let p = m.predict_proba(&x);
         for r in 0..p.rows() {
@@ -257,7 +307,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = blobs(10, 2, 10);
-        let cfg = GbdtConfig { rounds: 4, ..GbdtConfig::default() };
+        let cfg = GbdtConfig {
+            rounds: 4,
+            ..GbdtConfig::default()
+        };
         let mut a = GradientBoosting::new(cfg.clone(), 11);
         let mut b = GradientBoosting::new(cfg, 11);
         a.fit(&x, &y, 2).unwrap();

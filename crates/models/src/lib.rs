@@ -23,6 +23,8 @@
 //! # Ok::<(), fsda_models::ModelError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod classifier;
 pub mod embedding;
 pub mod forest;
@@ -67,6 +69,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(!ModelError::NotFitted.to_string().is_empty());
-        assert!(ModelError::InvalidInput("x".into()).to_string().contains('x'));
+        assert!(ModelError::InvalidInput("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

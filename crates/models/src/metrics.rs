@@ -10,7 +10,11 @@ use fsda_linalg::Matrix;
 /// Panics if the label slices have different lengths or contain labels
 /// `>= num_classes`.
 pub fn confusion_matrix(y_true: &[usize], y_pred: &[usize], num_classes: usize) -> Matrix {
-    assert_eq!(y_true.len(), y_pred.len(), "confusion_matrix: length mismatch");
+    assert_eq!(
+        y_true.len(),
+        y_pred.len(),
+        "confusion_matrix: length mismatch"
+    );
     let mut m = Matrix::zeros(num_classes, num_classes);
     for (&t, &p) in y_true.iter().zip(y_pred) {
         assert!(t < num_classes && p < num_classes, "label out of range");
@@ -51,9 +55,18 @@ pub fn class_scores(y_true: &[usize], y_pred: &[usize], num_classes: usize) -> C
         precision[c] = if pred_c > 0.0 { tp / pred_c } else { 0.0 };
         recall[c] = if true_c > 0.0 { tp / true_c } else { 0.0 };
         let denom = precision[c] + recall[c];
-        f1[c] = if denom > 0.0 { 2.0 * precision[c] * recall[c] / denom } else { 0.0 };
+        f1[c] = if denom > 0.0 {
+            2.0 * precision[c] * recall[c] / denom
+        } else {
+            0.0
+        };
     }
-    ClassScores { precision, recall, f1, support }
+    ClassScores {
+        precision,
+        recall,
+        f1,
+        support,
+    }
 }
 
 /// Macro-averaged F1 over the classes that actually occur in `y_true`.

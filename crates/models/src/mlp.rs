@@ -57,7 +57,12 @@ impl std::fmt::Debug for MlpClassifier {
 impl MlpClassifier {
     /// Creates an untrained classifier.
     pub fn new(config: MlpConfig, seed: u64) -> Self {
-        MlpClassifier { config, seed, net: None, num_classes: 0 }
+        MlpClassifier {
+            config,
+            seed,
+            net: None,
+            num_classes: 0,
+        }
     }
 
     fn build_net(&self, in_dim: usize, out_dim: usize, rng: &mut SeededRng) -> Sequential {
@@ -95,8 +100,7 @@ impl MlpClassifier {
         let mut rng = SeededRng::new(self.seed ^ 0xF1E7);
         let mut opt = Adam::with_decay(learning_rate, 0.0);
         for _ in 0..epochs {
-            for batch in BatchIter::new(x.rows(), self.config.batch_size.min(x.rows()), &mut rng)
-            {
+            for batch in BatchIter::new(x.rows(), self.config.batch_size.min(x.rows()), &mut rng) {
                 let bx = x.select_rows(&batch);
                 let by: Vec<usize> = batch.iter().map(|&i| y[i]).collect();
                 let bw = vec![1.0; by.len()];
@@ -124,8 +128,7 @@ impl Classifier for MlpClassifier {
         let mut net = self.build_net(x.cols(), num_classes, &mut rng);
         let mut opt = Adam::with_decay(self.config.learning_rate, self.config.weight_decay);
         for _ in 0..self.config.epochs {
-            for batch in BatchIter::new(x.rows(), self.config.batch_size.min(x.rows()), &mut rng)
-            {
+            for batch in BatchIter::new(x.rows(), self.config.batch_size.min(x.rows()), &mut rng) {
                 let bx = x.select_rows(&batch);
                 let by: Vec<usize> = batch.iter().map(|&i| y[i]).collect();
                 let bw: Vec<f64> = batch.iter().map(|&i| weights[i]).collect();
@@ -142,7 +145,10 @@ impl Classifier for MlpClassifier {
     }
 
     fn predict_proba(&self, x: &Matrix) -> Matrix {
-        let net = self.net.as_ref().expect("MlpClassifier: predict before fit");
+        let net = self
+            .net
+            .as_ref()
+            .expect("MlpClassifier: predict before fit");
         softmax(&net.infer(x))
     }
 
@@ -177,7 +183,13 @@ mod tests {
     #[test]
     fn learns_separable_blobs() {
         let (x, y) = blobs(40, 3, 2.5, 1);
-        let mut m = MlpClassifier::new(MlpConfig { epochs: 40, ..MlpConfig::default() }, 7);
+        let mut m = MlpClassifier::new(
+            MlpConfig {
+                epochs: 40,
+                ..MlpConfig::default()
+            },
+            7,
+        );
         m.fit(&x, &y, 3).unwrap();
         let pred = m.predict(&x);
         assert!(macro_f1(&y, &pred, 3) > 0.95);
@@ -186,7 +198,13 @@ mod tests {
     #[test]
     fn probabilities_sum_to_one() {
         let (x, y) = blobs(20, 2, 2.0, 2);
-        let mut m = MlpClassifier::new(MlpConfig { epochs: 10, ..MlpConfig::default() }, 3);
+        let mut m = MlpClassifier::new(
+            MlpConfig {
+                epochs: 10,
+                ..MlpConfig::default()
+            },
+            3,
+        );
         m.fit(&x, &y, 2).unwrap();
         let p = m.predict_proba(&x);
         for r in 0..p.rows() {
@@ -201,7 +219,13 @@ mod tests {
         let x = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.1], &[1.1, 0.0], &[0.9, 0.05]]);
         let y = vec![0, 0, 1, 1];
         let w = vec![0.01, 0.01, 10.0, 10.0];
-        let mut m = MlpClassifier::new(MlpConfig { epochs: 120, ..MlpConfig::default() }, 5);
+        let mut m = MlpClassifier::new(
+            MlpConfig {
+                epochs: 120,
+                ..MlpConfig::default()
+            },
+            5,
+        );
         m.fit_weighted(&x, &y, &w, 2).unwrap();
         let pred = m.predict(&Matrix::from_rows(&[&[1.0, 0.05]]));
         assert_eq!(pred[0], 1, "heavily weighted class should dominate");
@@ -210,7 +234,13 @@ mod tests {
     #[test]
     fn fine_tune_moves_decision() {
         let (x, y) = blobs(30, 2, 2.0, 3);
-        let mut m = MlpClassifier::new(MlpConfig { epochs: 30, ..MlpConfig::default() }, 11);
+        let mut m = MlpClassifier::new(
+            MlpConfig {
+                epochs: 30,
+                ..MlpConfig::default()
+            },
+            11,
+        );
         m.fit(&x, &y, 2).unwrap();
         // Fine-tune with flipped labels; predictions should flip too.
         let flipped: Vec<usize> = y.iter().map(|&c| 1 - c).collect();

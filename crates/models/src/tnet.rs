@@ -74,8 +74,9 @@ impl TnetNet {
         // res = h1 + h2: gradient flows to both the block-2 output and,
         // via the skip connection, directly to h1.
         let grad_h1_through_block2 = self.block2.backward(&grad_res);
-        let grad_h1 =
-            grad_res.try_add(&grad_h1_through_block2).expect("residual shapes match");
+        let grad_h1 = grad_res
+            .try_add(&grad_h1_through_block2)
+            .expect("residual shapes match");
         self.block1.backward(&grad_h1);
     }
 
@@ -113,7 +114,12 @@ impl std::fmt::Debug for TnetClassifier {
 impl TnetClassifier {
     /// Creates an untrained classifier.
     pub fn new(config: TnetConfig, seed: u64) -> Self {
-        TnetClassifier { config, seed, net: None, num_classes: 0 }
+        TnetClassifier {
+            config,
+            seed,
+            net: None,
+            num_classes: 0,
+        }
     }
 
     fn build(&self, in_dim: usize, out_dim: usize, rng: &mut SeededRng) -> TnetNet {
@@ -147,8 +153,7 @@ impl Classifier for TnetClassifier {
         let mut net = self.build(x.cols(), num_classes, &mut rng);
         let mut opt = Adam::with_decay(self.config.learning_rate, self.config.weight_decay);
         for _ in 0..self.config.epochs {
-            for batch in BatchIter::new(x.rows(), self.config.batch_size.min(x.rows()), &mut rng)
-            {
+            for batch in BatchIter::new(x.rows(), self.config.batch_size.min(x.rows()), &mut rng) {
                 // Batch norm needs more than one sample per batch.
                 if batch.len() < 2 && x.rows() > 1 {
                     continue;
@@ -169,7 +174,10 @@ impl Classifier for TnetClassifier {
     }
 
     fn predict_proba(&self, x: &Matrix) -> Matrix {
-        let net = self.net.as_ref().expect("TnetClassifier: predict before fit");
+        let net = self
+            .net
+            .as_ref()
+            .expect("TnetClassifier: predict before fit");
         softmax(&net.infer(x))
     }
 
@@ -204,16 +212,32 @@ mod tests {
     #[test]
     fn learns_blobs() {
         let (x, y) = blobs(40, 4, 2.5, 1);
-        let mut m = TnetClassifier::new(TnetConfig { epochs: 40, ..TnetConfig::default() }, 3);
+        let mut m = TnetClassifier::new(
+            TnetConfig {
+                epochs: 40,
+                ..TnetConfig::default()
+            },
+            3,
+        );
         m.fit(&x, &y, 4).unwrap();
         let pred = m.predict(&x);
-        assert!(macro_f1(&y, &pred, 4) > 0.95, "f1 {}", macro_f1(&y, &pred, 4));
+        assert!(
+            macro_f1(&y, &pred, 4) > 0.95,
+            "f1 {}",
+            macro_f1(&y, &pred, 4)
+        );
     }
 
     #[test]
     fn probabilities_are_normalized() {
         let (x, y) = blobs(15, 2, 2.0, 2);
-        let mut m = TnetClassifier::new(TnetConfig { epochs: 8, ..TnetConfig::default() }, 4);
+        let mut m = TnetClassifier::new(
+            TnetConfig {
+                epochs: 8,
+                ..TnetConfig::default()
+            },
+            4,
+        );
         m.fit(&x, &y, 2).unwrap();
         let p = m.predict_proba(&x);
         for r in 0..p.rows() {
@@ -225,7 +249,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = blobs(15, 2, 2.0, 5);
-        let cfg = TnetConfig { epochs: 5, ..TnetConfig::default() };
+        let cfg = TnetConfig {
+            epochs: 5,
+            ..TnetConfig::default()
+        };
         let mut a = TnetClassifier::new(cfg.clone(), 9);
         let mut b = TnetClassifier::new(cfg, 9);
         a.fit(&x, &y, 2).unwrap();

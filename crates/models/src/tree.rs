@@ -19,14 +19,25 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        TreeConfig { max_depth: 16, min_samples_leaf: 2, mtry: None }
+        TreeConfig {
+            max_depth: 16,
+            min_samples_leaf: 2,
+            mtry: None,
+        }
     }
 }
 
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf { probs: Vec<f64> },
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Leaf {
+        probs: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
 }
 
 /// A fitted CART classification tree.
@@ -51,7 +62,10 @@ impl DecisionTree {
         rng: &mut SeededRng,
     ) -> Result<Self> {
         validate_fit(x, y, weights, num_classes)?;
-        let mut tree = DecisionTree { nodes: Vec::new(), num_classes };
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            num_classes,
+        };
         let indices: Vec<usize> = (0..x.rows()).collect();
         tree.grow(x, y, weights, &indices, 0, config, rng);
         Ok(tree)
@@ -83,8 +97,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf { probs } => return probs,
-                Node::Split { feature, threshold, left, right } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -94,11 +117,13 @@ impl DecisionTree {
     pub fn predict_proba(&self, x: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(x.rows(), self.num_classes);
         for r in 0..x.rows() {
-            out.row_mut(r).copy_from_slice(self.predict_proba_row(x.row(r)));
+            out.row_mut(r)
+                .copy_from_slice(self.predict_proba_row(x.row(r)));
         }
         out
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn grow(
         &mut self,
         x: &Matrix,
@@ -139,8 +164,7 @@ impl DecisionTree {
         for &f in &features {
             sortable.clear();
             sortable.extend(indices.iter().map(|&i| (x.get(i, f), i)));
-            sortable
-                .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            sortable.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
             let mut left_w = vec![0.0; self.num_classes];
             let mut left_total = 0.0;
             let mut left_count = 0usize;
@@ -169,7 +193,7 @@ impl DecisionTree {
                 let gain = node_gini
                     - (left_total / total_w) * gini(&left_w, left_total)
                     - (right_total / total_w) * gini(&right_w, right_total);
-                if gain > 1e-12 && best.map_or(true, |(g, _, _)| gain > g) {
+                if gain > 1e-12 && best.is_none_or(|(g, _, _)| gain > g) {
                     best = Some((gain, f, 0.5 * (v + next_v)));
                 }
             }
@@ -178,14 +202,20 @@ impl DecisionTree {
         let Some((_, feature, threshold)) = best else {
             return make_leaf(&mut self.nodes);
         };
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-            indices.iter().partition(|&&i| x.get(i, feature) <= threshold);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| x.get(i, feature) <= threshold);
         // Reserve a slot for this split node before growing children.
         let slot = self.nodes.len();
         self.nodes.push(Node::Leaf { probs: Vec::new() }); // placeholder
         let left = self.grow(x, y, weights, &left_idx, depth + 1, config, rng);
         let right = self.grow(x, y, weights, &right_idx, depth + 1, config, rng);
-        self.nodes[slot] = Node::Split { feature, threshold, left, right };
+        self.nodes[slot] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         slot
     }
 }
@@ -209,7 +239,10 @@ fn gini(class_w: &[f64], total: f64) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    1.0 - class_w.iter().map(|&w| (w / total) * (w / total)).sum::<f64>()
+    1.0 - class_w
+        .iter()
+        .map(|&w| (w / total) * (w / total))
+        .sum::<f64>()
 }
 
 /// A regression tree fit to gradient/hessian pairs with the XGBoost
@@ -221,8 +254,15 @@ pub struct RegressionTree {
 
 #[derive(Debug, Clone)]
 enum RegNode {
-    Leaf { value: f64 },
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
 }
 
 /// Hyper-parameters for the boosting regression trees.
@@ -280,8 +320,17 @@ impl RegressionTree {
         loop {
             match &self.nodes[i] {
                 RegNode::Leaf { value } => return *value,
-                RegNode::Split { feature, threshold, left, right } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                RegNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -292,6 +341,7 @@ impl RegressionTree {
         self.nodes.len()
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn grow(
         &mut self,
         x: &Matrix,
@@ -323,8 +373,7 @@ impl RegressionTree {
         for &f in &features {
             sortable.clear();
             sortable.extend(indices.iter().map(|&i| (x.get(i, f), i)));
-            sortable
-                .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            sortable.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
             let mut gl = 0.0;
             let mut hl = 0.0;
             for k in 0..sortable.len() - 1 {
@@ -344,7 +393,7 @@ impl RegressionTree {
                     * (gl * gl / (hl + config.lambda) + gr * gr / (hr + config.lambda)
                         - parent_score)
                     - config.gamma;
-                if gain > 1e-12 && best.map_or(true, |(bg, _, _)| gain > bg) {
+                if gain > 1e-12 && best.is_none_or(|(bg, _, _)| gain > bg) {
                     best = Some((gain, f, 0.5 * (v + next_v)));
                 }
             }
@@ -352,13 +401,19 @@ impl RegressionTree {
         let Some((_, feature, threshold)) = best else {
             return make_leaf(&mut self.nodes);
         };
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-            indices.iter().partition(|&&i| x.get(i, feature) <= threshold);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| x.get(i, feature) <= threshold);
         let slot = self.nodes.len();
         self.nodes.push(RegNode::Leaf { value: 0.0 });
         let left = self.grow(x, g, h, &left_idx, depth + 1, config, rng);
         let right = self.grow(x, g, h, &right_idx, depth + 1, config, rng);
-        self.nodes[slot] = RegNode::Split { feature, threshold, left, right };
+        self.nodes[slot] = RegNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         slot
     }
 }
@@ -385,12 +440,15 @@ mod tests {
         let (x, y) = xor_data();
         let w = vec![1.0; y.len()];
         let mut rng = SeededRng::new(1);
-        let cfg = TreeConfig { min_samples_leaf: 1, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            min_samples_leaf: 1,
+            ..TreeConfig::default()
+        };
         let tree = DecisionTree::fit(&x, &y, &w, 2, &cfg, &mut rng).unwrap();
-        for r in 0..x.rows() {
+        for (r, &label) in y.iter().enumerate() {
             let probs = tree.predict_proba_row(x.row(r));
             let pred = usize::from(probs[1] > probs[0]);
-            assert_eq!(pred, y[r], "row {r}");
+            assert_eq!(pred, label, "row {r}");
         }
         assert!(tree.depth() >= 2, "XOR needs at least two levels");
     }
@@ -401,8 +459,7 @@ mod tests {
         let y = vec![1, 1, 1];
         let w = vec![1.0; 3];
         let mut rng = SeededRng::new(2);
-        let tree =
-            DecisionTree::fit(&x, &y, &w, 2, &TreeConfig::default(), &mut rng).unwrap();
+        let tree = DecisionTree::fit(&x, &y, &w, 2, &TreeConfig::default(), &mut rng).unwrap();
         assert_eq!(tree.num_nodes(), 1);
         assert_eq!(tree.depth(), 0);
         assert_eq!(tree.predict_proba_row(&[5.0]), &[0.0, 1.0]);
@@ -413,7 +470,10 @@ mod tests {
         let (x, y) = xor_data();
         let w = vec![1.0; y.len()];
         let mut rng = SeededRng::new(3);
-        let cfg = TreeConfig { max_depth: 1, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            max_depth: 1,
+            ..TreeConfig::default()
+        };
         let tree = DecisionTree::fit(&x, &y, &w, 2, &cfg, &mut rng).unwrap();
         assert!(tree.depth() <= 1);
     }
@@ -425,10 +485,12 @@ mod tests {
         let y = vec![0, 1, 1];
         let w = vec![10.0, 1.0, 1.0];
         let mut rng = SeededRng::new(4);
-        let tree =
-            DecisionTree::fit(&x, &y, &w, 2, &TreeConfig::default(), &mut rng).unwrap();
+        let tree = DecisionTree::fit(&x, &y, &w, 2, &TreeConfig::default(), &mut rng).unwrap();
         let probs = tree.predict_proba_row(&[0.0]);
-        assert!(probs[0] > 0.8, "weighted majority should dominate: {probs:?}");
+        assert!(
+            probs[0] > 0.8,
+            "weighted majority should dominate: {probs:?}"
+        );
     }
 
     #[test]
@@ -436,8 +498,7 @@ mod tests {
         let (x, y) = xor_data();
         let w = vec![1.0; y.len()];
         let mut rng = SeededRng::new(5);
-        let tree =
-            DecisionTree::fit(&x, &y, &w, 2, &TreeConfig::default(), &mut rng).unwrap();
+        let tree = DecisionTree::fit(&x, &y, &w, 2, &TreeConfig::default(), &mut rng).unwrap();
         let p = tree.predict_proba(&x);
         for r in 0..p.rows() {
             let s: f64 = p.row(r).iter().sum();
@@ -451,11 +512,22 @@ mod tests {
         // Step target: y = 2 for x < 0, y = -1 for x >= 0. Feed g = -y, h = 1.
         let n = 50;
         let x = Matrix::from_fn(n, 1, |i, _| i as f64 / n as f64 - 0.5);
-        let g: Vec<f64> = (0..n).map(|i| if (i as f64 / n as f64) < 0.5 { -2.0 } else { 1.0 }).collect();
+        let g: Vec<f64> = (0..n)
+            .map(|i| {
+                if (i as f64 / n as f64) < 0.5 {
+                    -2.0
+                } else {
+                    1.0
+                }
+            })
+            .collect();
         let h = vec![1.0; n];
         let idx: Vec<usize> = (0..n).collect();
         let mut rng = SeededRng::new(6);
-        let cfg = RegTreeConfig { lambda: 0.0, ..RegTreeConfig::default() };
+        let cfg = RegTreeConfig {
+            lambda: 0.0,
+            ..RegTreeConfig::default()
+        };
         let tree = RegressionTree::fit(&x, &g, &h, &idx, &cfg, &mut rng);
         assert!((tree.predict_row(&[-0.4]) - 2.0).abs() < 1e-9);
         assert!((tree.predict_row(&[0.4]) + 1.0).abs() < 1e-9);
@@ -473,7 +545,10 @@ mod tests {
             &g,
             &h,
             &idx,
-            &RegTreeConfig { lambda: 0.0, ..RegTreeConfig::default() },
+            &RegTreeConfig {
+                lambda: 0.0,
+                ..RegTreeConfig::default()
+            },
             &mut rng,
         );
         let reg = RegressionTree::fit(
@@ -481,7 +556,10 @@ mod tests {
             &g,
             &h,
             &idx,
-            &RegTreeConfig { lambda: 10.0, ..RegTreeConfig::default() },
+            &RegTreeConfig {
+                lambda: 10.0,
+                ..RegTreeConfig::default()
+            },
             &mut rng,
         );
         assert!(reg.predict_row(&[0.0]).abs() < no_reg.predict_row(&[0.0]).abs());
@@ -494,7 +572,10 @@ mod tests {
         let (x, y) = xor_data();
         let w = vec![1.0; y.len()];
         let mut rng = SeededRng::new(8);
-        let cfg = TreeConfig { mtry: Some(1), ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            mtry: Some(1),
+            ..TreeConfig::default()
+        };
         let tree = DecisionTree::fit(&x, &y, &w, 2, &cfg, &mut rng).unwrap();
         assert!(tree.num_nodes() >= 1);
     }

@@ -63,7 +63,7 @@ proptest! {
         let w = vec![1.0; n];
         let cfg = TreeConfig { max_depth: 32, min_samples_leaf: 1, mtry: None };
         let tree = DecisionTree::fit(&x, &y, &w, 3, &cfg, &mut rng).unwrap();
-        for r in 0..n {
+        for (r, &label) in y.iter().enumerate() {
             let probs = tree.predict_proba_row(x.row(r));
             let pred = probs
                 .iter()
@@ -71,7 +71,7 @@ proptest! {
                 .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                 .unwrap()
                 .0;
-            prop_assert_eq!(pred, y[r]);
+            prop_assert_eq!(pred, label);
         }
     }
 

@@ -121,9 +121,13 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let input = self.input.as_ref().expect("Dense::backward called before forward");
+        let input = self
+            .input
+            .as_ref()
+            .expect("Dense::backward called before forward");
         // dW += g^T x ; db += sum_rows g ; dx = g W
-        self.grad_weight.axpy(1.0, &grad_output.transpose().matmul(input));
+        self.grad_weight
+            .axpy(1.0, &grad_output.transpose().matmul(input));
         for r in 0..grad_output.rows() {
             let g = grad_output.row(r);
             let gb = self.grad_bias.row_mut(0);
@@ -136,8 +140,14 @@ impl Layer for Dense {
 
     fn params_mut(&mut self) -> Vec<Param<'_>> {
         vec![
-            Param { value: &mut self.weight, grad: &mut self.grad_weight },
-            Param { value: &mut self.bias, grad: &mut self.grad_bias },
+            Param {
+                value: &mut self.weight,
+                grad: &mut self.grad_weight,
+            },
+            Param {
+                value: &mut self.bias,
+                grad: &mut self.grad_bias,
+            },
         ]
     }
 
@@ -252,7 +262,10 @@ impl Layer for Activation {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let input = self.input.as_ref().expect("Activation::backward called before forward");
+        let input = self
+            .input
+            .as_ref()
+            .expect("Activation::backward called before forward");
         let mut out = grad_output.clone();
         for (g, &x) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
             *g *= self.derivative(x);
@@ -324,7 +337,10 @@ pub struct OutputSpec {
 impl OutputSpec {
     /// A purely continuous output of `n` columns.
     pub fn continuous(n: usize) -> Self {
-        OutputSpec { continuous: n, discrete_blocks: Vec::new() }
+        OutputSpec {
+            continuous: n,
+            discrete_blocks: Vec::new(),
+        }
     }
 
     /// Total number of output columns.
@@ -356,7 +372,12 @@ impl MixedActivation {
     /// Panics if `tau <= 0`.
     pub fn new(spec: OutputSpec, tau: f64, rng: SeededRng) -> Self {
         assert!(tau > 0.0, "MixedActivation: temperature must be positive");
-        MixedActivation { spec, temperature: tau, rng, cache: None }
+        MixedActivation {
+            spec,
+            temperature: tau,
+            rng,
+            cache: None,
+        }
     }
 
     /// The output spec.
@@ -367,7 +388,11 @@ impl MixedActivation {
 
 impl Layer for MixedActivation {
     fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
-        debug_assert_eq!(input.cols(), self.spec.width(), "MixedActivation: width mismatch");
+        debug_assert_eq!(
+            input.cols(),
+            self.spec.width(),
+            "MixedActivation: width mismatch"
+        );
         let rows = input.rows();
         let mut noisy = input.clone();
         let mut out = Matrix::zeros(rows, input.cols());
@@ -409,7 +434,11 @@ impl Layer for MixedActivation {
     }
 
     fn infer(&self, input: &Matrix) -> Matrix {
-        debug_assert_eq!(input.cols(), self.spec.width(), "MixedActivation: width mismatch");
+        debug_assert_eq!(
+            input.cols(),
+            self.spec.width(),
+            "MixedActivation: width mismatch"
+        );
         let rows = input.rows();
         let mut out = Matrix::zeros(rows, input.cols());
         for r in 0..rows {
@@ -420,8 +449,9 @@ impl Layer for MixedActivation {
         let mut offset = self.spec.continuous;
         for &block in &self.spec.discrete_blocks {
             for r in 0..rows {
-                let mut logits: Vec<f64> =
-                    (0..block).map(|k| input.get(r, offset + k) / self.temperature).collect();
+                let mut logits: Vec<f64> = (0..block)
+                    .map(|k| input.get(r, offset + k) / self.temperature)
+                    .collect();
                 let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 let mut sum = 0.0;
                 for l in &mut logits {
@@ -438,8 +468,10 @@ impl Layer for MixedActivation {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let (input, soft) =
-            self.cache.as_ref().expect("MixedActivation::backward called before forward");
+        let (input, soft) = self
+            .cache
+            .as_ref()
+            .expect("MixedActivation::backward called before forward");
         let mut grad = grad_output.clone();
         let rows = grad.rows();
         for r in 0..rows {
@@ -601,13 +633,19 @@ mod tests {
     #[test]
     fn mixed_activation_discrete_block_sums_to_one() {
         let rng = SeededRng::new(5);
-        let spec = OutputSpec { continuous: 1, discrete_blocks: vec![3] };
+        let spec = OutputSpec {
+            continuous: 1,
+            discrete_blocks: vec![3],
+        };
         let mut m = MixedActivation::new(spec, 0.7, rng);
         let x = Matrix::from_rows(&[&[0.3, 1.0, -2.0, 0.5]]);
         for train in [true, false] {
             let y = m.forward(&x, train);
             let s: f64 = (1..4).map(|c| y.get(0, c)).sum();
-            assert!((s - 1.0).abs() < 1e-9, "softmax block must sum to 1 (train={train})");
+            assert!(
+                (s - 1.0).abs() < 1e-9,
+                "softmax block must sum to 1 (train={train})"
+            );
             assert!((0..4).all(|c| y.get(0, c).is_finite()));
         }
     }
@@ -617,7 +655,10 @@ mod tests {
         // In eval mode there is no Gumbel noise, so the finite-difference
         // check is exact.
         let rng = SeededRng::new(6);
-        let spec = OutputSpec { continuous: 2, discrete_blocks: vec![2] };
+        let spec = OutputSpec {
+            continuous: 2,
+            discrete_blocks: vec![2],
+        };
         let mut m = MixedActivation::new(spec, 1.0, rng);
         let x = Matrix::from_rows(&[&[0.2, -0.4, 0.9, -0.1]]);
         finite_diff_check(&mut m, &x, 1e-5);
@@ -625,7 +666,10 @@ mod tests {
 
     #[test]
     fn output_spec_width() {
-        let spec = OutputSpec { continuous: 3, discrete_blocks: vec![2, 4] };
+        let spec = OutputSpec {
+            continuous: 3,
+            discrete_blocks: vec![2, 4],
+        };
         assert_eq!(spec.width(), 9);
         assert_eq!(OutputSpec::continuous(5).width(), 5);
     }

@@ -76,6 +76,8 @@ pub struct Param<'a> {
 
 impl std::fmt::Debug for Param<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Param").field("shape", &self.value.shape()).finish()
+        f.debug_struct("Param")
+            .field("shape", &self.value.shape())
+            .finish()
     }
 }

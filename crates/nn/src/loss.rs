@@ -15,8 +15,11 @@ pub fn mse(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
     let n = pred.as_slice().len().max(1) as f64;
     let mut grad = Matrix::zeros(pred.rows(), pred.cols());
     let mut loss = 0.0;
-    for ((g, &p), &t) in
-        grad.as_mut_slice().iter_mut().zip(pred.as_slice()).zip(target.as_slice())
+    for ((g, &p), &t) in grad
+        .as_mut_slice()
+        .iter_mut()
+        .zip(pred.as_slice())
+        .zip(target.as_slice())
     {
         let d = p - t;
         loss += d * d;
@@ -35,12 +38,19 @@ pub fn mse(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
 ///
 /// Panics if shapes differ.
 pub fn bce_with_logits(logits: &Matrix, target: &Matrix) -> (f64, Matrix) {
-    assert_eq!(logits.shape(), target.shape(), "bce_with_logits: shape mismatch");
+    assert_eq!(
+        logits.shape(),
+        target.shape(),
+        "bce_with_logits: shape mismatch"
+    );
     let n = logits.as_slice().len().max(1) as f64;
     let mut grad = Matrix::zeros(logits.rows(), logits.cols());
     let mut loss = 0.0;
-    for ((g, &z), &t) in
-        grad.as_mut_slice().iter_mut().zip(logits.as_slice()).zip(target.as_slice())
+    for ((g, &z), &t) in grad
+        .as_mut_slice()
+        .iter_mut()
+        .zip(logits.as_slice())
+        .zip(target.as_slice())
     {
         debug_assert!((0.0..=1.0).contains(&t), "bce target must be in [0,1]");
         loss += z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln();
@@ -76,7 +86,11 @@ pub fn softmax(logits: &Matrix) -> Matrix {
 ///
 /// Panics if `labels.len() != logits.rows()` or any label is out of range.
 pub fn cross_entropy(logits: &Matrix, labels: &[usize]) -> (f64, Matrix) {
-    assert_eq!(labels.len(), logits.rows(), "cross_entropy: label count mismatch");
+    assert_eq!(
+        labels.len(),
+        logits.rows(),
+        "cross_entropy: label count mismatch"
+    );
     let probs = softmax(logits);
     let n = logits.rows().max(1) as f64;
     let mut grad = probs.clone();
@@ -97,20 +111,27 @@ pub fn cross_entropy(logits: &Matrix, labels: &[usize]) -> (f64, Matrix) {
 /// # Panics
 ///
 /// Panics if lengths disagree or all weights are zero.
-pub fn weighted_cross_entropy(
-    logits: &Matrix,
-    labels: &[usize],
-    weights: &[f64],
-) -> (f64, Matrix) {
-    assert_eq!(labels.len(), logits.rows(), "weighted_cross_entropy: label count mismatch");
-    assert_eq!(weights.len(), logits.rows(), "weighted_cross_entropy: weight count mismatch");
+pub fn weighted_cross_entropy(logits: &Matrix, labels: &[usize], weights: &[f64]) -> (f64, Matrix) {
+    assert_eq!(
+        labels.len(),
+        logits.rows(),
+        "weighted_cross_entropy: label count mismatch"
+    );
+    assert_eq!(
+        weights.len(),
+        logits.rows(),
+        "weighted_cross_entropy: weight count mismatch"
+    );
     let wsum: f64 = weights.iter().sum();
     assert!(wsum > 0.0, "weighted_cross_entropy: weights sum to zero");
     let probs = softmax(logits);
     let mut grad = Matrix::zeros(logits.rows(), logits.cols());
     let mut loss = 0.0;
     for (r, (&y, &w)) in labels.iter().zip(weights).enumerate() {
-        assert!(y < logits.cols(), "weighted_cross_entropy: label {y} out of range");
+        assert!(
+            y < logits.cols(),
+            "weighted_cross_entropy: label {y} out of range"
+        );
         loss -= w * probs.get(r, y).max(1e-15).ln();
         for c in 0..logits.cols() {
             let indicator = if c == y { 1.0 } else { 0.0 };
@@ -137,16 +158,23 @@ pub fn supervised_contrastive(
     labels: &[usize],
     temperature: f64,
 ) -> (f64, Matrix) {
-    assert_eq!(labels.len(), embeddings.rows(), "supervised_contrastive: label mismatch");
-    assert!(temperature > 0.0, "supervised_contrastive: temperature must be positive");
+    assert_eq!(
+        labels.len(),
+        embeddings.rows(),
+        "supervised_contrastive: label mismatch"
+    );
+    assert!(
+        temperature > 0.0,
+        "supervised_contrastive: temperature must be positive"
+    );
     let n = embeddings.rows();
     let d = embeddings.cols();
     // L2-normalize rows, keeping norms for the Jacobian.
     let mut z = embeddings.clone();
     let mut norms = vec![0.0; n];
-    for r in 0..n {
+    for (r, slot) in norms.iter_mut().enumerate() {
         let norm = fsda_linalg::matrix::norm(z.row(r)).max(1e-12);
-        norms[r] = norm;
+        *slot = norm;
         for v in z.row_mut(r) {
             *v /= norm;
         }
@@ -157,8 +185,9 @@ pub fn supervised_contrastive(
     let mut loss = 0.0;
     let mut anchors = 0usize;
     for i in 0..n {
-        let positives: Vec<usize> =
-            (0..n).filter(|&j| j != i && labels[j] == labels[i]).collect();
+        let positives: Vec<usize> = (0..n)
+            .filter(|&j| j != i && labels[j] == labels[i])
+            .collect();
         if positives.is_empty() {
             continue;
         }
@@ -187,7 +216,11 @@ pub fn supervised_contrastive(
                 continue;
             }
             let softmax_ij = (sim.get(i, j) - log_denom).exp();
-            let pos_ij = if labels[j] == labels[i] { 1.0 / p_count } else { 0.0 };
+            let pos_ij = if labels[j] == labels[i] {
+                1.0 / p_count
+            } else {
+                0.0
+            };
             let coeff = (softmax_ij - pos_ij) / temperature;
             // dL/dz_i += coeff * z_j ; dL/dz_j += coeff * z_i
             for c in 0..d {
@@ -205,12 +238,12 @@ pub fn supervised_contrastive(
     loss *= scale;
     // Back through the L2 normalization: dL/dx = (I - z z^T)/||x|| * dL/dz.
     let mut grad = Matrix::zeros(n, d);
-    for r in 0..n {
+    for (r, &norm_r) in norms.iter().enumerate() {
         let zr = z.row(r);
         let gr: Vec<f64> = grad_z.row(r).iter().map(|&g| g * scale).collect();
         let zg: f64 = zr.iter().zip(&gr).map(|(&a, &b)| a * b).sum();
         for c in 0..d {
-            grad.set(r, c, (gr[c] - zr[c] * zg) / norms[r]);
+            grad.set(r, c, (gr[c] - zr[c] * zg) / norm_r);
         }
     }
     (loss, grad)
@@ -289,7 +322,10 @@ mod tests {
                 let (lp, _) = cross_entropy(&zp, &labels);
                 let (lm, _) = cross_entropy(&zm, &labels);
                 let numeric = (lp - lm) / (2.0 * eps);
-                assert!((grad.get(i, j) - numeric).abs() < 1e-6, "ce grad mismatch ({i},{j})");
+                assert!(
+                    (grad.get(i, j) - numeric).abs() < 1e-6,
+                    "ce grad mismatch ({i},{j})"
+                );
             }
         }
     }
@@ -317,14 +353,9 @@ mod tests {
     fn supcon_loss_lower_for_clustered_embeddings() {
         // Well-separated same-class embeddings should have lower loss than
         // mixed ones.
-        let clustered = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[0.99, 0.01],
-            &[0.0, 1.0],
-            &[0.01, 0.99],
-        ]);
-        let mixed =
-            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[0.0, 1.0]]);
+        let clustered =
+            Matrix::from_rows(&[&[1.0, 0.0], &[0.99, 0.01], &[0.0, 1.0], &[0.01, 0.99]]);
+        let mixed = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[0.0, 1.0]]);
         let labels = [0, 0, 1, 1];
         let (l_good, _) = supervised_contrastive(&clustered, &labels, 0.5);
         let (l_bad, _) = supervised_contrastive(&mixed, &labels, 0.5);

@@ -96,8 +96,11 @@ impl Layer for BatchNorm1d {
     fn infer(&self, input: &Matrix) -> Matrix {
         let (n, d) = input.shape();
         debug_assert_eq!(d, self.dim(), "BatchNorm1d: dim mismatch");
-        let std_inv: Vec<f64> =
-            self.running_var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let std_inv: Vec<f64> = self
+            .running_var
+            .iter()
+            .map(|&v| 1.0 / (v + self.eps).sqrt())
+            .collect();
         let mut out = Matrix::zeros(n, d);
         for r in 0..n {
             let row = input.row(r);
@@ -110,7 +113,10 @@ impl Layer for BatchNorm1d {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let cache = self.cache.as_ref().expect("BatchNorm1d::backward before forward(train)");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm1d::backward before forward(train)");
         let (n, d) = grad_output.shape();
         let nf = n as f64;
         let mut grad_input = Matrix::zeros(n, d);
@@ -124,7 +130,8 @@ impl Layer for BatchNorm1d {
                 sum_gx += g * cache.x_hat.get(r, c);
             }
             self.grad_beta.set(0, c, self.grad_beta.get(0, c) + sum_g);
-            self.grad_gamma.set(0, c, self.grad_gamma.get(0, c) + sum_gx);
+            self.grad_gamma
+                .set(0, c, self.grad_gamma.get(0, c) + sum_gx);
             let k = gamma * cache.std_inv[c] / nf;
             for r in 0..n {
                 let g = grad_output.get(r, c);
@@ -137,8 +144,14 @@ impl Layer for BatchNorm1d {
 
     fn params_mut(&mut self) -> Vec<Param<'_>> {
         vec![
-            Param { value: &mut self.gamma, grad: &mut self.grad_gamma },
-            Param { value: &mut self.beta, grad: &mut self.grad_beta },
+            Param {
+                value: &mut self.gamma,
+                grad: &mut self.grad_gamma,
+            },
+            Param {
+                value: &mut self.beta,
+                grad: &mut self.grad_beta,
+            },
         ]
     }
 
@@ -162,7 +175,10 @@ impl Dropout {
     ///
     /// Panics if `p` is not in `[0, 1)`.
     pub fn new(p: f64, rng: SeededRng) -> Self {
-        assert!((0.0..1.0).contains(&p), "Dropout: p must be in [0,1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "Dropout: p must be in [0,1), got {p}"
+        );
         Dropout { p, rng, mask: None }
     }
 
@@ -179,15 +195,16 @@ impl Layer for Dropout {
             return input.clone();
         }
         let keep = 1.0 - self.p;
-        let mask =
-            Matrix::from_fn(input.rows(), input.cols(), |_, _| {
-                if self.rng.bernoulli(keep) {
-                    1.0 / keep
-                } else {
-                    0.0
-                }
-            });
-        let out = input.try_hadamard(&mask).expect("same shape by construction");
+        let mask = Matrix::from_fn(input.rows(), input.cols(), |_, _| {
+            if self.rng.bernoulli(keep) {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
+        let out = input
+            .try_hadamard(&mask)
+            .expect("same shape by construction");
         self.mask = Some(mask);
         out
     }
@@ -198,7 +215,9 @@ impl Layer for Dropout {
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
         match &self.mask {
-            Some(mask) => grad_output.try_hadamard(mask).expect("same shape by construction"),
+            Some(mask) => grad_output
+                .try_hadamard(mask)
+                .expect("same shape by construction"),
             None => grad_output.clone(),
         }
     }
@@ -215,7 +234,10 @@ mod tests {
         let y = bn.forward(&x, true);
         let means = y.col_means();
         for m in means {
-            assert!(m.abs() < 1e-9, "batch-normalized mean should be ~0, got {m}");
+            assert!(
+                m.abs() < 1e-9,
+                "batch-normalized mean should be ~0, got {m}"
+            );
         }
         // Biased std of normalized output ~ 1.
         for c in 0..2 {
@@ -256,7 +278,11 @@ mod tests {
         let _ = ones;
         let eps = 1e-5;
         let weighted_sum = |m: &Matrix, w: &Matrix| -> f64 {
-            m.as_slice().iter().zip(w.as_slice()).map(|(&a, &b)| a * b).sum()
+            m.as_slice()
+                .iter()
+                .zip(w.as_slice())
+                .map(|(&a, &b)| a * b)
+                .sum()
         };
         for i in 0..x.rows() {
             for j in 0..x.cols() {
@@ -291,7 +317,10 @@ mod tests {
         let x = Matrix::filled(200, 50, 1.0);
         let y = d.forward(&x, true);
         let mean: f64 = y.as_slice().iter().sum::<f64>() / y.as_slice().len() as f64;
-        assert!((mean - 1.0).abs() < 0.05, "inverted dropout keeps E[x]: {mean}");
+        assert!(
+            (mean - 1.0).abs() < 0.05,
+            "inverted dropout keeps E[x]: {mean}"
+        );
     }
 
     #[test]

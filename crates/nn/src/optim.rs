@@ -44,16 +44,25 @@ impl Sgd {
     /// Panics if `lr <= 0` or `momentum` is outside `[0, 1)`.
     pub fn with_momentum(lr: f64, momentum: f64) -> Self {
         assert!(lr > 0.0, "Sgd: lr must be positive");
-        assert!((0.0..1.0).contains(&momentum), "Sgd: momentum must be in [0,1)");
-        Sgd { lr, momentum, velocity: Vec::new() }
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "Sgd: momentum must be in [0,1)"
+        );
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [Param<'_>]) {
         if self.velocity.len() != params.len() {
-            self.velocity =
-                params.iter().map(|p| Matrix::zeros(p.value.rows(), p.value.cols())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Matrix::zeros(p.value.rows(), p.value.cols()))
+                .collect();
         }
         for (i, p) in params.iter_mut().enumerate() {
             if self.momentum > 0.0 {
@@ -110,7 +119,10 @@ impl Adam {
     /// Panics if `lr <= 0` or `weight_decay < 0`.
     pub fn with_decay(lr: f64, weight_decay: f64) -> Self {
         assert!(lr > 0.0, "Adam: lr must be positive");
-        assert!(weight_decay >= 0.0, "Adam: weight_decay must be non-negative");
+        assert!(
+            weight_decay >= 0.0,
+            "Adam: weight_decay must be non-negative"
+        );
         Adam {
             lr,
             beta1: 0.9,
@@ -136,10 +148,14 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [Param<'_>]) {
         if self.m.len() != params.len() {
-            self.m =
-                params.iter().map(|p| Matrix::zeros(p.value.rows(), p.value.cols())).collect();
-            self.v =
-                params.iter().map(|p| Matrix::zeros(p.value.rows(), p.value.cols())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Matrix::zeros(p.value.rows(), p.value.cols()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Matrix::zeros(p.value.rows(), p.value.cols()))
+                .collect();
             self.t = 0;
         }
         self.t += 1;
@@ -189,7 +205,10 @@ mod tests {
         for _ in 0..500 {
             let grad = 2.0 * (w.get(0, 0) - 3.0);
             g.set(0, 0, grad);
-            let mut params = [Param { value: &mut w, grad: &mut g }];
+            let mut params = [Param {
+                value: &mut w,
+                grad: &mut g,
+            }];
             opt.step(&mut params);
         }
         w.get(0, 0)
@@ -220,10 +239,17 @@ mod tests {
         let mut w = Matrix::filled(1, 1, 1.0);
         let mut g = Matrix::zeros(1, 1);
         for _ in 0..50 {
-            let mut params = [Param { value: &mut w, grad: &mut g }];
+            let mut params = [Param {
+                value: &mut w,
+                grad: &mut g,
+            }];
             opt.step(&mut params);
         }
-        assert!(w.get(0, 0).abs() < 0.1, "decay should shrink weight: {}", w.get(0, 0));
+        assert!(
+            w.get(0, 0).abs() < 0.1,
+            "decay should shrink weight: {}",
+            w.get(0, 0)
+        );
     }
 
     #[test]

@@ -86,7 +86,10 @@ impl Sequential {
 
     /// Collects mutable parameter views from all layers, in layer order.
     pub fn params_mut(&mut self) -> Vec<Param<'_>> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Zeroes all accumulated gradients.

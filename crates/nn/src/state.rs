@@ -8,10 +8,9 @@
 
 use crate::{Param, Sequential};
 use fsda_linalg::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// A snapshot of every parameter tensor of a network, in layer order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StateDict {
     tensors: Vec<Matrix>,
 }
@@ -40,7 +39,9 @@ impl StateDict {
 
 /// Extracts a copy of every parameter of `net`, in stable layer order.
 pub fn export_state(net: &mut Sequential) -> StateDict {
-    StateDict { tensors: net.params_mut().iter().map(|p| p.value.clone()).collect() }
+    StateDict {
+        tensors: net.params_mut().iter().map(|p| p.value.clone()).collect(),
+    }
 }
 
 /// Restores previously exported parameters into `net`.

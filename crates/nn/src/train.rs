@@ -35,7 +35,11 @@ impl BatchIter {
         assert!(batch_size > 0, "BatchIter: batch_size must be positive");
         let mut order: Vec<usize> = (0..n).collect();
         rng.shuffle(&mut order);
-        BatchIter { order, batch_size, pos: 0 }
+        BatchIter {
+            order,
+            batch_size,
+            pos: 0,
+        }
     }
 }
 
@@ -153,7 +157,10 @@ mod tests {
 
     #[test]
     fn config_builder() {
-        let c = TrainConfig::default().with_epochs(5).with_batch_size(16).with_seed(9);
+        let c = TrainConfig::default()
+            .with_epochs(5)
+            .with_batch_size(16)
+            .with_seed(9);
         assert_eq!(c.epochs, 5);
         assert_eq!(c.batch_size, 16);
         assert_eq!(c.seed, 9);

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bundle.source_train.labels(),
         2,
     )?;
-    println!("classifier trained once on {} source samples\n", bundle.source_train.len());
+    println!(
+        "classifier trained once on {} source samples\n",
+        bundle.source_train.len()
+    );
 
     let mut rng = SeededRng::new(9);
     let k = 5;
@@ -34,8 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The monitor watches incoming (unlabeled) windows and tells us when
     // re-adaptation is warranted — §VI-F: "FS+GAN only needs to be updated
     // when the data distribution undergoes significant changes".
-    let detector =
-        DriftDetector::fit(bundle.source_train.features(), DriftConfig::default());
+    let detector = DriftDetector::fit(bundle.source_train.features(), DriftConfig::default());
     let report = detector.score(bundle.target1_test.features());
     println!(
         "drift monitor on Target_1 window: {} features drifted -> re-adapt = {}",
@@ -58,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shots2 = bundle.target2_pool.subset(&idx2);
     let adapter2 = FsGanAdapter::fit(&bundle.source_train, &shots2, &cfg, 22)?;
 
-    println!("{:<12} {:>14} {:>14}", "adapter", "on Target_1", "on Target_2");
+    println!(
+        "{:<12} {:>14} {:>14}",
+        "adapter", "on Target_1", "on Target_2"
+    );
     for (name, adapter) in [("FS+GAN_1", &adapter1), ("FS+GAN_2", &adapter2)] {
         let f1_t1 = macro_f1(
             bundle.target1_test.labels(),
@@ -70,7 +75,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &adapter.predict(bundle.target2_test.features()),
             2,
         );
-        println!("{:<12} {:>14.1} {:>14.1}", name, 100.0 * f1_t1, 100.0 * f1_t2);
+        println!(
+            "{:<12} {:>14.1} {:>14.1}",
+            name,
+            100.0 * f1_t1,
+            100.0 * f1_t2
+        );
     }
 
     let v1: std::collections::BTreeSet<_> =

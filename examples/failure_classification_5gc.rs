@@ -13,7 +13,11 @@ use fsda::models::ClassifierKind;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let full = std::env::var("FSDA_FULL").is_ok();
-    let generator = if full { Synth5gc::full() } else { Synth5gc::small() };
+    let generator = if full {
+        Synth5gc::full()
+    } else {
+        Synth5gc::small()
+    };
     println!(
         "== 5GC failure classification ({} features, {} classes) ==\n",
         generator.num_features(),
@@ -32,13 +36,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ExperimentConfig {
         shots: vec![1, 5, 10],
         repeats: if full { 3 } else { 1 },
-        budget: if full { Budget::full() } else { Budget::quick() },
+        budget: if full {
+            Budget::full()
+        } else {
+            Budget::quick()
+        },
         seed: 0,
         parallel: true,
     };
 
-    let methods =
-        [Method::SrcOnly, Method::TarOnly, Method::Coral, Method::Fs, Method::FsGan];
+    let methods = [
+        Method::SrcOnly,
+        Method::TarOnly,
+        Method::Coral,
+        Method::Fs,
+        Method::FsGan,
+    ];
     println!(
         "{:<14} {:>8} {:>8} {:>8}   (macro-F1 x100, RF classifier)",
         "method", "k=1", "k=5", "k=10"

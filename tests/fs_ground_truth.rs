@@ -12,8 +12,7 @@ fn fs_precision_recall_against_ground_truth() {
     let bundle = Synth5gc::small().generate(1).unwrap();
     let mut rng = SeededRng::new(2);
     let shots = few_shot_subset(&bundle.target_pool, 10, &mut rng).unwrap();
-    let fs =
-        FeatureSeparation::fit(&bundle.source_train, &shots, &FsConfig::default()).unwrap();
+    let fs = FeatureSeparation::fit(&bundle.source_train, &shots, &FsConfig::default()).unwrap();
     let (precision, recall) = fs.score_against(&bundle.ground_truth_variant);
     assert!(precision > 0.75, "precision {precision:.2}");
     assert!(recall > 0.6, "recall {recall:.2}");
@@ -53,13 +52,19 @@ fn stricter_alpha_is_more_conservative() {
     let loose = FeatureSeparation::fit(
         &bundle.source_train,
         &shots,
-        &FsConfig { alpha: 0.05, ..FsConfig::default() },
+        &FsConfig {
+            alpha: 0.05,
+            ..FsConfig::default()
+        },
     )
     .unwrap();
     let strict = FeatureSeparation::fit(
         &bundle.source_train,
         &shots,
-        &FsConfig { alpha: 1e-6, ..FsConfig::default() },
+        &FsConfig {
+            alpha: 1e-6,
+            ..FsConfig::default()
+        },
     )
     .unwrap();
     assert!(
@@ -78,7 +83,11 @@ fn conditionally_invariant_descendants_are_excluded_from_ground_truth() {
     let bundle = Synth5gc::small().generate(7).unwrap();
     let names = bundle.source_train.feature_names();
     for &col in &bundle.ground_truth_variant {
-        assert!(!names[col].contains("traffic_total"), "{} flagged", names[col]);
+        assert!(
+            !names[col].contains("traffic_total"),
+            "{} flagged",
+            names[col]
+        );
     }
     // And there IS at least one aggregate column in the data.
     assert!(names.iter().any(|n| n.contains("traffic_total")));

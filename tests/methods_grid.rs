@@ -51,8 +51,13 @@ fn all_thirteen_methods_run_and_ours_lead() {
     // Shape: our methods lead, SrcOnly trails badly — Table I's outcome.
     let mut means = method_means(&grid, 5);
     means.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    let score =
-        |m: Method| means.iter().find(|&&(x, _)| x == m).map(|&(_, f)| f).unwrap();
+    let score = |m: Method| {
+        means
+            .iter()
+            .find(|&&(x, _)| x == m)
+            .map(|&(_, f)| f)
+            .unwrap()
+    };
     let top3: Vec<Method> = means.iter().take(3).map(|&(m, _)| m).collect();
     assert!(
         top3.contains(&Method::Fs) || top3.contains(&Method::FsGan),

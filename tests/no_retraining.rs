@@ -61,5 +61,9 @@ fn variant_sets_of_successive_targets_overlap() {
     let s1: std::collections::BTreeSet<_> = bundle.variant_target1.iter().collect();
     let s2: std::collections::BTreeSet<_> = bundle.variant_target2.iter().collect();
     let shared = s1.intersection(&s2).count();
-    assert!(shared * 2 > s1.len(), "majority of variant features shared: {shared}/{}", s1.len());
+    assert!(
+        shared * 2 > s1.len(),
+        "majority of variant features shared: {shared}/{}",
+        s1.len()
+    );
 }

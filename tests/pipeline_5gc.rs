@@ -51,7 +51,10 @@ fn method_ordering_matches_paper_shape() {
 
     // The paper's central ordering: SrcOnly degrades badly; S&T helps; FS
     // and FS+GAN dominate.
-    assert!(src_only < 0.70, "SrcOnly must degrade under drift: {src_only:.3}");
+    assert!(
+        src_only < 0.70,
+        "SrcOnly must degrade under drift: {src_only:.3}"
+    );
     assert!(snt > src_only, "S&T ({snt:.3}) > SrcOnly ({src_only:.3})");
     assert!(fs > snt, "FS ({fs:.3}) > S&T ({snt:.3})");
     assert!(
@@ -97,7 +100,9 @@ fn source_only_is_fine_in_domain() {
     let (train, test) = stratified_split(&b.source_train, 0.75, &mut rng).unwrap();
     let norm = Normalizer::fit(train.features(), NormKind::ZScore);
     let mut model = build_classifier(ClassifierKind::Mlp, 5, &Budget::quick());
-    model.fit(&norm.transform(train.features()), train.labels(), 16).unwrap();
+    model
+        .fit(&norm.transform(train.features()), train.labels(), 16)
+        .unwrap();
     let pred = model.predict(&norm.transform(test.features()));
     let f1 = macro_f1(test.labels(), &pred, 16);
     assert!(f1 > 0.85, "in-domain source F1 should be high: {f1:.3}");

@@ -14,7 +14,10 @@ use fsda::models::ClassifierKind;
 #[test]
 fn gmm_domain_construction_recovers_regimes() {
     let (bundle, agreement) = Synth5gipc::small().generate_clustered(1).unwrap();
-    assert!(agreement > 0.9, "GMM split should match generation domains: {agreement}");
+    assert!(
+        agreement > 0.9,
+        "GMM split should match generation domains: {agreement}"
+    );
     assert_eq!(bundle.source_train.num_classes(), 2);
 }
 
@@ -56,13 +59,22 @@ fn scenario_runner_with_custom_groups() {
         seed: 6,
         parallel: false,
     };
-    let src = run_cell(&scenario, Method::SrcOnly, ClassifierKind::RandomForest, 5, &cfg)
-        .unwrap()
-        .mean_f1;
+    let src = run_cell(
+        &scenario,
+        Method::SrcOnly,
+        ClassifierKind::RandomForest,
+        5,
+        &cfg,
+    )
+    .unwrap()
+    .mean_f1;
     let fs = run_cell(&scenario, Method::Fs, ClassifierKind::RandomForest, 5, &cfg)
         .unwrap()
         .mean_f1;
-    assert!(fs > src, "FS ({fs:.3}) should beat SrcOnly ({src:.3}) on 5GIPC");
+    assert!(
+        fs > src,
+        "FS ({fs:.3}) should beat SrcOnly ({src:.3}) on 5GIPC"
+    );
 }
 
 #[test]
@@ -74,8 +86,7 @@ fn variant_detection_grows_with_shots() {
     let mut counts = Vec::new();
     for k in [1usize, 10] {
         let mut rng = SeededRng::new(8);
-        let idx =
-            few_shot_indices(&bundle.target_pool_groups, NUM_GROUPS, k, &mut rng).unwrap();
+        let idx = few_shot_indices(&bundle.target_pool_groups, NUM_GROUPS, k, &mut rng).unwrap();
         let shots = bundle.target_pool.subset(&idx);
         let fs =
             FeatureSeparation::fit(&bundle.source_train, &shots, &FsConfig::default()).unwrap();
