@@ -1,12 +1,21 @@
-//! §VI-D-style performance baseline for the parallel CI-testing engine.
+//! Performance baseline for the two serving-critical engines: the parallel
+//! CI-testing causal search (§VI-D running-time regime) and the batched
+//! GAN-reconstruction hot path.
 //!
 //! Runs the PC causal search over a grid of (features × samples × threads)
-//! on block-correlated synthetic data, records CI tests/second and the
-//! speedup over the single-threaded path, verifies that every parallel run
-//! is bit-identical to its sequential counterpart, and writes the grid to
-//! `BENCH_runtime.json` at the repository root.
+//! on block-correlated synthetic data, then times the FS+GAN adapter's
+//! `reconstruct_batch` against the per-sample reference loop over a
+//! (batch × threads) grid, verifying every parallel run bit-identical to
+//! its reference. Writes both grids to `BENCH_runtime.json` at the
+//! repository root.
 //!
 //! `cargo run -p fsda-bench --release --bin perf_baseline`
+//!
+//! Speedup numbers are only meaningful when the host actually has the
+//! cores a row asks for: every cell records `host_parallelism`, rows
+//! with `threads > host_parallelism` are flagged `oversubscribed` and
+//! report no speedup (JSON `null`) — a 2-thread run on a 1-core host
+//! measures scheduler overhead, not the engine.
 //!
 //! The 442-feature rows mirror the paper's 5GC dataset width; the paper
 //! reports FS running times in the order of seconds on that width, which is
@@ -14,7 +23,11 @@
 
 use fsda_causal::ci::FisherZ;
 use fsda_causal::pc::{pc, PcConfig, PcResult};
+use fsda_core::adapter::{AdapterConfig, Budget, FsGanAdapter};
+use fsda_data::fewshot::few_shot_subset;
+use fsda_data::synth5gc::Synth5gc;
 use fsda_linalg::{Matrix, SeededRng};
+use fsda_models::ClassifierKind;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -38,16 +51,47 @@ fn block_chain_data(n: usize, d: usize, seed: u64) -> Matrix {
     m
 }
 
-struct Cell {
+/// Formats an optional speedup as JSON (`null` when oversubscribed).
+fn speedup_json(s: Option<f64>) -> String {
+    match s {
+        Some(v) => format!("{v:.3}"),
+        None => "null".into(),
+    }
+}
+
+/// Formats an optional speedup for the console table.
+fn speedup_console(s: Option<f64>) -> String {
+    match s {
+        Some(v) => format!("{v:.2}x"),
+        None => "n/a".into(),
+    }
+}
+
+struct PcCell {
     features: usize,
     samples: usize,
     threads: usize,
+    host_parallelism: usize,
+    oversubscribed: bool,
     elapsed_s: f64,
     tests_run: usize,
     tests_per_sec: f64,
-    speedup_vs_1: f64,
+    speedup_vs_1: Option<f64>,
     identical_to_sequential: bool,
     edges: usize,
+}
+
+struct ReconCell {
+    rows: usize,
+    features: usize,
+    threads: usize,
+    host_parallelism: usize,
+    oversubscribed: bool,
+    scalar_elapsed_s: f64,
+    batch_elapsed_s: f64,
+    rows_per_sec: f64,
+    speedup_vs_scalar: f64,
+    identical_to_scalar: bool,
 }
 
 fn run_pc(test: &FisherZ, threads: usize) -> (PcResult, f64) {
@@ -62,20 +106,18 @@ fn run_pc(test: &FisherZ, threads: usize) -> (PcResult, f64) {
     (result, start.elapsed().as_secs_f64())
 }
 
-fn main() {
+fn bench_pc(cores: usize) -> Vec<PcCell> {
     let feature_grid = [64usize, 128, 442];
     let thread_grid = [1usize, 2, 4, 8];
     let samples_for = |d: usize| if d >= 442 { 256 } else { 512 };
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
-    println!("perf_baseline: PC causal search, block-chain data, alpha=0.01, max_cond_size=2");
-    println!("host parallelism: {cores} core(s)\n");
+    println!("PC causal search, block-chain data, alpha=0.01, max_cond_size=2");
     println!(
         "{:>9} {:>8} {:>8} {:>10} {:>10} {:>14} {:>9} {:>10}",
         "features", "samples", "threads", "edges", "CI tests", "tests/sec", "time (s)", "speedup"
     );
 
-    let mut cells: Vec<Cell> = Vec::new();
+    let mut cells: Vec<PcCell> = Vec::new();
     for &d in &feature_grid {
         let n = samples_for(d);
         let data = block_chain_data(n, d, 42);
@@ -98,19 +140,22 @@ fn main() {
                 identical,
                 "thread count {t} changed the learned CPDAG at d={d}"
             );
-            let cell = Cell {
+            let oversubscribed = t > cores;
+            let cell = PcCell {
                 features: d,
                 samples: n,
                 threads: t,
+                host_parallelism: cores,
+                oversubscribed,
                 elapsed_s: elapsed,
                 tests_run: result.tests_run,
                 tests_per_sec: result.tests_run as f64 / elapsed.max(1e-12),
-                speedup_vs_1: seq_time / elapsed.max(1e-12),
+                speedup_vs_1: (!oversubscribed).then(|| seq_time / elapsed.max(1e-12)),
                 identical_to_sequential: identical,
                 edges: result.graph.num_edges(),
             };
             println!(
-                "{:>9} {:>8} {:>8} {:>10} {:>10} {:>14.0} {:>9.3} {:>9.2}x",
+                "{:>9} {:>8} {:>8} {:>10} {:>10} {:>14.0} {:>9.3} {:>10}",
                 cell.features,
                 cell.samples,
                 cell.threads,
@@ -118,44 +163,165 @@ fn main() {
                 cell.tests_run,
                 cell.tests_per_sec,
                 cell.elapsed_s,
-                cell.speedup_vs_1
+                speedup_console(cell.speedup_vs_1)
             );
             cells.push(cell);
         }
     }
+    cells
+}
+
+/// Tiles the 5GC target-test features up to `rows` serving rows.
+fn serving_batch(features: &Matrix, rows: usize) -> Matrix {
+    let idx: Vec<usize> = (0..rows).map(|r| r % features.rows()).collect();
+    features.select_rows(&idx)
+}
+
+fn bench_reconstruction(cores: usize) -> Vec<ReconCell> {
+    let bundle = Synth5gc::small().generate(42).expect("5GC bundle");
+    let mut rng = SeededRng::new(43);
+    let shots = few_shot_subset(&bundle.target_pool, 10, &mut rng).expect("shots");
+    let cfg = AdapterConfig {
+        classifier: ClassifierKind::RandomForest,
+        budget: Budget::quick(),
+        ..AdapterConfig::default()
+    };
+    let adapter =
+        FsGanAdapter::fit(&bundle.source_train, &shots, &cfg, 44).expect("FS+GAN adapter");
+
+    println!("\nbatched GAN reconstruction (FS+GAN serving path), 5GC-small pipeline");
+    println!(
+        "{:>7} {:>9} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "rows", "features", "threads", "scalar (s)", "batch (s)", "rows/sec", "speedup"
+    );
+
+    let mut cells: Vec<ReconCell> = Vec::new();
+    for &rows in &[64usize, 256, 1024] {
+        let x = serving_batch(bundle.target_test.features(), rows);
+        let start = Instant::now();
+        let scalar = adapter.reconstruct_scalar(&x);
+        let scalar_elapsed = start.elapsed().as_secs_f64();
+        for &t in &[1usize, 2, 4, 8] {
+            let start = Instant::now();
+            let batch = adapter.reconstruct_batch(&x, Some(t));
+            let batch_elapsed = start.elapsed().as_secs_f64();
+            let identical = batch == scalar;
+            assert!(
+                identical,
+                "reconstruct_batch diverged from the scalar loop at rows={rows}, threads={t}"
+            );
+            let cell = ReconCell {
+                rows,
+                features: x.cols(),
+                threads: t,
+                host_parallelism: cores,
+                oversubscribed: t > cores,
+                scalar_elapsed_s: scalar_elapsed,
+                batch_elapsed_s: batch_elapsed,
+                rows_per_sec: rows as f64 / batch_elapsed.max(1e-12),
+                speedup_vs_scalar: scalar_elapsed / batch_elapsed.max(1e-12),
+                identical_to_scalar: identical,
+            };
+            println!(
+                "{:>7} {:>9} {:>8} {:>12.4} {:>12.4} {:>12.0} {:>11.2}x",
+                cell.rows,
+                cell.features,
+                cell.threads,
+                cell.scalar_elapsed_s,
+                cell.batch_elapsed_s,
+                cell.rows_per_sec,
+                cell.speedup_vs_scalar
+            );
+            cells.push(cell);
+        }
+    }
+    cells
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("perf_baseline: host parallelism {cores} core(s)\n");
+
+    let pc_cells = bench_pc(cores);
+    let recon_cells = bench_reconstruction(cores);
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"benchmark\": \"pc_causal_search_parallel\",");
+    let _ = writeln!(json, "  \"host_parallelism\": {cores},");
     let _ = writeln!(
         json,
-        "  \"description\": \"PC skeleton+orientation over block-chain data; \
+        "  \"note\": \"speedup fields are null on oversubscribed rows \
+         (threads > host_parallelism): they would measure scheduler \
+         overhead, not the engine\","
+    );
+
+    let _ = writeln!(json, "  \"pc_causal_search\": {{");
+    let _ = writeln!(
+        json,
+        "    \"description\": \"PC skeleton+orientation over block-chain data; \
          parallel rows are verified bit-identical to threads=1\","
     );
-    let _ = writeln!(json, "  \"alpha\": 0.01,");
-    let _ = writeln!(json, "  \"max_cond_size\": 2,");
-    let _ = writeln!(json, "  \"host_parallelism\": {cores},");
-    json.push_str("  \"cells\": [\n");
-    for (k, c) in cells.iter().enumerate() {
+    let _ = writeln!(json, "    \"alpha\": 0.01,");
+    let _ = writeln!(json, "    \"max_cond_size\": 2,");
+    json.push_str("    \"cells\": [\n");
+    for (k, c) in pc_cells.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"features\": {}, \"samples\": {}, \"threads\": {}, \
+            "      {{\"features\": {}, \"samples\": {}, \"threads\": {}, \
+             \"host_parallelism\": {}, \"oversubscribed\": {}, \
              \"edges\": {}, \"ci_tests\": {}, \"tests_per_sec\": {:.1}, \
-             \"elapsed_s\": {:.6}, \"speedup_vs_1\": {:.3}, \
+             \"elapsed_s\": {:.6}, \"speedup_vs_1\": {}, \
              \"identical_to_sequential\": {}}}",
             c.features,
             c.samples,
             c.threads,
+            c.host_parallelism,
+            c.oversubscribed,
             c.edges,
             c.tests_run,
             c.tests_per_sec,
             c.elapsed_s,
-            c.speedup_vs_1,
+            speedup_json(c.speedup_vs_1),
             c.identical_to_sequential
         );
-        json.push_str(if k + 1 < cells.len() { ",\n" } else { "\n" });
+        json.push_str(if k + 1 < pc_cells.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("    ]\n  },\n");
+
+    let _ = writeln!(json, "  \"batched_reconstruction\": {{");
+    let _ = writeln!(
+        json,
+        "    \"description\": \"FS+GAN reconstruct_batch vs the per-sample \
+         scalar loop on a trained 5GC-small pipeline; every batched run is \
+         verified bit-identical to the scalar reference\","
+    );
+    json.push_str("    \"cells\": [\n");
+    for (k, c) in recon_cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"rows\": {}, \"features\": {}, \"threads\": {}, \
+             \"host_parallelism\": {}, \"oversubscribed\": {}, \
+             \"scalar_elapsed_s\": {:.6}, \"batch_elapsed_s\": {:.6}, \
+             \"rows_per_sec\": {:.1}, \"speedup_vs_scalar\": {:.3}, \
+             \"identical_to_scalar\": {}}}",
+            c.rows,
+            c.features,
+            c.threads,
+            c.host_parallelism,
+            c.oversubscribed,
+            c.scalar_elapsed_s,
+            c.batch_elapsed_s,
+            c.rows_per_sec,
+            c.speedup_vs_scalar,
+            c.identical_to_scalar
+        );
+        json.push_str(if k + 1 < recon_cells.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n  }\n}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
     std::fs::write(path, &json).expect("write BENCH_runtime.json");

@@ -9,17 +9,25 @@
 //! full two-step method, requiring no classifier retraining ever.
 
 use crate::fs::{FeatureSeparation, FsConfig};
+use crate::persist::{
+    find_section, read_classifier_snapshot, read_container, read_normalizer, read_recon_snapshot,
+    read_separation, write_classifier_snapshot, write_container, write_normalizer,
+    write_recon_snapshot, write_separation, Decoder, Encoder, TAG_CLSF, TAG_FSEP, TAG_META,
+    TAG_NORM, TAG_RECN,
+};
 use crate::{CoreError, Result};
 use fsda_data::Dataset;
 use fsda_gan::autoencoder::{AeConfig, VanillaAe};
 use fsda_gan::cond_gan::{CondGan, CondGanConfig};
 use fsda_gan::vae::{Vae, VaeConfig};
-use fsda_gan::Reconstructor;
+use fsda_gan::{restore_reconstructor, Reconstructor};
+use fsda_linalg::par::{par_map, resolve_threads};
 use fsda_linalg::Matrix;
 use fsda_models::classifier::argmax_rows;
 use fsda_models::forest::{ForestConfig, RandomForest};
 use fsda_models::gbdt::{GbdtConfig, GradientBoosting};
 use fsda_models::mlp::{MlpClassifier, MlpConfig};
+use fsda_models::restore_classifier;
 use fsda_models::tnet::{TnetClassifier, TnetConfig};
 use fsda_models::{Classifier, ClassifierKind};
 
@@ -232,12 +240,71 @@ impl AdapterConfig {
     }
 }
 
+/// Artifact-kind byte identifying an [`FsAdapter`] artifact.
+const ARTIFACT_FS: u8 = 0;
+/// Artifact-kind byte identifying an [`FsGanAdapter`] artifact.
+const ARTIFACT_FSGAN: u8 = 1;
+
+/// Derives one independent noise seed per serving row (splitmix64 mix).
+/// Row `r` always gets the same seed no matter how rows are chunked across
+/// worker threads, which is what makes [`FsGanAdapter::reconstruct_batch`]
+/// bit-identical to the per-sample loop at every thread count.
+fn row_seed(base: u64, row: u64) -> u64 {
+    let mut z = base ^ row.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Decodes the FSEP + NORM sections back into a [`FeatureSeparation`].
+fn decode_separation(sections: &[([u8; 4], &[u8])]) -> Result<FeatureSeparation> {
+    let mut dec = Decoder::new(find_section(sections, TAG_FSEP)?);
+    let parts = read_separation(&mut dec)?;
+    dec.expect_end()?;
+    let mut dec = Decoder::new(find_section(sections, TAG_NORM)?);
+    let normalizer = read_normalizer(&mut dec)?;
+    dec.expect_end()?;
+    if normalizer.num_features() != parts.num_features {
+        return Err(CoreError::Persist(format!(
+            "FS section declares {} features but the normalizer holds {}",
+            parts.num_features,
+            normalizer.num_features()
+        )));
+    }
+    FeatureSeparation::from_parts(
+        parts.variant,
+        parts.invariant,
+        normalizer,
+        parts.tests_run,
+        parts.config,
+    )
+}
+
+/// Decodes the META section: `(artifact kind, seed, num_classes)`.
+fn decode_meta(sections: &[([u8; 4], &[u8])]) -> Result<(u8, u64, usize)> {
+    let mut dec = Decoder::new(find_section(sections, TAG_META)?);
+    let kind = dec.take_u8()?;
+    let seed = dec.take_u64()?;
+    let num_classes = dec.take_usize()?;
+    dec.expect_end()?;
+    Ok((kind, seed, num_classes))
+}
+
+fn encode_meta(kind: u8, seed: u64, num_classes: usize) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u8(kind);
+    enc.put_u64(seed);
+    enc.put_usize(num_classes);
+    enc.into_bytes()
+}
+
 /// FS-only adapter: classifier trained on the invariant features of the
 /// source domain.
 pub struct FsAdapter {
     separation: FeatureSeparation,
     classifier: Box<dyn Classifier>,
     num_classes: usize,
+    seed: u64,
 }
 
 impl std::fmt::Debug for FsAdapter {
@@ -276,6 +343,7 @@ impl FsAdapter {
             separation,
             classifier,
             num_classes: source.num_classes(),
+            seed,
         })
     }
 
@@ -293,6 +361,80 @@ impl FsAdapter {
     /// Number of classes.
     pub fn num_classes(&self) -> usize {
         self.num_classes
+    }
+
+    /// Serializes the fitted pipeline into a versioned artifact (see
+    /// [`crate::persist`] for the format).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the classifier family does not support snapshots.
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        let mut fsep = Encoder::new();
+        write_separation(&mut fsep, &self.separation);
+        let mut norm = Encoder::new();
+        write_normalizer(&mut norm, self.separation.normalizer());
+        let mut clsf = Encoder::new();
+        write_classifier_snapshot(&mut clsf, &self.classifier.snapshot()?);
+        Ok(write_container(&[
+            (
+                TAG_META,
+                encode_meta(ARTIFACT_FS, self.seed, self.num_classes),
+            ),
+            (TAG_FSEP, fsep.into_bytes()),
+            (TAG_NORM, norm.into_bytes()),
+            (TAG_CLSF, clsf.into_bytes()),
+        ]))
+    }
+
+    /// Deserializes an artifact written by [`FsAdapter::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Persist`] on structural problems (bad magic,
+    /// wrong version, failed checksum, truncation, wrong artifact kind) and
+    /// the component errors on semantically invalid state.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let sections = read_container(bytes)?;
+        let (kind, seed, num_classes) = decode_meta(&sections)?;
+        if kind != ARTIFACT_FS {
+            return Err(CoreError::Persist(format!(
+                "artifact kind {kind} is not an FS artifact"
+            )));
+        }
+        let separation = decode_separation(&sections)?;
+        let mut dec = Decoder::new(find_section(&sections, TAG_CLSF)?);
+        let snapshot = read_classifier_snapshot(&mut dec)?;
+        dec.expect_end()?;
+        let classifier = restore_classifier(&snapshot)?;
+        Ok(FsAdapter {
+            separation,
+            classifier,
+            num_classes,
+            seed,
+        })
+    }
+
+    /// Writes the artifact produced by [`FsAdapter::to_bytes`] to disk.
+    ///
+    /// # Errors
+    ///
+    /// As [`FsAdapter::to_bytes`], plus I/O failures.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        let bytes = self.to_bytes()?;
+        std::fs::write(path.as_ref(), bytes)
+            .map_err(|e| CoreError::Persist(format!("write {}: {e}", path.as_ref().display())))
+    }
+
+    /// Reads and deserializes an artifact written by [`FsAdapter::save`].
+    ///
+    /// # Errors
+    ///
+    /// As [`FsAdapter::from_bytes`], plus I/O failures.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let bytes = std::fs::read(path.as_ref())
+            .map_err(|e| CoreError::Persist(format!("read {}: {e}", path.as_ref().display())))?;
+        FsAdapter::from_bytes(&bytes)
     }
 }
 
@@ -432,6 +574,179 @@ impl FsGanAdapter {
     pub fn num_classes(&self) -> usize {
         self.num_classes
     }
+
+    /// The batched serving hot path: transforms raw target features like
+    /// [`FsGanAdapter::transform`], but with one independent noise seed per
+    /// row and the normalization + generator forward passes amortized over
+    /// row chunks on the shared worker pool (`threads: None` uses every
+    /// core).
+    ///
+    /// The output is **bit-identical for every thread count**, including
+    /// the per-sample reference loop [`FsGanAdapter::reconstruct_scalar`]:
+    /// row `r`'s noise depends only on the adapter seed and `r`, never on
+    /// how rows are chunked or scheduled.
+    pub fn reconstruct_batch(&self, features: &Matrix, threads: Option<usize>) -> Matrix {
+        if features.rows() == 0 {
+            return self.separation.normalizer().transform(features);
+        }
+        let threads = resolve_threads(threads);
+        let rows = features.rows();
+        let chunk = rows.div_ceil(threads).max(1);
+        let chunks: Vec<(usize, usize)> = (0..rows)
+            .step_by(chunk)
+            .map(|s| (s, (s + chunk).min(rows)))
+            .collect();
+        let base = self.seed ^ 0x11FE;
+        let separation = &self.separation;
+        let recon = self.reconstructor.as_deref();
+        let parts = par_map(threads, &chunks, |_, &(start, end)| {
+            let idx: Vec<usize> = (start..end).collect();
+            let block = features.select_rows(&idx);
+            let (inv, var) = separation.split_normalized(&block);
+            match recon {
+                Some(r) => {
+                    let seeds: Vec<u64> =
+                        (start..end).map(|row| row_seed(base, row as u64)).collect();
+                    let var_hat = r.reconstruct_rows(&inv, &seeds);
+                    separation.reassemble(&inv, &var_hat)
+                }
+                None => separation.reassemble(&inv, &var),
+            }
+        });
+        let mut out = parts[0].clone();
+        for part in &parts[1..] {
+            out = out.vstack(part).expect("chunk widths match");
+        }
+        out
+    }
+
+    /// Per-sample reference loop for [`FsGanAdapter::reconstruct_batch`]:
+    /// transforms one row at a time through the scalar reconstruction
+    /// entry point. Slow by construction; exists so tests and benches can
+    /// pin the batched path to it bit-for-bit.
+    pub fn reconstruct_scalar(&self, features: &Matrix) -> Matrix {
+        let base = self.seed ^ 0x11FE;
+        let mut out = Matrix::zeros(features.rows(), features.cols());
+        for r in 0..features.rows() {
+            let row = features.select_rows(&[r]);
+            let (inv, var) = self.separation.split_normalized(&row);
+            let transformed = match &self.reconstructor {
+                Some(recon) => {
+                    let var_hat = recon.reconstruct(&inv, row_seed(base, r as u64));
+                    self.separation.reassemble(&inv, &var_hat)
+                }
+                None => self.separation.reassemble(&inv, &var),
+            };
+            out.row_mut(r).copy_from_slice(transformed.row(0));
+        }
+        out
+    }
+
+    /// Batched prediction: [`FsGanAdapter::reconstruct_batch`] followed by
+    /// one full-batch classifier pass. Like the reconstruction itself, the
+    /// predictions are identical for every thread count.
+    pub fn predict_batch(&self, features: &Matrix, threads: Option<usize>) -> Vec<usize> {
+        self.classifier
+            .predict(&self.reconstruct_batch(features, threads))
+    }
+
+    /// Serializes the fitted pipeline — FS partition with config
+    /// provenance, normalizer statistics, reconstructor weights (including
+    /// batch-norm running statistics), classifier state — into a versioned
+    /// artifact (see [`crate::persist`] for the format).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the classifier family does not support snapshots.
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        let mut fsep = Encoder::new();
+        write_separation(&mut fsep, &self.separation);
+        let mut norm = Encoder::new();
+        write_normalizer(&mut norm, self.separation.normalizer());
+        let mut recn = Encoder::new();
+        match &self.reconstructor {
+            Some(recon) => {
+                recn.put_bool(true);
+                write_recon_snapshot(&mut recn, &recon.snapshot()?);
+            }
+            None => recn.put_bool(false),
+        }
+        let mut clsf = Encoder::new();
+        write_classifier_snapshot(&mut clsf, &self.classifier.snapshot()?);
+        Ok(write_container(&[
+            (
+                TAG_META,
+                encode_meta(ARTIFACT_FSGAN, self.seed, self.num_classes),
+            ),
+            (TAG_FSEP, fsep.into_bytes()),
+            (TAG_NORM, norm.into_bytes()),
+            (TAG_RECN, recn.into_bytes()),
+            (TAG_CLSF, clsf.into_bytes()),
+        ]))
+    }
+
+    /// Deserializes an artifact written by [`FsGanAdapter::to_bytes`]. The
+    /// reloaded adapter reconstructs and predicts bit-identically to the
+    /// one that was saved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Persist`] on structural problems (bad magic,
+    /// wrong version, failed checksum, truncation, wrong artifact kind) and
+    /// the component errors on semantically invalid state.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let sections = read_container(bytes)?;
+        let (kind, seed, num_classes) = decode_meta(&sections)?;
+        if kind != ARTIFACT_FSGAN {
+            return Err(CoreError::Persist(format!(
+                "artifact kind {kind} is not an FS+GAN artifact"
+            )));
+        }
+        let separation = decode_separation(&sections)?;
+        let mut dec = Decoder::new(find_section(&sections, TAG_RECN)?);
+        let reconstructor = if dec.take_bool()? {
+            let snapshot = read_recon_snapshot(&mut dec)?;
+            dec.expect_end()?;
+            Some(restore_reconstructor(&snapshot)?)
+        } else {
+            dec.expect_end()?;
+            None
+        };
+        let mut dec = Decoder::new(find_section(&sections, TAG_CLSF)?);
+        let snapshot = read_classifier_snapshot(&mut dec)?;
+        dec.expect_end()?;
+        let classifier = restore_classifier(&snapshot)?;
+        Ok(FsGanAdapter {
+            separation,
+            reconstructor,
+            classifier,
+            num_classes,
+            seed,
+        })
+    }
+
+    /// Writes the artifact produced by [`FsGanAdapter::to_bytes`] to disk.
+    ///
+    /// # Errors
+    ///
+    /// As [`FsGanAdapter::to_bytes`], plus I/O failures.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        let bytes = self.to_bytes()?;
+        std::fs::write(path.as_ref(), bytes)
+            .map_err(|e| CoreError::Persist(format!("write {}: {e}", path.as_ref().display())))
+    }
+
+    /// Reads and deserializes an artifact written by
+    /// [`FsGanAdapter::save`].
+    ///
+    /// # Errors
+    ///
+    /// As [`FsGanAdapter::from_bytes`], plus I/O failures.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let bytes = std::fs::read(path.as_ref())
+            .map_err(|e| CoreError::Persist(format!("read {}: {e}", path.as_ref().display())))?;
+        FsGanAdapter::from_bytes(&bytes)
+    }
 }
 
 #[cfg(test)]
@@ -542,6 +857,66 @@ mod tests {
         assert!(Budget::full().gan_epochs > Budget::quick().gan_epochs);
         assert_eq!(ReconKind::Gan.label(), "FS+GAN");
         assert_eq!(ReconKind::VanillaAe.label(), "FS+VanillaAE");
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_identical() {
+        let (bundle, shots) = setup(7);
+        let cfg = AdapterConfig::quick().with_classifier(ClassifierKind::RandomForest);
+        let adapter = FsGanAdapter::fit(&bundle.source_train, &shots, &cfg, 17).unwrap();
+        let bytes = adapter.to_bytes().unwrap();
+        let loaded = FsGanAdapter::from_bytes(&bytes).unwrap();
+        // Encode -> decode -> encode is byte-identical.
+        assert_eq!(loaded.to_bytes().unwrap(), bytes);
+        let x = bundle.target_test.features();
+        assert_eq!(loaded.predict(x), adapter.predict(x));
+        assert_eq!(loaded.transform(x), adapter.transform(x));
+        assert_eq!(
+            loaded.reconstruct_batch(x, Some(2)),
+            adapter.reconstruct_batch(x, Some(2))
+        );
+        assert_eq!(
+            loaded.separation().variant(),
+            adapter.separation().variant()
+        );
+        assert_eq!(loaded.num_classes(), adapter.num_classes());
+    }
+
+    #[test]
+    fn fs_adapter_round_trips_and_kinds_are_checked() {
+        let (bundle, shots) = setup(9);
+        let cfg = AdapterConfig::quick().with_classifier(ClassifierKind::RandomForest);
+        let fs = FsAdapter::fit(&bundle.source_train, &shots, &cfg, 19).unwrap();
+        let bytes = fs.to_bytes().unwrap();
+        let loaded = FsAdapter::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.to_bytes().unwrap(), bytes);
+        let x = bundle.target_test.features();
+        assert_eq!(loaded.predict(x), fs.predict(x));
+        // An FS artifact is not an FS+GAN artifact and vice versa.
+        assert!(matches!(
+            FsGanAdapter::from_bytes(&bytes),
+            Err(CoreError::Persist(_))
+        ));
+    }
+
+    #[test]
+    fn batched_reconstruction_is_thread_count_invariant() {
+        let (bundle, shots) = setup(11);
+        let cfg = AdapterConfig::quick().with_classifier(ClassifierKind::RandomForest);
+        let adapter = FsGanAdapter::fit(&bundle.source_train, &shots, &cfg, 23).unwrap();
+        let x = bundle.target_test.features();
+        let scalar = adapter.reconstruct_scalar(x);
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                adapter.reconstruct_batch(x, Some(threads)),
+                scalar,
+                "threads = {threads}"
+            );
+        }
+        assert_eq!(
+            adapter.predict_batch(x, Some(1)),
+            adapter.predict_batch(x, Some(4))
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use fsda_data::Dataset;
 use fsda_linalg::Matrix;
 
 /// Configuration of the FS method.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FsConfig {
     /// Significance level of the conditional-independence tests.
     pub alpha: f64,
@@ -50,7 +50,8 @@ impl From<&FsConfig> for FnodeConfig {
 }
 
 /// The result of feature separation: the variant/invariant partition, the
-/// normalizer fitted on the source domain, and diagnostics.
+/// normalizer fitted on the source domain, the configuration that produced
+/// it (provenance), and diagnostics.
 #[derive(Debug, Clone)]
 pub struct FeatureSeparation {
     variant: Vec<usize>,
@@ -58,6 +59,7 @@ pub struct FeatureSeparation {
     normalizer: Normalizer,
     tests_run: usize,
     num_features: usize,
+    config: FsConfig,
 }
 
 impl FeatureSeparation {
@@ -88,7 +90,60 @@ impl FeatureSeparation {
             normalizer,
             tests_run: result.tests_run,
             num_features: source.num_features(),
+            config: config.clone(),
         })
+    }
+
+    /// Rebuilds a separation from previously extracted parts (e.g. decoded
+    /// from a persisted artifact).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] unless `variant` and `invariant`
+    /// form an exact partition of the normalizer's feature columns — the
+    /// invariant every separation produced by [`FeatureSeparation::fit`]
+    /// satisfies.
+    pub fn from_parts(
+        variant: Vec<usize>,
+        invariant: Vec<usize>,
+        normalizer: Normalizer,
+        tests_run: usize,
+        config: FsConfig,
+    ) -> Result<Self> {
+        let num_features = normalizer.num_features();
+        if variant.len() + invariant.len() != num_features {
+            return Err(CoreError::InvalidInput(format!(
+                "partition covers {} columns of {num_features}",
+                variant.len() + invariant.len()
+            )));
+        }
+        let mut seen = vec![false; num_features];
+        for &c in variant.iter().chain(invariant.iter()) {
+            if c >= num_features {
+                return Err(CoreError::InvalidInput(format!(
+                    "feature index {c} out of range for {num_features} features"
+                )));
+            }
+            if seen[c] {
+                return Err(CoreError::InvalidInput(format!(
+                    "feature index {c} appears twice in the partition"
+                )));
+            }
+            seen[c] = true;
+        }
+        Ok(FeatureSeparation {
+            variant,
+            invariant,
+            normalizer,
+            tests_run,
+            num_features,
+            config,
+        })
+    }
+
+    /// The configuration this separation was fitted with (provenance).
+    pub fn config(&self) -> &FsConfig {
+        &self.config
     }
 
     /// Domain-variant feature columns (the identified intervention targets).
@@ -242,6 +297,50 @@ mod tests {
             FeatureSeparation::fit(&bundle.source_train, &narrow, &FsConfig::default()),
             Err(CoreError::InvalidInput(_))
         ));
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_fitted_separation() {
+        let (fs, _) = separation(5, 7);
+        let rebuilt = FeatureSeparation::from_parts(
+            fs.variant().to_vec(),
+            fs.invariant().to_vec(),
+            fs.normalizer().clone(),
+            fs.tests_run(),
+            fs.config().clone(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.variant(), fs.variant());
+        assert_eq!(rebuilt.invariant(), fs.invariant());
+        assert_eq!(rebuilt.num_features(), fs.num_features());
+        assert_eq!(rebuilt.config(), fs.config());
+    }
+
+    #[test]
+    fn from_parts_rejects_broken_partitions() {
+        let (fs, _) = separation(5, 8);
+        let norm = fs.normalizer().clone();
+        let d = fs.num_features();
+        // Incomplete cover.
+        assert!(FeatureSeparation::from_parts(
+            vec![0],
+            vec![1],
+            norm.clone(),
+            0,
+            FsConfig::default()
+        )
+        .is_err());
+        // Duplicate column.
+        let mut inv: Vec<usize> = (0..d).collect();
+        inv[0] = 1;
+        assert!(
+            FeatureSeparation::from_parts(vec![], inv, norm.clone(), 0, FsConfig::default())
+                .is_err()
+        );
+        // Out-of-range column.
+        let mut inv: Vec<usize> = (0..d).collect();
+        inv[0] = d + 5;
+        assert!(FeatureSeparation::from_parts(vec![], inv, norm, 0, FsConfig::default()).is_err());
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod drift;
 pub mod experiment;
 pub mod fs;
 pub mod method;
+pub mod persist;
 pub mod report;
 
 pub use adapter::{AdapterConfig, FsAdapter, FsGanAdapter};
@@ -71,6 +72,8 @@ pub enum CoreError {
     Model(String),
     /// A reconstructor failed to train.
     Reconstruction(String),
+    /// An artifact failed to encode, decode, or hit the filesystem.
+    Persist(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -81,6 +84,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Data(m) => write!(f, "data failure: {m}"),
             CoreError::Model(m) => write!(f, "model failure: {m}"),
             CoreError::Reconstruction(m) => write!(f, "reconstruction failure: {m}"),
+            CoreError::Persist(m) => write!(f, "persistence failure: {m}"),
         }
     }
 }
@@ -108,6 +112,12 @@ impl From<fsda_models::ModelError> for CoreError {
 impl From<fsda_gan::GanError> for CoreError {
     fn from(e: fsda_gan::GanError) -> Self {
         CoreError::Reconstruction(e.to_string())
+    }
+}
+
+impl From<persist::PersistError> for CoreError {
+    fn from(e: persist::PersistError) -> Self {
+        CoreError::Persist(e.to_string())
     }
 }
 

@@ -1,0 +1,1193 @@
+//! Versioned binary persistence for trained pipelines.
+//!
+//! The paper's central operational promise is *train once, serve forever*:
+//! when the domain drifts, only FS and the GAN are re-run — the
+//! network-management classifier is never retrained (§VI-F). That promise
+//! only matters if a trained pipeline can actually outlive the process that
+//! trained it, so this module defines a self-describing binary artifact
+//! format and hand-rolled little-endian codecs for every component of the
+//! pipeline: the FS partition (with its [`crate::fs::FsConfig`]
+//! provenance), the source-fitted normalizer, the reconstructor
+//! (GAN/VAE/AE weights including batch-norm running statistics), and the
+//! classifier (TNet/MLP/RF/XGB).
+//!
+//! # Container layout (format version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"FSDA"
+//! 4       4     format version (u32 LE)
+//! 8       4     section count N (u32 LE)
+//! 12      20*N  section table: tag [u8;4], offset u64 LE, length u64 LE
+//! 12+20N  ...   section payloads (offsets are relative to this point)
+//! end-4   4     CRC-32 (IEEE) of every preceding byte (u32 LE)
+//! ```
+//!
+//! Sections are looked up by tag, so readers skip tags they do not know —
+//! a future writer can append new sections without breaking version-1
+//! readers, while incompatible layout changes bump [`FORMAT_VERSION`].
+//! All integers are little-endian; `f64` values are stored as their IEEE-754
+//! bit patterns, so encode → decode → encode is byte-identical and decoded
+//! models predict bit-identically.
+//!
+//! Everything here is `std`-only: no serde, no external formats, matching
+//! the workspace's offline-buildable constraint.
+
+#![warn(missing_docs)]
+
+use crate::fs::{FeatureSeparation, FsConfig};
+use fsda_data::normalize::{NormKind, Normalizer};
+use fsda_gan::autoencoder::AeConfig;
+use fsda_gan::cond_gan::CondGanConfig;
+use fsda_gan::vae::VaeConfig;
+use fsda_gan::ReconSnapshot;
+use fsda_linalg::Matrix;
+use fsda_models::forest::ForestConfig;
+use fsda_models::gbdt::GbdtConfig;
+use fsda_models::mlp::MlpConfig;
+use fsda_models::tnet::TnetConfig;
+use fsda_models::tree::{FlatNode, FlatRegNode};
+use fsda_models::ClassifierSnapshot;
+use fsda_nn::state::StateDict;
+
+/// The artifact magic bytes.
+pub const MAGIC: [u8; 4] = *b"FSDA";
+
+/// The container format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Section tag: artifact kind, pipeline seed, class count.
+pub const TAG_META: [u8; 4] = *b"META";
+/// Section tag: the FS partition and its configuration provenance.
+pub const TAG_FSEP: [u8; 4] = *b"FSEP";
+/// Section tag: the source-fitted normalizer statistics.
+pub const TAG_NORM: [u8; 4] = *b"NORM";
+/// Section tag: the reconstructor snapshot (may record "absent").
+pub const TAG_RECN: [u8; 4] = *b"RECN";
+/// Section tag: the classifier snapshot.
+pub const TAG_CLSF: [u8; 4] = *b"CLSF";
+
+/// Errors raised while encoding or decoding artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// A filesystem read/write failed.
+    Io(String),
+    /// The buffer does not start with the `FSDA` magic bytes.
+    BadMagic,
+    /// The artifact was written by an incompatible format version.
+    Version {
+        /// Version found in the artifact header.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The bytes are structurally invalid (failed checksum, bad enum tag,
+    /// out-of-bounds section, inconsistent component state).
+    Corrupt(String),
+    /// The buffer ends before a declared field or section does.
+    Truncated(String),
+    /// A required section is missing from the section table.
+    MissingSection([u8; 4]),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(m) => write!(f, "io failure: {m}"),
+            PersistError::BadMagic => write!(f, "not an FSDA artifact (bad magic)"),
+            PersistError::Version { found, supported } => {
+                write!(
+                    f,
+                    "format version {found} (this build supports {supported})"
+                )
+            }
+            PersistError::Corrupt(m) => write!(f, "corrupt artifact: {m}"),
+            PersistError::Truncated(m) => write!(f, "truncated artifact: {m}"),
+            PersistError::MissingSection(tag) => {
+                write!(f, "missing section {:?}", String::from_utf8_lossy(tag))
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Result alias for this module.
+pub type Result<T> = std::result::Result<T, PersistError>;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3 polynomial, reflected), the zlib/PNG checksum.
+// ---------------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE) of `bytes`, as used in the artifact trailer.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Primitive little-endian encoder / decoder.
+// ---------------------------------------------------------------------------
+
+/// An append-only little-endian byte encoder.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Consumes the encoder, returning the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (bit-exact round trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends a length-prefixed `f64` slice.
+    pub fn put_f64s(&mut self, v: &[f64]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_f64(x);
+        }
+    }
+
+    /// Appends a length-prefixed `usize` slice.
+    pub fn put_usizes(&mut self, v: &[usize]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_usize(x);
+        }
+    }
+
+    /// Appends a matrix as `rows, cols, row-major data`.
+    pub fn put_matrix(&mut self, m: &Matrix) {
+        self.put_usize(m.rows());
+        self.put_usize(m.cols());
+        for &x in m.as_slice() {
+            self.put_f64(x);
+        }
+    }
+}
+
+/// A bounds-checked little-endian byte decoder.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Wraps a byte slice for decoding from its start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Decoder { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn need(&self, n: usize, what: &str) -> Result<()> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated(format!(
+                "{what}: need {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Fails unless every byte has been consumed — catches sections with
+    /// trailing garbage, which a valid writer never produces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Corrupt`] when bytes remain.
+    pub fn expect_end(&self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(PersistError::Corrupt(format!(
+                "{} trailing bytes after section payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] at end of input.
+    pub fn take_u8(&mut self) -> Result<u8> {
+        self.need(1, "u8")?;
+        let v = self.bytes[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] at end of input.
+    pub fn take_u32(&mut self) -> Result<u32> {
+        self.need(4, "u32")?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.bytes[self.pos..self.pos + 4]);
+        self.pos += 4;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] at end of input.
+    pub fn take_u64(&mut self) -> Result<u64> {
+        self.need(8, "u64")?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.bytes[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads a `usize` stored as `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] at end of input and
+    /// [`PersistError::Corrupt`] if the value overflows `usize`.
+    pub fn take_usize(&mut self) -> Result<usize> {
+        let v = self.take_u64()?;
+        usize::try_from(v).map_err(|_| PersistError::Corrupt(format!("length {v} overflows usize")))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] at end of input.
+    pub fn take_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads a bool byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] at end of input and
+    /// [`PersistError::Corrupt`] on a byte other than 0 or 1.
+    pub fn take_bool(&mut self) -> Result<bool> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(PersistError::Corrupt(format!("bool byte {b}"))),
+        }
+    }
+
+    /// Reads a length-prefixed `f64` vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] when the declared length exceeds
+    /// the remaining input (checked before allocating).
+    pub fn take_f64s(&mut self) -> Result<Vec<f64>> {
+        let n = self.take_usize()?;
+        self.need(n.saturating_mul(8), "f64 vector")?;
+        (0..n).map(|_| self.take_f64()).collect()
+    }
+
+    /// Reads a length-prefixed `usize` vector.
+    ///
+    /// # Errors
+    ///
+    /// As [`Decoder::take_f64s`].
+    pub fn take_usizes(&mut self) -> Result<Vec<usize>> {
+        let n = self.take_usize()?;
+        self.need(n.saturating_mul(8), "usize vector")?;
+        (0..n).map(|_| self.take_usize()).collect()
+    }
+
+    /// Reads a matrix written by [`Encoder::put_matrix`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] when the declared shape exceeds
+    /// the remaining input.
+    pub fn take_matrix(&mut self) -> Result<Matrix> {
+        let rows = self.take_usize()?;
+        let cols = self.take_usize()?;
+        let n = rows.saturating_mul(cols);
+        self.need(n.saturating_mul(8), "matrix data")?;
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(self.take_f64()?);
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container: magic + version + section table + payloads + CRC trailer.
+// ---------------------------------------------------------------------------
+
+const HEADER_LEN: usize = 4 + 4 + 4;
+const TABLE_ENTRY_LEN: usize = 4 + 8 + 8;
+const TRAILER_LEN: usize = 4;
+
+/// Assembles sections into a checksummed artifact container.
+pub fn write_container(sections: &[([u8; 4], Vec<u8>)]) -> Vec<u8> {
+    let payload_len: usize = sections.iter().map(|(_, p)| p.len()).sum();
+    let total = HEADER_LEN + TABLE_ENTRY_LEN * sections.len() + payload_len + TRAILER_LEN;
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    let mut offset = 0u64;
+    for (tag, payload) in sections {
+        out.extend_from_slice(tag);
+        out.extend_from_slice(&offset.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        offset += payload.len() as u64;
+    }
+    for (_, payload) in sections {
+        out.extend_from_slice(payload);
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Validates an artifact container (magic, version, checksum, section
+/// bounds) and returns its sections as `(tag, payload)` pairs.
+///
+/// # Errors
+///
+/// [`PersistError::BadMagic`], [`PersistError::Version`],
+/// [`PersistError::Truncated`], or [`PersistError::Corrupt`] per the
+/// respective structural failure.
+pub fn read_container(bytes: &[u8]) -> Result<Vec<([u8; 4], &[u8])>> {
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(PersistError::Truncated(format!(
+            "container is {} bytes, header+trailer need {}",
+            bytes.len(),
+            HEADER_LEN + TRAILER_LEN
+        )));
+    }
+    if bytes[..4] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let body = &bytes[..bytes.len() - TRAILER_LEN];
+    let mut trailer = [0u8; 4];
+    trailer.copy_from_slice(&bytes[bytes.len() - TRAILER_LEN..]);
+    let declared = u32::from_le_bytes(trailer);
+    let actual = crc32(body);
+    // Version is checked before the checksum so a structurally intact
+    // artifact from a newer format reports the actionable error.
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != FORMAT_VERSION {
+        return Err(PersistError::Version {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    if declared != actual {
+        return Err(PersistError::Corrupt(format!(
+            "checksum mismatch: trailer {declared:#010x}, computed {actual:#010x}"
+        )));
+    }
+    let count = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+    let payload_start = HEADER_LEN + TABLE_ENTRY_LEN * count;
+    if payload_start > body.len() {
+        return Err(PersistError::Truncated(format!(
+            "section table declares {count} sections but the container ends inside the table"
+        )));
+    }
+    let payload_region = &body[payload_start..];
+    let mut sections = Vec::with_capacity(count);
+    for i in 0..count {
+        let entry = &bytes[HEADER_LEN + TABLE_ENTRY_LEN * i..];
+        let tag = [entry[0], entry[1], entry[2], entry[3]];
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&entry[4..12]);
+        let offset = u64::from_le_bytes(b) as usize;
+        b.copy_from_slice(&entry[12..20]);
+        let len = u64::from_le_bytes(b) as usize;
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| PersistError::Corrupt(format!("section {i} offset+length overflows")))?;
+        if end > payload_region.len() {
+            return Err(PersistError::Corrupt(format!(
+                "section {i} ({}) spans [{offset}, {end}) of a {}-byte payload region",
+                String::from_utf8_lossy(&tag),
+                payload_region.len()
+            )));
+        }
+        sections.push((tag, &payload_region[offset..end]));
+    }
+    Ok(sections)
+}
+
+/// Looks up a required section by tag.
+///
+/// # Errors
+///
+/// Returns [`PersistError::MissingSection`] when absent.
+pub fn find_section<'a>(sections: &[([u8; 4], &'a [u8])], tag: [u8; 4]) -> Result<&'a [u8]> {
+    sections
+        .iter()
+        .find(|(t, _)| *t == tag)
+        .map(|(_, p)| *p)
+        .ok_or(PersistError::MissingSection(tag))
+}
+
+// ---------------------------------------------------------------------------
+// Component codecs.
+// ---------------------------------------------------------------------------
+
+/// Encodes normalizer statistics (kind, offsets, scales).
+pub fn write_normalizer(enc: &mut Encoder, n: &Normalizer) {
+    enc.put_u8(match n.kind() {
+        NormKind::MinMaxSymmetric => 0,
+        NormKind::ZScore => 1,
+    });
+    enc.put_f64s(n.offset());
+    enc.put_f64s(n.scale());
+}
+
+/// Decodes normalizer statistics written by [`write_normalizer`].
+///
+/// # Errors
+///
+/// Structural failures per [`Decoder`]; [`PersistError::Corrupt`] when the
+/// statistics could not have come from a fitted normalizer.
+pub fn read_normalizer(dec: &mut Decoder) -> Result<Normalizer> {
+    let kind = match dec.take_u8()? {
+        0 => NormKind::MinMaxSymmetric,
+        1 => NormKind::ZScore,
+        t => return Err(PersistError::Corrupt(format!("normalizer kind tag {t}"))),
+    };
+    let offset = dec.take_f64s()?;
+    let scale = dec.take_f64s()?;
+    Normalizer::from_parts(kind, offset, scale).map_err(|e| PersistError::Corrupt(e.to_string()))
+}
+
+/// Encodes a network state dict (parameter tensors + buffers).
+pub fn write_state_dict(enc: &mut Encoder, state: &StateDict) {
+    enc.put_usize(state.tensors().len());
+    for t in state.tensors() {
+        enc.put_matrix(t);
+    }
+    enc.put_usize(state.buffers().len());
+    for b in state.buffers() {
+        enc.put_f64s(b);
+    }
+}
+
+/// Decodes a state dict written by [`write_state_dict`].
+///
+/// # Errors
+///
+/// Structural failures per [`Decoder`].
+pub fn read_state_dict(dec: &mut Decoder) -> Result<StateDict> {
+    let nt = dec.take_usize()?;
+    let mut tensors = Vec::with_capacity(nt.min(1 << 16));
+    for _ in 0..nt {
+        tensors.push(dec.take_matrix()?);
+    }
+    let nb = dec.take_usize()?;
+    let mut buffers = Vec::with_capacity(nb.min(1 << 16));
+    for _ in 0..nb {
+        buffers.push(dec.take_f64s()?);
+    }
+    Ok(StateDict::from_parts(tensors, buffers))
+}
+
+/// Encodes the FS partition and its configuration provenance (everything in
+/// a [`FeatureSeparation`] except the normalizer, which has its own
+/// section).
+pub fn write_separation(enc: &mut Encoder, sep: &FeatureSeparation) {
+    enc.put_usizes(sep.variant());
+    enc.put_usizes(sep.invariant());
+    enc.put_usize(sep.tests_run());
+    enc.put_usize(sep.num_features());
+    let cfg = sep.config();
+    enc.put_f64(cfg.alpha);
+    enc.put_usize(cfg.max_cond_size);
+    enc.put_usize(cfg.max_candidates);
+    enc.put_bool(cfg.parallel);
+    enc.put_bool(cfg.num_threads.is_some());
+    enc.put_usize(cfg.num_threads.unwrap_or(0));
+}
+
+/// Partial decode of [`write_separation`]: the partition, diagnostics, and
+/// config. Combined with the `NORM` section via
+/// [`FeatureSeparation::from_parts`].
+pub struct SeparationParts {
+    /// Domain-variant feature columns.
+    pub variant: Vec<usize>,
+    /// Domain-invariant feature columns.
+    pub invariant: Vec<usize>,
+    /// CI tests run during the search.
+    pub tests_run: usize,
+    /// Total feature count (cross-checked against the normalizer).
+    pub num_features: usize,
+    /// FS configuration provenance.
+    pub config: FsConfig,
+}
+
+/// Decodes the FS section written by [`write_separation`].
+///
+/// # Errors
+///
+/// Structural failures per [`Decoder`].
+pub fn read_separation(dec: &mut Decoder) -> Result<SeparationParts> {
+    let variant = dec.take_usizes()?;
+    let invariant = dec.take_usizes()?;
+    let tests_run = dec.take_usize()?;
+    let num_features = dec.take_usize()?;
+    let alpha = dec.take_f64()?;
+    let max_cond_size = dec.take_usize()?;
+    let max_candidates = dec.take_usize()?;
+    let parallel = dec.take_bool()?;
+    let has_threads = dec.take_bool()?;
+    let threads = dec.take_usize()?;
+    Ok(SeparationParts {
+        variant,
+        invariant,
+        tests_run,
+        num_features,
+        config: FsConfig {
+            alpha,
+            max_cond_size,
+            max_candidates,
+            parallel,
+            num_threads: has_threads.then_some(threads),
+        },
+    })
+}
+
+fn write_cond_gan_config(enc: &mut Encoder, c: &CondGanConfig) {
+    enc.put_usize(c.noise_dim);
+    enc.put_usize(c.hidden);
+    enc.put_usize(c.epochs);
+    enc.put_usize(c.batch_size);
+    enc.put_f64(c.learning_rate);
+    enc.put_f64(c.weight_decay);
+    enc.put_f64(c.dropout);
+    enc.put_bool(c.condition_on_label);
+    enc.put_f64(c.recon_weight);
+}
+
+fn read_cond_gan_config(dec: &mut Decoder) -> Result<CondGanConfig> {
+    Ok(CondGanConfig {
+        noise_dim: dec.take_usize()?,
+        hidden: dec.take_usize()?,
+        epochs: dec.take_usize()?,
+        batch_size: dec.take_usize()?,
+        learning_rate: dec.take_f64()?,
+        weight_decay: dec.take_f64()?,
+        dropout: dec.take_f64()?,
+        condition_on_label: dec.take_bool()?,
+        recon_weight: dec.take_f64()?,
+    })
+}
+
+/// Encodes a reconstructor snapshot (family tag, config, seed, dims,
+/// network state).
+pub fn write_recon_snapshot(enc: &mut Encoder, snap: &ReconSnapshot) {
+    match snap {
+        ReconSnapshot::Gan {
+            config,
+            seed,
+            dims,
+            state,
+        } => {
+            enc.put_u8(0);
+            write_cond_gan_config(enc, config);
+            enc.put_u64(*seed);
+            enc.put_usize(dims.0);
+            enc.put_usize(dims.1);
+            write_state_dict(enc, state);
+        }
+        ReconSnapshot::Vae {
+            config,
+            seed,
+            dims,
+            state,
+        } => {
+            enc.put_u8(1);
+            enc.put_usize(config.latent_dim);
+            enc.put_usize(config.hidden);
+            enc.put_usize(config.epochs);
+            enc.put_usize(config.batch_size);
+            enc.put_f64(config.learning_rate);
+            enc.put_f64(config.beta);
+            enc.put_u64(*seed);
+            enc.put_usize(dims.0);
+            enc.put_usize(dims.1);
+            write_state_dict(enc, state);
+        }
+        ReconSnapshot::Ae {
+            config,
+            seed,
+            dims,
+            state,
+        } => {
+            enc.put_u8(2);
+            enc.put_usize(config.bottleneck);
+            enc.put_usize(config.hidden);
+            enc.put_usize(config.epochs);
+            enc.put_usize(config.batch_size);
+            enc.put_f64(config.learning_rate);
+            enc.put_u64(*seed);
+            enc.put_usize(dims.0);
+            enc.put_usize(dims.1);
+            write_state_dict(enc, state);
+        }
+    }
+}
+
+/// Decodes a reconstructor snapshot written by [`write_recon_snapshot`].
+///
+/// # Errors
+///
+/// Structural failures per [`Decoder`]; [`PersistError::Corrupt`] on an
+/// unknown family tag.
+pub fn read_recon_snapshot(dec: &mut Decoder) -> Result<ReconSnapshot> {
+    match dec.take_u8()? {
+        0 => {
+            let config = read_cond_gan_config(dec)?;
+            let seed = dec.take_u64()?;
+            let dims = (dec.take_usize()?, dec.take_usize()?);
+            let state = read_state_dict(dec)?;
+            Ok(ReconSnapshot::Gan {
+                config,
+                seed,
+                dims,
+                state,
+            })
+        }
+        1 => {
+            let config = VaeConfig {
+                latent_dim: dec.take_usize()?,
+                hidden: dec.take_usize()?,
+                epochs: dec.take_usize()?,
+                batch_size: dec.take_usize()?,
+                learning_rate: dec.take_f64()?,
+                beta: dec.take_f64()?,
+            };
+            let seed = dec.take_u64()?;
+            let dims = (dec.take_usize()?, dec.take_usize()?);
+            let state = read_state_dict(dec)?;
+            Ok(ReconSnapshot::Vae {
+                config,
+                seed,
+                dims,
+                state,
+            })
+        }
+        2 => {
+            let config = AeConfig {
+                bottleneck: dec.take_usize()?,
+                hidden: dec.take_usize()?,
+                epochs: dec.take_usize()?,
+                batch_size: dec.take_usize()?,
+                learning_rate: dec.take_f64()?,
+            };
+            let seed = dec.take_u64()?;
+            let dims = (dec.take_usize()?, dec.take_usize()?);
+            let state = read_state_dict(dec)?;
+            Ok(ReconSnapshot::Ae {
+                config,
+                seed,
+                dims,
+                state,
+            })
+        }
+        t => Err(PersistError::Corrupt(format!("reconstructor tag {t}"))),
+    }
+}
+
+fn write_flat_nodes(enc: &mut Encoder, nodes: &[FlatNode]) {
+    enc.put_usize(nodes.len());
+    for node in nodes {
+        match node {
+            FlatNode::Leaf { probs } => {
+                enc.put_u8(0);
+                enc.put_f64s(probs);
+            }
+            FlatNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                enc.put_u8(1);
+                enc.put_usize(*feature);
+                enc.put_f64(*threshold);
+                enc.put_usize(*left);
+                enc.put_usize(*right);
+            }
+        }
+    }
+}
+
+fn read_flat_nodes(dec: &mut Decoder) -> Result<Vec<FlatNode>> {
+    let n = dec.take_usize()?;
+    let mut nodes = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        nodes.push(match dec.take_u8()? {
+            0 => FlatNode::Leaf {
+                probs: dec.take_f64s()?,
+            },
+            1 => FlatNode::Split {
+                feature: dec.take_usize()?,
+                threshold: dec.take_f64()?,
+                left: dec.take_usize()?,
+                right: dec.take_usize()?,
+            },
+            t => return Err(PersistError::Corrupt(format!("tree node tag {t}"))),
+        });
+    }
+    Ok(nodes)
+}
+
+fn write_flat_reg_nodes(enc: &mut Encoder, nodes: &[FlatRegNode]) {
+    enc.put_usize(nodes.len());
+    for node in nodes {
+        match node {
+            FlatRegNode::Leaf { value } => {
+                enc.put_u8(0);
+                enc.put_f64(*value);
+            }
+            FlatRegNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                enc.put_u8(1);
+                enc.put_usize(*feature);
+                enc.put_f64(*threshold);
+                enc.put_usize(*left);
+                enc.put_usize(*right);
+            }
+        }
+    }
+}
+
+fn read_flat_reg_nodes(dec: &mut Decoder) -> Result<Vec<FlatRegNode>> {
+    let n = dec.take_usize()?;
+    let mut nodes = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        nodes.push(match dec.take_u8()? {
+            0 => FlatRegNode::Leaf {
+                value: dec.take_f64()?,
+            },
+            1 => FlatRegNode::Split {
+                feature: dec.take_usize()?,
+                threshold: dec.take_f64()?,
+                left: dec.take_usize()?,
+                right: dec.take_usize()?,
+            },
+            t => return Err(PersistError::Corrupt(format!("regression node tag {t}"))),
+        });
+    }
+    Ok(nodes)
+}
+
+/// Encodes a classifier snapshot (family tag, config, seed, learned state).
+pub fn write_classifier_snapshot(enc: &mut Encoder, snap: &ClassifierSnapshot) {
+    match snap {
+        ClassifierSnapshot::Tnet {
+            config,
+            seed,
+            in_dim,
+            num_classes,
+            state,
+        } => {
+            enc.put_u8(0);
+            enc.put_usize(config.hidden);
+            enc.put_f64(config.dropout);
+            enc.put_usize(config.epochs);
+            enc.put_usize(config.batch_size);
+            enc.put_f64(config.learning_rate);
+            enc.put_f64(config.weight_decay);
+            enc.put_u64(*seed);
+            enc.put_usize(*in_dim);
+            enc.put_usize(*num_classes);
+            write_state_dict(enc, state);
+        }
+        ClassifierSnapshot::Mlp {
+            config,
+            seed,
+            in_dim,
+            num_classes,
+            state,
+        } => {
+            enc.put_u8(1);
+            enc.put_usizes(&config.hidden);
+            enc.put_usize(config.epochs);
+            enc.put_usize(config.batch_size);
+            enc.put_f64(config.learning_rate);
+            enc.put_f64(config.weight_decay);
+            enc.put_u64(*seed);
+            enc.put_usize(*in_dim);
+            enc.put_usize(*num_classes);
+            write_state_dict(enc, state);
+        }
+        ClassifierSnapshot::Forest {
+            config,
+            seed,
+            num_classes,
+            trees,
+        } => {
+            enc.put_u8(2);
+            enc.put_usize(config.num_trees);
+            enc.put_usize(config.max_depth);
+            enc.put_usize(config.min_samples_leaf);
+            enc.put_bool(config.mtry.is_some());
+            enc.put_usize(config.mtry.unwrap_or(0));
+            enc.put_f64(config.sample_fraction);
+            enc.put_usize(config.threads);
+            enc.put_u64(*seed);
+            enc.put_usize(*num_classes);
+            enc.put_usize(trees.len());
+            for tree in trees {
+                write_flat_nodes(enc, tree);
+            }
+        }
+        ClassifierSnapshot::Gbdt {
+            config,
+            seed,
+            num_classes,
+            base_score,
+            trees,
+        } => {
+            enc.put_u8(3);
+            enc.put_usize(config.rounds);
+            enc.put_f64(config.eta);
+            enc.put_usize(config.max_depth);
+            enc.put_f64(config.lambda);
+            enc.put_f64(config.min_child_weight);
+            enc.put_f64(config.subsample);
+            enc.put_f64(config.colsample);
+            enc.put_u64(*seed);
+            enc.put_usize(*num_classes);
+            enc.put_f64s(base_score);
+            enc.put_usize(trees.len());
+            for round in trees {
+                enc.put_usize(round.len());
+                for tree in round {
+                    write_flat_reg_nodes(enc, tree);
+                }
+            }
+        }
+    }
+}
+
+/// Decodes a classifier snapshot written by [`write_classifier_snapshot`].
+///
+/// # Errors
+///
+/// Structural failures per [`Decoder`]; [`PersistError::Corrupt`] on an
+/// unknown family tag.
+pub fn read_classifier_snapshot(dec: &mut Decoder) -> Result<ClassifierSnapshot> {
+    match dec.take_u8()? {
+        0 => {
+            let config = TnetConfig {
+                hidden: dec.take_usize()?,
+                dropout: dec.take_f64()?,
+                epochs: dec.take_usize()?,
+                batch_size: dec.take_usize()?,
+                learning_rate: dec.take_f64()?,
+                weight_decay: dec.take_f64()?,
+            };
+            let seed = dec.take_u64()?;
+            let in_dim = dec.take_usize()?;
+            let num_classes = dec.take_usize()?;
+            let state = read_state_dict(dec)?;
+            Ok(ClassifierSnapshot::Tnet {
+                config,
+                seed,
+                in_dim,
+                num_classes,
+                state,
+            })
+        }
+        1 => {
+            let config = MlpConfig {
+                hidden: dec.take_usizes()?,
+                epochs: dec.take_usize()?,
+                batch_size: dec.take_usize()?,
+                learning_rate: dec.take_f64()?,
+                weight_decay: dec.take_f64()?,
+            };
+            let seed = dec.take_u64()?;
+            let in_dim = dec.take_usize()?;
+            let num_classes = dec.take_usize()?;
+            let state = read_state_dict(dec)?;
+            Ok(ClassifierSnapshot::Mlp {
+                config,
+                seed,
+                in_dim,
+                num_classes,
+                state,
+            })
+        }
+        2 => {
+            let num_trees = dec.take_usize()?;
+            let max_depth = dec.take_usize()?;
+            let min_samples_leaf = dec.take_usize()?;
+            let has_mtry = dec.take_bool()?;
+            let mtry = dec.take_usize()?;
+            let config = ForestConfig {
+                num_trees,
+                max_depth,
+                min_samples_leaf,
+                mtry: has_mtry.then_some(mtry),
+                sample_fraction: dec.take_f64()?,
+                threads: dec.take_usize()?,
+            };
+            let seed = dec.take_u64()?;
+            let num_classes = dec.take_usize()?;
+            let n = dec.take_usize()?;
+            let mut trees = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                trees.push(read_flat_nodes(dec)?);
+            }
+            Ok(ClassifierSnapshot::Forest {
+                config,
+                seed,
+                num_classes,
+                trees,
+            })
+        }
+        3 => {
+            let config = GbdtConfig {
+                rounds: dec.take_usize()?,
+                eta: dec.take_f64()?,
+                max_depth: dec.take_usize()?,
+                lambda: dec.take_f64()?,
+                min_child_weight: dec.take_f64()?,
+                subsample: dec.take_f64()?,
+                colsample: dec.take_f64()?,
+            };
+            let seed = dec.take_u64()?;
+            let num_classes = dec.take_usize()?;
+            let base_score = dec.take_f64s()?;
+            let rounds = dec.take_usize()?;
+            let mut trees = Vec::with_capacity(rounds.min(1 << 16));
+            for _ in 0..rounds {
+                let per_class = dec.take_usize()?;
+                let mut round = Vec::with_capacity(per_class.min(1 << 16));
+                for _ in 0..per_class {
+                    round.push(read_flat_reg_nodes(dec)?);
+                }
+                trees.push(round);
+            }
+            Ok(ClassifierSnapshot::Gbdt {
+                config,
+                seed,
+                num_classes,
+                base_score,
+                trees,
+            })
+        }
+        t => Err(PersistError::Corrupt(format!("classifier tag {t}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut enc = Encoder::new();
+        enc.put_u8(7);
+        enc.put_u32(0xDEAD_BEEF);
+        enc.put_u64(u64::MAX);
+        enc.put_f64(-0.0);
+        enc.put_f64(f64::MIN_POSITIVE);
+        enc.put_bool(true);
+        enc.put_f64s(&[1.5, -2.25]);
+        enc.put_usizes(&[3, 0, 9]);
+        enc.put_matrix(&Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.take_u8().unwrap(), 7);
+        assert_eq!(dec.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(dec.take_u64().unwrap(), u64::MAX);
+        assert_eq!(dec.take_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(dec.take_f64().unwrap(), f64::MIN_POSITIVE);
+        assert!(dec.take_bool().unwrap());
+        assert_eq!(dec.take_f64s().unwrap(), vec![1.5, -2.25]);
+        assert_eq!(dec.take_usizes().unwrap(), vec![3, 0, 9]);
+        let m = dec.take_matrix().unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.get(1, 0), 3.0);
+        dec.expect_end().unwrap();
+    }
+
+    #[test]
+    fn decoder_reports_truncation() {
+        let mut enc = Encoder::new();
+        enc.put_u64(5);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes[..4]);
+        assert!(matches!(dec.take_u64(), Err(PersistError::Truncated(_))));
+        // A huge declared length fails before allocating.
+        let mut enc = Encoder::new();
+        enc.put_usize(usize::MAX / 16);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(dec.take_f64s(), Err(PersistError::Truncated(_))));
+    }
+
+    #[test]
+    fn container_round_trips_and_validates() {
+        let sections = vec![
+            (*b"AAAA", vec![1, 2, 3]),
+            (*b"BBBB", vec![]),
+            (*b"CCCC", vec![9; 40]),
+        ];
+        let bytes = write_container(&sections);
+        let read = read_container(&bytes).unwrap();
+        assert_eq!(read.len(), 3);
+        assert_eq!(read[0].0, *b"AAAA");
+        assert_eq!(read[0].1, &[1, 2, 3]);
+        assert_eq!(read[1].1.len(), 0);
+        assert_eq!(find_section(&read, *b"CCCC").unwrap().len(), 40);
+        assert!(matches!(
+            find_section(&read, *b"ZZZZ"),
+            Err(PersistError::MissingSection(_))
+        ));
+    }
+
+    #[test]
+    fn container_rejects_bad_magic_version_crc_truncation() {
+        let bytes = write_container(&[(*b"AAAA", vec![5, 6, 7])]);
+        // Magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(read_container(&bad), Err(PersistError::BadMagic)));
+        // Version (recompute the CRC so the version check is what fires).
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        let crc = crc32(&bad[..bad.len() - 4]);
+        let n = bad.len();
+        bad[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            read_container(&bad),
+            Err(PersistError::Version { found: 99, .. })
+        ));
+        // Flipped payload byte -> checksum mismatch.
+        let mut bad = bytes.clone();
+        let flip = bytes.len() - 6;
+        bad[flip] ^= 0xFF;
+        assert!(matches!(
+            read_container(&bad),
+            Err(PersistError::Corrupt(_))
+        ));
+        // Truncation at every prefix fails loudly rather than panicking.
+        for cut in 0..bytes.len() {
+            assert!(read_container(&bytes[..cut]).is_err(), "prefix {cut}");
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(PersistError::BadMagic.to_string().contains("magic"));
+        assert!(PersistError::Version {
+            found: 2,
+            supported: 1
+        }
+        .to_string()
+        .contains('2'));
+        assert!(PersistError::MissingSection(*b"CLSF")
+            .to_string()
+            .contains("CLSF"));
+        assert!(PersistError::Io("nope".into()).to_string().contains("nope"));
+    }
+}

@@ -86,9 +86,53 @@ impl Normalizer {
         }
     }
 
+    /// Rebuilds a normalizer from previously extracted statistics (e.g.
+    /// decoded from a persisted artifact).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DataError::Inconsistent`] when the vectors differ in
+    /// length, are empty, or any scale is zero/non-finite — such a
+    /// normalizer could never have been produced by [`Normalizer::fit`].
+    pub fn from_parts(
+        kind: NormKind,
+        offset: Vec<f64>,
+        scale: Vec<f64>,
+    ) -> Result<Self, crate::DataError> {
+        if offset.is_empty() || offset.len() != scale.len() {
+            return Err(crate::DataError::Inconsistent(format!(
+                "normalizer parts mismatch: {} offsets vs {} scales",
+                offset.len(),
+                scale.len()
+            )));
+        }
+        if offset.iter().any(|v| !v.is_finite())
+            || scale.iter().any(|&s| !s.is_finite() || s == 0.0)
+        {
+            return Err(crate::DataError::Inconsistent(
+                "normalizer statistics must be finite with non-zero scales".into(),
+            ));
+        }
+        Ok(Normalizer {
+            kind,
+            offset,
+            scale,
+        })
+    }
+
     /// The strategy this normalizer was fit with.
     pub fn kind(&self) -> NormKind {
         self.kind
+    }
+
+    /// Per-column offsets subtracted before scaling.
+    pub fn offset(&self) -> &[f64] {
+        &self.offset
+    }
+
+    /// Per-column divisors (never zero).
+    pub fn scale(&self) -> &[f64] {
+        &self.scale
     }
 
     /// Number of feature columns.
@@ -216,6 +260,27 @@ mod tests {
         assert!(
             drifted.get(0, 0) > 1.0,
             "out-of-support values are preserved"
+        );
+    }
+
+    #[test]
+    fn from_parts_round_trips_fitted_statistics() {
+        let mut rng = SeededRng::new(3);
+        let data = Matrix::from_fn(30, 5, |_, _| rng.normal(-1.0, 4.0));
+        let n = Normalizer::fit(&data, NormKind::ZScore);
+        let rebuilt =
+            Normalizer::from_parts(n.kind(), n.offset().to_vec(), n.scale().to_vec()).unwrap();
+        assert_eq!(rebuilt, n);
+        assert_eq!(rebuilt.transform(&data), n.transform(&data));
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_statistics() {
+        assert!(Normalizer::from_parts(NormKind::ZScore, vec![0.0], vec![1.0, 2.0]).is_err());
+        assert!(Normalizer::from_parts(NormKind::ZScore, vec![], vec![]).is_err());
+        assert!(Normalizer::from_parts(NormKind::ZScore, vec![0.0], vec![0.0]).is_err());
+        assert!(
+            Normalizer::from_parts(NormKind::MinMaxSymmetric, vec![f64::NAN], vec![1.0]).is_err()
         );
     }
 

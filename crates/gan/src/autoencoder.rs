@@ -2,16 +2,17 @@
 //! Table II): a deterministic bottleneck regressor from invariant to
 //! variant features, trained with plain MSE.
 
-use crate::{validate_fit, Reconstructor, Result};
+use crate::{validate_fit, GanError, ReconSnapshot, Reconstructor, Result};
 use fsda_linalg::{Matrix, SeededRng};
 use fsda_nn::layer::{Activation, Dense, MixedActivation, OutputSpec};
 use fsda_nn::loss::mse;
 use fsda_nn::optim::{Adam, Optimizer};
+use fsda_nn::state::{export_state, load_state, StateDict};
 use fsda_nn::train::BatchIter;
 use fsda_nn::Sequential;
 
 /// Hyper-parameters of [`VanillaAe`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AeConfig {
     /// Bottleneck width.
     pub bottleneck: usize,
@@ -69,27 +70,54 @@ impl VanillaAe {
             dims: None,
         }
     }
+
+    fn build_net(&self, d_inv: usize, d_var: usize, rng: &mut SeededRng) -> Sequential {
+        let h = self.config.hidden;
+        let mut net = Sequential::new();
+        net.push(Dense::new(d_inv, h, rng));
+        net.push(Activation::relu());
+        net.push(Dense::new(h, self.config.bottleneck, rng));
+        net.push(Activation::relu());
+        net.push(Dense::new(self.config.bottleneck, h, rng));
+        net.push(Activation::relu());
+        net.push(Dense::new_xavier(h, d_var, rng));
+        net.push(MixedActivation::new(
+            OutputSpec::continuous(d_var),
+            1.0,
+            rng.fork(0xAE),
+        ));
+        net
+    }
+
+    /// Rebuilds a fitted autoencoder from a snapshot's config, dims, and
+    /// weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GanError::InvalidInput`] when the state does not match
+    /// the architecture the config describes.
+    pub fn from_snapshot(
+        config: AeConfig,
+        seed: u64,
+        dims: (usize, usize),
+        state: &StateDict,
+    ) -> Result<Self> {
+        let mut ae = VanillaAe::new(config, seed);
+        let mut rng = SeededRng::new(seed);
+        let mut net = ae.build_net(dims.0, dims.1, &mut rng);
+        load_state(&mut net, state).map_err(GanError::InvalidInput)?;
+        ae.net = Some(net);
+        ae.dims = Some(dims);
+        Ok(ae)
+    }
 }
 
 impl Reconstructor for VanillaAe {
     fn fit(&mut self, x_inv: &Matrix, x_var: &Matrix, y_onehot: &Matrix) -> Result<()> {
         validate_fit(x_inv, x_var, y_onehot)?;
         let (d_inv, d_var) = (x_inv.cols(), x_var.cols());
-        let h = self.config.hidden;
         let mut rng = SeededRng::new(self.seed);
-        let mut net = Sequential::new();
-        net.push(Dense::new(d_inv, h, &mut rng));
-        net.push(Activation::relu());
-        net.push(Dense::new(h, self.config.bottleneck, &mut rng));
-        net.push(Activation::relu());
-        net.push(Dense::new(self.config.bottleneck, h, &mut rng));
-        net.push(Activation::relu());
-        net.push(Dense::new_xavier(h, d_var, &mut rng));
-        net.push(MixedActivation::new(
-            OutputSpec::continuous(d_var),
-            1.0,
-            rng.fork(0xAE),
-        ));
+        let mut net = self.build_net(d_inv, d_var, &mut rng);
 
         let mut opt = Adam::new(self.config.learning_rate);
         let n = x_inv.rows();
@@ -125,6 +153,27 @@ impl Reconstructor for VanillaAe {
 
     fn name(&self) -> &'static str {
         "ae"
+    }
+
+    fn reconstruct_rows(&self, x_inv: &Matrix, row_seeds: &[u64]) -> Matrix {
+        // Deterministic model: seeds are irrelevant, a single amortized
+        // inference pass over the whole batch is exact.
+        assert_eq!(
+            x_inv.rows(),
+            row_seeds.len(),
+            "reconstruct_rows: one seed per row"
+        );
+        self.reconstruct(x_inv, 0)
+    }
+
+    fn snapshot(&self) -> Result<ReconSnapshot> {
+        let net = self.net.as_ref().ok_or(GanError::NotFitted)?;
+        Ok(ReconSnapshot::Ae {
+            config: self.config.clone(),
+            seed: self.seed,
+            dims: self.dims.expect("dims recorded at fit"),
+            state: export_state(net),
+        })
     }
 }
 
@@ -193,6 +242,43 @@ mod tests {
     #[test]
     fn name_is_ae() {
         assert_eq!(VanillaAe::new(AeConfig::default(), 1).name(), "ae");
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical() {
+        let (x_inv, x_var, y) = toy(64, 5);
+        let mut ae = VanillaAe::new(
+            AeConfig {
+                hidden: 16,
+                epochs: 10,
+                ..AeConfig::default()
+            },
+            6,
+        );
+        ae.fit(&x_inv, &x_var, &y).unwrap();
+        let snap = ae.snapshot().unwrap();
+        let restored = crate::restore_reconstructor(&snap).unwrap();
+        assert_eq!(restored.reconstruct(&x_inv, 0), ae.reconstruct(&x_inv, 0));
+        assert_eq!(restored.snapshot().unwrap(), snap);
+    }
+
+    #[test]
+    fn reconstruct_rows_matches_full_pass() {
+        let (x_inv, x_var, y) = toy(32, 7);
+        let mut ae = VanillaAe::new(
+            AeConfig {
+                hidden: 16,
+                epochs: 10,
+                ..AeConfig::default()
+            },
+            8,
+        );
+        ae.fit(&x_inv, &x_var, &y).unwrap();
+        let seeds = vec![0u64; 32];
+        assert_eq!(
+            ae.reconstruct_rows(&x_inv, &seeds),
+            ae.reconstruct(&x_inv, 0)
+        );
     }
 
     #[test]

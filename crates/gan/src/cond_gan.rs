@@ -7,17 +7,18 @@
 //! conditioning can be disabled to obtain the `FS+NoCond` ablation of
 //! Table II.
 
-use crate::{validate_fit, Reconstructor, Result};
+use crate::{validate_fit, GanError, ReconSnapshot, Reconstructor, Result};
 use fsda_linalg::{Matrix, SeededRng};
 use fsda_nn::layer::{Activation, Dense, MixedActivation, OutputSpec};
 use fsda_nn::loss::bce_with_logits;
 use fsda_nn::norm::{BatchNorm1d, Dropout};
 use fsda_nn::optim::{Adam, Optimizer};
+use fsda_nn::state::{export_state, load_state, StateDict};
 use fsda_nn::train::BatchIter;
 use fsda_nn::Sequential;
 
 /// Hyper-parameters of [`CondGan`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CondGanConfig {
     /// Noise-vector dimension (paper: 30 for 5GC, 15 for 5GIPC — small
     /// relative to the data so that M = 1 inference is near-deterministic).
@@ -118,6 +119,31 @@ impl CondGan {
     /// Per-epoch `(discriminator_loss, generator_loss)` history.
     pub fn loss_history(&self) -> &[(f64, f64)] {
         &self.history
+    }
+
+    /// Rebuilds a fitted GAN from a snapshot's config, dims, and generator
+    /// weights. The generator architecture is rebuilt from the config and
+    /// every parameter/buffer overwritten with the snapshot state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GanError::InvalidInput`] when the state does not match
+    /// the architecture the config describes.
+    pub fn from_snapshot(
+        config: CondGanConfig,
+        seed: u64,
+        dims: (usize, usize),
+        state: &StateDict,
+    ) -> Result<Self> {
+        let mut gan = CondGan::new(config, seed);
+        // Initializer draws are irrelevant: load_state overwrites every
+        // weight, and inference never touches layer RNG state.
+        let mut rng = SeededRng::new(seed);
+        let mut gen = gan.build_generator(dims.0, dims.1, &mut rng);
+        load_state(&mut gen, state).map_err(GanError::InvalidInput)?;
+        gan.generator = Some(gen);
+        gan.dims = Some(dims);
+        Ok(gan)
     }
 
     fn build_generator(&self, d_inv: usize, d_var: usize, rng: &mut SeededRng) -> Sequential {
@@ -259,6 +285,45 @@ impl Reconstructor for CondGan {
         } else {
             "gan-nocond"
         }
+    }
+
+    fn reconstruct_rows(&self, x_inv: &Matrix, row_seeds: &[u64]) -> Matrix {
+        let gen = self
+            .generator
+            .as_ref()
+            .expect("CondGan: reconstruct before fit");
+        let (d_inv, _) = self.dims.expect("dims recorded at fit");
+        assert_eq!(
+            x_inv.cols(),
+            d_inv,
+            "CondGan: invariant-block width mismatch"
+        );
+        assert_eq!(
+            x_inv.rows(),
+            row_seeds.len(),
+            "reconstruct_rows: one seed per row"
+        );
+        // Row r gets the first `noise_dim` draws of a fresh rng seeded with
+        // row_seeds[r] — exactly what the per-row `reconstruct` would draw —
+        // so one amortized forward pass is bit-identical to the scalar loop.
+        let nd = self.config.noise_dim;
+        let mut z = Matrix::zeros(x_inv.rows(), nd);
+        for (r, &seed) in row_seeds.iter().enumerate() {
+            let noise = SeededRng::new(seed).normal_vec(nd);
+            z.row_mut(r).copy_from_slice(&noise);
+        }
+        let g_in = x_inv.hstack(&z).expect("row counts match");
+        gen.infer(&g_in)
+    }
+
+    fn snapshot(&self) -> Result<ReconSnapshot> {
+        let gen = self.generator.as_ref().ok_or(GanError::NotFitted)?;
+        Ok(ReconSnapshot::Gan {
+            config: self.config.clone(),
+            seed: self.seed,
+            dims: self.dims.expect("dims recorded at fit"),
+            state: export_state(gen),
+        })
     }
 }
 
@@ -419,6 +484,41 @@ mod tests {
             (m_real - m_fake).abs() < 0.4,
             "means: real {m_real}, fake {m_fake}"
         );
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical() {
+        let (x_inv, x_var, y) = toy_source(128, 20);
+        let mut gan = CondGan::new(quick_config(), 21);
+        gan.fit(&x_inv, &x_var, &y).unwrap();
+        let snap = gan.snapshot().unwrap();
+        let restored = crate::restore_reconstructor(&snap).unwrap();
+        assert_eq!(restored.name(), "gan");
+        assert_eq!(
+            restored.reconstruct(&x_inv, 22),
+            gan.reconstruct(&x_inv, 22)
+        );
+        // The restored model snapshots back to the same state.
+        assert_eq!(restored.snapshot().unwrap(), snap);
+    }
+
+    #[test]
+    fn snapshot_before_fit_is_not_fitted() {
+        let gan = CondGan::new(quick_config(), 1);
+        assert_eq!(gan.snapshot().unwrap_err(), GanError::NotFitted);
+    }
+
+    #[test]
+    fn reconstruct_rows_matches_per_row_loop() {
+        let (x_inv, x_var, y) = toy_source(64, 23);
+        let mut gan = CondGan::new(quick_config(), 24);
+        gan.fit(&x_inv, &x_var, &y).unwrap();
+        let seeds: Vec<u64> = (0..64u64).map(|i| i.wrapping_mul(0x9E37) ^ 0x5A).collect();
+        let batched = gan.reconstruct_rows(&x_inv, &seeds);
+        for (r, &seed) in seeds.iter().enumerate() {
+            let single = gan.reconstruct(&x_inv.select_rows(&[r]), seed);
+            assert_eq!(batched.row(r), single.row(0), "row {r}");
+        }
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub mod vae;
 
 pub use cond_gan::{CondGan, CondGanConfig};
 
+use autoencoder::AeConfig;
 use fsda_linalg::Matrix;
+use fsda_nn::state::StateDict;
+use vae::VaeConfig;
 
 /// Errors raised by reconstruction models.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,7 +66,7 @@ pub type Result<T> = std::result::Result<T, GanError>;
 /// `fit` trains on source-domain samples only (the defining property of the
 /// paper's approach); `reconstruct` generates source-like variant features
 /// for arbitrary (e.g. target-domain) invariant features.
-pub trait Reconstructor: Send {
+pub trait Reconstructor: Send + Sync {
     /// Trains on source data: invariant block, variant block, and one-hot
     /// labels (models that do not condition on labels ignore them).
     ///
@@ -84,6 +87,145 @@ pub trait Reconstructor: Send {
 
     /// Short name for reports ("gan", "gan-nocond", "vae", "ae").
     fn name(&self) -> &'static str;
+
+    /// Reconstructs a batch where row `r` uses generator noise seeded by
+    /// `row_seeds[r]`, so the result does not depend on how rows are
+    /// grouped into batches: reconstructing all rows at once, one at a
+    /// time, or in arbitrary chunks gives bit-identical output. This is
+    /// the contract the batched serving path relies on.
+    ///
+    /// The default implementation loops [`Reconstructor::reconstruct`]
+    /// over single rows; implementations override it to amortize the
+    /// network forward pass over the whole matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before a successful fit, or when
+    /// `row_seeds.len() != x_inv.rows()`.
+    fn reconstruct_rows(&self, x_inv: &Matrix, row_seeds: &[u64]) -> Matrix {
+        assert_eq!(
+            x_inv.rows(),
+            row_seeds.len(),
+            "reconstruct_rows: one seed per row"
+        );
+        let mut out: Option<Matrix> = None;
+        for (r, &seed) in row_seeds.iter().enumerate() {
+            let row = self.reconstruct(&x_inv.select_rows(&[r]), seed);
+            out = Some(match out {
+                None => row,
+                Some(acc) => acc.vstack(&row).expect("same column count"),
+            });
+        }
+        out.expect("reconstruct_rows: empty batch")
+    }
+
+    /// Captures the fitted model as a self-describing [`ReconSnapshot`]
+    /// (config + seed + dims + weights) that [`restore_reconstructor`]
+    /// turns back into an equivalent model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GanError::NotFitted`] before a successful fit and
+    /// [`GanError::InvalidInput`] for models without snapshot support
+    /// (the default).
+    fn snapshot(&self) -> Result<ReconSnapshot> {
+        Err(GanError::InvalidInput(format!(
+            "reconstructor '{}' does not support snapshots",
+            self.name()
+        )))
+    }
+}
+
+/// A serializable capture of a fitted reconstructor: enough to rebuild the
+/// exact architecture (config + dims), plus its trained weights.
+///
+/// The training seed is carried for provenance; restoring overwrites every
+/// parameter and buffer with the snapshot weights, so the rebuilt model
+/// reconstructs bit-identically to the original.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReconSnapshot {
+    /// A fitted [`CondGan`] (conditional or the NoCond ablation).
+    Gan {
+        /// Architecture hyper-parameters.
+        config: CondGanConfig,
+        /// Training seed (provenance).
+        seed: u64,
+        /// `(invariant, variant)` feature dims recorded at fit.
+        dims: (usize, usize),
+        /// Generator weights and batch-norm running statistics.
+        state: StateDict,
+    },
+    /// A fitted [`vae::Vae`].
+    Vae {
+        /// Architecture hyper-parameters.
+        config: VaeConfig,
+        /// Training seed (provenance).
+        seed: u64,
+        /// `(invariant, variant)` feature dims recorded at fit.
+        dims: (usize, usize),
+        /// Decoder weights.
+        state: StateDict,
+    },
+    /// A fitted [`autoencoder::VanillaAe`].
+    Ae {
+        /// Architecture hyper-parameters.
+        config: AeConfig,
+        /// Training seed (provenance).
+        seed: u64,
+        /// `(invariant, variant)` feature dims recorded at fit.
+        dims: (usize, usize),
+        /// Network weights.
+        state: StateDict,
+    },
+}
+
+/// Rebuilds a fitted reconstructor from a [`ReconSnapshot`].
+///
+/// The architecture is reconstructed from the snapshot's config/dims and
+/// every weight is overwritten with the snapshot state, so the returned
+/// model's `reconstruct` output is bit-identical to the snapshotted one.
+///
+/// # Errors
+///
+/// Returns [`GanError::InvalidInput`] when the snapshot state does not
+/// match the architecture its config describes (a corrupted or
+/// hand-edited artifact).
+pub fn restore_reconstructor(snapshot: &ReconSnapshot) -> Result<Box<dyn Reconstructor>> {
+    match snapshot {
+        ReconSnapshot::Gan {
+            config,
+            seed,
+            dims,
+            state,
+        } => Ok(Box::new(CondGan::from_snapshot(
+            config.clone(),
+            *seed,
+            *dims,
+            state,
+        )?)),
+        ReconSnapshot::Vae {
+            config,
+            seed,
+            dims,
+            state,
+        } => Ok(Box::new(vae::Vae::from_snapshot(
+            config.clone(),
+            *seed,
+            *dims,
+            state,
+        )?)),
+        ReconSnapshot::Ae {
+            config,
+            seed,
+            dims,
+            state,
+        } => Ok(Box::new(autoencoder::VanillaAe::from_snapshot(
+            config.clone(),
+            *seed,
+            *dims,
+            state,
+        )?)),
+    }
 }
 
 /// Validates the common `fit` preconditions.

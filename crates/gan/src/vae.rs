@@ -6,15 +6,16 @@
 //! usual ELBO (MSE reconstruction + KL). At inference `z ~ N(0, I)` is
 //! drawn, so the model plays the same role as the GAN generator.
 
-use crate::{validate_fit, Reconstructor, Result};
+use crate::{validate_fit, GanError, ReconSnapshot, Reconstructor, Result};
 use fsda_linalg::{Matrix, SeededRng};
 use fsda_nn::layer::{Activation, Dense, MixedActivation, OutputSpec};
 use fsda_nn::optim::{Adam, Optimizer};
+use fsda_nn::state::{export_state, load_state, StateDict};
 use fsda_nn::train::BatchIter;
 use fsda_nn::Sequential;
 
 /// Hyper-parameters of [`Vae`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VaeConfig {
     /// Latent dimension.
     pub latent_dim: usize,
@@ -70,6 +71,45 @@ impl Vae {
             dims: None,
         }
     }
+
+    fn build_decoder(&self, d_inv: usize, d_var: usize, rng: &mut SeededRng) -> Sequential {
+        let h = self.config.hidden;
+        let zd = self.config.latent_dim;
+        let mut decoder = Sequential::new();
+        decoder.push(Dense::new(d_inv + zd, h, rng));
+        decoder.push(Activation::relu());
+        decoder.push(Dense::new(h, h, rng));
+        decoder.push(Activation::relu());
+        decoder.push(Dense::new_xavier(h, d_var, rng));
+        decoder.push(MixedActivation::new(
+            OutputSpec::continuous(d_var),
+            1.0,
+            rng.fork(0x7E),
+        ));
+        decoder
+    }
+
+    /// Rebuilds a fitted VAE from a snapshot's config, dims, and decoder
+    /// weights (the encoder is a training-time object and is not kept).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GanError::InvalidInput`] when the state does not match
+    /// the architecture the config describes.
+    pub fn from_snapshot(
+        config: VaeConfig,
+        seed: u64,
+        dims: (usize, usize),
+        state: &StateDict,
+    ) -> Result<Self> {
+        let mut vae = Vae::new(config, seed);
+        let mut rng = SeededRng::new(seed);
+        let mut decoder = vae.build_decoder(dims.0, dims.1, &mut rng);
+        load_state(&mut decoder, state).map_err(GanError::InvalidInput)?;
+        vae.decoder = Some(decoder);
+        vae.dims = Some(dims);
+        Ok(vae)
+    }
 }
 
 impl Reconstructor for Vae {
@@ -87,17 +127,7 @@ impl Reconstructor for Vae {
         encoder.push(Dense::new(h, 2 * zd, &mut rng));
 
         // Decoder mirrors the GAN generator.
-        let mut decoder = Sequential::new();
-        decoder.push(Dense::new(d_inv + zd, h, &mut rng));
-        decoder.push(Activation::relu());
-        decoder.push(Dense::new(h, h, &mut rng));
-        decoder.push(Activation::relu());
-        decoder.push(Dense::new_xavier(h, d_var, &mut rng));
-        decoder.push(MixedActivation::new(
-            OutputSpec::continuous(d_var),
-            1.0,
-            rng.fork(0x7E),
-        ));
+        let mut decoder = self.build_decoder(d_inv, d_var, &mut rng);
 
         let mut opt = Adam::new(self.config.learning_rate);
         let n = x_inv.rows();
@@ -174,6 +204,35 @@ impl Reconstructor for Vae {
 
     fn name(&self) -> &'static str {
         "vae"
+    }
+
+    fn reconstruct_rows(&self, x_inv: &Matrix, row_seeds: &[u64]) -> Matrix {
+        let decoder = self.decoder.as_ref().expect("Vae: reconstruct before fit");
+        let (d_inv, _) = self.dims.expect("dims recorded at fit");
+        assert_eq!(x_inv.cols(), d_inv, "Vae: invariant-block width mismatch");
+        assert_eq!(
+            x_inv.rows(),
+            row_seeds.len(),
+            "reconstruct_rows: one seed per row"
+        );
+        let zd = self.config.latent_dim;
+        let mut z = Matrix::zeros(x_inv.rows(), zd);
+        for (r, &seed) in row_seeds.iter().enumerate() {
+            let noise = SeededRng::new(seed).normal_vec(zd);
+            z.row_mut(r).copy_from_slice(&noise);
+        }
+        let dec_in = x_inv.hstack(&z).expect("rows match");
+        decoder.infer(&dec_in)
+    }
+
+    fn snapshot(&self) -> Result<ReconSnapshot> {
+        let decoder = self.decoder.as_ref().ok_or(GanError::NotFitted)?;
+        Ok(ReconSnapshot::Vae {
+            config: self.config.clone(),
+            seed: self.seed,
+            dims: self.dims.expect("dims recorded at fit"),
+            state: export_state(decoder),
+        })
     }
 }
 
@@ -255,5 +314,44 @@ mod tests {
     #[test]
     fn name_is_vae() {
         assert_eq!(Vae::new(quick(), 1).name(), "vae");
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical() {
+        let (x_inv, x_var, y) = toy(64, 10);
+        let mut vae = Vae::new(
+            VaeConfig {
+                epochs: 10,
+                ..quick()
+            },
+            11,
+        );
+        vae.fit(&x_inv, &x_var, &y).unwrap();
+        let snap = vae.snapshot().unwrap();
+        let restored = crate::restore_reconstructor(&snap).unwrap();
+        assert_eq!(
+            restored.reconstruct(&x_inv, 12),
+            vae.reconstruct(&x_inv, 12)
+        );
+        assert_eq!(restored.snapshot().unwrap(), snap);
+    }
+
+    #[test]
+    fn reconstruct_rows_matches_per_row_loop() {
+        let (x_inv, x_var, y) = toy(32, 13);
+        let mut vae = Vae::new(
+            VaeConfig {
+                epochs: 10,
+                ..quick()
+            },
+            14,
+        );
+        vae.fit(&x_inv, &x_var, &y).unwrap();
+        let seeds: Vec<u64> = (0..32u64).map(|i| 1000 + i * 7).collect();
+        let batched = vae.reconstruct_rows(&x_inv, &seeds);
+        for (r, &seed) in seeds.iter().enumerate() {
+            let single = vae.reconstruct(&x_inv.select_rows(&[r]), seed);
+            assert_eq!(batched.row(r), single.row(0), "row {r}");
+        }
     }
 }

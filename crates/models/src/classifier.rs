@@ -1,7 +1,13 @@
 //! The model-agnostic [`Classifier`] trait and the classifier factory.
 
+use crate::forest::ForestConfig;
+use crate::gbdt::GbdtConfig;
+use crate::mlp::MlpConfig;
+use crate::tnet::TnetConfig;
+use crate::tree::{FlatNode, FlatRegNode};
 use crate::{ModelError, Result};
 use fsda_linalg::Matrix;
+use fsda_nn::state::StateDict;
 
 /// A multi-class classifier over tabular features.
 ///
@@ -48,6 +54,140 @@ pub trait Classifier: Send {
 
     /// Short human-readable model name ("tnet", "mlp", "rf", "xgb").
     fn name(&self) -> &'static str;
+
+    /// Captures the fitted model as a self-describing
+    /// [`ClassifierSnapshot`] that [`restore_classifier`] turns back into
+    /// an equivalent model with bit-identical predictions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NotFitted`] before a successful fit and
+    /// [`ModelError::InvalidInput`] for models without snapshot support
+    /// (the default — e.g. few-shot embedding baselines).
+    fn snapshot(&self) -> Result<ClassifierSnapshot> {
+        Err(ModelError::InvalidInput(format!(
+            "classifier '{}' does not support snapshots",
+            self.name()
+        )))
+    }
+}
+
+/// A serializable capture of a fitted classifier: the architecture config,
+/// training seed (provenance), and all learned state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClassifierSnapshot {
+    /// A fitted [`crate::tnet::TnetClassifier`].
+    Tnet {
+        /// Architecture hyper-parameters.
+        config: TnetConfig,
+        /// Training seed (provenance).
+        seed: u64,
+        /// Input feature dimension.
+        in_dim: usize,
+        /// Number of classes.
+        num_classes: usize,
+        /// Network weights and batch-norm running statistics.
+        state: StateDict,
+    },
+    /// A fitted [`crate::mlp::MlpClassifier`].
+    Mlp {
+        /// Architecture hyper-parameters.
+        config: MlpConfig,
+        /// Training seed (provenance).
+        seed: u64,
+        /// Input feature dimension.
+        in_dim: usize,
+        /// Number of classes.
+        num_classes: usize,
+        /// Network weights.
+        state: StateDict,
+    },
+    /// A fitted [`crate::forest::RandomForest`].
+    Forest {
+        /// Forest hyper-parameters.
+        config: ForestConfig,
+        /// Training seed (provenance).
+        seed: u64,
+        /// Number of classes.
+        num_classes: usize,
+        /// Flat node lists, one per tree.
+        trees: Vec<Vec<FlatNode>>,
+    },
+    /// A fitted [`crate::gbdt::GradientBoosting`].
+    Gbdt {
+        /// Boosting hyper-parameters.
+        config: GbdtConfig,
+        /// Training seed (provenance).
+        seed: u64,
+        /// Number of classes.
+        num_classes: usize,
+        /// Per-class log-prior scores.
+        base_score: Vec<f64>,
+        /// Flat node lists, `trees[round][class]`.
+        trees: Vec<Vec<Vec<FlatRegNode>>>,
+    },
+}
+
+/// Rebuilds a fitted classifier from a [`ClassifierSnapshot`].
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidInput`] when the snapshot's state does not
+/// match the architecture its config describes (a corrupted or hand-edited
+/// artifact).
+pub fn restore_classifier(snapshot: &ClassifierSnapshot) -> Result<Box<dyn Classifier>> {
+    match snapshot {
+        ClassifierSnapshot::Tnet {
+            config,
+            seed,
+            in_dim,
+            num_classes,
+            state,
+        } => Ok(Box::new(crate::tnet::TnetClassifier::from_snapshot(
+            config.clone(),
+            *seed,
+            *in_dim,
+            *num_classes,
+            state,
+        )?)),
+        ClassifierSnapshot::Mlp {
+            config,
+            seed,
+            in_dim,
+            num_classes,
+            state,
+        } => Ok(Box::new(crate::mlp::MlpClassifier::from_snapshot(
+            config.clone(),
+            *seed,
+            *in_dim,
+            *num_classes,
+            state,
+        )?)),
+        ClassifierSnapshot::Forest {
+            config,
+            seed,
+            num_classes,
+            trees,
+        } => Ok(Box::new(crate::forest::RandomForest::from_snapshot(
+            config.clone(),
+            *seed,
+            *num_classes,
+            trees,
+        )?)),
+        ClassifierSnapshot::Gbdt {
+            config,
+            seed,
+            num_classes,
+            base_score,
+            trees,
+        } => Ok(Box::new(crate::gbdt::GradientBoosting::from_snapshot(
+            config.clone(),
+            *seed,
+            *num_classes,
+            base_score.clone(),
+            trees,
+        )?)),
+    }
 }
 
 /// Row-wise argmax helper shared by classifier implementations.

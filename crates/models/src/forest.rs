@@ -1,14 +1,14 @@
 //! Random forest: bagged CART trees with feature subsampling, trained in
 //! parallel on the shared `fsda_linalg::par` worker pool.
 
-use crate::classifier::{validate_fit, Classifier};
-use crate::tree::{DecisionTree, TreeConfig};
-use crate::Result;
+use crate::classifier::{validate_fit, Classifier, ClassifierSnapshot};
+use crate::tree::{DecisionTree, FlatNode, TreeConfig};
+use crate::{ModelError, Result};
 use fsda_linalg::par::par_map;
 use fsda_linalg::{Matrix, SeededRng};
 
 /// Hyper-parameters of [`RandomForest`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ForestConfig {
     /// Number of trees.
     pub num_trees: usize,
@@ -68,6 +68,33 @@ impl RandomForest {
     /// Number of fitted trees.
     pub fn num_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Rebuilds a fitted forest from a snapshot's config and flat trees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidInput`] when the snapshot holds no
+    /// trees or any tree is malformed.
+    pub fn from_snapshot(
+        config: ForestConfig,
+        seed: u64,
+        num_classes: usize,
+        trees: &[Vec<FlatNode>],
+    ) -> Result<Self> {
+        if trees.is_empty() {
+            return Err(ModelError::InvalidInput("forest has no trees".into()));
+        }
+        let built: Vec<DecisionTree> = trees
+            .iter()
+            .map(|nodes| DecisionTree::from_nodes(nodes.clone(), num_classes))
+            .collect::<Result<_>>()?;
+        Ok(RandomForest {
+            config,
+            seed,
+            trees: built,
+            num_classes,
+        })
     }
 }
 
@@ -129,6 +156,18 @@ impl Classifier for RandomForest {
 
     fn name(&self) -> &'static str {
         "rf"
+    }
+
+    fn snapshot(&self) -> Result<ClassifierSnapshot> {
+        if self.trees.is_empty() {
+            return Err(ModelError::NotFitted);
+        }
+        Ok(ClassifierSnapshot::Forest {
+            config: self.config.clone(),
+            seed: self.seed,
+            num_classes: self.num_classes,
+            trees: self.trees.iter().map(DecisionTree::export_nodes).collect(),
+        })
     }
 }
 
@@ -296,5 +335,29 @@ mod tests {
     fn predict_before_fit_panics() {
         let f = RandomForest::new(ForestConfig::default(), 1);
         let _ = f.predict_proba(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical() {
+        let (x, y) = blobs(15, 2, 6);
+        let mut f = RandomForest::new(
+            ForestConfig {
+                num_trees: 8,
+                threads: 2,
+                ..ForestConfig::default()
+            },
+            21,
+        );
+        f.fit(&x, &y, 2).unwrap();
+        let snap = f.snapshot().unwrap();
+        let restored = crate::classifier::restore_classifier(&snap).unwrap();
+        assert_eq!(restored.predict_proba(&x), f.predict_proba(&x));
+        assert_eq!(restored.snapshot().unwrap(), snap);
+    }
+
+    #[test]
+    fn snapshot_before_fit_is_not_fitted() {
+        let f = RandomForest::new(ForestConfig::default(), 1);
+        assert!(matches!(f.snapshot(), Err(ModelError::NotFitted)));
     }
 }

@@ -1,14 +1,14 @@
 //! Gradient-boosted decision trees with the XGBoost second-order objective
 //! (softmax multi-class), the "XGB" column of the paper's tables.
 
-use crate::classifier::{validate_fit, Classifier};
-use crate::tree::{RegTreeConfig, RegressionTree};
-use crate::Result;
+use crate::classifier::{validate_fit, Classifier, ClassifierSnapshot};
+use crate::tree::{FlatRegNode, RegTreeConfig, RegressionTree};
+use crate::{ModelError, Result};
 use fsda_linalg::{Matrix, SeededRng};
 use fsda_nn::loss::softmax;
 
 /// Hyper-parameters of [`GradientBoosting`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GbdtConfig {
     /// Boosting rounds (each round fits one tree per class).
     pub rounds: usize,
@@ -74,6 +74,54 @@ impl GradientBoosting {
     /// Number of boosting rounds fitted.
     pub fn rounds_fitted(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Rebuilds a fitted booster from a snapshot's config, base scores,
+    /// and flat trees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidInput`] when the snapshot is empty,
+    /// a round does not hold one tree per class, the base-score length
+    /// disagrees with `num_classes`, or any tree is malformed.
+    pub fn from_snapshot(
+        config: GbdtConfig,
+        seed: u64,
+        num_classes: usize,
+        base_score: Vec<f64>,
+        trees: &[Vec<Vec<FlatRegNode>>],
+    ) -> Result<Self> {
+        if trees.is_empty() {
+            return Err(ModelError::InvalidInput("booster has no rounds".into()));
+        }
+        if base_score.len() != num_classes {
+            return Err(ModelError::InvalidInput(format!(
+                "{} base scores for {num_classes} classes",
+                base_score.len()
+            )));
+        }
+        let built: Vec<Vec<RegressionTree>> = trees
+            .iter()
+            .map(|round| {
+                if round.len() != num_classes {
+                    return Err(ModelError::InvalidInput(format!(
+                        "round holds {} trees for {num_classes} classes",
+                        round.len()
+                    )));
+                }
+                round
+                    .iter()
+                    .map(|nodes| RegressionTree::from_nodes(nodes.clone()))
+                    .collect()
+            })
+            .collect::<Result<_>>()?;
+        Ok(GradientBoosting {
+            config,
+            seed,
+            trees: built,
+            base_score,
+            num_classes,
+        })
     }
 
     fn raw_scores(&self, x: &Matrix) -> Matrix {
@@ -167,6 +215,23 @@ impl Classifier for GradientBoosting {
 
     fn name(&self) -> &'static str {
         "xgb"
+    }
+
+    fn snapshot(&self) -> Result<ClassifierSnapshot> {
+        if self.trees.is_empty() {
+            return Err(ModelError::NotFitted);
+        }
+        Ok(ClassifierSnapshot::Gbdt {
+            config: self.config.clone(),
+            seed: self.seed,
+            num_classes: self.num_classes,
+            base_score: self.base_score.clone(),
+            trees: self
+                .trees
+                .iter()
+                .map(|round| round.iter().map(RegressionTree::export_nodes).collect())
+                .collect(),
+        })
     }
 }
 
@@ -316,5 +381,28 @@ mod tests {
         a.fit(&x, &y, 2).unwrap();
         b.fit(&x, &y, 2).unwrap();
         assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical() {
+        let (x, y) = blobs(15, 3, 12);
+        let mut m = GradientBoosting::new(
+            GbdtConfig {
+                rounds: 5,
+                ..GbdtConfig::default()
+            },
+            23,
+        );
+        m.fit(&x, &y, 3).unwrap();
+        let snap = m.snapshot().unwrap();
+        let restored = crate::classifier::restore_classifier(&snap).unwrap();
+        assert_eq!(restored.predict_proba(&x), m.predict_proba(&x));
+        assert_eq!(restored.snapshot().unwrap(), snap);
+    }
+
+    #[test]
+    fn snapshot_before_fit_is_not_fitted() {
+        let m = GradientBoosting::new(GbdtConfig::default(), 1);
+        assert!(matches!(m.snapshot(), Err(ModelError::NotFitted)));
     }
 }

@@ -34,7 +34,7 @@ pub mod mlp;
 pub mod tnet;
 pub mod tree;
 
-pub use classifier::{Classifier, ClassifierKind};
+pub use classifier::{restore_classifier, Classifier, ClassifierKind, ClassifierSnapshot};
 
 /// Errors raised by model training and prediction.
 #[derive(Debug, Clone, PartialEq, Eq)]

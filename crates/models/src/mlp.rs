@@ -1,16 +1,17 @@
 //! Multilayer-perceptron classifier.
 
-use crate::classifier::{validate_fit, Classifier};
-use crate::Result;
+use crate::classifier::{validate_fit, Classifier, ClassifierSnapshot};
+use crate::{ModelError, Result};
 use fsda_linalg::{Matrix, SeededRng};
 use fsda_nn::layer::{Activation, Dense};
 use fsda_nn::loss::{softmax, weighted_cross_entropy};
 use fsda_nn::optim::{Adam, Optimizer};
+use fsda_nn::state::{export_state, load_state, StateDict};
 use fsda_nn::train::BatchIter;
 use fsda_nn::Sequential;
 
 /// Hyper-parameters of the [`MlpClassifier`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MlpConfig {
     /// Hidden-layer widths.
     pub hidden: Vec<usize>,
@@ -75,6 +76,29 @@ impl MlpClassifier {
         }
         net.push(Dense::new(prev, out_dim, rng));
         net
+    }
+
+    /// Rebuilds a fitted classifier from a snapshot's config, dims, and
+    /// network state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidInput`] when the state does not match
+    /// the architecture the config describes.
+    pub fn from_snapshot(
+        config: MlpConfig,
+        seed: u64,
+        in_dim: usize,
+        num_classes: usize,
+        state: &StateDict,
+    ) -> Result<Self> {
+        let mut clf = MlpClassifier::new(config, seed);
+        let mut rng = SeededRng::new(seed);
+        let mut net = clf.build_net(in_dim, num_classes, &mut rng);
+        load_state(&mut net, state).map_err(ModelError::InvalidInput)?;
+        clf.net = Some(net);
+        clf.num_classes = num_classes;
+        Ok(clf)
     }
 
     /// Fine-tunes all parameters on new data (used by the Fine-Tune
@@ -154,6 +178,17 @@ impl Classifier for MlpClassifier {
 
     fn name(&self) -> &'static str {
         "mlp"
+    }
+
+    fn snapshot(&self) -> Result<ClassifierSnapshot> {
+        let net = self.net.as_ref().ok_or(ModelError::NotFitted)?;
+        Ok(ClassifierSnapshot::Mlp {
+            config: self.config.clone(),
+            seed: self.seed,
+            in_dim: net.params()[0].cols(),
+            num_classes: self.num_classes,
+            state: export_state(net),
+        })
     }
 }
 
@@ -267,5 +302,28 @@ mod tests {
     fn rejects_invalid_input() {
         let mut m = MlpClassifier::new(MlpConfig::default(), 1);
         assert!(m.fit(&Matrix::zeros(2, 2), &[0, 9], 2).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical() {
+        let (x, y) = blobs(15, 3, 2.0, 7);
+        let mut m = MlpClassifier::new(
+            MlpConfig {
+                epochs: 6,
+                ..MlpConfig::default()
+            },
+            17,
+        );
+        m.fit(&x, &y, 3).unwrap();
+        let snap = m.snapshot().unwrap();
+        let restored = crate::classifier::restore_classifier(&snap).unwrap();
+        assert_eq!(restored.predict_proba(&x), m.predict_proba(&x));
+        assert_eq!(restored.snapshot().unwrap(), snap);
+    }
+
+    #[test]
+    fn snapshot_before_fit_is_not_fitted() {
+        let m = MlpClassifier::new(MlpConfig::default(), 1);
+        assert!(matches!(m.snapshot(), Err(ModelError::NotFitted)));
     }
 }

@@ -8,18 +8,19 @@
 //! [Dense-BN-ReLU-Drop] → h2`, classify on `h1 + h2`. Consistent with the
 //! paper, it modestly but consistently outperforms the plain MLP.
 
-use crate::classifier::{validate_fit, Classifier};
-use crate::Result;
+use crate::classifier::{validate_fit, Classifier, ClassifierSnapshot};
+use crate::{ModelError, Result};
 use fsda_linalg::{Matrix, SeededRng};
 use fsda_nn::layer::{Activation, Dense};
 use fsda_nn::loss::{softmax, weighted_cross_entropy};
 use fsda_nn::norm::{BatchNorm1d, Dropout};
 use fsda_nn::optim::{Adam, Optimizer};
+use fsda_nn::state::StateDict;
 use fsda_nn::train::BatchIter;
 use fsda_nn::{Layer, Sequential};
 
 /// Hyper-parameters of [`TnetClassifier`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TnetConfig {
     /// Width of the residual trunk.
     pub hidden: usize,
@@ -92,6 +93,68 @@ impl TnetNet {
         p.extend(self.head.params_mut());
         p
     }
+
+    /// Snapshot of all weights and batch-norm buffers, in the stable order
+    /// block1, block2, head.
+    fn export(&self) -> StateDict {
+        let mut tensors: Vec<Matrix> = Vec::new();
+        let mut buffers: Vec<Vec<f64>> = Vec::new();
+        for block in [&self.block1, &self.block2] {
+            tensors.extend(block.params().iter().map(|p| (*p).clone()));
+            buffers.extend(block.buffers().iter().map(|b| b.to_vec()));
+        }
+        tensors.extend(self.head.params().iter().map(|p| (*p).clone()));
+        StateDict::from_parts(tensors, buffers)
+    }
+
+    /// Restores weights and buffers exported by [`TnetNet::export`].
+    fn load(&mut self, state: &StateDict) -> std::result::Result<(), String> {
+        let mut params = self.block1.params_mut();
+        params.extend(self.block2.params_mut());
+        params.extend(self.head.params_mut());
+        if params.len() != state.tensors().len() {
+            return Err(format!(
+                "state dict has {} tensors but the network has {} parameters",
+                state.tensors().len(),
+                params.len()
+            ));
+        }
+        for (i, (param, tensor)) in params.iter().zip(state.tensors()).enumerate() {
+            if param.value.shape() != tensor.shape() {
+                return Err(format!(
+                    "tensor {i}: shape {:?} does not match parameter shape {:?}",
+                    tensor.shape(),
+                    param.value.shape()
+                ));
+            }
+        }
+        for (param, tensor) in params.iter_mut().zip(state.tensors()) {
+            *param.value = tensor.clone();
+        }
+        drop(params);
+        let mut buffers = self.block1.buffers_mut();
+        buffers.extend(self.block2.buffers_mut());
+        if buffers.len() != state.buffers().len() {
+            return Err(format!(
+                "state dict has {} buffers but the network has {}",
+                state.buffers().len(),
+                buffers.len()
+            ));
+        }
+        for (i, (dst, src)) in buffers.iter().zip(state.buffers()).enumerate() {
+            if dst.len() != src.len() {
+                return Err(format!(
+                    "buffer {i}: length {} does not match network buffer length {}",
+                    src.len(),
+                    dst.len()
+                ));
+            }
+        }
+        for (dst, src) in buffers.iter_mut().zip(state.buffers()) {
+            **dst = src.clone();
+        }
+        Ok(())
+    }
 }
 
 /// The TNet classifier.
@@ -138,6 +201,29 @@ impl TnetClassifier {
             head: Dense::new(h, out_dim, rng),
         }
     }
+
+    /// Rebuilds a fitted classifier from a snapshot's config, dims, and
+    /// network state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidInput`] when the state does not match
+    /// the architecture the config describes.
+    pub fn from_snapshot(
+        config: TnetConfig,
+        seed: u64,
+        in_dim: usize,
+        num_classes: usize,
+        state: &StateDict,
+    ) -> Result<Self> {
+        let mut clf = TnetClassifier::new(config, seed);
+        let mut rng = SeededRng::new(seed);
+        let mut net = clf.build(in_dim, num_classes, &mut rng);
+        net.load(state).map_err(ModelError::InvalidInput)?;
+        clf.net = Some(net);
+        clf.num_classes = num_classes;
+        Ok(clf)
+    }
 }
 
 impl Classifier for TnetClassifier {
@@ -183,6 +269,17 @@ impl Classifier for TnetClassifier {
 
     fn name(&self) -> &'static str {
         "tnet"
+    }
+
+    fn snapshot(&self) -> Result<ClassifierSnapshot> {
+        let net = self.net.as_ref().ok_or(ModelError::NotFitted)?;
+        Ok(ClassifierSnapshot::Tnet {
+            config: self.config.clone(),
+            seed: self.seed,
+            in_dim: net.block1.params()[0].cols(),
+            num_classes: self.num_classes,
+            state: net.export(),
+        })
     }
 }
 
@@ -264,5 +361,28 @@ mod tests {
     fn rejects_bad_input() {
         let mut m = TnetClassifier::new(TnetConfig::default(), 1);
         assert!(m.fit(&Matrix::zeros(3, 2), &[0, 1], 2).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical() {
+        let (x, y) = blobs(15, 2, 2.0, 6);
+        let mut m = TnetClassifier::new(
+            TnetConfig {
+                epochs: 6,
+                ..TnetConfig::default()
+            },
+            13,
+        );
+        m.fit(&x, &y, 2).unwrap();
+        let snap = m.snapshot().unwrap();
+        let restored = crate::classifier::restore_classifier(&snap).unwrap();
+        assert_eq!(restored.predict_proba(&x), m.predict_proba(&x));
+        assert_eq!(restored.snapshot().unwrap(), snap);
+    }
+
+    #[test]
+    fn snapshot_before_fit_is_not_fitted() {
+        let m = TnetClassifier::new(TnetConfig::default(), 1);
+        assert!(matches!(m.snapshot(), Err(ModelError::NotFitted)));
     }
 }

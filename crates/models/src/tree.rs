@@ -2,7 +2,7 @@
 //! random forest and — in regression form — of gradient boosting.
 
 use crate::classifier::validate_fit;
-use crate::Result;
+use crate::{ModelError, Result};
 use fsda_linalg::{Matrix, SeededRng};
 
 /// Hyper-parameters for a single classification tree.
@@ -36,6 +36,51 @@ enum Node {
         feature: usize,
         threshold: f64,
         left: usize,
+        right: usize,
+    },
+}
+
+/// A [`DecisionTree`] node in serializable form: the tree's arena layout
+/// made public, with child links as indices into the flat node list (the
+/// root is node 0).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlatNode {
+    /// Terminal node holding per-class probabilities.
+    Leaf {
+        /// Class-probability vector (length = `num_classes`).
+        probs: Vec<f64>,
+    },
+    /// Internal split `row[feature] <= threshold ? left : right`.
+    Split {
+        /// Feature column tested.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Index of the left child.
+        left: usize,
+        /// Index of the right child.
+        right: usize,
+    },
+}
+
+/// A [`RegressionTree`] node in serializable form (same arena layout as
+/// [`FlatNode`], with scalar leaf values).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlatRegNode {
+    /// Terminal node holding the predicted value.
+    Leaf {
+        /// Leaf output value.
+        value: f64,
+    },
+    /// Internal split `row[feature] <= threshold ? left : right`.
+    Split {
+        /// Feature column tested.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Index of the left child.
+        left: usize,
+        /// Index of the right child.
         right: usize,
     },
 }
@@ -74,6 +119,82 @@ impl DecisionTree {
     /// Number of nodes in the tree.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Exports the tree as flat serializable nodes (root at index 0).
+    pub fn export_nodes(&self) -> Vec<FlatNode> {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Leaf { probs } => FlatNode::Leaf {
+                    probs: probs.clone(),
+                },
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => FlatNode::Split {
+                    feature: *feature,
+                    threshold: *threshold,
+                    left: *left,
+                    right: *right,
+                },
+            })
+            .collect()
+    }
+
+    /// Rebuilds a tree from flat nodes produced by
+    /// [`DecisionTree::export_nodes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidInput`] when the node list is empty,
+    /// a child index is out of bounds, or a leaf's probability vector does
+    /// not have `num_classes` entries — any of which would make prediction
+    /// panic or return garbage.
+    pub fn from_nodes(nodes: Vec<FlatNode>, num_classes: usize) -> Result<Self> {
+        if nodes.is_empty() {
+            return Err(ModelError::InvalidInput("tree has no nodes".into()));
+        }
+        let n = nodes.len();
+        let built: Vec<Node> = nodes
+            .into_iter()
+            .enumerate()
+            .map(|(i, node)| match node {
+                FlatNode::Leaf { probs } => {
+                    if probs.len() != num_classes {
+                        return Err(ModelError::InvalidInput(format!(
+                            "leaf {i} has {} probabilities for {num_classes} classes",
+                            probs.len()
+                        )));
+                    }
+                    Ok(Node::Leaf { probs })
+                }
+                FlatNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    if left >= n || right >= n {
+                        return Err(ModelError::InvalidInput(format!(
+                            "split {i} links to child out of bounds ({left}/{right} of {n})"
+                        )));
+                    }
+                    Ok(Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    })
+                }
+            })
+            .collect::<Result<_>>()?;
+        Ok(DecisionTree {
+            nodes: built,
+            num_classes,
+        })
     }
 
     /// Maximum depth reached (root = 0); 0 for a single leaf.
@@ -341,6 +462,69 @@ impl RegressionTree {
         self.nodes.len()
     }
 
+    /// Exports the tree as flat serializable nodes (root at index 0).
+    pub fn export_nodes(&self) -> Vec<FlatRegNode> {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                RegNode::Leaf { value } => FlatRegNode::Leaf { value: *value },
+                RegNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => FlatRegNode::Split {
+                    feature: *feature,
+                    threshold: *threshold,
+                    left: *left,
+                    right: *right,
+                },
+            })
+            .collect()
+    }
+
+    /// Rebuilds a tree from flat nodes produced by
+    /// [`RegressionTree::export_nodes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidInput`] when the node list is empty or
+    /// a child index is out of bounds.
+    pub fn from_nodes(nodes: Vec<FlatRegNode>) -> Result<Self> {
+        if nodes.is_empty() {
+            return Err(ModelError::InvalidInput(
+                "regression tree has no nodes".into(),
+            ));
+        }
+        let n = nodes.len();
+        let built: Vec<RegNode> = nodes
+            .into_iter()
+            .enumerate()
+            .map(|(i, node)| match node {
+                FlatRegNode::Leaf { value } => Ok(RegNode::Leaf { value }),
+                FlatRegNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    if left >= n || right >= n {
+                        return Err(ModelError::InvalidInput(format!(
+                            "split {i} links to child out of bounds ({left}/{right} of {n})"
+                        )));
+                    }
+                    Ok(RegNode::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    })
+                }
+            })
+            .collect::<Result<_>>()?;
+        Ok(RegressionTree { nodes: built })
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn grow(
         &mut self,
@@ -578,5 +762,69 @@ mod tests {
         };
         let tree = DecisionTree::fit(&x, &y, &w, 2, &cfg, &mut rng).unwrap();
         assert!(tree.num_nodes() >= 1);
+    }
+
+    #[test]
+    fn flat_nodes_round_trip_decision_tree() {
+        let (x, y) = xor_data();
+        let w = vec![1.0; y.len()];
+        let mut rng = SeededRng::new(9);
+        let tree = DecisionTree::fit(&x, &y, &w, 2, &TreeConfig::default(), &mut rng).unwrap();
+        let nodes = tree.export_nodes();
+        let rebuilt = DecisionTree::from_nodes(nodes.clone(), 2).unwrap();
+        assert_eq!(rebuilt.export_nodes(), nodes);
+        assert_eq!(rebuilt.predict_proba(&x), tree.predict_proba(&x));
+    }
+
+    #[test]
+    fn flat_nodes_round_trip_regression_tree() {
+        let n = 30;
+        let x = Matrix::from_fn(n, 2, |i, j| (i * (j + 1)) as f64 / n as f64);
+        let g: Vec<f64> = (0..n).map(|i| if i < n / 2 { -1.5 } else { 0.5 }).collect();
+        let h = vec![1.0; n];
+        let idx: Vec<usize> = (0..n).collect();
+        let mut rng = SeededRng::new(10);
+        let tree = RegressionTree::fit(&x, &g, &h, &idx, &RegTreeConfig::default(), &mut rng);
+        let nodes = tree.export_nodes();
+        let rebuilt = RegressionTree::from_nodes(nodes.clone()).unwrap();
+        assert_eq!(rebuilt.export_nodes(), nodes);
+        for r in 0..n {
+            assert_eq!(rebuilt.predict_row(x.row(r)), tree.predict_row(x.row(r)));
+        }
+    }
+
+    #[test]
+    fn from_nodes_rejects_malformed_trees() {
+        // Empty arenas.
+        assert!(DecisionTree::from_nodes(Vec::new(), 2).is_err());
+        assert!(RegressionTree::from_nodes(Vec::new()).is_err());
+        // Leaf probability length disagrees with num_classes.
+        let bad_probs = vec![FlatNode::Leaf {
+            probs: vec![1.0, 0.0, 0.0],
+        }];
+        assert!(DecisionTree::from_nodes(bad_probs, 2).is_err());
+        // Child index out of bounds.
+        let bad_child = vec![
+            FlatNode::Split {
+                feature: 0,
+                threshold: 0.5,
+                left: 1,
+                right: 7,
+            },
+            FlatNode::Leaf {
+                probs: vec![1.0, 0.0],
+            },
+        ];
+        assert!(DecisionTree::from_nodes(bad_child, 2).is_err());
+        let bad_reg_child = vec![
+            FlatRegNode::Split {
+                feature: 0,
+                threshold: 0.5,
+                left: 9,
+                right: 1,
+            },
+            FlatRegNode::Leaf { value: 1.0 },
+        ];
+        assert!(RegressionTree::from_nodes(bad_reg_child).is_err());
     }
 }

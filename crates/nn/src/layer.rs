@@ -9,7 +9,7 @@ use fsda_linalg::{Matrix, SeededRng};
 /// compute the gradient with respect to the layer input and accumulate
 /// parameter gradients. Layers are used through [`crate::Sequential`] in
 /// practice.
-pub trait Layer: Send {
+pub trait Layer: Send + Sync {
     /// Computes the layer output for a batch (rows are samples).
     /// `train` toggles training-time behaviour (dropout, batch statistics).
     fn forward(&mut self, input: &Matrix, train: bool) -> Matrix;
@@ -27,6 +27,28 @@ pub trait Layer: Send {
     /// Mutable views of the layer's parameters and gradients (empty for
     /// stateless layers). The order must be stable across calls.
     fn params_mut(&mut self) -> Vec<Param<'_>> {
+        Vec::new()
+    }
+
+    /// Shared views of the layer's parameter tensors, in the same stable
+    /// order as [`Layer::params_mut`]. Used by weight export
+    /// ([`crate::state::export_state`]), which must work through `&self`.
+    fn params(&self) -> Vec<&Matrix> {
+        Vec::new()
+    }
+
+    /// Shared views of the layer's non-parameter state ("buffers") that
+    /// inference depends on — e.g. batch-norm running statistics. Buffers
+    /// are not touched by optimizers but must survive serialization, or a
+    /// reloaded network would infer with freshly-initialized statistics.
+    fn buffers(&self) -> Vec<&[f64]> {
+        Vec::new()
+    }
+
+    /// Mutable views of the layer's buffers, in the same order as
+    /// [`Layer::buffers`]. Used by weight import
+    /// ([`crate::state::load_state`]).
+    fn buffers_mut(&mut self) -> Vec<&mut Vec<f64>> {
         Vec::new()
     }
 
@@ -149,6 +171,10 @@ impl Layer for Dense {
                 grad: &mut self.grad_bias,
             },
         ]
+    }
+
+    fn params(&self) -> Vec<&Matrix> {
+        vec![&self.weight, &self.bias]
     }
 
     fn num_params(&self) -> usize {

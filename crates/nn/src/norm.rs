@@ -155,6 +155,18 @@ impl Layer for BatchNorm1d {
         ]
     }
 
+    fn params(&self) -> Vec<&Matrix> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn buffers(&self) -> Vec<&[f64]> {
+        vec![&self.running_mean, &self.running_var]
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Vec<f64>> {
+        vec![&mut self.running_mean, &mut self.running_var]
+    }
+
     fn num_params(&self) -> usize {
         2 * self.dim()
     }

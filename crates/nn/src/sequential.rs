@@ -92,6 +92,27 @@ impl Sequential {
             .collect()
     }
 
+    /// Collects shared parameter views from all layers, in the same order
+    /// as [`Sequential::params_mut`].
+    pub fn params(&self) -> Vec<&Matrix> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    /// Collects shared buffer views (e.g. batch-norm running statistics)
+    /// from all layers, in layer order.
+    pub fn buffers(&self) -> Vec<&[f64]> {
+        self.layers.iter().flat_map(|l| l.buffers()).collect()
+    }
+
+    /// Collects mutable buffer views from all layers, in the same order as
+    /// [`Sequential::buffers`].
+    pub fn buffers_mut(&mut self) -> Vec<&mut Vec<f64>> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.buffers_mut())
+            .collect()
+    }
+
     /// Zeroes all accumulated gradients.
     pub fn zero_grad(&mut self) {
         for layer in &mut self.layers {
@@ -129,6 +150,18 @@ impl Layer for Sequential {
 
     fn params_mut(&mut self) -> Vec<Param<'_>> {
         Sequential::params_mut(self)
+    }
+
+    fn params(&self) -> Vec<&Matrix> {
+        Sequential::params(self)
+    }
+
+    fn buffers(&self) -> Vec<&[f64]> {
+        Sequential::buffers(self)
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Vec<f64>> {
+        Sequential::buffers_mut(self)
     }
 
     fn zero_grad(&mut self) {

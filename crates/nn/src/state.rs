@@ -5,17 +5,31 @@
 //! and shipped unchanged. This module gives [`Sequential`]-based models a
 //! stable way to extract and restore those weights without serializing the
 //! layer objects themselves (layers are trait objects).
+//!
+//! A state dict carries two kinds of state: *parameters* (tensors the
+//! optimizer updates — dense weights, batch-norm affine terms) and
+//! *buffers* (non-parameter state inference depends on — batch-norm
+//! running mean/variance). Dropping the buffers would make a reloaded
+//! network evaluate with freshly-initialized statistics, silently changing
+//! its predictions; both are captured.
 
 use crate::{Param, Sequential};
 use fsda_linalg::Matrix;
 
-/// A snapshot of every parameter tensor of a network, in layer order.
+/// A snapshot of every parameter tensor and buffer of a network, in layer
+/// order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StateDict {
     tensors: Vec<Matrix>,
+    buffers: Vec<Vec<f64>>,
 }
 
 impl StateDict {
+    /// Rebuilds a state dict from raw parts (e.g. decoded from disk).
+    pub fn from_parts(tensors: Vec<Matrix>, buffers: Vec<Vec<f64>>) -> Self {
+        StateDict { tensors, buffers }
+    }
+
     /// Number of parameter tensors.
     pub fn len(&self) -> usize {
         self.tensors.len()
@@ -31,46 +45,76 @@ impl StateDict {
         &self.tensors
     }
 
+    /// The buffers (e.g. batch-norm running statistics), in the order
+    /// [`export_state`] produced them.
+    pub fn buffers(&self) -> &[Vec<f64>] {
+        &self.buffers
+    }
+
     /// Total scalar parameter count.
     pub fn num_params(&self) -> usize {
         self.tensors.iter().map(|t| t.rows() * t.cols()).sum()
     }
 }
 
-/// Extracts a copy of every parameter of `net`, in stable layer order.
-pub fn export_state(net: &mut Sequential) -> StateDict {
+/// Extracts a copy of every parameter and buffer of `net`, in stable layer
+/// order.
+pub fn export_state(net: &Sequential) -> StateDict {
     StateDict {
-        tensors: net.params_mut().iter().map(|p| p.value.clone()).collect(),
+        tensors: net.params().iter().map(|p| (*p).clone()).collect(),
+        buffers: net.buffers().iter().map(|b| b.to_vec()).collect(),
     }
 }
 
-/// Restores previously exported parameters into `net`.
+/// Restores previously exported parameters and buffers into `net`.
 ///
 /// # Errors
 ///
-/// Returns a descriptive error string when the tensor count or any shape
-/// does not match the network architecture — loading weights into the
+/// Returns a descriptive error string when the tensor/buffer count or any
+/// shape does not match the network architecture — loading weights into the
 /// wrong architecture is always a bug worth failing loudly on.
 pub fn load_state(net: &mut Sequential, state: &StateDict) -> Result<(), String> {
-    let mut params: Vec<Param<'_>> = net.params_mut();
-    if params.len() != state.tensors.len() {
+    {
+        let mut params: Vec<Param<'_>> = net.params_mut();
+        if params.len() != state.tensors.len() {
+            return Err(format!(
+                "state dict has {} tensors but the network has {} parameters",
+                state.tensors.len(),
+                params.len()
+            ));
+        }
+        for (i, (param, tensor)) in params.iter_mut().zip(&state.tensors).enumerate() {
+            if param.value.shape() != tensor.shape() {
+                return Err(format!(
+                    "tensor {i}: shape {:?} does not match parameter shape {:?}",
+                    tensor.shape(),
+                    param.value.shape()
+                ));
+            }
+        }
+        for (param, tensor) in params.iter_mut().zip(&state.tensors) {
+            *param.value = tensor.clone();
+        }
+    }
+    let mut buffers = net.buffers_mut();
+    if buffers.len() != state.buffers.len() {
         return Err(format!(
-            "state dict has {} tensors but the network has {} parameters",
-            state.tensors.len(),
-            params.len()
+            "state dict has {} buffers but the network has {}",
+            state.buffers.len(),
+            buffers.len()
         ));
     }
-    for (i, (param, tensor)) in params.iter_mut().zip(&state.tensors).enumerate() {
-        if param.value.shape() != tensor.shape() {
+    for (i, (dst, src)) in buffers.iter_mut().zip(&state.buffers).enumerate() {
+        if dst.len() != src.len() {
             return Err(format!(
-                "tensor {i}: shape {:?} does not match parameter shape {:?}",
-                tensor.shape(),
-                param.value.shape()
+                "buffer {i}: length {} does not match network buffer length {}",
+                src.len(),
+                dst.len()
             ));
         }
     }
-    for (param, tensor) in params.iter_mut().zip(&state.tensors) {
-        *param.value = tensor.clone();
+    for (dst, src) in buffers.iter_mut().zip(&state.buffers) {
+        **dst = src.clone();
     }
     Ok(())
 }
@@ -80,6 +124,7 @@ mod tests {
     use super::*;
     use crate::layer::{Activation, Dense};
     use crate::loss::mse;
+    use crate::norm::BatchNorm1d;
     use crate::optim::{Adam, Optimizer};
     use fsda_linalg::SeededRng;
 
@@ -92,14 +137,25 @@ mod tests {
         n
     }
 
+    fn bn_net(seed: u64) -> Sequential {
+        let mut rng = SeededRng::new(seed);
+        let mut n = Sequential::new();
+        n.push(Dense::new(3, 8, &mut rng));
+        n.push(BatchNorm1d::new(8));
+        n.push(Activation::relu());
+        n.push(Dense::new(8, 2, &mut rng));
+        n
+    }
+
     #[test]
     fn export_load_round_trip() {
-        let mut a = net(1);
+        let a = net(1);
         let x = Matrix::from_fn(4, 3, |i, j| (i + j) as f64 * 0.2);
         let before = a.infer(&x);
-        let state = export_state(&mut a);
+        let state = export_state(&a);
         assert_eq!(state.len(), 4);
         assert_eq!(state.num_params(), (3 * 8 + 8) + (8 * 2 + 2));
+        assert!(state.buffers().is_empty());
 
         // A differently-initialized network with the same architecture
         // produces the same outputs after loading.
@@ -123,16 +179,36 @@ mod tests {
             a.backward(&grad);
             opt.step(&mut a.params_mut());
         }
-        let state = export_state(&mut a);
+        let state = export_state(&a);
         let mut b = net(3);
         load_state(&mut b, &state).unwrap();
         assert_eq!(a.infer(&x), b.infer(&x));
     }
 
     #[test]
+    fn batchnorm_running_stats_survive_transfer() {
+        // Run training batches through a BN network so its running
+        // statistics move away from the (0, 1) init, then transfer to a
+        // fresh network: eval outputs must be bit-identical, which can
+        // only happen if the buffers were carried along with the weights.
+        let mut a = bn_net(10);
+        let x = Matrix::from_fn(12, 3, |i, j| ((i * 5 + j * 3) % 11) as f64 * 0.4 - 2.0);
+        for _ in 0..20 {
+            a.forward(&x, true);
+        }
+        let state = export_state(&a);
+        assert_eq!(state.buffers().len(), 2, "running mean + running var");
+
+        let mut b = bn_net(77);
+        assert_ne!(b.infer(&x), a.infer(&x));
+        load_state(&mut b, &state).unwrap();
+        assert_eq!(b.infer(&x), a.infer(&x));
+    }
+
+    #[test]
     fn rejects_wrong_architecture() {
-        let mut a = net(4);
-        let state = export_state(&mut a);
+        let a = net(4);
+        let state = export_state(&a);
         // Too few layers.
         let mut small = Sequential::new();
         let mut rng = SeededRng::new(5);
@@ -147,5 +223,27 @@ mod tests {
         wrong.push(Dense::new(9, 2, &mut rng));
         let err = load_state(&mut wrong, &state).unwrap_err();
         assert!(err.contains("shape"));
+    }
+
+    #[test]
+    fn rejects_buffer_mismatch() {
+        let a = bn_net(8);
+        let state = export_state(&a);
+        // Same parameter shapes but no batch-norm layer: buffer count 0.
+        let mut rng = SeededRng::new(9);
+        let mut no_bn = Sequential::new();
+        no_bn.push(Dense::new(3, 8, &mut rng));
+        // Stand-ins for BN's gamma/beta so the tensor check passes.
+        no_bn.push(Dense::new(8, 8, &mut rng));
+        let err = load_state(&mut no_bn, &state);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let a = bn_net(11);
+        let state = export_state(&a);
+        let rebuilt = StateDict::from_parts(state.tensors().to_vec(), state.buffers().to_vec());
+        assert_eq!(rebuilt, state);
     }
 }

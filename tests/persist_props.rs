@@ -1,0 +1,212 @@
+//! Property tests for the artifact codec: every encode → decode → encode
+//! cycle must be byte-identical, `f64` values survive as exact bit
+//! patterns, and structural damage to a container never parses.
+
+use fsda::core::persist::{
+    crc32, read_container, read_normalizer, read_state_dict, write_container, write_normalizer,
+    write_state_dict, Decoder, Encoder, PersistError,
+};
+use fsda::data::normalize::{NormKind, Normalizer};
+use fsda::linalg::{Matrix, SeededRng};
+use fsda::nn::state::StateDict;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Integers of every width round-trip exactly.
+    #[test]
+    fn integers_round_trip(a in 0u64..u64::MAX, b in 0u32..u32::MAX, c in 0usize..1 << 48) {
+        let mut enc = Encoder::new();
+        enc.put_u64(a);
+        enc.put_u32(b);
+        enc.put_usize(c);
+        enc.put_u8((a % 256) as u8);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        prop_assert_eq!(dec.take_u64().unwrap(), a);
+        prop_assert_eq!(dec.take_u32().unwrap(), b);
+        prop_assert_eq!(dec.take_usize().unwrap(), c);
+        prop_assert_eq!(dec.take_u8().unwrap(), (a % 256) as u8);
+        prop_assert!(dec.expect_end().is_ok());
+    }
+
+    /// `f64` survives as its exact IEEE-754 bit pattern — including NaN
+    /// payloads, infinities, subnormals, and signed zeros.
+    #[test]
+    fn f64_round_trips_every_bit_pattern(bits in 0u64..u64::MAX) {
+        let v = f64::from_bits(bits);
+        let mut enc = Encoder::new();
+        enc.put_f64(v);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        prop_assert_eq!(dec.take_f64().unwrap().to_bits(), bits);
+    }
+
+    /// Length-prefixed vectors and matrices re-encode byte-identically.
+    #[test]
+    fn sequences_reencode_byte_identically(
+        seed in 0u64..1 << 40,
+        len in 0usize..40,
+        rows in 1usize..8,
+        cols in 1usize..8,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let xs: Vec<f64> = (0..len).map(|_| rng.normal(0.0, 3.0)).collect();
+        let idx: Vec<usize> = (0..len).map(|_| rng.index(1000)).collect();
+        let m = Matrix::from_fn(rows, cols, |_, _| rng.normal(0.0, 1.0));
+
+        let mut enc = Encoder::new();
+        enc.put_f64s(&xs);
+        enc.put_usizes(&idx);
+        enc.put_matrix(&m);
+        enc.put_bool(len % 2 == 0);
+        let bytes = enc.into_bytes();
+
+        let mut dec = Decoder::new(&bytes);
+        let xs2 = dec.take_f64s().unwrap();
+        let idx2 = dec.take_usizes().unwrap();
+        let m2 = dec.take_matrix().unwrap();
+        let flag = dec.take_bool().unwrap();
+        prop_assert!(dec.expect_end().is_ok());
+        prop_assert_eq!(&m2, &m);
+        prop_assert_eq!(flag, len % 2 == 0);
+
+        let mut enc2 = Encoder::new();
+        enc2.put_f64s(&xs2);
+        enc2.put_usizes(&idx2);
+        enc2.put_matrix(&m2);
+        enc2.put_bool(flag);
+        prop_assert_eq!(enc2.into_bytes(), bytes);
+    }
+
+    /// Containers round-trip: parsed sections re-pack to the same bytes.
+    #[test]
+    fn containers_reencode_byte_identically(
+        seed in 0u64..1 << 40,
+        num_sections in 0usize..5,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let sections: Vec<([u8; 4], Vec<u8>)> = (0..num_sections)
+            .map(|i| {
+                let tag = [b'A' + i as u8, b'B', b'C', b'D'];
+                let len = rng.index(64);
+                let payload: Vec<u8> = (0..len).map(|_| rng.index(256) as u8).collect();
+                (tag, payload)
+            })
+            .collect();
+        let bytes = write_container(&sections);
+        let parsed = read_container(&bytes).unwrap();
+        prop_assert_eq!(parsed.len(), sections.len());
+        let repacked: Vec<([u8; 4], Vec<u8>)> = parsed
+            .iter()
+            .map(|(tag, payload)| (*tag, payload.to_vec()))
+            .collect();
+        prop_assert_eq!(write_container(&repacked), bytes);
+    }
+
+    /// Flipping any single byte of a container makes it unreadable: the
+    /// checksum (or an earlier structural check) always catches it.
+    #[test]
+    fn any_single_byte_flip_is_detected(seed in 0u64..1 << 40, flip in 0u64..1 << 32) {
+        let mut rng = SeededRng::new(seed);
+        let payload: Vec<u8> = (0..rng.index(48)).map(|_| rng.index(256) as u8).collect();
+        let mut bytes = write_container(&[(*b"PROP", payload)]);
+        let pos = (flip as usize) % bytes.len();
+        bytes[pos] ^= 1 + (flip >> 32) as u8 % 255;
+        prop_assert!(read_container(&bytes).is_err(), "flip at {} parsed", pos);
+    }
+
+    /// Every strict prefix of a valid container fails to parse.
+    #[test]
+    fn truncated_containers_never_parse(seed in 0u64..1 << 40, cut in 0u64..1 << 32) {
+        let mut rng = SeededRng::new(seed);
+        let payload: Vec<u8> = (0..rng.index(48)).map(|_| rng.index(256) as u8).collect();
+        let bytes = write_container(&[(*b"PROP", payload)]);
+        let len = (cut as usize) % bytes.len();
+        prop_assert!(read_container(&bytes[..len]).is_err(), "prefix of {} parsed", len);
+    }
+
+    /// The normalizer codec round-trips statistics bit-for-bit.
+    #[test]
+    fn normalizer_codec_round_trips(
+        seed in 0u64..1 << 40,
+        num_features in 1usize..24,
+        zscore in 0u8..2,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let kind = if zscore == 1 { NormKind::ZScore } else { NormKind::MinMaxSymmetric };
+        let offset: Vec<f64> = (0..num_features).map(|_| rng.normal(0.0, 10.0)).collect();
+        let scale: Vec<f64> = (0..num_features)
+            .map(|_| rng.uniform_range(1e-6, 10.0))
+            .collect();
+        let n = Normalizer::from_parts(kind, offset, scale).unwrap();
+
+        let mut enc = Encoder::new();
+        write_normalizer(&mut enc, &n);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let n2 = read_normalizer(&mut dec).unwrap();
+        prop_assert!(dec.expect_end().is_ok());
+        prop_assert_eq!(n2.kind(), n.kind());
+        prop_assert_eq!(n2.offset(), n.offset());
+        prop_assert_eq!(n2.scale(), n.scale());
+
+        let mut enc2 = Encoder::new();
+        write_normalizer(&mut enc2, &n2);
+        prop_assert_eq!(enc2.into_bytes(), bytes);
+    }
+
+    /// The state-dict codec round-trips network weights and buffers.
+    #[test]
+    fn state_dict_codec_round_trips(
+        seed in 0u64..1 << 40,
+        tensors in 0usize..4,
+        buffers in 0usize..4,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let ts: Vec<Matrix> = (0..tensors)
+            .map(|_| {
+                let (r, c) = (1 + rng.index(6), 1 + rng.index(6));
+                Matrix::from_fn(r, c, |_, _| rng.normal(0.0, 1.0))
+            })
+            .collect();
+        let bs: Vec<Vec<f64>> = (0..buffers)
+            .map(|_| (0..rng.index(8)).map(|_| rng.normal(0.0, 1.0)).collect())
+            .collect();
+        let state = StateDict::from_parts(ts, bs);
+
+        let mut enc = Encoder::new();
+        write_state_dict(&mut enc, &state);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let state2 = read_state_dict(&mut dec).unwrap();
+        prop_assert!(dec.expect_end().is_ok());
+        prop_assert_eq!(&state2, &state);
+
+        let mut enc2 = Encoder::new();
+        write_state_dict(&mut enc2, &state2);
+        prop_assert_eq!(enc2.into_bytes(), bytes);
+    }
+
+    /// CRC-32 is order-sensitive: swapping two different bytes changes it.
+    #[test]
+    fn crc_detects_transpositions(seed in 0u64..1 << 40, i in 0usize..64, j in 0usize..64) {
+        let mut rng = SeededRng::new(seed);
+        let data: Vec<u8> = (0..64).map(|_| rng.index(256) as u8).collect();
+        prop_assume!(data[i] != data[j]);
+        let mut swapped = data.clone();
+        swapped.swap(i, j);
+        prop_assert_ne!(crc32(&swapped), crc32(&data));
+    }
+}
+
+/// A decoder over short input reports `Truncated`, never panics or wraps.
+#[test]
+fn decoder_truncation_is_an_error_not_a_panic() {
+    for len in 0..7 {
+        let bytes = vec![0u8; len];
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(dec.take_u64(), Err(PersistError::Truncated(_))));
+    }
+}
