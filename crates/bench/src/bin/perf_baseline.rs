@@ -24,6 +24,7 @@
 use fsda_causal::ci::FisherZ;
 use fsda_causal::pc::{pc, PcConfig, PcResult};
 use fsda_core::adapter::{AdapterConfig, Budget, FsGanAdapter};
+use fsda_core::GuardConfig;
 use fsda_data::fewshot::few_shot_subset;
 use fsda_data::synth5gc::Synth5gc;
 use fsda_linalg::{Matrix, SeededRng};
@@ -92,6 +93,15 @@ struct ReconCell {
     rows_per_sec: f64,
     speedup_vs_scalar: f64,
     identical_to_scalar: bool,
+}
+
+struct GuardCell {
+    rows: usize,
+    features: usize,
+    unguarded_elapsed_s: f64,
+    guarded_elapsed_s: f64,
+    overhead_pct: f64,
+    identical: bool,
 }
 
 fn run_pc(test: &FisherZ, threads: usize) -> (PcResult, f64) {
@@ -177,7 +187,60 @@ fn serving_batch(features: &Matrix, rows: usize) -> Matrix {
     features.select_rows(&idx)
 }
 
-fn bench_reconstruction(cores: usize) -> Vec<ReconCell> {
+/// Times the guarded serving entry point (`try_reconstruct_batch`, reject
+/// policy) against the unguarded `reconstruct_batch` on clean batches: the
+/// input scan is the only extra work, and on the clean fast path it must
+/// stay under a few percent.
+fn bench_guard_overhead(adapter: &FsGanAdapter, features: &Matrix) -> Vec<GuardCell> {
+    let guard = GuardConfig::default();
+    println!("\nguarded vs unguarded batch reconstruction (clean 5GC batches, reject policy)");
+    println!(
+        "{:>7} {:>9} {:>14} {:>14} {:>10}",
+        "rows", "features", "unguarded (s)", "guarded (s)", "overhead"
+    );
+    let mut cells = Vec::new();
+    for &rows in &[64usize, 256, 1024] {
+        let x = serving_batch(features, rows);
+        // Warm-up, then best-of-9: the scan is cheap enough that scheduler
+        // noise on a single run would dominate the comparison.
+        let _ = adapter.reconstruct_batch(&x, Some(1));
+        let mut unguarded = f64::INFINITY;
+        let mut guarded = f64::INFINITY;
+        let mut identical = true;
+        for _ in 0..9 {
+            let start = Instant::now();
+            let plain = adapter.reconstruct_batch(&x, Some(1));
+            unguarded = unguarded.min(start.elapsed().as_secs_f64());
+            let start = Instant::now();
+            let checked = adapter
+                .try_reconstruct_batch(&x, Some(1), &guard)
+                .expect("clean batch must pass the guard");
+            guarded = guarded.min(start.elapsed().as_secs_f64());
+            identical &= plain == checked;
+        }
+        assert!(identical, "guarded path changed the reconstruction");
+        let cell = GuardCell {
+            rows,
+            features: x.cols(),
+            unguarded_elapsed_s: unguarded,
+            guarded_elapsed_s: guarded,
+            overhead_pct: 100.0 * (guarded - unguarded) / unguarded.max(1e-12),
+            identical,
+        };
+        println!(
+            "{:>7} {:>9} {:>14.6} {:>14.6} {:>9.2}%",
+            cell.rows,
+            cell.features,
+            cell.unguarded_elapsed_s,
+            cell.guarded_elapsed_s,
+            cell.overhead_pct
+        );
+        cells.push(cell);
+    }
+    cells
+}
+
+fn bench_reconstruction(cores: usize) -> (Vec<ReconCell>, Vec<GuardCell>) {
     let bundle = Synth5gc::small().generate(42).expect("5GC bundle");
     let mut rng = SeededRng::new(43);
     let shots = few_shot_subset(&bundle.target_pool, 10, &mut rng).expect("shots");
@@ -235,7 +298,8 @@ fn bench_reconstruction(cores: usize) -> Vec<ReconCell> {
             cells.push(cell);
         }
     }
-    cells
+    let guard_cells = bench_guard_overhead(&adapter, bundle.target_test.features());
+    (cells, guard_cells)
 }
 
 fn main() {
@@ -243,7 +307,7 @@ fn main() {
     println!("perf_baseline: host parallelism {cores} core(s)\n");
 
     let pc_cells = bench_pc(cores);
-    let recon_cells = bench_reconstruction(cores);
+    let (recon_cells, guard_cells) = bench_reconstruction(cores);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -316,6 +380,37 @@ fn main() {
             c.identical_to_scalar
         );
         json.push_str(if k + 1 < recon_cells.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n  },\n");
+
+    let _ = writeln!(json, "  \"guarded_serving_overhead\": {{");
+    let _ = writeln!(
+        json,
+        "    \"description\": \"try_reconstruct_batch (reject policy) vs \
+         reconstruct_batch on clean single-threaded batches, best of 9; \
+         the guarded path is verified bit-identical and its overhead is \
+         the cost of the input scan\","
+    );
+    let _ = writeln!(json, "    \"target_overhead_pct\": 5.0,");
+    json.push_str("    \"cells\": [\n");
+    for (k, c) in guard_cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"rows\": {}, \"features\": {}, \
+             \"unguarded_elapsed_s\": {:.6}, \"guarded_elapsed_s\": {:.6}, \
+             \"overhead_pct\": {:.2}, \"identical\": {}}}",
+            c.rows,
+            c.features,
+            c.unguarded_elapsed_s,
+            c.guarded_elapsed_s,
+            c.overhead_pct,
+            c.identical
+        );
+        json.push_str(if k + 1 < guard_cells.len() {
             ",\n"
         } else {
             "\n"

@@ -60,13 +60,21 @@ impl FisherZ {
     /// # Errors
     ///
     /// Returns [`CausalError::InsufficientData`] when fewer than four
-    /// samples are provided (the Fisher-z statistic needs `n - |cond| - 3 > 0`).
+    /// samples are provided (the Fisher-z statistic needs `n - |cond| - 3 > 0`)
+    /// and [`CausalError::NonFinite`] — localized to the first offending
+    /// cell — when the data contains NaN/Inf values, which would silently
+    /// poison the precomputed correlation matrix.
     pub fn new(data: &Matrix) -> Result<Self> {
         if data.rows() < 4 {
             return Err(CausalError::InsufficientData(format!(
                 "Fisher-z needs >= 4 samples, got {}",
                 data.rows()
             )));
+        }
+        for (r, row) in data.iter_rows().enumerate() {
+            if let Some(c) = row.iter().position(|v| !v.is_finite()) {
+                return Err(CausalError::NonFinite { row: r, col: c });
+            }
         }
         let corr = correlation_matrix(data)?;
         Ok(FisherZ {
@@ -154,6 +162,7 @@ pub fn combine_with_fnode(source: &Matrix, target: &Matrix) -> Result<Matrix> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use fsda_linalg::SeededRng;
@@ -193,6 +202,42 @@ mod tests {
             FisherZ::new(&m),
             Err(CausalError::InsufficientData(_))
         ));
+    }
+
+    #[test]
+    fn rejects_non_finite_cells_with_localization() {
+        let mut m = chain_data(50, 4);
+        m.set(17, 2, f64::NAN);
+        assert_eq!(
+            FisherZ::new(&m).unwrap_err(),
+            CausalError::NonFinite { row: 17, col: 2 }
+        );
+        let mut m = chain_data(50, 5);
+        m.set(3, 0, f64::INFINITY);
+        assert_eq!(
+            FisherZ::new(&m).unwrap_err(),
+            CausalError::NonFinite { row: 3, col: 0 }
+        );
+    }
+
+    #[test]
+    fn tolerates_zero_variance_columns() {
+        // A dead counter (constant column) must not break the test or leak
+        // spurious dependence.
+        let mut rng = SeededRng::new(5);
+        let mut m = Matrix::zeros(500, 3);
+        for r in 0..500 {
+            m.set(r, 0, rng.normal(0.0, 1.0));
+            m.set(r, 1, 7.5); // dead counter
+            m.set(r, 2, rng.normal(0.0, 1.0));
+        }
+        let t = FisherZ::new(&m).unwrap();
+        assert!(t.independent(0, 1, &[], 0.05).unwrap());
+        // Conditioning on the dead counter behaves like not conditioning.
+        let marginal = t.pvalue(0, 2, &[]).unwrap();
+        let conditioned = t.pvalue(0, 2, &[1]).unwrap();
+        assert!(conditioned.is_finite());
+        assert!((marginal - conditioned).abs() < 0.05);
     }
 
     #[test]

@@ -244,6 +244,7 @@ fn evaluate_feature(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use fsda_linalg::SeededRng;

@@ -236,6 +236,7 @@ pub fn for_each_subset(items: &[usize], k: usize, mut f: impl FnMut(&[usize]) ->
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

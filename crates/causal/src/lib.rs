@@ -37,6 +37,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod ci;
 pub mod fnode;
@@ -59,6 +60,13 @@ pub enum CausalError {
     },
     /// An underlying linear-algebra operation failed.
     Linalg(String),
+    /// The input data contains a NaN/Inf cell; the payload localizes it.
+    NonFinite {
+        /// Row index of the first offending cell.
+        row: usize,
+        /// Column index of the first offending cell.
+        col: usize,
+    },
 }
 
 impl std::fmt::Display for CausalError {
@@ -72,6 +80,9 @@ impl std::fmt::Display for CausalError {
                 )
             }
             CausalError::Linalg(msg) => write!(f, "linear algebra failure: {msg}"),
+            CausalError::NonFinite { row, col } => {
+                write!(f, "non-finite value at row {row}, column {col}")
+            }
         }
     }
 }
@@ -88,6 +99,7 @@ impl From<fsda_linalg::LinalgError> for CausalError {
 pub type Result<T> = std::result::Result<T, CausalError>;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

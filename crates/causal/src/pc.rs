@@ -316,6 +316,7 @@ pub fn apply_meek_rules(graph: &mut Graph) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::ci::FisherZ;

@@ -84,6 +84,37 @@ proptest! {
     }
 
     #[test]
+    fn fisherz_new_never_panics(seed in 0u64..1000, n in 0usize..30, d in 1usize..8) {
+        use fsda_causal::ci::{CondIndepTest, FisherZ};
+        let mut rng = SeededRng::new(seed);
+        let mut x = rng.normal_matrix(n, d, 0.0, 10.0);
+        // Telemetry pathologies: non-finite cells and dead columns.
+        if n > 0 {
+            for _ in 0..rng.index(4) {
+                let (r, c) = (rng.index(n), rng.index(d));
+                let v = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][rng.index(3)];
+                x.set(r, c, v);
+            }
+            if rng.index(2) == 0 {
+                let c = rng.index(d);
+                for r in 0..n {
+                    x.set(r, c, -3.0);
+                }
+            }
+        }
+        // Contract: construction returns Ok or a typed Err, never panics,
+        // and an Ok test yields p-values that are probabilities even when
+        // conditioning on degenerate (constant) columns.
+        match FisherZ::new(&x) {
+            Ok(test) if d >= 3 => {
+                let p = test.pvalue(0, 1, &[2]).unwrap();
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+            Ok(_) | Err(_) => {}
+        }
+    }
+
+    #[test]
     fn fnode_partition_is_complete(seed in 0u64..50, d in 2usize..6) {
         let mut rng = SeededRng::new(seed);
         let src = rng.normal_matrix(200, d, 0.0, 1.0);

@@ -15,12 +15,13 @@ use crate::persist::{
     write_recon_snapshot, write_separation, Decoder, Encoder, TAG_CLSF, TAG_FSEP, TAG_META,
     TAG_NORM, TAG_RECN,
 };
+use crate::serve::{sanitize_batch, sanitize_fit_features, FitError, GuardConfig, ServeError};
 use crate::{CoreError, Result};
 use fsda_data::Dataset;
 use fsda_gan::autoencoder::{AeConfig, VanillaAe};
 use fsda_gan::cond_gan::{CondGan, CondGanConfig};
 use fsda_gan::vae::{Vae, VaeConfig};
-use fsda_gan::{restore_reconstructor, Reconstructor};
+use fsda_gan::{restore_reconstructor, Reconstructor, TrainOutcome, WatchdogConfig};
 use fsda_linalg::par::{par_map, resolve_threads};
 use fsda_linalg::Matrix;
 use fsda_models::classifier::argmax_rows;
@@ -152,6 +153,7 @@ pub fn build_reconstructor(
     num_features: usize,
     seed: u64,
     budget: &Budget,
+    watchdog: WatchdogConfig,
 ) -> Box<dyn Reconstructor> {
     let base = if num_features > 250 {
         CondGanConfig::for_5gc()
@@ -163,6 +165,7 @@ pub fn build_reconstructor(
         ReconKind::Gan => Box::new(CondGan::new(
             CondGanConfig {
                 epochs: budget.gan_epochs,
+                watchdog,
                 ..base
             },
             seed,
@@ -170,6 +173,7 @@ pub fn build_reconstructor(
         ReconKind::GanNoCond => Box::new(CondGan::new(
             CondGanConfig {
                 epochs: budget.gan_epochs,
+                watchdog,
                 ..base
             }
             .without_label_conditioning(),
@@ -179,6 +183,7 @@ pub fn build_reconstructor(
             VaeConfig {
                 hidden,
                 epochs: budget.gan_epochs,
+                watchdog,
                 ..VaeConfig::default()
             },
             seed,
@@ -187,6 +192,7 @@ pub fn build_reconstructor(
             AeConfig {
                 hidden,
                 epochs: budget.gan_epochs,
+                watchdog,
                 ..AeConfig::default()
             },
             seed,
@@ -205,6 +211,11 @@ pub struct AdapterConfig {
     pub classifier: ClassifierKind,
     /// Compute budget.
     pub budget: Budget,
+    /// Divergence-watchdog policy applied to reconstructor training. The
+    /// default detects NaN/Inf losses and rolls back to the last finite
+    /// snapshot while leaving healthy runs bit-identical to unguarded
+    /// training.
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for AdapterConfig {
@@ -214,6 +225,7 @@ impl Default for AdapterConfig {
             recon: ReconKind::Gan,
             classifier: ClassifierKind::Tnet,
             budget: Budget::full(),
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -237,6 +249,33 @@ impl AdapterConfig {
     pub fn with_recon(mut self, kind: ReconKind) -> Self {
         self.recon = kind;
         self
+    }
+}
+
+/// Why an [`FsGanAdapter`] is serving without a reconstructor: the FS step
+/// produced a degenerate partition, so serving falls back to plain
+/// normalized pass-through. Both modes are usable (the classifier still
+/// runs); the flag exists so operators can tell a deliberate fallback from
+/// a healthy pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedMode {
+    /// FS found no variant features: nothing drifted detectably, and
+    /// pass-through is the *correct* behaviour, not a fallback.
+    NoVariantFeatures,
+    /// FS declared every feature variant: the reconstructor would have
+    /// nothing to condition on, so variant features pass through
+    /// unreconstructed and accuracy degrades toward SrcOnly.
+    NoInvariantFeatures,
+}
+
+impl std::fmt::Display for DegradedMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradedMode::NoVariantFeatures => write!(f, "no variant features (no drift found)"),
+            DegradedMode::NoInvariantFeatures => {
+                write!(f, "no invariant features (nothing to condition on)")
+            }
+        }
     }
 }
 
@@ -353,9 +392,36 @@ impl FsAdapter {
     }
 
     /// Predicts labels for raw (unnormalized) target features.
+    ///
+    /// This is the unguarded fast path: NaN/Inf cells propagate into the
+    /// classifier unchecked. Use [`FsAdapter::try_predict`] on untrusted
+    /// telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `features` has a different column count than the fitted
+    /// data.
     pub fn predict(&self, features: &Matrix) -> Vec<usize> {
         let (inv, _) = self.separation.split_normalized(features);
         self.classifier.predict(&inv)
+    }
+
+    /// Guarded variant of [`FsAdapter::predict`]: validates the batch
+    /// against the source-fitted normalizer and `guard` (rejecting or
+    /// repairing corrupt cells) before classification.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DimensionMismatch`] on a column-count mismatch, and
+    /// the localized [`ServeError::NonFinite`] / [`ServeError::OutOfRange`]
+    /// of the first corrupt cell under [`crate::InputPolicy::Reject`].
+    pub fn try_predict(
+        &self,
+        features: &Matrix,
+        guard: &GuardConfig,
+    ) -> std::result::Result<Vec<usize>, ServeError> {
+        let repaired = sanitize_batch(features, self.separation.normalizer(), guard)?;
+        Ok(self.predict(repaired.as_ref().unwrap_or(features)))
     }
 
     /// Number of classes.
@@ -483,18 +549,19 @@ impl FsGanAdapter {
     ) -> Result<Self> {
         let separation = FeatureSeparation::fit(source, target_shots, &config.fs)?;
         let (inv, var) = separation.split_normalized(source.features());
-        let reconstructor = if separation.variant().is_empty() {
+        // Degenerate partitions (all-variant or all-invariant) skip the
+        // reconstructor and serve as normalized pass-through; see
+        // [`FsGanAdapter::degraded`].
+        let reconstructor = if separation.variant().is_empty() || separation.invariant().is_empty()
+        {
             None
-        } else if separation.invariant().is_empty() {
-            return Err(CoreError::InvalidInput(
-                "feature separation declared every feature variant".into(),
-            ));
         } else {
             let mut recon = build_reconstructor(
                 config.recon,
                 source.num_features(),
                 seed ^ 0x6A17,
                 &config.budget,
+                config.watchdog,
             );
             recon.fit(&inv, &var, &source.one_hot_labels())?;
             Some(recon)
@@ -513,9 +580,86 @@ impl FsGanAdapter {
         })
     }
 
+    /// Guarded variant of [`FsGanAdapter::fit`]: validates both training
+    /// sets against `guard.policy` before fitting (rejecting or repairing
+    /// NaN/Inf cells) and fails when the reconstructor's watchdog reports
+    /// divergence, so a successfully returned adapter is always
+    /// serviceable.
+    ///
+    /// # Errors
+    ///
+    /// [`FitError::CorruptSource`] / [`FitError::CorruptShots`] localize
+    /// the first non-finite training cell under [`crate::InputPolicy::Reject`];
+    /// [`FitError::ReconstructionDiverged`] reports watchdog exhaustion;
+    /// everything the infallible path raises arrives as [`FitError::Core`].
+    pub fn try_fit(
+        source: &Dataset,
+        target_shots: &Dataset,
+        config: &AdapterConfig,
+        seed: u64,
+        guard: &GuardConfig,
+    ) -> std::result::Result<Self, FitError> {
+        let repaired_src = sanitize_fit_features(source.features(), guard.policy)
+            .map_err(|(row, col)| FitError::CorruptSource { row, col })?;
+        let repaired_shots = sanitize_fit_features(target_shots.features(), guard.policy)
+            .map_err(|(row, col)| FitError::CorruptShots { row, col })?;
+        let src_owned;
+        let source = match repaired_src {
+            Some(features) => {
+                src_owned = Dataset::new(features, source.labels().to_vec(), source.num_classes())
+                    .map_err(|e| FitError::Core(e.into()))?;
+                &src_owned
+            }
+            None => source,
+        };
+        let shots_owned;
+        let target_shots = match repaired_shots {
+            Some(features) => {
+                shots_owned = Dataset::new(
+                    features,
+                    target_shots.labels().to_vec(),
+                    target_shots.num_classes(),
+                )
+                .map_err(|e| FitError::Core(e.into()))?;
+                &shots_owned
+            }
+            None => target_shots,
+        };
+        let adapter = Self::fit(source, target_shots, config, seed)?;
+        if let Some(TrainOutcome::Diverged { epoch }) = adapter.train_outcome() {
+            return Err(FitError::ReconstructionDiverged { epoch });
+        }
+        Ok(adapter)
+    }
+
     /// The underlying feature separation.
     pub fn separation(&self) -> &FeatureSeparation {
         &self.separation
+    }
+
+    /// Name of the fitted reconstructor, `None` in degraded pass-through
+    /// mode.
+    pub fn reconstructor_name(&self) -> Option<&str> {
+        self.reconstructor.as_deref().map(Reconstructor::name)
+    }
+
+    /// Whether this adapter serves in a degraded pass-through mode (no
+    /// reconstructor), and why. `None` for a healthy pipeline.
+    pub fn degraded(&self) -> Option<DegradedMode> {
+        if self.reconstructor.is_some() {
+            None
+        } else if self.separation.variant().is_empty() {
+            Some(DegradedMode::NoVariantFeatures)
+        } else {
+            Some(DegradedMode::NoInvariantFeatures)
+        }
+    }
+
+    /// How the reconstructor's guarded training ended. `None` when there is
+    /// no reconstructor (degraded modes) or the adapter was restored from
+    /// an artifact (training history is not persisted).
+    pub fn train_outcome(&self) -> Option<TrainOutcome> {
+        self.reconstructor.as_ref().and_then(|r| r.train_outcome())
     }
 
     /// Transforms raw target features into source-like normalized samples:
@@ -552,17 +696,21 @@ impl FsGanAdapter {
     /// Panics if `m == 0`.
     pub fn predict_mc(&self, features: &Matrix, m: usize) -> Vec<usize> {
         assert!(m > 0, "predict_mc: m must be >= 1");
-        let mut acc: Option<Matrix> = None;
-        for i in 0..m {
+        let mut acc = self
+            .classifier
+            .predict_proba(&self.transform_seeded(features, self.seed ^ 0x11FE));
+        for i in 1..m {
             let transformed =
                 self.transform_seeded(features, self.seed ^ 0x11FE ^ (i as u64) << 32);
             let probs = self.classifier.predict_proba(&transformed);
-            acc = Some(match acc {
-                None => probs,
-                Some(a) => a.try_add(&probs).expect("same shape"),
-            });
+            acc = match acc.try_add(&probs) {
+                Ok(sum) => sum,
+                // One classifier, one row count: every draw has the same
+                // (rows × classes) shape.
+                Err(e) => panic!("predict_proba shape invariant: {e}"),
+            };
         }
-        argmax_rows(&acc.expect("m >= 1"))
+        argmax_rows(&acc)
     }
 
     /// Class-probability predictions (M = 1).
@@ -585,6 +733,15 @@ impl FsGanAdapter {
     /// the per-sample reference loop [`FsGanAdapter::reconstruct_scalar`]:
     /// row `r`'s noise depends only on the adapter seed and `r`, never on
     /// how rows are chunked or scheduled.
+    ///
+    /// This is the unguarded fast path: input is assumed validated.
+    /// NaN/Inf cells propagate garbage-in/garbage-out into the output; use
+    /// [`FsGanAdapter::try_reconstruct_batch`] on untrusted telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `features` has a different column count than the fitted
+    /// data.
     pub fn reconstruct_batch(&self, features: &Matrix, threads: Option<usize>) -> Matrix {
         if features.rows() == 0 {
             return self.separation.normalizer().transform(features);
@@ -615,7 +772,12 @@ impl FsGanAdapter {
         });
         let mut out = parts[0].clone();
         for part in &parts[1..] {
-            out = out.vstack(part).expect("chunk widths match");
+            out = match out.vstack(part) {
+                Ok(stacked) => stacked,
+                // Every chunk is a row slice of the same reassembled
+                // matrix, so widths cannot differ.
+                Err(e) => panic!("chunk width invariant: {e}"),
+            };
         }
         out
     }
@@ -645,9 +807,67 @@ impl FsGanAdapter {
     /// Batched prediction: [`FsGanAdapter::reconstruct_batch`] followed by
     /// one full-batch classifier pass. Like the reconstruction itself, the
     /// predictions are identical for every thread count.
+    ///
+    /// This is the unguarded fast path; it inherits the contract of
+    /// [`FsGanAdapter::reconstruct_batch`]. Use
+    /// [`FsGanAdapter::try_predict_batch`] on untrusted telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `features` has a different column count than the fitted
+    /// data.
     pub fn predict_batch(&self, features: &Matrix, threads: Option<usize>) -> Vec<usize> {
         self.classifier
             .predict(&self.reconstruct_batch(features, threads))
+    }
+
+    /// Guarded variant of [`FsGanAdapter::reconstruct_batch`]: validates
+    /// the batch against the source-fitted normalizer and `guard` before
+    /// reconstruction (rejecting or repairing corrupt cells), then verifies
+    /// the output is fully finite. A clean batch takes the identical
+    /// reconstruction path and returns bit-identical output.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DimensionMismatch`] on a column-count mismatch;
+    /// [`ServeError::NonFinite`] / [`ServeError::OutOfRange`] localizing
+    /// the first corrupt input cell under [`crate::InputPolicy::Reject`];
+    /// [`ServeError::NonFiniteOutput`] when the pipeline itself emits a
+    /// non-finite value (corrupt artifact or diverged reconstructor).
+    pub fn try_reconstruct_batch(
+        &self,
+        features: &Matrix,
+        threads: Option<usize>,
+        guard: &GuardConfig,
+    ) -> std::result::Result<Matrix, ServeError> {
+        let repaired = sanitize_batch(features, self.separation.normalizer(), guard)?;
+        let clean = repaired.as_ref().unwrap_or(features);
+        let out = self.reconstruct_batch(clean, threads);
+        for r in 0..out.rows() {
+            if let Some(c) = out.row(r).iter().position(|v| !v.is_finite()) {
+                return Err(ServeError::NonFiniteOutput { row: r, col: c });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Guarded variant of [`FsGanAdapter::predict_batch`]:
+    /// [`FsGanAdapter::try_reconstruct_batch`] followed by one full-batch
+    /// classifier pass, so predictions are never derived from non-finite
+    /// reconstructions.
+    ///
+    /// # Errors
+    ///
+    /// As [`FsGanAdapter::try_reconstruct_batch`].
+    pub fn try_predict_batch(
+        &self,
+        features: &Matrix,
+        threads: Option<usize>,
+        guard: &GuardConfig,
+    ) -> std::result::Result<Vec<usize>, ServeError> {
+        Ok(self
+            .classifier
+            .predict(&self.try_reconstruct_batch(features, threads, guard)?))
     }
 
     /// Serializes the fitted pipeline — FS partition with config
@@ -750,8 +970,10 @@ impl FsGanAdapter {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
+    use crate::serve::InputPolicy;
     use fsda_data::fewshot::few_shot_subset;
     use fsda_data::synth5gc::Synth5gc;
     use fsda_linalg::SeededRng;
@@ -922,9 +1144,177 @@ mod tests {
     #[test]
     fn reconstructor_factory_sizes_by_features() {
         // Just verify both paths construct.
-        let small = build_reconstructor(ReconKind::Gan, 100, 1, &Budget::quick());
-        let large = build_reconstructor(ReconKind::GanNoCond, 400, 1, &Budget::quick());
+        let small = build_reconstructor(
+            ReconKind::Gan,
+            100,
+            1,
+            &Budget::quick(),
+            WatchdogConfig::default(),
+        );
+        let large = build_reconstructor(
+            ReconKind::GanNoCond,
+            400,
+            1,
+            &Budget::quick(),
+            WatchdogConfig::default(),
+        );
         assert_eq!(small.name(), "gan");
         assert_eq!(large.name(), "gan-nocond");
+    }
+
+    #[test]
+    fn try_predict_batch_guards_malformed_batches() {
+        let (bundle, shots) = setup(21);
+        let cfg = AdapterConfig::quick();
+        let adapter = FsGanAdapter::fit(&bundle.source_train, &shots, &cfg, 23).unwrap();
+        let clean = bundle.target_test.features();
+
+        // Clean data: the guarded path matches the unguarded one exactly.
+        let reject = GuardConfig::default();
+        assert_eq!(
+            adapter.try_predict_batch(clean, None, &reject).unwrap(),
+            adapter.predict_batch(clean, None)
+        );
+
+        // A NaN cell is rejected with exact localization...
+        let mut poisoned = clean.clone();
+        poisoned.set(3, 2, f64::NAN);
+        assert_eq!(
+            adapter.try_predict_batch(&poisoned, None, &reject),
+            Err(ServeError::NonFinite { row: 3, col: 2 })
+        );
+        // ...and repaired under the non-reject policies.
+        for policy in [InputPolicy::ImputeSourceMean, InputPolicy::Clamp] {
+            let guard = GuardConfig::default().with_policy(policy);
+            let recon = adapter
+                .try_reconstruct_batch(&poisoned, None, &guard)
+                .unwrap();
+            assert!(
+                (0..recon.rows()).all(|r| recon.row(r).iter().all(|v| v.is_finite())),
+                "{policy:?} must yield finite reconstructions"
+            );
+            adapter.try_predict_batch(&poisoned, None, &guard).unwrap();
+        }
+
+        // Wrong width fails before any numeric work.
+        let narrow = Matrix::zeros(2, clean.cols() - 1);
+        assert!(matches!(
+            adapter.try_predict_batch(&narrow, None, &reject),
+            Err(ServeError::DimensionMismatch { .. })
+        ));
+
+        // FsAdapter mirrors the same guard.
+        let fs = FsAdapter::fit(&bundle.source_train, &shots, &cfg, 23).unwrap();
+        assert_eq!(fs.try_predict(clean, &reject).unwrap(), fs.predict(clean));
+        assert_eq!(
+            fs.try_predict(&poisoned, &reject),
+            Err(ServeError::NonFinite { row: 3, col: 2 })
+        );
+    }
+
+    #[test]
+    fn try_fit_localizes_corrupt_training_cells() {
+        let (bundle, shots) = setup(22);
+        let cfg = AdapterConfig::quick();
+        let reject = GuardConfig::default();
+
+        let mut bad_features = bundle.source_train.features().clone();
+        bad_features.set(5, 1, f64::INFINITY);
+        let bad_source = Dataset::new(
+            bad_features,
+            bundle.source_train.labels().to_vec(),
+            bundle.source_train.num_classes(),
+        )
+        .unwrap();
+        assert!(matches!(
+            FsGanAdapter::try_fit(&bad_source, &shots, &cfg, 3, &reject),
+            Err(FitError::CorruptSource { row: 5, col: 1 })
+        ));
+
+        let mut bad_shot_features = shots.features().clone();
+        bad_shot_features.set(0, 0, f64::NAN);
+        let bad_shots = Dataset::new(
+            bad_shot_features,
+            shots.labels().to_vec(),
+            shots.num_classes(),
+        )
+        .unwrap();
+        assert!(matches!(
+            FsGanAdapter::try_fit(&bundle.source_train, &bad_shots, &cfg, 3, &reject),
+            Err(FitError::CorruptShots { row: 0, col: 0 })
+        ));
+
+        // Under the impute policy the same corrupt source still fits, and
+        // the repaired adapter serves finite predictions.
+        let impute = GuardConfig::default().with_policy(InputPolicy::ImputeSourceMean);
+        let adapter = FsGanAdapter::try_fit(&bad_source, &shots, &cfg, 3, &impute).unwrap();
+        assert!(adapter.degraded().is_none());
+        let preds = adapter.predict(bundle.target_test.features());
+        assert_eq!(preds.len(), bundle.target_test.len());
+    }
+
+    #[test]
+    fn degenerate_separations_serve_pass_through() {
+        let (bundle, shots) = setup(24);
+
+        // Shift every column far outside the source support: every feature
+        // is domain-variant, the reconstructor has nothing to condition on.
+        let shifted = Matrix::from_fn(shots.len(), shots.num_features(), |r, c| {
+            shots.features().get(r, c) + 1e4
+        });
+        let all_variant_shots =
+            Dataset::new(shifted, shots.labels().to_vec(), shots.num_classes()).unwrap();
+        let cfg = AdapterConfig {
+            fs: FsConfig {
+                alpha: 0.5,
+                ..FsConfig::default()
+            },
+            ..AdapterConfig::quick()
+        };
+        let adapter =
+            FsGanAdapter::fit(&bundle.source_train, &all_variant_shots, &cfg, 31).unwrap();
+        assert_eq!(adapter.degraded(), Some(DegradedMode::NoInvariantFeatures));
+        assert_eq!(
+            adapter.separation().mode(),
+            crate::fs::SeparationMode::AllVariant
+        );
+        let health = crate::report::format_pipeline_health(&adapter);
+        assert!(
+            health.contains("pass-through") && health.contains("no invariant"),
+            "unexpected health line: {health}"
+        );
+
+        // Pass-through serving: reconstruction is just normalization.
+        let batch = bundle.target_test.features();
+        let recon = adapter.reconstruct_batch(batch, None);
+        let expected = adapter.separation().normalizer().transform(batch);
+        for r in 0..recon.rows() {
+            assert_eq!(recon.row(r), expected.row(r));
+        }
+        assert_eq!(adapter.predict(batch).len(), bundle.target_test.len());
+
+        // Shots drawn from the source domain itself: no drift, every
+        // feature is invariant (the strict alpha suppresses chance
+        // rejections).
+        let mut rng = SeededRng::new(24 ^ 0xCD);
+        let same_domain_shots = few_shot_subset(&bundle.source_train, 10, &mut rng).unwrap();
+        let cfg_inv = AdapterConfig {
+            fs: FsConfig {
+                alpha: 1e-12,
+                ..FsConfig::default()
+            },
+            ..AdapterConfig::quick()
+        };
+        let adapter_inv =
+            FsGanAdapter::fit(&bundle.source_train, &same_domain_shots, &cfg_inv, 31).unwrap();
+        assert_eq!(
+            adapter_inv.degraded(),
+            Some(DegradedMode::NoVariantFeatures)
+        );
+        assert_eq!(
+            adapter_inv.separation().mode(),
+            crate::fs::SeparationMode::AllInvariant
+        );
+        assert_eq!(adapter_inv.predict(batch).len(), bundle.target_test.len());
     }
 }

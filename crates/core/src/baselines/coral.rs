@@ -121,6 +121,7 @@ fn solve_upper_right(b: &Matrix, l: &Matrix) -> Matrix {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::baselines::naive::src_only;

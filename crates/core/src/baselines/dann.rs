@@ -123,9 +123,12 @@ pub fn run_with_config(ctx: &DaContext<'_>, config: &DannConfig) -> Result<Vec<u
             let (_, grad_dom) = bce_with_logits(&dom_logits, &bdom);
             let grad_feats_dom =
                 fsda_nn::Layer::backward(&mut grl, &domain_head.backward(&grad_dom));
-            let grad_feats = grad_feats_label
-                .try_add(&grad_feats_dom)
-                .expect("same shape");
+            let grad_feats = match grad_feats_label.try_add(&grad_feats_dom) {
+                Ok(g) => g,
+                // Both gradients flow back through the same extractor
+                // output, so their shapes cannot differ.
+                Err(e) => panic!("extractor gradient shape invariant: {e}"),
+            };
             extractor.backward(&grad_feats);
             let mut params = extractor.params_mut();
             params.extend(label_head.params_mut());
@@ -139,6 +142,7 @@ pub fn run_with_config(ctx: &DaContext<'_>, config: &DannConfig) -> Result<Vec<u
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::baselines::naive::src_only;

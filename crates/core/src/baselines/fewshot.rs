@@ -160,6 +160,7 @@ pub fn nearest_prototype(queries: &Matrix, prototypes: &Matrix) -> Vec<usize> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::baselines::naive::src_only;

@@ -96,6 +96,7 @@ pub fn icd_invariant_features(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::baselines::testutil::{f1_of, scenario};

@@ -63,6 +63,7 @@ pub(crate) fn zscore_pair(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 pub(crate) mod testutil {
     use super::*;
     use fsda_data::fewshot::few_shot_subset;

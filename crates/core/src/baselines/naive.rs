@@ -85,6 +85,7 @@ pub fn fine_tune(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::baselines::testutil::{f1_of, scenario};

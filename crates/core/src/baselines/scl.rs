@@ -125,10 +125,15 @@ pub fn run_with_config(ctx: &DaContext<'_>, config: &SclConfig) -> Result<Vec<us
             let dom_logits = domain_head.forward(&emb_rev, true);
             let (_, grad_dom) = bce_with_logits(&dom_logits, &bdom);
             let grad_dom_emb = fsda_nn::Layer::backward(&mut grl, &domain_head.backward(&grad_dom));
-            let grad_emb = grad_supcon
+            let grad_emb = match grad_supcon
                 .try_add(&grad_ce_emb)
                 .and_then(|g| g.try_add(&grad_dom_emb))
-                .expect("same shape");
+            {
+                Ok(g) => g,
+                // All three gradients flow back through the same embedding,
+                // so their shapes cannot differ.
+                Err(e) => panic!("embedding gradient shape invariant: {e}"),
+            };
             encoder.backward(&grad_emb);
             let mut params = encoder.params_mut();
             params.extend(head.params_mut());
@@ -141,6 +146,7 @@ pub fn run_with_config(ctx: &DaContext<'_>, config: &SclConfig) -> Result<Vec<us
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::baselines::naive::src_only;

@@ -137,6 +137,7 @@ impl DriftDetector {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use fsda_linalg::SeededRng;

@@ -223,6 +223,7 @@ pub fn run_grid(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use fsda_data::synth5gc::Synth5gc;

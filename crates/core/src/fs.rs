@@ -49,6 +49,33 @@ impl From<&FsConfig> for FnodeConfig {
     }
 }
 
+/// Shape of a fitted partition. The degenerate modes are legitimate
+/// outcomes (no detectable drift, or drift touching everything) but force
+/// the FS+GAN adapter into pass-through serving, so they are surfaced as a
+/// diagnostic instead of being silently absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeparationMode {
+    /// Both variant and invariant features exist: the full FS+GAN pipeline
+    /// applies.
+    Mixed,
+    /// Every feature is invariant: no drift was detected, nothing to
+    /// reconstruct.
+    AllInvariant,
+    /// Every feature is variant: the reconstructor has nothing to condition
+    /// on.
+    AllVariant,
+}
+
+impl std::fmt::Display for SeparationMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SeparationMode::Mixed => write!(f, "mixed"),
+            SeparationMode::AllInvariant => write!(f, "all-invariant"),
+            SeparationMode::AllVariant => write!(f, "all-variant"),
+        }
+    }
+}
+
 /// The result of feature separation: the variant/invariant partition, the
 /// normalizer fitted on the source domain, the configuration that produced
 /// it (provenance), and diagnostics.
@@ -166,6 +193,18 @@ impl FeatureSeparation {
         self.tests_run
     }
 
+    /// Whether the partition is mixed or degenerate (see
+    /// [`SeparationMode`]).
+    pub fn mode(&self) -> SeparationMode {
+        if self.variant.is_empty() {
+            SeparationMode::AllInvariant
+        } else if self.invariant.is_empty() {
+            SeparationMode::AllVariant
+        } else {
+            SeparationMode::Mixed
+        }
+    }
+
     /// Total feature count.
     pub fn num_features(&self) -> usize {
         self.num_features
@@ -229,6 +268,7 @@ impl FeatureSeparation {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use fsda_data::fewshot::few_shot_subset;

@@ -46,6 +46,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod adapter;
 pub mod baselines;
 pub mod drift;
@@ -54,10 +56,12 @@ pub mod fs;
 pub mod method;
 pub mod persist;
 pub mod report;
+pub mod serve;
 
-pub use adapter::{AdapterConfig, FsAdapter, FsGanAdapter};
+pub use adapter::{AdapterConfig, DegradedMode, FsAdapter, FsGanAdapter};
 pub use fs::FeatureSeparation;
 pub use method::Method;
+pub use serve::{FitError, GuardConfig, InputPolicy, ServeError};
 
 /// Errors raised by the DA framework.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,6 +135,7 @@ impl From<fsda_linalg::LinalgError> for CoreError {
 pub type Result<T> = std::result::Result<T, CoreError>;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -164,6 +164,7 @@ pub fn run_method(
                 recon,
                 classifier,
                 budget: budget.clone(),
+                watchdog: fsda_gan::WatchdogConfig::default(),
             };
             let adapter = FsGanAdapter::fit(source, target_shots, &config, seed)?;
             Ok(adapter.predict(test_features))
@@ -174,6 +175,7 @@ pub fn run_method(
                 recon: ReconKind::Gan,
                 classifier,
                 budget: budget.clone(),
+                watchdog: fsda_gan::WatchdogConfig::default(),
             };
             let adapter = FsAdapter::fit(source, target_shots, &config, seed)?;
             Ok(adapter.predict(test_features))
@@ -193,6 +195,7 @@ pub fn run_method(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -49,6 +49,7 @@ use fsda_models::tnet::TnetConfig;
 use fsda_models::tree::{FlatNode, FlatRegNode};
 use fsda_models::ClassifierSnapshot;
 use fsda_nn::state::StateDict;
+use fsda_nn::WatchdogConfig;
 
 /// The artifact magic bytes.
 pub const MAGIC: [u8; 4] = *b"FSDA";
@@ -658,6 +659,9 @@ fn read_cond_gan_config(dec: &mut Decoder) -> Result<CondGanConfig> {
         dropout: dec.take_f64()?,
         condition_on_label: dec.take_bool()?,
         recon_weight: dec.take_f64()?,
+        // Training-time policy, deliberately not persisted: restored
+        // models never retrain, so they carry the default.
+        watchdog: WatchdogConfig::default(),
     })
 }
 
@@ -744,6 +748,7 @@ pub fn read_recon_snapshot(dec: &mut Decoder) -> Result<ReconSnapshot> {
                 batch_size: dec.take_usize()?,
                 learning_rate: dec.take_f64()?,
                 beta: dec.take_f64()?,
+                watchdog: WatchdogConfig::default(),
             };
             let seed = dec.take_u64()?;
             let dims = (dec.take_usize()?, dec.take_usize()?);
@@ -762,6 +767,7 @@ pub fn read_recon_snapshot(dec: &mut Decoder) -> Result<ReconSnapshot> {
                 epochs: dec.take_usize()?,
                 batch_size: dec.take_usize()?,
                 learning_rate: dec.take_f64()?,
+                watchdog: WatchdogConfig::default(),
             };
             let seed = dec.take_u64()?;
             let dims = (dec.take_usize()?, dec.take_usize()?);
@@ -1068,6 +1074,7 @@ pub fn read_classifier_snapshot(dec: &mut Decoder) -> Result<ClassifierSnapshot>
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

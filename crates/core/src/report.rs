@@ -115,6 +115,25 @@ pub fn method_means(entries: &[GridEntry], shots: usize) -> Vec<(Method, f64)> {
         .collect()
 }
 
+/// One-line health summary of a fitted FS+GAN adapter: reconstructor name,
+/// training outcome, and degraded-mode flag. Intended for experiment logs
+/// and serving dashboards, so unstable training or pass-through serving is
+/// visible instead of silently folded into the F1 numbers.
+pub fn format_pipeline_health(adapter: &crate::FsGanAdapter) -> String {
+    let recon = adapter
+        .reconstructor_name()
+        .unwrap_or("none (pass-through)");
+    let outcome = match adapter.train_outcome() {
+        Some(o) => o.to_string(),
+        None => "n/a".into(),
+    };
+    let degraded = match adapter.degraded() {
+        Some(mode) => format!("degraded: {mode}"),
+        None => "healthy".into(),
+    };
+    format!("pipeline health: reconstructor={recon} training={outcome} status={degraded}")
+}
+
 /// Serializes grid entries as CSV (`method,classifier,shots,mean_f1,std_f1`)
 /// for external plotting.
 pub fn grid_to_csv(entries: &[GridEntry]) -> String {
@@ -134,6 +153,7 @@ pub fn grid_to_csv(entries: &[GridEntry]) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::experiment::CellResult;

@@ -41,8 +41,10 @@ pub fn write_csv<W: Write>(dataset: &Dataset, mut out: W) -> Result<()> {
 ///
 /// # Errors
 ///
-/// Returns [`DataError::Inconsistent`] on malformed rows and
-/// [`DataError::Numeric`] on I/O or parse failures.
+/// Returns [`DataError::Csv`] — carrying the 1-based line number of the
+/// first offending row (0 for file-level problems) — on any malformed
+/// input: empty file, header without a trailing `label` column, ragged
+/// rows, or non-numeric cells. I/O failures map to [`DataError::Numeric`].
 ///
 /// # Example
 ///
@@ -63,13 +65,17 @@ pub fn read_csv<R: Read>(input: R) -> Result<Dataset> {
     let mut lines = reader.lines();
     let header = lines
         .next()
-        .ok_or_else(|| DataError::Inconsistent("csv: empty input".into()))?
+        .ok_or_else(|| DataError::Csv {
+            line: 0,
+            message: "empty input".into(),
+        })?
         .map_err(|e| DataError::Numeric(format!("csv read: {e}")))?;
     let columns: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
     if columns.last().map(String::as_str) != Some("label") {
-        return Err(DataError::Inconsistent(
-            "csv: last header column must be `label`".into(),
-        ));
+        return Err(DataError::Csv {
+            line: 1,
+            message: "last header column must be `label`".into(),
+        });
     }
     let d = columns.len() - 1;
     let feature_names: Vec<String> = columns[..d].to_vec();
@@ -82,22 +88,25 @@ pub fn read_csv<R: Read>(input: R) -> Result<Dataset> {
         }
         let cells: Vec<&str> = line.split(',').collect();
         if cells.len() != d + 1 {
-            return Err(DataError::Inconsistent(format!(
-                "csv row {}: {} cells, expected {}",
-                lineno + 2,
-                cells.len(),
-                d + 1
-            )));
+            return Err(DataError::Csv {
+                line: lineno + 2,
+                message: format!("{} cells, expected {}", cells.len(), d + 1),
+            });
         }
-        for cell in &cells[..d] {
-            values.push(cell.trim().parse::<f64>().map_err(|e| {
-                DataError::Numeric(format!("csv row {}: bad number ({e})", lineno + 2))
+        for (c, cell) in cells[..d].iter().enumerate() {
+            values.push(cell.trim().parse::<f64>().map_err(|e| DataError::Csv {
+                line: lineno + 2,
+                message: format!("column {} is not a number ({e})", c + 1),
             })?);
         }
         labels.push(
-            cells[d].trim().parse::<usize>().map_err(|e| {
-                DataError::Numeric(format!("csv row {}: bad label ({e})", lineno + 2))
-            })?,
+            cells[d]
+                .trim()
+                .parse::<usize>()
+                .map_err(|e| DataError::Csv {
+                    line: lineno + 2,
+                    message: format!("bad label ({e})"),
+                })?,
         );
     }
     let n = labels.len();
@@ -111,6 +120,7 @@ pub fn read_csv<R: Read>(input: R) -> Result<Dataset> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -150,26 +160,53 @@ mod tests {
         let input = "a,b\n1,2\n";
         assert!(matches!(
             read_csv(input.as_bytes()),
-            Err(DataError::Inconsistent(_))
+            Err(DataError::Csv { line: 1, .. })
         ));
     }
 
     #[test]
-    fn rejects_ragged_rows() {
+    fn rejects_ragged_rows_with_line_number() {
         let input = "a,label\n1,0\n1,2,0\n";
+        match read_csv(input.as_bytes()) {
+            Err(DataError::Csv { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("3 cells"), "{message}");
+            }
+            other => panic!("expected Csv error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_rows_with_line_number() {
+        let input = "a,b,label\n1,2,0\n1,0\n";
         assert!(matches!(
             read_csv(input.as_bytes()),
-            Err(DataError::Inconsistent(_))
+            Err(DataError::Csv { line: 3, .. })
         ));
     }
 
     #[test]
-    fn rejects_non_numeric() {
-        let input = "a,label\nfoo,0\n";
-        assert!(matches!(
-            read_csv(input.as_bytes()),
-            Err(DataError::Numeric(_))
-        ));
+    fn rejects_non_numeric_with_line_and_column() {
+        let input = "a,b,label\n1,2,0\n1,foo,0\n";
+        match read_csv(input.as_bytes()) {
+            Err(DataError::Csv { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("column 2"), "{message}");
+            }
+            other => panic!("expected Csv error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_label_with_line_number() {
+        let input = "a,label\n1,0\n2,minus\n";
+        match read_csv(input.as_bytes()) {
+            Err(DataError::Csv { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("label"), "{message}");
+            }
+            other => panic!("expected Csv error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -182,6 +219,15 @@ mod tests {
 
     #[test]
     fn empty_input_errors() {
-        assert!(read_csv("".as_bytes()).is_err());
+        assert!(matches!(
+            read_csv("".as_bytes()),
+            Err(DataError::Csv { line: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let err = read_csv("a,label\nx,0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
     }
 }

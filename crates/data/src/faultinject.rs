@@ -1,0 +1,386 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! Real 5G telemetry arrives broken in predictable ways: sensors emit NaN
+//! when a counter wraps, exporters serialize `inf` on division by a zero
+//! window, collectors reorder columns after schema upgrades, dead counters
+//! flatline, and transport hiccups truncate CSV rows mid-line. This module
+//! provides *seeded* corruption operators over matrices, datasets, and raw
+//! CSV text so the `tests/fault_injection.rs` no-panic suite can replay the
+//! exact same corruption on every run.
+//!
+//! Every operator takes the corruption seed explicitly; the same
+//! `(fault, seed)` pair always produces the same corruption, which makes a
+//! failing fault-injection case reproducible from its log line alone.
+
+use crate::dataset::Dataset;
+use crate::Result;
+use fsda_linalg::{Matrix, SeededRng};
+
+/// A corruption operator, parameterized by severity where meaningful.
+///
+/// `fraction` fields are clamped to `[0, 1]`; a fraction of the matrix
+/// cells (or rows, for row-level faults) is corrupted, but always at least
+/// one cell/row so a fault is never a silent no-op on tiny inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Replaces a fraction of cells with NaN.
+    NanCells {
+        /// Fraction of all cells to replace.
+        fraction: f64,
+    },
+    /// Replaces a fraction of cells with ±infinity.
+    InfCells {
+        /// Fraction of all cells to replace.
+        fraction: f64,
+    },
+    /// Applies a seeded permutation to the feature columns (schema skew:
+    /// the collector reordered fields, the consumer did not notice).
+    PermuteColumns,
+    /// Flatlines a fraction of columns to a constant (dead counters).
+    ConstantColumns {
+        /// Fraction of columns to flatline.
+        fraction: f64,
+    },
+    /// Multiplies a fraction of cells by a huge factor (unit mix-ups,
+    /// counter wraps surfacing as extreme outliers).
+    ExtremeOutliers {
+        /// Fraction of all cells to blow up.
+        fraction: f64,
+        /// Multiplier applied to the chosen cells.
+        magnitude: f64,
+    },
+    /// Reassigns a fraction of labels uniformly at random.
+    LabelNoise {
+        /// Fraction of labels to rewrite.
+        fraction: f64,
+    },
+}
+
+impl Fault {
+    /// The canonical severity grid used by the no-panic suite: one instance
+    /// of every operator at a severity that is high enough to break naive
+    /// code but low enough to leave some clean data.
+    pub fn canonical_suite() -> Vec<Fault> {
+        vec![
+            Fault::NanCells { fraction: 0.05 },
+            Fault::InfCells { fraction: 0.05 },
+            Fault::PermuteColumns,
+            Fault::ConstantColumns { fraction: 0.25 },
+            Fault::ExtremeOutliers {
+                fraction: 0.02,
+                magnitude: 1e9,
+            },
+            Fault::LabelNoise { fraction: 0.2 },
+        ]
+    }
+
+    /// A short stable name for log lines and test diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::NanCells { .. } => "nan_cells",
+            Fault::InfCells { .. } => "inf_cells",
+            Fault::PermuteColumns => "permute_columns",
+            Fault::ConstantColumns { .. } => "constant_columns",
+            Fault::ExtremeOutliers { .. } => "extreme_outliers",
+            Fault::LabelNoise { .. } => "label_noise",
+        }
+    }
+
+    /// Applies the fault to a feature matrix, returning the corrupted copy.
+    /// Label-level faults leave the matrix unchanged.
+    pub fn apply_to_matrix(&self, features: &Matrix, seed: u64) -> Matrix {
+        let mut out = features.clone();
+        let mut rng = SeededRng::new(seed ^ 0xFA17);
+        let cells = out.rows() * out.cols();
+        if cells == 0 {
+            return out;
+        }
+        match *self {
+            Fault::NanCells { fraction } => {
+                for k in pick(&mut rng, cells, fraction) {
+                    out.as_mut_slice()[k] = f64::NAN;
+                }
+            }
+            Fault::InfCells { fraction } => {
+                for k in pick(&mut rng, cells, fraction) {
+                    out.as_mut_slice()[k] = if k % 2 == 0 {
+                        f64::INFINITY
+                    } else {
+                        f64::NEG_INFINITY
+                    };
+                }
+            }
+            Fault::PermuteColumns => {
+                let mut perm: Vec<usize> = (0..out.cols()).collect();
+                rng.shuffle(&mut perm);
+                out = out.select_cols(&perm);
+            }
+            Fault::ConstantColumns { fraction } => {
+                for c in pick(&mut rng, out.cols(), fraction) {
+                    let v = rng.uniform_range(-5.0, 5.0);
+                    for r in 0..out.rows() {
+                        out.set(r, c, v);
+                    }
+                }
+            }
+            Fault::ExtremeOutliers {
+                fraction,
+                magnitude,
+            } => {
+                for k in pick(&mut rng, cells, fraction) {
+                    let v = out.as_slice()[k];
+                    out.as_mut_slice()[k] = if v == 0.0 { magnitude } else { v * magnitude };
+                }
+            }
+            Fault::LabelNoise { .. } => {}
+        }
+        out
+    }
+
+    /// Applies the fault to a whole dataset (features and, for
+    /// [`Fault::LabelNoise`], labels).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::DataError`] from dataset reconstruction, which
+    /// cannot happen for the shapes these operators preserve.
+    pub fn apply(&self, dataset: &Dataset, seed: u64) -> Result<Dataset> {
+        let features = self.apply_to_matrix(dataset.features(), seed);
+        let mut labels = dataset.labels().to_vec();
+        if let Fault::LabelNoise { fraction } = *self {
+            let mut rng = SeededRng::new(seed ^ 0x1AB3);
+            for i in pick(&mut rng, labels.len(), fraction) {
+                labels[i] = rng.index(dataset.num_classes().max(1));
+            }
+        }
+        Dataset::new(features, labels, dataset.num_classes())
+    }
+}
+
+/// Picks `max(1, fraction * n)` distinct indices out of `0..n` (empty when
+/// `n == 0`), deterministically for a given RNG state.
+fn pick(rng: &mut SeededRng, n: usize, fraction: f64) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = ((fraction.clamp(0.0, 1.0) * n as f64).round() as usize).clamp(1, n);
+    rng.sample_indices(n, k)
+}
+
+/// Seeded corruptions of raw CSV text, for driving the ingestion layer.
+/// Returned strings are intentionally malformed; feed them to
+/// [`crate::csv::read_csv`] and assert on the typed error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsvFault {
+    /// Drops the last cell of one data row (truncated transport write).
+    TruncateRow,
+    /// Duplicates a cell in one data row (ragged row).
+    RaggedRow,
+    /// Replaces one numeric cell with garbage text.
+    GarbageCell,
+    /// Deletes everything, header included.
+    EmptyFile,
+    /// Renames the trailing `label` header column.
+    HeaderMismatch,
+}
+
+impl CsvFault {
+    /// All CSV faults, for exhaustive suites.
+    pub fn all() -> [CsvFault; 5] {
+        [
+            CsvFault::TruncateRow,
+            CsvFault::RaggedRow,
+            CsvFault::GarbageCell,
+            CsvFault::EmptyFile,
+            CsvFault::HeaderMismatch,
+        ]
+    }
+
+    /// Applies the corruption to well-formed CSV text. The victim data row
+    /// is chosen by the seed; the header is row 0 and never the victim
+    /// (except for the faults that target it explicitly).
+    pub fn apply(&self, csv: &str, seed: u64) -> String {
+        let mut rng = SeededRng::new(seed ^ 0xC57);
+        let mut lines: Vec<String> = csv.lines().map(str::to_string).collect();
+        if lines.len() < 2 && !matches!(self, CsvFault::EmptyFile) {
+            return csv.to_string();
+        }
+        match self {
+            CsvFault::TruncateRow => {
+                let victim = 1 + rng.index(lines.len() - 1);
+                if let Some(cut) = lines[victim].rfind(',') {
+                    lines[victim].truncate(cut);
+                }
+            }
+            CsvFault::RaggedRow => {
+                let victim = 1 + rng.index(lines.len() - 1);
+                let extra = lines[victim].split(',').next().unwrap_or("0").to_string();
+                lines[victim] = format!("{},{extra}", lines[victim]);
+            }
+            CsvFault::GarbageCell => {
+                let victim = 1 + rng.index(lines.len() - 1);
+                let mut cells: Vec<&str> = lines[victim].split(',').collect();
+                let col = rng.index(cells.len().saturating_sub(1).max(1));
+                cells[col] = "§garbage§";
+                lines[victim] = cells.join(",");
+            }
+            CsvFault::EmptyFile => return String::new(),
+            CsvFault::HeaderMismatch => {
+                lines[0] = lines[0].replace("label", "target");
+            }
+        }
+        let mut out = lines.join("\n");
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut rng = SeededRng::new(1);
+        let features = Matrix::from_fn(20, 6, |_, _| rng.normal(0.0, 1.0));
+        let labels: Vec<usize> = (0..20).map(|i| i % 3).collect();
+        Dataset::new(features, labels, 3).unwrap()
+    }
+
+    #[test]
+    fn faults_are_deterministic() {
+        let ds = toy();
+        let bits = |m: &Matrix| -> Vec<u64> { m.as_slice().iter().map(|v| v.to_bits()).collect() };
+        for fault in Fault::canonical_suite() {
+            let a = fault.apply(&ds, 99).unwrap();
+            let b = fault.apply(&ds, 99).unwrap();
+            // Bitwise comparison: NaN != NaN under PartialEq.
+            assert_eq!(bits(a.features()), bits(b.features()), "{}", fault.name());
+            assert_eq!(a.labels(), b.labels(), "{}", fault.name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let ds = toy();
+        let fault = Fault::NanCells { fraction: 0.1 };
+        let a = fault.apply(&ds, 1).unwrap();
+        let b = fault.apply(&ds, 2).unwrap();
+        assert_ne!(
+            a.features()
+                .as_slice()
+                .iter()
+                .map(|v| v.is_nan())
+                .collect::<Vec<_>>(),
+            b.features()
+                .as_slice()
+                .iter()
+                .map(|v| v.is_nan())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn nan_fault_injects_nans() {
+        let ds = toy();
+        let out = Fault::NanCells { fraction: 0.1 }.apply(&ds, 7).unwrap();
+        let nans = out
+            .features()
+            .as_slice()
+            .iter()
+            .filter(|v| v.is_nan())
+            .count();
+        assert_eq!(nans, 12); // 10% of 120 cells
+        assert_eq!(out.labels(), ds.labels());
+    }
+
+    #[test]
+    fn inf_fault_injects_infs() {
+        let ds = toy();
+        let out = Fault::InfCells { fraction: 0.05 }.apply(&ds, 7).unwrap();
+        assert!(out.features().as_slice().iter().any(|v| v.is_infinite()));
+    }
+
+    #[test]
+    fn permutation_preserves_multiset() {
+        let ds = toy();
+        let out = Fault::PermuteColumns.apply(&ds, 3).unwrap();
+        let mut a: Vec<u64> = ds
+            .features()
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let mut b: Vec<u64> = out
+            .features()
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_ne!(ds.features(), out.features());
+    }
+
+    #[test]
+    fn constant_columns_flatline() {
+        let ds = toy();
+        let out = Fault::ConstantColumns { fraction: 0.5 }
+            .apply(&ds, 5)
+            .unwrap();
+        let flat = (0..out.num_features())
+            .filter(|&c| {
+                let col = out.features().col(c);
+                col.iter().all(|&v| v == col[0])
+            })
+            .count();
+        assert_eq!(flat, 3); // 50% of 6 columns
+    }
+
+    #[test]
+    fn outliers_blow_up_magnitude() {
+        let ds = toy();
+        let out = Fault::ExtremeOutliers {
+            fraction: 0.02,
+            magnitude: 1e9,
+        }
+        .apply(&ds, 5)
+        .unwrap();
+        assert!(out.features().max_abs() > 1e6);
+        assert!(out.features().is_finite());
+    }
+
+    #[test]
+    fn label_noise_touches_only_labels() {
+        let ds = toy();
+        let out = Fault::LabelNoise { fraction: 0.5 }.apply(&ds, 5).unwrap();
+        assert_eq!(out.features(), ds.features());
+        assert!(out.labels().iter().all(|&l| l < 3));
+        assert_ne!(out.labels(), ds.labels());
+    }
+
+    #[test]
+    fn csv_faults_break_round_trips() {
+        use crate::csv::{read_csv, write_csv};
+        let ds = toy();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let clean = String::from_utf8(buf).unwrap();
+        for fault in CsvFault::all() {
+            let broken = fault.apply(&clean, 11);
+            assert!(
+                read_csv(broken.as_bytes()).is_err(),
+                "{fault:?} should produce unreadable csv"
+            );
+        }
+    }
+
+    #[test]
+    fn csv_faults_are_deterministic() {
+        let clean = "a,b,label\n1,2,0\n3,4,1\n5,6,0\n";
+        for fault in CsvFault::all() {
+            assert_eq!(fault.apply(clean, 42), fault.apply(clean, 42), "{fault:?}");
+        }
+    }
+}

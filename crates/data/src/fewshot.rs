@@ -89,6 +89,7 @@ pub fn stratified_split(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use fsda_linalg::Matrix;

@@ -175,21 +175,18 @@ impl Gmm {
                 "fit_best needs restarts >= 1".into(),
             ));
         }
-        let mut best: Option<Gmm> = None;
-        for r in 0..restarts {
+        let mut best = Gmm::fit(data, config)?;
+        for r in 1..restarts {
             let cfg = GmmConfig {
                 seed: config.seed.wrapping_add(r as u64 * 7919),
                 ..config.clone()
             };
             let fitted = Gmm::fit(data, &cfg)?;
-            if best
-                .as_ref()
-                .is_none_or(|b| fitted.log_likelihood > b.log_likelihood)
-            {
-                best = Some(fitted);
+            if fitted.log_likelihood > best.log_likelihood {
+                best = fitted;
             }
         }
-        Ok(best.expect("restarts >= 1"))
+        Ok(best)
     }
 
     /// Number of components.
@@ -264,6 +261,7 @@ fn diag_log_pdf(x: &[f64], mean: &[f64], var: &[f64]) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -27,8 +27,11 @@
 //! # Ok::<(), fsda_data::DataError>(())
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod csv;
 pub mod dataset;
+pub mod faultinject;
 pub mod fewshot;
 pub mod gmm;
 pub mod normalize;
@@ -50,6 +53,14 @@ pub enum DataError {
     NotEnoughSamples(String),
     /// An underlying numeric routine failed.
     Numeric(String),
+    /// A CSV file was malformed; `line` is the 1-based line number of the
+    /// first offending row (0 for file-level problems such as empty input).
+    Csv {
+        /// 1-based line number of the offending row (0 = whole file).
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for DataError {
@@ -59,6 +70,13 @@ impl std::fmt::Display for DataError {
             DataError::UnknownClass(c) => write!(f, "unknown class {c}"),
             DataError::NotEnoughSamples(msg) => write!(f, "not enough samples: {msg}"),
             DataError::Numeric(msg) => write!(f, "numeric failure: {msg}"),
+            DataError::Csv { line, message } => {
+                if *line == 0 {
+                    write!(f, "malformed csv: {message}")
+                } else {
+                    write!(f, "malformed csv at line {line}: {message}")
+                }
+            }
         }
     }
 }
@@ -75,6 +93,7 @@ impl From<fsda_linalg::LinalgError> for DataError {
 pub type Result<T> = std::result::Result<T, DataError>;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

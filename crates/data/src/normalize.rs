@@ -18,6 +18,21 @@ pub enum NormKind {
     ZScore,
 }
 
+/// Mean and standard deviation over the finite entries of a column; `(0, 0)`
+/// when no entry is finite.
+fn finite_moments(col: &[f64]) -> (f64, f64) {
+    let finite: Vec<f64> = col.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return (0.0, 0.0);
+    }
+    let m = finite.iter().sum::<f64>() / finite.len() as f64;
+    if finite.len() < 2 {
+        return (m, 0.0);
+    }
+    let var = finite.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / (finite.len() - 1) as f64;
+    (m, var.sqrt())
+}
+
 /// A fitted, invertible per-column normalizer.
 ///
 /// # Example
@@ -47,6 +62,10 @@ impl Normalizer {
     /// Fits the normalizer on training data (rows are samples).
     ///
     /// Constant columns get scale 1 so they map to 0 and invert exactly.
+    /// NaN/Inf cells are excluded from the fitted statistics — a single
+    /// corrupt cell must not poison a whole column — so the resulting
+    /// offsets and scales are always finite. Columns with no finite values
+    /// at all fall back to offset 0, scale 1 (identity).
     pub fn fit(data: &Matrix, kind: NormKind) -> Self {
         let d = data.cols();
         let mut offset = vec![0.0; d];
@@ -57,6 +76,9 @@ impl Normalizer {
                     let col = data.col(c);
                     let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
                     for &v in &col {
+                        if !v.is_finite() {
+                            continue;
+                        }
                         lo = lo.min(v);
                         hi = hi.max(v);
                     }
@@ -74,8 +96,15 @@ impl Normalizer {
                 let means = data.col_means();
                 let stds = data.col_stds();
                 for c in 0..d {
-                    offset[c] = means[c];
-                    scale[c] = if stds[c] < 1e-12 { 1.0 } else { stds[c] };
+                    let (m, s) = if means[c].is_finite() && stds[c].is_finite() {
+                        (means[c], stds[c])
+                    } else {
+                        // The whole-column moments were poisoned by NaN/Inf
+                        // cells; recompute them over finite values only.
+                        finite_moments(&data.col(c))
+                    };
+                    offset[c] = m;
+                    scale[c] = if s < 1e-12 { 1.0 } else { s };
                 }
             }
         }
@@ -200,6 +229,7 @@ impl Normalizer {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use fsda_linalg::SeededRng;
@@ -250,6 +280,35 @@ mod tests {
             let back = n.inverse_transform(&t);
             assert_eq!(back.get(0, 0), 5.0);
         }
+    }
+
+    #[test]
+    fn fit_ignores_non_finite_cells() {
+        for kind in [NormKind::MinMaxSymmetric, NormKind::ZScore] {
+            let data = Matrix::from_rows(&[
+                &[0.0, f64::NAN],
+                &[f64::INFINITY, 1.0],
+                &[10.0, 3.0],
+                &[5.0, f64::NEG_INFINITY],
+            ]);
+            let n = Normalizer::fit(&data, kind);
+            assert!(
+                n.offset().iter().all(|v| v.is_finite()),
+                "{kind:?}: offsets must be finite"
+            );
+            assert!(
+                n.scale().iter().all(|v| v.is_finite() && *v != 0.0),
+                "{kind:?}: scales must be finite and non-zero"
+            );
+        }
+    }
+
+    #[test]
+    fn fit_all_non_finite_column_is_identity() {
+        let data = Matrix::from_rows(&[&[f64::NAN, 1.0], &[f64::NAN, 2.0]]);
+        let n = Normalizer::fit(&data, NormKind::MinMaxSymmetric);
+        assert_eq!(n.offset()[0], 0.0);
+        assert_eq!(n.scale()[0], 1.0);
     }
 
     #[test]

@@ -387,6 +387,7 @@ impl Scm {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use fsda_linalg::stats::{mean, std_dev};

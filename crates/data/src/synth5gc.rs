@@ -539,6 +539,7 @@ fn spread_total(total: usize, classes: usize) -> Vec<usize> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use fsda_linalg::stats::mean;

@@ -625,6 +625,7 @@ pub struct ThreeDomainBundle {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use fsda_linalg::stats::mean;

@@ -126,6 +126,37 @@ proptest! {
     }
 
     #[test]
+    fn normalizer_never_panics_on_corrupt_input(seed in 0u64..1000, n in 1usize..20, d in 1usize..6, kind in 0usize..2) {
+        let mut rng = SeededRng::new(seed);
+        let mut x = rng.normal_matrix(n, d, 0.0, 100.0);
+        // Sprinkle the telemetry pathologies: NaN, ±inf, dead columns.
+        for _ in 0..(1 + rng.index(4)) {
+            let (r, c) = (rng.index(n), rng.index(d));
+            let v = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0][rng.index(4)];
+            x.set(r, c, v);
+        }
+        if rng.index(2) == 0 {
+            let c = rng.index(d);
+            for r in 0..n {
+                x.set(r, c, 7.5);
+            }
+        }
+        let k = [NormKind::MinMaxSymmetric, NormKind::ZScore][kind];
+        // The contract under corruption is "no panic": fit, transform in
+        // both directions, and the row-wise path must all return (possibly
+        // non-finite) values instead of crashing.
+        let norm = Normalizer::fit(&x, k);
+        let t = norm.transform(&x);
+        let _ = norm.inverse_transform(&t);
+        let mut row0 = x.row(0).to_vec();
+        norm.transform_row(&mut row0);
+        prop_assert_eq!(t.shape(), x.shape());
+        // Scales stay usable: never zero or negative, so downstream
+        // divisions cannot blow up into panics.
+        prop_assert!(norm.scale().iter().all(|&s| s > 0.0 || s.is_nan()));
+    }
+
+    #[test]
     fn dataset_concat_lengths(seed in 0u64..1000) {
         let a = random_dataset(seed, 3, 2, 4);
         let b = random_dataset(seed ^ 9, 5, 2, 4);

@@ -6,10 +6,11 @@ use crate::{validate_fit, GanError, ReconSnapshot, Reconstructor, Result};
 use fsda_linalg::{Matrix, SeededRng};
 use fsda_nn::layer::{Activation, Dense, MixedActivation, OutputSpec};
 use fsda_nn::loss::mse;
-use fsda_nn::optim::{Adam, Optimizer};
+use fsda_nn::optim::{clip_grad_norm, Adam, Optimizer};
 use fsda_nn::state::{export_state, load_state, StateDict};
 use fsda_nn::train::BatchIter;
-use fsda_nn::Sequential;
+use fsda_nn::watchdog::{DivergenceWatchdog, WatchdogVerdict};
+use fsda_nn::{Sequential, TrainOutcome, WatchdogConfig};
 
 /// Hyper-parameters of [`VanillaAe`].
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +25,10 @@ pub struct AeConfig {
     pub batch_size: usize,
     /// Adam learning rate.
     pub learning_rate: f64,
+    /// Divergence-watchdog policy for the fit loop. Training behaviour —
+    /// *not* part of the persisted artifact: restored models carry the
+    /// default.
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for AeConfig {
@@ -34,6 +39,7 @@ impl Default for AeConfig {
             epochs: 200,
             batch_size: 64,
             learning_rate: 1e-3,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -49,6 +55,7 @@ pub struct VanillaAe {
     seed: u64,
     net: Option<Sequential>,
     dims: Option<(usize, usize)>,
+    outcome: Option<TrainOutcome>,
 }
 
 impl std::fmt::Debug for VanillaAe {
@@ -68,6 +75,7 @@ impl VanillaAe {
             seed,
             net: None,
             dims: None,
+            outcome: None,
         }
     }
 
@@ -120,18 +128,30 @@ impl Reconstructor for VanillaAe {
         let mut net = self.build_net(d_inv, d_var, &mut rng);
 
         let mut opt = Adam::new(self.config.learning_rate);
+        let mut watchdog = DivergenceWatchdog::new(self.config.watchdog);
         let n = x_inv.rows();
-        for _ in 0..self.config.epochs {
+        for epoch in 0..self.config.epochs {
+            let mut epoch_loss = 0.0;
             for batch in BatchIter::new(n, self.config.batch_size.min(n), &mut rng) {
                 let b_inv = x_inv.select_rows(&batch);
                 let b_var = x_var.select_rows(&batch);
                 let recon = net.forward(&b_inv, true);
-                let (_, grad) = mse(&recon, &b_var);
+                let (loss, grad) = mse(&recon, &b_var);
                 net.zero_grad();
                 net.backward(&grad);
-                opt.step(&mut net.params_mut());
+                let mut params = net.params_mut();
+                if let Some(max_norm) = self.config.watchdog.grad_clip {
+                    clip_grad_norm(&mut params, max_norm);
+                }
+                opt.step(&mut params);
+                epoch_loss += loss;
+            }
+            match watchdog.observe(epoch, epoch_loss, &mut [&mut net]) {
+                WatchdogVerdict::Proceed | WatchdogVerdict::RolledBack => {}
+                WatchdogVerdict::Abort => break,
             }
         }
+        self.outcome = Some(watchdog.outcome());
         self.net = Some(net);
         self.dims = Some((d_inv, d_var));
         Ok(())
@@ -153,6 +173,10 @@ impl Reconstructor for VanillaAe {
 
     fn name(&self) -> &'static str {
         "ae"
+    }
+
+    fn train_outcome(&self) -> Option<TrainOutcome> {
+        self.outcome
     }
 
     fn reconstruct_rows(&self, x_inv: &Matrix, row_seeds: &[u64]) -> Matrix {
@@ -278,6 +302,68 @@ mod tests {
         assert_eq!(
             ae.reconstruct_rows(&x_inv, &seeds),
             ae.reconstruct(&x_inv, 0)
+        );
+    }
+
+    #[test]
+    fn healthy_fit_reports_converged() {
+        let (x_inv, x_var, y) = toy(64, 9);
+        let mut ae = VanillaAe::new(
+            AeConfig {
+                hidden: 16,
+                epochs: 5,
+                ..AeConfig::default()
+            },
+            10,
+        );
+        assert!(ae.train_outcome().is_none());
+        ae.fit(&x_inv, &x_var, &y).unwrap();
+        assert_eq!(ae.train_outcome(), Some(TrainOutcome::Converged));
+    }
+
+    #[test]
+    fn nan_training_data_reports_diverged() {
+        let (x_inv, _, y) = toy(64, 11);
+        let x_var = Matrix::from_fn(64, 2, |_, _| f64::NAN);
+        let mut ae = VanillaAe::new(
+            AeConfig {
+                hidden: 16,
+                epochs: 5,
+                ..AeConfig::default()
+            },
+            12,
+        );
+        ae.fit(&x_inv, &x_var, &y).unwrap();
+        match ae.train_outcome() {
+            Some(TrainOutcome::Diverged { .. }) => {}
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_defaults_do_not_change_training() {
+        let (x_inv, x_var, y) = toy(64, 13);
+        let cfg = AeConfig {
+            hidden: 16,
+            epochs: 10,
+            ..AeConfig::default()
+        };
+        let mut guarded = VanillaAe::new(cfg.clone(), 14);
+        guarded.fit(&x_inv, &x_var, &y).unwrap();
+        let mut unguarded = VanillaAe::new(
+            AeConfig {
+                watchdog: WatchdogConfig {
+                    enabled: false,
+                    ..WatchdogConfig::default()
+                },
+                ..cfg
+            },
+            14,
+        );
+        unguarded.fit(&x_inv, &x_var, &y).unwrap();
+        assert_eq!(
+            guarded.reconstruct(&x_inv, 0),
+            unguarded.reconstruct(&x_inv, 0)
         );
     }
 

@@ -12,10 +12,11 @@ use fsda_linalg::{Matrix, SeededRng};
 use fsda_nn::layer::{Activation, Dense, MixedActivation, OutputSpec};
 use fsda_nn::loss::bce_with_logits;
 use fsda_nn::norm::{BatchNorm1d, Dropout};
-use fsda_nn::optim::{Adam, Optimizer};
+use fsda_nn::optim::{clip_grad_norm, Adam, Optimizer};
 use fsda_nn::state::{export_state, load_state, StateDict};
 use fsda_nn::train::BatchIter;
-use fsda_nn::Sequential;
+use fsda_nn::watchdog::{DivergenceWatchdog, WatchdogVerdict};
+use fsda_nn::{Sequential, TrainOutcome, WatchdogConfig};
 
 /// Hyper-parameters of [`CondGan`].
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +46,10 @@ pub struct CondGanConfig {
     /// term still shapes the conditional distribution). Set to 0.0 for the
     /// paper's pure adversarial objective.
     pub recon_weight: f64,
+    /// Divergence-watchdog policy for the adversarial fit loop. Training
+    /// behaviour — *not* part of the persisted artifact: restored models
+    /// carry the default.
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for CondGanConfig {
@@ -59,6 +64,7 @@ impl Default for CondGanConfig {
             dropout: 0.2,
             condition_on_label: true,
             recon_weight: 3.0,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -93,6 +99,8 @@ pub struct CondGan {
     dims: Option<(usize, usize)>, // (inv, var)
     /// Mean adversarial losses per epoch, for diagnostics.
     history: Vec<(f64, f64)>,
+    /// How the last fit ended (None before fit / after snapshot restore).
+    outcome: Option<TrainOutcome>,
 }
 
 impl std::fmt::Debug for CondGan {
@@ -113,6 +121,7 @@ impl CondGan {
             generator: None,
             dims: None,
             history: Vec::new(),
+            outcome: None,
         }
     }
 
@@ -198,7 +207,8 @@ impl Reconstructor for CondGan {
 
         let n = x_inv.rows();
         self.history.clear();
-        for _epoch in 0..self.config.epochs {
+        let mut watchdog = DivergenceWatchdog::new(self.config.watchdog);
+        for epoch in 0..self.config.epochs {
             let mut d_loss_sum = 0.0;
             let mut g_loss_sum = 0.0;
             let mut batches = 0usize;
@@ -227,6 +237,9 @@ impl Reconstructor for CondGan {
                 let fake_logits = disc.forward(&fake_in, true);
                 let (loss_fake, grad_fake) = bce_with_logits(&fake_logits, &zeros);
                 disc.backward(&grad_fake);
+                if let Some(clip) = self.config.watchdog.grad_clip {
+                    clip_grad_norm(&mut disc.params_mut(), clip);
+                }
                 opt_d.step(&mut disc.params_mut());
                 d_loss_sum += loss_real + loss_fake;
 
@@ -247,6 +260,9 @@ impl Reconstructor for CondGan {
                     grad_fake_var.axpy(self.config.recon_weight, &grad_mse);
                 }
                 gen.backward(&grad_fake_var);
+                if let Some(clip) = self.config.watchdog.grad_clip {
+                    clip_grad_norm(&mut gen.params_mut(), clip);
+                }
                 opt_g.step(&mut gen.params_mut());
                 disc.zero_grad();
                 g_loss_sum += loss_g;
@@ -256,7 +272,15 @@ impl Reconstructor for CondGan {
                 self.history
                     .push((d_loss_sum / batches as f64, g_loss_sum / batches as f64));
             }
+            // Guard both networks together: a NaN in either side's loss
+            // poisons the other through the shared adversarial objective.
+            let epoch_loss = d_loss_sum + g_loss_sum;
+            match watchdog.observe(epoch, epoch_loss, &mut [&mut gen, &mut disc]) {
+                WatchdogVerdict::Proceed | WatchdogVerdict::RolledBack => {}
+                WatchdogVerdict::Abort => break,
+            }
         }
+        self.outcome = Some(watchdog.outcome());
         self.generator = Some(gen);
         self.dims = Some((d_inv, d_var));
         Ok(())
@@ -285,6 +309,10 @@ impl Reconstructor for CondGan {
         } else {
             "gan-nocond"
         }
+    }
+
+    fn train_outcome(&self) -> Option<TrainOutcome> {
+        self.outcome
     }
 
     fn reconstruct_rows(&self, x_inv: &Matrix, row_seeds: &[u64]) -> Matrix {
@@ -519,6 +547,83 @@ mod tests {
             let single = gan.reconstruct(&x_inv.select_rows(&[r]), seed);
             assert_eq!(batched.row(r), single.row(0), "row {r}");
         }
+    }
+
+    #[test]
+    fn healthy_fit_reports_converged() {
+        let (x_inv, x_var, y) = toy_source(64, 30);
+        let mut gan = CondGan::new(
+            CondGanConfig {
+                epochs: 3,
+                ..quick_config()
+            },
+            31,
+        );
+        assert_eq!(gan.train_outcome(), None);
+        gan.fit(&x_inv, &x_var, &y).unwrap();
+        assert_eq!(gan.train_outcome(), Some(fsda_nn::TrainOutcome::Converged));
+    }
+
+    #[test]
+    fn nan_training_data_reports_diverged() {
+        let (x_inv, mut x_var, y) = toy_source(64, 32);
+        for r in 0..x_var.rows() {
+            x_var.set(r, 0, f64::NAN);
+        }
+        let mut gan = CondGan::new(
+            CondGanConfig {
+                epochs: 10,
+                ..quick_config()
+            },
+            33,
+        );
+        gan.fit(&x_inv, &x_var, &y).unwrap();
+        match gan.train_outcome() {
+            Some(fsda_nn::TrainOutcome::Diverged { .. }) => {}
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grad_clip_keeps_training_finite() {
+        let (x_inv, x_var, y) = toy_source(64, 34);
+        let mut gan = CondGan::new(
+            CondGanConfig {
+                epochs: 5,
+                watchdog: fsda_nn::WatchdogConfig {
+                    grad_clip: Some(1.0),
+                    ..fsda_nn::WatchdogConfig::default()
+                },
+                ..quick_config()
+            },
+            35,
+        );
+        gan.fit(&x_inv, &x_var, &y).unwrap();
+        assert_eq!(gan.train_outcome(), Some(fsda_nn::TrainOutcome::Converged));
+        assert!(gan.reconstruct(&x_inv, 36).is_finite());
+    }
+
+    #[test]
+    fn watchdog_defaults_do_not_change_training() {
+        // The default watchdog must be numerically inert on healthy runs:
+        // guarded and unguarded training produce bit-identical generators.
+        let (x_inv, x_var, y) = toy_source(64, 37);
+        let cfg_on = CondGanConfig {
+            epochs: 5,
+            ..quick_config()
+        };
+        let cfg_off = CondGanConfig {
+            watchdog: fsda_nn::WatchdogConfig {
+                enabled: false,
+                ..fsda_nn::WatchdogConfig::default()
+            },
+            ..cfg_on.clone()
+        };
+        let mut a = CondGan::new(cfg_on, 38);
+        let mut b = CondGan::new(cfg_off, 38);
+        a.fit(&x_inv, &x_var, &y).unwrap();
+        b.fit(&x_inv, &x_var, &y).unwrap();
+        assert_eq!(a.reconstruct(&x_inv, 39), b.reconstruct(&x_inv, 39));
     }
 
     #[test]

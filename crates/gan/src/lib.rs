@@ -32,6 +32,7 @@ pub mod cond_gan;
 pub mod vae;
 
 pub use cond_gan::{CondGan, CondGanConfig};
+pub use fsda_nn::{TrainOutcome, WatchdogConfig};
 
 use autoencoder::AeConfig;
 use fsda_linalg::Matrix;
@@ -117,6 +118,14 @@ pub trait Reconstructor: Send + Sync {
             });
         }
         out.expect("reconstruct_rows: empty batch")
+    }
+
+    /// How the last [`Reconstructor::fit`] ended, when the model tracks it
+    /// with a divergence watchdog: `Converged`, `Recovered`, or `Diverged`.
+    /// `None` before fit, for models without watchdog support, and for
+    /// models restored from a snapshot (training history is not persisted).
+    fn train_outcome(&self) -> Option<TrainOutcome> {
+        None
     }
 
     /// Captures the fitted model as a self-describing [`ReconSnapshot`]

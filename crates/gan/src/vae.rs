@@ -9,10 +9,11 @@
 use crate::{validate_fit, GanError, ReconSnapshot, Reconstructor, Result};
 use fsda_linalg::{Matrix, SeededRng};
 use fsda_nn::layer::{Activation, Dense, MixedActivation, OutputSpec};
-use fsda_nn::optim::{Adam, Optimizer};
+use fsda_nn::optim::{clip_grad_norm, Adam, Optimizer};
 use fsda_nn::state::{export_state, load_state, StateDict};
 use fsda_nn::train::BatchIter;
-use fsda_nn::Sequential;
+use fsda_nn::watchdog::{DivergenceWatchdog, WatchdogVerdict};
+use fsda_nn::{Sequential, TrainOutcome, WatchdogConfig};
 
 /// Hyper-parameters of [`Vae`].
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +30,10 @@ pub struct VaeConfig {
     pub learning_rate: f64,
     /// KL-term weight (beta).
     pub beta: f64,
+    /// Divergence-watchdog policy for the fit loop. Training behaviour —
+    /// *not* part of the persisted artifact: restored models carry the
+    /// default.
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for VaeConfig {
@@ -40,6 +45,7 @@ impl Default for VaeConfig {
             batch_size: 64,
             learning_rate: 1e-3,
             beta: 0.5,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -50,6 +56,7 @@ pub struct Vae {
     seed: u64,
     decoder: Option<Sequential>,
     dims: Option<(usize, usize)>,
+    outcome: Option<TrainOutcome>,
 }
 
 impl std::fmt::Debug for Vae {
@@ -69,6 +76,7 @@ impl Vae {
             seed,
             decoder: None,
             dims: None,
+            outcome: None,
         }
     }
 
@@ -130,8 +138,10 @@ impl Reconstructor for Vae {
         let mut decoder = self.build_decoder(d_inv, d_var, &mut rng);
 
         let mut opt = Adam::new(self.config.learning_rate);
+        let mut watchdog = DivergenceWatchdog::new(self.config.watchdog);
         let n = x_inv.rows();
-        for _ in 0..self.config.epochs {
+        for epoch in 0..self.config.epochs {
+            let mut epoch_loss = 0.0;
             for batch in BatchIter::new(n, self.config.batch_size.min(n), &mut rng) {
                 let b = batch.len();
                 let b_inv = x_inv.select_rows(&batch);
@@ -152,12 +162,15 @@ impl Reconstructor for Vae {
                 }
                 let dec_in = b_inv.hstack(&z).expect("rows match");
                 let recon = decoder.forward(&dec_in, true);
-                // MSE reconstruction gradient.
+                // MSE reconstruction gradient (and loss, for the watchdog).
                 let count = (b * d_var) as f64;
                 let mut grad_recon = Matrix::zeros(b, d_var);
+                let mut recon_sq = 0.0;
                 for r in 0..b {
                     for c in 0..d_var {
-                        grad_recon.set(r, c, 2.0 * (recon.get(r, c) - b_var.get(r, c)) / count);
+                        let diff = recon.get(r, c) - b_var.get(r, c);
+                        recon_sq += diff * diff;
+                        grad_recon.set(r, c, 2.0 * diff / count);
                     }
                 }
                 encoder.zero_grad();
@@ -168,9 +181,14 @@ impl Reconstructor for Vae {
                 let grad_z = grad_dec_in.select_cols(&(d_inv..d_inv + zd).collect::<Vec<_>>());
                 let kl_scale = self.config.beta / (b * zd) as f64;
                 let mut grad_enc_out = Matrix::zeros(b, 2 * zd);
+                let mut kl_sum = 0.0;
                 for r in 0..b {
                     for c in 0..zd {
                         let std = (0.5 * logvar.get(r, c)).exp();
+                        kl_sum += -0.5
+                            * (1.0 + logvar.get(r, c)
+                                - mu.get(r, c) * mu.get(r, c)
+                                - logvar.get(r, c).exp());
                         // Reconstruction path + KL path. KL = -0.5 * sum(1 +
                         // logvar - mu^2 - exp(logvar)); dKL/dmu = mu,
                         // dKL/dlogvar = 0.5 * (exp(logvar) - 1).
@@ -184,9 +202,18 @@ impl Reconstructor for Vae {
                 encoder.backward(&grad_enc_out);
                 let mut params = encoder.params_mut();
                 params.extend(decoder.params_mut());
+                if let Some(max_norm) = self.config.watchdog.grad_clip {
+                    clip_grad_norm(&mut params, max_norm);
+                }
                 opt.step(&mut params);
+                epoch_loss += recon_sq / count + self.config.beta * kl_sum / (b * zd) as f64;
+            }
+            match watchdog.observe(epoch, epoch_loss, &mut [&mut encoder, &mut decoder]) {
+                WatchdogVerdict::Proceed | WatchdogVerdict::RolledBack => {}
+                WatchdogVerdict::Abort => break,
             }
         }
+        self.outcome = Some(watchdog.outcome());
         self.decoder = Some(decoder);
         self.dims = Some((d_inv, d_var));
         Ok(())
@@ -204,6 +231,10 @@ impl Reconstructor for Vae {
 
     fn name(&self) -> &'static str {
         "vae"
+    }
+
+    fn train_outcome(&self) -> Option<TrainOutcome> {
+        self.outcome
     }
 
     fn reconstruct_rows(&self, x_inv: &Matrix, row_seeds: &[u64]) -> Matrix {
@@ -334,6 +365,65 @@ mod tests {
             vae.reconstruct(&x_inv, 12)
         );
         assert_eq!(restored.snapshot().unwrap(), snap);
+    }
+
+    #[test]
+    fn healthy_fit_reports_converged() {
+        let (x_inv, x_var, y) = toy(64, 20);
+        let mut vae = Vae::new(
+            VaeConfig {
+                epochs: 5,
+                ..quick()
+            },
+            21,
+        );
+        assert!(vae.train_outcome().is_none());
+        vae.fit(&x_inv, &x_var, &y).unwrap();
+        assert_eq!(vae.train_outcome(), Some(TrainOutcome::Converged));
+    }
+
+    #[test]
+    fn nan_training_data_reports_diverged() {
+        let (x_inv, _, y) = toy(64, 22);
+        let x_var = Matrix::from_fn(64, 1, |_, _| f64::NAN);
+        let mut vae = Vae::new(
+            VaeConfig {
+                epochs: 5,
+                ..quick()
+            },
+            23,
+        );
+        vae.fit(&x_inv, &x_var, &y).unwrap();
+        match vae.train_outcome() {
+            Some(TrainOutcome::Diverged { .. }) => {}
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_defaults_do_not_change_training() {
+        let (x_inv, x_var, y) = toy(64, 24);
+        let cfg = VaeConfig {
+            epochs: 10,
+            ..quick()
+        };
+        let mut guarded = Vae::new(cfg.clone(), 25);
+        guarded.fit(&x_inv, &x_var, &y).unwrap();
+        let mut unguarded = Vae::new(
+            VaeConfig {
+                watchdog: WatchdogConfig {
+                    enabled: false,
+                    ..WatchdogConfig::default()
+                },
+                ..cfg
+            },
+            25,
+        );
+        unguarded.fit(&x_inv, &x_var, &y).unwrap();
+        assert_eq!(
+            guarded.reconstruct(&x_inv, 26),
+            unguarded.reconstruct(&x_inv, 26)
+        );
     }
 
     #[test]

@@ -47,6 +47,9 @@ pub enum LinalgError {
     Singular,
     /// The input was empty where a non-empty input is required.
     Empty(String),
+    /// A computation produced (or received) NaN/Inf where a finite value is
+    /// required.
+    NonFinite(String),
 }
 
 impl std::fmt::Display for LinalgError {
@@ -56,6 +59,7 @@ impl std::fmt::Display for LinalgError {
             LinalgError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
             LinalgError::Singular => write!(f, "matrix is singular"),
             LinalgError::Empty(msg) => write!(f, "empty input: {msg}"),
+            LinalgError::NonFinite(msg) => write!(f, "non-finite value: {msg}"),
         }
     }
 }

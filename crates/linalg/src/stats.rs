@@ -129,13 +129,19 @@ pub fn correlation_matrix(data: &Matrix) -> Result<Matrix> {
 
 /// Partial correlation of variables `i` and `j` given the set `cond`,
 /// computed from a full correlation matrix by inverting the submatrix over
-/// `{i, j} ∪ cond` (precision-matrix formula). A small ridge is added for
-/// numerical robustness with few samples.
+/// `{i, j} ∪ cond` (precision-matrix formula).
+///
+/// Diagonal ridge regularization escalates `1e-8 → 1e-4 → 1e-2` until the
+/// submatrix inverts; a conditioning set that stays singular past the
+/// strongest ridge (duplicated or zero-variance columns) carries no usable
+/// conditioning information, so the partial correlation degrades to `0.0`
+/// — "cannot distinguish from independence" — rather than failing the whole
+/// search.
 ///
 /// # Errors
 ///
-/// Returns [`LinalgError::Singular`] when the submatrix cannot be inverted
-/// even after regularization.
+/// Returns [`LinalgError::NonFinite`] when the result is non-finite, which
+/// only happens when `corr` itself contains NaN/Inf entries.
 ///
 /// # Panics
 ///
@@ -152,23 +158,32 @@ pub fn partial_correlation(corr: &Matrix, i: usize, j: usize, cond: &[usize]) ->
     let mut idx = vec![i, j];
     idx.extend_from_slice(cond);
     let k = idx.len();
-    let mut sub = Matrix::zeros(k, k);
-    for (a, &ia) in idx.iter().enumerate() {
-        for (b, &ib) in idx.iter().enumerate() {
-            sub.set(a, b, corr.get(ia, ib));
+    let base = Matrix::from_fn(k, k, |a, b| corr.get(idx[a], idx[b]));
+    // Ridge keeps near-singular few-shot correlation matrices invertible;
+    // escalate when the weak ridge is not enough.
+    for &ridge in &[1e-8, 1e-4, 1e-2] {
+        let mut sub = base.clone();
+        for a in 0..k {
+            let v = sub.get(a, a) + ridge;
+            sub.set(a, a, v);
         }
+        let Ok(prec) = inverse(&sub) else { continue };
+        let denom = (prec.get(0, 0) * prec.get(1, 1)).sqrt();
+        if denom < 1e-12 {
+            return Ok(0.0);
+        }
+        let r = (-prec.get(0, 1) / denom).clamp(-1.0, 1.0);
+        if !r.is_finite() {
+            return Err(LinalgError::NonFinite(format!(
+                "partial_correlation({i}, {j} | {cond:?}) is non-finite; \
+                 the correlation matrix contains NaN/Inf entries"
+            )));
+        }
+        return Ok(r);
     }
-    // Ridge keeps near-singular few-shot correlation matrices invertible.
-    for a in 0..k {
-        let v = sub.get(a, a) + 1e-8;
-        sub.set(a, a, v);
-    }
-    let prec = inverse(&sub)?;
-    let denom = (prec.get(0, 0) * prec.get(1, 1)).sqrt();
-    if denom < 1e-12 {
-        return Ok(0.0);
-    }
-    Ok((-prec.get(0, 1) / denom).clamp(-1.0, 1.0))
+    // Singular past the strongest ridge: the conditioning set is degenerate
+    // (duplicated / constant columns); treat as uninformative.
+    Ok(0.0)
 }
 
 /// Fisher z-transform of a correlation coefficient.
@@ -413,6 +428,44 @@ mod tests {
             partial.abs() < 0.1,
             "partial correlation should vanish: {partial}"
         );
+    }
+
+    #[test]
+    fn partial_correlation_survives_degenerate_conditioning() {
+        // Duplicated columns: corr(2,3) == 1 exactly, so the conditioning
+        // submatrix over {0, 1, 2, 3} is singular without regularization.
+        let mut rng = SeededRng::new(9);
+        let mut data = Matrix::zeros(200, 4);
+        for r in 0..200 {
+            let a = rng.normal(0.0, 1.0);
+            let b = rng.normal(0.0, 1.0);
+            data.set(r, 0, a);
+            data.set(r, 1, b);
+            data.set(r, 2, a + b);
+            data.set(r, 3, a + b); // exact duplicate of column 2
+        }
+        let corr = correlation_matrix(&data).unwrap();
+        let r = partial_correlation(&corr, 0, 1, &[2, 3]).unwrap();
+        assert!(r.is_finite(), "degenerate conditioning set must not fail");
+        assert!(r.abs() <= 1.0);
+    }
+
+    #[test]
+    fn partial_correlation_zero_variance_conditioner() {
+        // A constant column correlates 0 with everything; conditioning on it
+        // must behave like not conditioning at all (and never error).
+        let mut rng = SeededRng::new(11);
+        let mut data = Matrix::zeros(300, 3);
+        for r in 0..300 {
+            let x = rng.normal(0.0, 1.0);
+            data.set(r, 0, x);
+            data.set(r, 1, 0.9 * x + rng.normal(0.0, 0.3));
+            data.set(r, 2, 5.0); // dead counter
+        }
+        let corr = correlation_matrix(&data).unwrap();
+        let marginal = partial_correlation(&corr, 0, 1, &[]).unwrap();
+        let conditioned = partial_correlation(&corr, 0, 1, &[2]).unwrap();
+        assert!((marginal - conditioned).abs() < 1e-6);
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //! * [`loss`] — BCE-with-logits, softmax cross-entropy, MSE,
 //!   supervised-contrastive.
 //! * [`train`] — mini-batch iteration helpers.
+//! * [`watchdog`] — divergence detection with snapshot rollback for
+//!   unstable (adversarial) training loops.
 //!
 //! # Example
 //!
@@ -59,9 +61,11 @@ pub mod optim;
 pub mod sequential;
 pub mod state;
 pub mod train;
+pub mod watchdog;
 
 pub use layer::Layer;
 pub use sequential::Sequential;
+pub use watchdog::{DivergenceWatchdog, TrainOutcome, WatchdogConfig, WatchdogVerdict};
 
 /// A mutable view of one parameter tensor and its accumulated gradient.
 ///

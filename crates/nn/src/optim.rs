@@ -190,6 +190,52 @@ impl Optimizer for Adam {
     }
 }
 
+/// Scales all gradients so their global L2 norm is at most `max_norm`,
+/// returning the pre-clip norm. Non-finite gradient entries are zeroed
+/// first — one NaN cell would otherwise make the norm (and every scaled
+/// gradient) NaN, defeating the clip.
+///
+/// Call between `backward` and `Optimizer::step`:
+///
+/// ```
+/// use fsda_linalg::{Matrix, SeededRng};
+/// use fsda_nn::layer::Dense;
+/// use fsda_nn::optim::{clip_grad_norm, Adam, Optimizer};
+/// use fsda_nn::Sequential;
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut net = Sequential::new();
+/// net.push(Dense::new(2, 2, &mut rng));
+/// let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+/// let out = net.forward(&x, true);
+/// net.backward(&out); // some loss gradient
+/// let mut opt = Adam::new(1e-3);
+/// let norm = clip_grad_norm(&mut net.params_mut(), 1.0);
+/// assert!(norm.is_finite());
+/// opt.step(&mut net.params_mut());
+/// ```
+pub fn clip_grad_norm(params: &mut [Param<'_>], max_norm: f64) -> f64 {
+    let mut sq_sum = 0.0;
+    for p in params.iter_mut() {
+        for g in p.grad.as_mut_slice() {
+            if !g.is_finite() {
+                *g = 0.0;
+            }
+            sq_sum += *g * *g;
+        }
+    }
+    let norm = sq_sum.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params.iter_mut() {
+            for g in p.grad.as_mut_slice() {
+                *g *= scale;
+            }
+        }
+    }
+    norm
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

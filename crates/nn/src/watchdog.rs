@@ -1,0 +1,297 @@
+//! Divergence watchdog for iterative training loops.
+//!
+//! Adversarial objectives (the conditional GAN) and even plain
+//! reconstruction losses can blow up — a bad batch, an oversized learning
+//! rate, or corrupt input pushes the loss to NaN/Inf and every parameter
+//! update after that is garbage. The watchdog snapshots the networks after
+//! each finite epoch; when it observes a non-finite loss it rolls the
+//! networks back to the last finite state (up to a bounded number of
+//! times), and when rollbacks are exhausted it tells the loop to abort.
+//! The final [`TrainOutcome`] is surfaced through the adapter layer so a
+//! diverged reconstructor shows up in experiment reports instead of
+//! silently producing NaN features.
+//!
+//! The watchdog is numerically inert on healthy runs: snapshots are plain
+//! copies and no update is altered unless the loss already went non-finite
+//! (gradient clipping is separate and opt-in, see
+//! [`crate::optim::clip_grad_norm`]).
+
+use crate::state::{export_state, load_state, StateDict};
+use crate::Sequential;
+
+/// How a guarded training run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainOutcome {
+    /// Every epoch finished with a finite loss.
+    Converged,
+    /// The loss went non-finite at least once but training recovered from a
+    /// rollback and finished with usable weights.
+    Recovered {
+        /// Number of rollbacks that were needed.
+        rollbacks: usize,
+    },
+    /// Rollbacks were exhausted; the networks hold the last finite
+    /// snapshot, but training never got past the instability.
+    Diverged {
+        /// Epoch (0-based) at which training gave up.
+        epoch: usize,
+    },
+}
+
+impl TrainOutcome {
+    /// True unless the run ended in [`TrainOutcome::Diverged`].
+    pub fn is_usable(&self) -> bool {
+        !matches!(self, TrainOutcome::Diverged { .. })
+    }
+}
+
+impl std::fmt::Display for TrainOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainOutcome::Converged => write!(f, "converged"),
+            TrainOutcome::Recovered { rollbacks } => {
+                write!(f, "recovered after {rollbacks} rollback(s)")
+            }
+            TrainOutcome::Diverged { epoch } => write!(f, "diverged at epoch {epoch}"),
+        }
+    }
+}
+
+/// Watchdog policy knobs. The default is active divergence detection with
+/// no gradient clipping — exactly reproducing unguarded training on healthy
+/// runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogConfig {
+    /// Master switch; disabled means [`DivergenceWatchdog::observe`] always
+    /// proceeds and the outcome is always `Converged`.
+    pub enabled: bool,
+    /// Optional global-norm gradient clip applied by the fit loops via
+    /// [`crate::optim::clip_grad_norm`]. `None` (default) leaves gradients
+    /// untouched, keeping guarded and unguarded training bit-identical.
+    pub grad_clip: Option<f64>,
+    /// Rollbacks allowed before the watchdog aborts the run.
+    pub max_rollbacks: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            enabled: true,
+            grad_clip: None,
+            max_rollbacks: 2,
+        }
+    }
+}
+
+/// What the training loop should do after reporting an epoch loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogVerdict {
+    /// Loss was finite (or the watchdog is disabled); keep going.
+    Proceed,
+    /// Loss was non-finite; the networks were restored to the last finite
+    /// snapshot. Continue training from there.
+    RolledBack,
+    /// Rollbacks exhausted (or no finite snapshot exists); stop training.
+    Abort,
+}
+
+/// Tracks per-epoch losses, snapshots known-good weights, and restores them
+/// on divergence. One watchdog guards all networks of a training loop
+/// (e.g. generator + discriminator) so they roll back together.
+#[derive(Debug)]
+pub struct DivergenceWatchdog {
+    config: WatchdogConfig,
+    snapshots: Option<Vec<StateDict>>,
+    rollbacks: usize,
+    diverged_at: Option<usize>,
+}
+
+impl DivergenceWatchdog {
+    /// Creates a watchdog with the given policy.
+    pub fn new(config: WatchdogConfig) -> Self {
+        DivergenceWatchdog {
+            config,
+            snapshots: None,
+            rollbacks: 0,
+            diverged_at: None,
+        }
+    }
+
+    /// Reports the end of an epoch. `loss` is the epoch's (summed or mean)
+    /// objective; `nets` are every network the loop trains, in a stable
+    /// order. On a finite loss the networks are snapshotted; on a
+    /// non-finite loss they are rolled back to the last snapshot, or the
+    /// run is aborted when the rollback budget is spent (or no finite
+    /// epoch ever completed).
+    ///
+    /// Optimizer state (Adam moments) is *not* rolled back — after a
+    /// rollback the optimizer re-adapts from the restored weights, which is
+    /// sufficient for the small networks this workspace trains.
+    pub fn observe(
+        &mut self,
+        epoch: usize,
+        loss: f64,
+        nets: &mut [&mut Sequential],
+    ) -> WatchdogVerdict {
+        if !self.config.enabled {
+            return WatchdogVerdict::Proceed;
+        }
+        if loss.is_finite() {
+            self.snapshots = Some(nets.iter().map(|n| export_state(n)).collect());
+            return WatchdogVerdict::Proceed;
+        }
+        let restorable = match &self.snapshots {
+            Some(snaps) if self.rollbacks < self.config.max_rollbacks => {
+                let mut ok = true;
+                for (net, snap) in nets.iter_mut().zip(snaps) {
+                    if load_state(net, snap).is_err() {
+                        ok = false;
+                        break;
+                    }
+                }
+                ok
+            }
+            _ => false,
+        };
+        if restorable {
+            self.rollbacks += 1;
+            WatchdogVerdict::RolledBack
+        } else {
+            // Even on abort, leave the networks holding the last finite
+            // snapshot (when one exists) rather than the diverged weights.
+            if let Some(snaps) = &self.snapshots {
+                for (net, snap) in nets.iter_mut().zip(snaps) {
+                    let _ = load_state(net, snap);
+                }
+            }
+            self.diverged_at = Some(epoch);
+            WatchdogVerdict::Abort
+        }
+    }
+
+    /// How the guarded run ended, given everything observed so far.
+    pub fn outcome(&self) -> TrainOutcome {
+        match (self.diverged_at, self.rollbacks) {
+            (Some(epoch), _) => TrainOutcome::Diverged { epoch },
+            (None, 0) => TrainOutcome::Converged,
+            (None, rollbacks) => TrainOutcome::Recovered { rollbacks },
+        }
+    }
+
+    /// Number of rollbacks performed so far.
+    pub fn rollbacks(&self) -> usize {
+        self.rollbacks
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::layer::Dense;
+    use fsda_linalg::SeededRng;
+
+    fn net(seed: u64) -> Sequential {
+        let mut rng = SeededRng::new(seed);
+        let mut n = Sequential::new();
+        n.push(Dense::new(2, 3, &mut rng));
+        n
+    }
+
+    fn weights(n: &Sequential) -> Vec<f64> {
+        export_state(n)
+            .tensors()
+            .iter()
+            .flat_map(|t| t.as_slice().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn healthy_run_converges() {
+        let mut n = net(1);
+        let mut w = DivergenceWatchdog::new(WatchdogConfig::default());
+        for e in 0..5 {
+            assert_eq!(
+                w.observe(e, 1.0 / (e + 1) as f64, &mut [&mut n]),
+                WatchdogVerdict::Proceed
+            );
+        }
+        assert_eq!(w.outcome(), TrainOutcome::Converged);
+        assert!(w.outcome().is_usable());
+    }
+
+    #[test]
+    fn non_finite_loss_rolls_back_weights() {
+        let mut n = net(2);
+        let mut w = DivergenceWatchdog::new(WatchdogConfig::default());
+        w.observe(0, 0.5, &mut [&mut n]);
+        let good = weights(&n);
+        // Corrupt the weights as a diverging step would.
+        for p in n.params_mut() {
+            p.value.map_inplace(|_| f64::NAN);
+        }
+        assert_eq!(
+            w.observe(1, f64::NAN, &mut [&mut n]),
+            WatchdogVerdict::RolledBack
+        );
+        assert_eq!(weights(&n), good);
+        assert_eq!(w.outcome(), TrainOutcome::Recovered { rollbacks: 1 });
+    }
+
+    #[test]
+    fn rollback_budget_exhaustion_aborts() {
+        let mut n = net(3);
+        let mut w = DivergenceWatchdog::new(WatchdogConfig {
+            max_rollbacks: 1,
+            ..WatchdogConfig::default()
+        });
+        w.observe(0, 0.5, &mut [&mut n]);
+        assert_eq!(
+            w.observe(1, f64::INFINITY, &mut [&mut n]),
+            WatchdogVerdict::RolledBack
+        );
+        assert_eq!(
+            w.observe(2, f64::NAN, &mut [&mut n]),
+            WatchdogVerdict::Abort
+        );
+        let out = w.outcome();
+        assert_eq!(out, TrainOutcome::Diverged { epoch: 2 });
+        assert!(!out.is_usable());
+    }
+
+    #[test]
+    fn divergence_before_any_snapshot_aborts() {
+        let mut n = net(4);
+        let mut w = DivergenceWatchdog::new(WatchdogConfig::default());
+        assert_eq!(
+            w.observe(0, f64::NAN, &mut [&mut n]),
+            WatchdogVerdict::Abort
+        );
+        assert_eq!(w.outcome(), TrainOutcome::Diverged { epoch: 0 });
+    }
+
+    #[test]
+    fn disabled_watchdog_is_inert() {
+        let mut n = net(5);
+        let mut w = DivergenceWatchdog::new(WatchdogConfig {
+            enabled: false,
+            ..WatchdogConfig::default()
+        });
+        assert_eq!(
+            w.observe(0, f64::NAN, &mut [&mut n]),
+            WatchdogVerdict::Proceed
+        );
+        assert_eq!(w.outcome(), TrainOutcome::Converged);
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(TrainOutcome::Converged.to_string(), "converged");
+        assert!(TrainOutcome::Recovered { rollbacks: 2 }
+            .to_string()
+            .contains('2'));
+        assert!(TrainOutcome::Diverged { epoch: 7 }
+            .to_string()
+            .contains('7'));
+    }
+}

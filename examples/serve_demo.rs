@@ -5,6 +5,7 @@
 //! Run with: `cargo run --release --example serve_demo`
 
 use fsda::core::adapter::{AdapterConfig, FsGanAdapter};
+use fsda::core::{GuardConfig, InputPolicy};
 use fsda::data::fewshot::few_shot_subset;
 use fsda::data::synth5gc::Synth5gc;
 use fsda::linalg::SeededRng;
@@ -54,6 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         start.elapsed().as_secs_f64() * 1e3
     );
 
+    // Production telemetry is untrusted: serve through the guarded path.
+    // `Reject` returns a typed, localized error on the first corrupt cell;
+    // `ImputeSourceMean`/`Clamp` repair in place and keep serving.
+    let guard = GuardConfig::default().with_policy(InputPolicy::ImputeSourceMean);
+
     let x = bundle.target_test.features();
     let y = bundle.target_test.labels();
     let batch_size = 64;
@@ -61,11 +67,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut total_secs = 0.0f64;
     for (b, start_row) in (0..x.rows()).step_by(batch_size).enumerate() {
         let idx: Vec<usize> = (start_row..(start_row + batch_size).min(x.rows())).collect();
-        let batch = x.select_rows(&idx);
+        let mut batch = x.select_rows(&idx);
         let labels: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
+        if b == 2 {
+            // Simulate a sensor glitch: the guarded path repairs it with
+            // the source-mean statistic instead of corrupting the batch.
+            batch.set(0, 0, f64::NAN);
+        }
 
         let t0 = Instant::now();
-        let pred = served.predict_batch(&batch, None);
+        let pred = served.try_predict_batch(&batch, None, &guard)?;
         let secs = t0.elapsed().as_secs_f64();
         total_rows += batch.rows();
         total_secs += secs;
