@@ -1,0 +1,642 @@
+//! The full FS+GAN adapter (Fig. 1 of the paper): classifier trained on
+//! **all** features of the source domain, served behind a [`Reconstructor`]
+//! that maps each test sample's variant features back into the source
+//! distribution at inference — no classifier retraining ever.
+
+use super::{
+    build_classifier, build_reconstructor, decode_meta, decode_separation, encode_meta, row_seed,
+    AdapterConfig, DegradedMode, ReconKind,
+};
+use crate::fs::FeatureSeparation;
+use crate::persist::{
+    find_section, read_classifier_snapshot, read_container, read_recon_snapshot,
+    write_classifier_snapshot, write_container, write_normalizer, write_recon_snapshot,
+    write_separation, Decoder, Encoder, TAG_CLSF, TAG_FSEP, TAG_META, TAG_NORM, TAG_RECN,
+};
+use crate::serve::{sanitize_batch, FitError, GuardConfig, ServeError};
+use crate::{CoreError, Result};
+use fsda_data::Dataset;
+use fsda_gan::{restore_reconstructor, Reconstructor, TrainOutcome};
+use fsda_linalg::par::{par_map, resolve_threads};
+use fsda_linalg::Matrix;
+use fsda_models::classifier::argmax_rows;
+use fsda_models::restore_classifier;
+use fsda_models::Classifier;
+
+/// The trained components of an [`FsGanAdapter`], present only after `fit`.
+struct FittedFsGan {
+    separation: FeatureSeparation,
+    reconstructor: Option<Box<dyn Reconstructor>>,
+    classifier: Box<dyn Classifier>,
+    num_classes: usize,
+}
+
+/// The full FS+GAN adapter (Fig. 1 of the paper).
+pub struct FsGanAdapter {
+    config: AdapterConfig,
+    seed: u64,
+    fitted: Option<FittedFsGan>,
+}
+
+impl std::fmt::Debug for FsGanAdapter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.fitted {
+            Some(fitted) => f
+                .debug_struct("FsGanAdapter")
+                .field("variant_features", &fitted.separation.variant().len())
+                .field(
+                    "reconstructor",
+                    &fitted
+                        .reconstructor
+                        .as_ref()
+                        .map(|r| r.name())
+                        .unwrap_or("none"),
+                )
+                .field("classifier", &fitted.classifier.name())
+                .finish(),
+            None => f
+                .debug_struct("FsGanAdapter")
+                .field("fitted", &false)
+                .finish(),
+        }
+    }
+}
+
+impl FsGanAdapter {
+    /// Creates an unfitted adapter; train it with
+    /// [`DriftMitigator::fit`](crate::pipeline::DriftMitigator::fit).
+    pub fn new(config: AdapterConfig, seed: u64) -> Self {
+        FsGanAdapter {
+            config,
+            seed,
+            fitted: None,
+        }
+    }
+
+    /// Fits the full pipeline: FS, then the reconstructor on source data
+    /// only, then the classifier on all normalized source features.
+    ///
+    /// When FS finds no variant features the reconstructor is skipped and
+    /// prediction degenerates to plain source-trained classification (the
+    /// correct behaviour when no drift is detectable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates separation, reconstruction, and training failures.
+    pub fn fit(
+        source: &Dataset,
+        target_shots: &Dataset,
+        config: &AdapterConfig,
+        seed: u64,
+    ) -> Result<Self> {
+        let mut adapter = FsGanAdapter::new(config.clone(), seed);
+        adapter.fit_in_place(source, target_shots)?;
+        Ok(adapter)
+    }
+
+    /// Trains this adapter's components from its stored config and seed.
+    pub(crate) fn fit_in_place(&mut self, source: &Dataset, target_shots: &Dataset) -> Result<()> {
+        let separation = FeatureSeparation::fit(source, target_shots, &self.config.fs)?;
+        let (inv, var) = separation.split_normalized(source.features());
+        // Degenerate partitions (all-variant or all-invariant) skip the
+        // reconstructor and serve as normalized pass-through; see
+        // [`FsGanAdapter::degraded`].
+        let reconstructor = if separation.variant().is_empty() || separation.invariant().is_empty()
+        {
+            None
+        } else {
+            let mut recon = build_reconstructor(
+                self.config.recon,
+                source.num_features(),
+                self.seed ^ 0x6A17,
+                &self.config.budget,
+                self.config.watchdog,
+            );
+            recon.fit(&inv, &var, &source.one_hot_labels())?;
+            Some(recon)
+        };
+        // The network-management model: trained once, on source only, with
+        // ALL features — never retrained afterwards.
+        let normalized = separation.normalizer().transform(source.features());
+        let mut classifier =
+            build_classifier(self.config.classifier, self.seed, &self.config.budget);
+        classifier.fit(&normalized, source.labels(), source.num_classes())?;
+        self.fitted = Some(FittedFsGan {
+            separation,
+            reconstructor,
+            classifier,
+            num_classes: source.num_classes(),
+        });
+        Ok(())
+    }
+
+    /// Guarded variant of [`FsGanAdapter::fit`]: validates both training
+    /// sets against `guard.policy` before fitting (rejecting or repairing
+    /// NaN/Inf cells) and fails when the reconstructor's watchdog reports
+    /// divergence, so a successfully returned adapter is always
+    /// serviceable.
+    ///
+    /// # Errors
+    ///
+    /// [`FitError::CorruptSource`] / [`FitError::CorruptShots`] localize
+    /// the first non-finite training cell under [`crate::InputPolicy::Reject`];
+    /// [`FitError::ReconstructionDiverged`] reports watchdog exhaustion;
+    /// everything the infallible path raises arrives as [`FitError::Core`].
+    pub fn try_fit(
+        source: &Dataset,
+        target_shots: &Dataset,
+        config: &AdapterConfig,
+        seed: u64,
+        guard: &GuardConfig,
+    ) -> std::result::Result<Self, FitError> {
+        let mut adapter = FsGanAdapter::new(config.clone(), seed);
+        adapter.try_fit_in_place(source, target_shots, guard)?;
+        Ok(adapter)
+    }
+
+    /// Guarded in-place training from the stored config and seed.
+    pub(crate) fn try_fit_in_place(
+        &mut self,
+        source: &Dataset,
+        target_shots: &Dataset,
+        guard: &GuardConfig,
+    ) -> std::result::Result<(), FitError> {
+        let (src, shots) =
+            crate::pipeline::fit_common::sanitize_fit_pair(source, target_shots, guard.policy)?;
+        self.fit_in_place(
+            src.as_ref().unwrap_or(source),
+            shots.as_ref().unwrap_or(target_shots),
+        )?;
+        if let Some(TrainOutcome::Diverged { epoch }) = self.train_outcome() {
+            return Err(FitError::ReconstructionDiverged { epoch });
+        }
+        Ok(())
+    }
+
+    fn fitted(&self) -> &FittedFsGan {
+        match &self.fitted {
+            Some(fitted) => fitted,
+            None => panic!("FsGanAdapter: use before fit"),
+        }
+    }
+
+    /// Whether the adapter has been fitted.
+    pub fn is_fitted(&self) -> bool {
+        self.fitted.is_some()
+    }
+
+    /// The configuration this adapter was built with.
+    pub fn config(&self) -> &AdapterConfig {
+        &self.config
+    }
+
+    /// The underlying feature separation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the adapter has not been fitted.
+    pub fn separation(&self) -> &FeatureSeparation {
+        &self.fitted().separation
+    }
+
+    /// Name of the fitted reconstructor, `None` in degraded pass-through
+    /// mode.
+    pub fn reconstructor_name(&self) -> Option<&str> {
+        self.fitted()
+            .reconstructor
+            .as_deref()
+            .map(Reconstructor::name)
+    }
+
+    /// Whether this adapter serves in a degraded pass-through mode (no
+    /// reconstructor), and why. `None` for a healthy pipeline.
+    pub fn degraded(&self) -> Option<DegradedMode> {
+        let fitted = self.fitted();
+        if fitted.reconstructor.is_some() {
+            None
+        } else if fitted.separation.variant().is_empty() {
+            Some(DegradedMode::NoVariantFeatures)
+        } else {
+            Some(DegradedMode::NoInvariantFeatures)
+        }
+    }
+
+    /// How the reconstructor's guarded training ended. `None` when there is
+    /// no reconstructor (degraded modes) or the adapter was restored from
+    /// an artifact (training history is not persisted).
+    pub fn train_outcome(&self) -> Option<TrainOutcome> {
+        self.fitted()
+            .reconstructor
+            .as_ref()
+            .and_then(|r| r.train_outcome())
+    }
+
+    /// Transforms raw target features into source-like normalized samples:
+    /// invariant features pass through, variant features are reconstructed
+    /// by the generator (Eq. 10–11).
+    pub fn transform(&self, features: &Matrix) -> Matrix {
+        self.transform_seeded(features, self.seed ^ 0x11FE)
+    }
+
+    fn transform_seeded(&self, features: &Matrix, noise_seed: u64) -> Matrix {
+        let fitted = self.fitted();
+        let (inv, var) = fitted.separation.split_normalized(features);
+        match &fitted.reconstructor {
+            Some(recon) => {
+                let var_hat = recon.reconstruct(&inv, noise_seed);
+                fitted.separation.reassemble(&inv, &var_hat)
+            }
+            None => fitted.separation.reassemble(&inv, &var),
+        }
+    }
+
+    /// Predicts labels for raw target features with M = 1 Monte-Carlo
+    /// reconstruction (Eq. 12; the paper shows M = 1 suffices for small
+    /// noise vectors).
+    pub fn predict(&self, features: &Matrix) -> Vec<usize> {
+        let transformed = self.transform(features);
+        self.fitted().classifier.predict(&transformed)
+    }
+
+    /// Monte-Carlo prediction with `m` generator draws, averaging class
+    /// probabilities (the general Eq. before Eq. 10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn predict_mc(&self, features: &Matrix, m: usize) -> Vec<usize> {
+        assert!(m > 0, "predict_mc: m must be >= 1");
+        let classifier = &self.fitted().classifier;
+        let mut acc =
+            classifier.predict_proba(&self.transform_seeded(features, self.seed ^ 0x11FE));
+        for i in 1..m {
+            let transformed =
+                self.transform_seeded(features, self.seed ^ 0x11FE ^ (i as u64) << 32);
+            let probs = classifier.predict_proba(&transformed);
+            acc = match acc.try_add(&probs) {
+                Ok(sum) => sum,
+                // One classifier, one row count: every draw has the same
+                // (rows × classes) shape.
+                Err(e) => panic!("predict_proba shape invariant: {e}"),
+            };
+        }
+        argmax_rows(&acc)
+    }
+
+    /// Class-probability predictions (M = 1).
+    pub fn predict_proba(&self, features: &Matrix) -> Matrix {
+        self.fitted()
+            .classifier
+            .predict_proba(&self.transform(features))
+    }
+
+    /// Number of classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the adapter has not been fitted.
+    pub fn num_classes(&self) -> usize {
+        self.fitted().num_classes
+    }
+
+    /// The batched serving hot path: transforms raw target features like
+    /// [`FsGanAdapter::transform`], but with one independent noise seed per
+    /// row and the normalization + generator forward passes amortized over
+    /// row chunks on the shared worker pool (`threads: None` uses every
+    /// core).
+    ///
+    /// The output is **bit-identical for every thread count**, including
+    /// the per-sample reference loop [`FsGanAdapter::reconstruct_scalar`]:
+    /// row `r`'s noise depends only on the adapter seed and `r`, never on
+    /// how rows are chunked or scheduled.
+    ///
+    /// This is the unguarded fast path: input is assumed validated.
+    /// NaN/Inf cells propagate garbage-in/garbage-out into the output; use
+    /// [`FsGanAdapter::try_reconstruct_batch`] on untrusted telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `features` has a different column count than the fitted
+    /// data.
+    pub fn reconstruct_batch(&self, features: &Matrix, threads: Option<usize>) -> Matrix {
+        let fitted = self.fitted();
+        if features.rows() == 0 {
+            return fitted.separation.normalizer().transform(features);
+        }
+        let threads = resolve_threads(threads);
+        let rows = features.rows();
+        let chunk = rows.div_ceil(threads).max(1);
+        let chunks: Vec<(usize, usize)> = (0..rows)
+            .step_by(chunk)
+            .map(|s| (s, (s + chunk).min(rows)))
+            .collect();
+        let base = self.seed ^ 0x11FE;
+        let separation = &fitted.separation;
+        let recon = fitted.reconstructor.as_deref();
+        let parts = par_map(threads, &chunks, |_, &(start, end)| {
+            let idx: Vec<usize> = (start..end).collect();
+            let block = features.select_rows(&idx);
+            let (inv, var) = separation.split_normalized(&block);
+            match recon {
+                Some(r) => {
+                    let seeds: Vec<u64> =
+                        (start..end).map(|row| row_seed(base, row as u64)).collect();
+                    let var_hat = r.reconstruct_rows(&inv, &seeds);
+                    separation.reassemble(&inv, &var_hat)
+                }
+                None => separation.reassemble(&inv, &var),
+            }
+        });
+        // Copy each chunk into a preallocated output instead of folding
+        // with vstack, which cloned the first chunk and reallocated the
+        // accumulator once per remaining chunk.
+        let mut out = Matrix::zeros(rows, features.cols());
+        for (part, &(start, end)) in parts.iter().zip(&chunks) {
+            assert_eq!(part.rows(), end - start, "chunk row invariant");
+            for (i, r) in (start..end).enumerate() {
+                out.row_mut(r).copy_from_slice(part.row(i));
+            }
+        }
+        out
+    }
+
+    /// Per-sample reference loop for [`FsGanAdapter::reconstruct_batch`]:
+    /// transforms one row at a time through the scalar reconstruction
+    /// entry point. Slow by construction; exists so tests and benches can
+    /// pin the batched path to it bit-for-bit.
+    pub fn reconstruct_scalar(&self, features: &Matrix) -> Matrix {
+        let fitted = self.fitted();
+        let base = self.seed ^ 0x11FE;
+        let mut out = Matrix::zeros(features.rows(), features.cols());
+        for r in 0..features.rows() {
+            let row = features.select_rows(&[r]);
+            let (inv, var) = fitted.separation.split_normalized(&row);
+            let transformed = match &fitted.reconstructor {
+                Some(recon) => {
+                    let var_hat = recon.reconstruct(&inv, row_seed(base, r as u64));
+                    fitted.separation.reassemble(&inv, &var_hat)
+                }
+                None => fitted.separation.reassemble(&inv, &var),
+            };
+            out.row_mut(r).copy_from_slice(transformed.row(0));
+        }
+        out
+    }
+
+    /// Batched prediction: [`FsGanAdapter::reconstruct_batch`] followed by
+    /// one full-batch classifier pass. Like the reconstruction itself, the
+    /// predictions are identical for every thread count.
+    ///
+    /// This is the unguarded fast path; it inherits the contract of
+    /// [`FsGanAdapter::reconstruct_batch`]. Use
+    /// [`FsGanAdapter::try_predict_batch`] on untrusted telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `features` has a different column count than the fitted
+    /// data.
+    pub fn predict_batch(&self, features: &Matrix, threads: Option<usize>) -> Vec<usize> {
+        self.fitted()
+            .classifier
+            .predict(&self.reconstruct_batch(features, threads))
+    }
+
+    /// Guarded variant of [`FsGanAdapter::reconstruct_batch`]: validates
+    /// the batch against the source-fitted normalizer and `guard` before
+    /// reconstruction (rejecting or repairing corrupt cells), then verifies
+    /// the output is fully finite. A clean batch takes the identical
+    /// reconstruction path and returns bit-identical output.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DimensionMismatch`] on a column-count mismatch;
+    /// [`ServeError::NonFinite`] / [`ServeError::OutOfRange`] localizing
+    /// the first corrupt input cell under [`crate::InputPolicy::Reject`];
+    /// [`ServeError::NonFiniteOutput`] when the pipeline itself emits a
+    /// non-finite value (corrupt artifact or diverged reconstructor).
+    pub fn try_reconstruct_batch(
+        &self,
+        features: &Matrix,
+        threads: Option<usize>,
+        guard: &GuardConfig,
+    ) -> std::result::Result<Matrix, ServeError> {
+        let repaired = sanitize_batch(features, self.fitted().separation.normalizer(), guard)?;
+        let clean = repaired.as_ref().unwrap_or(features);
+        let out = self.reconstruct_batch(clean, threads);
+        for r in 0..out.rows() {
+            if let Some(c) = out.row(r).iter().position(|v| !v.is_finite()) {
+                return Err(ServeError::NonFiniteOutput { row: r, col: c });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Guarded variant of [`FsGanAdapter::predict_batch`]:
+    /// [`FsGanAdapter::try_reconstruct_batch`] followed by one full-batch
+    /// classifier pass, so predictions are never derived from non-finite
+    /// reconstructions.
+    ///
+    /// # Errors
+    ///
+    /// As [`FsGanAdapter::try_reconstruct_batch`].
+    pub fn try_predict_batch(
+        &self,
+        features: &Matrix,
+        threads: Option<usize>,
+        guard: &GuardConfig,
+    ) -> std::result::Result<Vec<usize>, ServeError> {
+        Ok(self
+            .fitted()
+            .classifier
+            .predict(&self.try_reconstruct_batch(features, threads, guard)?))
+    }
+
+    /// Serializes the fitted pipeline — FS partition with config
+    /// provenance, normalizer statistics, reconstructor weights (including
+    /// batch-norm running statistics), classifier state — into a versioned
+    /// artifact (see [`crate::persist`] for the format).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the classifier family does not support snapshots, or when
+    /// the adapter has not been fitted.
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        let fitted = match &self.fitted {
+            Some(fitted) => fitted,
+            None => {
+                return Err(CoreError::InvalidInput(
+                    "FsGanAdapter: to_bytes before fit".into(),
+                ))
+            }
+        };
+        let mut fsep = Encoder::new();
+        write_separation(&mut fsep, &fitted.separation);
+        let mut norm = Encoder::new();
+        write_normalizer(&mut norm, fitted.separation.normalizer());
+        let mut recn = Encoder::new();
+        match &fitted.reconstructor {
+            Some(recon) => {
+                recn.put_bool(true);
+                write_recon_snapshot(&mut recn, &recon.snapshot()?);
+            }
+            None => recn.put_bool(false),
+        }
+        let mut clsf = Encoder::new();
+        write_classifier_snapshot(&mut clsf, &fitted.classifier.snapshot()?);
+        Ok(write_container(&[
+            (
+                TAG_META,
+                encode_meta(super::ARTIFACT_FSGAN, self.seed, fitted.num_classes),
+            ),
+            (TAG_FSEP, fsep.into_bytes()),
+            (TAG_NORM, norm.into_bytes()),
+            (TAG_RECN, recn.into_bytes()),
+            (TAG_CLSF, clsf.into_bytes()),
+        ]))
+    }
+
+    /// Deserializes an artifact written by [`FsGanAdapter::to_bytes`]. The
+    /// reloaded adapter reconstructs and predicts bit-identically to the
+    /// one that was saved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Persist`] on structural problems (bad magic,
+    /// wrong version, failed checksum, truncation, wrong artifact kind) and
+    /// the component errors on semantically invalid state.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let sections = read_container(bytes)?;
+        let (kind, seed, num_classes) = decode_meta(&sections)?;
+        if kind != super::ARTIFACT_FSGAN {
+            return Err(CoreError::Persist(format!(
+                "artifact kind {kind} is not an FS+GAN artifact"
+            )));
+        }
+        let separation = decode_separation(&sections)?;
+        let mut dec = Decoder::new(find_section(&sections, TAG_RECN)?);
+        let reconstructor = if dec.take_bool()? {
+            let snapshot = read_recon_snapshot(&mut dec)?;
+            dec.expect_end()?;
+            Some(restore_reconstructor(&snapshot)?)
+        } else {
+            dec.expect_end()?;
+            None
+        };
+        let mut dec = Decoder::new(find_section(&sections, TAG_CLSF)?);
+        let snapshot = read_classifier_snapshot(&mut dec)?;
+        dec.expect_end()?;
+        let classifier = restore_classifier(&snapshot)?;
+        // Recover the reconstruction strategy from the restored model so a
+        // reloaded artifact reports the same `Method` it was trained as.
+        // Degraded (pass-through) artifacts carry no reconstructor and keep
+        // the default GAN label.
+        let recon = match reconstructor.as_deref().map(Reconstructor::name) {
+            Some("gan-nocond") => ReconKind::GanNoCond,
+            Some("vae") => ReconKind::Vae,
+            Some("ae") => ReconKind::VanillaAe,
+            _ => ReconKind::Gan,
+        };
+        Ok(FsGanAdapter {
+            config: AdapterConfig {
+                recon,
+                ..AdapterConfig::default()
+            },
+            seed,
+            fitted: Some(FittedFsGan {
+                separation,
+                reconstructor,
+                classifier,
+                num_classes,
+            }),
+        })
+    }
+
+    /// Writes the artifact produced by [`FsGanAdapter::to_bytes`] to disk.
+    ///
+    /// # Errors
+    ///
+    /// As [`FsGanAdapter::to_bytes`], plus I/O failures.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        let bytes = self.to_bytes()?;
+        std::fs::write(path.as_ref(), bytes)
+            .map_err(|e| CoreError::Persist(format!("write {}: {e}", path.as_ref().display())))
+    }
+
+    /// Reads and deserializes an artifact written by
+    /// [`FsGanAdapter::save`].
+    ///
+    /// # Errors
+    ///
+    /// As [`FsGanAdapter::from_bytes`], plus I/O failures.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let bytes = std::fs::read(path.as_ref())
+            .map_err(|e| CoreError::Persist(format!("read {}: {e}", path.as_ref().display())))?;
+        FsGanAdapter::from_bytes(&bytes)
+    }
+}
+
+impl crate::pipeline::DriftMitigator for FsGanAdapter {
+    fn method(&self) -> crate::Method {
+        match self.config.recon {
+            super::ReconKind::Gan => crate::Method::FsGan,
+            super::ReconKind::GanNoCond => crate::Method::FsNoCond,
+            super::ReconKind::Vae => crate::Method::FsVae,
+            super::ReconKind::VanillaAe => crate::Method::FsVanillaAe,
+        }
+    }
+
+    fn is_fitted(&self) -> bool {
+        FsGanAdapter::is_fitted(self)
+    }
+
+    fn num_classes(&self) -> usize {
+        FsGanAdapter::num_classes(self)
+    }
+
+    fn fit(&mut self, source: &Dataset, target_shots: &Dataset) -> Result<()> {
+        self.fit_in_place(source, target_shots)
+    }
+
+    fn try_fit(
+        &mut self,
+        source: &Dataset,
+        target_shots: &Dataset,
+        guard: &GuardConfig,
+    ) -> std::result::Result<(), FitError> {
+        self.try_fit_in_place(source, target_shots, guard)
+    }
+
+    fn predict(&self, features: &Matrix) -> Vec<usize> {
+        FsGanAdapter::predict(self, features)
+    }
+
+    fn predict_batch(&self, features: &Matrix, threads: Option<usize>) -> Vec<usize> {
+        FsGanAdapter::predict_batch(self, features, threads)
+    }
+
+    fn try_predict_batch(
+        &self,
+        features: &Matrix,
+        threads: Option<usize>,
+        guard: &GuardConfig,
+    ) -> std::result::Result<Vec<usize>, ServeError> {
+        FsGanAdapter::try_predict_batch(self, features, threads, guard)
+    }
+
+    fn to_bytes(&self) -> Result<Vec<u8>> {
+        FsGanAdapter::to_bytes(self)
+    }
+
+    fn health(&self) -> String {
+        let recon = self.reconstructor_name().unwrap_or("none (pass-through)");
+        let outcome = match self.train_outcome() {
+            Some(o) => o.to_string(),
+            None => "n/a".into(),
+        };
+        let degraded = match self.degraded() {
+            Some(mode) => format!("degraded: {mode}"),
+            None => "healthy".to_string(),
+        };
+        format!("pipeline health: reconstructor={recon} training={outcome} status={degraded}")
+    }
+}

@@ -8,22 +8,18 @@
 //! is badly conditioned, so it is shrunk toward the identity — which is why
 //! CORAL's benefit fades in the paper's few-shot scenarios.
 
-use super::{zscore_pair, DaContext};
+use super::{zscore_fit, ClassifierParts, DaContext, FitContext};
 use crate::adapter::build_classifier;
 use crate::{CoreError, Result};
 use fsda_linalg::decomp::cholesky;
 use fsda_linalg::stats::covariance_matrix;
 use fsda_linalg::Matrix;
 
-/// Runs the CORAL baseline and predicts the test set.
-///
-/// # Errors
-///
-/// Propagates covariance/Cholesky failures (after regularization these
-/// indicate degenerate inputs) and classifier-training failures.
-pub fn coral(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
-    let (src_n, test_n, norm) = zscore_pair(ctx.source.features(), ctx.test_features);
-    let shots_n = norm.transform(ctx.target_shots.features());
+/// Trains the CORAL parts: classifier on whitened/re-colored source plus
+/// the shots, normalized by the source z-score.
+pub(crate) fn fit_coral(ctx: &FitContext<'_>) -> Result<ClassifierParts> {
+    let (src_n, normalizer) = zscore_fit(ctx.source.features());
+    let shots_n = normalizer.transform(ctx.target_shots.features());
 
     let aligned_src = align_coral(&src_n, &shots_n)?;
     // Train on aligned source + the raw shots.
@@ -32,7 +28,23 @@ pub fn coral(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
     labels.extend_from_slice(ctx.target_shots.labels());
     let mut model = build_classifier(ctx.classifier, ctx.seed, ctx.budget);
     model.fit(&combined, &labels, ctx.source.num_classes())?;
-    Ok(model.predict(&test_n))
+    Ok(ClassifierParts {
+        normalizer,
+        columns: None,
+        classifier: model,
+        num_classes: ctx.source.num_classes(),
+        num_features: ctx.source.num_features(),
+    })
+}
+
+/// Runs the CORAL baseline and predicts the test set.
+///
+/// # Errors
+///
+/// Propagates covariance/Cholesky failures (after regularization these
+/// indicate degenerate inputs) and classifier-training failures.
+pub fn coral(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
+    Ok(fit_coral(&ctx.fit())?.predict(ctx.test_features))
 }
 
 /// Whitening/re-coloring alignment: returns source features transformed to

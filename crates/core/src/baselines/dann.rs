@@ -7,8 +7,9 @@
 //! i.e. domain-independent representations. Model-specific: it brings its
 //! own network, so Table I reports a single DANN column.
 
-use super::{zscore_pair, DaContext};
+use super::{zscore_fit, DaContext, FitContext};
 use crate::Result;
+use fsda_data::Normalizer;
 use fsda_linalg::{Matrix, SeededRng};
 use fsda_models::classifier::argmax_rows;
 use fsda_nn::layer::{Activation, Dense, GradientReversal};
@@ -16,6 +17,34 @@ use fsda_nn::loss::{bce_with_logits, softmax};
 use fsda_nn::optim::{Adam, Optimizer};
 use fsda_nn::train::BatchIter;
 use fsda_nn::Sequential;
+
+/// The fitted state of DANN: normalizer, extractor, and label head (the
+/// domain head only exists during training).
+pub(crate) struct DannParts {
+    /// Normalizer fitted on source + shots.
+    pub normalizer: Normalizer,
+    /// The shared feature extractor.
+    pub extractor: Sequential,
+    /// The label-prediction head.
+    pub label_head: Sequential,
+    /// Extractor hidden width (needed to rebuild the architecture on
+    /// restore).
+    pub hidden: usize,
+    /// Representation dimension.
+    pub feature_dim: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Input width.
+    pub num_features: usize,
+}
+
+impl DannParts {
+    /// Predicts a raw batch: normalize, extract, classify.
+    pub(crate) fn predict(&self, features: &Matrix) -> Vec<usize> {
+        let feats = self.extractor.infer(&self.normalizer.transform(features));
+        argmax_rows(&softmax(&self.label_head.infer(&feats)))
+    }
+}
 
 /// Hyper-parameters of the DANN baseline.
 #[derive(Debug, Clone)]
@@ -68,8 +97,13 @@ pub fn dann(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
 ///
 /// As [`dann`].
 pub fn run_with_config(ctx: &DaContext<'_>, config: &DannConfig) -> Result<Vec<usize>> {
+    Ok(fit_with_config(&ctx.fit(), config)?.predict(ctx.test_features))
+}
+
+/// Trains DANN and returns its fitted parts.
+pub(crate) fn fit_with_config(ctx: &FitContext<'_>, config: &DannConfig) -> Result<DannParts> {
     let combined = ctx.source.concat(ctx.target_shots)?;
-    let (train, test, _) = zscore_pair(combined.features(), ctx.test_features);
+    let (train, normalizer) = zscore_fit(combined.features());
     let n_src = ctx.source.len();
     let n = combined.len();
     let labels = combined.labels();
@@ -136,9 +170,15 @@ pub fn run_with_config(ctx: &DaContext<'_>, config: &DannConfig) -> Result<Vec<u
             opt.step(&mut params);
         }
     }
-    let feats = extractor.infer(&test);
-    let probs = softmax(&label_head.infer(&feats));
-    Ok(argmax_rows(&probs))
+    Ok(DannParts {
+        normalizer,
+        extractor,
+        label_head,
+        hidden: config.hidden,
+        feature_dim: config.feature_dim,
+        num_classes,
+        num_features: combined.num_features(),
+    })
 }
 
 #[cfg(test)]

@@ -3,11 +3,99 @@
 //! is trained on the source domain, the few labelled target shots form the
 //! support set (MatchNet) or update the class prototypes (ProtoNet).
 
-use super::{zscore_pair, DaContext};
+use super::{zscore_fit, DaContext, FitContext};
 use crate::Result;
+use fsda_data::Normalizer;
 use fsda_linalg::matrix::{cosine_similarity, euclidean_distance};
 use fsda_linalg::Matrix;
 use fsda_models::embedding::{class_prototypes, EmbeddingConfig, EmbeddingNet};
+
+/// The fitted state of MatchNet: normalizer, embedding net, and the
+/// embedded support set of target shots.
+pub(crate) struct MatchNetParts {
+    /// Normalizer fitted on source features.
+    pub normalizer: Normalizer,
+    /// The source-trained embedding net.
+    pub net: EmbeddingNet,
+    /// L2-normalized embeddings of the target shots.
+    pub support: Matrix,
+    /// Support-set labels.
+    pub support_labels: Vec<usize>,
+    /// Attention temperature.
+    pub temperature: f64,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Input width.
+    pub num_features: usize,
+}
+
+impl MatchNetParts {
+    /// Predicts a raw batch: normalize, embed, attend over the support set.
+    pub(crate) fn predict(&self, features: &Matrix) -> Vec<usize> {
+        let queries = self
+            .net
+            .embed_normalized(&self.normalizer.transform(features));
+        attention_predict(
+            &queries,
+            &self.support,
+            &self.support_labels,
+            self.num_classes,
+            self.temperature,
+        )
+    }
+}
+
+/// The fitted state of ProtoNet: normalizer, embedding net, and blended
+/// class prototypes.
+pub(crate) struct ProtoNetParts {
+    /// Normalizer fitted on source features.
+    pub normalizer: Normalizer,
+    /// The source-trained embedding net.
+    pub net: EmbeddingNet,
+    /// Blended (source ⊕ target-shot) class prototypes, one row per class.
+    pub prototypes: Matrix,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Input width.
+    pub num_features: usize,
+}
+
+impl ProtoNetParts {
+    /// Predicts a raw batch: normalize, embed, nearest prototype.
+    pub(crate) fn predict(&self, features: &Matrix) -> Vec<usize> {
+        let queries = self.net.embed(&self.normalizer.transform(features));
+        nearest_prototype(&queries, &self.prototypes)
+    }
+}
+
+/// Cosine-attention classification over a support set (softmax weights).
+fn attention_predict(
+    queries: &Matrix,
+    support: &Matrix,
+    support_labels: &[usize],
+    num_classes: usize,
+    temperature: f64,
+) -> Vec<usize> {
+    let mut preds = Vec::with_capacity(queries.rows());
+    for q in 0..queries.rows() {
+        let sims: Vec<f64> = (0..support.rows())
+            .map(|s| cosine_similarity(queries.row(q), support.row(s)) / temperature)
+            .collect();
+        let max = sims.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut scores = vec![0.0; num_classes];
+        for (s, &sim) in sims.iter().enumerate() {
+            scores[support_labels[s]] += (sim - max).exp();
+        }
+        let pred = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        preds.push(pred);
+    }
+    preds
+}
 
 /// Hyper-parameters shared by the two few-shot baselines.
 #[derive(Debug, Clone)]
@@ -53,35 +141,28 @@ pub fn matchnet(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
 ///
 /// As [`matchnet`].
 pub fn matchnet_with_config(ctx: &DaContext<'_>, config: &FewShotConfig) -> Result<Vec<usize>> {
-    let (train, test, norm) = zscore_pair(ctx.source.features(), ctx.test_features);
+    Ok(fit_matchnet_with_config(&ctx.fit(), config)?.predict(ctx.test_features))
+}
+
+/// Trains MatchNet and returns its fitted parts.
+pub(crate) fn fit_matchnet_with_config(
+    ctx: &FitContext<'_>,
+    config: &FewShotConfig,
+) -> Result<MatchNetParts> {
+    let (train, normalizer) = zscore_fit(ctx.source.features());
     let mut net = EmbeddingNet::new(config.embedding.clone(), ctx.seed);
     net.fit(&train, ctx.source.labels(), ctx.source.num_classes())?;
 
-    let support = net.embed_normalized(&norm.transform(ctx.target_shots.features()));
-    let queries = net.embed_normalized(&test);
-    let num_classes = ctx.source.num_classes();
-    let support_labels = ctx.target_shots.labels();
-
-    let mut preds = Vec::with_capacity(queries.rows());
-    for q in 0..queries.rows() {
-        // Cosine-attention over the support set (softmax weights).
-        let sims: Vec<f64> = (0..support.rows())
-            .map(|s| cosine_similarity(queries.row(q), support.row(s)) / config.temperature)
-            .collect();
-        let max = sims.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let mut scores = vec![0.0; num_classes];
-        for (s, &sim) in sims.iter().enumerate() {
-            scores[support_labels[s]] += (sim - max).exp();
-        }
-        let pred = scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        preds.push(pred);
-    }
-    Ok(preds)
+    let support = net.embed_normalized(&normalizer.transform(ctx.target_shots.features()));
+    Ok(MatchNetParts {
+        normalizer,
+        net,
+        support,
+        support_labels: ctx.target_shots.labels().to_vec(),
+        temperature: config.temperature,
+        num_classes: ctx.source.num_classes(),
+        num_features: ctx.source.num_features(),
+    })
 }
 
 /// Prototypical Networks: class prototypes from source embeddings, updated
@@ -107,14 +188,22 @@ pub fn protonet(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
 ///
 /// As [`protonet`].
 pub fn protonet_with_config(ctx: &DaContext<'_>, config: &FewShotConfig) -> Result<Vec<usize>> {
-    let (train, test, norm) = zscore_pair(ctx.source.features(), ctx.test_features);
+    Ok(fit_protonet_with_config(&ctx.fit(), config)?.predict(ctx.test_features))
+}
+
+/// Trains ProtoNet and returns its fitted parts.
+pub(crate) fn fit_protonet_with_config(
+    ctx: &FitContext<'_>,
+    config: &FewShotConfig,
+) -> Result<ProtoNetParts> {
+    let (train, normalizer) = zscore_fit(ctx.source.features());
     let mut net = EmbeddingNet::new(config.embedding.clone(), ctx.seed);
     net.fit(&train, ctx.source.labels(), ctx.source.num_classes())?;
     let num_classes = ctx.source.num_classes();
 
     let src_emb = net.embed(&train);
     let src_protos = class_prototypes(&src_emb, ctx.source.labels(), num_classes);
-    let shot_emb = net.embed(&norm.transform(ctx.target_shots.features()));
+    let shot_emb = net.embed(&normalizer.transform(ctx.target_shots.features()));
     let shot_protos = class_prototypes(&shot_emb, ctx.target_shots.labels(), num_classes);
     let shot_counts = {
         let mut c = vec![0usize; num_classes];
@@ -137,8 +226,13 @@ pub fn protonet_with_config(ctx: &DaContext<'_>, config: &FewShotConfig) -> Resu
         }
     }
 
-    let queries = net.embed(&test);
-    Ok(nearest_prototype(&queries, &protos))
+    Ok(ProtoNetParts {
+        normalizer,
+        net,
+        prototypes: protos,
+        num_classes,
+        num_features: ctx.source.num_features(),
+    })
 }
 
 /// Assigns each query row to its nearest prototype (Euclidean).

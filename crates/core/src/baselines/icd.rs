@@ -11,7 +11,7 @@
 //! tests at a strict significance level — no conditional refinement and low
 //! power at few shots, exactly the failure mode the paper reports.
 
-use super::{zscore_pair, DaContext};
+use super::{zscore_fit, ClassifierParts, DaContext, FitContext};
 use crate::adapter::build_classifier;
 use crate::Result;
 use fsda_linalg::stats::ks_pvalue;
@@ -54,6 +54,16 @@ pub fn icd(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
 ///
 /// As [`icd`].
 pub fn icd_with_config(ctx: &DaContext<'_>, config: &IcdConfig) -> Result<Vec<usize>> {
+    Ok(fit_icd_with_config(&ctx.fit(), config)?.predict(ctx.test_features))
+}
+
+/// Trains the ICD parts: classifier on the invariant feature subset of
+/// source + shots. `columns` is always `Some`, so serving reduces batches
+/// before normalization.
+pub(crate) fn fit_icd_with_config(
+    ctx: &FitContext<'_>,
+    config: &IcdConfig,
+) -> Result<ClassifierParts> {
     let invariant = icd_invariant_features(
         ctx.source.features(),
         ctx.target_shots.features(),
@@ -69,11 +79,16 @@ pub fn icd_with_config(ctx: &DaContext<'_>, config: &IcdConfig) -> Result<Vec<us
     };
     let combined = ctx.source.concat(ctx.target_shots)?;
     let reduced = combined.select_features(&columns);
-    let test_reduced = ctx.test_features.select_cols(&columns);
-    let (train, test, _) = zscore_pair(reduced.features(), &test_reduced);
+    let (train, normalizer) = zscore_fit(reduced.features());
     let mut model = build_classifier(ctx.classifier, ctx.seed, ctx.budget);
     model.fit(&train, reduced.labels(), reduced.num_classes())?;
-    Ok(model.predict(&test))
+    Ok(ClassifierParts {
+        normalizer,
+        columns: Some(columns),
+        classifier: model,
+        num_classes: reduced.num_classes(),
+        num_features: ctx.source.num_features(),
+    })
 }
 
 /// The invariant-feature set according to ICD's (conservative, marginal)

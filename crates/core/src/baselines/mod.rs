@@ -17,9 +17,11 @@ pub mod naive;
 pub mod scl;
 
 use crate::adapter::Budget;
-use fsda_data::Dataset;
+use fsda_data::{Dataset, Normalizer};
 use fsda_linalg::Matrix;
-use fsda_models::ClassifierKind;
+use fsda_models::{Classifier, ClassifierKind};
+
+pub(crate) use crate::pipeline::fit_common::zscore_fit;
 
 /// Inputs shared by every DA method.
 #[derive(Clone, Copy)]
@@ -50,16 +52,65 @@ impl std::fmt::Debug for DaContext<'_> {
     }
 }
 
-/// Fits a z-score normalizer on `fit_on` and returns the normalized
-/// training matrix plus a closure-applied test matrix. Most baselines
-/// follow "their suggested normalization", which is standardization.
-pub(crate) fn zscore_pair(
-    fit_on: &Matrix,
-    apply_also: &Matrix,
-) -> (Matrix, Matrix, fsda_data::Normalizer) {
-    use fsda_data::normalize::NormKind;
-    let norm = fsda_data::Normalizer::fit(fit_on, NormKind::ZScore);
-    (norm.transform(fit_on), norm.transform(apply_also), norm)
+/// Training-only inputs of a DA method: a [`DaContext`] minus the test
+/// features, so the fit half of a baseline cannot touch test data even by
+/// accident. This is what makes the fit/predict split behaviour-preserving.
+pub(crate) struct FitContext<'a> {
+    /// Source-domain training data.
+    pub source: &'a Dataset,
+    /// The few labelled target-domain shots.
+    pub target_shots: &'a Dataset,
+    /// Classifier family for model-agnostic methods.
+    pub classifier: ClassifierKind,
+    /// Compute budget.
+    pub budget: &'a Budget,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl<'a> DaContext<'a> {
+    /// The training half of this context.
+    pub(crate) fn fit(&self) -> FitContext<'a> {
+        FitContext {
+            source: self.source,
+            target_shots: self.target_shots,
+            classifier: self.classifier,
+            budget: self.budget,
+            seed: self.seed,
+        }
+    }
+}
+
+/// The fitted state shared by every classifier-family baseline (SrcOnly,
+/// TarOnly, S&T, Fine-tune, CORAL, CMT, ICD): a normalizer, an optional
+/// feature subset (ICD), and the trained classifier.
+pub(crate) struct ClassifierParts {
+    /// Normalizer fitted on whatever matrix the method standardizes.
+    pub normalizer: Normalizer,
+    /// Feature columns the method trains on; `None` means all.
+    pub columns: Option<Vec<usize>>,
+    /// The trained classifier.
+    pub classifier: Box<dyn Classifier>,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Full input width (pre-column-selection).
+    pub num_features: usize,
+}
+
+impl ClassifierParts {
+    /// Predicts a batch that has already been reduced to the trained
+    /// columns (raw, un-normalized values).
+    pub(crate) fn predict_reduced(&self, reduced: &Matrix) -> Vec<usize> {
+        self.classifier.predict(&self.normalizer.transform(reduced))
+    }
+
+    /// Predicts a raw full-width batch.
+    pub(crate) fn predict(&self, features: &Matrix) -> Vec<usize> {
+        match &self.columns {
+            Some(cols) => self.predict_reduced(&features.select_cols(cols)),
+            None => self.predict_reduced(features),
+        }
+    }
 }
 
 #[cfg(test)]

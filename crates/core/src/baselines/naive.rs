@@ -1,10 +1,24 @@
 //! Naive baselines: SrcOnly, TarOnly, S&T, and Fine-Tune.
 
-use super::{zscore_pair, DaContext};
+use super::{zscore_fit, ClassifierParts, DaContext, FitContext};
 use crate::adapter::build_classifier;
 use crate::Result;
 use fsda_models::mlp::{MlpClassifier, MlpConfig};
 use fsda_models::Classifier;
+
+/// Trains the SrcOnly parts: classifier on normalized source data only.
+pub(crate) fn fit_src_only(ctx: &FitContext<'_>) -> Result<ClassifierParts> {
+    let (train, normalizer) = zscore_fit(ctx.source.features());
+    let mut model = build_classifier(ctx.classifier, ctx.seed, ctx.budget);
+    model.fit(&train, ctx.source.labels(), ctx.source.num_classes())?;
+    Ok(ClassifierParts {
+        normalizer,
+        columns: None,
+        classifier: model,
+        num_classes: ctx.source.num_classes(),
+        num_features: ctx.source.num_features(),
+    })
+}
 
 /// SrcOnly: train on source data only, no adaptation. The paper's
 /// drift-damage reference point (F1 10.6–22.6 on 5GC).
@@ -13,10 +27,25 @@ use fsda_models::Classifier;
 ///
 /// Propagates classifier-training failures.
 pub fn src_only(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
-    let (train, test, _) = zscore_pair(ctx.source.features(), ctx.test_features);
+    Ok(fit_src_only(&ctx.fit())?.predict(ctx.test_features))
+}
+
+/// Trains the TarOnly parts: classifier on the few target shots only.
+pub(crate) fn fit_tar_only(ctx: &FitContext<'_>) -> Result<ClassifierParts> {
+    let (train, normalizer) = zscore_fit(ctx.target_shots.features());
     let mut model = build_classifier(ctx.classifier, ctx.seed, ctx.budget);
-    model.fit(&train, ctx.source.labels(), ctx.source.num_classes())?;
-    Ok(model.predict(&test))
+    model.fit(
+        &train,
+        ctx.target_shots.labels(),
+        ctx.target_shots.num_classes(),
+    )?;
+    Ok(ClassifierParts {
+        normalizer,
+        columns: None,
+        classifier: model,
+        num_classes: ctx.target_shots.num_classes(),
+        num_features: ctx.target_shots.num_features(),
+    })
 }
 
 /// TarOnly: train on the few target shots only.
@@ -25,25 +54,13 @@ pub fn src_only(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
 ///
 /// Propagates classifier-training failures.
 pub fn tar_only(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
-    let (train, test, _) = zscore_pair(ctx.target_shots.features(), ctx.test_features);
-    let mut model = build_classifier(ctx.classifier, ctx.seed, ctx.budget);
-    model.fit(
-        &train,
-        ctx.target_shots.labels(),
-        ctx.target_shots.num_classes(),
-    )?;
-    Ok(model.predict(&test))
+    Ok(fit_tar_only(&ctx.fit())?.predict(ctx.test_features))
 }
 
-/// S&T: source and target combined, with target shots up-weighted so the
-/// two domains contribute equal total weight.
-///
-/// # Errors
-///
-/// Propagates data-combination and training failures.
-pub fn source_and_target(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
+/// Trains the S&T parts: source and target combined, shots up-weighted.
+pub(crate) fn fit_source_and_target(ctx: &FitContext<'_>) -> Result<ClassifierParts> {
     let combined = ctx.source.concat(ctx.target_shots)?;
-    let (train, test, _) = zscore_pair(combined.features(), ctx.test_features);
+    let (train, normalizer) = zscore_fit(combined.features());
     let n_src = ctx.source.len() as f64;
     let n_tgt = ctx.target_shots.len() as f64;
     let target_weight = (n_src / n_tgt).max(1.0);
@@ -53,7 +70,51 @@ pub fn source_and_target(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
     }
     let mut model = build_classifier(ctx.classifier, ctx.seed, ctx.budget);
     model.fit_weighted(&train, combined.labels(), &weights, combined.num_classes())?;
-    Ok(model.predict(&test))
+    Ok(ClassifierParts {
+        normalizer,
+        columns: None,
+        classifier: model,
+        num_classes: combined.num_classes(),
+        num_features: combined.num_features(),
+    })
+}
+
+/// S&T: source and target combined, with target shots up-weighted so the
+/// two domains contribute equal total weight.
+///
+/// # Errors
+///
+/// Propagates data-combination and training failures.
+pub fn source_and_target(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
+    Ok(fit_source_and_target(&ctx.fit())?.predict(ctx.test_features))
+}
+
+/// Trains the Fine-Tune parts: MLP pre-trained on source, all parameters
+/// re-optimized on the shots.
+pub(crate) fn fit_fine_tune(ctx: &FitContext<'_>) -> Result<ClassifierParts> {
+    let (train, normalizer) = zscore_fit(ctx.source.features());
+    let mut model = MlpClassifier::new(
+        MlpConfig {
+            epochs: ctx.budget.nn_epochs,
+            ..MlpConfig::default()
+        },
+        ctx.seed,
+    );
+    model.fit(&train, ctx.source.labels(), ctx.source.num_classes())?;
+    let shots = normalizer.transform(ctx.target_shots.features());
+    model.fine_tune(
+        &shots,
+        ctx.target_shots.labels(),
+        ctx.budget.nn_epochs,
+        2e-4,
+    )?;
+    Ok(ClassifierParts {
+        normalizer,
+        columns: None,
+        classifier: Box::new(model),
+        num_classes: ctx.source.num_classes(),
+        num_features: ctx.source.num_features(),
+    })
 }
 
 /// Fine-Tune: pre-train an MLP on source, then re-optimize **all**
@@ -65,23 +126,7 @@ pub fn source_and_target(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
 ///
 /// Propagates training failures.
 pub fn fine_tune(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
-    let (train, test, norm) = zscore_pair(ctx.source.features(), ctx.test_features);
-    let mut model = MlpClassifier::new(
-        MlpConfig {
-            epochs: ctx.budget.nn_epochs,
-            ..MlpConfig::default()
-        },
-        ctx.seed,
-    );
-    model.fit(&train, ctx.source.labels(), ctx.source.num_classes())?;
-    let shots = norm.transform(ctx.target_shots.features());
-    model.fine_tune(
-        &shots,
-        ctx.target_shots.labels(),
-        ctx.budget.nn_epochs,
-        2e-4,
-    )?;
-    Ok(model.predict(&test))
+    Ok(fit_fine_tune(&ctx.fit())?.predict(ctx.test_features))
 }
 
 #[cfg(test)]

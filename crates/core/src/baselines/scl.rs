@@ -7,8 +7,9 @@
 //! across domains) and (b) a domain classifier behind gradient reversal.
 //! A linear classifier is then fit on the frozen embeddings.
 
-use super::{zscore_pair, DaContext};
+use super::{zscore_fit, DaContext, FitContext};
 use crate::Result;
+use fsda_data::Normalizer;
 use fsda_linalg::{Matrix, SeededRng};
 use fsda_models::classifier::argmax_rows;
 use fsda_nn::layer::{Activation, Dense, GradientReversal};
@@ -16,6 +17,34 @@ use fsda_nn::loss::{bce_with_logits, softmax, supervised_contrastive, weighted_c
 use fsda_nn::optim::{Adam, Optimizer};
 use fsda_nn::train::BatchIter;
 use fsda_nn::Sequential;
+
+/// The fitted state of SCL: normalizer, encoder, and classification head
+/// (the domain head only exists during training).
+pub(crate) struct SclParts {
+    /// Normalizer fitted on source + shots.
+    pub normalizer: Normalizer,
+    /// The contrastively trained encoder.
+    pub encoder: Sequential,
+    /// The linear classification head.
+    pub head: Sequential,
+    /// Encoder hidden width (needed to rebuild the architecture on
+    /// restore).
+    pub hidden: usize,
+    /// Embedding dimension.
+    pub embed_dim: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Input width.
+    pub num_features: usize,
+}
+
+impl SclParts {
+    /// Predicts a raw batch: normalize, embed, classify.
+    pub(crate) fn predict(&self, features: &Matrix) -> Vec<usize> {
+        let emb = self.encoder.infer(&self.normalizer.transform(features));
+        argmax_rows(&softmax(&self.head.infer(&emb)))
+    }
+}
 
 /// Hyper-parameters of the SCL baseline.
 #[derive(Debug, Clone)]
@@ -73,8 +102,13 @@ pub fn scl(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
 ///
 /// As [`scl`].
 pub fn run_with_config(ctx: &DaContext<'_>, config: &SclConfig) -> Result<Vec<usize>> {
+    Ok(fit_with_config(&ctx.fit(), config)?.predict(ctx.test_features))
+}
+
+/// Trains SCL and returns its fitted parts.
+pub(crate) fn fit_with_config(ctx: &FitContext<'_>, config: &SclConfig) -> Result<SclParts> {
     let combined = ctx.source.concat(ctx.target_shots)?;
-    let (train, test, _) = zscore_pair(combined.features(), ctx.test_features);
+    let (train, normalizer) = zscore_fit(combined.features());
     let n_src = ctx.source.len();
     let n = combined.len();
     let labels = combined.labels();
@@ -141,8 +175,15 @@ pub fn run_with_config(ctx: &DaContext<'_>, config: &SclConfig) -> Result<Vec<us
             opt.step(&mut params);
         }
     }
-    let probs = softmax(&head.infer(&encoder.infer(&test)));
-    Ok(argmax_rows(&probs))
+    Ok(SclParts {
+        normalizer,
+        encoder,
+        head,
+        hidden: config.hidden,
+        embed_dim: config.embed_dim,
+        num_classes,
+        num_features: combined.num_features(),
+    })
 }
 
 #[cfg(test)]

@@ -17,9 +17,9 @@ use fsda_linalg::Matrix;
 pub struct DriftDetector {
     means: Vec<f64>,
     stds: Vec<f64>,
-    /// Reference sample (per feature) for the KS test, subsampled for
-    /// memory friendliness.
-    reference: Vec<Vec<f64>>,
+    /// Reference sample for the KS test, subsampled for memory
+    /// friendliness: one row per feature (`d x n_ref`).
+    reference: Matrix,
     config: DriftConfig,
 }
 
@@ -79,13 +79,22 @@ impl DriftDetector {
         let d = source.cols();
         let mut means = Vec::with_capacity(d);
         let mut stds = Vec::with_capacity(d);
-        let mut reference = Vec::with_capacity(d);
         let step = (source.rows() / config.reference_cap).max(1);
+        // Every column is subsampled with the same stride, so each keeps
+        // the same number of samples: one matrix row per feature.
+        let n_ref = source.rows().div_ceil(step);
+        let mut reference = Matrix::zeros(d, n_ref);
         for c in 0..d {
             let col = source.col(c);
             means.push(mean(&col));
             stds.push(std_dev(&col).max(1e-9));
-            reference.push(col.into_iter().step_by(step).collect());
+            for (dst, src) in reference
+                .row_mut(c)
+                .iter_mut()
+                .zip(col.into_iter().step_by(step))
+            {
+                *dst = src;
+            }
         }
         DriftDetector {
             means,
@@ -118,7 +127,7 @@ impl DriftDetector {
         for c in 0..d {
             let col = window.col(c);
             let z = ((mean(&col) - self.means[c]) / self.stds[c]).abs();
-            let k = ks_statistic(&self.reference[c], &col);
+            let k = ks_statistic(self.reference.row(c), &col);
             if z > self.config.z_threshold || k > self.config.ks_threshold {
                 drifted.push(c);
             }

@@ -46,6 +46,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![warn(missing_docs)]
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod adapter;
@@ -55,12 +56,14 @@ pub mod experiment;
 pub mod fs;
 pub mod method;
 pub mod persist;
+pub mod pipeline;
 pub mod report;
 pub mod serve;
 
 pub use adapter::{AdapterConfig, DegradedMode, FsAdapter, FsGanAdapter};
 pub use fs::FeatureSeparation;
 pub use method::Method;
+pub use pipeline::{BaselineMitigator, DriftMitigator};
 pub use serve::{FitError, GuardConfig, InputPolicy, ServeError};
 
 /// Errors raised by the DA framework.

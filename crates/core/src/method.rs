@@ -2,8 +2,7 @@
 //! every compared baseline, so the experiment runner and benches can
 //! iterate over Table I/II rows uniformly.
 
-use crate::adapter::{AdapterConfig, Budget, FsAdapter, FsGanAdapter, ReconKind};
-use crate::baselines::{self, DaContext};
+use crate::adapter::{AdapterConfig, Budget, ReconKind};
 use crate::fs::FsConfig;
 use crate::Result;
 use fsda_data::Dataset;
@@ -131,6 +130,11 @@ impl std::fmt::Display for Method {
 
 /// Runs one method end-to-end and returns predictions on the test features.
 ///
+/// Every method — the FS family and all eleven baselines — goes through
+/// the registry ([`Method::build`]) and the
+/// [`DriftMitigator`](crate::pipeline::DriftMitigator) interface; there is
+/// no per-method dispatch here.
+///
 /// # Errors
 ///
 /// Propagates failures from the underlying method.
@@ -143,55 +147,16 @@ pub fn run_method(
     budget: &Budget,
     seed: u64,
 ) -> Result<Vec<usize>> {
-    let ctx = DaContext {
-        source,
-        target_shots,
-        test_features,
+    let config = AdapterConfig {
+        fs: FsConfig::default(),
+        recon: ReconKind::Gan,
         classifier,
-        budget,
-        seed,
+        budget: budget.clone(),
+        watchdog: fsda_gan::WatchdogConfig::default(),
     };
-    match method {
-        Method::FsGan | Method::FsNoCond | Method::FsVae | Method::FsVanillaAe => {
-            let recon = match method {
-                Method::FsGan => ReconKind::Gan,
-                Method::FsNoCond => ReconKind::GanNoCond,
-                Method::FsVae => ReconKind::Vae,
-                _ => ReconKind::VanillaAe,
-            };
-            let config = AdapterConfig {
-                fs: FsConfig::default(),
-                recon,
-                classifier,
-                budget: budget.clone(),
-                watchdog: fsda_gan::WatchdogConfig::default(),
-            };
-            let adapter = FsGanAdapter::fit(source, target_shots, &config, seed)?;
-            Ok(adapter.predict(test_features))
-        }
-        Method::Fs => {
-            let config = AdapterConfig {
-                fs: FsConfig::default(),
-                recon: ReconKind::Gan,
-                classifier,
-                budget: budget.clone(),
-                watchdog: fsda_gan::WatchdogConfig::default(),
-            };
-            let adapter = FsAdapter::fit(source, target_shots, &config, seed)?;
-            Ok(adapter.predict(test_features))
-        }
-        Method::Cmt => baselines::cmt::cmt(&ctx),
-        Method::Icd => baselines::icd::icd(&ctx),
-        Method::SrcOnly => baselines::naive::src_only(&ctx),
-        Method::TarOnly => baselines::naive::tar_only(&ctx),
-        Method::SourceAndTarget => baselines::naive::source_and_target(&ctx),
-        Method::FineTune => baselines::naive::fine_tune(&ctx),
-        Method::Coral => baselines::coral::coral(&ctx),
-        Method::Dann => baselines::dann::dann(&ctx),
-        Method::Scl => baselines::scl::scl(&ctx),
-        Method::MatchNet => baselines::fewshot::matchnet(&ctx),
-        Method::ProtoNet => baselines::fewshot::protonet(&ctx),
-    }
+    let mut mitigator = method.build(&config, seed);
+    mitigator.fit(source, target_shots)?;
+    Ok(mitigator.predict(test_features))
 }
 
 #[cfg(test)]

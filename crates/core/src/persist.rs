@@ -67,6 +67,8 @@ pub const TAG_NORM: [u8; 4] = *b"NORM";
 pub const TAG_RECN: [u8; 4] = *b"RECN";
 /// Section tag: the classifier snapshot.
 pub const TAG_CLSF: [u8; 4] = *b"CLSF";
+/// Section tag: method-specific auxiliary payload (baseline artifacts).
+pub const TAG_AUX: [u8; 4] = *b"AUXD";
 
 /// Errors raised while encoding or decoding artifacts.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -547,9 +549,11 @@ pub fn write_state_dict(enc: &mut Encoder, state: &StateDict) {
     for t in state.tensors() {
         enc.put_matrix(t);
     }
+    // Buffers are 1 × n matrices; only the flat values are written (the
+    // same bytes the format carried when buffers were plain vectors).
     enc.put_usize(state.buffers().len());
     for b in state.buffers() {
-        enc.put_f64s(b);
+        enc.put_f64s(b.as_slice());
     }
 }
 
@@ -567,7 +571,8 @@ pub fn read_state_dict(dec: &mut Decoder) -> Result<StateDict> {
     let nb = dec.take_usize()?;
     let mut buffers = Vec::with_capacity(nb.min(1 << 16));
     for _ in 0..nb {
-        buffers.push(dec.take_f64s()?);
+        let b = dec.take_f64s()?;
+        buffers.push(Matrix::from_vec(1, b.len(), b));
     }
     Ok(StateDict::from_parts(tensors, buffers))
 }

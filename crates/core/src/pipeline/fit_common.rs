@@ -1,0 +1,95 @@
+//! The shared fit preamble: every baseline normalizes its training matrix
+//! the same way and guards its inputs the same way. Hoisting the plumbing
+//! here keeps the method files about the *method*.
+
+use crate::serve::{sanitize_fit_features, FitError, InputPolicy};
+use fsda_data::normalize::NormKind;
+use fsda_data::{Dataset, Normalizer};
+use fsda_linalg::Matrix;
+
+/// Fits a z-score normalizer on `fit_on` and returns the normalized
+/// training matrix plus the fitted normalizer. Most baselines follow
+/// "their suggested normalization", which is standardization.
+pub(crate) fn zscore_fit(fit_on: &Matrix) -> (Matrix, Normalizer) {
+    let norm = Normalizer::fit(fit_on, NormKind::ZScore);
+    (norm.transform(fit_on), norm)
+}
+
+/// Guarded-fit preamble shared by every [`super::DriftMitigator`]:
+/// sanitizes the source and shot features under `policy` and rebuilds the
+/// datasets when cells were repaired. `None` entries mean "use the original
+/// dataset unchanged" (the clean path allocates nothing).
+///
+/// # Errors
+///
+/// [`FitError::CorruptSource`] / [`FitError::CorruptShots`] localize the
+/// first non-finite cell under [`InputPolicy::Reject`].
+pub(crate) fn sanitize_fit_pair(
+    source: &Dataset,
+    target_shots: &Dataset,
+    policy: InputPolicy,
+) -> std::result::Result<(Option<Dataset>, Option<Dataset>), FitError> {
+    let repaired_src = sanitize_fit_features(source.features(), policy)
+        .map_err(|(row, col)| FitError::CorruptSource { row, col })?;
+    let repaired_shots = sanitize_fit_features(target_shots.features(), policy)
+        .map_err(|(row, col)| FitError::CorruptShots { row, col })?;
+    let src = match repaired_src {
+        Some(features) => Some(
+            Dataset::new(features, source.labels().to_vec(), source.num_classes())
+                .map_err(|e| FitError::Core(e.into()))?,
+        ),
+        None => None,
+    };
+    let shots = match repaired_shots {
+        Some(features) => Some(
+            Dataset::new(
+                features,
+                target_shots.labels().to_vec(),
+                target_shots.num_classes(),
+            )
+            .map_err(|e| FitError::Core(e.into()))?,
+        ),
+        None => None,
+    };
+    Ok((src, shots))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zscore_fit_standardizes_columns() {
+        let train = Matrix::from_rows(&[&[0.0, 1.0], &[2.0, 5.0], &[4.0, 3.0]]);
+        let (normalized, norm) = zscore_fit(&train);
+        for c in 0..normalized.cols() {
+            let col = normalized.col(c);
+            let mean = col.iter().sum::<f64>() / col.len() as f64;
+            assert!(mean.abs() < 1e-12, "column {c} mean {mean}");
+        }
+        // The returned normalizer reproduces the training transform.
+        assert_eq!(norm.transform(&train), normalized);
+    }
+
+    #[test]
+    fn sanitize_pair_localizes_by_dataset() {
+        let good = Dataset::new(Matrix::from_rows(&[&[1.0], &[2.0]]), vec![0, 1], 2).unwrap();
+        let bad = Dataset::new(Matrix::from_rows(&[&[f64::NAN], &[2.0]]), vec![0, 1], 2).unwrap();
+        assert!(matches!(
+            sanitize_fit_pair(&bad, &good, InputPolicy::Reject),
+            Err(FitError::CorruptSource { row: 0, col: 0 })
+        ));
+        assert!(matches!(
+            sanitize_fit_pair(&good, &bad, InputPolicy::Reject),
+            Err(FitError::CorruptShots { row: 0, col: 0 })
+        ));
+        let (src, shots) = sanitize_fit_pair(&good, &good, InputPolicy::Reject).unwrap();
+        assert!(
+            src.is_none() && shots.is_none(),
+            "clean pair allocates nothing"
+        );
+        let (src, _) = sanitize_fit_pair(&bad, &good, InputPolicy::ImputeSourceMean).unwrap();
+        assert_eq!(src.unwrap().features().get(0, 0), 2.0);
+    }
+}

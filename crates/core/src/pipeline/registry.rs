@@ -1,0 +1,55 @@
+//! The method registry: one constructor and one restorer for every
+//! [`Method`], so experiments, serving, and persistence dispatch through
+//! `Box<dyn DriftMitigator>` instead of per-call-site `match` arms.
+
+use crate::adapter::{
+    peek_meta, AdapterConfig, FsAdapter, FsGanAdapter, ReconKind, ARTIFACT_CLASSIFIER,
+    ARTIFACT_DANN, ARTIFACT_FS, ARTIFACT_FSGAN, ARTIFACT_MATCHNET, ARTIFACT_PROTONET, ARTIFACT_SCL,
+};
+use crate::method::Method;
+use crate::pipeline::{BaselineMitigator, DriftMitigator};
+use crate::{CoreError, Result};
+
+impl Method {
+    /// Builds an unfitted mitigator for this method. The FS family maps to
+    /// the adapters (with `config.recon` overridden to match the method);
+    /// every baseline maps to a [`BaselineMitigator`] that reuses
+    /// `config.classifier` and `config.budget`.
+    pub fn build(self, config: &AdapterConfig, seed: u64) -> Box<dyn DriftMitigator> {
+        match self {
+            Method::FsGan | Method::FsNoCond | Method::FsVae | Method::FsVanillaAe => {
+                let recon = match self {
+                    Method::FsGan => ReconKind::Gan,
+                    Method::FsNoCond => ReconKind::GanNoCond,
+                    Method::FsVae => ReconKind::Vae,
+                    _ => ReconKind::VanillaAe,
+                };
+                let config = AdapterConfig {
+                    recon,
+                    ..config.clone()
+                };
+                Box::new(FsGanAdapter::new(config, seed))
+            }
+            Method::Fs => Box::new(FsAdapter::new(config.clone(), seed)),
+            _ => Box::new(BaselineMitigator::new(self, config, seed)),
+        }
+    }
+}
+
+/// Restores any registered method's artifact as a boxed mitigator,
+/// dispatching on the META kind byte (see [`peek_meta`]).
+///
+/// # Errors
+///
+/// Structural container failures and unknown artifact kinds surface as
+/// [`CoreError::Persist`].
+pub fn restore(bytes: &[u8]) -> Result<Box<dyn DriftMitigator>> {
+    let (kind, _, _) = peek_meta(bytes)?;
+    match kind {
+        ARTIFACT_FS => Ok(Box::new(FsAdapter::from_bytes(bytes)?)),
+        ARTIFACT_FSGAN => Ok(Box::new(FsGanAdapter::from_bytes(bytes)?)),
+        ARTIFACT_CLASSIFIER | ARTIFACT_DANN | ARTIFACT_SCL | ARTIFACT_MATCHNET
+        | ARTIFACT_PROTONET => Ok(Box::new(BaselineMitigator::from_bytes(bytes)?)),
+        other => Err(CoreError::Persist(format!("unknown artifact kind {other}"))),
+    }
+}

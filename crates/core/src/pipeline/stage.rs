@@ -1,0 +1,109 @@
+//! Per-stage traits over [`Matrix`] batches.
+//!
+//! A fitted FS+GAN pipeline is three stages glued together:
+//!
+//! ```text
+//! raw batch ──► SeparatorStage ──► (invariant, variant)
+//!                    │                   │
+//!                    │          ReconstructorStage
+//!                    │                   │ variant-hat
+//!                    └── reassemble ◄────┘
+//!                           │
+//!                    ClassifierStage ──► labels
+//! ```
+//!
+//! The traits let each stage be named, swapped, and tested in isolation —
+//! e.g. the Table II ablation swaps only the [`ReconstructorStage`]
+//! (conditional GAN → VAE → vanilla AE) and the Table I model columns swap
+//! only the [`ClassifierStage`]. The adapters' fitted components implement
+//! them directly, so a pipeline can be taken apart without copying data.
+
+use crate::fs::FeatureSeparation;
+use fsda_linalg::Matrix;
+use fsda_models::Classifier;
+
+/// A named processing stage of a fitted pipeline.
+pub trait Stage {
+    /// Short stage name for logs and health lines.
+    fn stage_name(&self) -> &'static str;
+}
+
+/// The separation stage: maps a raw batch into normalized invariant /
+/// variant blocks and reassembles blocks into full-width batches.
+pub trait SeparatorStage: Stage {
+    /// Splits a raw batch into `(invariant, variant)` normalized blocks.
+    fn split(&self, batch: &Matrix) -> (Matrix, Matrix);
+
+    /// Reassembles invariant and variant blocks into a full-width batch in
+    /// the original column order.
+    fn reassemble(&self, invariant: &Matrix, variant: &Matrix) -> Matrix;
+}
+
+/// The reconstruction stage: generates source-like variant features from
+/// invariant features.
+pub trait ReconstructorStage: Stage {
+    /// Generates a variant block for the given invariant block; `seed`
+    /// drives the generator noise.
+    fn reconstruct(&self, invariant: &Matrix, seed: u64) -> Matrix;
+
+    /// Row-seeded variant of [`ReconstructorStage::reconstruct`]: row `r`
+    /// uses `seeds[r]`, so chunking cannot change the output.
+    fn reconstruct_rows(&self, invariant: &Matrix, seeds: &[u64]) -> Matrix;
+}
+
+/// The classification stage: maps normalized full-width batches to labels.
+pub trait ClassifierStage: Stage {
+    /// Hard class predictions.
+    fn classify(&self, batch: &Matrix) -> Vec<usize>;
+
+    /// Class-probability estimates, one row per sample.
+    fn classify_proba(&self, batch: &Matrix) -> Matrix;
+}
+
+impl Stage for FeatureSeparation {
+    fn stage_name(&self) -> &'static str {
+        "separator"
+    }
+}
+
+impl SeparatorStage for FeatureSeparation {
+    fn split(&self, batch: &Matrix) -> (Matrix, Matrix) {
+        self.split_normalized(batch)
+    }
+
+    fn reassemble(&self, invariant: &Matrix, variant: &Matrix) -> Matrix {
+        FeatureSeparation::reassemble(self, invariant, variant)
+    }
+}
+
+impl Stage for Box<dyn fsda_gan::Reconstructor> {
+    fn stage_name(&self) -> &'static str {
+        "reconstructor"
+    }
+}
+
+impl ReconstructorStage for Box<dyn fsda_gan::Reconstructor> {
+    fn reconstruct(&self, invariant: &Matrix, seed: u64) -> Matrix {
+        self.as_ref().reconstruct(invariant, seed)
+    }
+
+    fn reconstruct_rows(&self, invariant: &Matrix, seeds: &[u64]) -> Matrix {
+        self.as_ref().reconstruct_rows(invariant, seeds)
+    }
+}
+
+impl Stage for Box<dyn Classifier> {
+    fn stage_name(&self) -> &'static str {
+        "classifier"
+    }
+}
+
+impl ClassifierStage for Box<dyn Classifier> {
+    fn classify(&self, batch: &Matrix) -> Vec<usize> {
+        self.predict(batch)
+    }
+
+    fn classify_proba(&self, batch: &Matrix) -> Matrix {
+        self.predict_proba(batch)
+    }
+}

@@ -115,23 +115,13 @@ pub fn method_means(entries: &[GridEntry], shots: usize) -> Vec<(Method, f64)> {
         .collect()
 }
 
-/// One-line health summary of a fitted FS+GAN adapter: reconstructor name,
-/// training outcome, and degraded-mode flag. Intended for experiment logs
-/// and serving dashboards, so unstable training or pass-through serving is
-/// visible instead of silently folded into the F1 numbers.
-pub fn format_pipeline_health(adapter: &crate::FsGanAdapter) -> String {
-    let recon = adapter
-        .reconstructor_name()
-        .unwrap_or("none (pass-through)");
-    let outcome = match adapter.train_outcome() {
-        Some(o) => o.to_string(),
-        None => "n/a".into(),
-    };
-    let degraded = match adapter.degraded() {
-        Some(mode) => format!("degraded: {mode}"),
-        None => "healthy".into(),
-    };
-    format!("pipeline health: reconstructor={recon} training={outcome} status={degraded}")
+/// One-line health summary of a fitted mitigator. Intended for experiment
+/// logs and serving dashboards, so unstable training or pass-through
+/// serving is visible instead of silently folded into the F1 numbers. The
+/// FS+GAN adapter reports its reconstructor, training outcome, and
+/// degraded-mode flag; other mitigators report method and fit status.
+pub fn format_pipeline_health(mitigator: &dyn crate::pipeline::DriftMitigator) -> String {
+    mitigator.health()
 }
 
 /// Serializes grid entries as CSV (`method,classifier,shots,mean_f1,std_f1`)

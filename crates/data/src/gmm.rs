@@ -11,8 +11,8 @@ use fsda_linalg::{Matrix, SeededRng};
 #[derive(Debug, Clone)]
 pub struct Gmm {
     weights: Vec<f64>,
-    means: Vec<Vec<f64>>,
-    vars: Vec<Vec<f64>>,
+    means: Matrix,
+    vars: Matrix,
     log_likelihood: f64,
 }
 
@@ -64,15 +64,16 @@ impl Gmm {
         let mut rng = SeededRng::new(config.seed);
         let k = config.k;
 
-        // k-means++ style mean initialization.
-        let mut means: Vec<Vec<f64>> = Vec::with_capacity(k);
-        means.push(data.row(rng.index(n)).to_vec());
-        while means.len() < k {
+        // k-means++ style mean initialization into the k x d means matrix;
+        // only the first `chosen` rows are meaningful while seeding.
+        let mut means = Matrix::zeros(k, d);
+        means.row_mut(0).copy_from_slice(data.row(rng.index(n)));
+        let mut chosen = 1;
+        while chosen < k {
             let mut dists: Vec<f64> = (0..n)
                 .map(|r| {
-                    means
-                        .iter()
-                        .map(|m| fsda_linalg::matrix::euclidean_distance(data.row(r), m))
+                    (0..chosen)
+                        .map(|c| fsda_linalg::matrix::euclidean_distance(data.row(r), means.row(c)))
                         .fold(f64::INFINITY, f64::min)
                         .powi(2)
                 })
@@ -80,19 +81,25 @@ impl Gmm {
             let total: f64 = dists.iter().sum();
             if total <= 0.0 {
                 // All points identical to chosen means; fall back to random.
-                means.push(data.row(rng.index(n)).to_vec());
+                means
+                    .row_mut(chosen)
+                    .copy_from_slice(data.row(rng.index(n)));
+                chosen += 1;
                 continue;
             }
             for v in &mut dists {
                 *v /= total;
             }
-            means.push(data.row(rng.categorical(&dists)).to_vec());
+            means
+                .row_mut(chosen)
+                .copy_from_slice(data.row(rng.categorical(&dists)));
+            chosen += 1;
         }
 
         // Global variance for initialization.
         let stds = data.col_stds();
         let init_var: Vec<f64> = stds.iter().map(|s| (s * s).max(config.var_floor)).collect();
-        let mut vars: Vec<Vec<f64>> = (0..k).map(|_| init_var.clone()).collect();
+        let mut vars = Matrix::from_fn(k, d, |_, c| init_var[c]);
         let mut weights = vec![1.0 / k as f64; k];
 
         let mut resp = Matrix::zeros(n, k);
@@ -104,7 +111,9 @@ impl Gmm {
             for r in 0..n {
                 let x = data.row(r);
                 let mut logp: Vec<f64> = (0..k)
-                    .map(|c| weights[c].max(1e-300).ln() + diag_log_pdf(x, &means[c], &vars[c]))
+                    .map(|c| {
+                        weights[c].max(1e-300).ln() + diag_log_pdf(x, means.row(c), vars.row(c))
+                    })
                     .collect();
                 let max = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 let mut sum = 0.0;
@@ -124,33 +133,34 @@ impl Gmm {
             prev_ll = log_likelihood;
 
             // M-step.
-            for c in 0..k {
+            for (c, w) in weights.iter_mut().enumerate() {
                 let nk: f64 = (0..n).map(|r| resp.get(r, c)).sum();
                 let nk_safe = nk.max(1e-10);
-                weights[c] = nk / n as f64;
-                let mut mean = vec![0.0; d];
+                *w = nk / n as f64;
+                let mean = means.row_mut(c);
+                mean.fill(0.0);
                 for r in 0..n {
                     let g = resp.get(r, c);
                     for (m, &x) in mean.iter_mut().zip(data.row(r)) {
                         *m += g * x;
                     }
                 }
-                for m in &mut mean {
+                for m in mean.iter_mut() {
                     *m /= nk_safe;
                 }
-                let mut var = vec![0.0; d];
+                let var = vars.row_mut(c);
+                var.fill(0.0);
+                let mean = means.row(c);
                 for r in 0..n {
                     let g = resp.get(r, c);
-                    for ((v, &x), &m) in var.iter_mut().zip(data.row(r)).zip(&mean) {
+                    for ((v, &x), &m) in var.iter_mut().zip(data.row(r)).zip(mean) {
                         let diff = x - m;
                         *v += g * diff * diff;
                     }
                 }
-                for v in &mut var {
+                for v in var.iter_mut() {
                     *v = (*v / nk_safe).max(config.var_floor);
                 }
-                means[c] = mean;
-                vars[c] = var;
             }
         }
         Ok(Gmm {
@@ -199,8 +209,8 @@ impl Gmm {
         &self.weights
     }
 
-    /// Component means.
-    pub fn means(&self) -> &[Vec<f64>] {
+    /// Component means (`k x d`, one row per component).
+    pub fn means(&self) -> &Matrix {
         &self.means
     }
 
@@ -219,7 +229,7 @@ impl Gmm {
             let mut logp: Vec<f64> = (0..k)
                 .map(|c| {
                     self.weights[c].max(1e-300).ln()
-                        + diag_log_pdf(x, &self.means[c], &self.vars[c])
+                        + diag_log_pdf(x, self.means.row(c), self.vars.row(c))
                 })
                 .collect();
             let max = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);

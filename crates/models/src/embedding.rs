@@ -144,6 +144,60 @@ impl EmbeddingNet {
     pub fn embed_dim(&self) -> usize {
         self.config.embed_dim
     }
+
+    /// The configuration this net was built with.
+    pub fn config(&self) -> &EmbeddingConfig {
+        &self.config
+    }
+
+    /// Snapshots the fitted encoder's parameters (the classification head
+    /// is a training aid only and is not exported).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ModelError::NotFitted`] before
+    /// [`EmbeddingNet::fit`].
+    pub fn export_encoder(&self) -> Result<fsda_nn::state::StateDict> {
+        match &self.encoder {
+            Some(encoder) => Ok(fsda_nn::state::export_state(encoder)),
+            None => Err(crate::ModelError::NotFitted),
+        }
+    }
+
+    /// Rebuilds a fitted net from an encoder snapshot: reconstructs the
+    /// architecture from `config` and `input_dim`, then overwrites every
+    /// parameter from `state`. The classification head is not restored, so
+    /// only [`EmbeddingNet::embed`] / [`EmbeddingNet::embed_normalized`]
+    /// are usable — which is all inference needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ModelError::InvalidInput`] when the snapshot does
+    /// not match the architecture.
+    pub fn from_encoder_state(
+        config: EmbeddingConfig,
+        seed: u64,
+        input_dim: usize,
+        state: &fsda_nn::state::StateDict,
+    ) -> Result<Self> {
+        // Dummy rng: every Dense parameter is overwritten by `load_state`.
+        let mut rng = SeededRng::new(0);
+        let mut encoder = Sequential::new();
+        let mut prev = input_dim;
+        for &hdim in &config.hidden {
+            encoder.push(Dense::new(prev, hdim, &mut rng));
+            encoder.push(Activation::relu());
+            prev = hdim;
+        }
+        encoder.push(Dense::new(prev, config.embed_dim, &mut rng));
+        fsda_nn::state::load_state(&mut encoder, state).map_err(crate::ModelError::InvalidInput)?;
+        Ok(EmbeddingNet {
+            config,
+            seed,
+            encoder: Some(encoder),
+            head: None,
+        })
+    }
 }
 
 /// Per-class mean embeddings ("prototypes").

@@ -279,21 +279,20 @@ mod tests {
     #[test]
     fn weighted_bootstrap_prefers_heavy_samples() {
         // A cloud of class 0 plus few heavy class-1 points at the same spot.
-        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut flat: Vec<f64> = Vec::new();
         let mut y = Vec::new();
         let mut w = Vec::new();
         for i in 0..30 {
-            rows.push(vec![i as f64 * 0.01, 0.0]);
+            flat.extend_from_slice(&[i as f64 * 0.01, 0.0]);
             y.push(0);
             w.push(1.0);
         }
         for _ in 0..3 {
-            rows.push(vec![0.15, 0.0]);
+            flat.extend_from_slice(&[0.15, 0.0]);
             y.push(1);
             w.push(50.0);
         }
-        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
-        let x = Matrix::from_rows(&refs);
+        let x = Matrix::from_vec(y.len(), 2, flat);
         let mut f = RandomForest::new(
             ForestConfig {
                 num_trees: 25,

@@ -98,10 +98,15 @@ impl TnetNet {
     /// block1, block2, head.
     fn export(&self) -> StateDict {
         let mut tensors: Vec<Matrix> = Vec::new();
-        let mut buffers: Vec<Vec<f64>> = Vec::new();
+        let mut buffers: Vec<Matrix> = Vec::new();
         for block in [&self.block1, &self.block2] {
             tensors.extend(block.params().iter().map(|p| (*p).clone()));
-            buffers.extend(block.buffers().iter().map(|b| b.to_vec()));
+            buffers.extend(
+                block
+                    .buffers()
+                    .iter()
+                    .map(|b| Matrix::from_vec(1, b.len(), b.to_vec())),
+            );
         }
         tensors.extend(self.head.params().iter().map(|p| (*p).clone()));
         StateDict::from_parts(tensors, buffers)
@@ -142,16 +147,16 @@ impl TnetNet {
             ));
         }
         for (i, (dst, src)) in buffers.iter().zip(state.buffers()).enumerate() {
-            if dst.len() != src.len() {
+            if dst.len() != src.cols() {
                 return Err(format!(
                     "buffer {i}: length {} does not match network buffer length {}",
-                    src.len(),
+                    src.cols(),
                     dst.len()
                 ));
             }
         }
         for (dst, src) in buffers.iter_mut().zip(state.buffers()) {
-            **dst = src.clone();
+            dst.copy_from_slice(src.as_slice());
         }
         Ok(())
     }

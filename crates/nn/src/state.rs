@@ -21,12 +21,13 @@ use fsda_linalg::Matrix;
 #[derive(Debug, Clone, PartialEq)]
 pub struct StateDict {
     tensors: Vec<Matrix>,
-    buffers: Vec<Vec<f64>>,
+    buffers: Vec<Matrix>,
 }
 
 impl StateDict {
     /// Rebuilds a state dict from raw parts (e.g. decoded from disk).
-    pub fn from_parts(tensors: Vec<Matrix>, buffers: Vec<Vec<f64>>) -> Self {
+    /// Buffers are stored as `1 × n` matrices.
+    pub fn from_parts(tensors: Vec<Matrix>, buffers: Vec<Matrix>) -> Self {
         StateDict { tensors, buffers }
     }
 
@@ -45,9 +46,9 @@ impl StateDict {
         &self.tensors
     }
 
-    /// The buffers (e.g. batch-norm running statistics), in the order
-    /// [`export_state`] produced them.
-    pub fn buffers(&self) -> &[Vec<f64>] {
+    /// The buffers (e.g. batch-norm running statistics) as `1 × n`
+    /// matrices, in the order [`export_state`] produced them.
+    pub fn buffers(&self) -> &[Matrix] {
         &self.buffers
     }
 
@@ -62,7 +63,11 @@ impl StateDict {
 pub fn export_state(net: &Sequential) -> StateDict {
     StateDict {
         tensors: net.params().iter().map(|p| (*p).clone()).collect(),
-        buffers: net.buffers().iter().map(|b| b.to_vec()).collect(),
+        buffers: net
+            .buffers()
+            .iter()
+            .map(|b| Matrix::from_vec(1, b.len(), b.to_vec()))
+            .collect(),
     }
 }
 
@@ -105,16 +110,16 @@ pub fn load_state(net: &mut Sequential, state: &StateDict) -> Result<(), String>
         ));
     }
     for (i, (dst, src)) in buffers.iter_mut().zip(&state.buffers).enumerate() {
-        if dst.len() != src.len() {
+        if dst.len() != src.cols() {
             return Err(format!(
                 "buffer {i}: length {} does not match network buffer length {}",
-                src.len(),
+                src.cols(),
                 dst.len()
             ));
         }
     }
     for (dst, src) in buffers.iter_mut().zip(&state.buffers) {
-        **dst = src.clone();
+        dst.copy_from_slice(src.as_slice());
     }
     Ok(())
 }

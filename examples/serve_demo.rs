@@ -1,11 +1,14 @@
-//! Train-once / serve-many: persist a trained FS+GAN pipeline to disk, then
-//! reload it in a "serving process" and adapt a stream of target batches
-//! with the batched reconstruction path — no retraining, no refitting.
+//! Train-once / serve-many through the method registry: build any
+//! registered method as a `Box<dyn DriftMitigator>`, persist the trained
+//! pipeline to disk, then reload it in a "serving process" and adapt a
+//! stream of target batches — no retraining, no refitting, and no
+//! method-specific code anywhere in the serving loop.
 //!
 //! Run with: `cargo run --release --example serve_demo`
 
-use fsda::core::adapter::{AdapterConfig, FsGanAdapter};
-use fsda::core::{GuardConfig, InputPolicy};
+use fsda::core::adapter::AdapterConfig;
+use fsda::core::pipeline::{self, DriftMitigator};
+use fsda::core::{GuardConfig, InputPolicy, Method};
 use fsda::data::fewshot::few_shot_subset;
 use fsda::data::synth5gc::Synth5gc;
 use fsda::linalg::SeededRng;
@@ -17,43 +20,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== fsda serve demo ==\n");
 
     // ---------------------------------------------------------------
-    // Offline: fit the pipeline once and persist it as an artifact.
+    // Offline: build the paper's method from the registry, fit it once,
+    // and persist it as an artifact. Swapping `Method::FsGan` for any
+    // other Table I/II row changes nothing below this line.
     // ---------------------------------------------------------------
     let bundle = Synth5gc::small().generate(42)?;
     let mut rng = SeededRng::new(7);
     let shots = few_shot_subset(&bundle.target_pool, 10, &mut rng)?;
     let cfg = AdapterConfig::quick().with_classifier(ClassifierKind::RandomForest);
 
+    let mut mitigator: Box<dyn DriftMitigator> = Method::FsGan.build(&cfg, 1);
     let start = Instant::now();
-    let adapter = FsGanAdapter::fit(&bundle.source_train, &shots, &cfg, 1)?;
+    mitigator.fit(&bundle.source_train, &shots)?;
     println!(
-        "trained FS+GAN pipeline in {:.1}s ({} variant / {} invariant features)",
-        start.elapsed().as_secs_f64(),
-        adapter.separation().variant().len(),
-        adapter.separation().invariant().len()
+        "trained {} in {:.1}s",
+        mitigator.method(),
+        start.elapsed().as_secs_f64()
     );
 
     let mut path = std::env::temp_dir();
     path.push(format!("fsda-serve-demo-{}.fsda", std::process::id()));
-    adapter.save(&path)?;
+    std::fs::write(&path, mitigator.to_bytes()?)?;
     let artifact_len = std::fs::metadata(&path)?.len();
     println!(
         "saved artifact: {} ({:.1} KiB)\n",
         path.display(),
         artifact_len as f64 / 1024.0
     );
-    drop(adapter); // The trainer is gone; only the artifact remains.
+    drop(mitigator); // The trainer is gone; only the artifact remains.
 
     // ---------------------------------------------------------------
-    // Online: a serving process loads the artifact and adapts a stream
-    // of drifted target batches. The classifier inside is never touched.
+    // Online: a serving process restores the artifact — without knowing
+    // which method produced it — and adapts a stream of drifted target
+    // batches. The classifier inside is never touched.
     // ---------------------------------------------------------------
     let start = Instant::now();
-    let served = FsGanAdapter::load(&path)?;
+    let served: Box<dyn DriftMitigator> = pipeline::restore(&std::fs::read(&path)?)?;
     println!(
-        "loaded artifact in {:.1} ms",
+        "restored a {} artifact in {:.1} ms",
+        served.method(),
         start.elapsed().as_secs_f64() * 1e3
     );
+    println!("{}", served.health());
 
     // Production telemetry is untrusted: serve through the guarded path.
     // `Reject` returns a typed, localized error on the first corrupt cell;

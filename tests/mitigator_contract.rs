@@ -1,0 +1,111 @@
+//! The registry contract: every registered [`Method`] must go
+//! fit → predict → persist → restore → predict through the uniform
+//! [`DriftMitigator`] interface, on both synthetic scenarios, and the
+//! restored mitigator must predict bit-identically to the one that was
+//! trained. This is what lets serving treat all sixteen methods as one
+//! `Box<dyn DriftMitigator>`.
+
+use fsda::core::adapter::{AdapterConfig, Budget};
+use fsda::core::pipeline;
+use fsda::core::Method;
+use fsda::data::fewshot::{few_shot_indices, few_shot_subset};
+use fsda::data::synth5gc::Synth5gc;
+use fsda::data::synth5gipc::{Synth5gipc, NUM_GROUPS};
+use fsda::data::Dataset;
+use fsda::linalg::{Matrix, SeededRng};
+use fsda::models::ClassifierKind;
+
+/// Every method the registry serves: Table I plus the Table II ablations.
+fn all_methods() -> Vec<Method> {
+    let mut methods: Vec<Method> = Method::TABLE1.to_vec();
+    for m in Method::TABLE2 {
+        if !methods.contains(&m) {
+            methods.push(m);
+        }
+    }
+    methods
+}
+
+/// A deliberately tiny budget: the contract is about the interface, not
+/// about model quality, so every knob is at the minimum that still trains.
+fn tiny_config() -> AdapterConfig {
+    AdapterConfig {
+        classifier: ClassifierKind::Mlp,
+        budget: Budget {
+            nn_epochs: 3,
+            gan_epochs: 20,
+            emb_epochs: 3,
+            forest_trees: 5,
+            gbdt_rounds: 3,
+            threads: 2,
+        },
+        ..AdapterConfig::default()
+    }
+}
+
+/// Runs one method through the full mitigator life cycle and checks the
+/// restored copy against the original.
+fn exercise(method: Method, source: &Dataset, shots: &Dataset, test: &Matrix, seed: u64) {
+    let config = tiny_config();
+    let mut mitigator = method.build(&config, seed);
+    assert_eq!(mitigator.method(), method);
+    assert!(!mitigator.is_fitted(), "{method}: fitted before fit");
+
+    mitigator
+        .fit(source, shots)
+        .unwrap_or_else(|e| panic!("{method}: fit failed: {e}"));
+    assert!(mitigator.is_fitted(), "{method}: unfitted after fit");
+    assert_eq!(mitigator.num_classes(), source.num_classes());
+
+    let pred = mitigator.predict(test);
+    assert_eq!(pred.len(), test.rows(), "{method}: wrong prediction count");
+
+    let bytes = mitigator
+        .to_bytes()
+        .unwrap_or_else(|e| panic!("{method}: to_bytes failed: {e}"));
+    let restored =
+        pipeline::restore(&bytes).unwrap_or_else(|e| panic!("{method}: restore failed: {e}"));
+    assert_eq!(
+        restored.method(),
+        method,
+        "{method}: identity lost on restore"
+    );
+    assert!(restored.is_fitted(), "{method}: restored copy unfitted");
+    assert_eq!(restored.num_classes(), mitigator.num_classes());
+    assert_eq!(
+        restored.predict(test),
+        pred,
+        "{method}: restored predictions drifted"
+    );
+    assert_eq!(
+        restored
+            .to_bytes()
+            .unwrap_or_else(|e| panic!("{method}: re-encode failed: {e}")),
+        bytes,
+        "{method}: re-encoding the restored mitigator changed the bytes"
+    );
+    assert!(!restored.health().is_empty());
+}
+
+#[test]
+fn every_method_round_trips_on_5gc() {
+    let bundle = Synth5gc::small().generate(61).unwrap();
+    let mut rng = SeededRng::new(62);
+    let shots = few_shot_subset(&bundle.target_pool, 10, &mut rng).unwrap();
+    let test = bundle.target_test.features();
+    for method in all_methods() {
+        exercise(method, &bundle.source_train, &shots, test, 63);
+    }
+}
+
+#[test]
+fn every_method_round_trips_on_5gipc() {
+    let bundle = Synth5gipc::small().generate(64).unwrap();
+    let mut rng = SeededRng::new(65);
+    let idx = few_shot_indices(&bundle.target_pool_groups, NUM_GROUPS, 5, &mut rng).unwrap();
+    let shots = bundle.target_pool.subset(&idx);
+    let test = bundle.target_test.features();
+    for method in all_methods() {
+        exercise(method, &bundle.source_train, &shots, test, 66);
+    }
+}

@@ -171,8 +171,11 @@ proptest! {
                 Matrix::from_fn(r, c, |_, _| rng.normal(0.0, 1.0))
             })
             .collect();
-        let bs: Vec<Vec<f64>> = (0..buffers)
-            .map(|_| (0..rng.index(8)).map(|_| rng.normal(0.0, 1.0)).collect())
+        let bs: Vec<Matrix> = (0..buffers)
+            .map(|_| {
+                let n = rng.index(8);
+                Matrix::from_fn(1, n, |_, _| rng.normal(0.0, 1.0))
+            })
             .collect();
         let state = StateDict::from_parts(ts, bs);
 
