@@ -77,7 +77,7 @@ fn run_block(
 
     // Headline shape summary at k = 5.
     let mut means = fsda_core::report::method_means(&grid, 5);
-    means.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    means.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("ranking at k=5 (mean over columns):");
     for (m, f1) in &means {
         println!("  {:<16} {:>6.1}", m.label(), f1);

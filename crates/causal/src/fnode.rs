@@ -149,6 +149,7 @@ pub fn find_intervened_features_with(
     }
 
     // Stage 0: marginal tests — the initial F-adjacency.
+    let stage_start = fsda_telemetry::enabled().then(std::time::Instant::now);
     let mut adjacent: Vec<bool> = Vec::with_capacity(num_features);
     for r in par_map(threads, &features, |_, &x| {
         test.independent(x, f, &[], config.alpha)
@@ -156,9 +157,13 @@ pub fn find_intervened_features_with(
         tests_run += 1;
         adjacent.push(!r?);
     }
+    if let Some(start) = stage_start {
+        fsda_telemetry::duration("causal.fnode.stage0.seconds", start.elapsed().as_secs_f64());
+    }
 
     // Stages 1..=max_cond_size: condition on other current F-neighbours.
     for cond_size in 1..=config.max_cond_size {
+        let stage_start = fsda_telemetry::enabled().then(std::time::Instant::now);
         // PC-stable style: snapshot the adjacency for this stage so the
         // outcome depends on neither feature iteration order nor the worker
         // schedule — each feature is a pure function of the snapshot.
@@ -180,10 +185,19 @@ pub fn find_intervened_features_with(
                 adjacent[x] = false;
             }
         }
+        if let Some(start) = stage_start {
+            fsda_telemetry::duration(
+                &format!("causal.fnode.stage{cond_size}.seconds"),
+                start.elapsed().as_secs_f64(),
+            );
+        }
     }
 
     let variant: Vec<usize> = (0..num_features).filter(|&x| adjacent[x]).collect();
     let invariant: Vec<usize> = (0..num_features).filter(|&x| !adjacent[x]).collect();
+    fsda_telemetry::counter("causal.fnode.ci_tests", tests_run as u64);
+    fsda_telemetry::counter("causal.fnode.searches", 1);
+    fsda_telemetry::gauge("causal.fnode.variant_features", variant.len() as f64);
     Ok(FnodeResult {
         variant,
         invariant,
@@ -218,7 +232,7 @@ fn evaluate_feature(
             (c, r.abs())
         })
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
     let candidates: Vec<usize> = scored
         .into_iter()
         .take(config.max_candidates)

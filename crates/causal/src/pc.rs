@@ -126,6 +126,9 @@ pub(crate) fn skeleton(
     let mut tests_run = 0usize;
     let threads = config.effective_threads();
     for cond_size in 0..=config.max_cond_size {
+        // Telemetry: time each PC-stable round; the format! only runs when
+        // a recorder is installed, so uninstrumented searches stay free.
+        let round_start = fsda_telemetry::enabled().then(std::time::Instant::now);
         // PC-stable: snapshot the adjacency at the start of the round. Every
         // edge is tested against this snapshot, so the per-edge outcomes are
         // independent of both each other and the evaluation schedule — which
@@ -155,10 +158,18 @@ pub(crate) fn skeleton(
                 removed_any = true;
             }
         }
+        if let Some(start) = round_start {
+            fsda_telemetry::duration(
+                &format!("causal.pc.depth{cond_size}.seconds"),
+                start.elapsed().as_secs_f64(),
+            );
+        }
         if !removed_any && cond_size > 0 {
             break;
         }
     }
+    fsda_telemetry::counter("causal.pc.ci_tests", tests_run as u64);
+    fsda_telemetry::counter("causal.pc.searches", 1);
     Ok((graph, sepsets, tests_run))
 }
 

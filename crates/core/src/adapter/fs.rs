@@ -8,6 +8,7 @@ use crate::persist::{
     write_container, write_normalizer, write_separation, Decoder, Encoder, TAG_CLSF, TAG_FSEP,
     TAG_META, TAG_NORM,
 };
+use crate::pipeline::observe;
 use crate::serve::{sanitize_batch, GuardConfig, ServeError};
 use crate::{CoreError, Result};
 use fsda_data::Dataset;
@@ -74,16 +75,20 @@ impl FsAdapter {
 
     /// Trains this adapter's components from its stored config and seed.
     pub(crate) fn fit_in_place(&mut self, source: &Dataset, target_shots: &Dataset) -> Result<()> {
+        let stage = observe::start_stage();
         let separation = FeatureSeparation::fit(source, target_shots, &self.config.fs)?;
+        observe::finish_stage(stage, "separation");
         if separation.invariant().is_empty() {
             return Err(CoreError::InvalidInput(
                 "feature separation declared every feature variant".into(),
             ));
         }
         let (inv, _) = separation.split_normalized(source.features());
+        let stage = observe::start_stage();
         let mut classifier =
             build_classifier(self.config.classifier, self.seed, &self.config.budget);
         classifier.fit(&inv, source.labels(), source.num_classes())?;
+        observe::finish_stage(stage, "classifier");
         self.fitted = Some(FittedFs {
             separation,
             classifier,
@@ -262,10 +267,17 @@ impl crate::pipeline::DriftMitigator for FsAdapter {
     }
 
     fn fit(&mut self, source: &Dataset, target_shots: &Dataset) -> Result<()> {
+        let _span = observe::call_span(observe::Call::Fit, crate::Method::Fs);
         self.fit_in_place(source, target_shots)
     }
 
     fn predict(&self, features: &Matrix) -> Vec<usize> {
+        let _span = observe::call_span(observe::Call::Predict, crate::Method::Fs);
+        FsAdapter::predict(self, features)
+    }
+
+    fn predict_batch(&self, features: &Matrix, _threads: Option<usize>) -> Vec<usize> {
+        let _span = observe::call_span(observe::Call::PredictBatch, crate::Method::Fs);
         FsAdapter::predict(self, features)
     }
 
@@ -275,6 +287,7 @@ impl crate::pipeline::DriftMitigator for FsAdapter {
         _threads: Option<usize>,
         guard: &GuardConfig,
     ) -> std::result::Result<Vec<usize>, ServeError> {
+        let _span = observe::call_span(observe::Call::TryPredictBatch, crate::Method::Fs);
         self.try_predict(features, guard)
     }
 

@@ -13,6 +13,7 @@ use crate::persist::{
     write_classifier_snapshot, write_container, write_normalizer, write_recon_snapshot,
     write_separation, Decoder, Encoder, TAG_CLSF, TAG_FSEP, TAG_META, TAG_NORM, TAG_RECN,
 };
+use crate::pipeline::observe;
 use crate::serve::{sanitize_batch, FitError, GuardConfig, ServeError};
 use crate::{CoreError, Result};
 use fsda_data::Dataset;
@@ -96,7 +97,9 @@ impl FsGanAdapter {
 
     /// Trains this adapter's components from its stored config and seed.
     pub(crate) fn fit_in_place(&mut self, source: &Dataset, target_shots: &Dataset) -> Result<()> {
+        let stage = observe::start_stage();
         let separation = FeatureSeparation::fit(source, target_shots, &self.config.fs)?;
+        observe::finish_stage(stage, "separation");
         let (inv, var) = separation.split_normalized(source.features());
         // Degenerate partitions (all-variant or all-invariant) skip the
         // reconstructor and serve as normalized pass-through; see
@@ -105,6 +108,7 @@ impl FsGanAdapter {
         {
             None
         } else {
+            let stage = observe::start_stage();
             let mut recon = build_reconstructor(
                 self.config.recon,
                 source.num_features(),
@@ -113,14 +117,17 @@ impl FsGanAdapter {
                 self.config.watchdog,
             );
             recon.fit(&inv, &var, &source.one_hot_labels())?;
+            observe::finish_stage(stage, "reconstruction");
             Some(recon)
         };
         // The network-management model: trained once, on source only, with
         // ALL features — never retrained afterwards.
         let normalized = separation.normalizer().transform(source.features());
+        let stage = observe::start_stage();
         let mut classifier =
             build_classifier(self.config.classifier, self.seed, &self.config.budget);
         classifier.fit(&normalized, source.labels(), source.num_classes())?;
+        observe::finish_stage(stage, "classifier");
         self.fitted = Some(FittedFsGan {
             separation,
             reconstructor,
@@ -594,6 +601,7 @@ impl crate::pipeline::DriftMitigator for FsGanAdapter {
     }
 
     fn fit(&mut self, source: &Dataset, target_shots: &Dataset) -> Result<()> {
+        let _span = observe::call_span(observe::Call::Fit, self.method());
         self.fit_in_place(source, target_shots)
     }
 
@@ -603,14 +611,17 @@ impl crate::pipeline::DriftMitigator for FsGanAdapter {
         target_shots: &Dataset,
         guard: &GuardConfig,
     ) -> std::result::Result<(), FitError> {
+        let _span = observe::call_span(observe::Call::Fit, self.method());
         self.try_fit_in_place(source, target_shots, guard)
     }
 
     fn predict(&self, features: &Matrix) -> Vec<usize> {
+        let _span = observe::call_span(observe::Call::Predict, self.method());
         FsGanAdapter::predict(self, features)
     }
 
     fn predict_batch(&self, features: &Matrix, threads: Option<usize>) -> Vec<usize> {
+        let _span = observe::call_span(observe::Call::PredictBatch, self.method());
         FsGanAdapter::predict_batch(self, features, threads)
     }
 
@@ -620,6 +631,10 @@ impl crate::pipeline::DriftMitigator for FsGanAdapter {
         threads: Option<usize>,
         guard: &GuardConfig,
     ) -> std::result::Result<Vec<usize>, ServeError> {
+        let _span = observe::call_span(observe::Call::TryPredictBatch, self.method());
+        if fsda_telemetry::enabled() && self.is_fitted() && self.degraded().is_some() {
+            fsda_telemetry::counter("serve.degraded_requests", 1);
+        }
         FsGanAdapter::try_predict_batch(self, features, threads, guard)
     }
 

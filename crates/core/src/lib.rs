@@ -60,6 +60,8 @@ pub mod pipeline;
 pub mod report;
 pub mod serve;
 
+pub use fsda_telemetry as telemetry;
+
 pub use adapter::{AdapterConfig, DegradedMode, FsAdapter, FsGanAdapter};
 pub use fs::FeatureSeparation;
 pub use method::Method;

@@ -94,6 +94,31 @@ impl Method {
         }
     }
 
+    /// Stable lowercase identifier used in telemetry metric names
+    /// (e.g. `pipeline.fit.fs_gan`). Unlike [`Method::label`] it contains
+    /// no spaces or punctuation, so it embeds cleanly in dot-separated
+    /// metric paths and JSON keys.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Method::FsGan => "fs_gan",
+            Method::FsNoCond => "fs_nocond",
+            Method::FsVae => "fs_vae",
+            Method::FsVanillaAe => "fs_vanilla_ae",
+            Method::Fs => "fs",
+            Method::Cmt => "cmt",
+            Method::Icd => "icd",
+            Method::SrcOnly => "src_only",
+            Method::TarOnly => "tar_only",
+            Method::SourceAndTarget => "src_and_tgt",
+            Method::FineTune => "fine_tune",
+            Method::Coral => "coral",
+            Method::Dann => "dann",
+            Method::Scl => "scl",
+            Method::MatchNet => "match_net",
+            Method::ProtoNet => "proto_net",
+        }
+    }
+
     /// Whether the method accepts an arbitrary classifier (Table I's four
     /// model columns) or brings its own model.
     pub fn is_model_agnostic(self) -> bool {
@@ -170,6 +195,22 @@ mod tests {
         for m in Method::TABLE1.iter().chain(&Method::TABLE2) {
             assert!(!m.label().is_empty());
             seen.insert(m.label());
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn slugs_are_unique_and_metric_safe() {
+        let mut seen = std::collections::BTreeSet::new();
+        for m in Method::TABLE1.iter().chain(&Method::TABLE2) {
+            let slug = m.slug();
+            assert!(!slug.is_empty());
+            assert!(
+                slug.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "slug {slug:?} not metric-safe"
+            );
+            seen.insert(slug);
         }
         assert_eq!(seen.len(), 16);
     }

@@ -24,7 +24,7 @@ use crate::persist::{
     write_classifier_snapshot, write_container, write_normalizer, write_state_dict, Decoder,
     Encoder, TAG_AUX, TAG_META, TAG_NORM,
 };
-use crate::pipeline::DriftMitigator;
+use crate::pipeline::{observe, DriftMitigator};
 use crate::serve::{sanitize_batch, GuardConfig, ServeError};
 use crate::{CoreError, Result};
 use fsda_data::Dataset;
@@ -164,6 +164,18 @@ impl BaselineMitigator {
         match &self.fitted {
             Some(fitted) => fitted,
             None => panic!("BaselineMitigator: use before fit"),
+        }
+    }
+
+    /// Shared prediction dispatch; the trait's `predict` and
+    /// `predict_batch` wrap this in their own telemetry spans.
+    fn predict_inner(&self, features: &Matrix) -> Vec<usize> {
+        match self.fitted() {
+            Fitted::Classifier(p) => p.predict(features),
+            Fitted::Dann(p) => p.predict(features),
+            Fitted::Scl(p) => p.predict(features),
+            Fitted::MatchNet(p) => p.predict(features),
+            Fitted::ProtoNet(p) => p.predict(features),
         }
     }
 
@@ -343,6 +355,7 @@ impl DriftMitigator for BaselineMitigator {
     }
 
     fn fit(&mut self, source: &Dataset, target_shots: &Dataset) -> Result<()> {
+        let _span = observe::call_span(observe::Call::Fit, self.method);
         let ctx = FitContext {
             source,
             target_shots,
@@ -396,13 +409,13 @@ impl DriftMitigator for BaselineMitigator {
     }
 
     fn predict(&self, features: &Matrix) -> Vec<usize> {
-        match self.fitted() {
-            Fitted::Classifier(p) => p.predict(features),
-            Fitted::Dann(p) => p.predict(features),
-            Fitted::Scl(p) => p.predict(features),
-            Fitted::MatchNet(p) => p.predict(features),
-            Fitted::ProtoNet(p) => p.predict(features),
-        }
+        let _span = observe::call_span(observe::Call::Predict, self.method);
+        self.predict_inner(features)
+    }
+
+    fn predict_batch(&self, features: &Matrix, _threads: Option<usize>) -> Vec<usize> {
+        let _span = observe::call_span(observe::Call::PredictBatch, self.method);
+        self.predict_inner(features)
     }
 
     fn try_predict_batch(
@@ -411,12 +424,13 @@ impl DriftMitigator for BaselineMitigator {
         _threads: Option<usize>,
         guard: &GuardConfig,
     ) -> std::result::Result<Vec<usize>, ServeError> {
+        let _span = observe::call_span(observe::Call::TryPredictBatch, self.method);
         let fitted = self.fitted();
         if features.cols() != fitted.num_features() {
-            return Err(ServeError::DimensionMismatch {
+            return Err(crate::serve::rejected(ServeError::DimensionMismatch {
                 expected: fitted.num_features(),
                 got: features.cols(),
-            });
+            }));
         }
         match fitted {
             // ICD trains on a column subset; reduce first so the guard

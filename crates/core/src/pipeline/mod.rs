@@ -44,6 +44,7 @@
 
 pub mod baseline;
 pub mod fit_common;
+pub(crate) mod observe;
 pub mod registry;
 pub mod stage;
 

@@ -120,8 +120,28 @@ pub fn method_means(entries: &[GridEntry], shots: usize) -> Vec<(Method, f64)> {
 /// serving is visible instead of silently folded into the F1 numbers. The
 /// FS+GAN adapter reports its reconstructor, training outcome, and
 /// degraded-mode flag; other mitigators report method and fit status.
+///
+/// When the process-wide telemetry recorder aggregates (an installed
+/// [`fsda_telemetry::InMemoryRecorder`]), the summary is followed by a
+/// `telemetry:` block rendering every counter, gauge, duration histogram,
+/// and event count recorded so far — the operational signal the paper's
+/// live-loop deployment story calls for. With no recorder (or a streaming
+/// sink) the output is the one-line summary, unchanged from 0.5.0.
 pub fn format_pipeline_health(mitigator: &dyn crate::pipeline::DriftMitigator) -> String {
-    mitigator.health()
+    let mut out = mitigator.health();
+    let mut snapshot = None;
+    fsda_telemetry::with_recorder(|rec| snapshot = rec.snapshot());
+    if let Some(snapshot) = snapshot {
+        if !snapshot.is_empty() {
+            out.push_str("\ntelemetry:\n");
+            for line in snapshot.render().lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+    out
 }
 
 /// Serializes grid entries as CSV (`method,classifier,shots,mean_f1,std_f1`)

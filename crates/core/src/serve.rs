@@ -218,28 +218,43 @@ pub(crate) fn sanitize_batch(
     guard: &GuardConfig,
 ) -> Result<Option<Matrix>, ServeError> {
     if features.cols() != normalizer.num_features() {
-        return Err(ServeError::DimensionMismatch {
+        return Err(rejected(ServeError::DimensionMismatch {
             expected: normalizer.num_features(),
             got: features.cols(),
-        });
+        }));
     }
     let limit = guard.max_abs_normalized;
     let offset = normalizer.offset();
     let scale = normalizer.scale();
     let mut repaired: Option<Matrix> = None;
+    // Repair tallies, emitted as aggregates once per batch; the clean path
+    // (no corrupt cells) emits nothing.
+    let mut imputed = 0u64;
+    let mut clamped = 0u64;
+    let mut repaired_rows = 0u64;
+    let mut last_repaired_row = usize::MAX;
     for r in 0..features.rows() {
         for c in 0..features.cols() {
             let v = features.get(r, c);
             let fixed = if !v.is_finite() {
                 match guard.policy {
-                    InputPolicy::Reject => return Err(ServeError::NonFinite { row: r, col: c }),
-                    InputPolicy::ImputeSourceMean => offset[c],
+                    InputPolicy::Reject => {
+                        return Err(rejected(ServeError::NonFinite { row: r, col: c }))
+                    }
+                    InputPolicy::ImputeSourceMean => {
+                        imputed += 1;
+                        offset[c]
+                    }
                     InputPolicy::Clamp => {
                         if v == f64::INFINITY {
+                            clamped += 1;
                             offset[c] + limit * scale[c]
                         } else if v == f64::NEG_INFINITY {
+                            clamped += 1;
                             offset[c] - limit * scale[c]
                         } else {
+                            // NaN carries no direction; imputed, not clamped.
+                            imputed += 1;
                             offset[c]
                         }
                     }
@@ -251,23 +266,51 @@ pub(crate) fn sanitize_batch(
                 }
                 match guard.policy {
                     InputPolicy::Reject => {
-                        return Err(ServeError::OutOfRange {
+                        return Err(rejected(ServeError::OutOfRange {
                             row: r,
                             col: c,
                             value: t,
                             limit,
-                        })
+                        }))
                     }
-                    InputPolicy::ImputeSourceMean => offset[c],
-                    InputPolicy::Clamp => offset[c] + t.signum() * limit * scale[c],
+                    InputPolicy::ImputeSourceMean => {
+                        imputed += 1;
+                        offset[c]
+                    }
+                    InputPolicy::Clamp => {
+                        clamped += 1;
+                        offset[c] + t.signum() * limit * scale[c]
+                    }
                 }
             };
+            if r != last_repaired_row {
+                last_repaired_row = r;
+                repaired_rows += 1;
+            }
             repaired
                 .get_or_insert_with(|| features.clone())
                 .set(r, c, fixed);
         }
     }
+    if imputed + clamped > 0 {
+        fsda_telemetry::with_recorder(|rec| {
+            if imputed > 0 {
+                rec.counter("serve.cells_imputed", imputed);
+            }
+            if clamped > 0 {
+                rec.counter("serve.cells_clamped", clamped);
+            }
+            rec.counter("serve.rows_repaired", repaired_rows);
+        });
+    }
     Ok(repaired)
+}
+
+/// Counts a guarded-serving rejection before the error propagates; keeps
+/// every `return Err(...)` site in [`sanitize_batch`] one expression.
+pub(crate) fn rejected(e: ServeError) -> ServeError {
+    fsda_telemetry::counter("serve.batches_rejected", 1);
+    e
 }
 
 /// Fit-time variant of [`sanitize_batch`]: no normalizer exists yet, so

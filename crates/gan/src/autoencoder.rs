@@ -123,6 +123,7 @@ impl VanillaAe {
 impl Reconstructor for VanillaAe {
     fn fit(&mut self, x_inv: &Matrix, x_var: &Matrix, y_onehot: &Matrix) -> Result<()> {
         validate_fit(x_inv, x_var, y_onehot)?;
+        let _span = fsda_telemetry::SpanTimer::new("gan.vanilla_ae.fit.seconds");
         let (d_inv, d_var) = (x_inv.cols(), x_var.cols());
         let mut rng = SeededRng::new(self.seed);
         let mut net = self.build_net(d_inv, d_var, &mut rng);

@@ -190,6 +190,7 @@ impl CondGan {
 impl Reconstructor for CondGan {
     fn fit(&mut self, x_inv: &Matrix, x_var: &Matrix, y_onehot: &Matrix) -> Result<()> {
         validate_fit(x_inv, x_var, y_onehot)?;
+        let _span = fsda_telemetry::SpanTimer::new("gan.cond_gan.fit.seconds");
         let (d_inv, d_var) = (x_inv.cols(), x_var.cols());
         let label_dim = if self.config.condition_on_label {
             y_onehot.cols()

@@ -123,6 +123,7 @@ impl Vae {
 impl Reconstructor for Vae {
     fn fit(&mut self, x_inv: &Matrix, x_var: &Matrix, y_onehot: &Matrix) -> Result<()> {
         validate_fit(x_inv, x_var, y_onehot)?;
+        let _span = fsda_telemetry::SpanTimer::new("gan.vae.fit.seconds");
         let (d_inv, d_var) = (x_inv.cols(), x_var.cols());
         let zd = self.config.latent_dim;
         let h = self.config.hidden;

@@ -162,11 +162,7 @@ pub fn sym_eigen(a: &Matrix) -> Result<(Vec<f64>, Matrix)> {
     }
     let mut order: Vec<usize> = (0..n).collect();
     let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
-    order.sort_by(|&i, &j| {
-        diag[j]
-            .partial_cmp(&diag[i])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&i, &j| diag[j].total_cmp(&diag[i]));
     let eigenvalues: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
     let eigenvectors = v.select_cols(&order);
     Ok((eigenvalues, eigenvectors))

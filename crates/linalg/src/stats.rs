@@ -292,8 +292,8 @@ pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
     }
     let mut sa: Vec<f64> = a.to_vec();
     let mut sb: Vec<f64> = b.to_vec();
-    sa.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
-    sb.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
     let (na, nb) = (sa.len() as f64, sb.len() as f64);
     let (mut i, mut j) = (0usize, 0usize);
     let mut d: f64 = 0.0;

@@ -74,6 +74,12 @@ pub fn class_scores(y_true: &[usize], y_pred: &[usize], num_classes: usize) -> C
 /// The paper reports F1 scores in `[0, 100]`-style percentages; this
 /// function returns the `[0, 1]` value — multiply by 100 for table output.
 ///
+/// Zero-support classes — present in `y_pred` but absent from `y_true` —
+/// are excluded from the average rather than contributing a `0/0`
+/// division, and an empty input returns `0.0`; the result is always
+/// finite, so a degenerate evaluation batch can never leak NaN into a
+/// report.
+///
 /// # Panics
 ///
 /// As [`confusion_matrix`].
@@ -93,7 +99,9 @@ pub fn macro_f1(y_true: &[usize], y_pred: &[usize], num_classes: usize) -> f64 {
     sum / count as f64
 }
 
-/// Plain accuracy.
+/// Plain accuracy. An empty input returns `0.0` (not the `0/0` NaN a
+/// naive hits/total would produce), so empty evaluation slices are safe
+/// to aggregate.
 ///
 /// # Panics
 ///
@@ -196,5 +204,42 @@ mod tests {
     fn empty_inputs() {
         assert_eq!(accuracy(&[], &[]), 0.0);
         assert_eq!(macro_f1(&[], &[], 3), 0.0);
+    }
+
+    // Regression: accuracy on an empty slice must be a well-defined finite
+    // value, not the NaN of a naive hits/len division.
+    #[test]
+    fn accuracy_empty_slice_is_finite_zero() {
+        let acc = accuracy(&[], &[]);
+        assert!(acc.is_finite(), "empty accuracy must not be NaN");
+        assert_eq!(acc, 0.0);
+    }
+
+    // Regression: a class present only in y_pred has zero support in
+    // y_true; its 0/0 precision-recall cell must not propagate NaN into
+    // the macro average (or the weighted one).
+    #[test]
+    fn macro_f1_pred_only_class_is_finite() {
+        let y_true = vec![0, 0, 0];
+        let y_pred = vec![1, 1, 1]; // class 1 never occurs in y_true
+        let f1 = macro_f1(&y_true, &y_pred, 2);
+        assert!(f1.is_finite(), "zero-support class must not yield NaN");
+        assert_eq!(f1, 0.0, "only class 0 counts, and it was never hit");
+        let wf1 = weighted_f1(&y_true, &y_pred, 2);
+        assert!(wf1.is_finite());
+        assert_eq!(wf1, 0.0);
+        // Every per-class score stays finite too.
+        let scores = class_scores(&y_true, &y_pred, 2);
+        assert!(scores.precision.iter().all(|v| v.is_finite()));
+        assert!(scores.recall.iter().all(|v| v.is_finite()));
+        assert!(scores.f1.iter().all(|v| v.is_finite()));
+        assert_eq!(scores.support, vec![3, 0]);
+    }
+
+    // Regression companion: the all-empty num_classes=0 corner.
+    #[test]
+    fn zero_classes_never_divides() {
+        assert_eq!(macro_f1(&[], &[], 0), 0.0);
+        assert_eq!(weighted_f1(&[], &[], 0), 0.0);
     }
 }

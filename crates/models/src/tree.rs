@@ -285,7 +285,7 @@ impl DecisionTree {
         for &f in &features {
             sortable.clear();
             sortable.extend(indices.iter().map(|&i| (x.get(i, f), i)));
-            sortable.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            sortable.sort_by(|a, b| a.0.total_cmp(&b.0));
             let mut left_w = vec![0.0; self.num_classes];
             let mut left_total = 0.0;
             let mut left_count = 0usize;
@@ -557,7 +557,7 @@ impl RegressionTree {
         for &f in &features {
             sortable.clear();
             sortable.extend(indices.iter().map(|&i| (x.get(i, f), i)));
-            sortable.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            sortable.sort_by(|a, b| a.0.total_cmp(&b.0));
             let mut gl = 0.0;
             let mut hl = 0.0;
             for k in 0..sortable.len() - 1 {

@@ -68,7 +68,7 @@ proptest! {
             let pred = probs
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .unwrap()
                 .0;
             prop_assert_eq!(pred, label);

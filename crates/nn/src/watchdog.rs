@@ -133,6 +133,11 @@ impl DivergenceWatchdog {
         loss: f64,
         nets: &mut [&mut Sequential],
     ) -> WatchdogVerdict {
+        // Per-epoch training telemetry: observe() is the one place every
+        // guarded fit loop reports each epoch, so the counters live here
+        // rather than in each loop.
+        fsda_telemetry::counter("nn.train.epochs", 1);
+        fsda_telemetry::gauge("nn.train.epoch_loss", loss);
         if !self.config.enabled {
             return WatchdogVerdict::Proceed;
         }
@@ -155,6 +160,15 @@ impl DivergenceWatchdog {
         };
         if restorable {
             self.rollbacks += 1;
+            fsda_telemetry::counter("nn.watchdog.rollbacks", 1);
+            fsda_telemetry::event(
+                "nn.watchdog.rollback",
+                &[
+                    ("epoch", fsda_telemetry::Value::from(epoch)),
+                    ("loss", fsda_telemetry::Value::from(loss)),
+                    ("rollbacks", fsda_telemetry::Value::from(self.rollbacks)),
+                ],
+            );
             WatchdogVerdict::RolledBack
         } else {
             // Even on abort, leave the networks holding the last finite
@@ -165,6 +179,14 @@ impl DivergenceWatchdog {
                 }
             }
             self.diverged_at = Some(epoch);
+            fsda_telemetry::counter("nn.watchdog.aborts", 1);
+            fsda_telemetry::event(
+                "nn.watchdog.abort",
+                &[
+                    ("epoch", fsda_telemetry::Value::from(epoch)),
+                    ("loss", fsda_telemetry::Value::from(loss)),
+                ],
+            );
             WatchdogVerdict::Abort
         }
     }

@@ -1,0 +1,169 @@
+//! Streaming JSON-lines event sink.
+
+use std::io::Write;
+use std::sync::{Mutex, PoisonError};
+
+use crate::recorder::Recorder;
+use crate::Value;
+
+/// A recorder that writes every emission as one JSON object per line.
+///
+/// This is the structured-events path: unlike [`crate::InMemoryRecorder`]
+/// it preserves event fields and emission order, at the cost of a write
+/// per call. Point it at a file (or any `Write`) to get a replayable
+/// operational log:
+///
+/// ```text
+/// {"kind":"counter","name":"causal.pc.ci_tests","delta":1284}
+/// {"kind":"event","name":"nn.watchdog.rollback","fields":{"epoch":12,"loss":null}}
+/// ```
+///
+/// Write errors are deliberately swallowed: telemetry is advisory and
+/// must never take the pipeline down.
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        JsonLinesSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        let mut w = self
+            .out
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        let _ = w.flush();
+        w
+    }
+
+    fn write_line(&self, line: &str) {
+        if let Ok(mut w) = self.out.lock() {
+            let _ = writeln!(w, "{line}");
+        }
+    }
+}
+
+impl<W: Write + Send> Recorder for JsonLinesSink<W> {
+    fn counter(&self, name: &str, delta: u64) {
+        self.write_line(&format!(
+            "{{\"kind\":\"counter\",\"name\":\"{}\",\"delta\":{delta}}}",
+            escape(name)
+        ));
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        self.write_line(&format!(
+            "{{\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+            escape(name),
+            Value::Float(value).to_json()
+        ));
+    }
+
+    fn duration(&self, name: &str, seconds: f64) {
+        self.write_line(&format!(
+            "{{\"kind\":\"duration\",\"name\":\"{}\",\"seconds\":{}}}",
+            escape(name),
+            Value::Float(seconds).to_json()
+        ));
+    }
+
+    fn event(&self, name: &str, fields: &[(&str, Value)]) {
+        let mut line = format!(
+            "{{\"kind\":\"event\",\"name\":\"{}\",\"fields\":{{",
+            escape(name)
+        );
+        for (i, (key, value)) in fields.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push('"');
+            line.push_str(&escape(key));
+            line.push_str("\":");
+            line.push_str(&value.to_json());
+        }
+        line.push_str("}}");
+        self.write_line(&line);
+    }
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn lines(sink: JsonLinesSink<Vec<u8>>) -> Vec<String> {
+        String::from_utf8(sink.into_inner())
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn emits_one_json_object_per_line() {
+        let sink = JsonLinesSink::new(Vec::new());
+        sink.counter("c", 3);
+        sink.gauge("g", 1.5);
+        sink.duration("d", 0.25);
+        sink.event(
+            "e",
+            &[
+                ("epoch", Value::from(4i64)),
+                ("loss", Value::from(f64::NAN)),
+            ],
+        );
+        let lines = lines(sink);
+        assert_eq!(
+            lines,
+            vec![
+                r#"{"kind":"counter","name":"c","delta":3}"#,
+                r#"{"kind":"gauge","name":"g","value":1.5}"#,
+                r#"{"kind":"duration","name":"d","seconds":0.25}"#,
+                r#"{"kind":"event","name":"e","fields":{"epoch":4,"loss":null}}"#,
+            ]
+        );
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let sink = JsonLinesSink::new(Vec::new());
+        sink.counter("a\"b\\c\nd\u{1}", 1);
+        let lines = lines(sink);
+        assert_eq!(
+            lines[0],
+            "{\"kind\":\"counter\",\"name\":\"a\\\"b\\\\c\\nd\\u0001\",\"delta\":1}"
+        );
+    }
+
+    #[test]
+    fn no_snapshot() {
+        let sink = JsonLinesSink::new(Vec::new());
+        assert!(sink.snapshot().is_none());
+    }
+}

@@ -1,0 +1,141 @@
+//! Dependency-free instrumentation for the fsda pipeline.
+//!
+//! The workspace is fully offline, so this crate implements the minimal
+//! observability surface the serving stack needs with nothing but `std`:
+//!
+//! * a [`Recorder`] trait with four primitives — monotonically increasing
+//!   **counters**, last-value **gauges**, **duration** histograms, and
+//!   structured **events**;
+//! * three recorders: [`NoopRecorder`] (the default when nothing is
+//!   installed — emission short-circuits on a relaxed atomic load),
+//!   [`InMemoryRecorder`] (aggregates into a [`Snapshot`] for health
+//!   reports and tests), and [`JsonLinesSink`] (streams every emission as
+//!   one JSON object per line to any `Write`);
+//! * a process-wide recorder slot ([`set_recorder`] / [`clear_recorder`])
+//!   with free emission functions ([`counter`], [`gauge`], [`duration`],
+//!   [`event`]) and a span-style scoped timer ([`SpanTimer`]) that callers
+//!   across the workspace use without threading a handle through every
+//!   signature.
+//!
+//! Instrumented code follows one rule to keep the disabled path free:
+//! emit *aggregates*, never per-element values. The causal engines count
+//! CI tests locally and report one counter per search; serving counts
+//! repaired cells per batch, not per cell. With no recorder installed a
+//! call site costs one atomic load and no `Instant::now()`.
+//!
+//! Metric names are dot-separated lowercase paths, e.g.
+//! `pipeline.fit.seconds`, `causal.pc.ci_tests`, `serve.cells_imputed`.
+//! Per-method names append the method slug: `pipeline.predict.fs_gan`.
+
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+mod global;
+mod jsonl;
+mod memory;
+mod recorder;
+
+pub use global::{
+    clear_recorder, counter, duration, enabled, event, gauge, set_recorder, with_recorder,
+    SpanTimer,
+};
+pub use jsonl::JsonLinesSink;
+pub use memory::{Histogram, InMemoryRecorder, Snapshot, HISTOGRAM_BUCKETS};
+pub use recorder::{NoopRecorder, Recorder};
+
+/// A field value attached to a structured [`Recorder::event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Signed integer field.
+    Int(i64),
+    /// Floating-point field. Non-finite values serialize as JSON `null`.
+    Float(f64),
+    /// String field.
+    Str(String),
+    /// Boolean field.
+    Bool(bool),
+}
+
+impl Value {
+    /// Renders the value as a JSON fragment.
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) if v.is_finite() => {
+                let mut s = v.to_string();
+                // `f64::to_string` prints integral floats without a dot;
+                // keep the JSON type unambiguous for downstream readers.
+                if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+                    s.push_str(".0");
+                }
+                s
+            }
+            Value::Float(_) => "null".to_string(),
+            Value::Str(v) => format!("\"{}\"", jsonl::escape(v)),
+            Value::Bool(v) => v.to_string(),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_json_fragments() {
+        assert_eq!(Value::from(3i64).to_json(), "3");
+        assert_eq!(Value::from(2.5f64).to_json(), "2.5");
+        assert_eq!(Value::from(2.0f64).to_json(), "2.0");
+        assert_eq!(Value::from(f64::NAN).to_json(), "null");
+        assert_eq!(Value::from(true).to_json(), "true");
+        assert_eq!(Value::from("a\"b").to_json(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn u64_saturates_into_int() {
+        assert_eq!(Value::from(u64::MAX), Value::Int(i64::MAX));
+    }
+}

@@ -1,0 +1,368 @@
+//! The aggregating [`InMemoryRecorder`] and its [`Snapshot`] /
+//! [`Histogram`] views.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, PoisonError};
+
+use crate::recorder::Recorder;
+use crate::Value;
+
+/// Number of decade buckets in a [`Histogram`]: bucket `i` holds
+/// observations in `[10^(i-9), 10^(i-8))` seconds, so the range spans
+/// 1 ns up to ≥ 1000 s with the two end buckets catching the tails.
+pub const HISTOGRAM_BUCKETS: usize = 13;
+
+/// A fixed-bucket duration histogram (seconds, decade buckets).
+///
+/// Tracks count / sum / min / max exactly; the buckets give the shape at
+/// order-of-magnitude resolution, which is all a health report needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations, in seconds.
+    pub sum: f64,
+    /// Smallest observation (`f64::INFINITY` when empty).
+    pub min: f64,
+    /// Largest observation (`f64::NEG_INFINITY` when empty).
+    pub max: f64,
+    /// Decade buckets; see [`HISTOGRAM_BUCKETS`].
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation. Non-finite or negative values are counted
+    /// but excluded from sum/min/max so a stray NaN cannot poison the
+    /// aggregate.
+    pub fn record(&mut self, seconds: f64) {
+        self.count += 1;
+        if !seconds.is_finite() || seconds < 0.0 {
+            return;
+        }
+        self.sum += seconds;
+        self.min = self.min.min(seconds);
+        self.max = self.max.max(seconds);
+        self.buckets[bucket_index(seconds)] += 1;
+    }
+
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+}
+
+fn bucket_index(seconds: f64) -> usize {
+    if seconds <= 0.0 {
+        return 0;
+    }
+    let decade = seconds.log10().floor() as i64 + 9; // 1 ns → bucket 0
+    decade.clamp(0, HISTOGRAM_BUCKETS as i64 - 1) as usize
+}
+
+/// An aggregated, point-in-time view of everything a recorder has seen.
+///
+/// Maps are `BTreeMap`s so rendering is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last gauge value by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Duration histograms by name.
+    pub durations: BTreeMap<String, Histogram>,
+    /// Event occurrence counts by name (fields are not aggregated; use
+    /// [`crate::JsonLinesSink`] to capture full event payloads).
+    pub events: BTreeMap<String, u64>,
+}
+
+impl Snapshot {
+    /// Counter total, 0 when never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Last gauge value, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Duration histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.durations.get(name)
+    }
+
+    /// Number of times the event `name` fired.
+    pub fn events_count(&self, name: &str) -> u64 {
+        self.events.get(name).copied().unwrap_or(0)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.durations.is_empty()
+            && self.events.is_empty()
+    }
+
+    /// Renders a deterministic plain-text report, one metric per line,
+    /// suitable for appending to a health report or printing from an
+    /// example binary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter  {name} = {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "gauge    {name} = {v:.6}");
+        }
+        for (name, h) in &self.durations {
+            let _ = writeln!(
+                out,
+                "duration {name}: count={} mean={} min={} max={}",
+                h.count,
+                format_seconds(h.mean()),
+                format_seconds(if h.count == 0 { 0.0 } else { h.min }),
+                format_seconds(if h.count == 0 { 0.0 } else { h.max }),
+            );
+        }
+        for (name, v) in &self.events {
+            let _ = writeln!(out, "event    {name} x{v}");
+        }
+        out
+    }
+
+    /// Merges another snapshot into this one (counters and events add,
+    /// gauges take the other's value, histograms merge).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.durations {
+            self.durations.entry(k.clone()).or_default().merge(h);
+        }
+        for (k, v) in &other.events {
+            *self.events.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+}
+
+/// Formats a duration in seconds with an adaptive unit so sub-millisecond
+/// stage timings stay readable next to multi-second fits.
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3}us", s * 1e6)
+    } else {
+        format!("{:.0}ns", s * 1e9)
+    }
+}
+
+/// A thread-safe recorder that aggregates everything into a [`Snapshot`].
+///
+/// One mutex guards the whole snapshot; instrumented code emits aggregates
+/// (per batch / per search, never per element), so contention is
+/// negligible and the lock hold time is a map update.
+#[derive(Debug, Default)]
+pub struct InMemoryRecorder {
+    inner: Mutex<Snapshot>,
+}
+
+impl InMemoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Snapshot> {
+        // Telemetry must keep working even if a panic unwound through an
+        // emission elsewhere; the aggregate state is always consistent.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Returns the current aggregate without clearing it.
+    pub fn snapshot_now(&self) -> Snapshot {
+        self.lock().clone()
+    }
+
+    /// Returns the current aggregate and resets the recorder to empty.
+    pub fn take(&self) -> Snapshot {
+        std::mem::take(&mut *self.lock())
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    fn counter(&self, name: &str, delta: u64) {
+        let mut s = self.lock();
+        match s.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                s.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        let mut s = self.lock();
+        match s.gauges.get_mut(name) {
+            Some(v) => *v = value,
+            None => {
+                s.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    fn duration(&self, name: &str, seconds: f64) {
+        let mut s = self.lock();
+        match s.durations.get_mut(name) {
+            Some(h) => h.record(seconds),
+            None => {
+                let mut h = Histogram::default();
+                h.record(seconds);
+                s.durations.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    fn event(&self, name: &str, _fields: &[(&str, Value)]) {
+        let mut s = self.lock();
+        match s.events.get_mut(name) {
+            Some(v) => *v += 1,
+            None => {
+                s.events.insert(name.to_string(), 1);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Option<Snapshot> {
+        Some(self.snapshot_now())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_all_primitives() {
+        let r = InMemoryRecorder::new();
+        r.counter("c", 2);
+        r.counter("c", 3);
+        r.gauge("g", 1.0);
+        r.gauge("g", 7.5);
+        r.duration("d", 0.010);
+        r.duration("d", 0.030);
+        r.event("e", &[]);
+        r.event("e", &[("k", Value::from(1i64))]);
+
+        let s = r.snapshot().unwrap();
+        assert_eq!(s.counter("c"), 5);
+        assert_eq!(s.gauge("g"), Some(7.5));
+        let h = s.histogram("d").unwrap();
+        assert_eq!(h.count, 2);
+        assert!((h.sum - 0.040).abs() < 1e-12);
+        assert!((h.mean() - 0.020).abs() < 1e-12);
+        assert!((h.min - 0.010).abs() < 1e-12);
+        assert!((h.max - 0.030).abs() < 1e-12);
+        assert_eq!(s.events_count("e"), 2);
+        assert_eq!(s.counter("missing"), 0);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn take_resets() {
+        let r = InMemoryRecorder::new();
+        r.counter("c", 1);
+        assert_eq!(r.take().counter("c"), 1);
+        assert!(r.snapshot_now().is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_by_decade() {
+        let mut h = Histogram::default();
+        h.record(2e-9); // bucket 0
+        h.record(5e-4); // bucket 5 (1e-4..1e-3)
+        h.record(3.0); // bucket 9 (1..10)
+        h.record(1e9); // clamped to last bucket
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[5], 1);
+        assert_eq!(h.buckets[9], 1);
+        assert_eq!(h.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(h.count, 4);
+    }
+
+    #[test]
+    fn histogram_ignores_nan_in_aggregates() {
+        let mut h = Histogram::default();
+        h.record(f64::NAN);
+        h.record(-1.0);
+        h.record(0.5);
+        assert_eq!(h.count, 3);
+        assert!((h.sum - 0.5).abs() < 1e-12);
+        assert!((h.min - 0.5).abs() < 1e-12);
+        assert!((h.max - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_readable() {
+        let r = InMemoryRecorder::new();
+        r.counter("b.count", 4);
+        r.counter("a.count", 1);
+        r.duration("z.seconds", 0.5);
+        let text = r.snapshot_now().render();
+        let a = text.find("a.count").unwrap();
+        let b = text.find("b.count").unwrap();
+        assert!(a < b, "BTreeMap order: {text}");
+        assert!(text.contains("count=1 mean=500.000ms"), "{text}");
+    }
+
+    #[test]
+    fn merge_combines_snapshots() {
+        let a = InMemoryRecorder::new();
+        a.counter("c", 1);
+        a.duration("d", 1.0);
+        let b = InMemoryRecorder::new();
+        b.counter("c", 2);
+        b.duration("d", 3.0);
+        b.gauge("g", 9.0);
+        let mut s = a.snapshot_now();
+        s.merge(&b.snapshot_now());
+        assert_eq!(s.counter("c"), 3);
+        assert_eq!(s.histogram("d").unwrap().count, 2);
+        assert_eq!(s.gauge("g"), Some(9.0));
+    }
+}

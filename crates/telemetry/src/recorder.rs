@@ -1,0 +1,64 @@
+//! The [`Recorder`] trait and the always-off [`NoopRecorder`].
+
+use crate::memory::Snapshot;
+use crate::Value;
+
+/// Sink for telemetry emissions.
+///
+/// Implementations must be cheap and must never panic: instrumentation is
+/// advisory, and a broken recorder must not take the pipeline down with
+/// it. All methods take `&self`; recorders own their interior mutability
+/// (the in-memory recorder uses a mutex, the JSON-lines sink a locked
+/// writer).
+pub trait Recorder: Send + Sync {
+    /// Adds `delta` to the monotonically increasing counter `name`.
+    fn counter(&self, name: &str, delta: u64);
+
+    /// Sets the gauge `name` to `value` (last write wins).
+    fn gauge(&self, name: &str, value: f64);
+
+    /// Records one observation of `seconds` into the duration histogram
+    /// `name`.
+    fn duration(&self, name: &str, seconds: f64);
+
+    /// Records a structured event with the given fields.
+    fn event(&self, name: &str, fields: &[(&str, Value)]);
+
+    /// Returns an aggregated view of everything recorded so far, if this
+    /// recorder aggregates at all. Streaming sinks return `None`.
+    fn snapshot(&self) -> Option<Snapshot> {
+        None
+    }
+}
+
+/// A recorder that discards everything.
+///
+/// Useful as an explicit stand-in where a `&dyn Recorder` is required;
+/// when *no* recorder is installed globally the emission functions
+/// short-circuit before any dispatch, so installing `NoopRecorder` is
+/// never necessary for performance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn counter(&self, _name: &str, _delta: u64) {}
+    fn gauge(&self, _name: &str, _value: f64) {}
+    fn duration(&self, _name: &str, _seconds: f64) {}
+    fn event(&self, _name: &str, _fields: &[(&str, Value)]) {}
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_discards_and_has_no_snapshot() {
+        let r = NoopRecorder;
+        r.counter("a", 1);
+        r.gauge("b", 2.0);
+        r.duration("c", 0.5);
+        r.event("d", &[("k", Value::from(1i64))]);
+        assert!(r.snapshot().is_none());
+    }
+}

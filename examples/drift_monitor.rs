@@ -3,19 +3,28 @@
 //! evolves through two successive target domains, only the lightweight
 //! FS+GAN front-end is re-fit — the classifier is never touched.
 //!
+//! The monitor runs with the aggregating telemetry recorder installed:
+//! each re-adaptation's causal-search effort (CI-test counts, per-stage
+//! timings), GAN training time, and epoch/watchdog activity lands in one
+//! snapshot, printed at the end — what a long-lived monitor would export.
+//!
 //! Run with: `cargo run --release --example drift_monitor`
 
 use fsda::core::adapter::{build_classifier, AdapterConfig, Budget, FsGanAdapter};
 use fsda::core::drift::{DriftConfig, DriftDetector};
+use fsda::core::telemetry::{self, InMemoryRecorder};
 use fsda::data::fewshot::few_shot_indices;
 use fsda::data::normalize::{NormKind, Normalizer};
 use fsda::data::synth5gipc::{Synth5gipc, NUM_GROUPS};
 use fsda::linalg::SeededRng;
 use fsda::models::metrics::macro_f1;
 use fsda::models::ClassifierKind;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== drift monitor: one classifier, two successive drifts ==\n");
+    let recorder = Arc::new(InMemoryRecorder::new());
+    telemetry::set_recorder(recorder.clone());
     let bundle = Synth5gipc::small().generate_three_domain(5)?;
 
     // The long-lived network-management model: trained once on source.
@@ -95,5 +104,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         v2.len(),
         shared
     );
+
+    // Everything the two re-adaptations cost, in one exportable block:
+    // causal CI-test counts and stage timings, GAN fit seconds, NN
+    // epochs, and any watchdog rollbacks that fired along the way.
+    println!("\n== telemetry snapshot ==");
+    print!("{}", recorder.snapshot_now().render());
+    telemetry::clear_recorder();
     Ok(())
 }

@@ -4,20 +4,33 @@
 //! stream of target batches — no retraining, no refitting, and no
 //! method-specific code anywhere in the serving loop.
 //!
+//! The demo also installs the aggregating telemetry recorder, so the
+//! run ends with the operational picture a dashboard would scrape:
+//! per-method request counts, repair/rejection tallies, and latency
+//! histograms for every fit and predict that happened.
+//!
 //! Run with: `cargo run --release --example serve_demo`
 
 use fsda::core::adapter::AdapterConfig;
 use fsda::core::pipeline::{self, DriftMitigator};
-use fsda::core::{GuardConfig, InputPolicy, Method};
+use fsda::core::telemetry::{self, InMemoryRecorder};
+use fsda::core::{report, GuardConfig, InputPolicy, Method};
 use fsda::data::fewshot::few_shot_subset;
 use fsda::data::synth5gc::Synth5gc;
 use fsda::linalg::SeededRng;
 use fsda::models::metrics::macro_f1;
 use fsda::models::ClassifierKind;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== fsda serve demo ==\n");
+
+    // Everything below — training, restore, every guarded request —
+    // aggregates into this recorder at negligible cost; with no
+    // recorder installed, every emission site is one atomic load.
+    let recorder = Arc::new(InMemoryRecorder::new());
+    telemetry::set_recorder(recorder.clone());
 
     // ---------------------------------------------------------------
     // Offline: build the paper's method from the registry, fit it once,
@@ -102,6 +115,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         total_rows,
         total_rows as f64 / total_secs.max(1e-12)
     );
+
+    // The pipeline-health report folds the recorder's snapshot in: one
+    // string with the fit summary and every counter, gauge, histogram,
+    // and event the run produced.
+    println!("\n== pipeline health ==");
+    println!("{}", report::format_pipeline_health(served.as_ref()));
+    telemetry::clear_recorder();
 
     std::fs::remove_file(&path)?;
     Ok(())

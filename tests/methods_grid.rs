@@ -50,7 +50,7 @@ fn all_thirteen_methods_run_and_ours_lead() {
 
     // Shape: our methods lead, SrcOnly trails badly — Table I's outcome.
     let mut means = method_means(&grid, 5);
-    means.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    means.sort_by(|a, b| b.1.total_cmp(&a.1));
     let score = |m: Method| {
         means
             .iter()

@@ -1,0 +1,240 @@
+//! The telemetry contract: every registered [`Method`] must emit its
+//! `pipeline.fit.{slug}` / `pipeline.predict.{slug}` counters and the
+//! shared fit/predict latency histograms when driven through the uniform
+//! [`DriftMitigator`] interface, and the aggregating recorder's counts
+//! must match the engines' own ground truth (the CI-test counters equal
+//! the `tests_run` the searches report; the serving counters equal the
+//! repairs the guard actually performed).
+//!
+//! The recorder slot is process-wide, so every test here serializes on
+//! one mutex and installs a fresh [`InMemoryRecorder`] for its own
+//! assertions.
+
+use fsda::causal::ci::FisherZ;
+use fsda::causal::fnode::{find_intervened_features, FnodeConfig};
+use fsda::causal::pc::{pc, PcConfig};
+use fsda::core::adapter::{AdapterConfig, Budget};
+use fsda::core::telemetry::{self, InMemoryRecorder};
+use fsda::core::{GuardConfig, InputPolicy, Method};
+use fsda::data::fewshot::few_shot_subset;
+use fsda::data::synth5gc::Synth5gc;
+use fsda::linalg::{Matrix, SeededRng};
+use fsda::models::ClassifierKind;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Serializes the tests in this binary: the recorder slot is global, and
+/// two tests recording concurrently would see each other's emissions.
+fn telemetry_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Every method the registry serves: Table I plus the Table II ablations.
+fn all_methods() -> Vec<Method> {
+    let mut methods: Vec<Method> = Method::TABLE1.to_vec();
+    for m in Method::TABLE2 {
+        if !methods.contains(&m) {
+            methods.push(m);
+        }
+    }
+    methods
+}
+
+/// The contract is about emission, not model quality: minimum budget.
+fn tiny_config() -> AdapterConfig {
+    AdapterConfig {
+        classifier: ClassifierKind::Mlp,
+        budget: Budget {
+            nn_epochs: 3,
+            gan_epochs: 20,
+            emb_epochs: 3,
+            forest_trees: 5,
+            gbdt_rounds: 3,
+            threads: 2,
+        },
+        ..AdapterConfig::default()
+    }
+}
+
+/// Chain-correlated Gaussian data for the causal searches.
+fn chain_data(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = SeededRng::new(seed);
+    let mut m = Matrix::zeros(n, d);
+    for r in 0..n {
+        for c in 0..d {
+            let v = if c == 0 {
+                rng.normal(0.0, 1.0)
+            } else {
+                0.7 * m.get(r, c - 1) + rng.normal(0.0, 0.7)
+            };
+            m.set(r, c, v);
+        }
+    }
+    m
+}
+
+#[test]
+fn every_method_emits_fit_and_predict_telemetry() {
+    let _guard = telemetry_lock();
+    let bundle = Synth5gc::small().generate(61).unwrap();
+    let mut rng = SeededRng::new(62);
+    let shots = few_shot_subset(&bundle.target_pool, 10, &mut rng).unwrap();
+    let test = bundle.target_test.features();
+    let config = tiny_config();
+
+    let recorder = Arc::new(InMemoryRecorder::new());
+    telemetry::set_recorder(recorder.clone());
+
+    let methods = all_methods();
+    for (i, &method) in methods.iter().enumerate() {
+        let before = recorder.snapshot_now();
+        let mut mitigator = method.build(&config, 63 + i as u64);
+        mitigator
+            .fit(&bundle.source_train, &shots)
+            .unwrap_or_else(|e| panic!("{method}: fit failed: {e}"));
+        let pred = mitigator.predict(test);
+        assert_eq!(pred.len(), test.rows());
+        let after = recorder.snapshot_now();
+
+        let slug = method.slug();
+        let fit_name = format!("pipeline.fit.{slug}");
+        let predict_name = format!("pipeline.predict.{slug}");
+        assert_eq!(
+            after.counter(&fit_name) - before.counter(&fit_name),
+            1,
+            "{method}: fit must bump {fit_name} exactly once"
+        );
+        assert_eq!(
+            after.counter(&predict_name) - before.counter(&predict_name),
+            1,
+            "{method}: predict must bump {predict_name} exactly once"
+        );
+    }
+
+    // The shared latency histograms saw every call: one fit and one
+    // predict per method, no more (internal stages never re-enter the
+    // trait entry points, so nothing double-counts).
+    let end = recorder.snapshot_now();
+    let fit_hist = end
+        .histogram("pipeline.fit.seconds")
+        .expect("fit histogram must exist");
+    assert_eq!(fit_hist.count, methods.len() as u64);
+    let predict_hist = end
+        .histogram("pipeline.predict.seconds")
+        .expect("predict histogram must exist");
+    assert_eq!(predict_hist.count, methods.len() as u64);
+
+    telemetry::clear_recorder();
+}
+
+#[test]
+fn pc_search_counter_matches_reported_tests() {
+    let _guard = telemetry_lock();
+    let data = chain_data(200, 12, 7);
+    let test = FisherZ::new(&data).unwrap();
+    let config = PcConfig {
+        alpha: 0.01,
+        max_cond_size: 2,
+        parallel: false,
+        num_threads: None,
+    };
+
+    let recorder = Arc::new(InMemoryRecorder::new());
+    telemetry::set_recorder(recorder.clone());
+    let result = pc(&test, &config).unwrap();
+    telemetry::clear_recorder();
+
+    let snapshot = recorder.snapshot_now();
+    assert_eq!(
+        snapshot.counter("causal.pc.ci_tests"),
+        result.tests_run as u64,
+        "the telemetry counter must equal the search's own tally"
+    );
+    assert_eq!(snapshot.counter("causal.pc.searches"), 1);
+    // Depth 0 always runs; its timing must have been recorded.
+    let depth0 = snapshot
+        .histogram("causal.pc.depth0.seconds")
+        .expect("depth-0 timing must exist");
+    assert_eq!(depth0.count, 1);
+}
+
+#[test]
+fn fnode_search_counter_matches_reported_tests() {
+    let _guard = telemetry_lock();
+    let source = chain_data(150, 8, 11);
+    // Target: same process, two features shifted — gives the search
+    // genuine variant candidates to chew through.
+    let mut target = chain_data(150, 8, 12);
+    for r in 0..target.rows() {
+        target.set(r, 2, target.get(r, 2) + 3.0);
+        target.set(r, 5, target.get(r, 5) + 3.0);
+    }
+    let config = FnodeConfig::default();
+
+    let recorder = Arc::new(InMemoryRecorder::new());
+    telemetry::set_recorder(recorder.clone());
+    let result = find_intervened_features(&source, &target, &config).unwrap();
+    telemetry::clear_recorder();
+
+    let snapshot = recorder.snapshot_now();
+    assert_eq!(
+        snapshot.counter("causal.fnode.ci_tests"),
+        result.tests_run as u64,
+        "the telemetry counter must equal the search's own tally"
+    );
+    assert_eq!(snapshot.counter("causal.fnode.searches"), 1);
+    assert_eq!(
+        snapshot.gauge("causal.fnode.variant_features"),
+        Some(result.variant.len() as f64),
+        "the gauge must report the variant-set size the search returned"
+    );
+}
+
+#[test]
+fn guarded_serving_counters_match_repairs() {
+    let _guard = telemetry_lock();
+    let bundle = Synth5gc::small().generate(61).unwrap();
+    let mut rng = SeededRng::new(62);
+    let shots = few_shot_subset(&bundle.target_pool, 10, &mut rng).unwrap();
+    let config = tiny_config();
+    let mut mitigator = Method::Fs.build(&config, 63);
+    mitigator.fit(&bundle.source_train, &shots).unwrap();
+
+    let clean = bundle.target_test.features().clone();
+    let mut dirty = clean.clone();
+    dirty.set(0, 0, f64::NAN);
+    dirty.set(1, 3, f64::NAN);
+
+    let recorder = Arc::new(InMemoryRecorder::new());
+    telemetry::set_recorder(recorder.clone());
+
+    // Clean batch, reject policy: a request, no repairs, no rejection.
+    let guard = GuardConfig::default();
+    mitigator
+        .try_predict_batch(&clean, Some(1), &guard)
+        .expect("clean batch must pass");
+    // Dirty batch, reject policy: counted as a rejected batch.
+    assert!(mitigator
+        .try_predict_batch(&dirty, Some(1), &guard)
+        .is_err());
+    // Dirty batch, impute policy: two cells repaired across two rows.
+    let repair = GuardConfig::default().with_policy(InputPolicy::ImputeSourceMean);
+    mitigator
+        .try_predict_batch(&dirty, Some(1), &repair)
+        .expect("imputing guard must repair the batch");
+
+    telemetry::clear_recorder();
+    let snapshot = recorder.snapshot_now();
+    let slug = Method::Fs.slug();
+    assert_eq!(
+        snapshot.counter(&format!("serve.requests.{slug}")),
+        3,
+        "every guarded request counts, rejected or not"
+    );
+    assert_eq!(snapshot.counter("serve.batches_rejected"), 1);
+    assert_eq!(snapshot.counter("serve.cells_imputed"), 2);
+    assert_eq!(snapshot.counter("serve.cells_clamped"), 0);
+    assert_eq!(snapshot.counter("serve.rows_repaired"), 2);
+}
