@@ -74,7 +74,13 @@ use fsda_linalg::Matrix;
 /// [`DriftMitigator::predict_batch`] is the serving path (one independent
 /// noise seed per row, bit-identical at every thread count). Deterministic
 /// mitigators serve both from the same code path.
-pub trait DriftMitigator: std::fmt::Debug + Send {
+///
+/// The trait requires `Send + Sync`: a fitted mitigator is immutable at
+/// serving time (all prediction entry points take `&self` and no
+/// implementation uses interior mutability), so the multi-tenant server can
+/// share one artifact across its shard threads and hot-swap it without
+/// copying (see the `fsda-serve` crate).
+pub trait DriftMitigator: std::fmt::Debug + Send + Sync {
     /// The [`Method`] this mitigator implements.
     fn method(&self) -> Method;
 

@@ -29,7 +29,7 @@
 //! does not stall the remaining work the way fixed chunking would.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 
 /// Resolves a requested worker count: `None` means "all available cores".
 ///
@@ -103,6 +103,173 @@ where
         .collect()
 }
 
+/// A job executed by a [`ShardPool`] worker. The worker passes its own
+/// shard index to the job so pinned per-shard state (epoch slots, scratch
+/// buffers) can be indexed without thread-locals.
+pub type ShardJob = Box<dyn FnOnce(usize) + Send + 'static>;
+
+/// Why a [`ShardPool::try_submit`] call could not enqueue a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The shard's bounded queue is at capacity — backpressure; the caller
+    /// should shed load or retry later.
+    Full,
+    /// The pool has shut down and the shard's worker is gone.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full => write!(f, "shard queue is full"),
+            SubmitError::Closed => write!(f, "shard pool has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct Shard {
+    tx: mpsc::SyncSender<ShardJob>,
+    depth: Arc<AtomicUsize>,
+}
+
+/// A persistent thread-per-shard worker pool with bounded per-shard queues.
+///
+/// Where [`par_map`] fans one batch out and joins, a `ShardPool` is the
+/// long-running counterpart: each shard owns one OS thread and one bounded
+/// FIFO queue, jobs submitted to the same shard execute **in submission
+/// order on the same thread**, and a full queue rejects instead of
+/// blocking ([`SubmitError::Full`]) so callers get typed backpressure
+/// rather than unbounded memory growth. This is the substrate the
+/// multi-tenant serving layer routes tenants over: tenant → shard is a
+/// stable assignment, so per-tenant request order is preserved and one
+/// hot tenant cannot starve the others' queues.
+///
+/// # Example
+///
+/// ```
+/// use fsda_linalg::par::ShardPool;
+/// use std::sync::mpsc;
+///
+/// let pool = ShardPool::new(2, 8);
+/// let (tx, rx) = mpsc::channel();
+/// pool.try_submit(1, Box::new(move |shard| tx.send(shard * 10).unwrap()))
+///     .unwrap();
+/// assert_eq!(rx.recv().unwrap(), 10);
+/// ```
+#[derive(Debug)]
+pub struct ShardPool {
+    shards: Vec<Shard>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("depth", &self.depth.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ShardPool {
+    /// Spawns `shards` worker threads (floored at 1), each with a bounded
+    /// queue of `queue_capacity` jobs (floored at 1).
+    pub fn new(shards: usize, queue_capacity: usize) -> ShardPool {
+        let shards = shards.max(1);
+        let capacity = queue_capacity.max(1);
+        let mut pool = ShardPool {
+            shards: Vec::with_capacity(shards),
+            handles: Vec::with_capacity(shards),
+        };
+        for shard_idx in 0..shards {
+            let (tx, rx) = mpsc::sync_channel::<ShardJob>(capacity);
+            let depth = Arc::new(AtomicUsize::new(0));
+            let worker_depth = Arc::clone(&depth);
+            let handle = std::thread::Builder::new()
+                .name(format!("fsda-shard-{shard_idx}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job(shard_idx);
+                        worker_depth.fetch_sub(1, Ordering::Release);
+                    }
+                })
+                .unwrap_or_else(|e| panic!("spawn shard worker {shard_idx}: {e}"));
+            pool.shards.push(Shard { tx, depth });
+            pool.handles.push(handle);
+        }
+        pool
+    }
+
+    /// Number of shards (worker threads) in the pool.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Jobs currently queued or executing on `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard >= self.shards()`.
+    pub fn queue_depth(&self, shard: usize) -> usize {
+        self.shards[shard].depth.load(Ordering::Acquire)
+    }
+
+    /// Enqueues `job` on `shard` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] when the shard's bounded queue is at capacity
+    /// and [`SubmitError::Closed`] after shutdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard >= self.shards()`.
+    pub fn try_submit(&self, shard: usize, job: ShardJob) -> Result<(), SubmitError> {
+        let s = &self.shards[shard];
+        // Count before sending so depth never under-reports an accepted
+        // job; undone on rejection.
+        s.depth.fetch_add(1, Ordering::Acquire);
+        match s.tx.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(mpsc::TrySendError::Full(_)) => {
+                s.depth.fetch_sub(1, Ordering::Release);
+                Err(SubmitError::Full)
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => {
+                s.depth.fetch_sub(1, Ordering::Release);
+                Err(SubmitError::Closed)
+            }
+        }
+    }
+
+    /// Drops the queues and joins every worker after it drains its shard.
+    /// `Drop` does the same; this form surfaces worker panics to the
+    /// caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked while running a job.
+    pub fn shutdown(mut self) {
+        self.shards.clear(); // close every sender: workers drain and exit
+        for handle in self.handles.drain(..) {
+            if let Err(e) = handle.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.shards.clear();
+        for handle in self.handles.drain(..) {
+            // Ignore worker panics during drop: propagating would abort.
+            let _ = handle.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +321,59 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn shard_jobs_run_in_submission_order() {
+        let pool = ShardPool::new(1, 64);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..32 {
+            let tx = tx.clone();
+            pool.try_submit(
+                0,
+                Box::new(move |shard| {
+                    assert_eq!(shard, 0);
+                    tx.send(i).unwrap();
+                }),
+            )
+            .unwrap();
+        }
+        let seen: Vec<i32> = (0..32).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(seen, (0..32).collect::<Vec<_>>());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn full_shard_queue_rejects_with_backpressure() {
+        let pool = ShardPool::new(1, 1);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        // Occupy the worker so subsequent jobs pile up in the queue.
+        pool.try_submit(
+            0,
+            Box::new(move |_| {
+                release_rx.recv().unwrap();
+            }),
+        )
+        .unwrap();
+        // The queue holds one job; keep submitting until the bound bites.
+        let mut rejected = false;
+        for _ in 0..4 {
+            if pool.try_submit(0, Box::new(|_| {})) == Err(SubmitError::Full) {
+                rejected = true;
+                break;
+            }
+        }
+        assert!(rejected, "bounded queue never pushed back");
+        assert!(pool.queue_depth(0) >= 1);
+        release_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shards_floor_at_one_and_report_counts() {
+        let pool = ShardPool::new(0, 0);
+        assert_eq!(pool.shards(), 1);
+        assert_eq!(pool.queue_depth(0), 0);
+        drop(pool); // Drop-path shutdown also joins cleanly.
     }
 }

@@ -15,7 +15,11 @@ use fsda_nn::state::StateDict;
 /// is what makes the DA framework model-agnostic. `fit_weighted` is the
 /// core training entry point (the S&T baseline up-weights target-domain
 /// shots); `fit` is the unweighted convenience wrapper.
-pub trait Classifier: Send {
+///
+/// The trait requires `Send + Sync`: prediction takes `&self` and no
+/// implementation uses interior mutability, so fitted classifiers can be
+/// shared across serving threads (see `DriftMitigator` in `fsda-core`).
+pub trait Classifier: Send + Sync {
     /// Trains on `x` (rows are samples) with per-sample `weights`.
     ///
     /// # Errors

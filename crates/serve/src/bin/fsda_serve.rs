@@ -1,0 +1,274 @@
+//! `fsda_serve` — the multi-tenant drift-mitigation serving binary.
+//!
+//! Two modes:
+//!
+//! - **Manifest mode** (`--manifest <path>`): boots every tenant listed in
+//!   the manifest (see `docs/SERVING.md` for the format), drives the
+//!   requested traffic through the guarded serving path, and hot-swaps
+//!   each tenant's artifact from its (possibly re-written) file
+//!   `--swaps` times along the way.
+//! - **Demo mode** (default): self-contained — fits one pipeline per demo
+//!   tenant on the 5GC SCM generator, persists the artifacts plus a
+//!   manifest to a temp directory, then boots from that manifest exactly
+//!   as an operator deployment would. Swaps use freshly re-fitted
+//!   artifacts, mimicking the drift → re-fit → swap loop.
+//!
+//! Either way the run ends with per-tenant serving stats and the full
+//! telemetry snapshot a dashboard would scrape.
+//!
+//! ```text
+//! fsda_serve [--manifest PATH] [--tenants N] [--batches N] [--rows N]
+//!            [--swaps N] [--shards N]
+//! ```
+
+use fsda_core::adapter::AdapterConfig;
+use fsda_core::pipeline::DriftMitigator;
+use fsda_core::{telemetry, InputPolicy, Method};
+use fsda_data::fewshot::few_shot_subset;
+use fsda_data::synth5gc::Synth5gc;
+use fsda_linalg::{Matrix, SeededRng};
+use fsda_serve::manifest::TenantManifest;
+use fsda_serve::server::{RequestError, ServeConfig, TenantServer};
+use fsda_telemetry::InMemoryRecorder;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    manifest: Option<PathBuf>,
+    tenants: usize,
+    batches: usize,
+    rows: usize,
+    swaps: usize,
+    shards: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        manifest: None,
+        tenants: 3,
+        batches: 24,
+        rows: 64,
+        swaps: 2,
+        shards: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--manifest" => args.manifest = Some(PathBuf::from(value("--manifest")?)),
+            "--tenants" => {
+                args.tenants = value("--tenants")?
+                    .parse()
+                    .map_err(|e| format!("--tenants: {e}"))?
+            }
+            "--batches" => {
+                args.batches = value("--batches")?
+                    .parse()
+                    .map_err(|e| format!("--batches: {e}"))?
+            }
+            "--rows" => {
+                args.rows = value("--rows")?
+                    .parse()
+                    .map_err(|e| format!("--rows: {e}"))?
+            }
+            "--swaps" => {
+                args.swaps = value("--swaps")?
+                    .parse()
+                    .map_err(|e| format!("--swaps: {e}"))?
+            }
+            "--shards" => {
+                args.shards = Some(
+                    value("--shards")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?,
+                )
+            }
+            "--help" | "-h" => {
+                println!(
+                    "fsda_serve [--manifest PATH] [--tenants N] [--batches N] \
+                     [--rows N] [--swaps N] [--shards N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Fits one quick FS pipeline for a demo tenant. Each tenant gets its own
+/// few-shot draw and seed, standing in for per-slice drift.
+fn fit_demo_artifact(
+    bundle: &fsda_data::synth5gc::Synth5gcBundle,
+    seed: u64,
+) -> Result<Box<dyn DriftMitigator>, Box<dyn std::error::Error>> {
+    let mut rng = SeededRng::new(seed);
+    let shots = few_shot_subset(&bundle.target_pool, 5, &mut rng)?;
+    let mut m = Method::Fs.build(&AdapterConfig::quick(), seed);
+    m.fit(&bundle.source_train, &shots)?;
+    Ok(m)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(|e| format!("{e} (try --help)"))?;
+    println!("== fsda_serve: multi-tenant drift-mitigation server ==\n");
+
+    let recorder = Arc::new(InMemoryRecorder::new());
+    telemetry::set_recorder(recorder.clone());
+
+    // The demo's traffic source; manifest mode also uses it as a load
+    // generator against operator-provided artifacts (5GC feature width).
+    let bundle = Synth5gc::small().generate(42)?;
+
+    let mut demo_dir: Option<PathBuf> = None;
+    let manifest = match &args.manifest {
+        Some(path) => {
+            println!("booting from manifest {}", path.display());
+            TenantManifest::load(path)?
+        }
+        None => {
+            // Demo mode: fit, persist, and write a manifest — the same
+            // artifact flow an operator deployment uses.
+            let dir = std::env::temp_dir().join(format!("fsda-serve-demo-{}", std::process::id()));
+            std::fs::create_dir_all(&dir)?;
+            let mut lines = String::from("# fsda_serve demo manifest\n");
+            for i in 0..args.tenants.max(1) {
+                let tenant = format!("slice-{i}");
+                let start = Instant::now();
+                let artifact = fit_demo_artifact(&bundle, 100 + i as u64)?;
+                println!(
+                    "fitted {tenant} ({}) in {:.1}s",
+                    artifact.method(),
+                    start.elapsed().as_secs_f64()
+                );
+                let file = format!("{tenant}.fsda");
+                std::fs::write(dir.join(&file), artifact.to_bytes()?)?;
+                lines.push_str(&format!("{tenant} = {file}\n"));
+            }
+            let manifest_path = dir.join("tenants.manifest");
+            std::fs::write(&manifest_path, &lines)?;
+            println!("wrote demo manifest {}\n", manifest_path.display());
+            let m = TenantManifest::load(&manifest_path)?;
+            demo_dir = Some(dir);
+            m
+        }
+    };
+
+    let config = ServeConfig {
+        shards: args.shards,
+        guard: fsda_core::GuardConfig::default().with_policy(InputPolicy::ImputeSourceMean),
+        ..ServeConfig::default()
+    };
+    let start = Instant::now();
+    let server = TenantServer::from_manifest(&manifest, config)?;
+    println!(
+        "booted {} tenant(s) over {} shard(s) in {:.1} ms: {}",
+        server.tenants().len(),
+        server.shards(),
+        start.elapsed().as_secs_f64() * 1e3,
+        server.tenants().join(", ")
+    );
+
+    // Drive traffic round-robin across tenants, hot-swapping each tenant
+    // `--swaps` times at evenly spaced points in the stream.
+    let tenants: Vec<String> = server.tenants().to_vec();
+    let x = bundle.target_test.features();
+    let batch = |b: usize| -> Matrix {
+        let idx: Vec<usize> = (0..args.rows)
+            .map(|r| (b * args.rows + r) % x.rows())
+            .collect();
+        x.select_rows(&idx)
+    };
+    let swap_every = (args.batches / (args.swaps + 1)).max(1);
+    let mut total_rows = 0usize;
+    let mut total_secs = 0.0f64;
+    let mut refit_seed = 1000u64;
+    for b in 0..args.batches {
+        if b > 0 && b % swap_every == 0 && b / swap_every <= args.swaps {
+            for tenant in &tenants {
+                let outcome = match (&args.manifest, demo_dir.is_some()) {
+                    // Manifest mode: reload the (possibly re-written)
+                    // artifact file — the operator's re-fit lands here.
+                    (Some(_), _) => {
+                        let entry = manifest
+                            .entries()
+                            .iter()
+                            .find(|e| &e.tenant == tenant)
+                            .ok_or("tenant vanished from manifest")?;
+                        server.swap_from_bytes(tenant, &std::fs::read(&entry.path)?)?
+                    }
+                    // Demo mode: re-fit in process, as the closed drift
+                    // loop would.
+                    _ => {
+                        refit_seed += 1;
+                        server.swap(tenant, fit_demo_artifact(&bundle, refit_seed)?)?
+                    }
+                };
+                println!(
+                    "hot-swap {tenant}: v{} -> v{} (reclaimed {}, retired {})",
+                    outcome.old_version,
+                    outcome.new_version,
+                    outcome.reclaimed,
+                    outcome.still_retired
+                );
+            }
+        }
+        let tenant = &tenants[b % tenants.len()];
+        let t0 = Instant::now();
+        match server.predict(tenant, batch(b)) {
+            Ok(resp) => {
+                let secs = t0.elapsed().as_secs_f64();
+                total_rows += resp.predictions.len();
+                total_secs += secs;
+                println!(
+                    "batch {b:>3} -> {tenant:<10} {:>4} rows on artifact v{} in {:>6.2} ms",
+                    resp.predictions.len(),
+                    resp.artifact_version,
+                    secs * 1e3
+                );
+            }
+            Err(
+                e @ (RequestError::TenantQueueFull { .. } | RequestError::ShardQueueFull { .. }),
+            ) => {
+                println!("batch {b:>3} -> {tenant:<10} shed: {e}");
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    println!(
+        "\nserved {} rows at {:.0} rows/sec",
+        total_rows,
+        total_rows as f64 / total_secs.max(1e-12)
+    );
+
+    println!("\n== per-tenant stats ==");
+    println!(
+        "{:<12} {:>5} {:>8} {:>6} {:>8} {:>9} {:>9} {:>7}",
+        "tenant", "shard", "version", "swaps", "admitted", "rejected", "completed", "errors"
+    );
+    for tenant in &tenants {
+        let s = server.stats(tenant)?;
+        println!(
+            "{:<12} {:>5} {:>8} {:>6} {:>8} {:>9} {:>9} {:>7}",
+            s.tenant,
+            s.shard,
+            s.artifact_version,
+            s.swaps,
+            s.admitted,
+            s.rejected,
+            s.completed,
+            s.serve_errors
+        );
+    }
+
+    server.shutdown();
+    println!("\n== telemetry snapshot ==");
+    print!("{}", recorder.snapshot_now().render());
+    telemetry::clear_recorder();
+
+    if let Some(dir) = demo_dir {
+        std::fs::remove_dir_all(&dir)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,191 @@
+//! Epoch-based reclamation for lock-free artifact hot-swap.
+//!
+//! The serving problem: shard threads must read the current artifact
+//! pointer on every request with **no locks in their path**, while a
+//! control thread occasionally swaps in a newly fitted artifact and must
+//! know when the old one can be freed. Reference counting at read time
+//! (cloning an `Arc` behind a lock) would put a contended atomic —
+//! or worse, a lock — on every request; hazard pointers would need a
+//! per-object protocol. Epoch reclamation is the textbook fit for a
+//! read-mostly pointer: readers announce "I am reading, as of epoch E"
+//! in a private, cache-padded slot (two uncontended atomic stores per
+//! request), and the swapper frees a retired artifact only once every
+//! announced epoch has advanced past the artifact's retirement stamp —
+//! the epoch has *drained*.
+//!
+//! # The protocol
+//!
+//! - One [`EpochPool`] serves a fixed set of reader slots, one per shard
+//!   thread (the thread-per-core model means slot count = shard count).
+//! - A reader wraps each artifact access in [`EpochPool::pin`]: the guard
+//!   stores the current global epoch into the reader's slot, the reader
+//!   loads the artifact pointer and serves the request, and dropping the
+//!   guard stores [`IDLE`] back.
+//! - A swapper publishes the new pointer first, then calls
+//!   [`EpochPool::advance`] to bump the global epoch and stamps the old
+//!   pointer with the *pre-bump* epoch. Any reader still holding the old
+//!   pointer pinned at-or-before that stamp, so the old pointer is free
+//!   to reclaim once [`EpochPool::min_active`] exceeds the stamp.
+//!
+//! All pointer and slot operations are `SeqCst`. The safety argument
+//! needs the total order: if a reader's pointer load returned the *old*
+//! pointer, that load — and therefore the reader's preceding slot store —
+//! ordered before the swapper's pointer store, and therefore before the
+//! swapper's subsequent slot scan, which then observes the reader as
+//! pinned at an epoch ≤ the retirement stamp and keeps the artifact
+//! alive. Stale-but-pinned slots only ever *delay* reclamation, never
+//! allow a premature free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Slot value meaning "this reader is not inside a critical section".
+pub const IDLE: u64 = u64::MAX;
+
+/// One reader slot, padded to a cache line so two shards announcing
+/// epochs never bounce the same line between cores.
+#[repr(align(64))]
+#[derive(Debug)]
+struct Slot {
+    epoch: AtomicU64,
+}
+
+/// A fixed set of reader slots plus the global epoch counter.
+///
+/// Constructed once per server with one slot per shard thread; see the
+/// [module docs](self) for the protocol.
+#[derive(Debug)]
+pub struct EpochPool {
+    global: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl EpochPool {
+    /// Creates a pool with `readers` slots (floored at 1), all idle.
+    pub fn new(readers: usize) -> EpochPool {
+        let slots: Vec<Slot> = (0..readers.max(1))
+            .map(|_| Slot {
+                epoch: AtomicU64::new(IDLE),
+            })
+            .collect();
+        EpochPool {
+            global: AtomicU64::new(0),
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    /// Number of reader slots.
+    pub fn readers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current global epoch.
+    pub fn epoch(&self) -> u64 {
+        self.global.load(Ordering::SeqCst)
+    }
+
+    /// Enters a read-side critical section on `reader`'s slot. Pointers
+    /// loaded while the returned guard is alive stay valid until it drops.
+    ///
+    /// Two uncontended `SeqCst` atomics (one load of the global epoch, one
+    /// store to the private slot) — no locks, no shared-line contention
+    /// with other readers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `reader >= self.readers()` or the slot is already
+    /// pinned (each slot belongs to exactly one thread; re-entrant pinning
+    /// is a bug in the caller).
+    pub fn pin(&self, reader: usize) -> EpochGuard<'_> {
+        let slot = &self.slots[reader];
+        let epoch = self.global.load(Ordering::SeqCst);
+        let prev = slot.epoch.swap(epoch, Ordering::SeqCst);
+        assert_eq!(prev, IDLE, "reader slot {reader} pinned re-entrantly");
+        EpochGuard { pool: self, reader }
+    }
+
+    /// Bumps the global epoch and returns the **pre-bump** value: the
+    /// retirement stamp for a pointer unpublished just before this call.
+    pub fn advance(&self) -> u64 {
+        self.global.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// The smallest epoch any reader is currently pinned at ([`IDLE`] when
+    /// every slot is idle). A pointer stamped `s` is reclaimable once
+    /// `min_active() > s`.
+    pub fn min_active(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.epoch.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(IDLE)
+    }
+}
+
+/// RAII guard for a read-side critical section; see [`EpochPool::pin`].
+#[derive(Debug)]
+pub struct EpochGuard<'a> {
+    pool: &'a EpochPool,
+    reader: usize,
+}
+
+impl EpochGuard<'_> {
+    /// The reader slot this guard pins.
+    pub fn reader(&self) -> usize {
+        self.reader
+    }
+}
+
+impl Drop for EpochGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.slots[self.reader]
+            .epoch
+            .store(IDLE, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_announces_and_unpin_clears() {
+        let pool = EpochPool::new(2);
+        assert_eq!(pool.min_active(), IDLE);
+        let g = pool.pin(0);
+        assert_eq!(pool.min_active(), 0);
+        drop(g);
+        assert_eq!(pool.min_active(), IDLE);
+    }
+
+    #[test]
+    fn advance_returns_pre_bump_stamp() {
+        let pool = EpochPool::new(1);
+        assert_eq!(pool.advance(), 0);
+        assert_eq!(pool.advance(), 1);
+        assert_eq!(pool.epoch(), 2);
+    }
+
+    #[test]
+    fn pinned_reader_blocks_drain_past_its_epoch() {
+        let pool = EpochPool::new(2);
+        let g = pool.pin(1); // pinned at epoch 0
+        let stamp = pool.advance(); // stamp 0: retired while reader active
+        assert_eq!(stamp, 0);
+        assert!(pool.min_active() <= stamp, "stamp must be held alive");
+        drop(g);
+        assert!(pool.min_active() > stamp, "drained after unpin");
+    }
+
+    #[test]
+    fn readers_floor_at_one() {
+        assert_eq!(EpochPool::new(0).readers(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-entrantly")]
+    fn reentrant_pin_is_rejected() {
+        let pool = EpochPool::new(1);
+        let _g = pool.pin(0);
+        let _g2 = pool.pin(0);
+    }
+}

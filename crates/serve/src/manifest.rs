@@ -1,0 +1,254 @@
+//! The tenant manifest: which tenants exist and where their artifacts
+//! live.
+//!
+//! A manifest is a plain-text file, one `tenant-id = artifact-path` entry
+//! per line, with `#` comments and blank lines ignored:
+//!
+//! ```text
+//! # fsda tenant manifest — one network slice per line
+//! slice-embb   = artifacts/slice-embb.fsda
+//! slice-urllc  = artifacts/slice-urllc.fsda
+//! core-5gc     = /var/lib/fsda/core-5gc.fsda
+//! ```
+//!
+//! Relative artifact paths resolve against the manifest file's directory,
+//! so a manifest can travel with its artifact directory. Tenant ids are
+//! restricted to `[a-z0-9._-]` (lowercase) because they are embedded
+//! verbatim in telemetry metric names (`serve.tenant.requests.<tenant>`)
+//! and must stay unambiguous in dot-separated metric paths and JSON keys.
+//!
+//! The manifest is the unit of *fleet configuration*; swapping one
+//! tenant's artifact at runtime does not rewrite the manifest — operators
+//! update the manifest when the set of tenants changes, and push freshly
+//! fitted artifacts through the server's swap entry points (see
+//! `docs/SERVING.md`).
+
+use std::path::{Path, PathBuf};
+
+/// One manifest line: a tenant and the artifact it boots from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantEntry {
+    /// Tenant id (validated: non-empty, `[a-z0-9._-]` only).
+    pub tenant: String,
+    /// Artifact path, resolved against the manifest directory when
+    /// relative.
+    pub path: PathBuf,
+}
+
+/// A parsed, validated tenant manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantManifest {
+    entries: Vec<TenantEntry>,
+}
+
+/// Why a manifest failed to parse or load.
+#[derive(Debug)]
+pub enum ManifestError {
+    /// The manifest file could not be read.
+    Io(std::io::Error),
+    /// A line was not `tenant = path`.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A tenant id appeared twice.
+    DuplicateTenant {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+        /// The repeated tenant id.
+        tenant: String,
+    },
+    /// A tenant id contained characters outside `[a-z0-9._-]`.
+    InvalidTenantId {
+        /// 1-based line number.
+        line: usize,
+        /// The offending tenant id.
+        tenant: String,
+    },
+    /// The manifest contained no entries.
+    Empty,
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManifestError::Io(e) => write!(f, "manifest read failed: {e}"),
+            ManifestError::Syntax { line, message } => {
+                write!(f, "manifest line {line}: {message}")
+            }
+            ManifestError::DuplicateTenant { line, tenant } => {
+                write!(f, "manifest line {line}: duplicate tenant \"{tenant}\"")
+            }
+            ManifestError::InvalidTenantId { line, tenant } => write!(
+                f,
+                "manifest line {line}: invalid tenant id \"{tenant}\" \
+                 (allowed: lowercase letters, digits, '.', '_', '-')"
+            ),
+            ManifestError::Empty => write!(f, "manifest has no tenant entries"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl From<std::io::Error> for ManifestError {
+    fn from(e: std::io::Error) -> Self {
+        ManifestError::Io(e)
+    }
+}
+
+pub(crate) fn valid_tenant_id(id: &str) -> bool {
+    !id.is_empty()
+        && id
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || matches!(c, '.' | '_' | '-'))
+}
+
+impl TenantManifest {
+    /// Parses manifest text. Relative artifact paths resolve against
+    /// `base_dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError::Syntax`] / [`ManifestError::InvalidTenantId`] /
+    /// [`ManifestError::DuplicateTenant`] carry the 1-based line number;
+    /// [`ManifestError::Empty`] when no entry survives comment stripping.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fsda_serve::manifest::TenantManifest;
+    ///
+    /// let text = "# two slices\nslice-a = a.fsda\nslice-b = sub/b.fsda\n";
+    /// let m = TenantManifest::parse(text, "artifacts".as_ref()).unwrap();
+    /// assert_eq!(m.entries().len(), 2);
+    /// assert_eq!(m.entries()[1].path, std::path::Path::new("artifacts/sub/b.fsda"));
+    /// ```
+    pub fn parse(text: &str, base_dir: &Path) -> Result<TenantManifest, ManifestError> {
+        let mut entries: Vec<TenantEntry> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let (tenant, path) = trimmed
+                .split_once('=')
+                .ok_or_else(|| ManifestError::Syntax {
+                    line,
+                    message: format!("expected \"tenant = path\", got \"{trimmed}\""),
+                })?;
+            let tenant = tenant.trim().to_string();
+            let path = path.trim();
+            if !valid_tenant_id(&tenant) {
+                return Err(ManifestError::InvalidTenantId { line, tenant });
+            }
+            if path.is_empty() {
+                return Err(ManifestError::Syntax {
+                    line,
+                    message: format!("tenant \"{tenant}\" has an empty artifact path"),
+                });
+            }
+            if entries.iter().any(|e| e.tenant == tenant) {
+                return Err(ManifestError::DuplicateTenant { line, tenant });
+            }
+            let path = Path::new(path);
+            let path = if path.is_absolute() {
+                path.to_path_buf()
+            } else {
+                base_dir.join(path)
+            };
+            entries.push(TenantEntry { tenant, path });
+        }
+        if entries.is_empty() {
+            return Err(ManifestError::Empty);
+        }
+        Ok(TenantManifest { entries })
+    }
+
+    /// Reads and parses a manifest file; relative artifact paths resolve
+    /// against the file's directory.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError::Io`] plus everything [`TenantManifest::parse`]
+    /// raises.
+    pub fn load(path: &Path) -> Result<TenantManifest, ManifestError> {
+        let text = std::fs::read_to_string(path)?;
+        let base = path.parent().unwrap_or_else(|| Path::new("."));
+        TenantManifest::parse(&text, base)
+    }
+
+    /// The validated entries, in manifest order (which also determines
+    /// the deterministic tenant → shard assignment).
+    pub fn entries(&self) -> &[TenantEntry] {
+        &self.entries
+    }
+
+    /// Renders the manifest back to its text form (absolute paths as
+    /// resolved).
+    pub fn render(&self) -> String {
+        let mut out = String::from("# fsda tenant manifest\n");
+        for e in &self.entries {
+            out.push_str(&format!("{} = {}\n", e.tenant, e.path.display()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_blanks_and_relative_paths() {
+        let text = "\n# comment\n  slice-a = a.fsda\nslice-b=/abs/b.fsda\n";
+        let m = TenantManifest::parse(text, Path::new("/base")).unwrap();
+        assert_eq!(m.entries().len(), 2);
+        assert_eq!(m.entries()[0].tenant, "slice-a");
+        assert_eq!(m.entries()[0].path, Path::new("/base/a.fsda"));
+        assert_eq!(m.entries()[1].path, Path::new("/abs/b.fsda"));
+    }
+
+    #[test]
+    fn rejects_bad_lines_with_line_numbers() {
+        let e = TenantManifest::parse("a.fsda\n", Path::new(".")).unwrap_err();
+        assert!(matches!(e, ManifestError::Syntax { line: 1, .. }), "{e}");
+
+        let e = TenantManifest::parse("x = a\nBad Tenant = b\n", Path::new(".")).unwrap_err();
+        assert!(
+            matches!(e, ManifestError::InvalidTenantId { line: 2, .. }),
+            "{e}"
+        );
+
+        let e = TenantManifest::parse("x = a\nx = b\n", Path::new(".")).unwrap_err();
+        assert!(
+            matches!(e, ManifestError::DuplicateTenant { line: 2, .. }),
+            "{e}"
+        );
+
+        let e = TenantManifest::parse("x =  \n", Path::new(".")).unwrap_err();
+        assert!(matches!(e, ManifestError::Syntax { line: 1, .. }), "{e}");
+
+        let e = TenantManifest::parse("# only comments\n", Path::new(".")).unwrap_err();
+        assert!(matches!(e, ManifestError::Empty), "{e}");
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let text = "a = /x/a.fsda\nb = /y/b.fsda\n";
+        let m = TenantManifest::parse(text, Path::new("/")).unwrap();
+        let again = TenantManifest::parse(&m.render(), Path::new("/")).unwrap();
+        assert_eq!(m, again);
+    }
+
+    #[test]
+    fn load_reports_io_errors() {
+        let e = TenantManifest::load(Path::new("/nonexistent/manifest.txt")).unwrap_err();
+        assert!(matches!(e, ManifestError::Io(_)));
+        assert!(e.to_string().contains("manifest read failed"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Swap-under-load: worker threads hammer the serving path while the
+//! control plane hot-swaps every tenant's artifact, repeatedly.
+//!
+//! The invariants under test are the server's core correctness claims:
+//!
+//! - **Zero dropped or failed requests.** Hot-swaps never stall, reject,
+//!   or error a request; admission control never fires below its caps.
+//! - **Version integrity.** Every response is bit-identical to the output
+//!   of exactly one artifact version — the one its `artifact_version`
+//!   field names. A request that straddles a swap completes on the
+//!   version it loaded; no response ever mixes two artifacts.
+//! - **Reclamation.** Once traffic quiesces, every retired artifact's
+//!   epoch drains and it is freed.
+//! - **Accounting.** Server-side stats and the telemetry counters agree
+//!   with each other and with what the workers observed.
+//!
+//! Version parity is the oracle: tenants boot on artifact A (version 1)
+//! and swaps alternate B, A, B, … so even versions must predict exactly
+//! like B and odd versions exactly like A.
+
+use fsda_core::adapter::AdapterConfig;
+use fsda_core::pipeline::{restore, DriftMitigator};
+use fsda_core::Method;
+use fsda_data::fewshot::few_shot_subset;
+use fsda_data::synth5gc::{Synth5gc, Synth5gcBundle};
+use fsda_linalg::SeededRng;
+use fsda_serve::server::{ServeConfig, TenantServer};
+use fsda_telemetry::InMemoryRecorder;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const TENANTS: usize = 4;
+const SWAPS_PER_TENANT: usize = 12;
+const WORKERS: usize = 3;
+
+fn fit(bundle: &Synth5gcBundle, seed: u64) -> Box<dyn DriftMitigator> {
+    let mut rng = SeededRng::new(seed);
+    let shots = few_shot_subset(&bundle.target_pool, 5, &mut rng).expect("shots");
+    let mut m = Method::TarOnly.build(&AdapterConfig::quick(), seed);
+    m.fit(&bundle.source_train, &shots).expect("fit");
+    m
+}
+
+#[test]
+fn hot_swaps_under_load_never_drop_or_corrupt_requests() {
+    let recorder = Arc::new(InMemoryRecorder::new());
+    fsda_telemetry::set_recorder(recorder.clone());
+
+    let bundle = Synth5gc::small().generate(21).expect("bundle");
+    let rows: Vec<usize> = (0..32).collect();
+    let probe = bundle.target_test.features().select_rows(&rows);
+
+    // Per tenant: artifact A boots (version 1), swaps alternate B, A, B, …
+    // so version parity determines which artifact must have answered.
+    let tenant_names: Vec<String> = (0..TENANTS).map(|i| format!("slice-{i}")).collect();
+    let mut boot = Vec::new();
+    let mut bytes_a = Vec::new();
+    let mut bytes_b = Vec::new();
+    let mut expected = Vec::new(); // (A's predictions, B's predictions)
+    for (i, name) in tenant_names.iter().enumerate() {
+        let a = fit(&bundle, 10 + i as u64);
+        let b = fit(&bundle, 100 + i as u64);
+        let exp_a = a.predict_batch(&probe, Some(1));
+        let exp_b = b.predict_batch(&probe, Some(1));
+        assert_ne!(
+            exp_a, exp_b,
+            "tenant {i}: versions must be distinguishable for the oracle"
+        );
+        let a_bytes = a.to_bytes().expect("persist A");
+        // Boot from persisted bytes — the same restore path a manifest
+        // deployment uses.
+        boot.push((name.clone(), restore(&a_bytes).expect("restore A")));
+        bytes_a.push(a_bytes);
+        bytes_b.push(b.to_bytes().expect("persist B"));
+        expected.push((exp_a, exp_b));
+    }
+
+    let server = TenantServer::from_artifacts(
+        boot,
+        ServeConfig {
+            shards: Some(2),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server");
+
+    let stop = AtomicBool::new(false);
+    let (observed, served_total) = std::thread::scope(|s| {
+        let server = &server;
+        let stop = &stop;
+        let probe = &probe;
+        let expected = &expected;
+        let tenant_names = &tenant_names;
+        let workers: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut served = 0u64;
+                    let mut versions: BTreeSet<u64> = BTreeSet::new();
+                    let mut k = w; // stagger tenants across workers
+                    while !stop.load(Ordering::Relaxed) {
+                        let t = k % TENANTS;
+                        k += 1;
+                        let resp = server
+                            .predict(&tenant_names[t], probe.clone())
+                            .expect("request must never fail during a swap");
+                        let want = if resp.artifact_version.is_multiple_of(2) {
+                            &expected[t].1
+                        } else {
+                            &expected[t].0
+                        };
+                        assert_eq!(
+                            &resp.predictions, want,
+                            "tenant {t}: response does not match artifact v{}",
+                            resp.artifact_version
+                        );
+                        versions.insert(resp.artifact_version);
+                        served += 1;
+                    }
+                    (served, versions)
+                })
+            })
+            .collect();
+
+        // Control plane: swap every tenant SWAPS_PER_TENANT times while
+        // the workers hammer. Round r installs B (r even) or A (r odd),
+        // producing version r + 2.
+        for r in 0..SWAPS_PER_TENANT {
+            for (i, name) in tenant_names.iter().enumerate() {
+                let bytes = if r.is_multiple_of(2) {
+                    &bytes_b[i]
+                } else {
+                    &bytes_a[i]
+                };
+                let outcome = server.swap_from_bytes(name, bytes).expect("swap");
+                assert_eq!(outcome.old_version, r as u64 + 1);
+                assert_eq!(outcome.new_version, r as u64 + 2);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        stop.store(true, Ordering::Relaxed);
+
+        let mut observed: BTreeSet<u64> = BTreeSet::new();
+        let mut total = 0u64;
+        for w in workers {
+            let (served, versions) = w.join().expect("worker");
+            total += served;
+            observed.extend(versions);
+        }
+        (observed, total)
+    });
+
+    assert!(served_total > 0, "workers must have served requests");
+    assert!(
+        observed.iter().any(|v| v.is_multiple_of(2)) && observed.iter().any(|v| v % 2 == 1),
+        "load must have observed both artifact variants, got versions {observed:?}"
+    );
+
+    // Quiesced: stats, reclamation, and telemetry must all reconcile.
+    let snapshot = recorder.snapshot_now();
+    let mut completed_total = 0u64;
+    for name in &tenant_names {
+        let reclaimed_now = server.reclaim(name).expect("reclaim");
+        let stats = server.stats(name).expect("stats");
+        assert_eq!(stats.swaps, SWAPS_PER_TENANT as u64);
+        assert_eq!(stats.artifact_version, SWAPS_PER_TENANT as u64 + 1);
+        assert_eq!(stats.serve_errors, 0, "{name}: no request may fail");
+        assert_eq!(stats.rejected, 0, "{name}: no request may be shed");
+        assert_eq!(stats.queue_depth, 0, "{name}: queues must drain");
+        assert_eq!(stats.admitted, stats.completed);
+        assert_eq!(
+            stats.retired_artifacts, 0,
+            "{name}: all epochs must drain once quiescent (reclaimed {reclaimed_now})"
+        );
+        assert_eq!(
+            snapshot.counter(&format!("serve.tenant.requests.{name}")),
+            stats.completed,
+            "{name}: telemetry request counter must match server stats"
+        );
+        assert_eq!(
+            snapshot.counter(&format!("serve.tenant.swaps.{name}")),
+            SWAPS_PER_TENANT as u64
+        );
+        assert_eq!(snapshot.counter(&format!("serve.tenant.errors.{name}")), 0);
+        completed_total += stats.completed;
+    }
+    assert_eq!(
+        completed_total, served_total,
+        "every worker-observed response must be accounted for"
+    );
+
+    server.shutdown();
+    fsda_telemetry::clear_recorder();
+}

@@ -1,25 +1,29 @@
-//! Train-once / serve-many through the method registry: build any
-//! registered method as a `Box<dyn DriftMitigator>`, persist the trained
-//! pipeline to disk, then reload it in a "serving process" and adapt a
-//! stream of target batches — no retraining, no refitting, and no
+//! Train-once / serve-many through the method registry and the
+//! multi-tenant server: build any registered method as a
+//! `Box<dyn DriftMitigator>`, persist the trained pipeline to disk, then
+//! boot a [`fsda::serve::TenantServer`] on the restored artifact and
+//! stream target batches through it — no retraining, no refitting, and no
 //! method-specific code anywhere in the serving loop.
 //!
-//! The demo also installs the aggregating telemetry recorder, so the
-//! run ends with the operational picture a dashboard would scrape:
-//! per-method request counts, repair/rejection tallies, and latency
-//! histograms for every fit and predict that happened.
+//! The server owns the production concerns this example used to hand-roll:
+//! input guardrails (a corrupt cell is repaired by the configured
+//! [`fsda::core::InputPolicy`], not by per-batch glue), per-tenant
+//! admission control, and telemetry. Mid-stream the artifact is
+//! hot-swapped from its file — the drift → re-fit → swap loop — with
+//! requests flowing throughout.
 //!
 //! Run with: `cargo run --release --example serve_demo`
 
 use fsda::core::adapter::AdapterConfig;
 use fsda::core::pipeline::{self, DriftMitigator};
 use fsda::core::telemetry::{self, InMemoryRecorder};
-use fsda::core::{report, GuardConfig, InputPolicy, Method};
+use fsda::core::{GuardConfig, InputPolicy, Method};
 use fsda::data::fewshot::few_shot_subset;
 use fsda::data::synth5gc::Synth5gc;
 use fsda::linalg::SeededRng;
 use fsda::models::metrics::macro_f1;
 use fsda::models::ClassifierKind;
+use fsda::serve::server::{ServeConfig, TenantServer};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -63,26 +67,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     drop(mitigator); // The trainer is gone; only the artifact remains.
 
     // ---------------------------------------------------------------
-    // Online: a serving process restores the artifact — without knowing
-    // which method produced it — and adapts a stream of drifted target
-    // batches. The classifier inside is never touched.
+    // Online: the serving process restores the artifact — without
+    // knowing which method produced it — and boots the tenant server on
+    // it. The guard policy lives in the server config; every request
+    // below goes through the guarded, telemetered tenant-routing path.
     // ---------------------------------------------------------------
     let start = Instant::now();
-    let served: Box<dyn DriftMitigator> = pipeline::restore(&std::fs::read(&path)?)?;
+    let restored: Box<dyn DriftMitigator> = pipeline::restore(&std::fs::read(&path)?)?;
     println!(
         "restored a {} artifact in {:.1} ms",
-        served.method(),
+        restored.method(),
         start.elapsed().as_secs_f64() * 1e3
     );
-    println!("{}", served.health());
+    println!("{}", restored.health());
 
-    // Production telemetry is untrusted: serve through the guarded path.
-    // `Reject` returns a typed, localized error on the first corrupt cell;
-    // `ImputeSourceMean`/`Clamp` repair in place and keep serving.
-    let guard = GuardConfig::default().with_policy(InputPolicy::ImputeSourceMean);
+    let server = TenantServer::from_artifacts(
+        vec![("demo".into(), restored)],
+        ServeConfig {
+            guard: GuardConfig::default().with_policy(InputPolicy::ImputeSourceMean),
+            ..ServeConfig::default()
+        },
+    )?;
 
     let x = bundle.target_test.features();
     let y = bundle.target_test.labels();
+    let num_classes = y.iter().copied().max().unwrap_or(0) + 1;
     let batch_size = 64;
     let mut total_rows = 0usize;
     let mut total_secs = 0.0f64;
@@ -91,21 +100,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut batch = x.select_rows(&idx);
         let labels: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
         if b == 2 {
-            // Simulate a sensor glitch: the guarded path repairs it with
+            // Simulate a sensor glitch: the server's guard repairs it with
             // the source-mean statistic instead of corrupting the batch.
             batch.set(0, 0, f64::NAN);
         }
+        if b == 4 {
+            // Drift was detected and a re-fit landed in the artifact file:
+            // hot-swap it in. In-flight batches finish on the old version;
+            // this one already observes the new one.
+            let outcome = server.swap_from_bytes("demo", &std::fs::read(&path)?)?;
+            println!(
+                "          hot-swap: v{} -> v{} with traffic flowing",
+                outcome.old_version, outcome.new_version
+            );
+        }
 
         let t0 = Instant::now();
-        let pred = served.try_predict_batch(&batch, None, &guard)?;
+        let resp = server.predict("demo", batch)?;
         let secs = t0.elapsed().as_secs_f64();
-        total_rows += batch.rows();
+        total_rows += resp.predictions.len();
         total_secs += secs;
 
-        let f1 = macro_f1(&labels, &pred, served.num_classes());
+        let f1 = macro_f1(&labels, &resp.predictions, num_classes);
         println!(
-            "batch {b:>2}: {:>3} rows adapted + classified in {:>6.2} ms (F1 {:.3})",
-            batch.rows(),
+            "batch {b:>2}: {:>3} rows served on artifact v{} in {:>6.2} ms (F1 {:.3})",
+            resp.predictions.len(),
+            resp.artifact_version,
             secs * 1e3,
             f1
         );
@@ -116,11 +136,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         total_rows as f64 / total_secs.max(1e-12)
     );
 
-    // The pipeline-health report folds the recorder's snapshot in: one
-    // string with the fit summary and every counter, gauge, histogram,
-    // and event the run produced.
-    println!("\n== pipeline health ==");
-    println!("{}", report::format_pipeline_health(served.as_ref()));
+    // The operational picture a dashboard would scrape: the server's
+    // per-tenant accounting plus every counter, gauge, and latency
+    // histogram the run produced.
+    let stats = server.stats("demo")?;
+    println!(
+        "\ntenant \"{}\": artifact v{}, {} swap(s), {} admitted / {} completed / {} error(s)",
+        stats.tenant,
+        stats.artifact_version,
+        stats.swaps,
+        stats.admitted,
+        stats.completed,
+        stats.serve_errors
+    );
+    server.shutdown();
+    println!("\n== telemetry snapshot ==");
+    print!("{}", recorder.snapshot_now().render());
     telemetry::clear_recorder();
 
     std::fs::remove_file(&path)?;

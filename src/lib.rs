@@ -32,6 +32,7 @@
 //! | [`models`] | TNet / MLP / random-forest / XGBoost classifiers, metrics |
 //! | [`gan`] | conditional GAN, VAE, autoencoder reconstructors |
 //! | [`core`] | FS, FS+GAN, the 11 baselines, experiment runner |
+//! | [`serve`] | multi-tenant serving: manifest boot, lock-free artifact hot-swap |
 //!
 //! # Quickstart
 //!
@@ -68,3 +69,4 @@ pub use fsda_gan as gan;
 pub use fsda_linalg as linalg;
 pub use fsda_models as models;
 pub use fsda_nn as nn;
+pub use fsda_serve as serve;
