@@ -23,13 +23,25 @@
 //! (scheduler, thermal) lands in both pools alike and cancels in the
 //! gated ratio. Writes `BENCH_serving.json` at the repository root.
 //!
-//! `cargo run -p fsda-bench --release --bin serving_baseline [-- --quick]`
+//! Two workload sources:
+//!
+//! - default — the 5GC SCM generator ([`Synth5gc`]), as before;
+//! - `--scenario [SPEC]` — a drift scenario (`fsda_data::scenario`): the
+//!   pipeline is fitted on the scenario's source/shots split and the
+//!   request batch interleaves rows from every drift window of the
+//!   schedule, so the measured traffic spans the whole drift trajectory
+//!   instead of one fixed target domain. `SPEC` is an optional path to a
+//!   scenario DSL file; without it a built-in gradual-drift spec is used.
+//!
+//! `cargo run -p fsda-bench --release --bin serving_baseline [-- --quick] [--scenario [SPEC]]`
 
 use fsda_core::adapter::AdapterConfig;
 use fsda_core::pipeline::{restore, DriftMitigator};
 use fsda_core::Method;
 use fsda_data::fewshot::few_shot_subset;
+use fsda_data::scenario::{ScenarioSpec, Schedule};
 use fsda_data::synth5gc::Synth5gc;
+use fsda_data::Dataset;
 use fsda_linalg::{Matrix, SeededRng};
 use fsda_serve::server::{ServeConfig, TenantServer};
 use fsda_serve::TenantStats;
@@ -134,6 +146,74 @@ fn drive(
     }
 }
 
+/// One resolved traffic source: training split for the shared pipeline
+/// plus the fixed request batch every measured request replays.
+struct Workload {
+    label: String,
+    source_train: Dataset,
+    shots: Dataset,
+    batch: Matrix,
+}
+
+/// The classic workload: 5GC SCM bundle, batch drawn from the target
+/// test split.
+fn synth5gc_workload() -> Workload {
+    let bundle = Synth5gc::small().generate(42).expect("5GC bundle");
+    let mut rng = SeededRng::new(43);
+    let shots = few_shot_subset(&bundle.target_pool, 10, &mut rng).expect("shots");
+    let row_idx: Vec<usize> = (0..BATCH_ROWS)
+        .map(|r| r % bundle.target_test.features().rows())
+        .collect();
+    let batch = bundle.target_test.features().select_rows(&row_idx);
+    Workload {
+        label: "synth5gc".to_string(),
+        source_train: bundle.source_train,
+        shots,
+        batch,
+    }
+}
+
+/// Scenario workload: compiles a drift scenario spec (from `path`, or a
+/// built-in gradual-drift default) and builds the request batch by
+/// interleaving rows from every window of the drift schedule, so the
+/// served traffic walks the whole source→target trajectory.
+fn scenario_workload(path: Option<&str>) -> Workload {
+    let (label, spec) = match path {
+        Some(p) => {
+            let text = std::fs::read_to_string(p).expect("read scenario spec");
+            let spec = ScenarioSpec::parse(&text).expect("parse scenario spec");
+            (format!("scenario:{p}"), spec)
+        }
+        None => (
+            "scenario:builtin-gradual".to_string(),
+            ScenarioSpec::default()
+                .with_schedule(Schedule::Gradual { windows: 4 })
+                .with_seed(42),
+        ),
+    };
+    let compiled = spec.compile().expect("compile scenario");
+    let data = compiled.generate(None).expect("generate scenario");
+    let mut rng = SeededRng::new(43);
+    let shots = few_shot_subset(&data.target_pool, compiled.spec().shots, &mut rng).expect("shots");
+    let windows: Vec<Dataset> = (0..compiled.window_fractions().len())
+        .map(|w| {
+            compiled
+                .generate_window(w, BATCH_ROWS, None)
+                .expect("generate window")
+        })
+        .collect();
+    let rows: Vec<&[f64]> = (0..BATCH_ROWS)
+        .map(|r| windows[r % windows.len()].features().row(r / windows.len()))
+        .collect();
+    let batch = Matrix::from_rows(&rows);
+    Workload {
+        label,
+        source_train: data.source_train,
+        shots,
+        batch,
+    }
+}
+
 fn phase_json(json: &mut String, key: &str, s: &PhaseSummary, swaps: usize) {
     let _ = writeln!(json, "  \"{key}\": {{");
     let _ = writeln!(json, "    \"requests\": {},", s.requests);
@@ -146,7 +226,13 @@ fn phase_json(json: &mut String, key: &str, s: &PhaseSummary, swaps: usize) {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scenario = args.iter().position(|a| a == "--scenario").map(|i| {
+        args.get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .map(String::as_str)
+    });
     let shape = if quick {
         RunShape {
             mode: "quick",
@@ -163,21 +249,24 @@ fn main() {
         }
     };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workload = match scenario {
+        Some(path) => scenario_workload(path),
+        None => synth5gc_workload(),
+    };
     println!(
         "serving_baseline ({}): host parallelism {cores} core(s), \
-         {} tenants, {} reps x {} requests, swap every {}\n",
-        shape.mode, TENANTS, shape.reps, shape.requests_per_rep, shape.swap_every
+         {} tenants, {} reps x {} requests, swap every {}, workload {}\n",
+        shape.mode, TENANTS, shape.reps, shape.requests_per_rep, shape.swap_every, workload.label
     );
 
     // One fitted FS pipeline feeds every tenant: this bench measures the
     // serving fabric, not per-tenant model variance, and one fit keeps the
     // setup phase tractable.
-    let bundle = Synth5gc::small().generate(42).expect("5GC bundle");
-    let mut rng = SeededRng::new(43);
-    let shots = few_shot_subset(&bundle.target_pool, 10, &mut rng).expect("shots");
     let fit_start = Instant::now();
     let mut fitted = Method::Fs.build(&AdapterConfig::quick(), 44);
-    fitted.fit(&bundle.source_train, &shots).expect("FS fit");
+    fitted
+        .fit(&workload.source_train, &workload.shots)
+        .expect("FS fit");
     let bytes = fitted.to_bytes().expect("persist");
     println!(
         "fitted the shared {} pipeline in {:.1}s ({} artifact bytes)",
@@ -206,10 +295,7 @@ fn main() {
 
     let server = TenantServer::from_artifacts(boot, ServeConfig::default()).expect("tenant server");
     let shards = server.shards();
-    let row_idx: Vec<usize> = (0..BATCH_ROWS)
-        .map(|r| r % bundle.target_test.features().rows())
-        .collect();
-    let batch = bundle.target_test.features().select_rows(&row_idx);
+    let batch = workload.batch;
 
     // Warm-up, then interleave steady / under-swap reps so host drift
     // (thermal, scheduler) hits both phases alike.
@@ -283,6 +369,7 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(json, "  \"host_parallelism\": {cores},");
     let _ = writeln!(json, "  \"mode\": \"{}\",", shape.mode);
+    let _ = writeln!(json, "  \"workload\": \"{}\",", workload.label);
     let _ = writeln!(json, "  \"tenants\": {TENANTS},");
     let _ = writeln!(json, "  \"shards\": {shards},");
     let _ = writeln!(json, "  \"batch_rows\": {BATCH_ROWS},");

@@ -19,6 +19,8 @@
 //! * [`fnode`] — the Ψ-FCI-inspired *targeted* search the paper actually
 //!   runs: only edges incident on the F-node are tested, which is what makes
 //!   FS tractable on 442-feature data.
+//! * [`score`] — precision/recall/F1 of a detected intervention-target set
+//!   against a known ground truth (SCM-generated data records one).
 //!
 //! # Example
 //!
@@ -43,6 +45,7 @@ pub mod ci;
 pub mod fnode;
 pub mod graph;
 pub mod pc;
+pub mod score;
 
 pub use graph::Graph;
 

@@ -1,0 +1,125 @@
+//! Target-recovery scoring: how well a detected intervention set matches
+//! a known ground truth.
+//!
+//! SCM-generated data (`fsda_data::scm`, `fsda_data::scenario`) records
+//! which feature columns the domain shift actually touched; this module
+//! turns a detector's output into precision/recall/F1 against that set.
+//! It is the scoring half of the scenario fuzzing harness — every sweep
+//! cell calls [`score_target_recovery`] on the FS method's variant set.
+
+use std::collections::BTreeSet;
+
+/// Precision/recall/F1 of a detected intervention-target set against the
+/// ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryScore {
+    /// Fraction of detected targets that are true targets. An empty
+    /// detection is vacuously precise (1.0).
+    pub precision: f64,
+    /// Fraction of true targets that were detected. An empty ground truth
+    /// is vacuously recalled (1.0).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (0.0 when both are 0).
+    pub f1: f64,
+    /// Correctly detected targets.
+    pub true_positives: usize,
+    /// Detected columns that are not true targets.
+    pub false_positives: usize,
+    /// True targets the detector missed.
+    pub false_negatives: usize,
+}
+
+/// Scores a detected target set against the known ground truth. Duplicate
+/// column indices in either input count once.
+///
+/// The edge-case conventions match
+/// `fsda_core::fs::FeatureSeparation::score_against`: empty detection →
+/// precision 1.0, empty truth → recall 1.0.
+///
+/// # Example
+///
+/// ```
+/// use fsda_causal::score::score_target_recovery;
+///
+/// let s = score_target_recovery(&[0, 3, 7], &[0, 3, 5]);
+/// assert_eq!(s.true_positives, 2);
+/// assert!((s.precision - 2.0 / 3.0).abs() < 1e-12);
+/// assert!((s.recall - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn score_target_recovery(detected: &[usize], truth: &[usize]) -> RecoveryScore {
+    let detected: BTreeSet<usize> = detected.iter().copied().collect();
+    let truth: BTreeSet<usize> = truth.iter().copied().collect();
+    let true_positives = detected.intersection(&truth).count();
+    let false_positives = detected.len() - true_positives;
+    let false_negatives = truth.len() - true_positives;
+    let precision = if detected.is_empty() {
+        1.0
+    } else {
+        true_positives as f64 / detected.len() as f64
+    };
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        true_positives as f64 / truth.len() as f64
+    };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    RecoveryScore {
+        precision,
+        recall,
+        f1,
+        true_positives,
+        false_positives,
+        false_negatives,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_recovery() {
+        let s = score_target_recovery(&[1, 2, 3], &[3, 2, 1]);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f1, 1.0);
+        assert_eq!(
+            (s.true_positives, s.false_positives, s.false_negatives),
+            (3, 0, 0)
+        );
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let s = score_target_recovery(&[0, 1], &[1, 2, 3]);
+        assert!((s.precision - 0.5).abs() < 1e-12);
+        assert!((s.recall - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.f1 - 0.4).abs() < 1e-12);
+        assert_eq!(
+            (s.true_positives, s.false_positives, s.false_negatives),
+            (1, 1, 2)
+        );
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let s = score_target_recovery(&[], &[1, 2]);
+        assert_eq!((s.precision, s.recall, s.f1), (1.0, 0.0, 0.0));
+        let s = score_target_recovery(&[1, 2], &[]);
+        assert_eq!((s.precision, s.recall), (0.0, 1.0));
+        let s = score_target_recovery(&[], &[]);
+        assert_eq!((s.precision, s.recall, s.f1), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn duplicates_count_once() {
+        let s = score_target_recovery(&[1, 1, 1, 2], &[1, 2, 2]);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+    }
+}

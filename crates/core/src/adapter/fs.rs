@@ -294,4 +294,9 @@ impl crate::pipeline::DriftMitigator for FsAdapter {
     fn to_bytes(&self) -> Result<Vec<u8>> {
         FsAdapter::to_bytes(self)
     }
+
+    fn variant_features(&self) -> Option<Vec<usize>> {
+        self.is_fitted()
+            .then(|| self.separation().variant().to_vec())
+    }
 }

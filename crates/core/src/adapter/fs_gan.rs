@@ -642,6 +642,11 @@ impl crate::pipeline::DriftMitigator for FsGanAdapter {
         FsGanAdapter::to_bytes(self)
     }
 
+    fn variant_features(&self) -> Option<Vec<usize>> {
+        self.is_fitted()
+            .then(|| self.separation().variant().to_vec())
+    }
+
     fn health(&self) -> String {
         let recon = self.reconstructor_name().unwrap_or("none (pass-through)");
         let outcome = match self.train_outcome() {

@@ -59,6 +59,7 @@ pub mod persist;
 pub mod pipeline;
 pub mod report;
 pub mod serve;
+pub mod sweep;
 
 pub use fsda_telemetry as telemetry;
 

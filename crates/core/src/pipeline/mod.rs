@@ -173,6 +173,15 @@ pub trait DriftMitigator: std::fmt::Debug + Send + Sync {
     /// support snapshots.
     fn to_bytes(&self) -> Result<Vec<u8>>;
 
+    /// The domain-variant feature columns this mitigator identified during
+    /// fitting, when it performs feature separation (`FS`, `FS+GAN` and its
+    /// reconstruction variants). Baselines that never look at the causal
+    /// structure return `None` — which scenario scoring treats as "nothing
+    /// detected", distinct from an empty detection.
+    fn variant_features(&self) -> Option<Vec<usize>> {
+        None
+    }
+
     /// One-line health summary for experiment logs and serving dashboards.
     fn health(&self) -> String {
         format!(

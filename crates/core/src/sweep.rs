@@ -1,0 +1,165 @@
+//! Registry-driven execution of one drift-scenario cell.
+//!
+//! The scenario fuzzing harness (`fsda_data::scenario` + the
+//! `scenario_sweep` bench runner) needs one well-defined unit of work:
+//! *fit one registry method on one generated scenario and score it* —
+//! end-to-end macro-F1 on the target test set, plus feature-shift
+//! recall/precision against the scenario's recorded ground truth when the
+//! method performs feature separation. [`run_scenario_cell`] is that unit;
+//! it goes through [`Method::build`] so every current and future registry
+//! method is sweepable without per-method code.
+
+use crate::adapter::AdapterConfig;
+use crate::method::Method;
+use crate::Result;
+use fsda_causal::score::{score_target_recovery, RecoveryScore};
+use fsda_data::Dataset;
+use fsda_models::metrics::macro_f1;
+
+/// What one (scenario, method) cell produced.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The method that ran.
+    pub method: Method,
+    /// End-to-end macro-F1 on the target test set.
+    pub macro_f1: f64,
+    /// The variant feature columns the method detected, when it performs
+    /// feature separation ([`crate::DriftMitigator::variant_features`]);
+    /// `None` for baselines with no causal front-end.
+    pub detected_variant: Option<Vec<usize>>,
+    /// Feature-shift recovery score against the scenario's ground truth;
+    /// `None` exactly when `detected_variant` is.
+    pub recovery: Option<RecoveryScore>,
+}
+
+/// Fits `method` on one scenario cell and scores it.
+///
+/// The run is a pure function of its arguments: the mitigator is built
+/// with the given `seed` and prediction uses the single-threaded batch
+/// path, so a cell can itself be fanned across a thread pool without
+/// losing bit-identical results.
+///
+/// # Errors
+///
+/// Propagates fit failures ([`crate::CoreError`]) from the underlying
+/// method.
+pub fn run_scenario_cell(
+    method: Method,
+    source: &Dataset,
+    target_shots: &Dataset,
+    target_test: &Dataset,
+    ground_truth_variant: &[usize],
+    config: &AdapterConfig,
+    seed: u64,
+) -> Result<CellOutcome> {
+    let mut mitigator = method.build(config, seed);
+    mitigator.fit(source, target_shots)?;
+    let predictions = mitigator.predict_batch(target_test.features(), Some(1));
+    let f1 = macro_f1(
+        target_test.labels(),
+        &predictions,
+        target_test.num_classes(),
+    );
+    let detected = mitigator.variant_features();
+    let recovery = detected
+        .as_deref()
+        .map(|d| score_target_recovery(d, ground_truth_variant));
+    Ok(CellOutcome {
+        method,
+        macro_f1: f1,
+        detected_variant: detected,
+        recovery,
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use fsda_data::fewshot::few_shot_subset;
+    use fsda_data::scenario::ScenarioSpec;
+    use fsda_linalg::SeededRng;
+    use fsda_models::ClassifierKind;
+
+    fn quick_config() -> AdapterConfig {
+        AdapterConfig::quick().with_classifier(ClassifierKind::RandomForest)
+    }
+
+    #[test]
+    fn fs_cell_reports_recovery_and_f1() {
+        let compiled = ScenarioSpec::default().with_seed(21).compile().unwrap();
+        let data = compiled.generate(Some(2)).unwrap();
+        let shots = few_shot_subset(
+            &data.target_pool,
+            compiled.spec().shots,
+            &mut SeededRng::new(1),
+        )
+        .unwrap();
+        let out = run_scenario_cell(
+            Method::Fs,
+            &data.source_train,
+            &shots,
+            &data.target_test,
+            &data.ground_truth_variant,
+            &quick_config(),
+            7,
+        )
+        .unwrap();
+        let rec = out.recovery.expect("FS separates features");
+        assert!(rec.recall > 0.5, "recall {:?}", rec);
+        assert!((0.0..=1.0).contains(&out.macro_f1));
+        assert!(out.detected_variant.is_some());
+    }
+
+    #[test]
+    fn baseline_cell_has_no_recovery() {
+        let compiled = ScenarioSpec::default().with_seed(22).compile().unwrap();
+        let data = compiled.generate(Some(2)).unwrap();
+        let shots = few_shot_subset(
+            &data.target_pool,
+            compiled.spec().shots,
+            &mut SeededRng::new(2),
+        )
+        .unwrap();
+        let out = run_scenario_cell(
+            Method::SrcOnly,
+            &data.source_train,
+            &shots,
+            &data.target_test,
+            &data.ground_truth_variant,
+            &quick_config(),
+            7,
+        )
+        .unwrap();
+        assert!(out.recovery.is_none());
+        assert!(out.detected_variant.is_none());
+        assert!((0.0..=1.0).contains(&out.macro_f1));
+    }
+
+    #[test]
+    fn cell_is_deterministic() {
+        let compiled = ScenarioSpec::default().with_seed(23).compile().unwrap();
+        let data = compiled.generate(Some(3)).unwrap();
+        let shots = few_shot_subset(
+            &data.target_pool,
+            compiled.spec().shots,
+            &mut SeededRng::new(3),
+        )
+        .unwrap();
+        let run = || {
+            run_scenario_cell(
+                Method::Fs,
+                &data.source_train,
+                &shots,
+                &data.target_test,
+                &data.ground_truth_variant,
+                &quick_config(),
+                11,
+            )
+            .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.macro_f1.to_bits(), b.macro_f1.to_bits());
+        assert_eq!(a.detected_variant, b.detected_variant);
+    }
+}

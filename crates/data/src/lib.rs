@@ -35,6 +35,7 @@ pub mod faultinject;
 pub mod fewshot;
 pub mod gmm;
 pub mod normalize;
+pub mod scenario;
 pub mod scm;
 pub mod synth5gc;
 pub mod synth5gipc;

@@ -1,0 +1,1058 @@
+//! Declarative drift scenarios: spec types plus a small plain-text DSL
+//! that compile into an [`Scm`] + source/target [`DomainSpec`] pair with
+//! recorded ground-truth intervention targets.
+//!
+//! The two fixed generators ([`crate::synth5gc`] / [`crate::synth5gipc`])
+//! reproduce the paper's evaluation; this module generalizes them into a
+//! *scenario language* so the test-suite and benches can sweep hundreds of
+//! drift configurations — topology family, feature count (up to
+//! thousands), intervention set size and strength, gradual vs abrupt
+//! drift schedules, label shift, recurring/seasonal drift, and
+//! adversarially-correlated variant features — each with known
+//! ground-truth targets to score FS recall/precision against.
+//!
+//! A scenario is a flat `key = value` text (the same shape as the serve
+//! tenant manifest: `#` comments, blank lines, 1-based line numbers in
+//! errors). Every key has a default, so any subset is a valid spec:
+//!
+//! ```text
+//! # a 48-feature layered scenario with gradual drift
+//! topology     = layered
+//! features     = 48
+//! variant      = 8
+//! strength     = 2.4
+//! schedule     = gradual:6
+//! label_shift  = 0.2
+//! seed         = 7
+//! ```
+//!
+//! [`ScenarioSpec::parse`] → [`ScenarioSpec::compile`] →
+//! [`CompiledScenario::generate`] is the full path from text to data.
+//! Generation fans rows over [`fsda_linalg::par::par_map`] with per-row
+//! derived seeds, so the produced matrices are **bit-identical at any
+//! thread count** — the same determinism contract as the rest of the
+//! workspace.
+
+use crate::dataset::Dataset;
+use crate::scm::{DomainSpec, Intervention, NodeKind, Scm, ScmNode};
+use crate::{DataError, Result};
+use fsda_linalg::par::{par_map, resolve_threads};
+use fsda_linalg::{Matrix, SeededRng};
+
+/// How observed features attach to the latent drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Every feature is a child of the single root latent.
+    Star,
+    /// Features form chains (blocks of 8), each block rooted in a latent.
+    Chain,
+    /// Each feature hangs off one of the latents, round-robin.
+    Layered,
+    /// Alternating layered and chained features.
+    Mixed,
+}
+
+impl Topology {
+    /// All families, in DSL order.
+    pub const ALL: [Topology; 4] = [
+        Topology::Star,
+        Topology::Chain,
+        Topology::Layered,
+        Topology::Mixed,
+    ];
+
+    /// The DSL keyword for this family.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Topology::Star => "star",
+            Topology::Chain => "chain",
+            Topology::Layered => "layered",
+            Topology::Mixed => "mixed",
+        }
+    }
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How the target interventions unfold over the drift window sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// One window at full intervention strength.
+    Abrupt,
+    /// Strength ramps linearly over `windows` windows, ending at full.
+    Gradual {
+        /// Number of windows in the ramp (>= 2).
+        windows: usize,
+    },
+    /// Recurring drift: strength rises to full and falls back over one
+    /// season of `period` windows (triangle wave).
+    Seasonal {
+        /// Windows per season (>= 3); full strength at the mid-window.
+        period: usize,
+    },
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Schedule::Abrupt => f.write_str("abrupt"),
+            Schedule::Gradual { windows } => write!(f, "gradual:{windows}"),
+            Schedule::Seasonal { period } => write!(f, "seasonal:{period}"),
+        }
+    }
+}
+
+/// Why a scenario spec failed to parse or validate.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// A line was not a well-formed `key = value` entry, used an unknown
+    /// key, repeated a key, or carried an unparsable value.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The spec parsed but its values are inconsistent.
+    Invalid(String),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Syntax { line, message } => {
+                write!(f, "scenario line {line}: {message}")
+            }
+            ScenarioError::Invalid(m) => write!(f, "invalid scenario: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<ScenarioError> for DataError {
+    fn from(e: ScenarioError) -> Self {
+        DataError::Inconsistent(e.to_string())
+    }
+}
+
+/// A declarative drift scenario. All fields have defaults; construct with
+/// [`ScenarioSpec::default`] + builder methods or parse the text DSL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Graph family connecting latents and features.
+    pub topology: Topology,
+    /// Observed feature count (2 ..= 65536 — "up to thousands").
+    pub features: usize,
+    /// Number of classes (>= 2).
+    pub classes: usize,
+    /// Number of latent drivers (>= 1).
+    pub latents: usize,
+    /// Size of the intervention set (1 ..= features).
+    pub variant: usize,
+    /// How many of the variant features keep their full latent coupling
+    /// (adversarially correlated with the invariant block; <= variant).
+    pub adversarial: usize,
+    /// Intervention strength multiplier (> 0; ~2.4 strong, ~0.5 weak).
+    pub strength: f64,
+    /// Drift schedule.
+    pub schedule: Schedule,
+    /// Target-domain label-shift intensity in [0, 0.9]: class marginals
+    /// tilt linearly from `1 - label_shift` to `1 + label_shift`.
+    pub label_shift: f64,
+    /// Source-domain training rows.
+    pub source_samples: usize,
+    /// Target-domain test rows (drawn at full drift).
+    pub target_samples: usize,
+    /// Labeled target pool rows per class (>= shots).
+    pub pool_per_class: usize,
+    /// Few-shot budget per class drawn from the pool.
+    pub shots: usize,
+    /// Master seed; everything else derives from it.
+    pub seed: u64,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            topology: Topology::Layered,
+            features: 32,
+            classes: 4,
+            latents: 3,
+            variant: 6,
+            adversarial: 0,
+            strength: 2.4,
+            schedule: Schedule::Abrupt,
+            label_shift: 0.0,
+            source_samples: 480,
+            target_samples: 240,
+            pool_per_class: 16,
+            shots: 12,
+            seed: 0,
+        }
+    }
+}
+
+/// Canonical key order for [`ScenarioSpec::render`] (also the reference
+/// list of accepted DSL keys).
+const KEYS: [&str; 14] = [
+    "topology",
+    "features",
+    "classes",
+    "latents",
+    "variant",
+    "adversarial",
+    "strength",
+    "schedule",
+    "label_shift",
+    "source_samples",
+    "target_samples",
+    "pool_per_class",
+    "shots",
+    "seed",
+];
+
+fn syntax(line: usize, message: impl Into<String>) -> ScenarioError {
+    ScenarioError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_usize(line: usize, key: &str, v: &str) -> std::result::Result<usize, ScenarioError> {
+    v.parse::<usize>().map_err(|_| {
+        syntax(
+            line,
+            format!("{key}: expected a non-negative integer, got \"{v}\""),
+        )
+    })
+}
+
+fn parse_f64(line: usize, key: &str, v: &str) -> std::result::Result<f64, ScenarioError> {
+    let x = v
+        .parse::<f64>()
+        .map_err(|_| syntax(line, format!("{key}: expected a number, got \"{v}\"")))?;
+    if !x.is_finite() {
+        return Err(syntax(line, format!("{key}: must be finite, got \"{v}\"")));
+    }
+    Ok(x)
+}
+
+impl ScenarioSpec {
+    /// Parses the text DSL. Every key is optional (defaults apply); `#`
+    /// comments and blank lines are skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Syntax`] with the 1-based line number for a
+    /// malformed line, unknown or duplicate key, or unparsable value.
+    pub fn parse(text: &str) -> std::result::Result<ScenarioSpec, ScenarioError> {
+        let mut spec = ScenarioSpec::default();
+        let mut seen: Vec<&str> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let (key, value) = trimmed.split_once('=').ok_or_else(|| {
+                syntax(line, format!("expected \"key = value\", got \"{trimmed}\""))
+            })?;
+            let key = key.trim();
+            let value = value.trim();
+            let canonical = KEYS
+                .iter()
+                .find(|&&k| k == key)
+                .ok_or_else(|| syntax(line, format!("unknown key \"{key}\"")))?;
+            if seen.contains(canonical) {
+                return Err(syntax(line, format!("duplicate key \"{key}\"")));
+            }
+            seen.push(canonical);
+            if value.is_empty() {
+                return Err(syntax(line, format!("{key}: empty value")));
+            }
+            match key {
+                "topology" => {
+                    spec.topology = Topology::ALL
+                        .into_iter()
+                        .find(|t| t.as_str() == value)
+                        .ok_or_else(|| {
+                            syntax(
+                                line,
+                                format!(
+                                    "topology: expected star|chain|layered|mixed, got \"{value}\""
+                                ),
+                            )
+                        })?;
+                }
+                "features" => spec.features = parse_usize(line, key, value)?,
+                "classes" => spec.classes = parse_usize(line, key, value)?,
+                "latents" => spec.latents = parse_usize(line, key, value)?,
+                "variant" => spec.variant = parse_usize(line, key, value)?,
+                "adversarial" => spec.adversarial = parse_usize(line, key, value)?,
+                "strength" => spec.strength = parse_f64(line, key, value)?,
+                "schedule" => {
+                    spec.schedule = match value.split_once(':') {
+                        None if value == "abrupt" => Schedule::Abrupt,
+                        Some(("gradual", n)) => Schedule::Gradual {
+                            windows: parse_usize(line, "schedule windows", n)?,
+                        },
+                        Some(("seasonal", n)) => Schedule::Seasonal {
+                            period: parse_usize(line, "schedule period", n)?,
+                        },
+                        _ => {
+                            return Err(syntax(
+                                line,
+                                format!(
+                                    "schedule: expected abrupt|gradual:<windows>|\
+                                     seasonal:<period>, got \"{value}\""
+                                ),
+                            ))
+                        }
+                    };
+                }
+                "label_shift" => spec.label_shift = parse_f64(line, key, value)?,
+                "source_samples" => spec.source_samples = parse_usize(line, key, value)?,
+                "target_samples" => spec.target_samples = parse_usize(line, key, value)?,
+                "pool_per_class" => spec.pool_per_class = parse_usize(line, key, value)?,
+                "shots" => spec.shots = parse_usize(line, key, value)?,
+                "seed" => {
+                    spec.seed = value.parse::<u64>().map_err(|_| {
+                        syntax(line, format!("seed: expected a u64, got \"{value}\""))
+                    })?;
+                }
+                _ => unreachable!("key already validated against KEYS"),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Renders the spec back to its canonical text form. The output parses
+    /// back to an equal spec (`parse(render(s)) == s` for any valid `s`).
+    pub fn render(&self) -> String {
+        let mut out = String::from("# fsda drift scenario\n");
+        for key in KEYS {
+            let value = match key {
+                "topology" => self.topology.to_string(),
+                "features" => self.features.to_string(),
+                "classes" => self.classes.to_string(),
+                "latents" => self.latents.to_string(),
+                "variant" => self.variant.to_string(),
+                "adversarial" => self.adversarial.to_string(),
+                "strength" => self.strength.to_string(),
+                "schedule" => self.schedule.to_string(),
+                "label_shift" => self.label_shift.to_string(),
+                "source_samples" => self.source_samples.to_string(),
+                "target_samples" => self.target_samples.to_string(),
+                "pool_per_class" => self.pool_per_class.to_string(),
+                "shots" => self.shots.to_string(),
+                "seed" => self.seed.to_string(),
+                _ => unreachable!("KEYS is exhaustive"),
+            };
+            out.push_str(&format!("{key} = {value}\n"));
+        }
+        out
+    }
+
+    /// Checks internal consistency of the spec's values.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Invalid`] describing the first violated constraint.
+    pub fn validate(&self) -> std::result::Result<(), ScenarioError> {
+        let err = |m: String| Err(ScenarioError::Invalid(m));
+        if self.features < 2 || self.features > 65_536 {
+            return err(format!(
+                "features must be in 2..=65536, got {}",
+                self.features
+            ));
+        }
+        if self.classes < 2 {
+            return err(format!("classes must be >= 2, got {}", self.classes));
+        }
+        if self.latents == 0 {
+            return err("latents must be >= 1".into());
+        }
+        if self.variant == 0 || self.variant > self.features {
+            return err(format!(
+                "variant must be in 1..=features ({}), got {}",
+                self.features, self.variant
+            ));
+        }
+        if self.adversarial > self.variant {
+            return err(format!(
+                "adversarial ({}) cannot exceed variant ({})",
+                self.adversarial, self.variant
+            ));
+        }
+        if !self.strength.is_finite() || self.strength <= 0.0 {
+            return err(format!(
+                "strength must be finite and > 0, got {}",
+                self.strength
+            ));
+        }
+        if !(0.0..=0.9).contains(&self.label_shift) {
+            return err(format!(
+                "label_shift must be in [0, 0.9], got {}",
+                self.label_shift
+            ));
+        }
+        match self.schedule {
+            Schedule::Gradual { windows } if windows < 2 => {
+                return err(format!(
+                    "gradual schedule needs >= 2 windows, got {windows}"
+                ));
+            }
+            Schedule::Seasonal { period } if period < 3 => {
+                return err(format!("seasonal schedule needs period >= 3, got {period}"));
+            }
+            _ => {}
+        }
+        if self.source_samples < self.classes {
+            return err(format!(
+                "source_samples ({}) must cover every class ({})",
+                self.source_samples, self.classes
+            ));
+        }
+        if self.target_samples < self.classes {
+            return err(format!(
+                "target_samples ({}) must cover every class ({})",
+                self.target_samples, self.classes
+            ));
+        }
+        if self.shots == 0 || self.pool_per_class < self.shots {
+            return err(format!(
+                "need 1 <= shots <= pool_per_class, got shots {} pool {}",
+                self.shots, self.pool_per_class
+            ));
+        }
+        Ok(())
+    }
+
+    /// Builder-style topology override.
+    pub fn with_topology(mut self, t: Topology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Builder-style feature count.
+    pub fn with_features(mut self, n: usize) -> Self {
+        self.features = n;
+        self
+    }
+
+    /// Builder-style intervention-set size.
+    pub fn with_variant(mut self, n: usize) -> Self {
+        self.variant = n;
+        self
+    }
+
+    /// Builder-style adversarially-correlated variant count.
+    pub fn with_adversarial(mut self, n: usize) -> Self {
+        self.adversarial = n;
+        self
+    }
+
+    /// Builder-style intervention strength.
+    pub fn with_strength(mut self, s: f64) -> Self {
+        self.strength = s;
+        self
+    }
+
+    /// Builder-style drift schedule.
+    pub fn with_schedule(mut self, s: Schedule) -> Self {
+        self.schedule = s;
+        self
+    }
+
+    /// Builder-style label-shift intensity.
+    pub fn with_label_shift(mut self, s: f64) -> Self {
+        self.label_shift = s;
+        self
+    }
+
+    /// Builder-style master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and compiles the spec into an executable scenario.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::Inconsistent`] when [`ScenarioSpec::validate`] fails
+    /// (SCM construction itself cannot fail for a valid spec).
+    pub fn compile(&self) -> Result<CompiledScenario> {
+        self.validate()?;
+        let mut structure_rng = SeededRng::new(mix(self.seed ^ 0xA11C_E5CE_7A51_0000));
+        let l = self.latents;
+        let mut nodes: Vec<ScmNode> = Vec::with_capacity(l + self.features);
+        nodes.push(ScmNode::latent("lat0", 1.0));
+        for i in 1..l {
+            nodes.push(ScmNode {
+                name: format!("lat{i}"),
+                kind: NodeKind::Latent,
+                parents: vec![0],
+                weights: vec![0.6],
+                bias: 0.0,
+                class_effect: Vec::new(),
+                noise_std: 0.8,
+            });
+        }
+
+        // The intervention set: `variant` feature columns spread by stride
+        // so they land in different parts of the topology. The last
+        // `adversarial` of them keep their full latent coupling.
+        let variant_cols: Vec<usize> = (0..self.variant)
+            .map(|k| k * self.features / self.variant)
+            .collect();
+
+        for j in 0..self.features {
+            let latent_of = |j: usize| j % l;
+            let latent_w = structure_rng.uniform_range(0.5, 0.9);
+            let (parents, weights) = match self.topology {
+                Topology::Star => (vec![0], vec![latent_w]),
+                Topology::Layered => (vec![latent_of(j)], vec![latent_w]),
+                Topology::Chain => {
+                    if j % 8 == 0 {
+                        (vec![latent_of(j)], vec![latent_w])
+                    } else {
+                        (vec![l + j - 1], vec![0.7])
+                    }
+                }
+                Topology::Mixed => {
+                    if j % 2 == 0 {
+                        (vec![latent_of(j)], vec![latent_w])
+                    } else {
+                        (vec![l + j - 1, latent_of(j)], vec![0.55, latent_w * 0.5])
+                    }
+                }
+            };
+            let rank = variant_cols.iter().position(|&c| c == j);
+            let is_variant = rank.is_some();
+            // Class signal: variant features carry a stronger fault
+            // signature than invariant ones (as in the 5G generators), so
+            // discarding them visibly costs accuracy. Signatures are drawn
+            // per feature from the structure rng — a *periodic* pattern in
+            // `j` would alias with the stride of the variant set and give
+            // distinct variant features identical signatures, making their
+            // drifts mutually screenable (a faithfulness violation).
+            let signal = if is_variant { 1.2 } else { 0.6 };
+            let effect: Vec<f64> = (0..self.classes)
+                .map(|y| {
+                    if y == 0 {
+                        0.0
+                    } else {
+                        signal * structure_rng.uniform_range(-0.8, 0.8)
+                    }
+                })
+                .collect();
+            let mut node = ScmNode::observed(format!("f{j:04}"), parents, weights, 0.4)
+                .with_class_effect(effect);
+            // Decouple non-adversarial variant features from the shared
+            // latents: their drift must not leak into invariant columns
+            // (faithfulness). Adversarial ones keep full coupling — their
+            // shift stays collinear with the invariant block's drivers,
+            // the hard case for conditional-invariance testing.
+            if let Some(rank) = rank {
+                let adversarial = rank >= self.variant - self.adversarial;
+                if !adversarial {
+                    for w in &mut node.weights {
+                        *w *= 0.25;
+                    }
+                }
+            }
+            nodes.push(node);
+        }
+        let scm = Scm::new(nodes, self.classes)?;
+
+        // Full-strength target interventions, tiered by rank like the
+        // paper generators: strong shifts inflate noise too, and signs
+        // alternate so drift is not a uniform translation.
+        let mut target = DomainSpec::observational();
+        for (rank, &col) in variant_cols.iter().enumerate() {
+            let node = l + col;
+            let (mag, noise_factor) = match rank % 3 {
+                0 => (1.0, 2.0),
+                1 => (0.75, 1.6),
+                _ => (0.55, 1.3),
+            };
+            let shift = self.strength * mag * if rank % 2 == 0 { 1.0 } else { -1.0 };
+            if noise_factor > 1.0 {
+                target.intervene(
+                    node,
+                    Intervention::ShiftAndScale {
+                        shift,
+                        noise_factor,
+                    },
+                );
+            } else {
+                target.intervene(node, Intervention::MeanShift(shift));
+            }
+        }
+        let ground_truth = scm.ground_truth_variant(&target);
+        Ok(CompiledScenario {
+            spec: self.clone(),
+            scm,
+            target,
+            ground_truth,
+        })
+    }
+}
+
+/// A compiled scenario: the SCM, the full-strength target spec, and the
+/// recorded ground-truth variant feature columns.
+#[derive(Debug, Clone)]
+pub struct CompiledScenario {
+    spec: ScenarioSpec,
+    scm: Scm,
+    target: DomainSpec,
+    ground_truth: Vec<usize>,
+}
+
+/// The datasets one scenario cell needs to run a mitigation method.
+#[derive(Debug, Clone)]
+pub struct ScenarioData {
+    /// Source-domain training set (observational).
+    pub source_train: Dataset,
+    /// Labeled target pool at full drift (`pool_per_class` rows/class);
+    /// draw the few-shot subset from here.
+    pub target_pool: Dataset,
+    /// Target-domain test set at full drift, label shift applied.
+    pub target_test: Dataset,
+    /// Ground-truth variant feature columns (sorted).
+    pub ground_truth_variant: Vec<usize>,
+}
+
+/// Splitmix64-style finalizer used for all derived seeds.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-row seed: a pure function of (master seed, stream, class, index),
+/// so sampling is independent of thread count and row scheduling.
+fn row_seed(seed: u64, stream: u64, y: u64, i: u64) -> u64 {
+    mix(seed ^ mix(stream ^ mix(y ^ mix(i))))
+}
+
+const STREAM_SOURCE: u64 = 1;
+const STREAM_POOL: u64 = 2;
+const STREAM_TEST: u64 = 3;
+const STREAM_WINDOW_BASE: u64 = 16;
+
+impl CompiledScenario {
+    /// The spec this scenario was compiled from.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// The compiled SCM.
+    pub fn scm(&self) -> &Scm {
+        &self.scm
+    }
+
+    /// The full-strength target-domain spec.
+    pub fn target_spec(&self) -> &DomainSpec {
+        &self.target
+    }
+
+    /// Ground-truth variant feature columns (sorted), valid for any
+    /// window with strictly positive drift fraction.
+    pub fn ground_truth_variant(&self) -> &[usize] {
+        &self.ground_truth
+    }
+
+    /// Per-window drift fractions for the spec's schedule: `[1.0]` for
+    /// abrupt, a linear ramp ending at 1.0 for gradual, and a triangle
+    /// (0 → 1 → 0, peak at the mid window) for seasonal.
+    pub fn window_fractions(&self) -> Vec<f64> {
+        match self.spec.schedule {
+            Schedule::Abrupt => vec![1.0],
+            Schedule::Gradual { windows } => {
+                (1..=windows).map(|i| i as f64 / windows as f64).collect()
+            }
+            Schedule::Seasonal { period } => {
+                let mid = (period - 1) / 2;
+                (0..period)
+                    .map(|i| {
+                        if i <= mid {
+                            i as f64 / mid as f64
+                        } else {
+                            (period - 1 - i) as f64 / (period - 1 - mid) as f64
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The window [`DomainSpec`] sequence ([`DomainSpec::scaled`] applied
+    /// to [`CompiledScenario::window_fractions`]).
+    pub fn windows(&self) -> Vec<DomainSpec> {
+        self.window_fractions()
+            .into_iter()
+            .map(|f| self.target.scaled(f))
+            .collect()
+    }
+
+    /// Target-domain class counts for `total` rows: marginals tilt
+    /// linearly across classes by `shift`, apportioned by largest
+    /// remainder with every class kept non-empty. Deterministic.
+    fn class_counts(&self, total: usize, shift: f64) -> Vec<usize> {
+        let c = self.spec.classes;
+        let weights: Vec<f64> = (0..c)
+            .map(|y| 1.0 + shift * (2.0 * y as f64 / (c as f64 - 1.0) - 1.0))
+            .collect();
+        let sum: f64 = weights.iter().sum();
+        let quota: Vec<f64> = weights.iter().map(|w| total as f64 * w / sum).collect();
+        let mut counts: Vec<usize> = quota.iter().map(|q| q.floor() as usize).collect();
+        let mut order: Vec<usize> = (0..c).collect();
+        order.sort_by(|&a, &b| {
+            (quota[b] - quota[b].floor())
+                .total_cmp(&(quota[a] - quota[a].floor()))
+                .then(a.cmp(&b))
+        });
+        let assigned: usize = counts.iter().sum();
+        for &y in order.iter().cycle().take(total.saturating_sub(assigned)) {
+            counts[y] += 1;
+        }
+        // Keep every class represented (validate() guarantees total >= c).
+        for y in 0..c {
+            if counts[y] == 0 {
+                let max = (0..c).max_by(|&a, &b| counts[a].cmp(&counts[b]).then(b.cmp(&a)));
+                if let Some(m) = max {
+                    counts[m] -= 1;
+                }
+                counts[y] = 1;
+            }
+        }
+        counts
+    }
+
+    /// Samples one dataset: rows fan over the thread pool with per-row
+    /// derived seeds, then a spec-derived shuffle — bit-identical at any
+    /// thread count.
+    fn sample_dataset(
+        &self,
+        counts: &[usize],
+        spec: &DomainSpec,
+        stream: u64,
+        threads: usize,
+    ) -> Result<Dataset> {
+        let rows: Vec<(usize, u64)> = counts
+            .iter()
+            .enumerate()
+            .flat_map(|(y, &n)| {
+                (0..n).map(move |i| (y, row_seed(self.spec.seed, stream, y as u64, i as u64)))
+            })
+            .collect();
+        let sampled: Vec<Vec<f64>> = par_map(threads, &rows, |_, &(y, s)| {
+            let mut rng = SeededRng::new(s);
+            self.scm.sample_observed(y, spec, &mut rng)
+        });
+        let mut features = Matrix::zeros(rows.len(), self.scm.num_features());
+        let mut labels = Vec::with_capacity(rows.len());
+        for (r, ((y, _), vals)) in rows.iter().zip(&sampled).enumerate() {
+            features.row_mut(r).copy_from_slice(vals);
+            labels.push(*y);
+        }
+        let mut ds = Dataset::with_names(
+            features,
+            labels,
+            self.spec.classes,
+            self.scm.feature_names(),
+        )?;
+        ds.shuffle(&mut SeededRng::new(row_seed(
+            self.spec.seed,
+            stream,
+            u64::MAX,
+            0,
+        )));
+        Ok(ds)
+    }
+
+    /// Generates the scenario's source/pool/test datasets. `threads = None`
+    /// uses all available cores; the output is bit-identical for every
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DataError`] from dataset assembly (cannot normally
+    /// fail for a validated spec).
+    pub fn generate(&self, threads: Option<usize>) -> Result<ScenarioData> {
+        let threads = resolve_threads(threads);
+        let src = self.class_counts(self.spec.source_samples, 0.0);
+        let source_train =
+            self.sample_dataset(&src, &DomainSpec::observational(), STREAM_SOURCE, threads)?;
+        let pool_counts = vec![self.spec.pool_per_class; self.spec.classes];
+        let target_pool = self.sample_dataset(&pool_counts, &self.target, STREAM_POOL, threads)?;
+        let tgt = self.class_counts(self.spec.target_samples, self.spec.label_shift);
+        let target_test = self.sample_dataset(&tgt, &self.target, STREAM_TEST, threads)?;
+        Ok(ScenarioData {
+            source_train,
+            target_pool,
+            target_test,
+            ground_truth_variant: self.ground_truth.clone(),
+        })
+    }
+
+    /// Generates `rows` rows of the drift stream at window `window` (see
+    /// [`CompiledScenario::window_fractions`]): interventions and label
+    /// shift both scale with the window's drift fraction.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::Inconsistent`] when `window` is out of range or
+    /// `rows` cannot cover every class.
+    pub fn generate_window(
+        &self,
+        window: usize,
+        rows: usize,
+        threads: Option<usize>,
+    ) -> Result<Dataset> {
+        let fractions = self.window_fractions();
+        let frac = *fractions.get(window).ok_or_else(|| {
+            DataError::Inconsistent(format!(
+                "window {window} out of range (schedule has {})",
+                fractions.len()
+            ))
+        })?;
+        if rows < self.spec.classes {
+            return Err(DataError::Inconsistent(format!(
+                "window rows ({rows}) must cover every class ({})",
+                self.spec.classes
+            )));
+        }
+        let spec = self.target.scaled(frac);
+        let counts = self.class_counts(rows, self.spec.label_shift * frac);
+        self.sample_dataset(
+            &counts,
+            &spec,
+            STREAM_WINDOW_BASE + window as u64,
+            resolve_threads(threads),
+        )
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_empty_text_gives_defaults() {
+        let spec = ScenarioSpec::parse("# only a comment\n\n").unwrap();
+        assert_eq!(spec, ScenarioSpec::default());
+    }
+
+    #[test]
+    fn parse_reads_every_key() {
+        let text = "topology = chain\nfeatures = 100\nclasses = 3\nlatents = 2\n\
+                    variant = 9\nadversarial = 2\nstrength = 1.25\nschedule = seasonal:5\n\
+                    label_shift = 0.3\nsource_samples = 300\ntarget_samples = 150\n\
+                    pool_per_class = 20\nshots = 5\nseed = 99\n";
+        let spec = ScenarioSpec::parse(text).unwrap();
+        assert_eq!(spec.topology, Topology::Chain);
+        assert_eq!(spec.features, 100);
+        assert_eq!(spec.classes, 3);
+        assert_eq!(spec.latents, 2);
+        assert_eq!(spec.variant, 9);
+        assert_eq!(spec.adversarial, 2);
+        assert_eq!(spec.strength, 1.25);
+        assert_eq!(spec.schedule, Schedule::Seasonal { period: 5 });
+        assert_eq!(spec.label_shift, 0.3);
+        assert_eq!(spec.seed, 99);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = ScenarioSpec::parse("features = 8\nnot a line\n").unwrap_err();
+        assert!(matches!(e, ScenarioError::Syntax { line: 2, .. }), "{e}");
+
+        let e = ScenarioSpec::parse("bogus = 1\n").unwrap_err();
+        assert!(matches!(e, ScenarioError::Syntax { line: 1, .. }), "{e}");
+
+        let e = ScenarioSpec::parse("seed = 1\n\nseed = 2\n").unwrap_err();
+        assert!(matches!(e, ScenarioError::Syntax { line: 3, .. }), "{e}");
+
+        let e = ScenarioSpec::parse("strength = fast\n").unwrap_err();
+        assert!(matches!(e, ScenarioError::Syntax { line: 1, .. }), "{e}");
+
+        let e = ScenarioSpec::parse("schedule = gradual\n").unwrap_err();
+        assert!(matches!(e, ScenarioError::Syntax { line: 1, .. }), "{e}");
+
+        let e = ScenarioSpec::parse("features =\n").unwrap_err();
+        assert!(matches!(e, ScenarioError::Syntax { line: 1, .. }), "{e}");
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let spec = ScenarioSpec::default()
+            .with_topology(Topology::Mixed)
+            .with_strength(0.775)
+            .with_schedule(Schedule::Gradual { windows: 7 })
+            .with_label_shift(0.15)
+            .with_seed(1234567);
+        let again = ScenarioSpec::parse(&spec.render()).unwrap();
+        assert_eq!(spec, again);
+    }
+
+    #[test]
+    fn validate_rejects_inconsistencies() {
+        for bad in [
+            ScenarioSpec::default().with_features(1),
+            ScenarioSpec::default().with_variant(0),
+            ScenarioSpec::default().with_variant(64),
+            ScenarioSpec::default().with_variant(4).with_adversarial(5),
+            ScenarioSpec::default().with_strength(0.0),
+            ScenarioSpec::default().with_label_shift(0.95),
+            ScenarioSpec::default().with_schedule(Schedule::Gradual { windows: 1 }),
+            ScenarioSpec::default().with_schedule(Schedule::Seasonal { period: 2 }),
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn compile_records_ground_truth_for_every_topology() {
+        for t in Topology::ALL {
+            let spec = ScenarioSpec::default().with_topology(t).with_seed(3);
+            let compiled = spec.compile().unwrap();
+            let truth = compiled.ground_truth_variant();
+            assert_eq!(truth.len(), spec.variant, "{t}: {truth:?}");
+            assert!(truth.windows(2).all(|w| w[0] < w[1]), "sorted: {truth:?}");
+            assert!(truth.iter().all(|&c| c < spec.features));
+            assert_eq!(compiled.scm().num_features(), spec.features);
+        }
+    }
+
+    #[test]
+    fn schedules_shape_window_fractions() {
+        let abrupt = ScenarioSpec::default().compile().unwrap();
+        assert_eq!(abrupt.window_fractions(), vec![1.0]);
+
+        let gradual = ScenarioSpec::default()
+            .with_schedule(Schedule::Gradual { windows: 4 })
+            .compile()
+            .unwrap();
+        assert_eq!(gradual.window_fractions(), vec![0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(gradual.windows().len(), 4);
+        assert!(gradual.windows()[3].targets().len() == gradual.ground_truth_variant().len());
+
+        let seasonal = ScenarioSpec::default()
+            .with_schedule(Schedule::Seasonal { period: 5 })
+            .compile()
+            .unwrap();
+        let fr = seasonal.window_fractions();
+        assert_eq!(fr, vec![0.0, 0.5, 1.0, 0.5, 0.0]);
+        assert!(seasonal.windows()[0].is_observational());
+        // Even periods still reach full strength at the mid window.
+        let seasonal = ScenarioSpec::default()
+            .with_schedule(Schedule::Seasonal { period: 4 })
+            .compile()
+            .unwrap();
+        assert!(seasonal.window_fractions().contains(&1.0));
+    }
+
+    #[test]
+    fn label_shift_tilts_class_counts() {
+        let c = ScenarioSpec::default()
+            .with_label_shift(0.5)
+            .compile()
+            .unwrap();
+        let counts = c.class_counts(240, 0.5);
+        assert_eq!(counts.iter().sum::<usize>(), 240);
+        assert!(counts[0] < counts[3], "{counts:?}");
+        let even = c.class_counts(240, 0.0);
+        assert_eq!(even, vec![60; 4]);
+        // Extreme totals keep every class non-empty.
+        let tiny = c.class_counts(4, 0.9);
+        assert_eq!(tiny.iter().sum::<usize>(), 4);
+        assert!(tiny.iter().all(|&n| n >= 1), "{tiny:?}");
+    }
+
+    #[test]
+    fn generate_shapes_and_determinism() {
+        let spec = ScenarioSpec::default().with_seed(11);
+        let c = spec.compile().unwrap();
+        let data = c.generate(Some(2)).unwrap();
+        assert_eq!(data.source_train.len(), spec.source_samples);
+        assert_eq!(data.target_test.len(), spec.target_samples);
+        assert_eq!(
+            data.target_pool.class_counts(),
+            vec![spec.pool_per_class; spec.classes]
+        );
+        assert!(data.source_train.features().is_finite());
+        assert_eq!(data.ground_truth_variant, c.ground_truth_variant());
+        // Same spec, same seed -> identical bytes (thread sweep lives in
+        // crates/data/tests/scenario_determinism.rs).
+        let again = spec.compile().unwrap().generate(Some(2)).unwrap();
+        assert_eq!(
+            data.source_train.features().as_slice(),
+            again.source_train.features().as_slice()
+        );
+        // Different seed -> different data.
+        let other = spec
+            .clone()
+            .with_seed(12)
+            .compile()
+            .unwrap()
+            .generate(Some(2))
+            .unwrap();
+        assert_ne!(
+            data.source_train.features().as_slice(),
+            other.source_train.features().as_slice()
+        );
+    }
+
+    #[test]
+    fn generate_window_scales_drift() {
+        let c = ScenarioSpec::default()
+            .with_schedule(Schedule::Gradual { windows: 4 })
+            .with_strength(3.0)
+            .compile()
+            .unwrap();
+        let early = c.generate_window(0, 120, Some(2)).unwrap();
+        let late = c.generate_window(3, 120, Some(2)).unwrap();
+        let col = c.ground_truth_variant()[0];
+        let m = |ds: &Dataset| {
+            let v: Vec<f64> = (0..ds.len()).map(|r| ds.features().get(r, col)).collect();
+            fsda_linalg::stats::mean(&v)
+        };
+        // The first variant feature takes a positive shift that grows with
+        // the window fraction.
+        assert!(
+            m(&late) > m(&early),
+            "late {} vs early {}",
+            m(&late),
+            m(&early)
+        );
+        assert!(c.generate_window(4, 120, Some(1)).is_err());
+        assert!(c.generate_window(0, 2, Some(1)).is_err());
+    }
+
+    #[test]
+    fn intervention_shifts_show_up_in_variant_columns() {
+        let spec = ScenarioSpec::default().with_strength(3.0).with_seed(5);
+        let c = spec.compile().unwrap();
+        let data = c.generate(Some(1)).unwrap();
+        let col = c.ground_truth_variant()[0];
+        let src: Vec<f64> = (0..data.source_train.len())
+            .map(|r| data.source_train.features().get(r, col))
+            .collect();
+        let tgt: Vec<f64> = (0..data.target_test.len())
+            .map(|r| data.target_test.features().get(r, col))
+            .collect();
+        let gap = fsda_linalg::stats::mean(&tgt) - fsda_linalg::stats::mean(&src);
+        assert!(gap.abs() > 1.0, "expected a visible shift, got {gap}");
+    }
+}

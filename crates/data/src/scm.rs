@@ -166,6 +166,50 @@ impl DomainSpec {
     pub fn is_observational(&self) -> bool {
         self.interventions.is_empty()
     }
+
+    /// A copy of this spec with every intervention scaled to `factor` of
+    /// its full strength — the building block for gradual and seasonal
+    /// drift schedules (`fsda_data::scenario`).
+    ///
+    /// Additive shifts scale linearly; multiplicative factors interpolate
+    /// from the identity (`1 + (f - 1) * factor`), so `factor = 0` is the
+    /// unchanged mechanism and `factor = 1` the full intervention. The
+    /// discrete [`Intervention::RemapClassEffect`] has no half-way point
+    /// and is kept only at full strength (`factor >= 1`). A non-positive
+    /// `factor` yields the observational spec.
+    pub fn scaled(&self, factor: f64) -> DomainSpec {
+        if factor <= 0.0 {
+            return DomainSpec::observational();
+        }
+        let mut out = DomainSpec::observational();
+        for (&node, ivs) in &self.interventions {
+            for iv in ivs {
+                let scaled = match iv {
+                    Intervention::MeanShift(s) => Some(Intervention::MeanShift(s * factor)),
+                    Intervention::ScaleNoise(f) => {
+                        Some(Intervention::ScaleNoise(1.0 + (f - 1.0) * factor))
+                    }
+                    Intervention::ScaleWeights(f) => {
+                        Some(Intervention::ScaleWeights(1.0 + (f - 1.0) * factor))
+                    }
+                    Intervention::ShiftAndScale {
+                        shift,
+                        noise_factor,
+                    } => Some(Intervention::ShiftAndScale {
+                        shift: shift * factor,
+                        noise_factor: 1.0 + (noise_factor - 1.0) * factor,
+                    }),
+                    Intervention::RemapClassEffect(map) => {
+                        (factor >= 1.0).then(|| Intervention::RemapClassEffect(map.clone()))
+                    }
+                };
+                if let Some(iv) = scaled {
+                    out.intervene(node, iv);
+                }
+            }
+        }
+        out
+    }
 }
 
 /// A structural causal model over latent and observed nodes.
@@ -582,6 +626,33 @@ mod tests {
         assert!(spec.intervention_on(0).is_none());
         assert!(spec.is_target(1));
         assert!(!spec.is_target(0));
+    }
+
+    #[test]
+    fn scaled_interpolates_interventions() {
+        let mut spec = DomainSpec::observational();
+        spec.intervene(
+            1,
+            Intervention::ShiftAndScale {
+                shift: 2.0,
+                noise_factor: 3.0,
+            },
+        );
+        spec.intervene(2, Intervention::ScaleWeights(0.2));
+        spec.intervene(3, Intervention::RemapClassEffect(vec![1, 0]));
+        let half = spec.scaled(0.5);
+        assert_eq!(
+            half.interventions_on(1),
+            &[Intervention::ShiftAndScale {
+                shift: 1.0,
+                noise_factor: 2.0,
+            }]
+        );
+        assert_eq!(half.interventions_on(2), &[Intervention::ScaleWeights(0.6)]);
+        assert!(!half.is_target(3), "remap only applies at full strength");
+        assert!(spec.scaled(0.0).is_observational());
+        assert!(spec.scaled(-1.0).is_observational());
+        assert_eq!(spec.scaled(1.0).interventions_on(3).len(), 1);
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Thread-count invariance for the scenario generators.
+//!
+//! The scenario compiler's contract (see `docs/SCENARIOS.md`) is the same
+//! as the rest of the workspace: `threads` is a pure performance knob.
+//! Every row of every generated split draws from its own counter-derived
+//! seed, so the produced matrices must be **bit-identical** at 1 thread,
+//! 2 threads, and whatever the host offers.
+
+use fsda_data::scenario::{ScenarioSpec, Schedule, Topology};
+use fsda_data::Dataset;
+
+fn assert_datasets_identical(a: &Dataset, b: &Dataset, what: &str) {
+    assert_eq!(a.labels(), b.labels(), "{what}: labels diverged");
+    let (xa, xb) = (a.features().as_slice(), b.features().as_slice());
+    assert_eq!(xa.len(), xb.len(), "{what}: shape diverged");
+    for (i, (va, vb)) in xa.iter().zip(xb).enumerate() {
+        assert_eq!(
+            va.to_bits(),
+            vb.to_bits(),
+            "{what}: value {i} differs: {va} vs {vb}"
+        );
+    }
+}
+
+#[test]
+fn generate_is_bit_identical_across_thread_counts() {
+    let max = std::thread::available_parallelism().map_or(4, |n| n.get().max(2));
+    for spec in [
+        ScenarioSpec::default().with_seed(5),
+        ScenarioSpec::default()
+            .with_topology(Topology::Chain)
+            .with_features(48)
+            .with_variant(8)
+            .with_label_shift(0.3)
+            .with_seed(6),
+    ] {
+        let base = spec.compile().unwrap().generate(Some(1)).unwrap();
+        for threads in [2usize, max] {
+            let other = spec.compile().unwrap().generate(Some(threads)).unwrap();
+            let tag = format!("{}@{threads}", spec.topology);
+            assert_datasets_identical(&base.source_train, &other.source_train, &tag);
+            assert_datasets_identical(&base.target_pool, &other.target_pool, &tag);
+            assert_datasets_identical(&base.target_test, &other.target_test, &tag);
+            assert_eq!(base.ground_truth_variant, other.ground_truth_variant);
+        }
+    }
+}
+
+#[test]
+fn windows_are_bit_identical_across_thread_counts() {
+    let spec = ScenarioSpec::default()
+        .with_schedule(Schedule::Gradual { windows: 3 })
+        .with_seed(7);
+    let compiled = spec.compile().unwrap();
+    for w in 0..3 {
+        let base = compiled.generate_window(w, 120, Some(1)).unwrap();
+        for threads in [2usize, 5] {
+            let other = compiled.generate_window(w, 120, Some(threads)).unwrap();
+            assert_datasets_identical(&base, &other, &format!("window {w}@{threads}"));
+        }
+    }
+}
+
+#[test]
+fn windows_are_disjoint_streams() {
+    // Different windows of the same scenario must not replay the same
+    // rows: each window draws from its own seed stream, scaled by its own
+    // drift fraction.
+    let spec = ScenarioSpec::default()
+        .with_schedule(Schedule::Gradual { windows: 3 })
+        .with_seed(8);
+    let compiled = spec.compile().unwrap();
+    let w0 = compiled.generate_window(0, 64, None).unwrap();
+    let w1 = compiled.generate_window(1, 64, None).unwrap();
+    assert_ne!(
+        w0.features().as_slice(),
+        w1.features().as_slice(),
+        "windows must be distinct draws"
+    );
+}

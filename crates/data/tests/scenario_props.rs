@@ -1,0 +1,129 @@
+//! Property-based tests for the drift-scenario DSL: the rendered form of
+//! any valid spec parses back to the identical spec, malformed input
+//! always fails with the 1-based line number of the offending line (the
+//! same contract the serve manifest parser keeps), and the compiled
+//! ground truth stays inside the spec's variant budget.
+
+use fsda_data::scenario::{ScenarioError, ScenarioSpec, Schedule, Topology};
+use proptest::prelude::*;
+
+/// Builds an arbitrary *valid* spec from independently drawn knobs. The
+/// ranges stay modest so `compile()` in the ground-truth property is
+/// cheap, but every DSL key is exercised.
+#[allow(clippy::too_many_arguments)]
+fn spec_from(
+    topology: usize,
+    features: usize,
+    classes: usize,
+    latents: usize,
+    variant: usize,
+    adversarial: usize,
+    strength: f64,
+    schedule: usize,
+    windows: usize,
+    label_shift: f64,
+    seed: u64,
+) -> ScenarioSpec {
+    let variant = variant.min(features);
+    let mut spec = ScenarioSpec::default()
+        .with_topology(Topology::ALL[topology % 4])
+        .with_features(features)
+        .with_variant(variant.max(1))
+        .with_adversarial(adversarial.min(variant.max(1)))
+        .with_strength(strength)
+        .with_schedule(match schedule % 3 {
+            0 => Schedule::Abrupt,
+            1 => Schedule::Gradual { windows },
+            _ => Schedule::Seasonal {
+                period: windows.max(3),
+            },
+        })
+        .with_label_shift(label_shift)
+        .with_seed(seed);
+    spec.classes = classes;
+    spec.latents = latents;
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn render_parse_round_trips(
+        topology in 0usize..4,
+        features in 2usize..96,
+        classes in 2usize..6,
+        latents in 1usize..5,
+        variant in 1usize..16,
+        adversarial in 0usize..4,
+        strength in 0.1f64..8.0,
+        schedule in 0usize..3,
+        windows in 2usize..9,
+        label_shift in 0.0f64..0.9,
+        seed in 0u64..1_000_000,
+    ) {
+        let spec = spec_from(
+            topology, features, classes, latents, variant, adversarial,
+            strength, schedule, windows, label_shift, seed,
+        );
+        let text = spec.render();
+        let back = ScenarioSpec::parse(&text).unwrap();
+        prop_assert_eq!(&back, &spec);
+        // Rendering is a fixed point: render(parse(render(s))) == render(s).
+        prop_assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn corrupted_line_is_reported_by_number(
+        seed in 0u64..1000,
+        junk in 0usize..3,
+    ) {
+        let spec = ScenarioSpec::default().with_seed(seed);
+        let mut lines: Vec<String> = spec.render().lines().map(str::to_string).collect();
+        // Corrupt one key line (line 1 is the header comment). The three
+        // corruption modes cover unknown key, missing '=', and bad value.
+        let target = 1 + (seed as usize % (lines.len() - 1));
+        lines[target] = match junk {
+            0 => "no_such_key = 1".to_string(),
+            1 => "features 32".to_string(),
+            _ => "features = many".to_string(),
+        };
+        let text = lines.join("\n");
+        match ScenarioSpec::parse(&text) {
+            Err(ScenarioError::Syntax { line, .. }) => {
+                prop_assert_eq!(line, target + 1, "error must name the corrupted line");
+            }
+            other => prop_assert!(false, "expected Syntax error, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn duplicate_key_is_reported_at_its_line(seed in 0u64..1000) {
+        let mut text = ScenarioSpec::default().with_seed(seed).render();
+        let dup_line = text.lines().count() + 1;
+        text.push_str("seed = 7\n");
+        match ScenarioSpec::parse(&text) {
+            Err(ScenarioError::Syntax { line, .. }) => prop_assert_eq!(line, dup_line),
+            other => prop_assert!(false, "expected Syntax error, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn ground_truth_stays_inside_variant_budget(
+        topology in 0usize..4,
+        features in 8usize..48,
+        variant in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let spec = ScenarioSpec::default()
+            .with_topology(Topology::ALL[topology % 4])
+            .with_features(features)
+            .with_variant(variant.min(features))
+            .with_seed(seed);
+        let compiled = spec.compile().unwrap();
+        let truth = compiled.ground_truth_variant();
+        prop_assert_eq!(truth.len(), spec.variant, "one ground-truth column per intervention");
+        prop_assert!(truth.iter().all(|&c| c < spec.features));
+        prop_assert!(truth.windows(2).all(|w| w[0] < w[1]), "sorted and unique");
+    }
+}

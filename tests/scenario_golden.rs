@@ -1,0 +1,119 @@
+//! Golden scenario fixture: `tests/fixtures/scenario_basic.scn` is the
+//! canonical easy drift cell (layered topology, strong abrupt drift, no
+//! adversarial coupling), and this test pins what two registry methods
+//! with a causal front-end recover on it — the exact detected variant
+//! set and the feature-shift recall/precision it implies. Any change to
+//! the scenario compiler, the SCM sampler, the F-node search, or the
+//! registry wiring that silently moves these numbers fails here.
+//!
+//! The pinned values hold at any thread count (the scenario generators
+//! and the cell runner are bit-deterministic by contract), so this test
+//! never needs a tolerance: a drifted value is a real behaviour change,
+//! and intentional ones update the constants below alongside the code.
+
+use fsda::core::adapter::AdapterConfig;
+use fsda::core::sweep::run_scenario_cell;
+use fsda::core::Method;
+use fsda::data::fewshot::few_shot_subset;
+use fsda::data::scenario::ScenarioSpec;
+use fsda::linalg::SeededRng;
+use fsda::models::ClassifierKind;
+
+/// Ground truth of the fixture spec: one intervened column per variant
+/// rank, stride `features / variant = 5`, plus what each method must
+/// detect and score on it.
+const EXPECTED_TRUTH: [usize; 6] = [0, 5, 10, 16, 21, 26];
+const EXPECTED_RECALL: f64 = 1.0;
+const EXPECTED_PRECISION: f64 = 1.0;
+const EXPECTED_DETECTED: [usize; 6] = [0, 5, 10, 16, 21, 26];
+
+fn fixture_spec() -> ScenarioSpec {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/scenario_basic.scn");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    ScenarioSpec::parse(&text).expect("fixture spec must parse")
+}
+
+#[test]
+fn golden_scenario_recovery_is_pinned() {
+    let spec = fixture_spec();
+    let compiled = spec.compile().expect("fixture spec must compile");
+    assert_eq!(
+        compiled.ground_truth_variant(),
+        EXPECTED_TRUTH,
+        "fixture ground truth moved"
+    );
+    let data = compiled.generate(Some(1)).expect("generate");
+    let shots = few_shot_subset(&data.target_pool, spec.shots, &mut SeededRng::new(1))
+        .expect("few-shot draw");
+    let config = AdapterConfig::quick().with_classifier(ClassifierKind::RandomForest);
+
+    for method in [Method::Fs, Method::FsGan] {
+        let out = run_scenario_cell(
+            method,
+            &data.source_train,
+            &shots,
+            &data.target_test,
+            &data.ground_truth_variant,
+            &config,
+            5,
+        )
+        .unwrap_or_else(|e| panic!("{method:?} cell failed: {e}"));
+        let detected = out
+            .detected_variant
+            .unwrap_or_else(|| panic!("{method:?} must expose a variant set"));
+        assert_eq!(
+            detected, EXPECTED_DETECTED,
+            "{method:?}: detected variant set moved"
+        );
+        let rec = out.recovery.expect("recovery follows detection");
+        assert_eq!(
+            rec.recall, EXPECTED_RECALL,
+            "{method:?}: FS recall moved (tp {}, fn {})",
+            rec.true_positives, rec.false_negatives
+        );
+        assert_eq!(
+            rec.precision, EXPECTED_PRECISION,
+            "{method:?}: FS precision moved (tp {}, fp {})",
+            rec.true_positives, rec.false_positives
+        );
+        assert!(
+            out.macro_f1 > 0.45,
+            "{method:?}: end-to-end macro-F1 collapsed: {}",
+            out.macro_f1
+        );
+    }
+}
+
+#[test]
+fn golden_scenario_beats_source_only() {
+    // The fixture exists to catch regressions in *mitigation*: on this
+    // strongly drifted cell the causal methods must stay clearly ahead of
+    // the unmitigated source-only baseline.
+    let spec = fixture_spec();
+    let compiled = spec.compile().expect("compile");
+    let data = compiled.generate(Some(1)).expect("generate");
+    let shots = few_shot_subset(&data.target_pool, spec.shots, &mut SeededRng::new(1))
+        .expect("few-shot draw");
+    let config = AdapterConfig::quick().with_classifier(ClassifierKind::RandomForest);
+    let run = |m: Method| {
+        run_scenario_cell(
+            m,
+            &data.source_train,
+            &shots,
+            &data.target_test,
+            &data.ground_truth_variant,
+            &config,
+            5,
+        )
+        .unwrap_or_else(|e| panic!("{m:?} cell failed: {e}"))
+        .macro_f1
+    };
+    let fs = run(Method::Fs);
+    let src = run(Method::SrcOnly);
+    assert!(
+        fs > src + 0.1,
+        "FS ({fs:.3}) must clearly beat SrcOnly ({src:.3}) on the golden cell"
+    );
+}
