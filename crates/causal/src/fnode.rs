@@ -130,11 +130,30 @@ pub fn find_intervened_features_with(
     num_features: usize,
     config: &FnodeConfig,
 ) -> Result<FnodeResult> {
+    staged_search(test, num_features, config, None)
+}
+
+/// The staged search shared by the cold and warm entry points.
+///
+/// `prefer` optionally marks features whose membership in the *previous*
+/// skeleton should rank them first among conditioning candidates (causal
+/// mechanism transfer: mechanisms persist across domains, so yesterday's
+/// variant set is the best guess at today's mediators). `None` reproduces
+/// the cold search bit-for-bit.
+pub(crate) fn staged_search(
+    test: &FisherZ,
+    num_features: usize,
+    config: &FnodeConfig,
+    prefer: Option<&[bool]>,
+) -> Result<FnodeResult> {
     assert_eq!(
         test.num_vars(),
         num_features + 1,
         "CI test must cover the features plus the trailing F-node"
     );
+    if let Some(p) = prefer {
+        assert_eq!(p.len(), num_features, "prefer mask must cover all features");
+    }
     let f = num_features;
     let mut tests_run = 0usize;
     let threads = config.effective_threads();
@@ -172,7 +191,7 @@ pub fn find_intervened_features_with(
             break;
         }
         let outcomes = par_map(threads, &snapshot, |_, &x| {
-            evaluate_feature(test, &snapshot, x, f, cond_size, config)
+            evaluate_feature(test, &snapshot, x, f, cond_size, config, prefer)
         });
         // Sequential fold in snapshot (ascending feature) order: the test
         // counter, error propagation, and adjacency updates all happen here.
@@ -219,10 +238,14 @@ fn evaluate_feature(
     f: usize,
     cond_size: usize,
     config: &FnodeConfig,
+    prefer: Option<&[bool]>,
 ) -> (usize, bool, Option<crate::CausalError>) {
     // Conditioning candidates: other F-neighbours, ranked by
     // |corr(candidate, x)| so the most plausible mediators are tried first,
-    // truncated for tractability.
+    // truncated for tractability. A warm start additionally ranks members
+    // of the previous skeleton ahead of newcomers (stable sort: ties keep
+    // the correlation order), so separating sets are found in fewer subsets
+    // when the drift mechanism persists.
     let mut scored: Vec<(usize, f64)> = snapshot
         .iter()
         .copied()
@@ -233,6 +256,9 @@ fn evaluate_feature(
         })
         .collect();
     scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+    if let Some(p) = prefer {
+        scored.sort_by_key(|&(c, _)| !p[c]);
+    }
     let candidates: Vec<usize> = scored
         .into_iter()
         .take(config.max_candidates)

@@ -1,0 +1,401 @@
+//! Warm-started re-detection: cached CI-test sufficient statistics.
+//!
+//! A closed drift loop re-runs the F-node search every time the monitor
+//! fires, but the *source* half of the combined dataset never changes —
+//! only a small target window does. [`CiCache`] therefore precomputes the
+//! source-side sufficient statistics (per-feature sums and the Gram matrix
+//! of cross-products) **once**; each re-detection merges the cheap
+//! `O(n_tgt · d²)` target contribution, assembles the combined correlation
+//! matrix, and builds a [`FisherZ`] oracle without ever touching the source
+//! rows again. For the usual regime (thousands of source rows, a few dozen
+//! target shots) this removes the dominant `O(n_src · d²)` cost of a cold
+//! [`FisherZ::new`] over the stacked dataset.
+//!
+//! [`find_intervened_features_warm`] additionally seeds the staged search
+//! with the *previous* skeleton: features that were variant last time are
+//! ranked first among conditioning candidates. Causal mechanism transfer
+//! (Teshima et al., arXiv 2002.03497) is the justification — mechanisms
+//! persist across domains, only the intervened nodes move — so yesterday's
+//! skeleton is the best prior for today's mediators and separating sets are
+//! found after enumerating fewer subsets.
+//!
+//! The warm path is deterministic (same cache + same window ⇒ same result)
+//! but **not** bit-identical to the cold path: merging moments sums in a
+//! different order than the two-pass
+//! [`correlation_matrix`](fsda_linalg::stats::correlation_matrix), so
+//! correlations may differ
+//! in the last ulps. Callers that need the cold contract (or whose
+//! feature count changed) must fall back to
+//! [`find_intervened_features`](crate::fnode::find_intervened_features) —
+//! `fsda_core` does exactly that when the cache dimension mismatches.
+
+use crate::ci::FisherZ;
+use crate::fnode::{staged_search, FnodeConfig, FnodeResult};
+use crate::{CausalError, Result};
+use fsda_linalg::Matrix;
+
+/// Source-side sufficient statistics for the combined F-node dataset.
+///
+/// Built once from the (normalized) source feature matrix; every
+/// re-detection against a new target window costs only the target-side
+/// moments. The F-node column is implicit: source rows contribute `F = 0`,
+/// so its sums and cross-products with the features come entirely from the
+/// target window.
+#[derive(Debug, Clone)]
+pub struct CiCache {
+    d: usize,
+    n_src: usize,
+    /// Per-feature sums over the source rows (length `d`).
+    src_sums: Vec<f64>,
+    /// Upper triangle of the source Gram matrix `Σ x_i x_j` (d × d).
+    src_gram: Matrix,
+}
+
+impl CiCache {
+    /// Accumulates the source-side statistics. `source` rows are samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CausalError::InsufficientData`] when `source` has fewer
+    /// than three rows (the combined Fisher-z dataset needs at least four
+    /// samples and a window contributes at least one) and
+    /// [`CausalError::NonFinite`] — localized to the first offending cell —
+    /// on NaN/Inf values, which would silently poison every later merge.
+    pub fn new(source: &Matrix) -> Result<Self> {
+        if source.rows() < 3 {
+            return Err(CausalError::InsufficientData(format!(
+                "CiCache needs >= 3 source rows, got {}",
+                source.rows()
+            )));
+        }
+        for (r, row) in source.iter_rows().enumerate() {
+            if let Some(c) = row.iter().position(|v| !v.is_finite()) {
+                return Err(CausalError::NonFinite { row: r, col: c });
+            }
+        }
+        let d = source.cols();
+        let mut src_sums = vec![0.0f64; d];
+        let mut src_gram = Matrix::zeros(d, d);
+        for row in source.iter_rows() {
+            for i in 0..d {
+                src_sums[i] += row[i];
+                for j in i..d {
+                    let v = src_gram.get(i, j) + row[i] * row[j];
+                    src_gram.set(i, j, v);
+                }
+            }
+        }
+        Ok(CiCache {
+            d,
+            n_src: source.rows(),
+            src_sums,
+            src_gram,
+        })
+    }
+
+    /// Number of features the cache was built over.
+    pub fn num_features(&self) -> usize {
+        self.d
+    }
+
+    /// Number of source rows folded into the cache.
+    pub fn source_rows(&self) -> usize {
+        self.n_src
+    }
+
+    /// Builds the Fisher-z oracle over `source ∪ target` + trailing F-node
+    /// by merging the target window's moments into the cached source
+    /// statistics. Cost is `O(n_tgt · d²)` — independent of `n_src`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CausalError::FeatureMismatch`] when the window width
+    /// differs from the cached feature count, [`CausalError::NonFinite`]
+    /// (row/col localized to the *window*) on corrupt cells, and
+    /// [`CausalError::InsufficientData`] on an empty window.
+    pub fn fisher_z(&self, target: &Matrix) -> Result<FisherZ> {
+        if target.cols() != self.d {
+            return Err(CausalError::FeatureMismatch {
+                source: self.d,
+                target: target.cols(),
+            });
+        }
+        if target.rows() == 0 {
+            return Err(CausalError::InsufficientData(
+                "warm re-detection needs a non-empty target window".into(),
+            ));
+        }
+        for (r, row) in target.iter_rows().enumerate() {
+            if let Some(c) = row.iter().position(|v| !v.is_finite()) {
+                return Err(CausalError::NonFinite { row: r, col: c });
+            }
+        }
+        let d = self.d;
+        let n_tgt = target.rows();
+        let n = self.n_src + n_tgt;
+
+        // Merge moments over the d features + the trailing F-node. Source
+        // rows have F = 0, so every F-term is a pure target-side quantity:
+        // Σ F = n_tgt, Σ F² = n_tgt, Σ F·x_i = Σ_target x_i.
+        let mut sums = vec![0.0f64; d + 1];
+        sums[..d].copy_from_slice(&self.src_sums);
+        let mut gram = Matrix::zeros(d + 1, d + 1);
+        for i in 0..d {
+            for j in i..d {
+                gram.set(i, j, self.src_gram.get(i, j));
+            }
+        }
+        let mut tgt_sums = vec![0.0f64; d];
+        for row in target.iter_rows() {
+            for i in 0..d {
+                tgt_sums[i] += row[i];
+                for j in i..d {
+                    let v = gram.get(i, j) + row[i] * row[j];
+                    gram.set(i, j, v);
+                }
+            }
+        }
+        for i in 0..d {
+            sums[i] += tgt_sums[i];
+            gram.set(i, d, tgt_sums[i]);
+        }
+        sums[d] = n_tgt as f64;
+        gram.set(d, d, n_tgt as f64);
+
+        // Moments → correlation, with the same degeneracy contract as
+        // `fsda_linalg::stats::correlation_matrix`: identity diagonal,
+        // r = 0 against (numerically) constant columns, clamped to [-1, 1].
+        let nf = n as f64;
+        let denom = (n - 1) as f64;
+        let cov = |gram: &Matrix, sums: &[f64], i: usize, j: usize| -> f64 {
+            let (a, b) = if i <= j { (i, j) } else { (j, i) };
+            (gram.get(a, b) - sums[i] * sums[j] / nf) / denom
+        };
+        let mut corr = Matrix::identity(d + 1);
+        // Moment subtraction can leave a tiny negative variance for
+        // constant columns; clamp before the sqrt.
+        let stds: Vec<f64> = (0..=d)
+            .map(|i| cov(&gram, &sums, i, i).max(0.0).sqrt())
+            .collect();
+        for i in 0..=d {
+            for j in (i + 1)..=d {
+                let r = if stds[i] < 1e-12 || stds[j] < 1e-12 {
+                    0.0
+                } else {
+                    (cov(&gram, &sums, i, j) / (stds[i] * stds[j])).clamp(-1.0, 1.0)
+                };
+                corr.set(i, j, r);
+                corr.set(j, i, r);
+            }
+        }
+        Ok(FisherZ::from_correlation(corr, n))
+    }
+}
+
+/// Warm-started F-node search: cached source statistics + previous-skeleton
+/// conditioning priority.
+///
+/// `prev_variant` is the variant set of the previous separation; its
+/// members are ranked first among conditioning candidates (see the module
+/// docs for why). Indices outside `0..cache.num_features()` are an error —
+/// the caller's skeleton belongs to a different feature space and must cold
+/// start instead.
+///
+/// # Errors
+///
+/// Propagates [`CiCache::fisher_z`] failures and rejects out-of-range
+/// `prev_variant` indices with [`CausalError::FeatureMismatch`].
+pub fn find_intervened_features_warm(
+    cache: &CiCache,
+    target: &Matrix,
+    prev_variant: &[usize],
+    config: &FnodeConfig,
+) -> Result<FnodeResult> {
+    let d = cache.num_features();
+    if let Some(&bad) = prev_variant.iter().find(|&&x| x >= d) {
+        return Err(CausalError::FeatureMismatch {
+            source: d,
+            target: bad + 1,
+        });
+    }
+    let test = cache.fisher_z(target)?;
+    let mut prefer = vec![false; d];
+    for &x in prev_variant {
+        prefer[x] = true;
+    }
+    let result = staged_search(&test, d, config, Some(&prefer))?;
+    fsda_telemetry::counter("causal.fnode.warm_searches", 1);
+    Ok(result)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::ci::{combine_with_fnode, CondIndepTest};
+    use crate::fnode::find_intervened_features;
+    use fsda_linalg::stats::correlation_matrix;
+    use fsda_linalg::SeededRng;
+
+    /// Small SCM with a shifted block: x1 mean-shifted, x3 scale-shifted,
+    /// x2 a child of x1 (indirectly shifted, separable by conditioning).
+    fn two_domain_data(n_src: usize, n_tgt: usize, seed: u64) -> (Matrix, Matrix) {
+        let mut rng = SeededRng::new(seed);
+        let gen = |rng: &mut SeededRng, shift: bool| {
+            let x0 = rng.normal(0.0, 1.0);
+            let x1 = if shift {
+                rng.normal(3.0, 1.0)
+            } else {
+                rng.normal(0.0, 1.0)
+            };
+            let x2 = 1.2 * x1 + rng.normal(0.0, 0.4);
+            let x3 = if shift {
+                rng.normal(0.0, 3.0)
+            } else {
+                rng.normal(0.0, 1.0)
+            };
+            let x4 = 0.8 * x0 + rng.normal(0.0, 0.4);
+            [x0, x1, x2, x3, x4]
+        };
+        let mut src = Matrix::zeros(n_src, 5);
+        for r in 0..n_src {
+            src.row_mut(r).copy_from_slice(&gen(&mut rng, false));
+        }
+        let mut tgt = Matrix::zeros(n_tgt, 5);
+        for r in 0..n_tgt {
+            tgt.row_mut(r).copy_from_slice(&gen(&mut rng, true));
+        }
+        (src, tgt)
+    }
+
+    #[test]
+    fn cached_correlation_matches_recomputed() {
+        let (src, tgt) = two_domain_data(600, 120, 11);
+        let cache = CiCache::new(&src).unwrap();
+        let warm = cache.fisher_z(&tgt).unwrap();
+        let combined = combine_with_fnode(&src, &tgt).unwrap();
+        let cold = correlation_matrix(&combined).unwrap();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                let a = warm.partial_corr(i, j, &[]).unwrap();
+                let b = cold.get(i, j);
+                assert!((a - b).abs() < 1e-9, "corr[{i}][{j}]: warm {a} vs cold {b}");
+            }
+        }
+        assert_eq!(warm.num_samples(), 720);
+        assert_eq!(warm.num_vars(), 6);
+    }
+
+    #[test]
+    fn warm_search_matches_cold_partition() {
+        let (src, tgt) = two_domain_data(2000, 300, 3);
+        let cfg = FnodeConfig {
+            max_candidates: 10,
+            ..FnodeConfig::default()
+        };
+        let cold = find_intervened_features(&src, &tgt, &cfg).unwrap();
+        let cache = CiCache::new(&src).unwrap();
+        // Warm-start from the cold skeleton (the steady-state case).
+        let warm = find_intervened_features_warm(&cache, &tgt, &cold.variant, &cfg).unwrap();
+        assert_eq!(warm.variant, cold.variant, "partitions must agree");
+        assert_eq!(warm.invariant, cold.invariant);
+        // And from a stale/empty skeleton (first re-detection).
+        let warm0 = find_intervened_features_warm(&cache, &tgt, &[], &cfg).unwrap();
+        assert_eq!(warm0.variant, cold.variant);
+    }
+
+    #[test]
+    fn warm_search_is_deterministic() {
+        let (src, tgt) = two_domain_data(800, 150, 7);
+        let cache = CiCache::new(&src).unwrap();
+        let cfg = FnodeConfig::default();
+        let a = find_intervened_features_warm(&cache, &tgt, &[1, 3], &cfg).unwrap();
+        let b = find_intervened_features_warm(&cache, &tgt, &[1, 3], &cfg).unwrap();
+        assert_eq!(a.variant, b.variant);
+        assert_eq!(a.tests_run, b.tests_run);
+        assert_eq!(a.f_correlation, b.f_correlation);
+    }
+
+    #[test]
+    fn rejects_mismatched_window_width() {
+        let (src, _) = two_domain_data(100, 10, 1);
+        let cache = CiCache::new(&src).unwrap();
+        let narrow = Matrix::zeros(10, 3);
+        assert!(matches!(
+            cache.fisher_z(&narrow),
+            Err(CausalError::FeatureMismatch {
+                source: 5,
+                target: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_corrupt_window_with_localization() {
+        let (src, mut tgt) = two_domain_data(100, 20, 2);
+        tgt.set(7, 3, f64::NAN);
+        assert_eq!(
+            cache_err(&src, &tgt),
+            CausalError::NonFinite { row: 7, col: 3 }
+        );
+        let (src, mut tgt) = two_domain_data(100, 20, 4);
+        tgt.set(0, 1, f64::INFINITY);
+        assert_eq!(
+            cache_err(&src, &tgt),
+            CausalError::NonFinite { row: 0, col: 1 }
+        );
+    }
+
+    fn cache_err(src: &Matrix, tgt: &Matrix) -> CausalError {
+        CiCache::new(src).unwrap().fisher_z(tgt).unwrap_err()
+    }
+
+    #[test]
+    fn rejects_empty_window_and_stale_skeleton() {
+        let (src, tgt) = two_domain_data(100, 10, 5);
+        let cache = CiCache::new(&src).unwrap();
+        assert!(matches!(
+            cache.fisher_z(&Matrix::zeros(0, 5)),
+            Err(CausalError::InsufficientData(_))
+        ));
+        assert!(matches!(
+            find_intervened_features_warm(&cache, &tgt, &[9], &FnodeConfig::default()),
+            Err(CausalError::FeatureMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_corrupt_or_tiny_source() {
+        let mut src = Matrix::zeros(10, 3);
+        src.set(4, 2, f64::NAN);
+        assert_eq!(
+            CiCache::new(&src).unwrap_err(),
+            CausalError::NonFinite { row: 4, col: 2 }
+        );
+        assert!(matches!(
+            CiCache::new(&Matrix::zeros(2, 3)),
+            Err(CausalError::InsufficientData(_))
+        ));
+    }
+
+    #[test]
+    fn tolerates_constant_columns() {
+        let mut rng = SeededRng::new(9);
+        let src = Matrix::from_fn(
+            300,
+            3,
+            |_, c| if c == 1 { 7.5 } else { rng.normal(0.0, 1.0) },
+        );
+        let tgt = Matrix::from_fn(
+            60,
+            3,
+            |_, c| if c == 1 { 7.5 } else { rng.normal(0.0, 1.0) },
+        );
+        let cache = CiCache::new(&src).unwrap();
+        let test = cache.fisher_z(&tgt).unwrap();
+        // Dead counter correlates 0 with everything, including the F-node.
+        assert_eq!(test.partial_corr(1, 3, &[]).unwrap(), 0.0);
+        let res = find_intervened_features_warm(&cache, &tgt, &[], &FnodeConfig::default());
+        assert!(res.is_ok());
+    }
+}

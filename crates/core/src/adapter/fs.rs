@@ -78,6 +78,38 @@ impl FsAdapter {
         let stage = observe::start_stage();
         let separation = FeatureSeparation::fit(source, target_shots, &self.config.fs)?;
         observe::finish_stage(stage, "separation");
+        self.fit_components(source, separation)
+    }
+
+    /// Fits the classifier behind a **precomputed** separation — the warm
+    /// re-fit path (see
+    /// [`FsGanAdapter::fit_with_separation`](super::FsGanAdapter::fit_with_separation)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] when the separation's feature
+    /// space disagrees with `source` or leaves no invariant features, and
+    /// propagates training failures.
+    pub fn fit_with_separation(
+        source: &Dataset,
+        separation: FeatureSeparation,
+        config: &AdapterConfig,
+        seed: u64,
+    ) -> Result<Self> {
+        if separation.num_features() != source.num_features() {
+            return Err(CoreError::InvalidInput(format!(
+                "separation covers {} features, source has {}",
+                separation.num_features(),
+                source.num_features()
+            )));
+        }
+        let mut adapter = FsAdapter::new(config.clone(), seed);
+        adapter.fit_components(source, separation)?;
+        Ok(adapter)
+    }
+
+    /// The source-side training shared by both fit paths.
+    fn fit_components(&mut self, source: &Dataset, separation: FeatureSeparation) -> Result<()> {
         if separation.invariant().is_empty() {
             return Err(CoreError::InvalidInput(
                 "feature separation declared every feature variant".into(),

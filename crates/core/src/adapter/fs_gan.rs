@@ -100,6 +100,41 @@ impl FsGanAdapter {
         let stage = observe::start_stage();
         let separation = FeatureSeparation::fit(source, target_shots, &self.config.fs)?;
         observe::finish_stage(stage, "separation");
+        self.fit_components(source, separation)
+    }
+
+    /// Fits the reconstructor + classifier behind a **precomputed**
+    /// separation — the warm re-fit path: a drift controller that already
+    /// re-separated through a [`crate::fs::SeparationCache`] skips the
+    /// F-node search entirely and only pays for the source-side training.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::InvalidInput`] when the separation's
+    /// feature space disagrees with `source`, and propagates reconstruction
+    /// / training failures.
+    pub fn fit_with_separation(
+        source: &Dataset,
+        separation: FeatureSeparation,
+        config: &AdapterConfig,
+        seed: u64,
+    ) -> Result<Self> {
+        if separation.num_features() != source.num_features() {
+            return Err(crate::CoreError::InvalidInput(format!(
+                "separation covers {} features, source has {}",
+                separation.num_features(),
+                source.num_features()
+            )));
+        }
+        let mut adapter = FsGanAdapter::new(config.clone(), seed);
+        adapter.fit_components(source, separation)?;
+        Ok(adapter)
+    }
+
+    /// The source-side training shared by [`fit_in_place`]
+    /// (`FsGanAdapter::fit_in_place`) and
+    /// [`FsGanAdapter::fit_with_separation`].
+    fn fit_components(&mut self, source: &Dataset, separation: FeatureSeparation) -> Result<()> {
         let (inv, var) = separation.split_normalized(source.features());
         // Degenerate partitions (all-variant or all-invariant) skip the
         // reconstructor and serve as normalized pass-through; see

@@ -12,6 +12,51 @@
 use fsda_linalg::stats::{ks_statistic, mean, std_dev};
 use fsda_linalg::Matrix;
 
+/// Typed failure from scoring a window — the serving-adjacent analogue of
+/// `ServeError` (`crate::serve::ServeError`): localized enough that an
+/// operator can find the offending exporter column without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriftError {
+    /// The window's feature count differs from the fitted source.
+    FeatureMismatch {
+        /// Features the detector was fitted on.
+        expected: usize,
+        /// Features the window actually has.
+        got: usize,
+    },
+    /// The window contains a NaN/Inf cell; the payload localizes the first.
+    NonFinite {
+        /// Row index of the first offending cell.
+        row: usize,
+        /// Column index of the first offending cell.
+        col: usize,
+    },
+    /// The window has no rows — there is nothing to score.
+    EmptyWindow,
+}
+
+impl std::fmt::Display for DriftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriftError::FeatureMismatch { expected, got } => {
+                write!(
+                    f,
+                    "drift window has {got} features, detector monitors {expected}"
+                )
+            }
+            DriftError::NonFinite { row, col } => {
+                write!(
+                    f,
+                    "drift window has a non-finite cell at row {row}, column {col}"
+                )
+            }
+            DriftError::EmptyWindow => write!(f, "drift window is empty"),
+        }
+    }
+}
+
+impl std::error::Error for DriftError {}
+
 /// Per-feature reference statistics from the source domain.
 #[derive(Debug, Clone)]
 pub struct DriftDetector {
@@ -113,13 +158,43 @@ impl DriftDetector {
     ///
     /// # Panics
     ///
-    /// Panics if the window's column count differs from the source.
+    /// Panics on any input [`try_score`](DriftDetector::try_score) rejects:
+    /// column mismatch, non-finite cells, or an empty window. Online
+    /// callers fed by untrusted exporters should use `try_score`.
     pub fn score(&self, window: &Matrix) -> DriftReport {
-        assert_eq!(
-            window.cols(),
-            self.num_features(),
-            "DriftDetector: column mismatch"
-        );
+        match self.try_score(window) {
+            Ok(report) => report,
+            Err(DriftError::FeatureMismatch { .. }) => {
+                panic!("DriftDetector: column mismatch")
+            }
+            Err(e) => panic!("DriftDetector: {e}"),
+        }
+    }
+
+    /// Scores a window, returning a typed, localized error instead of
+    /// indexing blind: width mismatches, NaN/Inf cells (first offending
+    /// row/column reported), and empty windows are all rejected up front,
+    /// so a corrupt telemetry export can never poison the drift statistics
+    /// or panic a long-running controller.
+    ///
+    /// # Errors
+    ///
+    /// See [`DriftError`].
+    pub fn try_score(&self, window: &Matrix) -> Result<DriftReport, DriftError> {
+        if window.cols() != self.num_features() {
+            return Err(DriftError::FeatureMismatch {
+                expected: self.num_features(),
+                got: window.cols(),
+            });
+        }
+        if window.rows() == 0 {
+            return Err(DriftError::EmptyWindow);
+        }
+        for (r, row) in window.iter_rows().enumerate() {
+            if let Some(c) = row.iter().position(|v| !v.is_finite()) {
+                return Err(DriftError::NonFinite { row: r, col: c });
+            }
+        }
         let d = self.num_features();
         let mut drifted = Vec::new();
         let mut z_scores = Vec::with_capacity(d);
@@ -136,12 +211,12 @@ impl DriftDetector {
         }
         let readapt =
             drifted.len() as f64 >= self.config.feature_fraction * d as f64 && !drifted.is_empty();
-        DriftReport {
+        Ok(DriftReport {
             drifted_features: drifted,
             z_scores,
             ks,
             readapt,
-        }
+        })
     }
 }
 
@@ -238,5 +313,56 @@ mod tests {
     fn window_width_is_validated() {
         let det = DriftDetector::fit(&source(8), DriftConfig::default());
         let _ = det.score(&Matrix::zeros(5, 3));
+    }
+
+    #[test]
+    fn try_score_rejects_width_mismatch_typed() {
+        let det = DriftDetector::fit(&source(8), DriftConfig::default());
+        assert_eq!(
+            det.try_score(&Matrix::zeros(5, 3)).unwrap_err(),
+            DriftError::FeatureMismatch {
+                expected: 10,
+                got: 3
+            }
+        );
+    }
+
+    #[test]
+    fn try_score_localizes_non_finite_cells() {
+        let det = DriftDetector::fit(&source(9), DriftConfig::default());
+        let mut rng = SeededRng::new(10);
+        let mut window = rng.normal_matrix(40, 10, 0.0, 1.0);
+        window.set(13, 6, f64::NAN);
+        assert_eq!(
+            det.try_score(&window).unwrap_err(),
+            DriftError::NonFinite { row: 13, col: 6 }
+        );
+        window.set(13, 6, f64::NEG_INFINITY);
+        assert_eq!(
+            det.try_score(&window).unwrap_err(),
+            DriftError::NonFinite { row: 13, col: 6 }
+        );
+    }
+
+    #[test]
+    fn try_score_rejects_empty_window() {
+        let det = DriftDetector::fit(&source(11), DriftConfig::default());
+        assert_eq!(
+            det.try_score(&Matrix::zeros(0, 10)).unwrap_err(),
+            DriftError::EmptyWindow
+        );
+    }
+
+    #[test]
+    fn try_score_matches_score_on_clean_windows() {
+        let det = DriftDetector::fit(&source(12), DriftConfig::default());
+        let mut rng = SeededRng::new(13);
+        let window = rng.normal_matrix(80, 10, 0.5, 1.2);
+        let a = det.try_score(&window).unwrap();
+        let b = det.score(&window);
+        assert_eq!(a.drifted_features, b.drifted_features);
+        assert_eq!(a.z_scores, b.z_scores);
+        assert_eq!(a.ks, b.ks);
+        assert_eq!(a.readapt, b.readapt);
     }
 }

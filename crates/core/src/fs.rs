@@ -2,6 +2,7 @@
 
 use crate::{CoreError, Result};
 use fsda_causal::fnode::{find_intervened_features, FnodeConfig};
+use fsda_causal::warm::{find_intervened_features_warm, CiCache};
 use fsda_data::normalize::{NormKind, Normalizer};
 use fsda_data::Dataset;
 use fsda_linalg::Matrix;
@@ -267,6 +268,138 @@ impl FeatureSeparation {
     }
 }
 
+/// Which search path a warm-capable separation actually took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchPath {
+    /// Cached sufficient statistics + previous-skeleton priority.
+    Warm,
+    /// Full recomputation over the stacked source+target data.
+    Cold,
+}
+
+impl std::fmt::Display for SearchPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchPath::Warm => write!(f, "warm"),
+            SearchPath::Cold => write!(f, "cold"),
+        }
+    }
+}
+
+/// Reusable source-side state for repeated separations against a fixed
+/// source domain: the fitted normalizer, the normalized source matrix (the
+/// cold-fallback input), and the cached CI-test sufficient statistics
+/// ([`fsda_causal::warm::CiCache`]). Build once per tenant, re-separate per
+/// drift event — [`FeatureSeparation::fit_warm`] then costs
+/// `O(n_window · d²)` instead of `O(n_src · d²)`.
+#[derive(Debug, Clone)]
+pub struct SeparationCache {
+    normalizer: Normalizer,
+    src_n: Matrix,
+    ci: CiCache,
+    config: FsConfig,
+}
+
+impl SeparationCache {
+    /// Fits the normalizer on the source domain and folds the source rows
+    /// into the CI cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`fsda_causal::warm::CiCache::new`] failures (tiny or
+    /// corrupt source data).
+    pub fn new(source: &Dataset, config: &FsConfig) -> Result<Self> {
+        let normalizer = Normalizer::fit(source.features(), NormKind::MinMaxSymmetric);
+        let src_n = normalizer.transform(source.features());
+        let ci = CiCache::new(&src_n)?;
+        Ok(SeparationCache {
+            normalizer,
+            src_n,
+            ci,
+            config: config.clone(),
+        })
+    }
+
+    /// Feature count the cache was built over.
+    pub fn num_features(&self) -> usize {
+        self.ci.num_features()
+    }
+
+    /// Source rows folded into the cache.
+    pub fn source_rows(&self) -> usize {
+        self.ci.source_rows()
+    }
+
+    /// The FS configuration the cache separates with.
+    pub fn config(&self) -> &FsConfig {
+        &self.config
+    }
+}
+
+impl FeatureSeparation {
+    /// Re-runs feature separation against a fresh target window using the
+    /// cached source-side state, warm-starting the F-node search from the
+    /// previous variant set when one is given. Falls back to the cold
+    /// search — same `O(n_src · d²)` contract as
+    /// [`FeatureSeparation::fit`] — when the previous skeleton does not
+    /// match the cached feature space (e.g. a stale controller handed over
+    /// indices from a different deployment).
+    ///
+    /// Returns the separation together with the [`SearchPath`] actually
+    /// taken, so callers can report warm-hit rates. Note the warm path is
+    /// deterministic but not bit-identical to cold (see
+    /// [`fsda_causal::warm`] for the floating-point caveat); hard input
+    /// failures (corrupt window, width mismatch) are *not* masked by the
+    /// fallback — they error on both paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on a feature-count mismatch
+    /// between the cache and the window, and propagates causal failures
+    /// (non-finite cells, empty windows).
+    pub fn fit_warm(
+        cache: &SeparationCache,
+        target_shots: &Dataset,
+        prev_variant: Option<&[usize]>,
+    ) -> Result<(Self, SearchPath)> {
+        if target_shots.num_features() != cache.num_features() {
+            return Err(CoreError::InvalidInput(format!(
+                "cache has {} features, target {}",
+                cache.num_features(),
+                target_shots.num_features()
+            )));
+        }
+        let tgt_n = cache.normalizer.transform(target_shots.features());
+        let fnode_cfg: FnodeConfig = (&cache.config).into();
+        let warm_applicable = prev_variant
+            .map(|p| p.iter().all(|&x| x < cache.num_features()))
+            .unwrap_or(false);
+        let (result, path) = if warm_applicable {
+            let prev = prev_variant.unwrap_or(&[]);
+            (
+                find_intervened_features_warm(&cache.ci, &tgt_n, prev, &fnode_cfg)?,
+                SearchPath::Warm,
+            )
+        } else {
+            (
+                find_intervened_features(&cache.src_n, &tgt_n, &fnode_cfg)?,
+                SearchPath::Cold,
+            )
+        };
+        Ok((
+            FeatureSeparation {
+                variant: result.variant,
+                invariant: result.invariant,
+                normalizer: cache.normalizer.clone(),
+                tests_run: result.tests_run,
+                num_features: cache.num_features(),
+                config: cache.config.clone(),
+            },
+            path,
+        ))
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
@@ -389,5 +522,71 @@ mod tests {
         let (p, r) = fs.score_against(&[]);
         assert_eq!(r, 1.0);
         assert!(p <= 1.0);
+    }
+
+    #[test]
+    fn fit_warm_matches_cold_partition() {
+        let bundle = Synth5gc::small().generate(21).unwrap();
+        let mut rng = SeededRng::new(22);
+        let shots = few_shot_subset(&bundle.target_pool, 10, &mut rng).unwrap();
+        let cfg = FsConfig::default();
+        let cold = FeatureSeparation::fit(&bundle.source_train, &shots, &cfg).unwrap();
+        let cache = SeparationCache::new(&bundle.source_train, &cfg).unwrap();
+        assert_eq!(cache.num_features(), cold.num_features());
+        assert_eq!(cache.source_rows(), bundle.source_train.len());
+
+        // Warm from the cold skeleton: the steady-state re-detection. The
+        // warm path is deterministic but not bit-identical to cold, so a
+        // borderline feature may flip — the partitions must still agree on
+        // all but a sliver of the feature space.
+        let (warm, path) =
+            FeatureSeparation::fit_warm(&cache, &shots, Some(cold.variant())).unwrap();
+        assert_eq!(path, SearchPath::Warm);
+        let warm_set: std::collections::BTreeSet<usize> = warm.variant().iter().copied().collect();
+        let cold_set: std::collections::BTreeSet<usize> = cold.variant().iter().copied().collect();
+        let flipped = warm_set.symmetric_difference(&cold_set).count();
+        assert!(
+            flipped <= 2,
+            "warm and cold partitions diverged on {flipped} features: {warm_set:?} vs {cold_set:?}"
+        );
+        assert_eq!(warm.num_features(), cold.num_features());
+        assert_eq!(
+            warm.variant().len() + warm.invariant().len(),
+            warm.num_features()
+        );
+
+        // No previous skeleton: the cache still avoids re-normalizing but
+        // runs the cold search.
+        let (cold2, path2) = FeatureSeparation::fit_warm(&cache, &shots, None).unwrap();
+        assert_eq!(path2, SearchPath::Cold);
+        assert_eq!(cold2.variant(), cold.variant());
+    }
+
+    #[test]
+    fn fit_warm_falls_back_to_cold_on_stale_skeleton() {
+        let bundle = Synth5gc::small().generate(23).unwrap();
+        let mut rng = SeededRng::new(24);
+        let shots = few_shot_subset(&bundle.target_pool, 8, &mut rng).unwrap();
+        let cache = SeparationCache::new(&bundle.source_train, &FsConfig::default()).unwrap();
+        // A skeleton from some other feature space: indices out of range.
+        let stale = vec![0, cache.num_features() + 3];
+        let (fs, path) = FeatureSeparation::fit_warm(&cache, &shots, Some(&stale)).unwrap();
+        assert_eq!(
+            path,
+            SearchPath::Cold,
+            "mismatched skeleton must cold-start"
+        );
+        assert_eq!(fs.variant().len() + fs.invariant().len(), fs.num_features());
+    }
+
+    #[test]
+    fn fit_warm_rejects_mismatched_windows() {
+        let bundle = Synth5gc::small().generate(25).unwrap();
+        let cache = SeparationCache::new(&bundle.source_train, &FsConfig::default()).unwrap();
+        let narrow = bundle.target_pool.select_features(&[0, 1, 2]);
+        assert!(matches!(
+            FeatureSeparation::fit_warm(&cache, &narrow, None),
+            Err(CoreError::InvalidInput(_))
+        ));
     }
 }

@@ -58,15 +58,18 @@ pub mod method;
 pub mod persist;
 pub mod pipeline;
 pub mod report;
+pub mod retry;
 pub mod serve;
 pub mod sweep;
 
 pub use fsda_telemetry as telemetry;
 
 pub use adapter::{AdapterConfig, DegradedMode, FsAdapter, FsGanAdapter};
-pub use fs::FeatureSeparation;
+pub use drift::DriftError;
+pub use fs::{FeatureSeparation, SearchPath, SeparationCache};
 pub use method::Method;
 pub use pipeline::{BaselineMitigator, DriftMitigator};
+pub use retry::RetryPolicy;
 pub use serve::{FitError, GuardConfig, InputPolicy, ServeError};
 
 /// Errors raised by the DA framework.

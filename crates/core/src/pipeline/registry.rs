@@ -6,9 +6,13 @@ use crate::adapter::{
     peek_meta, AdapterConfig, FsAdapter, FsGanAdapter, ReconKind, ARTIFACT_CLASSIFIER,
     ARTIFACT_DANN, ARTIFACT_FS, ARTIFACT_FSGAN, ARTIFACT_MATCHNET, ARTIFACT_PROTONET, ARTIFACT_SCL,
 };
+use crate::fs::FeatureSeparation;
 use crate::method::Method;
 use crate::pipeline::{BaselineMitigator, DriftMitigator};
+use crate::serve::{FitError, GuardConfig};
 use crate::{CoreError, Result};
+use fsda_data::Dataset;
+use fsda_gan::TrainOutcome;
 
 impl Method {
     /// Builds an unfitted mitigator for this method. The FS family maps to
@@ -33,6 +37,66 @@ impl Method {
             Method::Fs => Box::new(FsAdapter::new(config.clone(), seed)),
             _ => Box::new(BaselineMitigator::new(self, config, seed)),
         }
+    }
+}
+
+/// Fits an FS-family method behind a **precomputed** feature separation —
+/// the warm re-fit path used by a drift controller that already
+/// re-separated through a [`crate::fs::SeparationCache`] and only wants to
+/// pay for the source-side training.
+///
+/// Returns `Ok(None)` for methods whose pipeline does not factor through a
+/// feature separation (the baselines); those must be re-fit through
+/// [`DriftMitigator::try_fit`] instead. The FS family gets `config.recon`
+/// overridden to match the method, exactly as in [`Method::build`].
+///
+/// # Errors
+///
+/// [`FitError::CorruptSource`] when `source` holds a non-finite cell under
+/// [`crate::InputPolicy::Reject`], [`FitError::ReconstructionDiverged`]
+/// when the watchdog flags the reconstructor, and [`FitError::Core`] for
+/// separation/shape/training failures.
+pub fn try_fit_with_separation(
+    method: Method,
+    source: &Dataset,
+    separation: FeatureSeparation,
+    config: &AdapterConfig,
+    seed: u64,
+    guard: &GuardConfig,
+) -> std::result::Result<Option<Box<dyn DriftMitigator>>, FitError> {
+    let repaired = crate::serve::sanitize_fit_features(source.features(), guard.policy)
+        .map_err(|(row, col)| FitError::CorruptSource { row, col })?;
+    let owned;
+    let source = match repaired {
+        Some(features) => {
+            owned = Dataset::new(features, source.labels().to_vec(), source.num_classes())
+                .map_err(|e| FitError::Core(e.into()))?;
+            &owned
+        }
+        None => source,
+    };
+    match method {
+        Method::FsGan | Method::FsNoCond | Method::FsVae | Method::FsVanillaAe => {
+            let recon = match method {
+                Method::FsGan => ReconKind::Gan,
+                Method::FsNoCond => ReconKind::GanNoCond,
+                Method::FsVae => ReconKind::Vae,
+                _ => ReconKind::VanillaAe,
+            };
+            let config = AdapterConfig {
+                recon,
+                ..config.clone()
+            };
+            let adapter = FsGanAdapter::fit_with_separation(source, separation, &config, seed)?;
+            if let Some(TrainOutcome::Diverged { epoch }) = adapter.train_outcome() {
+                return Err(FitError::ReconstructionDiverged { epoch });
+            }
+            Ok(Some(Box::new(adapter)))
+        }
+        Method::Fs => Ok(Some(Box::new(FsAdapter::fit_with_separation(
+            source, separation, config, seed,
+        )?))),
+        _ => Ok(None),
     }
 }
 

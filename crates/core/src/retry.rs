@@ -1,0 +1,219 @@
+//! Deterministic retry/backoff schedules.
+//!
+//! One shared implementation for every path that retries a fallible stage
+//! — today the closed-loop drift controller (`fsda_serve::controller`),
+//! tomorrow any fit path that wants bounded, jittered retries. The
+//! schedule is exponential with a cap and **seeded** jitter: the same
+//! [`RetryPolicy`] always produces the same delays, so tests and replay
+//! runs stay bit-reproducible while concurrent controllers (different
+//! seeds) still decorrelate their retry storms.
+
+use fsda_linalg::SeededRng;
+use std::time::Duration;
+
+/// An exponential-backoff policy with deterministic seeded jitter.
+///
+/// `max_attempts` counts *attempts*, not retries: a policy with
+/// `max_attempts = 3` yields two delays (between attempts 1→2 and 2→3).
+/// Each delay is `min(cap, base · factor^k)` shrunk by up to
+/// `jitter` fraction, where the shrink factor is drawn from the policy's
+/// own seeded RNG — never the global clock or thread-local entropy.
+///
+/// # Example
+///
+/// ```
+/// use fsda_core::retry::RetryPolicy;
+/// use std::time::Duration;
+///
+/// let policy = RetryPolicy {
+///     max_attempts: 4,
+///     base: Duration::from_millis(100),
+///     factor: 2.0,
+///     cap: Duration::from_millis(350),
+///     jitter: 0.0,
+///     seed: 7,
+/// };
+/// let delays: Vec<Duration> = policy.schedule().collect();
+/// assert_eq!(delays.len(), 3); // 4 attempts → 3 waits
+/// assert_eq!(delays[0], Duration::from_millis(100));
+/// assert_eq!(delays[1], Duration::from_millis(200));
+/// assert_eq!(delays[2], Duration::from_millis(350)); // capped
+/// ```
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts allowed (≥ 1); the schedule yields `max_attempts - 1`
+    /// delays.
+    pub max_attempts: usize,
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Multiplicative growth per retry (values < 1.0 are clamped to 1.0).
+    pub factor: f64,
+    /// Upper bound applied before jitter.
+    pub cap: Duration,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a seeded draw
+    /// from `[1 - jitter, 1]`. Shrinking (never growing) keeps every delay
+    /// under `cap`.
+    pub jitter: f64,
+    /// Seed of the jitter stream; same seed ⇒ same schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(100),
+            factor: 2.0,
+            cap: Duration::from_secs(5),
+            jitter: 0.2,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A zero-wait policy: `attempts` tries, no delay between them. Used by
+    /// tests and by callers whose stages are already deadline-bounded.
+    pub fn immediate(attempts: usize) -> Self {
+        RetryPolicy {
+            max_attempts: attempts.max(1),
+            base: Duration::ZERO,
+            factor: 1.0,
+            cap: Duration::ZERO,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// The delay sequence as an iterator — `max_attempts - 1` items.
+    pub fn schedule(&self) -> BackoffSchedule {
+        BackoffSchedule {
+            remaining: self.max_attempts.saturating_sub(1),
+            next: self.base.as_secs_f64(),
+            factor: self.factor.max(1.0),
+            cap: self.cap.as_secs_f64(),
+            jitter: self.jitter.clamp(0.0, 1.0),
+            rng: SeededRng::new(self.seed),
+        }
+    }
+
+    /// The full delay sequence, materialized.
+    pub fn delays(&self) -> Vec<Duration> {
+        self.schedule().collect()
+    }
+}
+
+/// Iterator over a [`RetryPolicy`]'s delays (see [`RetryPolicy::schedule`]).
+#[derive(Debug, Clone)]
+pub struct BackoffSchedule {
+    remaining: usize,
+    next: f64,
+    factor: f64,
+    cap: f64,
+    jitter: f64,
+    rng: SeededRng,
+}
+
+impl Iterator for BackoffSchedule {
+    type Item = Duration;
+
+    fn next(&mut self) -> Option<Duration> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let capped = self.next.min(self.cap);
+        // Draw even when jitter is 0 so toggling jitter never re-times the
+        // *later* draws of the same seed.
+        let shrink = 1.0 - self.jitter * self.rng.uniform();
+        self.next *= self.factor;
+        Some(Duration::from_secs_f64(capped * shrink))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for BackoffSchedule {}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn policy(jitter: f64, seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base: Duration::from_millis(50),
+            factor: 2.0,
+            cap: Duration::from_millis(300),
+            jitter,
+            seed,
+        }
+    }
+
+    #[test]
+    fn unjittered_schedule_is_exponential_and_capped() {
+        let delays = policy(0.0, 0).delays();
+        assert_eq!(
+            delays,
+            vec![
+                Duration::from_millis(50),
+                Duration::from_millis(100),
+                Duration::from_millis(200),
+                Duration::from_millis(300), // 400 capped to 300
+            ]
+        );
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        assert_eq!(policy(0.3, 42).delays(), policy(0.3, 42).delays());
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let a = policy(0.5, 1).delays();
+        let b = policy(0.5, 2).delays();
+        assert_ne!(a, b, "distinct seeds should produce distinct jitter");
+    }
+
+    #[test]
+    fn jitter_only_shrinks_and_respects_cap() {
+        for seed in 0..20 {
+            let unjittered = policy(0.0, seed).delays();
+            let jittered = policy(0.4, seed).delays();
+            for (j, u) in jittered.iter().zip(&unjittered) {
+                assert!(j <= u, "jitter must never extend a delay: {j:?} > {u:?}");
+                assert!(*j >= u.mul_f64(0.6 - 1e-9), "shrink bounded by jitter");
+                assert!(*j <= Duration::from_millis(300));
+            }
+        }
+    }
+
+    #[test]
+    fn attempt_accounting() {
+        assert_eq!(policy(0.0, 0).schedule().len(), 4);
+        assert_eq!(RetryPolicy::immediate(1).delays(), Vec::<Duration>::new());
+        assert_eq!(
+            RetryPolicy::immediate(3).delays(),
+            vec![Duration::ZERO, Duration::ZERO]
+        );
+        // Degenerate zero-attempt policy still yields no delays.
+        let p = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        assert!(p.delays().is_empty());
+    }
+
+    #[test]
+    fn jitter_is_clamped() {
+        let mut p = policy(7.5, 3); // silly over-range jitter
+        p.cap = Duration::from_secs(1);
+        for d in p.delays() {
+            assert!(d <= Duration::from_secs(1));
+        }
+    }
+}

@@ -169,6 +169,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         start.elapsed().as_secs_f64() * 1e3,
         server.tenants().join(", ")
     );
+    // Lenient boot: tenants whose artifacts failed to load were skipped so
+    // the rest of the fleet could come up. Surface each one so the
+    // operator sees the degraded fleet, not just the survivors.
+    for failure in server.boot_failures() {
+        println!("boot FAILED {}: {}", failure.tenant, failure.error);
+    }
 
     // Drive traffic round-robin across tenants, hot-swapping each tenant
     // `--swaps` times at evenly spaced points in the stream.

@@ -15,6 +15,11 @@
 //! - **[`hotswap`]** — [`hotswap::SwapCell`], the per-tenant atomic
 //!   artifact pointer: wait-free reads, one-atomic-swap publication,
 //!   zero request stalls.
+//! - **[`controller`]** — [`controller::DriftController`]: the
+//!   closed-loop supervisor — detect → re-fit (warm-started) → validate
+//!   → hot-swap, with per-attempt deadlines, seeded-jitter retries, and
+//!   a circuit breaker that degrades to serve-last-good on repeated
+//!   failure.
 //! - **[`server`]** — [`server::TenantServer`]: routes batches by tenant
 //!   over a thread-per-core shard pool (`fsda_linalg::par::ShardPool`),
 //!   applies per-tenant admission control and shard-level backpressure,
@@ -67,11 +72,16 @@
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod controller;
 pub mod epoch;
 pub mod hotswap;
 pub mod manifest;
 pub mod server;
 
+pub use controller::{
+    BreakerState, ControlOutcome, ControllerConfig, ControllerError, DriftController, Refit,
+    RefitRequest, Refitter, RegistryRefitter,
+};
 pub use hotswap::{ArtifactVersion, SwapCell, SwapOutcome};
 pub use manifest::{ManifestError, TenantEntry, TenantManifest};
 pub use server::{

@@ -103,6 +103,13 @@ pub enum ServerError {
     DuplicateTenant(String),
     /// The server was constructed with no tenants.
     NoTenants,
+    /// Every tenant in the manifest failed to boot — there is nothing to
+    /// serve. Individual failures are skippable (see
+    /// [`TenantServer::boot_failures`]); a fleet of zero is not.
+    AllTenantsFailed {
+        /// How many manifest entries failed.
+        failed: usize,
+    },
     /// The named tenant does not exist.
     UnknownTenant(String),
 }
@@ -127,6 +134,9 @@ impl std::fmt::Display for ServerError {
             ),
             ServerError::DuplicateTenant(t) => write!(f, "duplicate tenant \"{t}\""),
             ServerError::NoTenants => write!(f, "server needs at least one tenant"),
+            ServerError::AllTenantsFailed { failed } => {
+                write!(f, "all {failed} manifest tenants failed to boot")
+            }
             ServerError::UnknownTenant(t) => write!(f, "unknown tenant \"{t}\""),
         }
     }
@@ -243,6 +253,16 @@ pub struct TenantStats {
     pub serve_errors: u64,
 }
 
+/// One tenant that failed to boot from the manifest and was skipped so the
+/// rest of the fleet could come up.
+#[derive(Debug)]
+pub struct BootFailure {
+    /// The tenant that was skipped.
+    pub tenant: String,
+    /// Why its artifact could not serve (I/O, restore, or unfitted).
+    pub error: ServerError,
+}
+
 struct Tenant {
     name: String,
     shard: usize,
@@ -261,6 +281,7 @@ pub struct TenantServer {
     pool: ShardPool,
     epochs: Arc<EpochPool>,
     config: ServeConfig,
+    boot_failures: Vec<BootFailure>,
 }
 
 impl std::fmt::Debug for TenantServer {
@@ -323,6 +344,7 @@ impl TenantServer {
             pool,
             epochs,
             config,
+            boot_failures: Vec::new(),
         })
     }
 
@@ -332,28 +354,77 @@ impl TenantServer {
     /// method produced an artifact), and assigns tenants to shards
     /// round-robin in manifest order.
     ///
+    /// A tenant whose artifact cannot be read, restored, or served is
+    /// **skipped, not fatal**: one corrupt file must not keep the other
+    /// 99 slices of the fleet down. Each skip is recorded (see
+    /// [`TenantServer::boot_failures`]) and counted on the
+    /// `serve.tenant.boot_failures` / `serve.tenant.boot_failures.<tenant>`
+    /// telemetry counters so a partial boot is loud, not silent.
+    ///
     /// # Errors
     ///
-    /// [`ServerError::ArtifactIo`] / [`ServerError::ArtifactRestore`]
-    /// name the failing tenant; plus everything
-    /// [`TenantServer::from_artifacts`] raises.
+    /// [`ServerError::AllTenantsFailed`] when *every* entry failed,
+    /// plus everything [`TenantServer::from_artifacts`] raises for the
+    /// surviving set (duplicate/invalid tenant ids stay fatal — they are
+    /// manifest bugs, not artifact damage).
     pub fn from_manifest(
         manifest: &TenantManifest,
         config: ServeConfig,
     ) -> Result<TenantServer, ServerError> {
         let mut artifacts = Vec::with_capacity(manifest.entries().len());
+        let mut failures = Vec::new();
         for entry in manifest.entries() {
-            let bytes = std::fs::read(&entry.path).map_err(|source| ServerError::ArtifactIo {
-                tenant: entry.tenant.clone(),
-                source,
-            })?;
-            let artifact = restore(&bytes).map_err(|source| ServerError::ArtifactRestore {
-                tenant: entry.tenant.clone(),
-                source,
-            })?;
-            artifacts.push((entry.tenant.clone(), artifact));
+            let tenant = entry.tenant.clone();
+            let outcome = std::fs::read(&entry.path)
+                .map_err(|source| ServerError::ArtifactIo {
+                    tenant: tenant.clone(),
+                    source,
+                })
+                .and_then(|bytes| {
+                    restore(&bytes).map_err(|source| ServerError::ArtifactRestore {
+                        tenant: tenant.clone(),
+                        source,
+                    })
+                })
+                .and_then(|artifact| {
+                    if artifact.is_fitted() {
+                        Ok(artifact)
+                    } else {
+                        Err(ServerError::UnfittedArtifact {
+                            tenant: tenant.clone(),
+                        })
+                    }
+                });
+            match outcome {
+                Ok(artifact) => artifacts.push((tenant, artifact)),
+                Err(error) => {
+                    telemetry::with_recorder(|rec| {
+                        rec.counter("serve.tenant.boot_failures", 1);
+                        rec.counter(&format!("serve.tenant.boot_failures.{tenant}"), 1);
+                    });
+                    failures.push(BootFailure { tenant, error });
+                }
+            }
         }
-        TenantServer::from_artifacts(artifacts, config)
+        if artifacts.is_empty() {
+            return Err(if failures.is_empty() {
+                ServerError::NoTenants
+            } else {
+                ServerError::AllTenantsFailed {
+                    failed: failures.len(),
+                }
+            });
+        }
+        let mut server = TenantServer::from_artifacts(artifacts, config)?;
+        server.boot_failures = failures;
+        Ok(server)
+    }
+
+    /// Tenants that were skipped during [`TenantServer::from_manifest`]
+    /// because their artifact could not be read, restored, or served.
+    /// Empty after [`TenantServer::from_artifacts`].
+    pub fn boot_failures(&self) -> &[BootFailure] {
+        &self.boot_failures
     }
 
     /// The tenant ids, in boot (manifest) order.
@@ -745,10 +816,63 @@ mod tests {
 
         let manifest = TenantManifest::load(&manifest_path).unwrap();
         let server = TenantServer::from_manifest(&manifest, ServeConfig::default()).unwrap();
+        assert!(server.boot_failures().is_empty());
         let direct = a.predict_batch(&probe, Some(1));
         let served = server.predict("alpha", probe).unwrap();
         assert_eq!(served.predictions, direct, "restore is bit-identical");
         server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_boot_skips_broken_tenants_and_records_them() {
+        let (a, probe) = fitted(1);
+        let dir =
+            std::env::temp_dir().join(format!("fsda-manifest-skip-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("good.fsda"), a.to_bytes().unwrap()).unwrap();
+        std::fs::write(dir.join("corrupt.fsda"), b"not an artifact").unwrap();
+        // "missing.fsda" is never written: an I/O failure.
+        let manifest_path = dir.join("tenants.manifest");
+        std::fs::write(
+            &manifest_path,
+            "alpha = good.fsda\nbroken = corrupt.fsda\ngone = missing.fsda\n",
+        )
+        .unwrap();
+
+        let manifest = TenantManifest::load(&manifest_path).unwrap();
+        let server = TenantServer::from_manifest(&manifest, ServeConfig::default()).unwrap();
+        // The fleet is up with the one healthy tenant...
+        assert_eq!(server.tenants(), ["alpha".to_string()]);
+        assert!(server.predict("alpha", probe).is_ok());
+        // ...and both failures are recorded, with their causes.
+        let failures = server.boot_failures();
+        assert_eq!(failures.len(), 2);
+        assert_eq!(failures[0].tenant, "broken");
+        assert!(matches!(
+            failures[0].error,
+            ServerError::ArtifactRestore { .. }
+        ));
+        assert_eq!(failures[1].tenant, "gone");
+        assert!(matches!(failures[1].error, ServerError::ArtifactIo { .. }));
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_boot_fails_only_when_every_tenant_fails() {
+        let dir =
+            std::env::temp_dir().join(format!("fsda-manifest-allfail-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("bad.fsda"), b"garbage").unwrap();
+        let manifest_path = dir.join("tenants.manifest");
+        std::fs::write(&manifest_path, "a = bad.fsda\nb = nowhere.fsda\n").unwrap();
+        let manifest = TenantManifest::load(&manifest_path).unwrap();
+        let err = TenantServer::from_manifest(&manifest, ServeConfig::default()).unwrap_err();
+        assert!(
+            matches!(err, ServerError::AllTenantsFailed { failed: 2 }),
+            "{err}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,474 @@
+//! Chaos suite for the closed-loop drift controller: injected fit
+//! failures, timeouts, garbage candidates, and corrupt windows across
+//! three tenants, asserting the containment invariants of
+//! `docs/CONTROL.md`:
+//!
+//! - **No unvalidated swap ever reaches the server** — every served
+//!   response names an artifact version that passed the validation gate.
+//! - **Responses are bit-identical to the artifact version they name**,
+//!   before, during, and after chaos.
+//! - **The breaker degrades and recovers**: repeated failures trip it
+//!   open (serve last-good, stop re-fitting), and a healthy half-open
+//!   probe closes it again.
+//! - **The request path never blocks on a re-fit**: serving continues
+//!   while re-fit workers fail, hang, or emit garbage.
+
+use fsda_core::adapter::AdapterConfig;
+use fsda_core::drift::DriftConfig;
+use fsda_core::{DriftMitigator, FitError, GuardConfig, Method, RetryPolicy};
+use fsda_data::faultinject::Fault;
+use fsda_data::synth5gc::{Synth5gc, Synth5gcBundle};
+use fsda_data::Dataset;
+use fsda_serve::controller::{
+    BreakerState, ControlOutcome, ControllerConfig, ControllerError, DriftController, Refit,
+    RefitRequest, Refitter, RegistryRefitter,
+};
+use fsda_serve::server::{ServeConfig, TenantServer};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const TENANTS: [&str; 3] = ["slice-embb", "slice-urllc", "slice-mmtc"];
+
+fn bundle() -> Synth5gcBundle {
+    Synth5gc::small().generate(11).expect("bundle")
+}
+
+/// A deliberately stale incumbent: fitted on label-rotated source data
+/// so any honest re-fit beats it at the validation gate.
+fn stale_incumbent(b: &Synth5gcBundle, seed: u64) -> (Box<dyn DriftMitigator>, Vec<u8>) {
+    let k = b.source_train.num_classes();
+    let rotated = Dataset::new(
+        b.source_train.features().clone(),
+        b.source_train
+            .labels()
+            .iter()
+            .map(|&y| (y + 1) % k)
+            .collect(),
+        k,
+    )
+    .expect("rotated dataset");
+    let mut incumbent = Method::SrcOnly.build(&AdapterConfig::quick(), seed);
+    incumbent
+        .try_fit(&rotated, &rotated, &GuardConfig::default())
+        .expect("incumbent fit");
+    let bytes = incumbent.to_bytes().expect("incumbent bytes");
+    (incumbent, bytes)
+}
+
+/// An honest incumbent: TarOnly fitted on clean target shots, strong on
+/// the target domain — garbage candidates deterministically lose to it.
+fn honest_incumbent(b: &Synth5gcBundle, seed: u64) -> (Box<dyn DriftMitigator>, Vec<u8>) {
+    let mut rng = fsda_linalg::SeededRng::new(seed);
+    let shots =
+        fsda_data::fewshot::few_shot_subset(&b.target_pool, 5, &mut rng).expect("honest shots");
+    let mut incumbent = Method::TarOnly.build(&AdapterConfig::quick(), seed);
+    incumbent
+        .try_fit(&b.source_train, &shots, &GuardConfig::default())
+        .expect("incumbent fit");
+    let bytes = incumbent.to_bytes().expect("incumbent bytes");
+    (incumbent, bytes)
+}
+
+/// `slice-embb` and `slice-mmtc` boot stale (any honest re-fit beats
+/// them); `slice-urllc` boots honest (garbage re-fits cannot beat it).
+fn boot_three_tenants(b: &Synth5gcBundle) -> (Arc<TenantServer>, HashMap<String, Vec<u8>>) {
+    let mut artifacts = Vec::new();
+    let mut bytes = HashMap::new();
+    for (i, t) in TENANTS.iter().enumerate() {
+        let (artifact, raw) = if *t == "slice-urllc" {
+            honest_incumbent(b, 5 + i as u64)
+        } else {
+            stale_incumbent(b, 5 + i as u64)
+        };
+        artifacts.push((t.to_string(), artifact));
+        bytes.insert(t.to_string(), raw);
+    }
+    let server =
+        TenantServer::from_artifacts(artifacts, ServeConfig::default()).expect("server boot");
+    (Arc::new(server), bytes)
+}
+
+fn eager_config(seed: u64) -> ControllerConfig {
+    ControllerConfig {
+        drift: DriftConfig {
+            z_threshold: 0.5,
+            ks_threshold: 0.1,
+            feature_fraction: 0.01,
+            ..DriftConfig::default()
+        },
+        retry: RetryPolicy::immediate(2),
+        attempt_deadline: Duration::from_millis(250),
+        breaker_threshold: 2,
+        breaker_cooldown: Duration::from_millis(1),
+        shots_per_class: 3,
+        seed,
+        ..ControllerConfig::default()
+    }
+}
+
+fn controller(
+    tenant: &str,
+    server: &Arc<TenantServer>,
+    b: &Synth5gcBundle,
+    incumbent: Vec<u8>,
+    refitter: Arc<dyn Refitter>,
+    seed: u64,
+) -> DriftController {
+    DriftController::new(
+        tenant,
+        Arc::clone(server),
+        Arc::new(b.source_train.clone()),
+        incumbent,
+        refitter,
+        eager_config(seed),
+    )
+    .expect("controller boot")
+}
+
+/// One scripted behavior per re-fit attempt; after the script drains,
+/// everything passes through to the real registry refitter.
+#[derive(Clone)]
+enum ChaosAction {
+    /// Delegate to the real refitter.
+    Pass,
+    /// Typed fit failure.
+    FailFit,
+    /// Sleep past the attempt deadline, then fail.
+    Hang(Duration),
+    /// Produce a real artifact fitted on label-rotated shots: fits fine,
+    /// predicts garbage, and must die at the validation gate.
+    Garbage,
+}
+
+struct ChaosRefitter {
+    inner: RegistryRefitter,
+    script: Mutex<Vec<ChaosAction>>,
+}
+
+impl ChaosRefitter {
+    fn new(inner: RegistryRefitter, script: Vec<ChaosAction>) -> Self {
+        ChaosRefitter {
+            inner,
+            script: Mutex::new(script),
+        }
+    }
+
+    fn next_action(&self) -> ChaosAction {
+        let mut script = self.script.lock().expect("script lock");
+        if script.is_empty() {
+            ChaosAction::Pass
+        } else {
+            script.remove(0)
+        }
+    }
+}
+
+impl Refitter for ChaosRefitter {
+    fn refit(&self, request: RefitRequest) -> Result<Refit, FitError> {
+        match self.next_action() {
+            ChaosAction::Pass => self.inner.refit(request),
+            ChaosAction::FailFit => Err(FitError::Core(fsda_core::CoreError::Model(
+                "chaos: injected fit failure".into(),
+            ))),
+            ChaosAction::Hang(d) => {
+                std::thread::sleep(d);
+                Err(FitError::Core(fsda_core::CoreError::Model(
+                    "chaos: woke up after the deadline".into(),
+                )))
+            }
+            ChaosAction::Garbage => {
+                let k = request.shots.num_classes();
+                let rotated = Dataset::new(
+                    request.shots.features().clone(),
+                    request
+                        .shots
+                        .labels()
+                        .iter()
+                        .map(|&y| (y + 1) % k)
+                        .collect(),
+                    k,
+                )
+                .map_err(|e| FitError::Core(e.into()))?;
+                self.inner.refit(RefitRequest {
+                    shots: rotated,
+                    ..request
+                })
+            }
+        }
+    }
+}
+
+fn registry(b: &Synth5gcBundle) -> RegistryRefitter {
+    RegistryRefitter::new(
+        Method::TarOnly,
+        AdapterConfig::quick(),
+        GuardConfig::default(),
+        &b.source_train,
+    )
+    .expect("registry refitter")
+}
+
+/// Serves one probe batch and checks the response is bit-identical to
+/// every earlier response that named the same artifact version.
+fn probe_and_check(
+    server: &Arc<TenantServer>,
+    tenant: &str,
+    probe: &fsda_linalg::Matrix,
+    by_version: &mut HashMap<u64, Vec<usize>>,
+) -> u64 {
+    let response = server
+        .predict(tenant, probe.clone())
+        .expect("serving must continue under chaos");
+    let prior = by_version
+        .entry(response.artifact_version)
+        .or_insert_with(|| response.predictions.clone());
+    assert_eq!(
+        *prior, response.predictions,
+        "tenant {tenant}: responses naming artifact version {} diverged",
+        response.artifact_version
+    );
+    response.artifact_version
+}
+
+/// The full three-tenant chaos scenario in one deterministic pass.
+///
+/// - `slice-embb` sees fit failures, then a hang, then heals: its breaker
+///   trips open, serving continues on last-good, and a half-open probe
+///   recovers it.
+/// - `slice-urllc` only ever produces garbage candidates: the validation
+///   gate rejects every one, the version never moves, and the breaker
+///   eventually opens.
+/// - `slice-mmtc` is healthy from the start and swaps immediately.
+#[test]
+fn three_tenant_chaos_containment() {
+    let b = bundle();
+    let (server, incumbent_bytes) = boot_three_tenants(&b);
+    let probe = b.target_test.features().clone();
+    let drift_window = b.target_test.features();
+
+    let mut ctl_embb = controller(
+        "slice-embb",
+        &server,
+        &b,
+        incumbent_bytes["slice-embb"].clone(),
+        Arc::new(ChaosRefitter::new(
+            registry(&b),
+            vec![
+                ChaosAction::FailFit,
+                ChaosAction::FailFit,
+                ChaosAction::Hang(Duration::from_millis(2_000)),
+                ChaosAction::FailFit,
+            ],
+        )),
+        31,
+    );
+    let mut ctl_urllc = controller(
+        "slice-urllc",
+        &server,
+        &b,
+        incumbent_bytes["slice-urllc"].clone(),
+        Arc::new(ChaosRefitter::new(
+            registry(&b),
+            vec![ChaosAction::Garbage; 16],
+        )),
+        32,
+    );
+    let mut ctl_mmtc = controller(
+        "slice-mmtc",
+        &server,
+        &b,
+        incumbent_bytes["slice-mmtc"].clone(),
+        Arc::new(ChaosRefitter::new(registry(&b), vec![])),
+        33,
+    );
+    for ctl in [&mut ctl_embb, &mut ctl_urllc, &mut ctl_mmtc] {
+        ctl.push_window(b.target_pool.clone()).expect("clean pool");
+    }
+
+    let mut versions: HashMap<&str, HashMap<u64, Vec<usize>>> =
+        TENANTS.iter().map(|&t| (t, HashMap::new())).collect();
+    for t in TENANTS {
+        let v = probe_and_check(&server, t, &probe, versions.get_mut(t).expect("map"));
+        assert_eq!(v, 1, "every tenant boots on version 1");
+    }
+
+    // --- slice-embb: two failed cycles trip the breaker (the first
+    // cycle burns both scripted FailFits; the second cycle's attempts
+    // are the hang — bounded by the deadline — and another failure).
+    let deadline_check = Instant::now();
+    let first = ctl_embb.observe(drift_window);
+    assert!(matches!(&first, ControlOutcome::Failed(f) if !f.breaker_tripped));
+    let second = ctl_embb.observe(drift_window);
+    match &second {
+        ControlOutcome::Failed(f) => {
+            assert!(f.breaker_tripped, "second failed cycle must trip");
+            assert_eq!(f.timeouts, 1, "the hang must surface as a timeout");
+        }
+        other => panic!("expected a failed cycle, got {other:?}"),
+    }
+    assert!(
+        deadline_check.elapsed() < Duration::from_millis(2_000),
+        "a hung re-fit must be detached at the deadline, not joined"
+    );
+    assert_eq!(ctl_embb.breaker(), BreakerState::Open);
+
+    // Serving continued on last-good the whole time.
+    for t in TENANTS {
+        let v = probe_and_check(&server, t, &probe, versions.get_mut(t).expect("map"));
+        assert_eq!(v, 1, "no tenant may swap while its re-fits fail");
+    }
+
+    // While open, drift does not launch re-fits.
+    std::thread::sleep(Duration::from_millis(2));
+    let refits_before = ctl_embb.refits();
+    // Cooldown has elapsed, so this observe runs the half-open probe
+    // with the now-healthy (script-drained) refitter and recovers.
+    let probe_outcome = ctl_embb.observe(drift_window);
+    match probe_outcome {
+        ControlOutcome::Swapped(swap) => {
+            assert_eq!(swap.attempts, 1, "half-open runs a single probe attempt");
+            assert!(swap.candidate_f1 >= swap.incumbent_f1);
+        }
+        other => panic!("expected the half-open probe to swap, got {other:?}"),
+    }
+    assert!(ctl_embb.refits() > refits_before);
+    assert_eq!(ctl_embb.breaker(), BreakerState::Closed);
+    let v = probe_and_check(
+        &server,
+        "slice-embb",
+        &probe,
+        versions.get_mut("slice-embb").expect("map"),
+    );
+    assert_eq!(v, 2, "recovery publishes exactly one new version");
+
+    // --- slice-urllc: garbage candidates never pass validation.
+    let mut rejected_cycles = 0;
+    loop {
+        match ctl_urllc.observe(drift_window) {
+            ControlOutcome::Rejected(r) => {
+                rejected_cycles += 1;
+                assert!(
+                    r.candidate_f1 < r.incumbent_f1 + f64::EPSILON,
+                    "a garbage candidate cannot outscore the incumbent"
+                );
+                if r.breaker_tripped {
+                    break;
+                }
+            }
+            other => panic!("expected validation rejection, got {other:?}"),
+        }
+        assert!(rejected_cycles < 10, "breaker must trip eventually");
+    }
+    assert_eq!(ctl_urllc.breaker(), BreakerState::Open);
+    let v = probe_and_check(
+        &server,
+        "slice-urllc",
+        &probe,
+        versions.get_mut("slice-urllc").expect("map"),
+    );
+    assert_eq!(v, 1, "zero unvalidated swaps: garbage never went live");
+
+    // --- slice-mmtc: healthy path swaps on the first drifted window.
+    match ctl_mmtc.observe(drift_window) {
+        ControlOutcome::Swapped(swap) => {
+            assert!(swap.candidate_f1 >= swap.incumbent_f1);
+            assert!(swap.detect_to_swap > Duration::ZERO);
+        }
+        other => panic!("expected healthy tenant to swap, got {other:?}"),
+    }
+    let v = probe_and_check(
+        &server,
+        "slice-mmtc",
+        &probe,
+        versions.get_mut("slice-mmtc").expect("map"),
+    );
+    assert_eq!(v, 2);
+
+    // Every response stream stayed bit-identical per named version, and
+    // only validated versions (1 = boot, 2 = gated swap) ever appeared.
+    for (tenant, by_version) in &versions {
+        for version in by_version.keys() {
+            assert!(
+                *version <= 2,
+                "tenant {tenant} served unexplained version {version}"
+            );
+        }
+    }
+}
+
+/// Corrupt buffers are rejected at intake with a localized error and
+/// never reach the re-fit, across every fault operator that produces
+/// non-finite cells.
+#[test]
+fn corrupt_buffers_are_rejected_at_intake() {
+    let b = bundle();
+    let (server, incumbent_bytes) = boot_three_tenants(&b);
+    let mut ctl = controller(
+        "slice-embb",
+        &server,
+        &b,
+        incumbent_bytes["slice-embb"].clone(),
+        Arc::new(registry(&b)),
+        41,
+    );
+    for (i, fault) in [
+        Fault::NanCells { fraction: 0.02 },
+        Fault::InfCells { fraction: 0.02 },
+    ]
+    .iter()
+    .enumerate()
+    {
+        let corrupt = fault
+            .apply(&b.target_pool, 100 + i as u64)
+            .expect("fault apply");
+        match ctl.push_window(corrupt) {
+            Err(ControllerError::CorruptWindow { .. }) => {}
+            other => panic!("{} must be rejected at intake, got {other:?}", fault.name()),
+        }
+    }
+    assert_eq!(ctl.buffered_windows(), 0, "corrupt windows never buffer");
+
+    // A corrupt *serving* window is contained the same way, without
+    // counting as a control-cycle failure.
+    let poisoned = Fault::NanCells { fraction: 0.05 }.apply_to_matrix(b.target_test.features(), 7);
+    assert!(matches!(
+        ctl.observe(&poisoned),
+        ControlOutcome::CorruptWindow(_)
+    ));
+    assert_eq!(ctl.breaker(), BreakerState::Closed);
+
+    // Clean windows still work after the rejects.
+    ctl.push_window(b.target_pool.clone()).expect("clean pool");
+    assert!(matches!(
+        ctl.observe(b.target_test.features()),
+        ControlOutcome::Swapped(_)
+    ));
+}
+
+/// An empty buffer is a contained failure (typed, breaker-counted), not
+/// a panic — the controller can be wired before any labeled window
+/// arrives.
+#[test]
+fn refit_without_buffered_windows_is_contained() {
+    let b = bundle();
+    let (server, incumbent_bytes) = boot_three_tenants(&b);
+    let mut ctl = controller(
+        "slice-mmtc",
+        &server,
+        &b,
+        incumbent_bytes["slice-mmtc"].clone(),
+        Arc::new(registry(&b)),
+        43,
+    );
+    match ctl.observe(b.target_test.features()) {
+        ControlOutcome::Failed(f) => {
+            assert!(f.last_error.contains("no buffered target windows"));
+        }
+        other => panic!("expected a contained failure, got {other:?}"),
+    }
+    let response = server
+        .predict("slice-mmtc", b.target_test.features().clone())
+        .expect("still serving");
+    assert_eq!(response.artifact_version, 1);
+}
