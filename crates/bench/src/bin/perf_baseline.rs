@@ -31,11 +31,15 @@
 use fsda_causal::ci::FisherZ;
 use fsda_causal::pc::{pc, PcConfig, PcResult};
 use fsda_core::adapter::{AdapterConfig, Budget, FsGanAdapter};
-use fsda_core::{DriftMitigator, GuardConfig};
+use fsda_core::{DriftMitigator, GuardConfig, InferPrecision};
 use fsda_data::fewshot::few_shot_subset;
 use fsda_data::synth5gc::Synth5gc;
+use fsda_linalg::kernel::kernel_path;
 use fsda_linalg::{Matrix, SeededRng};
 use fsda_models::ClassifierKind;
+use fsda_nn::layer::{Activation, Dense};
+use fsda_nn::norm::BatchNorm1d;
+use fsda_nn::{InferPlan, Sequential};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -419,11 +423,224 @@ fn bench_telemetry_overhead(adapter: &FsGanAdapter, features: &Matrix) -> Vec<Te
     cells
 }
 
+struct KernelCell {
+    rows: usize,
+    in_dim: usize,
+    out_dim: usize,
+    naive_elapsed_s: f64,
+    ikj_elapsed_s: f64,
+    f64_elapsed_s: f64,
+    f32_elapsed_s: f64,
+    naive_rows_per_sec: f64,
+    ikj_rows_per_sec: f64,
+    f64_rows_per_sec: f64,
+    f32_rows_per_sec: f64,
+    f64_speedup_vs_naive: f64,
+    f64_speedup_vs_ikj: f64,
+    f32_speedup_vs_naive: f64,
+    f64_identical_to_naive: bool,
+    f32_max_abs_err: f64,
+}
+
+struct DivergenceCell {
+    rows: usize,
+    features: usize,
+    max_abs_err: f64,
+    max_rel_err: f64,
+    prediction_flips: usize,
+    flip_rate: f64,
+}
+
+/// Times the compiled [`InferPlan`] forward pass four ways on a
+/// representative reconstruction-sized network (Dense–BN–ReLU ×2 with a
+/// tanh head): the textbook naive executor (`matmul_textbook`'s `ijk`
+/// dot-product loop with per-call weight materialization and separate
+/// bias/activation passes — the classic GEMM baseline), the legacy `ikj`
+/// executor (`matmul_naive`, the workspace's partially-optimized
+/// pre-kernel `matmul`, reported for transparency), the blocked `f64`
+/// kernel path (verified bit-identical to both references), and the
+/// blocked `f32` path (divergence recorded, not gated here — see the
+/// `f32_divergence` section for the end-to-end envelope).
+fn bench_kernels() -> Vec<KernelCell> {
+    let (in_dim, hidden, out_dim) = (64usize, 256usize, 32usize);
+    let mut rng = SeededRng::new(7);
+    let mut net = Sequential::new();
+    net.push(Dense::new(in_dim, hidden, &mut rng));
+    net.push(BatchNorm1d::new(hidden));
+    net.push(Activation::relu());
+    net.push(Dense::new(hidden, hidden, &mut rng));
+    net.push(BatchNorm1d::new(hidden));
+    net.push(Activation::relu());
+    net.push(Dense::new(hidden, out_dim, &mut rng));
+    net.push(Activation::tanh());
+    // Warm the batch-norm running statistics so the Norm stages apply a
+    // non-trivial affine map, like a trained generator.
+    let warm = Matrix::from_fn(128, in_dim, |_, _| rng.normal(0.0, 1.0));
+    for _ in 0..4 {
+        let _ = net.forward(&warm, true);
+    }
+    let plan = InferPlan::compile(&net).expect("plan compiles");
+
+    println!(
+        "\ncompiled inference plan: textbook naive vs legacy ikj vs blocked f64 vs \
+         blocked f32 (kernel path: {})",
+        kernel_path().label()
+    );
+    println!(
+        "{:>7} {:>10} {:>12} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "rows", "dims", "naive (s)", "ikj (s)", "f64 (s)", "f32 (s)", "f64 spd", "f32 spd"
+    );
+
+    let mut cells = Vec::new();
+    for &rows in &[64usize, 256, 1024] {
+        let x = Matrix::from_fn(rows, in_dim, |r, c| {
+            ((r * 31 + c * 7) % 17) as f64 / 8.5 - 1.0
+        });
+        // Amortize small batches and take the best of 9 samples per path,
+        // interleaved so scheduler drift hits all four alike.
+        let inner = (1024 / rows).max(1);
+        let _ = plan.infer(&x, InferPrecision::F64Exact);
+        let (mut naive, mut ikj, mut f64_t, mut f32_t) =
+            (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let mut identical = true;
+        let mut max_abs_err = 0.0f64;
+        for _ in 0..9 {
+            let start = Instant::now();
+            let mut a = Matrix::zeros(0, 0);
+            for _ in 0..inner {
+                a = plan.infer_textbook(&x);
+            }
+            naive = naive.min(start.elapsed().as_secs_f64() / inner as f64);
+
+            let start = Instant::now();
+            let mut r = Matrix::zeros(0, 0);
+            for _ in 0..inner {
+                r = plan.infer_reference(&x);
+            }
+            ikj = ikj.min(start.elapsed().as_secs_f64() / inner as f64);
+
+            let start = Instant::now();
+            let mut b = Matrix::zeros(0, 0);
+            for _ in 0..inner {
+                b = plan.infer(&x, InferPrecision::F64Exact);
+            }
+            f64_t = f64_t.min(start.elapsed().as_secs_f64() / inner as f64);
+
+            let start = Instant::now();
+            let mut c = Matrix::zeros(0, 0);
+            for _ in 0..inner {
+                c = plan.infer(&x, InferPrecision::F32Fast);
+            }
+            f32_t = f32_t.min(start.elapsed().as_secs_f64() / inner as f64);
+
+            identical &= a == b && r == b;
+            for r in 0..b.rows() {
+                for (x64, x32) in b.row(r).iter().zip(c.row(r)) {
+                    max_abs_err = max_abs_err.max((x64 - x32).abs());
+                }
+            }
+        }
+        assert!(
+            identical,
+            "blocked f64 plan diverged from the naive reference"
+        );
+        let cell = KernelCell {
+            rows,
+            in_dim,
+            out_dim,
+            naive_elapsed_s: naive,
+            ikj_elapsed_s: ikj,
+            f64_elapsed_s: f64_t,
+            f32_elapsed_s: f32_t,
+            naive_rows_per_sec: rows as f64 / naive.max(1e-12),
+            ikj_rows_per_sec: rows as f64 / ikj.max(1e-12),
+            f64_rows_per_sec: rows as f64 / f64_t.max(1e-12),
+            f32_rows_per_sec: rows as f64 / f32_t.max(1e-12),
+            f64_speedup_vs_naive: naive / f64_t.max(1e-12),
+            f64_speedup_vs_ikj: ikj / f64_t.max(1e-12),
+            f32_speedup_vs_naive: naive / f32_t.max(1e-12),
+            f64_identical_to_naive: identical,
+            f32_max_abs_err: max_abs_err,
+        };
+        println!(
+            "{:>7} {:>10} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>8.2}x {:>8.2}x",
+            cell.rows,
+            format!("{in_dim}-{hidden}-{out_dim}"),
+            cell.naive_elapsed_s,
+            cell.ikj_elapsed_s,
+            cell.f64_elapsed_s,
+            cell.f32_elapsed_s,
+            cell.f64_speedup_vs_naive,
+            cell.f32_speedup_vs_naive
+        );
+        cells.push(cell);
+    }
+    cells
+}
+
+/// Measures the end-to-end `F32Fast` divergence envelope on the trained
+/// FS+GAN pipeline: reconstructed-feature error against the bit-exact
+/// `F64Exact` path, and the hard-prediction flip rate (which must be zero
+/// on the well-separated 5GC fixture).
+fn bench_f32_divergence(adapter: &FsGanAdapter, features: &Matrix) -> Vec<DivergenceCell> {
+    println!("\nf32 fast-path divergence vs the bit-exact f64 serving path");
+    println!(
+        "{:>7} {:>9} {:>13} {:>13} {:>7} {:>10}",
+        "rows", "features", "max abs err", "max rel err", "flips", "flip rate"
+    );
+    let mut cells = Vec::new();
+    for &rows in &[256usize, 1024] {
+        let x = serving_batch(features, rows);
+        let exact = adapter.reconstruct_batch_with(&x, Some(1), InferPrecision::F64Exact);
+        let fast = adapter.reconstruct_batch_with(&x, Some(1), InferPrecision::F32Fast);
+        let mut max_abs_err = 0.0f64;
+        let mut max_rel_err = 0.0f64;
+        for r in 0..exact.rows() {
+            for (a, b) in exact.row(r).iter().zip(fast.row(r)) {
+                let abs = (a - b).abs();
+                max_abs_err = max_abs_err.max(abs);
+                max_rel_err = max_rel_err.max(abs / a.abs().max(1e-9));
+            }
+        }
+        let pred_exact = adapter.predict_batch_with(&x, Some(1), InferPrecision::F64Exact);
+        let pred_fast = adapter.predict_batch_with(&x, Some(1), InferPrecision::F32Fast);
+        let flips = pred_exact
+            .iter()
+            .zip(&pred_fast)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(
+            flips, 0,
+            "f32 fast path flipped {flips} predictions at rows={rows}"
+        );
+        let cell = DivergenceCell {
+            rows,
+            features: x.cols(),
+            max_abs_err,
+            max_rel_err,
+            prediction_flips: flips,
+            flip_rate: flips as f64 / rows as f64,
+        };
+        println!(
+            "{:>7} {:>9} {:>13.3e} {:>13.3e} {:>7} {:>10.4}",
+            cell.rows,
+            cell.features,
+            cell.max_abs_err,
+            cell.max_rel_err,
+            cell.prediction_flips,
+            cell.flip_rate
+        );
+        cells.push(cell);
+    }
+    cells
+}
+
 type ReconBenches = (
     Vec<ReconCell>,
     Vec<GuardCell>,
     Vec<DispatchCell>,
     Vec<TelemetryCell>,
+    Vec<DivergenceCell>,
 );
 
 fn bench_reconstruction(cores: usize) -> ReconBenches {
@@ -493,7 +710,14 @@ fn bench_reconstruction(cores: usize) -> ReconBenches {
     let guard_cells = bench_guard_overhead(&adapter, bundle.target_test.features());
     let dispatch_cells = bench_dispatch_overhead(&adapter, bundle.target_test.features());
     let telemetry_cells = bench_telemetry_overhead(&adapter, bundle.target_test.features());
-    (cells, guard_cells, dispatch_cells, telemetry_cells)
+    let divergence_cells = bench_f32_divergence(&adapter, bundle.target_test.features());
+    (
+        cells,
+        guard_cells,
+        dispatch_cells,
+        telemetry_cells,
+        divergence_cells,
+    )
 }
 
 fn main() {
@@ -502,7 +726,9 @@ fn main() {
 
     let (thread_grid, skipped_threads) = partition_thread_grid(cores);
     let pc_cells = bench_pc(cores);
-    let (recon_cells, guard_cells, dispatch_cells, telemetry_cells) = bench_reconstruction(cores);
+    let kernel_cells = bench_kernels();
+    let (recon_cells, guard_cells, dispatch_cells, telemetry_cells, divergence_cells) =
+        bench_reconstruction(cores);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -553,6 +779,84 @@ fn main() {
             c.identical_to_sequential
         );
         json.push_str(if k + 1 < pc_cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("    ]\n  },\n");
+
+    let _ = writeln!(json, "  \"reconstruction_kernels\": {{");
+    let _ = writeln!(
+        json,
+        "    \"description\": \"compiled InferPlan forward pass on a \
+         reconstruction-sized Dense-BN-ReLU net: textbook naive executor \
+         (ijk dot-product triple loop, per-call weight materialization, \
+         separate bias/activation passes — the classic GEMM baseline) vs \
+         the legacy ikj loop (the partially-optimized pre-kernel matmul, \
+         reported for transparency) vs the blocked f64 kernel path \
+         (verified bit-identical to both) vs the blocked f32 path, best \
+         of 9 amortized samples\","
+    );
+    let _ = writeln!(json, "    \"kernel_path\": \"{}\",", kernel_path().label());
+    let _ = writeln!(json, "    \"f64_target_speedup\": 1.5,");
+    let _ = writeln!(json, "    \"f32_target_speedup\": 2.5,");
+    json.push_str("    \"cells\": [\n");
+    for (k, c) in kernel_cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"rows\": {}, \"in_dim\": {}, \"out_dim\": {}, \
+             \"naive_elapsed_s\": {:.6}, \"ikj_elapsed_s\": {:.6}, \
+             \"f64_elapsed_s\": {:.6}, \
+             \"f32_elapsed_s\": {:.6}, \"naive_rows_per_sec\": {:.1}, \
+             \"ikj_rows_per_sec\": {:.1}, \
+             \"f64_rows_per_sec\": {:.1}, \"f32_rows_per_sec\": {:.1}, \
+             \"f64_speedup_vs_naive\": {:.3}, \"f64_speedup_vs_ikj\": {:.3}, \
+             \"f32_speedup_vs_naive\": {:.3}, \
+             \"f64_identical_to_naive\": {}, \"f32_max_abs_err\": {:.3e}}}",
+            c.rows,
+            c.in_dim,
+            c.out_dim,
+            c.naive_elapsed_s,
+            c.ikj_elapsed_s,
+            c.f64_elapsed_s,
+            c.f32_elapsed_s,
+            c.naive_rows_per_sec,
+            c.ikj_rows_per_sec,
+            c.f64_rows_per_sec,
+            c.f32_rows_per_sec,
+            c.f64_speedup_vs_naive,
+            c.f64_speedup_vs_ikj,
+            c.f32_speedup_vs_naive,
+            c.f64_identical_to_naive,
+            c.f32_max_abs_err
+        );
+        json.push_str(if k + 1 < kernel_cells.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n  },\n");
+
+    let _ = writeln!(json, "  \"f32_divergence\": {{");
+    let _ = writeln!(
+        json,
+        "    \"description\": \"end-to-end F32Fast divergence on the trained \
+         FS+GAN serving path: reconstructed-feature error against the \
+         bit-exact F64Exact path, and the hard-prediction flip rate \
+         (asserted zero on the 5GC fixture)\","
+    );
+    json.push_str("    \"cells\": [\n");
+    for (k, c) in divergence_cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"rows\": {}, \"features\": {}, \
+             \"max_abs_err\": {:.3e}, \"max_rel_err\": {:.3e}, \
+             \"prediction_flips\": {}, \"flip_rate\": {:.4}}}",
+            c.rows, c.features, c.max_abs_err, c.max_rel_err, c.prediction_flips, c.flip_rate
+        );
+        json.push_str(if k + 1 < divergence_cells.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     json.push_str("    ]\n  },\n");
 

@@ -14,7 +14,7 @@ use crate::{CoreError, Result};
 use fsda_data::Dataset;
 use fsda_linalg::Matrix;
 use fsda_models::restore_classifier;
-use fsda_models::Classifier;
+use fsda_models::{Classifier, InferPrecision};
 
 /// The trained components of an [`FsAdapter`], present only after `fit`.
 struct FittedFs {
@@ -166,9 +166,22 @@ impl FsAdapter {
     /// Panics when `features` has a different column count than the fitted
     /// data, or when the adapter has not been fitted.
     pub fn predict(&self, features: &Matrix) -> Vec<usize> {
+        self.predict_with(features, InferPrecision::F64Exact)
+    }
+
+    /// [`FsAdapter::predict`] at an explicit numeric precision.
+    /// [`InferPrecision::F64Exact`] is bit-identical to `predict`;
+    /// [`InferPrecision::F32Fast`] runs the classifier's compiled
+    /// single-precision plan when it has one (neural families), trading a
+    /// small bounded divergence for throughput.
+    ///
+    /// # Panics
+    ///
+    /// As [`FsAdapter::predict`].
+    pub fn predict_with(&self, features: &Matrix, precision: InferPrecision) -> Vec<usize> {
         let fitted = self.fitted();
         let (inv, _) = fitted.separation.split_normalized(features);
-        fitted.classifier.predict(&inv)
+        fitted.classifier.predict_with(&inv, precision)
     }
 
     /// Guarded variant of [`FsAdapter::predict`]: validates the batch
@@ -185,8 +198,24 @@ impl FsAdapter {
         features: &Matrix,
         guard: &GuardConfig,
     ) -> std::result::Result<Vec<usize>, ServeError> {
+        self.try_predict_with(features, guard, InferPrecision::F64Exact)
+    }
+
+    /// [`FsAdapter::try_predict`] at an explicit numeric precision. The
+    /// input validation is identical at both precisions; only the
+    /// classifier forward pass changes.
+    ///
+    /// # Errors
+    ///
+    /// As [`FsAdapter::try_predict`].
+    pub fn try_predict_with(
+        &self,
+        features: &Matrix,
+        guard: &GuardConfig,
+        precision: InferPrecision,
+    ) -> std::result::Result<Vec<usize>, ServeError> {
         let repaired = sanitize_batch(features, self.fitted().separation.normalizer(), guard)?;
-        Ok(self.predict(repaired.as_ref().unwrap_or(features)))
+        Ok(self.predict_with(repaired.as_ref().unwrap_or(features), precision))
     }
 
     /// Number of classes.
@@ -321,6 +350,29 @@ impl crate::pipeline::DriftMitigator for FsAdapter {
     ) -> std::result::Result<Vec<usize>, ServeError> {
         let _span = observe::call_span(observe::Call::TryPredictBatch, crate::Method::Fs);
         self.try_predict(features, guard)
+    }
+
+    fn predict_batch_with(
+        &self,
+        features: &Matrix,
+        _threads: Option<usize>,
+        precision: InferPrecision,
+    ) -> Vec<usize> {
+        let _span = observe::call_span(observe::Call::PredictBatch, crate::Method::Fs);
+        observe::note_precision(precision);
+        FsAdapter::predict_with(self, features, precision)
+    }
+
+    fn try_predict_batch_with(
+        &self,
+        features: &Matrix,
+        _threads: Option<usize>,
+        guard: &GuardConfig,
+        precision: InferPrecision,
+    ) -> std::result::Result<Vec<usize>, ServeError> {
+        let _span = observe::call_span(observe::Call::TryPredictBatch, crate::Method::Fs);
+        observe::note_precision(precision);
+        self.try_predict_with(features, guard, precision)
     }
 
     fn to_bytes(&self) -> Result<Vec<u8>> {

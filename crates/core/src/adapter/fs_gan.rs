@@ -22,7 +22,7 @@ use fsda_linalg::par::{par_map, resolve_threads};
 use fsda_linalg::Matrix;
 use fsda_models::classifier::argmax_rows;
 use fsda_models::restore_classifier;
-use fsda_models::Classifier;
+use fsda_models::{Classifier, InferPrecision};
 
 /// The trained components of an [`FsGanAdapter`], present only after `fit`.
 struct FittedFsGan {
@@ -361,6 +361,26 @@ impl FsGanAdapter {
     /// Panics when `features` has a different column count than the fitted
     /// data.
     pub fn reconstruct_batch(&self, features: &Matrix, threads: Option<usize>) -> Matrix {
+        self.reconstruct_batch_with(features, threads, InferPrecision::F64Exact)
+    }
+
+    /// [`FsGanAdapter::reconstruct_batch`] at an explicit numeric
+    /// precision. [`InferPrecision::F64Exact`] is bit-identical to
+    /// `reconstruct_batch` (and to [`FsGanAdapter::reconstruct_scalar`]);
+    /// [`InferPrecision::F32Fast`] runs the reconstructor's compiled
+    /// single-precision plan, trading a small bounded divergence for
+    /// throughput. The separation/normalization arithmetic around the
+    /// generator always stays in `f64`.
+    ///
+    /// # Panics
+    ///
+    /// As [`FsGanAdapter::reconstruct_batch`].
+    pub fn reconstruct_batch_with(
+        &self,
+        features: &Matrix,
+        threads: Option<usize>,
+        precision: InferPrecision,
+    ) -> Matrix {
         let fitted = self.fitted();
         if features.rows() == 0 {
             return fitted.separation.normalizer().transform(features);
@@ -383,7 +403,7 @@ impl FsGanAdapter {
                 Some(r) => {
                     let seeds: Vec<u64> =
                         (start..end).map(|row| row_seed(base, row as u64)).collect();
-                    let var_hat = r.reconstruct_rows(&inv, &seeds);
+                    let var_hat = r.reconstruct_rows_with(&inv, &seeds, precision);
                     separation.reassemble(&inv, &var_hat)
                 }
                 None => separation.reassemble(&inv, &var),
@@ -438,9 +458,27 @@ impl FsGanAdapter {
     /// Panics when `features` has a different column count than the fitted
     /// data.
     pub fn predict_batch(&self, features: &Matrix, threads: Option<usize>) -> Vec<usize> {
-        self.fitted()
-            .classifier
-            .predict(&self.reconstruct_batch(features, threads))
+        self.predict_batch_with(features, threads, InferPrecision::F64Exact)
+    }
+
+    /// [`FsGanAdapter::predict_batch`] at an explicit numeric precision:
+    /// both the reconstructor and the classifier forward passes run at
+    /// `precision`. [`InferPrecision::F64Exact`] is bit-identical to
+    /// `predict_batch`.
+    ///
+    /// # Panics
+    ///
+    /// As [`FsGanAdapter::predict_batch`].
+    pub fn predict_batch_with(
+        &self,
+        features: &Matrix,
+        threads: Option<usize>,
+        precision: InferPrecision,
+    ) -> Vec<usize> {
+        self.fitted().classifier.predict_with(
+            &self.reconstruct_batch_with(features, threads, precision),
+            precision,
+        )
     }
 
     /// Guarded variant of [`FsGanAdapter::reconstruct_batch`]: validates
@@ -462,9 +500,27 @@ impl FsGanAdapter {
         threads: Option<usize>,
         guard: &GuardConfig,
     ) -> std::result::Result<Matrix, ServeError> {
+        self.try_reconstruct_batch_with(features, threads, guard, InferPrecision::F64Exact)
+    }
+
+    /// [`FsGanAdapter::try_reconstruct_batch`] at an explicit numeric
+    /// precision. The input validation and the finite-output check are
+    /// identical at both precisions; only the generator forward pass
+    /// changes.
+    ///
+    /// # Errors
+    ///
+    /// As [`FsGanAdapter::try_reconstruct_batch`].
+    pub fn try_reconstruct_batch_with(
+        &self,
+        features: &Matrix,
+        threads: Option<usize>,
+        guard: &GuardConfig,
+        precision: InferPrecision,
+    ) -> std::result::Result<Matrix, ServeError> {
         let repaired = sanitize_batch(features, self.fitted().separation.normalizer(), guard)?;
         let clean = repaired.as_ref().unwrap_or(features);
-        let out = self.reconstruct_batch(clean, threads);
+        let out = self.reconstruct_batch_with(clean, threads, precision);
         for r in 0..out.rows() {
             if let Some(c) = out.row(r).iter().position(|v| !v.is_finite()) {
                 return Err(ServeError::NonFiniteOutput { row: r, col: c });
@@ -487,10 +543,26 @@ impl FsGanAdapter {
         threads: Option<usize>,
         guard: &GuardConfig,
     ) -> std::result::Result<Vec<usize>, ServeError> {
-        Ok(self
-            .fitted()
-            .classifier
-            .predict(&self.try_reconstruct_batch(features, threads, guard)?))
+        self.try_predict_batch_with(features, threads, guard, InferPrecision::F64Exact)
+    }
+
+    /// [`FsGanAdapter::try_predict_batch`] at an explicit numeric
+    /// precision; both forward passes run at `precision`.
+    ///
+    /// # Errors
+    ///
+    /// As [`FsGanAdapter::try_reconstruct_batch`].
+    pub fn try_predict_batch_with(
+        &self,
+        features: &Matrix,
+        threads: Option<usize>,
+        guard: &GuardConfig,
+        precision: InferPrecision,
+    ) -> std::result::Result<Vec<usize>, ServeError> {
+        Ok(self.fitted().classifier.predict_with(
+            &self.try_reconstruct_batch_with(features, threads, guard, precision)?,
+            precision,
+        ))
     }
 
     /// Serializes the fitted pipeline — FS partition with config
@@ -671,6 +743,32 @@ impl crate::pipeline::DriftMitigator for FsGanAdapter {
             fsda_telemetry::counter("serve.degraded_requests", 1);
         }
         FsGanAdapter::try_predict_batch(self, features, threads, guard)
+    }
+
+    fn predict_batch_with(
+        &self,
+        features: &Matrix,
+        threads: Option<usize>,
+        precision: InferPrecision,
+    ) -> Vec<usize> {
+        let _span = observe::call_span(observe::Call::PredictBatch, self.method());
+        observe::note_precision(precision);
+        FsGanAdapter::predict_batch_with(self, features, threads, precision)
+    }
+
+    fn try_predict_batch_with(
+        &self,
+        features: &Matrix,
+        threads: Option<usize>,
+        guard: &GuardConfig,
+        precision: InferPrecision,
+    ) -> std::result::Result<Vec<usize>, ServeError> {
+        let _span = observe::call_span(observe::Call::TryPredictBatch, self.method());
+        observe::note_precision(precision);
+        if fsda_telemetry::enabled() && self.is_fitted() && self.degraded().is_some() {
+            fsda_telemetry::counter("serve.degraded_requests", 1);
+        }
+        FsGanAdapter::try_predict_batch_with(self, features, threads, guard, precision)
     }
 
     fn to_bytes(&self) -> Result<Vec<u8>> {

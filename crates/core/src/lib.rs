@@ -67,6 +67,7 @@ pub use fsda_telemetry as telemetry;
 pub use adapter::{AdapterConfig, DegradedMode, FsAdapter, FsGanAdapter};
 pub use drift::DriftError;
 pub use fs::{FeatureSeparation, SearchPath, SeparationCache};
+pub use fsda_models::InferPrecision;
 pub use method::Method;
 pub use pipeline::{BaselineMitigator, DriftMitigator};
 pub use retry::RetryPolicy;

@@ -57,6 +57,7 @@ use crate::serve::{FitError, GuardConfig, ServeError};
 use crate::Result;
 use fsda_data::Dataset;
 use fsda_linalg::Matrix;
+use fsda_models::InferPrecision;
 
 /// The uniform end-to-end interface of every drift-mitigation method.
 ///
@@ -162,6 +163,50 @@ pub trait DriftMitigator: std::fmt::Debug + Send + Sync {
         threads: Option<usize>,
         guard: &GuardConfig,
     ) -> std::result::Result<Vec<usize>, ServeError>;
+
+    /// [`DriftMitigator::predict_batch`] at an explicit numeric precision.
+    ///
+    /// [`InferPrecision::F64Exact`] (the default everywhere) must be
+    /// bit-identical to `predict_batch`; [`InferPrecision::F32Fast`] lets
+    /// mitigators with a compiled inference plan run the single-precision
+    /// kernels, trading a small bounded divergence for throughput. The
+    /// default implementation ignores the hint and serves the exact path,
+    /// so baselines without a fast path stay correct.
+    ///
+    /// Every entry increments the
+    /// `pipeline.predict.precision.{f64_exact,f32_fast}` counter.
+    ///
+    /// # Panics
+    ///
+    /// As [`DriftMitigator::predict_batch`].
+    fn predict_batch_with(
+        &self,
+        features: &Matrix,
+        threads: Option<usize>,
+        precision: InferPrecision,
+    ) -> Vec<usize> {
+        observe::note_precision(precision);
+        self.predict_batch(features, threads)
+    }
+
+    /// [`DriftMitigator::try_predict_batch`] at an explicit numeric
+    /// precision; the serving precision policy enters here. The default
+    /// ignores the hint (exact path); see
+    /// [`DriftMitigator::predict_batch_with`] for the contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`DriftMitigator::try_predict_batch`].
+    fn try_predict_batch_with(
+        &self,
+        features: &Matrix,
+        threads: Option<usize>,
+        guard: &GuardConfig,
+        precision: InferPrecision,
+    ) -> std::result::Result<Vec<usize>, ServeError> {
+        observe::note_precision(precision);
+        self.try_predict_batch(features, threads, guard)
+    }
 
     /// Serializes the fitted mitigator into a versioned artifact (see
     /// [`crate::persist`] for the container format). [`restore`] reverses

@@ -9,6 +9,7 @@
 //! [`DriftMitigator`]: crate::pipeline::DriftMitigator
 
 use crate::method::Method;
+use fsda_models::InferPrecision;
 use fsda_telemetry as telemetry;
 use std::time::Instant;
 
@@ -80,6 +81,19 @@ impl Drop for CallSpan {
         if let Some(start) = self.start.take() {
             telemetry::duration(self.histogram, start.elapsed().as_secs_f64());
         }
+    }
+}
+
+/// Counts one precision-policied prediction entry:
+/// `pipeline.predict.precision.{f64_exact,f32_fast}`. Called exactly once
+/// per `*_with` entry point (trait defaults and adapter overrides alike),
+/// so the two counters partition the precision-aware request stream.
+pub(crate) fn note_precision(precision: InferPrecision) {
+    if telemetry::enabled() {
+        telemetry::counter(
+            &format!("pipeline.predict.precision.{}", precision.label()),
+            1,
+        );
     }
 }
 

@@ -10,7 +10,7 @@ use fsda_nn::optim::{clip_grad_norm, Adam, Optimizer};
 use fsda_nn::state::{export_state, load_state, StateDict};
 use fsda_nn::train::BatchIter;
 use fsda_nn::watchdog::{DivergenceWatchdog, WatchdogVerdict};
-use fsda_nn::{Sequential, TrainOutcome, WatchdogConfig};
+use fsda_nn::{InferPlan, InferPrecision, Sequential, TrainOutcome, WatchdogConfig};
 
 /// Hyper-parameters of [`VanillaAe`].
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +54,8 @@ pub struct VanillaAe {
     config: AeConfig,
     seed: u64,
     net: Option<Sequential>,
+    /// Compiled inference plan (rebuilt at fit and restore; not persisted).
+    plan: Option<InferPlan>,
     dims: Option<(usize, usize)>,
     outcome: Option<TrainOutcome>,
 }
@@ -74,8 +76,18 @@ impl VanillaAe {
             config,
             seed,
             net: None,
+            plan: None,
             dims: None,
             outcome: None,
+        }
+    }
+
+    /// Runs the network: through the compiled plan when one exists
+    /// (bit-identical at `F64Exact`), else layer by layer.
+    fn run_net(&self, net: &Sequential, x: &Matrix, precision: InferPrecision) -> Matrix {
+        match &self.plan {
+            Some(plan) => plan.infer(x, precision),
+            None => net.infer(x),
         }
     }
 
@@ -114,6 +126,7 @@ impl VanillaAe {
         let mut rng = SeededRng::new(seed);
         let mut net = ae.build_net(dims.0, dims.1, &mut rng);
         load_state(&mut net, state).map_err(GanError::InvalidInput)?;
+        ae.plan = InferPlan::compile(&net).ok();
         ae.net = Some(net);
         ae.dims = Some(dims);
         Ok(ae)
@@ -153,6 +166,7 @@ impl Reconstructor for VanillaAe {
             }
         }
         self.outcome = Some(watchdog.outcome());
+        self.plan = InferPlan::compile(&net).ok();
         self.net = Some(net);
         self.dims = Some((d_inv, d_var));
         Ok(())
@@ -169,7 +183,7 @@ impl Reconstructor for VanillaAe {
             d_inv,
             "VanillaAe: invariant-block width mismatch"
         );
-        net.infer(x_inv)
+        self.run_net(net, x_inv, InferPrecision::F64Exact)
     }
 
     fn name(&self) -> &'static str {
@@ -183,12 +197,31 @@ impl Reconstructor for VanillaAe {
     fn reconstruct_rows(&self, x_inv: &Matrix, row_seeds: &[u64]) -> Matrix {
         // Deterministic model: seeds are irrelevant, a single amortized
         // inference pass over the whole batch is exact.
+        self.reconstruct_rows_with(x_inv, row_seeds, InferPrecision::F64Exact)
+    }
+
+    fn reconstruct_rows_with(
+        &self,
+        x_inv: &Matrix,
+        row_seeds: &[u64],
+        precision: InferPrecision,
+    ) -> Matrix {
         assert_eq!(
             x_inv.rows(),
             row_seeds.len(),
             "reconstruct_rows: one seed per row"
         );
-        self.reconstruct(x_inv, 0)
+        let net = self
+            .net
+            .as_ref()
+            .expect("VanillaAe: reconstruct before fit");
+        let (d_inv, _) = self.dims.expect("dims recorded at fit");
+        assert_eq!(
+            x_inv.cols(),
+            d_inv,
+            "VanillaAe: invariant-block width mismatch"
+        );
+        self.run_net(net, x_inv, precision)
     }
 
     fn snapshot(&self) -> Result<ReconSnapshot> {

@@ -16,7 +16,7 @@ use fsda_nn::optim::{clip_grad_norm, Adam, Optimizer};
 use fsda_nn::state::{export_state, load_state, StateDict};
 use fsda_nn::train::BatchIter;
 use fsda_nn::watchdog::{DivergenceWatchdog, WatchdogVerdict};
-use fsda_nn::{Sequential, TrainOutcome, WatchdogConfig};
+use fsda_nn::{InferPlan, InferPrecision, Sequential, TrainOutcome, WatchdogConfig};
 
 /// Hyper-parameters of [`CondGan`].
 #[derive(Debug, Clone, PartialEq)]
@@ -96,6 +96,9 @@ pub struct CondGan {
     config: CondGanConfig,
     seed: u64,
     generator: Option<Sequential>,
+    /// Compiled inference plan for the generator (rebuilt at fit and
+    /// restore; never persisted). `None` only before fit.
+    plan: Option<InferPlan>,
     dims: Option<(usize, usize)>, // (inv, var)
     /// Mean adversarial losses per epoch, for diagnostics.
     history: Vec<(f64, f64)>,
@@ -119,6 +122,7 @@ impl CondGan {
             config,
             seed,
             generator: None,
+            plan: None,
             dims: None,
             history: Vec::new(),
             outcome: None,
@@ -150,9 +154,19 @@ impl CondGan {
         let mut rng = SeededRng::new(seed);
         let mut gen = gan.build_generator(dims.0, dims.1, &mut rng);
         load_state(&mut gen, state).map_err(GanError::InvalidInput)?;
+        gan.plan = InferPlan::compile(&gen).ok();
         gan.generator = Some(gen);
         gan.dims = Some(dims);
         Ok(gan)
+    }
+
+    /// Runs the generator forward pass: through the compiled plan when one
+    /// exists (bit-identical at `F64Exact`), else layer by layer.
+    fn run_generator(&self, gen: &Sequential, g_in: &Matrix, precision: InferPrecision) -> Matrix {
+        match &self.plan {
+            Some(plan) => plan.infer(g_in, precision),
+            None => gen.infer(g_in),
+        }
     }
 
     fn build_generator(&self, d_inv: usize, d_var: usize, rng: &mut SeededRng) -> Sequential {
@@ -282,6 +296,7 @@ impl Reconstructor for CondGan {
             }
         }
         self.outcome = Some(watchdog.outcome());
+        self.plan = InferPlan::compile(&gen).ok();
         self.generator = Some(gen);
         self.dims = Some((d_inv, d_var));
         Ok(())
@@ -301,7 +316,7 @@ impl Reconstructor for CondGan {
         let mut rng = SeededRng::new(seed);
         let z = rng.normal_matrix(x_inv.rows(), self.config.noise_dim, 0.0, 1.0);
         let g_in = x_inv.hstack(&z).expect("row counts match");
-        gen.infer(&g_in)
+        self.run_generator(gen, &g_in, InferPrecision::F64Exact)
     }
 
     fn name(&self) -> &'static str {
@@ -317,6 +332,15 @@ impl Reconstructor for CondGan {
     }
 
     fn reconstruct_rows(&self, x_inv: &Matrix, row_seeds: &[u64]) -> Matrix {
+        self.reconstruct_rows_with(x_inv, row_seeds, InferPrecision::F64Exact)
+    }
+
+    fn reconstruct_rows_with(
+        &self,
+        x_inv: &Matrix,
+        row_seeds: &[u64],
+        precision: InferPrecision,
+    ) -> Matrix {
         let gen = self
             .generator
             .as_ref()
@@ -342,7 +366,7 @@ impl Reconstructor for CondGan {
             z.row_mut(r).copy_from_slice(&noise);
         }
         let g_in = x_inv.hstack(&z).expect("row counts match");
-        gen.infer(&g_in)
+        self.run_generator(gen, &g_in, precision)
     }
 
     fn snapshot(&self) -> Result<ReconSnapshot> {

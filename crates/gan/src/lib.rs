@@ -32,7 +32,7 @@ pub mod cond_gan;
 pub mod vae;
 
 pub use cond_gan::{CondGan, CondGanConfig};
-pub use fsda_nn::{TrainOutcome, WatchdogConfig};
+pub use fsda_nn::{InferPrecision, TrainOutcome, WatchdogConfig};
 
 use autoencoder::AeConfig;
 use fsda_linalg::Matrix;
@@ -118,6 +118,29 @@ pub trait Reconstructor: Send + Sync {
             });
         }
         out.expect("reconstruct_rows: empty batch")
+    }
+
+    /// [`Reconstructor::reconstruct_rows`] at an explicit numeric
+    /// precision. [`InferPrecision::F64Exact`] must be bit-identical to
+    /// `reconstruct_rows`; [`InferPrecision::F32Fast`] may trade a small,
+    /// bounded divergence for throughput (models with a compiled
+    /// inference plan run the single-precision kernels).
+    ///
+    /// The default ignores the precision and runs the exact path, so
+    /// reconstructors without a fast path stay correct.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before a successful fit, or when
+    /// `row_seeds.len() != x_inv.rows()`.
+    fn reconstruct_rows_with(
+        &self,
+        x_inv: &Matrix,
+        row_seeds: &[u64],
+        precision: InferPrecision,
+    ) -> Matrix {
+        let _ = precision;
+        self.reconstruct_rows(x_inv, row_seeds)
     }
 
     /// How the last [`Reconstructor::fit`] ended, when the model tracks it

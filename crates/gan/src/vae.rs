@@ -13,7 +13,7 @@ use fsda_nn::optim::{clip_grad_norm, Adam, Optimizer};
 use fsda_nn::state::{export_state, load_state, StateDict};
 use fsda_nn::train::BatchIter;
 use fsda_nn::watchdog::{DivergenceWatchdog, WatchdogVerdict};
-use fsda_nn::{Sequential, TrainOutcome, WatchdogConfig};
+use fsda_nn::{InferPlan, InferPrecision, Sequential, TrainOutcome, WatchdogConfig};
 
 /// Hyper-parameters of [`Vae`].
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +55,8 @@ pub struct Vae {
     config: VaeConfig,
     seed: u64,
     decoder: Option<Sequential>,
+    /// Compiled decoder plan (rebuilt at fit and restore; not persisted).
+    plan: Option<InferPlan>,
     dims: Option<(usize, usize)>,
     outcome: Option<TrainOutcome>,
 }
@@ -75,8 +77,23 @@ impl Vae {
             config,
             seed,
             decoder: None,
+            plan: None,
             dims: None,
             outcome: None,
+        }
+    }
+
+    /// Runs the decoder: through the compiled plan when one exists
+    /// (bit-identical at `F64Exact`), else layer by layer.
+    fn run_decoder(
+        &self,
+        decoder: &Sequential,
+        dec_in: &Matrix,
+        precision: InferPrecision,
+    ) -> Matrix {
+        match &self.plan {
+            Some(plan) => plan.infer(dec_in, precision),
+            None => decoder.infer(dec_in),
         }
     }
 
@@ -114,6 +131,7 @@ impl Vae {
         let mut rng = SeededRng::new(seed);
         let mut decoder = vae.build_decoder(dims.0, dims.1, &mut rng);
         load_state(&mut decoder, state).map_err(GanError::InvalidInput)?;
+        vae.plan = InferPlan::compile(&decoder).ok();
         vae.decoder = Some(decoder);
         vae.dims = Some(dims);
         Ok(vae)
@@ -215,6 +233,7 @@ impl Reconstructor for Vae {
             }
         }
         self.outcome = Some(watchdog.outcome());
+        self.plan = InferPlan::compile(&decoder).ok();
         self.decoder = Some(decoder);
         self.dims = Some((d_inv, d_var));
         Ok(())
@@ -227,7 +246,7 @@ impl Reconstructor for Vae {
         let mut rng = SeededRng::new(seed);
         let z = rng.normal_matrix(x_inv.rows(), self.config.latent_dim, 0.0, 1.0);
         let dec_in = x_inv.hstack(&z).expect("rows match");
-        decoder.infer(&dec_in)
+        self.run_decoder(decoder, &dec_in, InferPrecision::F64Exact)
     }
 
     fn name(&self) -> &'static str {
@@ -239,6 +258,15 @@ impl Reconstructor for Vae {
     }
 
     fn reconstruct_rows(&self, x_inv: &Matrix, row_seeds: &[u64]) -> Matrix {
+        self.reconstruct_rows_with(x_inv, row_seeds, InferPrecision::F64Exact)
+    }
+
+    fn reconstruct_rows_with(
+        &self,
+        x_inv: &Matrix,
+        row_seeds: &[u64],
+        precision: InferPrecision,
+    ) -> Matrix {
         let decoder = self.decoder.as_ref().expect("Vae: reconstruct before fit");
         let (d_inv, _) = self.dims.expect("dims recorded at fit");
         assert_eq!(x_inv.cols(), d_inv, "Vae: invariant-block width mismatch");
@@ -254,7 +282,7 @@ impl Reconstructor for Vae {
             z.row_mut(r).copy_from_slice(&noise);
         }
         let dec_in = x_inv.hstack(&z).expect("rows match");
-        decoder.infer(&dec_in)
+        self.run_decoder(decoder, &dec_in, precision)
     }
 
     fn snapshot(&self) -> Result<ReconSnapshot> {

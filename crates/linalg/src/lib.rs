@@ -9,6 +9,9 @@
 //! # Modules
 //!
 //! * [`matrix`] — the row-major [`Matrix`] type and elementwise / BLAS-like ops.
+//! * [`kernel`] — blocked, runtime-dispatched GEMM/GEMV kernels (`f32` and
+//!   `f64`, AVX2 or scalar) behind the precision-generic [`kernel::Element`]
+//!   trait; the `f64` path is bit-identical to the naive reference.
 //! * [`decomp`] — Cholesky, LU inverse/solve, and symmetric (Jacobi) eigen.
 //! * [`stats`] — means, covariance, (partial) correlation, Fisher-z tests.
 //! * [`rng`] — seeded sampling: normal (Box–Muller), multivariate normal,
@@ -28,6 +31,7 @@
 //! ```
 
 pub mod decomp;
+pub mod kernel;
 pub mod matrix;
 pub mod par;
 pub mod rng;

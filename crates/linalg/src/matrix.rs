@@ -203,10 +203,47 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
+    /// Dispatches through the blocked, runtime-selected kernels in
+    /// [`crate::kernel`]; the result is bit-identical to
+    /// [`Matrix::matmul_naive`] for every input (see the kernel module's
+    /// bit-exactness contract).
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        <f64 as crate::kernel::Element>::gemm_nn(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Reference matrix product: the pre-kernel `ikj` triple loop (the
+    /// workspace's legacy `matmul`).
+    ///
+    /// This is the bit-exactness reference the blocked kernels are pinned
+    /// against (see `tests/kernel_props.rs`). It is already partially
+    /// optimized — the inner `j` loop is contiguous and auto-vectorizes —
+    /// so the `reconstruction_kernels` bench reports it as a separate
+    /// `legacy ikj` column next to the truly naive
+    /// [`Matrix::matmul_textbook`] baseline. Prefer [`Matrix::matmul`]
+    /// everywhere else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul: {}x{} * {}x{}",
@@ -225,6 +262,89 @@ impl Matrix {
                 for (o, &b) in orow.iter_mut().zip(brow) {
                     *o += a * b;
                 }
+            }
+        }
+        out
+    }
+
+    /// Textbook matrix product: the `ijk` triple loop — one serial dot
+    /// product per output cell over a column-strided right-hand side.
+    ///
+    /// Bit-identical to [`Matrix::matmul_naive`] for every input (each cell
+    /// accumulates its `k` terms in ascending order with the same
+    /// multiply-then-add rounding and the same zero-skip), but the serial
+    /// scalar accumulator and strided `B` walk keep it at latency-bound
+    /// throughput — this is the "naive-f64" baseline of the
+    /// `reconstruction_kernels` bench section, the classic starting point
+    /// every blocked GEMM is measured against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul_textbook(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let k = self.cols;
+        let n = other.cols;
+        let mut out = Matrix::zeros(self.rows, n);
+        for i in 0..self.rows {
+            let arow = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let mut acc = 0.0;
+                for (kk, &a) in arow.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    acc += a * other.data[kk * n + j];
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Symmetric Gram product `self * selfᵀ`, computing only the upper
+    /// triangle and mirroring it.
+    ///
+    /// Bit-identical to `self.matmul(&self.transpose())` for every input:
+    /// the upper triangle runs the exact reference accumulation; the mirror
+    /// is bit-safe because IEEE multiplication commutes bitwise and an
+    /// accumulator that starts at `+0.0` can never become `-0.0` (so the
+    /// differing zero-skip pattern between `[i][j]` and `[j][i]` cannot
+    /// change the sum); entries involving a non-finite row — where those
+    /// two arguments break down — are recomputed with the reference loop.
+    pub fn gram(&self) -> Matrix {
+        let m = self.rows;
+        let k = self.cols;
+        let zt = self.transpose();
+        let mut out = Matrix::zeros(m, m);
+        let finite: Vec<bool> = self
+            .iter_rows()
+            .map(|r| r.iter().all(|v| v.is_finite()))
+            .collect();
+        for i in 0..m {
+            // Upper-triangle segment out[i][i..]: ascending-k accumulation
+            // with the reference's zero-skip on the left factor.
+            for kk in 0..k {
+                let a = self.data[i * k + kk];
+                if a == 0.0 {
+                    continue;
+                }
+                let zrow = &zt.data[kk * m + i..(kk + 1) * m];
+                let orow = &mut out.data[i * m + i..(i + 1) * m];
+                for (o, &b) in orow.iter_mut().zip(zrow) {
+                    *o += a * b;
+                }
+            }
+            for j in (i + 1)..m {
+                out.data[j * m + i] = if finite[i] && finite[j] {
+                    out.data[i * m + j]
+                } else {
+                    dot_skip(self.row(j), self.row(i))
+                };
             }
         }
         out
@@ -489,6 +609,19 @@ impl std::fmt::Display for Matrix {
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: lengths {} vs {}", a.len(), b.len());
     a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Dot product with the matmul reference's zero-skip on the left factor:
+/// per-element it is exactly one output cell of [`Matrix::matmul_naive`].
+fn dot_skip(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        if x == 0.0 {
+            continue;
+        }
+        acc += x * y;
+    }
+    acc
 }
 
 /// Euclidean norm of a slice.

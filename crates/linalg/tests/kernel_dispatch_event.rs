@@ -1,0 +1,39 @@
+//! The `linalg.kernel.dispatch` event fires exactly once per process, the
+//! first time a kernel runs while telemetry is enabled.
+//!
+//! This lives in its own integration-test binary (one `#[test]`) because
+//! the once-per-process flag would otherwise race with unrelated tests
+//! exercising `Matrix::matmul` in the same process.
+
+use fsda_linalg::kernel::{kernel_path, Element};
+use fsda_linalg::Matrix;
+use fsda_telemetry::{clear_recorder, set_recorder, InMemoryRecorder};
+use std::sync::Arc;
+
+#[test]
+fn dispatch_event_fires_once_per_process() {
+    // Kernels run before a recorder exists must NOT consume the one-shot:
+    // the event is reserved for the first observable opportunity.
+    let warm = Matrix::identity(3);
+    let _ = warm.matmul(&warm);
+
+    let recorder = Arc::new(InMemoryRecorder::new());
+    set_recorder(recorder.clone());
+
+    let a = Matrix::from_fn(6, 5, |i, j| (i + j) as f64 * 0.25);
+    let b = Matrix::from_fn(5, 4, |i, j| (i as f64 - j as f64) * 0.5);
+    let _ = a.matmul(&b);
+    let _ = a.matmul(&b);
+    let mut c32 = vec![0.0f32; 4];
+    <f32 as Element>::gemm_nn(1, 1, 4, &[1.0], &[1.0, 2.0, 3.0, 4.0], &mut c32);
+
+    let snap = recorder.snapshot_now();
+    assert_eq!(
+        snap.events_count("linalg.kernel.dispatch"),
+        1,
+        "dispatch event must fire exactly once per process"
+    );
+    // The probed path is stable for the life of the process.
+    assert_eq!(kernel_path(), kernel_path());
+    clear_recorder();
+}

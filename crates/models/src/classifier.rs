@@ -8,6 +8,7 @@ use crate::tree::{FlatNode, FlatRegNode};
 use crate::{ModelError, Result};
 use fsda_linalg::Matrix;
 use fsda_nn::state::StateDict;
+use fsda_nn::InferPrecision;
 
 /// A multi-class classifier over tabular features.
 ///
@@ -54,6 +55,28 @@ pub trait Classifier: Send + Sync {
     /// Hard class predictions (argmax of [`Classifier::predict_proba`]).
     fn predict(&self, x: &Matrix) -> Vec<usize> {
         argmax_rows(&self.predict_proba(x))
+    }
+
+    /// [`Classifier::predict_proba`] at an explicit numeric precision.
+    ///
+    /// [`InferPrecision::F64Exact`] must be bit-identical to
+    /// `predict_proba`; [`InferPrecision::F32Fast`] may trade a small,
+    /// bounded divergence for throughput (neural classifiers with a
+    /// compiled inference plan run the single-precision kernels; tree
+    /// ensembles have no fast path and ignore the hint).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when called before `fit`.
+    fn predict_proba_with(&self, x: &Matrix, precision: InferPrecision) -> Matrix {
+        let _ = precision;
+        self.predict_proba(x)
+    }
+
+    /// Hard class predictions at an explicit numeric precision (argmax of
+    /// [`Classifier::predict_proba_with`]).
+    fn predict_with(&self, x: &Matrix, precision: InferPrecision) -> Vec<usize> {
+        argmax_rows(&self.predict_proba_with(x, precision))
     }
 
     /// Short human-readable model name ("tnet", "mlp", "rf", "xgb").

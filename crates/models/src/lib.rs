@@ -35,6 +35,7 @@ pub mod tnet;
 pub mod tree;
 
 pub use classifier::{restore_classifier, Classifier, ClassifierKind, ClassifierSnapshot};
+pub use fsda_nn::InferPrecision;
 
 /// Errors raised by model training and prediction.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -8,7 +8,7 @@ use fsda_nn::loss::{softmax, weighted_cross_entropy};
 use fsda_nn::optim::{Adam, Optimizer};
 use fsda_nn::state::{export_state, load_state, StateDict};
 use fsda_nn::train::BatchIter;
-use fsda_nn::Sequential;
+use fsda_nn::{InferPlan, InferPrecision, Sequential};
 
 /// Hyper-parameters of the [`MlpClassifier`].
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +43,9 @@ pub struct MlpClassifier {
     config: MlpConfig,
     seed: u64,
     net: Option<Sequential>,
+    /// Compiled inference plan over `net`, rebuilt whenever the weights
+    /// change (fit, fine-tune, snapshot restore). Never persisted.
+    plan: Option<InferPlan>,
     num_classes: usize,
 }
 
@@ -62,6 +65,7 @@ impl MlpClassifier {
             config,
             seed,
             net: None,
+            plan: None,
             num_classes: 0,
         }
     }
@@ -96,6 +100,7 @@ impl MlpClassifier {
         let mut rng = SeededRng::new(seed);
         let mut net = clf.build_net(in_dim, num_classes, &mut rng);
         load_state(&mut net, state).map_err(ModelError::InvalidInput)?;
+        clf.plan = InferPlan::compile(&net).ok();
         clf.net = Some(net);
         clf.num_classes = num_classes;
         Ok(clf)
@@ -135,7 +140,15 @@ impl MlpClassifier {
                 opt.step(&mut net.params_mut());
             }
         }
+        self.plan = self.net.as_ref().and_then(|n| InferPlan::compile(n).ok());
         Ok(())
+    }
+
+    fn run_net(&self, net: &Sequential, x: &Matrix, precision: InferPrecision) -> Matrix {
+        match &self.plan {
+            Some(plan) => plan.infer(x, precision),
+            None => net.infer(x),
+        }
     }
 }
 
@@ -163,17 +176,22 @@ impl Classifier for MlpClassifier {
                 opt.step(&mut net.params_mut());
             }
         }
+        self.plan = InferPlan::compile(&net).ok();
         self.net = Some(net);
         self.num_classes = num_classes;
         Ok(())
     }
 
     fn predict_proba(&self, x: &Matrix) -> Matrix {
+        self.predict_proba_with(x, InferPrecision::F64Exact)
+    }
+
+    fn predict_proba_with(&self, x: &Matrix, precision: InferPrecision) -> Matrix {
         let net = self
             .net
             .as_ref()
             .expect("MlpClassifier: predict before fit");
-        softmax(&net.infer(x))
+        softmax(&self.run_net(net, x, precision))
     }
 
     fn name(&self) -> &'static str {

@@ -17,7 +17,7 @@ use fsda_nn::norm::{BatchNorm1d, Dropout};
 use fsda_nn::optim::{Adam, Optimizer};
 use fsda_nn::state::StateDict;
 use fsda_nn::train::BatchIter;
-use fsda_nn::{Layer, Sequential};
+use fsda_nn::{InferPlan, InferPrecision, Layer, Sequential};
 
 /// Hyper-parameters of [`TnetClassifier`].
 #[derive(Debug, Clone, PartialEq)]
@@ -162,11 +162,40 @@ impl TnetNet {
     }
 }
 
+/// Compiled inference plans for the three parts of [`TnetNet`]. The
+/// residual addition between the blocks always runs in `f64`, so the
+/// kernel precision only affects the dense/batch-norm stages.
+struct TnetPlans {
+    block1: InferPlan,
+    block2: InferPlan,
+    head: InferPlan,
+}
+
+impl TnetPlans {
+    fn compile(net: &TnetNet) -> Option<Self> {
+        Some(TnetPlans {
+            block1: InferPlan::compile(&net.block1).ok()?,
+            block2: InferPlan::compile(&net.block2).ok()?,
+            head: InferPlan::compile_layer(&net.head).ok()?,
+        })
+    }
+
+    fn infer(&self, x: &Matrix, precision: InferPrecision) -> Matrix {
+        let h1 = self.block1.infer(x, precision);
+        let h2 = self.block2.infer(&h1, precision);
+        let res = h1.try_add(&h2).expect("residual shapes match");
+        self.head.infer(&res, precision)
+    }
+}
+
 /// The TNet classifier.
 pub struct TnetClassifier {
     config: TnetConfig,
     seed: u64,
     net: Option<TnetNet>,
+    /// Compiled inference plans over `net`, rebuilt whenever the weights
+    /// change (fit, snapshot restore). Never persisted.
+    plans: Option<TnetPlans>,
     num_classes: usize,
 }
 
@@ -186,6 +215,7 @@ impl TnetClassifier {
             config,
             seed,
             net: None,
+            plans: None,
             num_classes: 0,
         }
     }
@@ -225,6 +255,7 @@ impl TnetClassifier {
         let mut rng = SeededRng::new(seed);
         let mut net = clf.build(in_dim, num_classes, &mut rng);
         net.load(state).map_err(ModelError::InvalidInput)?;
+        clf.plans = TnetPlans::compile(&net);
         clf.net = Some(net);
         clf.num_classes = num_classes;
         Ok(clf)
@@ -259,17 +290,26 @@ impl Classifier for TnetClassifier {
                 opt.step(&mut net.params_mut());
             }
         }
+        self.plans = TnetPlans::compile(&net);
         self.net = Some(net);
         self.num_classes = num_classes;
         Ok(())
     }
 
     fn predict_proba(&self, x: &Matrix) -> Matrix {
+        self.predict_proba_with(x, InferPrecision::F64Exact)
+    }
+
+    fn predict_proba_with(&self, x: &Matrix, precision: InferPrecision) -> Matrix {
         let net = self
             .net
             .as_ref()
             .expect("TnetClassifier: predict before fit");
-        softmax(&net.infer(x))
+        let logits = match &self.plans {
+            Some(plans) => plans.infer(x, precision),
+            None => net.infer(x),
+        };
+        softmax(&logits)
     }
 
     fn name(&self) -> &'static str {

@@ -1,6 +1,8 @@
 //! The [`Layer`] trait and stateless / parametric layers.
 
+use crate::plan::PlanOp;
 use crate::Param;
+use fsda_linalg::kernel::{self, Act};
 use fsda_linalg::{Matrix, SeededRng};
 
 /// A differentiable network layer.
@@ -62,6 +64,17 @@ pub trait Layer: Send + Sync {
     /// Number of scalar parameters (for reporting).
     fn num_params(&self) -> usize {
         0
+    }
+
+    /// Lowers this layer to a [`PlanOp`] for inference-plan compilation
+    /// ([`crate::plan::InferPlan`]).
+    ///
+    /// The default is [`PlanOp::Unsupported`], which makes compilation
+    /// fail so callers fall back to the layer-by-layer [`Layer::infer`]
+    /// path — an opaque custom layer degrades gracefully instead of being
+    /// silently skipped.
+    fn plan_op(&self) -> PlanOp {
+        PlanOp::Unsupported("opaque layer")
     }
 }
 
@@ -132,7 +145,8 @@ impl Layer for Dense {
 
     fn infer(&self, input: &Matrix) -> Matrix {
         debug_assert_eq!(input.cols(), self.in_dim(), "Dense: input dim mismatch");
-        let mut out = input.matmul(&self.weight.transpose());
+        // B-transposed kernel: no per-call `weight.transpose()` allocation.
+        let mut out = kernel::matmul_nt(input, &self.weight);
         for r in 0..out.rows() {
             let row = out.row_mut(r);
             for (o, &b) in row.iter_mut().zip(self.bias.row(0)) {
@@ -149,7 +163,7 @@ impl Layer for Dense {
             .expect("Dense::backward called before forward");
         // dW += g^T x ; db += sum_rows g ; dx = g W
         self.grad_weight
-            .axpy(1.0, &grad_output.transpose().matmul(input));
+            .axpy(1.0, &kernel::matmul_at(grad_output, input));
         for r in 0..grad_output.rows() {
             let g = grad_output.row(r);
             let gb = self.grad_bias.row_mut(0);
@@ -180,6 +194,13 @@ impl Layer for Dense {
     fn num_params(&self) -> usize {
         self.weight.rows() * self.weight.cols() + self.bias.cols()
     }
+
+    fn plan_op(&self) -> PlanOp {
+        PlanOp::Dense {
+            weight: self.weight.clone(),
+            bias: self.bias.row(0).to_vec(),
+        }
+    }
 }
 
 /// Supported elementwise activation functions.
@@ -194,6 +215,17 @@ pub enum ActivationKind {
     Tanh,
     /// Logistic sigmoid.
     Sigmoid,
+}
+
+impl From<ActivationKind> for Act {
+    fn from(kind: ActivationKind) -> Act {
+        match kind {
+            ActivationKind::Relu => Act::Relu,
+            ActivationKind::LeakyRelu => Act::LeakyRelu,
+            ActivationKind::Tanh => Act::Tanh,
+            ActivationKind::Sigmoid => Act::Sigmoid,
+        }
+    }
 }
 
 /// Stateless elementwise activation layer.
@@ -235,18 +267,9 @@ impl Activation {
     }
 
     fn apply(&self, x: f64) -> f64 {
-        match self.kind {
-            ActivationKind::Relu => x.max(0.0),
-            ActivationKind::LeakyRelu => {
-                if x > 0.0 {
-                    x
-                } else {
-                    0.2 * x
-                }
-            }
-            ActivationKind::Tanh => x.tanh(),
-            ActivationKind::Sigmoid => sigmoid(x),
-        }
+        // Single source of truth: the kernel crate's `Act` formulas are the
+        // same ones this layer historically used, bit for bit.
+        Act::from(self.kind).eval_f64(x)
     }
 
     fn derivative(&self, x: f64) -> f64 {
@@ -298,17 +321,17 @@ impl Layer for Activation {
         }
         out
     }
+
+    fn plan_op(&self) -> PlanOp {
+        PlanOp::Activation(Act::from(self.kind))
+    }
 }
 
-/// Numerically-stable logistic sigmoid.
+/// Numerically-stable logistic sigmoid (the kernel crate's two-branch
+/// formula; kept as a free function for callers outside layer code).
 #[inline]
 pub fn sigmoid(x: f64) -> f64 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
-    }
+    Act::Sigmoid.eval_f64(x)
 }
 
 /// Gradient-reversal layer used by DANN: identity on the forward pass,
@@ -346,6 +369,11 @@ impl Layer for GradientReversal {
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
         grad_output.scale(-self.lambda)
+    }
+
+    fn plan_op(&self) -> PlanOp {
+        // Identity at inference time; only the backward pass differs.
+        PlanOp::Identity
     }
 }
 
@@ -521,6 +549,17 @@ impl Layer for MixedActivation {
             offset += block;
         }
         grad
+    }
+
+    fn plan_op(&self) -> PlanOp {
+        if self.spec.discrete_blocks.is_empty() {
+            // A purely continuous head is elementwise tanh over the full
+            // width — exactly what `infer` computes.
+            PlanOp::Activation(Act::Tanh)
+        } else {
+            // Gumbel-softmax blocks need per-block softmax; no lowering.
+            PlanOp::Unsupported("mixed discrete output head")
+        }
     }
 }
 

@@ -17,6 +17,9 @@
 //! * [`norm`] — [`BatchNorm1d`](norm::BatchNorm1d) and
 //!   [`Dropout`](norm::Dropout).
 //! * [`sequential`] — [`Sequential`] container.
+//! * [`plan`] — compiled, precision-generic inference plans
+//!   ([`InferPlan`]): fused stages over the `fsda_linalg` kernels, with a
+//!   bit-exact `f64` path and an opt-in fast `f32` path.
 //! * [`optim`] — [`Sgd`](optim::Sgd) and [`Adam`](optim::Adam) (+ weight
 //!   decay, as used by the paper).
 //! * [`loss`] — BCE-with-logits, softmax cross-entropy, MSE,
@@ -58,12 +61,14 @@ pub mod layer;
 pub mod loss;
 pub mod norm;
 pub mod optim;
+pub mod plan;
 pub mod sequential;
 pub mod state;
 pub mod train;
 pub mod watchdog;
 
 pub use layer::Layer;
+pub use plan::{InferPlan, InferPrecision, PlanError, PlanOp};
 pub use sequential::Sequential;
 pub use watchdog::{DivergenceWatchdog, TrainOutcome, WatchdogConfig, WatchdogVerdict};
 

@@ -179,8 +179,8 @@ pub fn supervised_contrastive(
             *v /= norm;
         }
     }
-    // Pairwise similarities.
-    let sim = z.matmul(&z.transpose()).scale(1.0 / temperature);
+    // Pairwise similarities (symmetric: one triangle computed, then mirrored).
+    let sim = z.gram().scale(1.0 / temperature);
     let mut grad_z = Matrix::zeros(n, d);
     let mut loss = 0.0;
     let mut anchors = 0usize;

@@ -1,5 +1,6 @@
 //! Normalization and regularization layers: batch norm and dropout.
 
+use crate::plan::PlanOp;
 use crate::{Layer, Param};
 use fsda_linalg::{Matrix, SeededRng};
 
@@ -170,6 +171,16 @@ impl Layer for BatchNorm1d {
     fn num_params(&self) -> usize {
         2 * self.dim()
     }
+
+    fn plan_op(&self) -> PlanOp {
+        PlanOp::BatchNorm {
+            mean: self.running_mean.clone(),
+            var: self.running_var.clone(),
+            eps: self.eps,
+            gamma: self.gamma.row(0).to_vec(),
+            beta: self.beta.row(0).to_vec(),
+        }
+    }
 }
 
 /// Inverted dropout: active only during training; evaluation is identity.
@@ -232,6 +243,11 @@ impl Layer for Dropout {
                 .expect("same shape by construction"),
             None => grad_output.clone(),
         }
+    }
+
+    fn plan_op(&self) -> PlanOp {
+        // Inverted dropout is the identity at inference time.
+        PlanOp::Identity
     }
 }
 

@@ -1,0 +1,610 @@
+//! Compiled, precision-generic inference plans.
+//!
+//! A [`Sequential`] network is an open-ended stack of boxed [`Layer`]s;
+//! its [`Sequential::infer`] walks that stack layer by layer, transposing
+//! weights and allocating an intermediate matrix per layer. An
+//! [`InferPlan`] is the closed, immutable alternative: at compile time
+//! (once per fitted model, not per batch) every supported layer is lowered
+//! to a [`PlanOp`], the ops are fused (`Dense -> Activation` and
+//! `BatchNorm -> Activation` become single stages with a fused epilogue),
+//! weights are pre-transposed into the kernels' `(in, out)` layout, and
+//! the whole stack is materialized at **both** `f64` and `f32` so callers
+//! pick a precision per call with [`InferPrecision`].
+//!
+//! # Precision contract
+//!
+//! * [`InferPrecision::F64Exact`] (the default) is **bit-identical** to the
+//!   legacy layer-by-layer path and to [`InferPlan::infer_reference`]: the
+//!   kernels preserve the naive reference's accumulation order, zero-skip,
+//!   and two-rounding multiply/add (see [`fsda_linalg::kernel`]).
+//! * [`InferPrecision::F32Fast`] converts weights once at compile time and
+//!   inputs once per call, runs the 8-lane FMA `f32` kernels, and converts
+//!   the output back to `f64`. Divergence from the exact path is bounded
+//!   and benchmarked (`BENCH_runtime.json`, `f32_divergence`), not assumed.
+//!
+//! Networks containing a layer that does not lower (e.g. a Gumbel-softmax
+//! discrete head, which needs per-block softmax) fail to compile with
+//! [`PlanError::Unsupported`]; callers keep the legacy path as fallback.
+
+use crate::{Layer, Sequential};
+use fsda_linalg::kernel::{Act, Element};
+use fsda_linalg::Matrix;
+
+/// Numeric precision for a compiled forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InferPrecision {
+    /// Exact `f64` kernels, bit-identical to the legacy layer-by-layer
+    /// inference path. The default.
+    #[default]
+    F64Exact,
+    /// Single-precision kernels (8-lane FMA on AVX2): roughly twice the
+    /// arithmetic throughput and half the memory traffic, with a small,
+    /// measured divergence from the exact path.
+    F32Fast,
+}
+
+impl InferPrecision {
+    /// Short label used in telemetry counter names and bench JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            InferPrecision::F64Exact => "f64_exact",
+            InferPrecision::F32Fast => "f32_fast",
+        }
+    }
+}
+
+/// Why a network could not be compiled into an [`InferPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A layer has no plan lowering (the payload names it).
+    Unsupported(&'static str),
+    /// Adjacent ops disagree about the feature dimension.
+    DimMismatch {
+        /// Dimension produced by the previous op.
+        expected: usize,
+        /// Dimension the offending op was built for.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Unsupported(what) => write!(f, "no plan lowering for {what}"),
+            PlanError::DimMismatch { expected, got } => {
+                write!(f, "plan dim mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A layer lowered to plan form (returned by [`Layer::plan_op`]).
+///
+/// `Identity` ops (dropout at eval, gradient reversal) are dropped during
+/// compilation; `Nested` flattens; `Unsupported` aborts it.
+#[derive(Debug, Clone)]
+pub enum PlanOp {
+    /// Affine layer `y = x W^T + b` with `weight` in the layer's native
+    /// `(out, in)` layout.
+    Dense {
+        /// Weight matrix, `(out, in)` row-major.
+        weight: Matrix,
+        /// Bias vector of length `out`.
+        bias: Vec<f64>,
+    },
+    /// Batch normalization in evaluation mode (running statistics).
+    BatchNorm {
+        /// Running per-feature means.
+        mean: Vec<f64>,
+        /// Running per-feature (biased) variances.
+        var: Vec<f64>,
+        /// Variance floor added before the square root.
+        eps: f64,
+        /// Learned scale.
+        gamma: Vec<f64>,
+        /// Learned shift.
+        beta: Vec<f64>,
+    },
+    /// Elementwise activation.
+    Activation(Act),
+    /// A layer that is the identity at inference time.
+    Identity,
+    /// A container's children, in order.
+    Nested(Vec<PlanOp>),
+    /// A layer with no plan lowering; the payload names the layer kind.
+    Unsupported(&'static str),
+}
+
+/// One fused, precision-`T` execution stage.
+#[derive(Debug, Clone)]
+enum Stage<T> {
+    /// `y = act(x · wt + bias)` with `wt` pre-transposed to `(in, out)`.
+    Affine {
+        in_dim: usize,
+        out_dim: usize,
+        wt: Vec<T>,
+        bias: Vec<T>,
+        act: Act,
+    },
+    /// `y = act(gamma * (x - mean) * std_inv + beta)` per feature, with
+    /// `std_inv = 1 / sqrt(var + eps)` precomputed at compile time.
+    Norm {
+        mean: Vec<T>,
+        std_inv: Vec<T>,
+        gamma: Vec<T>,
+        beta: Vec<T>,
+        act: Act,
+    },
+    /// A bare elementwise activation that had nothing to fuse into.
+    Act(Act),
+}
+
+impl Stage<f64> {
+    fn to_f32(&self) -> Stage<f32> {
+        let narrow = |v: &[f64]| v.iter().map(|&x| x as f32).collect::<Vec<f32>>();
+        match self {
+            Stage::Affine {
+                in_dim,
+                out_dim,
+                wt,
+                bias,
+                act,
+            } => Stage::Affine {
+                in_dim: *in_dim,
+                out_dim: *out_dim,
+                wt: narrow(wt),
+                bias: narrow(bias),
+                act: *act,
+            },
+            Stage::Norm {
+                mean,
+                std_inv,
+                gamma,
+                beta,
+                act,
+            } => Stage::Norm {
+                mean: narrow(mean),
+                std_inv: narrow(std_inv),
+                gamma: narrow(gamma),
+                beta: narrow(beta),
+                act: *act,
+            },
+            Stage::Act(act) => Stage::Act(*act),
+        }
+    }
+}
+
+/// An immutable, compiled forward pass at both precisions.
+///
+/// # Example
+///
+/// ```
+/// use fsda_linalg::{Matrix, SeededRng};
+/// use fsda_nn::layer::{Activation, Dense};
+/// use fsda_nn::plan::{InferPlan, InferPrecision};
+/// use fsda_nn::Sequential;
+///
+/// let mut rng = SeededRng::new(7);
+/// let mut net = Sequential::new();
+/// net.push(Dense::new(4, 8, &mut rng));
+/// net.push(Activation::relu());
+/// net.push(Dense::new(8, 2, &mut rng));
+///
+/// let plan = InferPlan::compile(&net).unwrap();
+/// let x = Matrix::from_fn(5, 4, |i, j| (i as f64 - j as f64) * 0.3);
+/// let exact = plan.infer(&x, InferPrecision::F64Exact);
+/// // The compiled f64 path is bit-identical to the layer-by-layer path.
+/// assert_eq!(exact.as_slice(), net.infer(&x).as_slice());
+/// ```
+#[derive(Debug, Clone)]
+pub struct InferPlan {
+    stages64: Vec<Stage<f64>>,
+    stages32: Vec<Stage<f32>>,
+    in_dim: Option<usize>,
+    out_dim: Option<usize>,
+}
+
+impl InferPlan {
+    /// Compiles a [`Sequential`] network.
+    pub fn compile(net: &Sequential) -> Result<Self, PlanError> {
+        Self::from_op(Layer::plan_op(net))
+    }
+
+    /// Compiles a single layer (e.g. a bare [`crate::layer::Dense`] head).
+    pub fn compile_layer(layer: &dyn Layer) -> Result<Self, PlanError> {
+        Self::from_op(layer.plan_op())
+    }
+
+    /// Compiles an explicit op tree.
+    pub fn from_op(op: PlanOp) -> Result<Self, PlanError> {
+        let mut ops = Vec::new();
+        flatten(op, &mut ops)?;
+        let mut stages64: Vec<Stage<f64>> = Vec::new();
+        let mut in_dim = None;
+        let mut dim: Option<usize> = None;
+        for op in ops {
+            match op {
+                PlanOp::Dense { weight, bias } => {
+                    let (out_d, in_d) = weight.shape();
+                    if let Some(d) = dim {
+                        if d != in_d {
+                            return Err(PlanError::DimMismatch {
+                                expected: d,
+                                got: in_d,
+                            });
+                        }
+                    }
+                    in_dim.get_or_insert(in_d);
+                    stages64.push(Stage::Affine {
+                        in_dim: in_d,
+                        out_dim: out_d,
+                        wt: weight.transpose().as_slice().to_vec(),
+                        bias,
+                        act: Act::Identity,
+                    });
+                    dim = Some(out_d);
+                }
+                PlanOp::BatchNorm {
+                    mean,
+                    var,
+                    eps,
+                    gamma,
+                    beta,
+                } => {
+                    let d = mean.len();
+                    if let Some(prev) = dim {
+                        if prev != d {
+                            return Err(PlanError::DimMismatch {
+                                expected: prev,
+                                got: d,
+                            });
+                        }
+                    }
+                    in_dim.get_or_insert(d);
+                    // Precompute 1/sqrt(var + eps) exactly as the layer does
+                    // per call, so the per-element math is unchanged.
+                    let std_inv = var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+                    stages64.push(Stage::Norm {
+                        mean,
+                        std_inv,
+                        gamma,
+                        beta,
+                        act: Act::Identity,
+                    });
+                    dim = Some(d);
+                }
+                PlanOp::Activation(act) => match stages64.last_mut() {
+                    Some(Stage::Affine { act: slot, .. } | Stage::Norm { act: slot, .. })
+                        if *slot == Act::Identity =>
+                    {
+                        *slot = act;
+                    }
+                    _ => stages64.push(Stage::Act(act)),
+                },
+                PlanOp::Identity | PlanOp::Nested(_) | PlanOp::Unsupported(_) => {
+                    unreachable!("flatten removes structural ops")
+                }
+            }
+        }
+        let stages32 = stages64.iter().map(Stage::to_f32).collect();
+        Ok(InferPlan {
+            stages64,
+            stages32,
+            in_dim,
+            out_dim: dim,
+        })
+    }
+
+    /// Input width the plan expects (`None` when no stage fixes it).
+    pub fn in_dim(&self) -> Option<usize> {
+        self.in_dim
+    }
+
+    /// Output width the plan produces (`None` when no stage fixes it).
+    pub fn out_dim(&self) -> Option<usize> {
+        self.out_dim
+    }
+
+    /// Number of fused stages (after dropping identities).
+    pub fn num_stages(&self) -> usize {
+        self.stages64.len()
+    }
+
+    /// Runs the compiled forward pass at the requested precision.
+    ///
+    /// `F64Exact` is bit-identical to the layer-by-layer path;
+    /// `F32Fast` converts in/out once and runs the `f32` kernels.
+    pub fn infer(&self, input: &Matrix, precision: InferPrecision) -> Matrix {
+        match precision {
+            InferPrecision::F64Exact => run(&self.stages64, input),
+            InferPrecision::F32Fast => run(&self.stages32, input),
+        }
+    }
+
+    /// The pristine legacy forward pass: per-stage weight materialization,
+    /// [`Matrix::matmul_naive`] (the workspace's pre-kernel `ikj` loop),
+    /// and separate bias / activation / norm passes — exactly the legacy
+    /// layer chain's cost profile. This is the test reference; it is
+    /// bit-identical to `infer(x, F64Exact)`.
+    pub fn infer_reference(&self, input: &Matrix) -> Matrix {
+        self.unfused_forward(input, Matrix::matmul_naive)
+    }
+
+    /// The textbook naive forward pass: identical to
+    /// [`InferPlan::infer_reference`] except the matrix product is the
+    /// `ijk` dot-product triple loop ([`Matrix::matmul_textbook`]). Still
+    /// bit-identical to `infer(x, F64Exact)`; this is the "naive-f64"
+    /// baseline the `reconstruction_kernels` bench section measures the
+    /// blocked kernels against.
+    pub fn infer_textbook(&self, input: &Matrix) -> Matrix {
+        self.unfused_forward(input, Matrix::matmul_textbook)
+    }
+
+    /// Shared unfused executor behind the two reference paths: `matmul`
+    /// picks the triple-loop flavor; everything else (per-call weight
+    /// materialization, separate bias/activation/norm passes) is common.
+    fn unfused_forward(&self, input: &Matrix, matmul: fn(&Matrix, &Matrix) -> Matrix) -> Matrix {
+        let mut cur = input.clone();
+        for stage in &self.stages64 {
+            match stage {
+                Stage::Affine {
+                    in_dim,
+                    out_dim,
+                    wt,
+                    bias,
+                    act,
+                } => {
+                    // Re-materializing the weights per call mirrors the
+                    // legacy path's per-call `weight.transpose()`.
+                    let w = Matrix::from_vec(*in_dim, *out_dim, wt.clone());
+                    let mut out = matmul(&cur, &w);
+                    for r in 0..out.rows() {
+                        for (o, &b) in out.row_mut(r).iter_mut().zip(bias) {
+                            *o += b;
+                        }
+                    }
+                    cur = out.map(|x| act.eval_f64(x));
+                }
+                Stage::Norm {
+                    mean,
+                    std_inv,
+                    gamma,
+                    beta,
+                    act,
+                } => {
+                    let d = mean.len();
+                    let mut out = Matrix::zeros(cur.rows(), d);
+                    for r in 0..cur.rows() {
+                        let row = cur.row(r);
+                        for c in 0..d {
+                            let xh = (row[c] - mean[c]) * std_inv[c];
+                            out.set(r, c, gamma[c] * xh + beta[c]);
+                        }
+                    }
+                    cur = out.map(|x| act.eval_f64(x));
+                }
+                Stage::Act(act) => cur = cur.map(|x| act.eval_f64(x)),
+            }
+        }
+        cur
+    }
+}
+
+/// Flattens nested ops, drops identities, and rejects unsupported layers.
+fn flatten(op: PlanOp, out: &mut Vec<PlanOp>) -> Result<(), PlanError> {
+    match op {
+        PlanOp::Identity => {}
+        PlanOp::Nested(children) => {
+            for child in children {
+                flatten(child, out)?;
+            }
+        }
+        PlanOp::Unsupported(what) => return Err(PlanError::Unsupported(what)),
+        other => out.push(other),
+    }
+    Ok(())
+}
+
+/// Executes the stage list at precision `T` with two ping-ponged batch
+/// buffers (one allocation pair per call, regardless of depth).
+fn run<T: Element>(stages: &[Stage<T>], input: &Matrix) -> Matrix {
+    let rows = input.rows();
+    let mut dim = input.cols();
+    let mut cur: Vec<T> = input.as_slice().iter().map(|&v| T::from_f64(v)).collect();
+    let mut next: Vec<T> = Vec::new();
+    for stage in stages {
+        match stage {
+            Stage::Affine {
+                in_dim,
+                out_dim,
+                wt,
+                bias,
+                act,
+            } => {
+                debug_assert_eq!(dim, *in_dim, "InferPlan: stage input dim mismatch");
+                next.clear();
+                next.resize(rows * out_dim, T::ZERO);
+                T::gemm_nn(rows, *in_dim, *out_dim, &cur, wt, &mut next);
+                T::bias_act(&mut next, bias, *act);
+                std::mem::swap(&mut cur, &mut next);
+                dim = *out_dim;
+            }
+            Stage::Norm {
+                mean,
+                std_inv,
+                gamma,
+                beta,
+                act,
+            } => {
+                debug_assert_eq!(dim, mean.len(), "InferPlan: norm dim mismatch");
+                for row in cur.chunks_exact_mut(dim) {
+                    let feats = row.iter_mut().zip(mean).zip(std_inv).zip(gamma).zip(beta);
+                    for ((((v, &m), &s), &g), &b) in feats {
+                        *v = T::eval_act(*act, T::batch_norm(*v, m, s, g, b));
+                    }
+                }
+            }
+            Stage::Act(act) => {
+                for v in &mut cur {
+                    *v = T::eval_act(*act, *v);
+                }
+            }
+        }
+    }
+    Matrix::from_vec(rows, dim, cur.into_iter().map(Element::to_f64).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Activation, Dense, GradientReversal, MixedActivation, OutputSpec};
+    use crate::norm::{BatchNorm1d, Dropout};
+    use fsda_linalg::SeededRng;
+
+    fn assert_bits_eq(a: &Matrix, b: &Matrix) {
+        assert_eq!(a.shape(), b.shape());
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "element {i}: {x} vs {y}");
+        }
+    }
+
+    /// A generator-shaped net with every supported layer kind, with
+    /// nontrivial batch-norm running statistics.
+    fn rich_net(seed: u64) -> Sequential {
+        let mut rng = SeededRng::new(seed);
+        let mut net = Sequential::new();
+        net.push(Dense::new(6, 16, &mut rng));
+        net.push(BatchNorm1d::new(16));
+        net.push(Activation::relu());
+        net.push(Dropout::new(0.3, SeededRng::new(seed ^ 1)));
+        net.push(Dense::new(16, 12, &mut rng));
+        net.push(Activation::leaky_relu());
+        net.push(GradientReversal::new(0.7));
+        net.push(Dense::new(12, 5, &mut rng));
+        net.push(MixedActivation::new(
+            OutputSpec::continuous(5),
+            0.5,
+            SeededRng::new(seed ^ 2),
+        ));
+        // Populate the running statistics so Norm stages are nontrivial.
+        let warm = Matrix::from_fn(32, 6, |i, j| ((i * 7 + j * 3) % 11) as f64 * 0.21 - 1.0);
+        for _ in 0..5 {
+            net.forward(&warm, true);
+        }
+        net
+    }
+
+    #[test]
+    fn plan_f64_bit_identical_to_sequential() {
+        let net = rich_net(11);
+        let plan = InferPlan::compile(&net).expect("all layers lower");
+        let x = Matrix::from_fn(9, 6, |i, j| (i as f64 * 0.4 - j as f64 * 0.7).sin());
+        assert_bits_eq(&plan.infer(&x, InferPrecision::F64Exact), &net.infer(&x));
+    }
+
+    #[test]
+    fn plan_reference_bit_identical_to_kernel_path() {
+        let net = rich_net(12);
+        let plan = InferPlan::compile(&net).expect("all layers lower");
+        let x = Matrix::from_fn(7, 6, |i, j| (i as f64 - 2.0 * j as f64) * 0.31);
+        assert_bits_eq(
+            &plan.infer_reference(&x),
+            &plan.infer(&x, InferPrecision::F64Exact),
+        );
+    }
+
+    #[test]
+    fn plan_fuses_activations() {
+        let net = rich_net(13);
+        let plan = InferPlan::compile(&net).unwrap();
+        // Dense, Norm(+relu fused), Affine(+leaky fused), Affine(+tanh fused):
+        // dropout and gradient reversal vanish, activations fuse.
+        assert_eq!(plan.num_stages(), 4);
+        assert_eq!(plan.in_dim(), Some(6));
+        assert_eq!(plan.out_dim(), Some(5));
+    }
+
+    #[test]
+    fn plan_f32_stays_close() {
+        let net = rich_net(14);
+        let plan = InferPlan::compile(&net).unwrap();
+        let x = Matrix::from_fn(16, 6, |i, j| ((i + 2 * j) % 7) as f64 * 0.3 - 0.9);
+        let exact = plan.infer(&x, InferPrecision::F64Exact);
+        let fast = plan.infer(&x, InferPrecision::F32Fast);
+        for (a, b) in exact.as_slice().iter().zip(fast.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "f32 drifted: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn discrete_head_is_unsupported() {
+        let mut rng = SeededRng::new(15);
+        let mut net = Sequential::new();
+        net.push(Dense::new(3, 6, &mut rng));
+        net.push(MixedActivation::new(
+            OutputSpec {
+                continuous: 2,
+                discrete_blocks: vec![4],
+            },
+            0.5,
+            SeededRng::new(16),
+        ));
+        match InferPlan::compile(&net) {
+            Err(PlanError::Unsupported(_)) => {}
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dim_mismatch_is_rejected() {
+        let op = PlanOp::Nested(vec![
+            PlanOp::Dense {
+                weight: Matrix::zeros(4, 3),
+                bias: vec![0.0; 4],
+            },
+            PlanOp::BatchNorm {
+                mean: vec![0.0; 5],
+                var: vec![1.0; 5],
+                eps: 1e-5,
+                gamma: vec![1.0; 5],
+                beta: vec![0.0; 5],
+            },
+        ]);
+        match InferPlan::from_op(op) {
+            Err(PlanError::DimMismatch {
+                expected: 4,
+                got: 5,
+            }) => {}
+            other => panic!("expected DimMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lone_dense_head_compiles() {
+        let mut rng = SeededRng::new(17);
+        let head = Dense::new(8, 3, &mut rng);
+        let plan = InferPlan::compile_layer(&head).unwrap();
+        let x = Matrix::from_fn(4, 8, |i, j| (i as f64 + j as f64) * 0.1);
+        assert_bits_eq(&plan.infer(&x, InferPrecision::F64Exact), &head.infer(&x));
+    }
+
+    #[test]
+    fn precision_labels_are_stable() {
+        assert_eq!(InferPrecision::default(), InferPrecision::F64Exact);
+        assert_eq!(InferPrecision::F64Exact.label(), "f64_exact");
+        assert_eq!(InferPrecision::F32Fast.label(), "f32_fast");
+    }
+
+    #[test]
+    fn plan_error_display_is_informative() {
+        assert!(PlanError::Unsupported("foo").to_string().contains("foo"));
+        assert!(PlanError::DimMismatch {
+            expected: 2,
+            got: 3
+        }
+        .to_string()
+        .contains("2"));
+    }
+}

@@ -1,5 +1,6 @@
 //! Sequential container composing [`Layer`]s.
 
+use crate::plan::PlanOp;
 use crate::{Layer, Param};
 use fsda_linalg::Matrix;
 
@@ -170,6 +171,10 @@ impl Layer for Sequential {
 
     fn num_params(&self) -> usize {
         Sequential::num_params(self)
+    }
+
+    fn plan_op(&self) -> PlanOp {
+        PlanOp::Nested(self.layers.iter().map(|l| l.plan_op()).collect())
     }
 }
 

@@ -695,6 +695,9 @@ impl DriftController {
             };
             telemetry::counter(&format!("{path_metric}.{}", self.tenant), 1);
 
+            // Validation always scores at F64Exact (`try_predict_batch`),
+            // independent of the serving precision policy: promotion
+            // decisions must not hinge on f32 rounding.
             let candidate_pred = refit.artifact.try_predict_batch(
                 val_set.features(),
                 self.config.predict_threads,
@@ -822,6 +825,8 @@ impl DriftController {
             Ok(incumbent) => incumbent,
             Err(_) => return f64::NEG_INFINITY,
         };
+        // Scored at F64Exact, like the candidate: the validation gate
+        // compares both sides at the same (exact) precision.
         match incumbent.try_predict_batch(
             val_set.features(),
             self.config.predict_threads,

@@ -30,7 +30,7 @@ use crate::epoch::EpochPool;
 use crate::hotswap::{SwapCell, SwapOutcome};
 use crate::manifest::TenantManifest;
 use fsda_core::pipeline::{restore, DriftMitigator};
-use fsda_core::{CoreError, GuardConfig, ServeError};
+use fsda_core::{CoreError, GuardConfig, InferPrecision, ServeError};
 use fsda_linalg::par::{resolve_threads, ShardPool, SubmitError};
 use fsda_linalg::Matrix;
 use fsda_telemetry as telemetry;
@@ -59,6 +59,14 @@ pub struct ServeConfig {
     /// default `Some(1)` is deliberate: shards are already thread-per-core,
     /// so nested fan-out would oversubscribe the host.
     pub predict_threads: Option<usize>,
+    /// Numeric precision of the served forward passes. The default
+    /// [`InferPrecision::F64Exact`] keeps serving bit-identical to the
+    /// experiment pipeline; [`InferPrecision::F32Fast`] runs artifacts
+    /// with a compiled inference plan on the single-precision kernels for
+    /// higher throughput at a small, bounded divergence (see
+    /// `docs/KERNELS.md`). Controller validation always measures at
+    /// `F64Exact` regardless of this knob.
+    pub predict_precision: InferPrecision,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +77,7 @@ impl Default for ServeConfig {
             tenant_queue_capacity: 64,
             guard: GuardConfig::default(),
             predict_threads: Some(1),
+            predict_precision: InferPrecision::F64Exact,
         }
     }
 }
@@ -477,6 +486,7 @@ impl TenantServer {
         let epochs = Arc::clone(&self.epochs);
         let guard_cfg = self.config.guard;
         let predict_threads = self.config.predict_threads;
+        let precision = self.config.predict_precision;
         let job = Box::new(move |shard: usize| {
             let start = telemetry::enabled().then(Instant::now);
             let outcome = {
@@ -487,7 +497,7 @@ impl TenantServer {
                 let version = job_tenant.cell.load(&guard);
                 version
                     .artifact()
-                    .try_predict_batch(&batch, predict_threads, &guard_cfg)
+                    .try_predict_batch_with(&batch, predict_threads, &guard_cfg, precision)
                     .map(|predictions| TenantResponse {
                         predictions,
                         artifact_version: version.version(),
@@ -800,6 +810,27 @@ mod tests {
         let stats = server.stats("a").unwrap();
         assert_eq!(stats.serve_errors, 1);
         assert_eq!(stats.completed, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn f32_fast_precision_config_serves() {
+        let (a, probe) = fitted(1);
+        // The reference predictions at the default exact precision.
+        let exact = a.predict_batch(&probe, Some(1));
+        let server = TenantServer::from_artifacts(
+            vec![("a".into(), a)],
+            ServeConfig {
+                predict_precision: InferPrecision::F32Fast,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let served = server.predict("a", probe).unwrap();
+        assert_eq!(served.predictions.len(), exact.len());
+        // This fixture's artifact has no fast path, so the hint must fall
+        // back to the exact pipeline unchanged.
+        assert_eq!(served.predictions, exact);
         server.shutdown();
     }
 
