@@ -1,0 +1,367 @@
+//! Cross-method tournament: every registry method on every cell of a
+//! scenario-DSL grid, ranked by mean macro-F1.
+//!
+//! Where `scenario_sweep` stress-tests the FS front-end against ground
+//! truth, the tournament stress-tests the paper's *claim*: that the
+//! source-only-trained FS+GAN pipeline holds up against methods that are
+//! allowed to train on the target shots — including the adversarial
+//! adaptation baselines (DANN, SCL, FADA, FMAA). All 18 registry methods
+//! run on every cell of a topology × strength × schedule grid via
+//! [`fsda_core::sweep::run_scenario_cell`]; per-method mean macro-F1 and
+//! dense ranks go to `BENCH_tournament.json`, and CI gates that FsGan's
+//! mean stays in the top 3. Ranking runs over the cells inside the
+//! paper's operating envelope; chain/mixed-topology cells, whose
+//! feature→feature edges propagate drift beyond the intervention sites,
+//! are played and recorded as out-of-model diagnostics (see
+//! [`build_grid`] and `docs/TOURNAMENT.md`).
+//!
+//! Cells derive their seeds from the grid position and run
+//! single-threaded inside, so the tournament is bit-identical at any
+//! thread count; `--verify-determinism` re-runs a prefix sequentially and
+//! asserts exact equality.
+//!
+//! `cargo run -p fsda-bench --release --bin tournament [-- --quick]
+//!  [--threads N] [--verify-determinism]`
+
+use fsda_core::adapter::AdapterConfig;
+use fsda_core::sweep::run_scenario_cell;
+use fsda_core::Method;
+use fsda_data::fewshot::few_shot_subset;
+use fsda_data::scenario::{ScenarioSpec, Schedule, Topology};
+use fsda_linalg::par::{par_map, resolve_threads};
+use fsda_linalg::SeededRng;
+use fsda_models::ClassifierKind;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// CI gate: FsGan's dense rank by mean macro-F1 must stay within this.
+const TARGET_FSGAN_RANK: usize = 3;
+
+/// Shots per cell. The tournament plays in the paper's few-shot regime
+/// (k ≤ 5): the whole claim is about what source-only training buys when
+/// labelled target data is *scarce*, so handing the adversarial
+/// baselines a large shot budget would change the question, not
+/// stress-test the answer.
+const SHOTS: usize = 5;
+
+/// One grid position: the scenario spec plus whether the cell is inside
+/// the paper's operating envelope and therefore counts toward the
+/// ranking. Out-of-model cells (feature→feature drift propagation) are
+/// still played and recorded as diagnostics.
+#[derive(Clone, PartialEq)]
+struct GridCell {
+    spec: ScenarioSpec,
+    in_model: bool,
+}
+
+/// One completed tournament cell: macro-F1 per method, in
+/// [`Method::ALL`] order.
+#[derive(Clone, PartialEq)]
+struct CellRecord {
+    id: usize,
+    cell: GridCell,
+    f1: Vec<f64>,
+}
+
+/// Splitmix64 finalizer for per-cell seed derivation.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The tournament grid: topology × strength tier × drift schedule.
+///
+/// **Ranked cells** stay inside the paper's operating envelope: star and
+/// layered topologies, where features are children of latents only, so
+/// drift lives exactly at the intervention sites the F-node search
+/// identifies — the assumption the FS+GAN pipeline (and the paper's
+/// testbeds) are built on. Strengths stay in the regime a few-shot
+/// window can detect at all.
+///
+/// **Diagnostic cells** deliberately leave that envelope — chain and
+/// mixed topologies propagate interventions through feature→feature
+/// mechanisms, so *every* feature's marginal can drift. They are played
+/// and recorded (`in_model: false`) because the failure mode is real
+/// and worth watching, but they rank nothing: a method's score there
+/// measures the substrate's distance from the paper's assumptions, not
+/// the method (see `docs/TOURNAMENT.md`).
+///
+/// Quick mode covers every axis with a latin-square of the ranked grid
+/// plus one diagnostic per out-of-model topology; full mode is the
+/// cartesian product.
+fn build_grid(quick: bool) -> Vec<GridCell> {
+    let ranked = [Topology::Star, Topology::Layered];
+    let strengths = [2.4, 1.6];
+    let schedules = [Schedule::Abrupt, Schedule::Gradual { windows: 4 }];
+    let mut grid = Vec::new();
+    if quick {
+        grid.push(ScenarioSpec::default().with_topology(Topology::Star));
+        grid.push(
+            ScenarioSpec::default()
+                .with_topology(Topology::Layered)
+                .with_schedule(Schedule::Gradual { windows: 4 }),
+        );
+        grid.push(
+            ScenarioSpec::default()
+                .with_topology(Topology::Star)
+                .with_strength(1.6)
+                .with_schedule(Schedule::Gradual { windows: 4 }),
+        );
+        grid.push(
+            ScenarioSpec::default()
+                .with_topology(Topology::Layered)
+                .with_strength(1.6),
+        );
+    } else {
+        for topology in ranked {
+            for strength in strengths {
+                for schedule in schedules {
+                    grid.push(
+                        ScenarioSpec::default()
+                            .with_topology(topology)
+                            .with_strength(strength)
+                            .with_schedule(schedule),
+                    );
+                }
+            }
+        }
+    }
+    let ranked_len = grid.len();
+    for topology in [Topology::Chain, Topology::Mixed] {
+        grid.push(ScenarioSpec::default().with_topology(topology));
+        if !quick {
+            grid.push(
+                ScenarioSpec::default()
+                    .with_topology(topology)
+                    .with_schedule(Schedule::Gradual { windows: 4 }),
+            );
+        }
+    }
+    grid.into_iter()
+        .enumerate()
+        .map(|(i, spec)| GridCell {
+            spec: spec
+                .with_shots(SHOTS)
+                .with_seed(mix(0x70AA_1EB1 + i as u64)),
+            in_model: i < ranked_len,
+        })
+        .collect()
+}
+
+/// Runs one cell: generate the scenario once, then fit and score every
+/// registry method on it. Single-threaded inside — parallelism lives at
+/// the cell fan-out.
+fn run_cell(id: usize, cell: &GridCell) -> CellRecord {
+    let spec = &cell.spec;
+    let compiled = spec.compile().expect("grid specs are valid");
+    let data = compiled.generate(Some(1)).expect("scenario generation");
+    let mut shot_rng = SeededRng::new(mix(spec.seed ^ 0x5807));
+    let shots =
+        few_shot_subset(&data.target_pool, spec.shots, &mut shot_rng).expect("few-shot draw");
+    // The paper's network-management model is a neural classifier; the
+    // MLP is also what the model-specific baselines embed against, so
+    // every method competes on the model family the claim is about. The
+    // default (paper-scale) budget is deliberate: the tournament ranks
+    // methods, and rankings under a starved budget measure convergence
+    // speed, not the methods themselves.
+    let mut config = AdapterConfig::default().with_classifier(ClassifierKind::Mlp);
+    config.fs.parallel = false;
+    config.budget.threads = 1;
+    let f1 = Method::ALL
+        .iter()
+        .map(|&method| {
+            run_scenario_cell(
+                method,
+                &data.source_train,
+                &shots,
+                &data.target_test,
+                &data.ground_truth_variant,
+                &config,
+                mix(spec.seed ^ method as u64),
+            )
+            .expect("cell run")
+            .macro_f1
+        })
+        .collect();
+    CellRecord {
+        id,
+        cell: cell.clone(),
+        f1,
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        f64::NAN
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Dense ranks over mean macro-F1, descending: the best method is rank 1
+/// and exact ties share a rank without gapping the next one.
+fn dense_ranks(means: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..means.len()).collect();
+    order.sort_by(|&a, &b| means[b].total_cmp(&means[a]));
+    let mut ranks = vec![0usize; means.len()];
+    let mut rank = 0usize;
+    let mut prev = f64::INFINITY;
+    for &i in &order {
+        if means[i] != prev {
+            rank += 1;
+            prev = means[i];
+        }
+        ranks[i] = rank;
+    }
+    ranks
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let verify = args.iter().any(|a| a == "--verify-determinism");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
+    let threads = resolve_threads(threads);
+    let grid = build_grid(quick);
+    let mode = if quick { "quick" } else { "full" };
+    let ranked_count = grid.iter().filter(|c| c.in_model).count();
+    println!(
+        "tournament ({mode}): {} methods x {} cells ({} ranked + {} diagnostic) on {threads} thread(s)\n",
+        Method::ALL.len(),
+        grid.len(),
+        ranked_count,
+        grid.len() - ranked_count,
+    );
+
+    let start = Instant::now();
+    let cells: Vec<CellRecord> = par_map(threads, &grid, run_cell);
+    let elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "played {} cells in {elapsed:.1}s ({:.2}s/cell)\n",
+        cells.len(),
+        elapsed / cells.len().max(1) as f64
+    );
+
+    let checked = if verify {
+        let n = cells.len().min(2);
+        let again: Vec<CellRecord> = par_map(1, &grid[..n], run_cell);
+        for (a, b) in cells[..n].iter().zip(&again) {
+            assert!(
+                a == b,
+                "cell {} differs between {threads}-thread and sequential runs",
+                a.id
+            );
+        }
+        println!("determinism spot-check: {n} cells bit-identical at 1 vs {threads} thread(s)\n");
+        n
+    } else {
+        0
+    };
+
+    // Only in-model cells rank; diagnostics are recorded but never
+    // scored (see build_grid).
+    let ranked_cells: Vec<&CellRecord> = cells.iter().filter(|c| c.cell.in_model).collect();
+    let means: Vec<f64> = (0..Method::ALL.len())
+        .map(|j| mean(&ranked_cells.iter().map(|c| c.f1[j]).collect::<Vec<f64>>()))
+        .collect();
+    let ranks = dense_ranks(&means);
+
+    // Leaderboard, best first.
+    let mut order: Vec<usize> = (0..Method::ALL.len()).collect();
+    order.sort_by(|&a, &b| means[b].total_cmp(&means[a]));
+    println!("{:>4} {:<12} {:>12}", "rank", "method", "mean_f1");
+    for &j in &order {
+        println!(
+            "{:>4} {:<12} {:>12.3}",
+            ranks[j],
+            Method::ALL[j].slug(),
+            means[j]
+        );
+    }
+    let fsgan = Method::ALL
+        .iter()
+        .position(|&m| m == Method::FsGan)
+        .expect("FsGan is registered");
+    println!(
+        "\nfsgan rank {} of {} (gate: <= {TARGET_FSGAN_RANK})",
+        ranks[fsgan],
+        Method::ALL.len()
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"elapsed_s\": {elapsed:.2},");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"cross-method tournament: all registry \
+         methods fit and scored on every cell of a topology x strength x \
+         schedule scenario grid; per-method mean macro-F1 with dense \
+         ranks (1 = best, ties share a rank) over the in-model cells; \
+         cells with in_model=false leave the paper's operating envelope \
+         (drift propagating through feature-to-feature edges) and are \
+         recorded as diagnostics without ranking anything; cells are \
+         pure functions of their spec so the tournament is bit-identical \
+         at any thread count\","
+    );
+    let _ = writeln!(json, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"id\": {},", c.id);
+        let _ = writeln!(json, "      \"topology\": \"{}\",", c.cell.spec.topology);
+        let _ = writeln!(json, "      \"strength\": {},", c.cell.spec.strength);
+        let _ = writeln!(json, "      \"schedule\": \"{}\",", c.cell.spec.schedule);
+        let _ = writeln!(json, "      \"seed\": {},", c.cell.spec.seed);
+        let _ = writeln!(json, "      \"in_model\": {},", c.cell.in_model);
+        let _ = writeln!(json, "      \"macro_f1\": {{");
+        for (j, m) in Method::ALL.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "        \"{}\": {:.6}{}",
+                m.slug(),
+                c.f1[j],
+                if j + 1 < Method::ALL.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "      }}");
+        let _ = writeln!(json, "    }}{}", if i + 1 < cells.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"methods\": {{");
+    for (j, m) in Method::ALL.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{\"mean_macro_f1\": {:.6}, \"rank\": {}}}{}",
+            m.slug(),
+            means[j],
+            ranks[j],
+            if j + 1 < Method::ALL.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"summary\": {{");
+    let _ = writeln!(json, "    \"num_methods\": {},", Method::ALL.len());
+    let _ = writeln!(json, "    \"num_cells\": {},", cells.len());
+    let _ = writeln!(json, "    \"num_ranked_cells\": {},", ranked_cells.len());
+    let _ = writeln!(json, "    \"fsgan_rank\": {},", ranks[fsgan]);
+    let _ = writeln!(json, "    \"target_fsgan_rank\": {TARGET_FSGAN_RANK},");
+    let _ = writeln!(json, "    \"determinism_checked_cells\": {checked},");
+    let _ = writeln!(
+        json,
+        "    \"determinism_bit_identical\": {}",
+        if verify { "true" } else { "null" }
+    );
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tournament.json");
+    std::fs::write(path, &json).expect("write BENCH_tournament.json");
+    println!("wrote {path}");
+}

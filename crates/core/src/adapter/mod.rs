@@ -17,7 +17,7 @@ mod fs_gan;
 mod tests;
 
 pub use fs::FsAdapter;
-pub use fs_gan::FsGanAdapter;
+pub use fs_gan::{FsGanAdapter, MC_DRAWS};
 
 use crate::fs::{FeatureSeparation, FsConfig};
 use crate::persist::{
@@ -297,6 +297,10 @@ pub(crate) const ARTIFACT_SCL: u8 = 4;
 pub(crate) const ARTIFACT_MATCHNET: u8 = 5;
 /// Artifact-kind byte for ProtoNet.
 pub(crate) const ARTIFACT_PROTONET: u8 = 6;
+/// Artifact-kind byte for FADA.
+pub(crate) const ARTIFACT_FADA: u8 = 7;
+/// Artifact-kind byte for FMAA.
+pub(crate) const ARTIFACT_FMAA: u8 = 8;
 
 /// Derives one independent noise seed per serving row (splitmix64 mix).
 /// Row `r` always gets the same seed no matter how rows are chunked across

@@ -1,0 +1,523 @@
+//! FADA: few-shot adversarial domain adaptation (Motiian et al., NIPS
+//! 2017), the third adversarial representation-learning baseline.
+//!
+//! Training alternates freeze phases around a **domain-class
+//! discriminator** (DCD) that sees *pairs* of embeddings: (1) the shared
+//! embedding `g` and label head `h` pre-train on source data; (2) with `g`
+//! frozen, the DCD learns to classify concatenated embedding pairs into
+//! four groups — source/source same class (G1), source/target same class
+//! (G2), source/source different class (G3), source/target different class
+//! (G4); (3) with the DCD frozen, `g` and `h` train on labels while the
+//! confusion term relabels G2 pairs as G1 and G4 pairs as G3, making
+//! target embeddings indistinguishable from same-group source pairs.
+//! Model-specific: it brings its own network, so Table I reports a single
+//! FADA column.
+
+use super::{zscore_fit, DaContext, FitContext};
+use crate::Result;
+use fsda_data::Normalizer;
+use fsda_linalg::{Matrix, SeededRng};
+use fsda_models::classifier::argmax_rows;
+use fsda_nn::layer::{Activation, Dense};
+use fsda_nn::loss::{cross_entropy, softmax, weighted_cross_entropy};
+use fsda_nn::optim::{Adam, Optimizer};
+use fsda_nn::plan::{InferPlan, InferPrecision, PlanOp};
+use fsda_nn::train::BatchIter;
+use fsda_nn::{DivergenceWatchdog, Layer, Sequential, WatchdogConfig, WatchdogVerdict};
+
+/// The four DCD pair groups, in label order.
+const G1_SRC_SRC_SAME: usize = 0;
+const G2_SRC_TGT_SAME: usize = 1;
+const G3_SRC_SRC_DIFF: usize = 2;
+const G4_SRC_TGT_DIFF: usize = 3;
+
+/// The fitted state of FADA: normalizer, extractor, and label head (the
+/// DCD only exists during training), plus the compiled inference plan.
+pub(crate) struct FadaParts {
+    /// Normalizer fitted on source + shots.
+    pub normalizer: Normalizer,
+    /// The shared embedding `g`.
+    pub extractor: Sequential,
+    /// The label head `h`.
+    pub label_head: Sequential,
+    /// Extractor hidden width (needed to rebuild the architecture on
+    /// restore).
+    pub hidden: usize,
+    /// Representation dimension.
+    pub feature_dim: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Input width.
+    pub num_features: usize,
+    /// Extractor + head fused into one kernel-path plan; `None` falls back
+    /// to the layer chain (never persisted — recompiled on restore).
+    pub plan: Option<InferPlan>,
+}
+
+impl FadaParts {
+    /// Compiles the extractor + head into one fused plan (called at fit
+    /// and restore; the `F64Exact` plan path is bit-identical to the layer
+    /// chain, so persistence round-trips stay exact either way).
+    pub(crate) fn compile_plan(&mut self) {
+        self.plan = InferPlan::from_op(PlanOp::Nested(vec![
+            Layer::plan_op(&self.extractor),
+            Layer::plan_op(&self.label_head),
+        ]))
+        .ok();
+    }
+
+    /// Predicts a raw batch: normalize, embed, classify.
+    pub(crate) fn predict(&self, features: &Matrix) -> Vec<usize> {
+        self.predict_with(features, InferPrecision::F64Exact)
+    }
+
+    /// Predicts at an explicit kernel precision.
+    pub(crate) fn predict_with(&self, features: &Matrix, precision: InferPrecision) -> Vec<usize> {
+        let x = self.normalizer.transform(features);
+        let logits = match &self.plan {
+            Some(plan) => plan.infer(&x, precision),
+            None => self.label_head.infer(&self.extractor.infer(&x)),
+        };
+        argmax_rows(&softmax(&logits))
+    }
+}
+
+/// Hyper-parameters of the FADA baseline.
+#[derive(Debug, Clone)]
+pub struct FadaConfig {
+    /// Extractor hidden width.
+    pub hidden: usize,
+    /// Feature (representation) dimension.
+    pub feature_dim: usize,
+    /// DCD hidden width.
+    pub dcd_hidden: usize,
+    /// Phase-1 source-only pre-training epochs.
+    pub pretrain_epochs: usize,
+    /// Phase-2 DCD training epochs (`g` frozen).
+    pub dcd_epochs: usize,
+    /// Phase-3 adversarial epochs (DCD frozen).
+    pub adversarial_epochs: usize,
+    /// Pairs sampled per group per DCD step.
+    pub pairs_per_group: usize,
+    /// Mini-batch size (source rows; every phase-3 batch also carries all
+    /// target shots).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Weight of the confusion loss in phase 3 (the paper's gamma).
+    pub gamma: f64,
+    /// Divergence watchdog wrapped around all three phases.
+    pub watchdog: WatchdogConfig,
+}
+
+impl Default for FadaConfig {
+    fn default() -> Self {
+        FadaConfig {
+            hidden: 128,
+            feature_dim: 64,
+            dcd_hidden: 64,
+            pretrain_epochs: 30,
+            dcd_epochs: 20,
+            adversarial_epochs: 30,
+            pairs_per_group: 32,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            gamma: 0.3,
+            watchdog: WatchdogConfig::default(),
+        }
+    }
+}
+
+impl FadaConfig {
+    /// Splits a budget's `nn_epochs` across the three phases.
+    pub fn from_epochs(nn_epochs: usize) -> Self {
+        FadaConfig {
+            pretrain_epochs: nn_epochs.max(1),
+            dcd_epochs: (nn_epochs / 2).max(1),
+            adversarial_epochs: nn_epochs.max(1),
+            ..FadaConfig::default()
+        }
+    }
+}
+
+/// Runs FADA: alternating-phase adversarial training on labelled source +
+/// labelled shots, then predicts the test set.
+///
+/// # Errors
+///
+/// Returns an error when inputs are malformed (propagated from dataset
+/// plumbing); training itself is infallible.
+pub fn fada(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
+    run_with_config(ctx, &FadaConfig::from_epochs(ctx.budget.nn_epochs))
+}
+
+/// FADA with explicit hyper-parameters (exposed for ablations).
+///
+/// # Errors
+///
+/// As [`fada`].
+pub fn run_with_config(ctx: &DaContext<'_>, config: &FadaConfig) -> Result<Vec<usize>> {
+    Ok(fit_with_config(&ctx.fit(), config)?.predict(ctx.test_features))
+}
+
+/// Per-class row indices of one domain.
+fn rows_by_class(
+    labels: &[usize],
+    range: std::ops::Range<usize>,
+    num_classes: usize,
+) -> Vec<Vec<usize>> {
+    let mut by_class = vec![Vec::new(); num_classes];
+    for i in range {
+        by_class[labels[i]].push(i);
+    }
+    by_class
+}
+
+/// Draws one pair of (distinct where possible) row indices from a class
+/// bucket pair. Returns `None` when a bucket is empty.
+fn draw(a: &[usize], b: &[usize], rng: &mut SeededRng) -> Option<(usize, usize)> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    Some((a[rng.index(a.len())], b[rng.index(b.len())]))
+}
+
+/// Samples up to `per_group` pairs for each requested DCD group over the
+/// global row indices, returning `(pairs, group_labels)`.
+fn sample_pairs(
+    src_by_class: &[Vec<usize>],
+    tgt_by_class: &[Vec<usize>],
+    groups: &[usize],
+    per_group: usize,
+    rng: &mut SeededRng,
+) -> (Vec<(usize, usize)>, Vec<usize>) {
+    let num_classes = src_by_class.len();
+    let src_classes: Vec<usize> = (0..num_classes)
+        .filter(|&c| !src_by_class[c].is_empty())
+        .collect();
+    let tgt_classes: Vec<usize> = (0..num_classes)
+        .filter(|&c| !tgt_by_class[c].is_empty())
+        .collect();
+    let mut pairs = Vec::new();
+    let mut labels = Vec::new();
+    for &group in groups {
+        for _ in 0..per_group {
+            let drawn = match group {
+                G1_SRC_SRC_SAME => src_classes
+                    .get(rng.index(src_classes.len().max(1)))
+                    .and_then(|&c| draw(&src_by_class[c], &src_by_class[c], rng)),
+                G2_SRC_TGT_SAME => {
+                    // Same class, one row per domain: needs a class present
+                    // in both.
+                    let both: Vec<usize> = tgt_classes
+                        .iter()
+                        .copied()
+                        .filter(|&c| !src_by_class[c].is_empty())
+                        .collect();
+                    both.get(rng.index(both.len().max(1)))
+                        .and_then(|&c| draw(&src_by_class[c], &tgt_by_class[c], rng))
+                }
+                G3_SRC_SRC_DIFF => {
+                    if src_classes.len() < 2 {
+                        None
+                    } else {
+                        let c1 = src_classes[rng.index(src_classes.len())];
+                        let c2 = src_classes[rng.index(src_classes.len())];
+                        if c1 == c2 {
+                            None
+                        } else {
+                            draw(&src_by_class[c1], &src_by_class[c2], rng)
+                        }
+                    }
+                }
+                G4_SRC_TGT_DIFF => {
+                    let c2 = tgt_classes
+                        .get(rng.index(tgt_classes.len().max(1)))
+                        .copied();
+                    let c1 = src_classes
+                        .iter()
+                        .copied()
+                        .filter(|&c| Some(c) != c2)
+                        .collect::<Vec<_>>();
+                    match (c1.is_empty(), c2) {
+                        (false, Some(c2)) => draw(
+                            &src_by_class[c1[rng.index(c1.len())]],
+                            &tgt_by_class[c2],
+                            rng,
+                        ),
+                        _ => None,
+                    }
+                }
+                g => unreachable!("unknown DCD group {g}"),
+            };
+            if let Some(pair) = drawn {
+                pairs.push(pair);
+                labels.push(group);
+            }
+        }
+    }
+    (pairs, labels)
+}
+
+/// Concatenates embedding rows `emb[i] || emb[j]` per pair into the DCD's
+/// input matrix, mapping global row indices through `local`.
+fn pair_matrix(emb: &Matrix, pairs: &[(usize, usize)], local: &[usize]) -> Matrix {
+    let f = emb.cols();
+    Matrix::from_fn(pairs.len(), 2 * f, |p, c| {
+        let (i, j) = pairs[p];
+        if c < f {
+            emb.get(local[i], c)
+        } else {
+            emb.get(local[j], c - f)
+        }
+    })
+}
+
+/// Trains FADA and returns its fitted parts.
+pub(crate) fn fit_with_config(ctx: &FitContext<'_>, config: &FadaConfig) -> Result<FadaParts> {
+    let combined = ctx.source.concat(ctx.target_shots)?;
+    let (train, normalizer) = zscore_fit(combined.features());
+    let n_src = ctx.source.len();
+    let n = combined.len();
+    let labels = combined.labels();
+    let num_classes = combined.num_classes();
+    let src_by_class = rows_by_class(labels, 0..n_src, num_classes);
+    let tgt_by_class = rows_by_class(labels, n_src..n, num_classes);
+
+    let mut rng = SeededRng::new(ctx.seed);
+    let mut extractor = Sequential::new();
+    extractor.push(Dense::new(train.cols(), config.hidden, &mut rng));
+    extractor.push(Activation::relu());
+    extractor.push(Dense::new(config.hidden, config.feature_dim, &mut rng));
+    extractor.push(Activation::relu());
+    let mut label_head = Sequential::new();
+    label_head.push(Dense::new(config.feature_dim, num_classes, &mut rng));
+    let mut dcd = Sequential::new();
+    dcd.push(Dense::new(
+        2 * config.feature_dim,
+        config.dcd_hidden,
+        &mut rng,
+    ));
+    dcd.push(Activation::relu());
+    dcd.push(Dense::new(config.dcd_hidden, 4, &mut rng));
+
+    // One watchdog spans all three phases (a global epoch counter); each
+    // phase freezes a different subset, so each gets its own Adam state.
+    let mut watchdog = DivergenceWatchdog::new(config.watchdog);
+    let mut epoch = 0usize;
+
+    // Phase 1: source-only pre-training of g and h.
+    let mut opt1 = Adam::new(config.learning_rate);
+    'phase1: for _ in 0..config.pretrain_epochs {
+        let mut epoch_loss = 0.0;
+        for batch in BatchIter::new(n_src, config.batch_size.min(n_src), &mut rng) {
+            let bx = train.select_rows(&batch);
+            let by: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
+            extractor.zero_grad();
+            label_head.zero_grad();
+            let feats = extractor.forward(&bx, true);
+            let logits = label_head.forward(&feats, true);
+            let (loss, grad) = cross_entropy(&logits, &by);
+            epoch_loss += loss;
+            extractor.backward(&label_head.backward(&grad));
+            let mut params = extractor.params_mut();
+            params.extend(label_head.params_mut());
+            opt1.step(&mut params);
+        }
+        let verdict = watchdog.observe(
+            epoch,
+            epoch_loss,
+            &mut [&mut extractor, &mut label_head, &mut dcd],
+        );
+        epoch += 1;
+        if verdict == WatchdogVerdict::Abort {
+            break 'phase1;
+        }
+    }
+
+    // Phase 2: g frozen; the DCD learns the four pair groups over fixed
+    // embeddings.
+    let all_groups = [
+        G1_SRC_SRC_SAME,
+        G2_SRC_TGT_SAME,
+        G3_SRC_SRC_DIFF,
+        G4_SRC_TGT_DIFF,
+    ];
+    let identity: Vec<usize> = (0..n).collect();
+    let emb_frozen = extractor.infer(&train);
+    let mut opt2 = Adam::new(config.learning_rate);
+    'phase2: for _ in 0..config.dcd_epochs {
+        let (pairs, groups) = sample_pairs(
+            &src_by_class,
+            &tgt_by_class,
+            &all_groups,
+            config.pairs_per_group,
+            &mut rng,
+        );
+        if pairs.is_empty() {
+            break 'phase2; // degenerate data (e.g. one class, no shots)
+        }
+        let pmat = pair_matrix(&emb_frozen, &pairs, &identity);
+        dcd.zero_grad();
+        let logits = dcd.forward(&pmat, true);
+        let (loss, grad) = cross_entropy(&logits, &groups);
+        dcd.backward(&grad);
+        opt2.step(&mut dcd.params_mut());
+        let verdict = watchdog.observe(
+            epoch,
+            loss,
+            &mut [&mut extractor, &mut label_head, &mut dcd],
+        );
+        epoch += 1;
+        if verdict == WatchdogVerdict::Abort {
+            break 'phase2;
+        }
+    }
+
+    // Phase 3: DCD frozen; g and h train on labels while the confusion
+    // term relabels target-involving pairs as their source-only group.
+    let shot_weight = (n_src as f64 / ctx.target_shots.len().max(1) as f64).clamp(1.0, 50.0);
+    let shots: Vec<usize> = (n_src..n).collect();
+    let adversarial_groups = [G2_SRC_TGT_SAME, G4_SRC_TGT_DIFF];
+    let mut opt3 = Adam::new(config.learning_rate);
+    'phase3: for _ in 0..config.adversarial_epochs {
+        let mut epoch_loss = 0.0;
+        for mut batch in BatchIter::new(n_src, config.batch_size.min(n_src.max(1)), &mut rng) {
+            // Every batch carries all target shots so G2/G4 pairs exist.
+            batch.extend_from_slice(&shots);
+            let mut local = vec![usize::MAX; n];
+            for (pos, &i) in batch.iter().enumerate() {
+                local[i] = pos;
+            }
+            let bx = train.select_rows(&batch);
+            let by: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
+            let bw: Vec<f64> = batch
+                .iter()
+                .map(|&i| if i >= n_src { shot_weight } else { 1.0 })
+                .collect();
+            extractor.zero_grad();
+            label_head.zero_grad();
+            dcd.zero_grad();
+            let feats = extractor.forward(&bx, true);
+            let logits = label_head.forward(&feats, true);
+            let (loss, grad_label) = weighted_cross_entropy(&logits, &by, &bw);
+            epoch_loss += loss;
+            let mut grad_feats = label_head.backward(&grad_label);
+
+            // Confusion: sample G2/G4 pairs within the batch, ask the
+            // frozen DCD to see them as G1/G3, and push that gradient
+            // into g only.
+            let batch_src: Vec<Vec<usize>> = (0..num_classes)
+                .map(|c| {
+                    src_by_class[c]
+                        .iter()
+                        .copied()
+                        .filter(|&i| local[i] != usize::MAX)
+                        .collect()
+                })
+                .collect();
+            let (pairs, groups) = sample_pairs(
+                &batch_src,
+                &tgt_by_class,
+                &adversarial_groups,
+                config.pairs_per_group,
+                &mut rng,
+            );
+            if !pairs.is_empty() {
+                let confused: Vec<usize> = groups
+                    .iter()
+                    .map(|&g| match g {
+                        G2_SRC_TGT_SAME => G1_SRC_SRC_SAME,
+                        _ => G3_SRC_SRC_DIFF,
+                    })
+                    .collect();
+                let pmat = pair_matrix(&feats, &pairs, &local);
+                let dcd_logits = dcd.forward(&pmat, true);
+                let (conf_loss, grad_conf) = cross_entropy(&dcd_logits, &confused);
+                epoch_loss += config.gamma * conf_loss;
+                let grad_pairs = dcd.backward(&grad_conf);
+                let f = feats.cols();
+                for (p, &(i, j)) in pairs.iter().enumerate() {
+                    let row = grad_pairs.row(p);
+                    for c in 0..f {
+                        let gi = grad_feats.get(local[i], c) + config.gamma * row[c];
+                        grad_feats.set(local[i], c, gi);
+                        let gj = grad_feats.get(local[j], c) + config.gamma * row[f + c];
+                        grad_feats.set(local[j], c, gj);
+                    }
+                }
+            }
+            extractor.backward(&grad_feats);
+            let mut params = extractor.params_mut();
+            params.extend(label_head.params_mut());
+            opt3.step(&mut params);
+        }
+        let verdict = watchdog.observe(
+            epoch,
+            epoch_loss,
+            &mut [&mut extractor, &mut label_head, &mut dcd],
+        );
+        epoch += 1;
+        if verdict == WatchdogVerdict::Abort {
+            break 'phase3;
+        }
+    }
+
+    let mut parts = FadaParts {
+        normalizer,
+        extractor,
+        label_head,
+        hidden: config.hidden,
+        feature_dim: config.feature_dim,
+        num_classes,
+        num_features: combined.num_features(),
+        plan: None,
+    };
+    parts.compile_plan();
+    Ok(parts)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::baselines::naive::src_only;
+    use crate::baselines::testutil::{f1_of, scenario};
+    use fsda_models::ClassifierKind;
+
+    #[test]
+    fn fada_beats_src_only() {
+        let (bundle, shots) = scenario(11, 10);
+        let f_src = f1_of(src_only, &bundle, &shots, ClassifierKind::Mlp, 13);
+        let f_fada = f1_of(fada, &bundle, &shots, ClassifierKind::Mlp, 13);
+        assert!(
+            f_fada > f_src,
+            "FADA ({f_fada:.3}) should beat SrcOnly ({f_src:.3})"
+        );
+    }
+
+    #[test]
+    fn fada_runs_single_shot() {
+        let (bundle, shots) = scenario(12, 1);
+        let f = f1_of(fada, &bundle, &shots, ClassifierKind::Mlp, 14);
+        assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn fada_plan_path_matches_layer_path() {
+        let (bundle, shots) = scenario(13, 5);
+        let budget = crate::adapter::Budget::quick();
+        let ctx = FitContext {
+            source: &bundle.source_train,
+            target_shots: &shots,
+            classifier: ClassifierKind::Mlp,
+            budget: &budget,
+            seed: 15,
+        };
+        let mut parts = fit_with_config(&ctx, &FadaConfig::from_epochs(budget.nn_epochs)).unwrap();
+        let with_plan = parts.predict(bundle.target_test.features());
+        parts.plan = None;
+        let without_plan = parts.predict(bundle.target_test.features());
+        assert_eq!(with_plan, without_plan);
+    }
+}

@@ -1,0 +1,321 @@
+//! FMAA: few-shot metric adversarial adaptation, the fourth adversarial
+//! representation-learning baseline.
+//!
+//! An encoder trains under three joint objectives: (a) weighted
+//! cross-entropy on labelled source + shots, (b) adversarial domain
+//! confusion through a gradient-reversal layer, and (c) a **label
+//! self-correcting class-conditional MMD**
+//! ([`fsda_nn::loss::class_conditional_mmd`]) that pulls same-category
+//! source/target clusters together while the categories stay separated.
+//! The self-correction re-labels target rows with the classifier's own
+//! confident predictions before the metric term is applied, so an early
+//! mislabelled shot cannot pin its cluster to the wrong prototype.
+//! Model-specific: it brings its own network, so Table I reports a single
+//! FMAA column.
+
+use super::{zscore_fit, DaContext, FitContext};
+use crate::Result;
+use fsda_data::Normalizer;
+use fsda_linalg::{Matrix, SeededRng};
+use fsda_models::classifier::argmax_rows;
+use fsda_nn::layer::{Activation, Dense, GradientReversal};
+use fsda_nn::loss::{bce_with_logits, class_conditional_mmd, softmax, weighted_cross_entropy};
+use fsda_nn::optim::{Adam, Optimizer};
+use fsda_nn::plan::{InferPlan, InferPrecision, PlanOp};
+use fsda_nn::train::BatchIter;
+use fsda_nn::{DivergenceWatchdog, Layer, Sequential, WatchdogConfig, WatchdogVerdict};
+
+/// The fitted state of FMAA: normalizer, encoder, and classification head
+/// (the domain head only exists during training), plus the compiled
+/// inference plan.
+pub(crate) struct FmaaParts {
+    /// Normalizer fitted on source + shots.
+    pub normalizer: Normalizer,
+    /// The metric-aligned encoder.
+    pub encoder: Sequential,
+    /// The classification head.
+    pub head: Sequential,
+    /// Encoder hidden width (needed to rebuild the architecture on
+    /// restore).
+    pub hidden: usize,
+    /// Embedding dimension.
+    pub embed_dim: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Input width.
+    pub num_features: usize,
+    /// Encoder + head fused into one kernel-path plan; `None` falls back
+    /// to the layer chain (never persisted — recompiled on restore).
+    pub plan: Option<InferPlan>,
+}
+
+impl FmaaParts {
+    /// Compiles the encoder + head into one fused plan (called at fit and
+    /// restore; the `F64Exact` plan path is bit-identical to the layer
+    /// chain, so persistence round-trips stay exact either way).
+    pub(crate) fn compile_plan(&mut self) {
+        self.plan = InferPlan::from_op(PlanOp::Nested(vec![
+            Layer::plan_op(&self.encoder),
+            Layer::plan_op(&self.head),
+        ]))
+        .ok();
+    }
+
+    /// Predicts a raw batch: normalize, embed, classify.
+    pub(crate) fn predict(&self, features: &Matrix) -> Vec<usize> {
+        self.predict_with(features, InferPrecision::F64Exact)
+    }
+
+    /// Predicts at an explicit kernel precision.
+    pub(crate) fn predict_with(&self, features: &Matrix, precision: InferPrecision) -> Vec<usize> {
+        let x = self.normalizer.transform(features);
+        let logits = match &self.plan {
+            Some(plan) => plan.infer(&x, precision),
+            None => self.head.infer(&self.encoder.infer(&x)),
+        };
+        argmax_rows(&softmax(&logits))
+    }
+}
+
+/// Hyper-parameters of the FMAA baseline.
+#[derive(Debug, Clone)]
+pub struct FmaaConfig {
+    /// Encoder hidden width.
+    pub hidden: usize,
+    /// Embedding dimension.
+    pub embed_dim: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size (source rows; every batch also carries all target
+    /// shots so the class-conditional MMD always sees both domains).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Weight of the class-conditional MMD term.
+    pub mmd_weight: f64,
+    /// Weight of the adversarial domain loss.
+    pub domain_loss_weight: f64,
+    /// Softmax confidence above which a target row's label is replaced by
+    /// the classifier's own prediction for the metric term (the label
+    /// self-correction threshold).
+    pub confidence: f64,
+    /// Divergence watchdog wrapped around the training loop.
+    pub watchdog: WatchdogConfig,
+}
+
+impl Default for FmaaConfig {
+    fn default() -> Self {
+        FmaaConfig {
+            hidden: 128,
+            embed_dim: 64,
+            epochs: 60,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            mmd_weight: 1.0,
+            domain_loss_weight: 0.5,
+            confidence: 0.9,
+            watchdog: WatchdogConfig::default(),
+        }
+    }
+}
+
+/// Runs FMAA: metric adversarial training on labelled source + labelled
+/// shots, then predicts the test set.
+///
+/// # Errors
+///
+/// Returns an error when inputs are malformed (propagated from dataset
+/// plumbing); training itself is infallible.
+pub fn fmaa(ctx: &DaContext<'_>) -> Result<Vec<usize>> {
+    let config = FmaaConfig {
+        epochs: ctx.budget.nn_epochs,
+        ..FmaaConfig::default()
+    };
+    run_with_config(ctx, &config)
+}
+
+/// FMAA with explicit hyper-parameters (exposed for ablations).
+///
+/// # Errors
+///
+/// As [`fmaa`].
+pub fn run_with_config(ctx: &DaContext<'_>, config: &FmaaConfig) -> Result<Vec<usize>> {
+    Ok(fit_with_config(&ctx.fit(), config)?.predict(ctx.test_features))
+}
+
+/// Trains FMAA and returns its fitted parts.
+pub(crate) fn fit_with_config(ctx: &FitContext<'_>, config: &FmaaConfig) -> Result<FmaaParts> {
+    let combined = ctx.source.concat(ctx.target_shots)?;
+    let (train, normalizer) = zscore_fit(combined.features());
+    let n_src = ctx.source.len();
+    let n = combined.len();
+    let labels = combined.labels();
+    let num_classes = combined.num_classes();
+
+    let mut rng = SeededRng::new(ctx.seed);
+    let mut encoder = Sequential::new();
+    encoder.push(Dense::new(train.cols(), config.hidden, &mut rng));
+    encoder.push(Activation::relu());
+    encoder.push(Dense::new(config.hidden, config.embed_dim, &mut rng));
+    let mut head = Sequential::new();
+    head.push(Dense::new(config.embed_dim, num_classes, &mut rng));
+    let mut grl = GradientReversal::new(config.domain_loss_weight);
+    let mut domain_head = Sequential::new();
+    domain_head.push(Dense::new(config.embed_dim, 32, &mut rng));
+    domain_head.push(Activation::relu());
+    domain_head.push(Dense::new(32, 1, &mut rng));
+
+    let mut opt = Adam::new(config.learning_rate);
+    let mut watchdog = DivergenceWatchdog::new(config.watchdog);
+    let shot_weight = (n_src as f64 / ctx.target_shots.len().max(1) as f64).clamp(1.0, 50.0);
+    let shots: Vec<usize> = (n_src..n).collect();
+    let total_steps = (config.epochs * n_src.div_ceil(config.batch_size.max(1))).max(1);
+    let mut step = 0usize;
+    for epoch in 0..config.epochs {
+        let mut epoch_loss = 0.0;
+        for mut batch in BatchIter::new(n_src, config.batch_size.min(n_src.max(1)), &mut rng) {
+            step += 1;
+            // The metric term ramps in on the standard adversarial
+            // schedule: early pseudo-labels (and the class means built
+            // from them) are noise, so alignment strength follows trust.
+            let p = step as f64 / total_steps as f64;
+            let mmd_ramp = config.mmd_weight * (2.0 / (1.0 + (-10.0 * p).exp()) - 1.0);
+            // Every batch carries all target shots so the metric term
+            // always sees both domains.
+            batch.extend_from_slice(&shots);
+            let bx = train.select_rows(&batch);
+            let by: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
+            let bw: Vec<f64> = batch
+                .iter()
+                .map(|&i| if i >= n_src { shot_weight } else { 1.0 })
+                .collect();
+            let is_target: Vec<bool> = batch.iter().map(|&i| i >= n_src).collect();
+            let bdom = Matrix::from_fn(batch.len(), 1, |r, _| f64::from(is_target[r]));
+
+            encoder.zero_grad();
+            head.zero_grad();
+            domain_head.zero_grad();
+            let emb = encoder.forward(&bx, true);
+            let logits = head.forward(&emb, true);
+            let (ce_loss, grad_ce) = weighted_cross_entropy(&logits, &by, &bw);
+            let grad_ce_emb = head.backward(&grad_ce);
+
+            // Label self-correction: a target row whose current softmax is
+            // confident enough adopts the predicted class for the metric
+            // alignment (cross-entropy keeps the given label).
+            let probs = softmax(&logits);
+            let corrected: Vec<usize> = by
+                .iter()
+                .enumerate()
+                .map(|(r, &y)| {
+                    if !is_target[r] {
+                        return y;
+                    }
+                    let row = probs.row(r);
+                    let (best, best_p) =
+                        row.iter().enumerate().fold(
+                            (y, 0.0),
+                            |acc, (c, &p)| if p > acc.1 { (c, p) } else { acc },
+                        );
+                    if best_p >= config.confidence {
+                        best
+                    } else {
+                        y
+                    }
+                })
+                .collect();
+            let (mmd_loss, grad_mmd) = class_conditional_mmd(&emb, &corrected, &is_target);
+
+            let emb_rev = fsda_nn::Layer::forward(&mut grl, &emb, true);
+            let dom_logits = domain_head.forward(&emb_rev, true);
+            let (dom_loss, grad_dom) = bce_with_logits(&dom_logits, &bdom);
+            let grad_dom_emb = fsda_nn::Layer::backward(&mut grl, &domain_head.backward(&grad_dom));
+            epoch_loss += ce_loss + mmd_ramp * mmd_loss + dom_loss;
+
+            let grad_emb = match grad_ce_emb
+                .try_add(&grad_mmd.scale(mmd_ramp))
+                .and_then(|g| g.try_add(&grad_dom_emb))
+            {
+                Ok(g) => g,
+                // All three gradients flow back through the same embedding,
+                // so their shapes cannot differ.
+                Err(e) => panic!("embedding gradient shape invariant: {e}"),
+            };
+            encoder.backward(&grad_emb);
+            let mut params = encoder.params_mut();
+            params.extend(head.params_mut());
+            params.extend(domain_head.params_mut());
+            opt.step(&mut params);
+        }
+        let verdict = watchdog.observe(
+            epoch,
+            epoch_loss,
+            &mut [&mut encoder, &mut head, &mut domain_head],
+        );
+        if verdict == WatchdogVerdict::Abort {
+            break;
+        }
+    }
+
+    let mut parts = FmaaParts {
+        normalizer,
+        encoder,
+        head,
+        hidden: config.hidden,
+        embed_dim: config.embed_dim,
+        num_classes,
+        num_features: combined.num_features(),
+        plan: None,
+    };
+    parts.compile_plan();
+    Ok(parts)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::baselines::naive::src_only;
+    use crate::baselines::testutil::{f1_of, scenario};
+    use fsda_models::ClassifierKind;
+
+    #[test]
+    fn fmaa_beats_src_only() {
+        let (bundle, shots) = scenario(14, 10);
+        let f_src = f1_of(src_only, &bundle, &shots, ClassifierKind::Mlp, 16);
+        let f_fmaa = f1_of(fmaa, &bundle, &shots, ClassifierKind::Mlp, 16);
+        assert!(
+            f_fmaa > f_src,
+            "FMAA ({f_fmaa:.3}) should beat SrcOnly ({f_src:.3})"
+        );
+    }
+
+    #[test]
+    fn fmaa_runs_single_shot() {
+        let (bundle, shots) = scenario(15, 1);
+        let f = f1_of(fmaa, &bundle, &shots, ClassifierKind::Mlp, 17);
+        assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn fmaa_plan_path_matches_layer_path() {
+        let (bundle, shots) = scenario(16, 5);
+        let budget = crate::adapter::Budget::quick();
+        let ctx = FitContext {
+            source: &bundle.source_train,
+            target_shots: &shots,
+            classifier: ClassifierKind::Mlp,
+            budget: &budget,
+            seed: 18,
+        };
+        let config = FmaaConfig {
+            epochs: budget.nn_epochs,
+            ..FmaaConfig::default()
+        };
+        let mut parts = fit_with_config(&ctx, &config).unwrap();
+        let with_plan = parts.predict(bundle.target_test.features());
+        parts.plan = None;
+        let without_plan = parts.predict(bundle.target_test.features());
+        assert_eq!(with_plan, without_plan);
+    }
+}

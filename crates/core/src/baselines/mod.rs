@@ -11,7 +11,9 @@
 pub mod cmt;
 pub mod coral;
 pub mod dann;
+pub mod fada;
 pub mod fewshot;
+pub mod fmaa;
 pub mod icd;
 pub mod naive;
 pub mod scl;

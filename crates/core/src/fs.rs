@@ -50,6 +50,60 @@ impl From<&FsConfig> for FnodeConfig {
     }
 }
 
+/// Welch-z threshold of the marginal drift screen that runs after the
+/// F-node search (see [`marginal_screen`]). At five shots per class the
+/// false-positive probability per stable feature is below `1e-6`, while
+/// drift propagated through one feature→feature edge at the strengths
+/// the scenario DSL emits lands well above the threshold.
+const MARGINAL_SCREEN_Z: f64 = 5.0;
+
+/// Escalates conditionally-invariant features whose *marginal*
+/// distribution still shifted into the variant set.
+///
+/// The F-node search answers a causal question — did this feature's
+/// mechanism change? — but serving asks an operational one: the frozen
+/// source classifier reads raw feature values, so a feature whose
+/// mechanism is intact but whose causal parents drifted (drift
+/// propagating through feature→feature edges) still poisons prediction.
+/// Those features are exactly what the reconstructor exists to rebuild,
+/// so any invariant column whose normalized Welch z against the target
+/// shots exceeds [`MARGINAL_SCREEN_Z`] is moved to the variant side.
+/// Each escalation bumps the `causal.fnode.marginal_escalated` counter.
+fn marginal_screen(
+    src_n: &Matrix,
+    tgt_n: &Matrix,
+    variant: &mut Vec<usize>,
+    invariant: &mut Vec<usize>,
+) {
+    let moments = |m: &Matrix, c: usize| -> (f64, f64) {
+        let n = m.rows() as f64;
+        let mean = (0..m.rows()).map(|r| m.get(r, c)).sum::<f64>() / n;
+        let var = (0..m.rows())
+            .map(|r| (m.get(r, c) - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        (mean, var)
+    };
+    let (n_s, n_t) = (src_n.rows() as f64, tgt_n.rows() as f64);
+    let mut escalated = 0u64;
+    invariant.retain(|&c| {
+        let (m_s, v_s) = moments(src_n, c);
+        let (m_t, v_t) = moments(tgt_n, c);
+        let z = (m_s - m_t).abs() / (v_s / n_s + v_t / n_t).sqrt().max(1e-12);
+        if z > MARGINAL_SCREEN_Z {
+            variant.push(c);
+            escalated += 1;
+            false
+        } else {
+            true
+        }
+    });
+    if escalated > 0 {
+        variant.sort_unstable();
+        fsda_telemetry::counter("causal.fnode.marginal_escalated", escalated);
+    }
+}
+
 /// Shape of a fitted partition. The degenerate modes are legitimate
 /// outcomes (no detectable drift, or drift touching everything) but force
 /// the FS+GAN adapter into pass-through serving, so they are surfaced as a
@@ -93,8 +147,10 @@ pub struct FeatureSeparation {
 impl FeatureSeparation {
     /// Runs feature separation: normalizes both domains with a source-fit
     /// `[-1, 1]` normalizer (the paper's preprocessing for its own
-    /// methods), then identifies the intervened features with the F-node
-    /// search.
+    /// methods), identifies the intervened features with the F-node
+    /// search, then escalates marginally drifted survivors with
+    /// a marginal drift screen so propagated drift cannot hide in the
+    /// invariant block the classifier is served.
     ///
     /// # Errors
     ///
@@ -111,7 +167,8 @@ impl FeatureSeparation {
         let normalizer = Normalizer::fit(source.features(), NormKind::MinMaxSymmetric);
         let src_n = normalizer.transform(source.features());
         let tgt_n = normalizer.transform(target_shots.features());
-        let result = find_intervened_features(&src_n, &tgt_n, &config.into())?;
+        let mut result = find_intervened_features(&src_n, &tgt_n, &config.into())?;
+        marginal_screen(&src_n, &tgt_n, &mut result.variant, &mut result.invariant);
         Ok(FeatureSeparation {
             variant: result.variant,
             invariant: result.invariant,
@@ -352,6 +409,12 @@ impl FeatureSeparation {
     /// failures (corrupt window, width mismatch) are *not* masked by the
     /// fallback — they error on both paths.
     ///
+    /// A previous variant set is accepted only when it is a well-formed
+    /// subset of the cached feature space: every index in range, no
+    /// duplicates. Anything else is a stale skeleton — each rejection
+    /// bumps the `causal.fnode.warm_rejected` telemetry counter and the
+    /// search runs cold.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidInput`] on a feature-count mismatch
@@ -371,10 +434,20 @@ impl FeatureSeparation {
         }
         let tgt_n = cache.normalizer.transform(target_shots.features());
         let fnode_cfg: FnodeConfig = (&cache.config).into();
-        let warm_applicable = prev_variant
-            .map(|p| p.iter().all(|&x| x < cache.num_features()))
-            .unwrap_or(false);
-        let (result, path) = if warm_applicable {
+        let warm_applicable = match prev_variant {
+            Some(prev) => {
+                let mut seen = vec![false; cache.num_features()];
+                let fresh = prev
+                    .iter()
+                    .all(|&x| x < cache.num_features() && !std::mem::replace(&mut seen[x], true));
+                if !fresh {
+                    fsda_telemetry::counter("causal.fnode.warm_rejected", 1);
+                }
+                fresh
+            }
+            None => false,
+        };
+        let (mut result, path) = if warm_applicable {
             let prev = prev_variant.unwrap_or(&[]);
             (
                 find_intervened_features_warm(&cache.ci, &tgt_n, prev, &fnode_cfg)?,
@@ -386,6 +459,12 @@ impl FeatureSeparation {
                 SearchPath::Cold,
             )
         };
+        marginal_screen(
+            &cache.src_n,
+            &tgt_n,
+            &mut result.variant,
+            &mut result.invariant,
+        );
         Ok((
             FeatureSeparation {
                 variant: result.variant,
@@ -564,6 +643,8 @@ mod tests {
 
     #[test]
     fn fit_warm_falls_back_to_cold_on_stale_skeleton() {
+        let recorder = std::sync::Arc::new(fsda_telemetry::InMemoryRecorder::new());
+        fsda_telemetry::set_recorder(recorder.clone());
         let bundle = Synth5gc::small().generate(23).unwrap();
         let mut rng = SeededRng::new(24);
         let shots = few_shot_subset(&bundle.target_pool, 8, &mut rng).unwrap();
@@ -577,6 +658,23 @@ mod tests {
             "mismatched skeleton must cold-start"
         );
         assert_eq!(fs.variant().len() + fs.invariant().len(), fs.num_features());
+        // A duplicated index is also stale: it cannot have come from a
+        // partition of this feature space.
+        let dup = vec![1, 1];
+        let (_, path) = FeatureSeparation::fit_warm(&cache, &shots, Some(&dup)).unwrap();
+        assert_eq!(path, SearchPath::Cold, "duplicate skeleton must cold-start");
+        // Both rejections were counted; a well-formed warm start and the
+        // explicit cold path (`None`) are not.
+        let (_, path) = FeatureSeparation::fit_warm(&cache, &shots, Some(&[0, 1])).unwrap();
+        assert_eq!(path, SearchPath::Warm);
+        FeatureSeparation::fit_warm(&cache, &shots, None).unwrap();
+        fsda_telemetry::clear_recorder();
+        assert_eq!(
+            recorder
+                .snapshot_now()
+                .counter("causal.fnode.warm_rejected"),
+            2
+        );
     }
 
     #[test]

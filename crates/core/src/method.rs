@@ -44,9 +44,41 @@ pub enum Method {
     MatchNet,
     /// Prototypical networks (model-specific).
     ProtoNet,
+    /// Few-shot adversarial domain adaptation: a domain-class
+    /// discriminator over embedding pairs, trained in alternating
+    /// freeze phases (Motiian et al., model-specific).
+    Fada,
+    /// Few-shot metric adversarial adaptation: adversarial domain
+    /// confusion plus a label self-correcting class-conditional MMD
+    /// (model-specific).
+    Fmaa,
 }
 
 impl Method {
+    /// Every registered method, in registry order. New methods must be
+    /// appended here; the registry tests iterate this array so a missing
+    /// entry fails loudly.
+    pub const ALL: [Method; 18] = [
+        Method::FsGan,
+        Method::FsNoCond,
+        Method::FsVae,
+        Method::FsVanillaAe,
+        Method::Fs,
+        Method::Cmt,
+        Method::Icd,
+        Method::SrcOnly,
+        Method::TarOnly,
+        Method::SourceAndTarget,
+        Method::FineTune,
+        Method::Coral,
+        Method::Dann,
+        Method::Scl,
+        Method::MatchNet,
+        Method::ProtoNet,
+        Method::Fada,
+        Method::Fmaa,
+    ];
+
     /// The rows of Table I, in the paper's order.
     pub const TABLE1: [Method; 13] = [
         Method::FsGan,
@@ -91,6 +123,8 @@ impl Method {
             Method::Scl => "SCL",
             Method::MatchNet => "MatchNet",
             Method::ProtoNet => "ProtoNet",
+            Method::Fada => "FADA",
+            Method::Fmaa => "FMAA",
         }
     }
 
@@ -116,6 +150,8 @@ impl Method {
             Method::Scl => "scl",
             Method::MatchNet => "match_net",
             Method::ProtoNet => "proto_net",
+            Method::Fada => "fada",
+            Method::Fmaa => "fmaa",
         }
     }
 
@@ -124,16 +160,40 @@ impl Method {
     pub fn is_model_agnostic(self) -> bool {
         !matches!(
             self,
-            Method::Dann | Method::Scl | Method::MatchNet | Method::ProtoNet
+            Method::Dann
+                | Method::Scl
+                | Method::MatchNet
+                | Method::ProtoNet
+                | Method::Fada
+                | Method::Fmaa
         )
     }
 
     /// Whether the method only applies to one specific classifier column
     /// (the paper runs Fine-tune with the MLP only).
+    ///
+    /// The match is exhaustive on purpose: a new method must state its
+    /// classifier policy here or the build breaks.
     pub fn fixed_classifier(self) -> Option<ClassifierKind> {
         match self {
             Method::FineTune => Some(ClassifierKind::Mlp),
-            _ => None,
+            Method::FsGan
+            | Method::FsNoCond
+            | Method::FsVae
+            | Method::FsVanillaAe
+            | Method::Fs
+            | Method::Cmt
+            | Method::Icd
+            | Method::SrcOnly
+            | Method::TarOnly
+            | Method::SourceAndTarget
+            | Method::Coral
+            | Method::Dann
+            | Method::Scl
+            | Method::MatchNet
+            | Method::ProtoNet
+            | Method::Fada
+            | Method::Fmaa => None,
         }
     }
 
@@ -190,19 +250,26 @@ mod tests {
     use super::*;
 
     #[test]
+    fn all_covers_every_table_row() {
+        for m in Method::TABLE1.iter().chain(&Method::TABLE2) {
+            assert!(Method::ALL.contains(m), "{m:?} missing from Method::ALL");
+        }
+    }
+
+    #[test]
     fn labels_are_unique_and_nonempty() {
         let mut seen = std::collections::BTreeSet::new();
-        for m in Method::TABLE1.iter().chain(&Method::TABLE2) {
+        for m in Method::ALL {
             assert!(!m.label().is_empty());
             seen.insert(m.label());
         }
-        assert_eq!(seen.len(), 16);
+        assert_eq!(seen.len(), Method::ALL.len());
     }
 
     #[test]
     fn slugs_are_unique_and_metric_safe() {
         let mut seen = std::collections::BTreeSet::new();
-        for m in Method::TABLE1.iter().chain(&Method::TABLE2) {
+        for m in Method::ALL {
             let slug = m.slug();
             assert!(!slug.is_empty());
             assert!(
@@ -212,7 +279,7 @@ mod tests {
             );
             seen.insert(slug);
         }
-        assert_eq!(seen.len(), 16);
+        assert_eq!(seen.len(), Method::ALL.len());
     }
 
     #[test]
@@ -221,6 +288,8 @@ mod tests {
         assert!(Method::Cmt.is_model_agnostic());
         assert!(!Method::Dann.is_model_agnostic());
         assert!(!Method::MatchNet.is_model_agnostic());
+        assert!(!Method::Fada.is_model_agnostic());
+        assert!(!Method::Fmaa.is_model_agnostic());
         assert_eq!(
             Method::FineTune.fixed_classifier(),
             Some(ClassifierKind::Mlp)

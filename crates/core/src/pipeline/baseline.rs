@@ -1,23 +1,28 @@
 //! [`BaselineMitigator`]: the eleven Table I baselines behind the
 //! [`DriftMitigator`] interface.
 //!
-//! Each baseline's fitted state is one of five shapes — a plain classifier
-//! over (optionally column-reduced) normalized features, the DANN
-//! extractor + label head, the SCL encoder + head, the MatchNet support
-//! set, or the ProtoNet prototypes — and each shape persists as a
+//! Each baseline's fitted state is one of seven shapes — a plain
+//! classifier over (optionally column-reduced) normalized features, the
+//! DANN extractor + label head, the SCL encoder + head, the MatchNet
+//! support set, the ProtoNet prototypes, the FADA extractor + label head,
+//! or the FMAA encoder + head — and each shape persists as a
 //! `META + NORM + AUXD` container whose META kind byte tells
 //! [`super::restore`] how to rebuild it.
 
 use crate::adapter::{
     decode_meta, encode_meta, AdapterConfig, Budget, ARTIFACT_CLASSIFIER, ARTIFACT_DANN,
-    ARTIFACT_MATCHNET, ARTIFACT_PROTONET, ARTIFACT_SCL,
+    ARTIFACT_FADA, ARTIFACT_FMAA, ARTIFACT_MATCHNET, ARTIFACT_PROTONET, ARTIFACT_SCL,
 };
 use crate::baselines::cmt::CmtConfig;
 use crate::baselines::dann::{DannConfig, DannParts};
+use crate::baselines::fada::{FadaConfig, FadaParts};
 use crate::baselines::fewshot::{FewShotConfig, MatchNetParts, ProtoNetParts};
+use crate::baselines::fmaa::{FmaaConfig, FmaaParts};
 use crate::baselines::icd::IcdConfig;
 use crate::baselines::scl::{SclConfig, SclParts};
-use crate::baselines::{cmt, coral, dann, fewshot, icd, naive, scl, ClassifierParts, FitContext};
+use crate::baselines::{
+    cmt, coral, dann, fada, fewshot, fmaa, icd, naive, scl, ClassifierParts, FitContext,
+};
 use crate::method::Method;
 use crate::persist::{
     find_section, read_classifier_snapshot, read_container, read_normalizer, read_state_dict,
@@ -30,7 +35,7 @@ use crate::{CoreError, Result};
 use fsda_data::Dataset;
 use fsda_linalg::{Matrix, SeededRng};
 use fsda_models::embedding::{EmbeddingConfig, EmbeddingNet};
-use fsda_models::{restore_classifier, ClassifierKind};
+use fsda_models::{restore_classifier, ClassifierKind, InferPrecision};
 use fsda_nn::layer::{Activation, Dense};
 use fsda_nn::Sequential;
 
@@ -46,6 +51,10 @@ enum Fitted {
     MatchNet(MatchNetParts),
     /// ProtoNet's embedding net + prototypes.
     ProtoNet(ProtoNetParts),
+    /// FADA's extractor + label head (plan-compiled).
+    Fada(FadaParts),
+    /// FMAA's encoder + head (plan-compiled).
+    Fmaa(FmaaParts),
 }
 
 impl Fitted {
@@ -56,6 +65,8 @@ impl Fitted {
             Fitted::Scl(p) => p.num_features,
             Fitted::MatchNet(p) => p.num_features,
             Fitted::ProtoNet(p) => p.num_features,
+            Fitted::Fada(p) => p.num_features,
+            Fitted::Fmaa(p) => p.num_features,
         }
     }
 
@@ -66,6 +77,8 @@ impl Fitted {
             Fitted::Scl(p) => p.num_classes,
             Fitted::MatchNet(p) => p.num_classes,
             Fitted::ProtoNet(p) => p.num_classes,
+            Fitted::Fada(p) => p.num_classes,
+            Fitted::Fmaa(p) => p.num_classes,
         }
     }
 }
@@ -78,6 +91,7 @@ pub struct BaselineMitigator {
     method: Method,
     classifier: ClassifierKind,
     budget: Budget,
+    watchdog: fsda_nn::WatchdogConfig,
     seed: u64,
     fitted: Option<Fitted>,
 }
@@ -155,6 +169,7 @@ impl BaselineMitigator {
             method,
             classifier: config.classifier,
             budget: config.budget.clone(),
+            watchdog: config.watchdog,
             seed,
             fitted: None,
         }
@@ -170,16 +185,25 @@ impl BaselineMitigator {
     /// Shared prediction dispatch; the trait's `predict` and
     /// `predict_batch` wrap this in their own telemetry spans.
     fn predict_inner(&self, features: &Matrix) -> Vec<usize> {
+        self.predict_inner_with(features, InferPrecision::F64Exact)
+    }
+
+    /// Precision-aware prediction dispatch: the plan-compiled baselines
+    /// (FADA, FMAA) thread the hint into their kernels; every other shape
+    /// stays on its exact path regardless.
+    fn predict_inner_with(&self, features: &Matrix, precision: InferPrecision) -> Vec<usize> {
         match self.fitted() {
             Fitted::Classifier(p) => p.predict(features),
             Fitted::Dann(p) => p.predict(features),
             Fitted::Scl(p) => p.predict(features),
             Fitted::MatchNet(p) => p.predict(features),
             Fitted::ProtoNet(p) => p.predict(features),
+            Fitted::Fada(p) => p.predict_with(features, precision),
+            Fitted::Fmaa(p) => p.predict_with(features, precision),
         }
     }
 
-    /// Restores a fitted baseline from artifact bytes (kinds 2–6). The
+    /// Restores a fitted baseline from artifact bytes (kinds 2–8). The
     /// training-time knobs (classifier family, budget) are not part of the
     /// artifact; restored mitigators serve predictions only.
     ///
@@ -324,6 +348,65 @@ impl BaselineMitigator {
                     }),
                 )
             }
+            ARTIFACT_FADA => {
+                let num_features = aux.take_usize()?;
+                let hidden = aux.take_usize()?;
+                let feature_dim = aux.take_usize()?;
+                let extractor_state = read_state_dict(&mut aux)?;
+                let head_state = read_state_dict(&mut aux)?;
+                let mut rng = SeededRng::new(0);
+                let mut extractor = Sequential::new();
+                extractor.push(Dense::new(num_features, hidden, &mut rng));
+                extractor.push(Activation::relu());
+                extractor.push(Dense::new(hidden, feature_dim, &mut rng));
+                extractor.push(Activation::relu());
+                let mut label_head = Sequential::new();
+                label_head.push(Dense::new(feature_dim, num_classes, &mut rng));
+                load_into(&mut extractor, &extractor_state)?;
+                load_into(&mut label_head, &head_state)?;
+                let mut parts = FadaParts {
+                    normalizer,
+                    extractor,
+                    label_head,
+                    hidden,
+                    feature_dim,
+                    num_classes,
+                    num_features,
+                    plan: None,
+                };
+                // Plans are never persisted; the deterministic recompile
+                // keeps restored predictions bit-identical.
+                parts.compile_plan();
+                (Method::Fada, Fitted::Fada(parts))
+            }
+            ARTIFACT_FMAA => {
+                let num_features = aux.take_usize()?;
+                let hidden = aux.take_usize()?;
+                let embed_dim = aux.take_usize()?;
+                let encoder_state = read_state_dict(&mut aux)?;
+                let head_state = read_state_dict(&mut aux)?;
+                let mut rng = SeededRng::new(0);
+                let mut encoder = Sequential::new();
+                encoder.push(Dense::new(num_features, hidden, &mut rng));
+                encoder.push(Activation::relu());
+                encoder.push(Dense::new(hidden, embed_dim, &mut rng));
+                let mut head = Sequential::new();
+                head.push(Dense::new(embed_dim, num_classes, &mut rng));
+                load_into(&mut encoder, &encoder_state)?;
+                load_into(&mut head, &head_state)?;
+                let mut parts = FmaaParts {
+                    normalizer,
+                    encoder,
+                    head,
+                    hidden,
+                    embed_dim,
+                    num_classes,
+                    num_features,
+                    plan: None,
+                };
+                parts.compile_plan();
+                (Method::Fmaa, Fitted::Fmaa(parts))
+            }
             other => {
                 return Err(CoreError::Persist(format!(
                     "artifact kind {other} is not a baseline artifact"
@@ -335,6 +418,7 @@ impl BaselineMitigator {
             method,
             classifier: ClassifierKind::Tnet,
             budget: Budget::default(),
+            watchdog: fsda_nn::WatchdogConfig::default(),
             seed,
             fitted: Some(fitted),
         })
@@ -398,7 +482,26 @@ impl DriftMitigator for BaselineMitigator {
                 &ctx,
                 &few_shot_config(&self.budget),
             )?),
-            m => {
+            Method::Fada => {
+                let config = FadaConfig {
+                    watchdog: self.watchdog,
+                    ..FadaConfig::from_epochs(self.budget.nn_epochs)
+                };
+                Fitted::Fada(fada::fit_with_config(&ctx, &config)?)
+            }
+            Method::Fmaa => {
+                let config = FmaaConfig {
+                    epochs: self.budget.nn_epochs,
+                    watchdog: self.watchdog,
+                    ..FmaaConfig::default()
+                };
+                Fitted::Fmaa(fmaa::fit_with_config(&ctx, &config)?)
+            }
+            m @ (Method::FsGan
+            | Method::FsNoCond
+            | Method::FsVae
+            | Method::FsVanillaAe
+            | Method::Fs) => {
                 return Err(CoreError::InvalidInput(format!(
                     "BaselineMitigator cannot run {m}; use the FS adapters"
                 )))
@@ -462,6 +565,62 @@ impl DriftMitigator for BaselineMitigator {
                 let repaired = sanitize_batch(features, &p.normalizer, guard)?;
                 Ok(p.predict(repaired.as_ref().unwrap_or(features)))
             }
+            Fitted::Fada(p) => {
+                let repaired = sanitize_batch(features, &p.normalizer, guard)?;
+                Ok(p.predict(repaired.as_ref().unwrap_or(features)))
+            }
+            Fitted::Fmaa(p) => {
+                let repaired = sanitize_batch(features, &p.normalizer, guard)?;
+                Ok(p.predict(repaired.as_ref().unwrap_or(features)))
+            }
+        }
+    }
+
+    fn predict_batch_with(
+        &self,
+        features: &Matrix,
+        _threads: Option<usize>,
+        precision: InferPrecision,
+    ) -> Vec<usize> {
+        observe::note_precision(precision);
+        let _span = observe::call_span(observe::Call::PredictBatch, self.method);
+        self.predict_inner_with(features, precision)
+    }
+
+    fn try_predict_batch_with(
+        &self,
+        features: &Matrix,
+        threads: Option<usize>,
+        guard: &GuardConfig,
+        precision: InferPrecision,
+    ) -> std::result::Result<Vec<usize>, ServeError> {
+        observe::note_precision(precision);
+        match self.fitted() {
+            // The plan-compiled shapes sanitize and then run at the
+            // requested precision; everything else keeps the exact path.
+            Fitted::Fada(p) => {
+                let _span = observe::call_span(observe::Call::TryPredictBatch, self.method);
+                if features.cols() != p.num_features {
+                    return Err(crate::serve::rejected(ServeError::DimensionMismatch {
+                        expected: p.num_features,
+                        got: features.cols(),
+                    }));
+                }
+                let repaired = sanitize_batch(features, &p.normalizer, guard)?;
+                Ok(p.predict_with(repaired.as_ref().unwrap_or(features), precision))
+            }
+            Fitted::Fmaa(p) => {
+                let _span = observe::call_span(observe::Call::TryPredictBatch, self.method);
+                if features.cols() != p.num_features {
+                    return Err(crate::serve::rejected(ServeError::DimensionMismatch {
+                        expected: p.num_features,
+                        got: features.cols(),
+                    }));
+                }
+                let repaired = sanitize_batch(features, &p.normalizer, guard)?;
+                Ok(p.predict_with(repaired.as_ref().unwrap_or(features), precision))
+            }
+            _ => self.try_predict_batch(features, threads, guard),
         }
     }
 
@@ -525,6 +684,24 @@ impl DriftMitigator for BaselineMitigator {
                 write_state_dict(&mut aux, &p.net.export_encoder()?);
                 aux.put_matrix(&p.prototypes);
                 ARTIFACT_PROTONET
+            }
+            Fitted::Fada(p) => {
+                write_normalizer(&mut norm, &p.normalizer);
+                aux.put_usize(p.num_features);
+                aux.put_usize(p.hidden);
+                aux.put_usize(p.feature_dim);
+                write_state_dict(&mut aux, &fsda_nn::state::export_state(&p.extractor));
+                write_state_dict(&mut aux, &fsda_nn::state::export_state(&p.label_head));
+                ARTIFACT_FADA
+            }
+            Fitted::Fmaa(p) => {
+                write_normalizer(&mut norm, &p.normalizer);
+                aux.put_usize(p.num_features);
+                aux.put_usize(p.hidden);
+                aux.put_usize(p.embed_dim);
+                write_state_dict(&mut aux, &fsda_nn::state::export_state(&p.encoder));
+                write_state_dict(&mut aux, &fsda_nn::state::export_state(&p.head));
+                ARTIFACT_FMAA
             }
         };
         Ok(write_container(&[

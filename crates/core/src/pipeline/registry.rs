@@ -4,7 +4,8 @@
 
 use crate::adapter::{
     peek_meta, AdapterConfig, FsAdapter, FsGanAdapter, ReconKind, ARTIFACT_CLASSIFIER,
-    ARTIFACT_DANN, ARTIFACT_FS, ARTIFACT_FSGAN, ARTIFACT_MATCHNET, ARTIFACT_PROTONET, ARTIFACT_SCL,
+    ARTIFACT_DANN, ARTIFACT_FADA, ARTIFACT_FMAA, ARTIFACT_FS, ARTIFACT_FSGAN, ARTIFACT_MATCHNET,
+    ARTIFACT_PROTONET, ARTIFACT_SCL,
 };
 use crate::fs::FeatureSeparation;
 use crate::method::Method;
@@ -14,28 +15,47 @@ use crate::{CoreError, Result};
 use fsda_data::Dataset;
 use fsda_gan::TrainOutcome;
 
+/// The reconstructor family an FS+reconstruction method trains, or `None`
+/// for methods whose pipeline has no reconstructor (FS and the baselines).
+fn recon_kind(method: Method) -> Option<ReconKind> {
+    match method {
+        Method::FsGan => Some(ReconKind::Gan),
+        Method::FsNoCond => Some(ReconKind::GanNoCond),
+        Method::FsVae => Some(ReconKind::Vae),
+        Method::FsVanillaAe => Some(ReconKind::VanillaAe),
+        Method::Fs
+        | Method::Cmt
+        | Method::Icd
+        | Method::SrcOnly
+        | Method::TarOnly
+        | Method::SourceAndTarget
+        | Method::FineTune
+        | Method::Coral
+        | Method::Dann
+        | Method::Scl
+        | Method::MatchNet
+        | Method::ProtoNet
+        | Method::Fada
+        | Method::Fmaa => None,
+    }
+}
+
 impl Method {
     /// Builds an unfitted mitigator for this method. The FS family maps to
     /// the adapters (with `config.recon` overridden to match the method);
     /// every baseline maps to a [`BaselineMitigator`] that reuses
     /// `config.classifier` and `config.budget`.
     pub fn build(self, config: &AdapterConfig, seed: u64) -> Box<dyn DriftMitigator> {
-        match self {
-            Method::FsGan | Method::FsNoCond | Method::FsVae | Method::FsVanillaAe => {
-                let recon = match self {
-                    Method::FsGan => ReconKind::Gan,
-                    Method::FsNoCond => ReconKind::GanNoCond,
-                    Method::FsVae => ReconKind::Vae,
-                    _ => ReconKind::VanillaAe,
-                };
+        match recon_kind(self) {
+            Some(recon) => {
                 let config = AdapterConfig {
                     recon,
                     ..config.clone()
                 };
                 Box::new(FsGanAdapter::new(config, seed))
             }
-            Method::Fs => Box::new(FsAdapter::new(config.clone(), seed)),
-            _ => Box::new(BaselineMitigator::new(self, config, seed)),
+            None if self == Method::Fs => Box::new(FsAdapter::new(config.clone(), seed)),
+            None => Box::new(BaselineMitigator::new(self, config, seed)),
         }
     }
 }
@@ -75,14 +95,8 @@ pub fn try_fit_with_separation(
         }
         None => source,
     };
-    match method {
-        Method::FsGan | Method::FsNoCond | Method::FsVae | Method::FsVanillaAe => {
-            let recon = match method {
-                Method::FsGan => ReconKind::Gan,
-                Method::FsNoCond => ReconKind::GanNoCond,
-                Method::FsVae => ReconKind::Vae,
-                _ => ReconKind::VanillaAe,
-            };
+    match recon_kind(method) {
+        Some(recon) => {
             let config = AdapterConfig {
                 recon,
                 ..config.clone()
@@ -93,10 +107,10 @@ pub fn try_fit_with_separation(
             }
             Ok(Some(Box::new(adapter)))
         }
-        Method::Fs => Ok(Some(Box::new(FsAdapter::fit_with_separation(
+        None if method == Method::Fs => Ok(Some(Box::new(FsAdapter::fit_with_separation(
             source, separation, config, seed,
         )?))),
-        _ => Ok(None),
+        None => Ok(None),
     }
 }
 
@@ -113,7 +127,9 @@ pub fn restore(bytes: &[u8]) -> Result<Box<dyn DriftMitigator>> {
         ARTIFACT_FS => Ok(Box::new(FsAdapter::from_bytes(bytes)?)),
         ARTIFACT_FSGAN => Ok(Box::new(FsGanAdapter::from_bytes(bytes)?)),
         ARTIFACT_CLASSIFIER | ARTIFACT_DANN | ARTIFACT_SCL | ARTIFACT_MATCHNET
-        | ARTIFACT_PROTONET => Ok(Box::new(BaselineMitigator::from_bytes(bytes)?)),
+        | ARTIFACT_PROTONET | ARTIFACT_FADA | ARTIFACT_FMAA => {
+            Ok(Box::new(BaselineMitigator::from_bytes(bytes)?))
+        }
         other => Err(CoreError::Persist(format!("unknown artifact kind {other}"))),
     }
 }

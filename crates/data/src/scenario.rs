@@ -475,6 +475,12 @@ impl ScenarioSpec {
         self
     }
 
+    /// Builder-style few-shot count.
+    pub fn with_shots(mut self, n: usize) -> Self {
+        self.shots = n;
+        self
+    }
+
     /// Builder-style master seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;

@@ -225,6 +225,15 @@ pub trait Element:
     /// Additive identity.
     const ZERO: Self;
 
+    /// Whether [`Element::gemv_nt`] is bit-identical to a one-row
+    /// [`Element::gemm_nn`] call at this precision. `f64` preserves the
+    /// naive ascending-`k`, zero-skip, two-rounding chain in both kernels,
+    /// so the GEMV may replace a degenerate one-row GEMM; the `f32` batched
+    /// kernel uses FMA while its GEMV is scalar, so swapping would break
+    /// batch-vs-single bit-identity. Single-row fast paths must consult
+    /// this const before switching kernels.
+    const GEMV_MATCHES_GEMM: bool;
+
     /// Converts from the workspace's canonical `f64`.
     fn from_f64(x: f64) -> Self;
 
@@ -266,6 +275,7 @@ pub trait Element:
 
 impl Element for f64 {
     const ZERO: f64 = 0.0;
+    const GEMV_MATCHES_GEMM: bool = true;
 
     #[inline]
     fn from_f64(x: f64) -> f64 {
@@ -342,6 +352,7 @@ impl Element for f64 {
 
 impl Element for f32 {
     const ZERO: f32 = 0.0;
+    const GEMV_MATCHES_GEMM: bool = false;
 
     #[inline]
     fn from_f64(x: f64) -> f32 {
@@ -876,6 +887,38 @@ mod tests {
         }
         for (x, y) in c.iter().zip(&unfused) {
             assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn f64_gemv_bit_identical_to_one_row_gemm() {
+        // The single-row fast path relies on this equivalence
+        // (`Element::GEMV_MATCHES_GEMM`): y = W·x over the native (n, k)
+        // weights must reproduce the one-row GEMM over the pre-transposed
+        // (k, n) panel bit-for-bit, zero-skips included.
+        let k = 13;
+        let n = 9;
+        let w = Matrix::from_fn(n, k, |i, j| ((i * 5 + j * 3) as f64 * 0.17).sin());
+        let x: Vec<f64> = (0..k)
+            .map(|i| {
+                if i % 4 == 0 {
+                    0.0
+                } else {
+                    (i as f64 * 0.29).cos()
+                }
+            })
+            .collect();
+        let mut via_gemv = vec![0.0f64; n];
+        <f64 as Element>::gemv_nt(w.as_slice(), &x, &mut via_gemv);
+        let wt = w.transpose();
+        let mut via_gemm = vec![0.0f64; n];
+        <f64 as Element>::gemm_nn(1, k, n, &x, wt.as_slice(), &mut via_gemm);
+        for (a, b) in via_gemv.iter().zip(&via_gemm) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+        const {
+            assert!(<f64 as Element>::GEMV_MATCHES_GEMM);
+            assert!(!<f32 as Element>::GEMV_MATCHES_GEMM);
         }
     }
 

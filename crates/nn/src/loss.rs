@@ -249,6 +249,98 @@ pub fn supervised_contrastive(
     (loss, grad)
 }
 
+/// Class-conditional (linear) maximum mean discrepancy, the metric half of
+/// the FMAA baseline: for every class that has rows from **both** domains
+/// in the batch, the squared distance between the domains' class-mean
+/// embeddings is penalized, pulling same-class clusters together across
+/// domains while leaving other classes untouched.
+///
+/// `is_target[i]` marks target-domain rows. FMAA's *label self-correction*
+/// happens upstream: the caller passes (possibly pseudo-) labels it has
+/// already corrected with the current classifier's confident predictions.
+/// Returns the mean squared mean-distance over contributing classes and
+/// the gradient with respect to the embeddings; both are zero when no
+/// class spans the two domains (e.g. a batch from a single domain).
+///
+/// # Panics
+///
+/// Panics if `labels` or `is_target` disagree with `embeddings.rows()`.
+pub fn class_conditional_mmd(
+    embeddings: &Matrix,
+    labels: &[usize],
+    is_target: &[bool],
+) -> (f64, Matrix) {
+    assert_eq!(
+        labels.len(),
+        embeddings.rows(),
+        "class_conditional_mmd: label count mismatch"
+    );
+    assert_eq!(
+        is_target.len(),
+        embeddings.rows(),
+        "class_conditional_mmd: domain flag count mismatch"
+    );
+    let n = embeddings.rows();
+    let d = embeddings.cols();
+    let num_classes = labels.iter().map(|&y| y + 1).max().unwrap_or(0);
+    let mut grad = Matrix::zeros(n, d);
+    if num_classes == 0 {
+        return (0.0, grad);
+    }
+    // Per-(class, domain) counts and mean embeddings.
+    let mut count = vec![[0usize; 2]; num_classes];
+    let mut mean = vec![[vec![0.0; d], vec![0.0; d]]; num_classes];
+    for (r, (&y, &t)) in labels.iter().zip(is_target).enumerate() {
+        let dom = usize::from(t);
+        count[y][dom] += 1;
+        for (m, &v) in mean[y][dom].iter_mut().zip(embeddings.row(r)) {
+            *m += v;
+        }
+    }
+    for (c, slots) in mean.iter_mut().enumerate() {
+        for (dom, m) in slots.iter_mut().enumerate() {
+            if count[c][dom] > 0 {
+                let inv = 1.0 / count[c][dom] as f64;
+                for v in m.iter_mut() {
+                    *v *= inv;
+                }
+            }
+        }
+    }
+    let active = count.iter().filter(|c| c[0] > 0 && c[1] > 0).count();
+    if active == 0 {
+        return (0.0, grad);
+    }
+    let scale = 1.0 / active as f64;
+    let mut loss = 0.0;
+    // diff_c = mu_src,c - mu_tgt,c; L = mean_c ||diff_c||^2, so
+    // dL/de_i = +/- 2 * diff_c / (n_{c,dom} * active) per member row.
+    let mut diffs = vec![Vec::new(); num_classes];
+    for (c, slots) in mean.iter().enumerate() {
+        if count[c][0] > 0 && count[c][1] > 0 {
+            let diff: Vec<f64> = slots[0]
+                .iter()
+                .zip(&slots[1])
+                .map(|(&s, &t)| s - t)
+                .collect();
+            loss += diff.iter().map(|&v| v * v).sum::<f64>() * scale;
+            diffs[c] = diff;
+        }
+    }
+    for (r, (&y, &t)) in labels.iter().zip(is_target).enumerate() {
+        if diffs[y].is_empty() {
+            continue;
+        }
+        let dom = usize::from(t);
+        let sign = if t { -1.0 } else { 1.0 };
+        let coeff = sign * 2.0 * scale / count[y][dom] as f64;
+        for (c, &dv) in diffs[y].iter().enumerate() {
+            grad.set(r, c, grad.get(r, c) + coeff * dv);
+        }
+    }
+    (loss, grad)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,6 +452,62 @@ mod tests {
         let (l_good, _) = supervised_contrastive(&clustered, &labels, 0.5);
         let (l_bad, _) = supervised_contrastive(&mixed, &labels, 0.5);
         assert!(l_good < l_bad, "clustered {l_good} vs mixed {l_bad}");
+    }
+
+    #[test]
+    fn mmd_zero_when_class_means_coincide() {
+        // Source and target rows of each class share the same mean.
+        let emb = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 2.0], &[0.0, 2.0]]);
+        let labels = [0, 0, 1, 1];
+        let is_target = [false, true, false, true];
+        let (loss, grad) = class_conditional_mmd(&emb, &labels, &is_target);
+        assert!(loss.abs() < 1e-12);
+        assert!(grad.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmd_ignores_classes_in_one_domain() {
+        // Class 1 only exists in the source; it must not contribute.
+        let emb = Matrix::from_rows(&[&[1.0, 0.0], &[3.0, 0.0], &[9.0, 9.0]]);
+        let labels = [0, 0, 1];
+        let is_target = [false, true, false];
+        let (loss, grad) = class_conditional_mmd(&emb, &labels, &is_target);
+        assert!((loss - 4.0).abs() < 1e-12, "||1-3||^2 over one class");
+        assert_eq!(grad.row(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn mmd_zero_for_single_domain_batch() {
+        let emb = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let (loss, grad) = class_conditional_mmd(&emb, &[0, 0], &[false, false]);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn mmd_gradient_matches_finite_diff() {
+        let mut rng = SeededRng::new(21);
+        let emb = Matrix::from_fn(6, 3, |_, _| rng.normal(0.0, 1.0));
+        let labels = [0, 1, 0, 1, 0, 1];
+        let is_target = [false, false, true, true, false, true];
+        let (_, grad) = class_conditional_mmd(&emb, &labels, &is_target);
+        let eps = 1e-6;
+        for i in 0..6 {
+            for j in 0..3 {
+                let mut ep = emb.clone();
+                ep.set(i, j, emb.get(i, j) + eps);
+                let mut em = emb.clone();
+                em.set(i, j, emb.get(i, j) - eps);
+                let (lp, _) = class_conditional_mmd(&ep, &labels, &is_target);
+                let (lm, _) = class_conditional_mmd(&em, &labels, &is_target);
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (grad.get(i, j) - numeric).abs() < 1e-6,
+                    "mmd grad mismatch ({i},{j}): {} vs {numeric}",
+                    grad.get(i, j)
+                );
+            }
+        }
     }
 
     #[test]

@@ -121,9 +121,12 @@ pub enum PlanOp {
 #[derive(Debug, Clone)]
 enum Stage<T> {
     /// `y = act(x · wt + bias)` with `wt` pre-transposed to `(in, out)`.
+    /// `w` keeps the layer's native `(out, in)` layout for the single-row
+    /// GEMV fast path (consulted only when `T::GEMV_MATCHES_GEMM`).
     Affine {
         in_dim: usize,
         out_dim: usize,
+        w: Vec<T>,
         wt: Vec<T>,
         bias: Vec<T>,
         act: Act,
@@ -148,12 +151,14 @@ impl Stage<f64> {
             Stage::Affine {
                 in_dim,
                 out_dim,
+                w,
                 wt,
                 bias,
                 act,
             } => Stage::Affine {
                 in_dim: *in_dim,
                 out_dim: *out_dim,
+                w: narrow(w),
                 wt: narrow(wt),
                 bias: narrow(bias),
                 act: *act,
@@ -241,6 +246,7 @@ impl InferPlan {
                         in_dim: in_d,
                         out_dim: out_d,
                         wt: weight.transpose().as_slice().to_vec(),
+                        w: weight.as_slice().to_vec(),
                         bias,
                         act: Act::Identity,
                     });
@@ -355,6 +361,7 @@ impl InferPlan {
                     wt,
                     bias,
                     act,
+                    ..
                 } => {
                     // Re-materializing the weights per call mirrors the
                     // legacy path's per-call `weight.transpose()`.
@@ -419,6 +426,7 @@ fn run<T: Element>(stages: &[Stage<T>], input: &Matrix) -> Matrix {
             Stage::Affine {
                 in_dim,
                 out_dim,
+                w,
                 wt,
                 bias,
                 act,
@@ -426,7 +434,15 @@ fn run<T: Element>(stages: &[Stage<T>], input: &Matrix) -> Matrix {
                 debug_assert_eq!(dim, *in_dim, "InferPlan: stage input dim mismatch");
                 next.clear();
                 next.resize(rows * out_dim, T::ZERO);
-                T::gemm_nn(rows, *in_dim, *out_dim, &cur, wt, &mut next);
+                if rows == 1 && T::GEMV_MATCHES_GEMM {
+                    // Degenerate one-row batches (the serve request loop)
+                    // take the GEMV kernel over the native-layout weights;
+                    // the trait const guarantees bit-identity with the
+                    // batched GEMM path at this precision.
+                    T::gemv_nt(w, &cur, &mut next);
+                } else {
+                    T::gemm_nn(rows, *in_dim, *out_dim, &cur, wt, &mut next);
+                }
                 T::bias_act(&mut next, bias, *act);
                 std::mem::swap(&mut cur, &mut next);
                 dim = *out_dim;
@@ -535,6 +551,34 @@ mod tests {
         let fast = plan.infer(&x, InferPrecision::F32Fast);
         for (a, b) in exact.as_slice().iter().zip(fast.as_slice()) {
             assert!((a - b).abs() < 1e-4, "f32 drifted: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn single_row_gemv_path_bit_identical_to_batched() {
+        // The rows == 1 fast path must be indistinguishable from slicing a
+        // row out of a batched call: a serve request that arrives alone has
+        // to produce the same bits as the same request inside a batch.
+        let net = rich_net(18);
+        let plan = InferPlan::compile(&net).unwrap();
+        let x = Matrix::from_fn(9, 6, |i, j| (i as f64 * 0.9 - j as f64 * 0.45).cos());
+        let batched = plan.infer(&x, InferPrecision::F64Exact);
+        for r in 0..x.rows() {
+            let row = Matrix::from_rows(&[x.row(r)]);
+            let single = plan.infer(&row, InferPrecision::F64Exact);
+            assert_bits_eq(&single, &Matrix::from_rows(&[batched.row(r)]));
+            // The fast path must also still match the legacy layer chain.
+            assert_bits_eq(&single, &net.infer(&row));
+        }
+        // f32 keeps the FMA GEMM even for one row (GEMV_MATCHES_GEMM is
+        // false there); it only has to stay within the measured envelope.
+        for r in 0..x.rows() {
+            let row = Matrix::from_rows(&[x.row(r)]);
+            let single = plan.infer(&row, InferPrecision::F32Fast);
+            let exact = plan.infer(&row, InferPrecision::F64Exact);
+            for (a, b) in single.as_slice().iter().zip(exact.as_slice()) {
+                assert!((a - b).abs() < 1e-4, "f32 single-row drifted: {a} vs {b}");
+            }
         }
     }
 

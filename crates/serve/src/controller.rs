@@ -271,7 +271,19 @@ impl RegistryRefitter {
             Method::FsGan | Method::FsNoCond | Method::FsVae | Method::FsVanillaAe | Method::Fs => {
                 Some(SeparationCache::new(source, &config.fs)?)
             }
-            _ => None,
+            Method::Cmt
+            | Method::Icd
+            | Method::SrcOnly
+            | Method::TarOnly
+            | Method::SourceAndTarget
+            | Method::FineTune
+            | Method::Coral
+            | Method::Dann
+            | Method::Scl
+            | Method::MatchNet
+            | Method::ProtoNet
+            | Method::Fada
+            | Method::Fmaa => None,
         };
         Ok(RegistryRefitter {
             method,

@@ -2,10 +2,10 @@
 //! fit → predict → persist → restore → predict through the uniform
 //! [`DriftMitigator`] interface, on both synthetic scenarios, and the
 //! restored mitigator must predict bit-identically to the one that was
-//! trained. This is what lets serving treat all sixteen methods as one
+//! trained. This is what lets serving treat all eighteen methods as one
 //! `Box<dyn DriftMitigator>`.
 
-use fsda::core::adapter::{AdapterConfig, Budget};
+use fsda::core::adapter::{peek_meta, AdapterConfig, Budget};
 use fsda::core::pipeline;
 use fsda::core::Method;
 use fsda::data::fewshot::{few_shot_indices, few_shot_subset};
@@ -14,16 +14,11 @@ use fsda::data::synth5gipc::{Synth5gipc, NUM_GROUPS};
 use fsda::data::Dataset;
 use fsda::linalg::{Matrix, SeededRng};
 use fsda::models::ClassifierKind;
+use std::collections::BTreeMap;
 
-/// Every method the registry serves: Table I plus the Table II ablations.
+/// Every method the registry serves.
 fn all_methods() -> Vec<Method> {
-    let mut methods: Vec<Method> = Method::TABLE1.to_vec();
-    for m in Method::TABLE2 {
-        if !methods.contains(&m) {
-            methods.push(m);
-        }
-    }
-    methods
+    Method::ALL.to_vec()
 }
 
 /// A deliberately tiny budget: the contract is about the interface, not
@@ -95,6 +90,79 @@ fn every_method_round_trips_on_5gc() {
     let test = bundle.target_test.features();
     for method in all_methods() {
         exercise(method, &bundle.source_train, &shots, test, 63);
+    }
+}
+
+/// The persistence kind byte partitions the registry: every method writes
+/// exactly one kind, every kind restores through exactly one code path,
+/// and the restored mitigator keeps the method identity. This pins the
+/// `restore` dispatch table — a new method cannot silently reuse (or
+/// orphan) a kind byte.
+#[test]
+fn every_persistence_kind_maps_to_documented_methods() {
+    let bundle = Synth5gc::small().generate(71).unwrap();
+    let mut rng = SeededRng::new(72);
+    let shots = few_shot_subset(&bundle.target_pool, 10, &mut rng).unwrap();
+    let config = tiny_config();
+
+    let mut by_kind: BTreeMap<u8, Vec<Method>> = BTreeMap::new();
+    for method in all_methods() {
+        let mut mitigator = method.build(&config, 73);
+        mitigator
+            .fit(&bundle.source_train, &shots)
+            .unwrap_or_else(|e| panic!("{method}: fit failed: {e}"));
+        let bytes = mitigator.to_bytes().unwrap();
+        let (kind, _, _) = peek_meta(&bytes).unwrap();
+        by_kind.entry(kind).or_default().push(method);
+        let restored = pipeline::restore(&bytes).unwrap();
+        assert_eq!(
+            restored.method(),
+            method,
+            "kind {kind} restored to the wrong method"
+        );
+    }
+
+    let expected: &[(u8, &[Method])] = &[
+        (0, &[Method::Fs]),
+        (
+            1,
+            &[
+                Method::FsGan,
+                Method::FsNoCond,
+                Method::FsVae,
+                Method::FsVanillaAe,
+            ],
+        ),
+        (
+            2,
+            &[
+                Method::Cmt,
+                Method::Icd,
+                Method::SrcOnly,
+                Method::TarOnly,
+                Method::SourceAndTarget,
+                Method::FineTune,
+                Method::Coral,
+            ],
+        ),
+        (3, &[Method::Dann]),
+        (4, &[Method::Scl]),
+        (5, &[Method::MatchNet]),
+        (6, &[Method::ProtoNet]),
+        (7, &[Method::Fada]),
+        (8, &[Method::Fmaa]),
+    ];
+    assert_eq!(
+        by_kind.len(),
+        expected.len(),
+        "kind set drifted: {by_kind:?}"
+    );
+    for (kind, methods) in expected {
+        let mut got = by_kind.get(kind).cloned().unwrap_or_default();
+        got.sort_by_key(|m| m.slug().to_string());
+        let mut want = methods.to_vec();
+        want.sort_by_key(|m| m.slug().to_string());
+        assert_eq!(got, want, "kind {kind} maps to the wrong method set");
     }
 }
 

@@ -134,6 +134,60 @@ fn all_classifier_kinds_respect_the_precision_contract() {
     }
 }
 
+/// The adversarial baselines serve through plan-compiled heads too: the
+/// exact precision is bit-identical to the oblivious entry points, the
+/// fast path flips no hard predictions on the well-separated fixture, and
+/// both properties survive persist → restore (the plan is recompiled from
+/// the restored weights, never serialized).
+#[test]
+fn adversarial_baselines_respect_the_precision_contract() {
+    let (source, shots, probe) = fixture();
+    for (i, method) in [fsda::core::Method::Fada, fsda::core::Method::Fmaa]
+        .into_iter()
+        .enumerate()
+    {
+        let label = method.label();
+        let mut mitigator = method.build(&tiny_config(), 80 + i as u64);
+        mitigator
+            .fit(&source, &shots)
+            .unwrap_or_else(|e| panic!("{label}: fit failed: {e}"));
+
+        let baseline = mitigator.predict_batch(&probe, Some(2));
+        assert_eq!(
+            mitigator.predict_batch_with(&probe, Some(2), InferPrecision::F64Exact),
+            baseline,
+            "{label}: F64Exact predictions must match the default path"
+        );
+        assert_eq!(
+            mitigator.predict_batch_with(&probe, Some(2), InferPrecision::F32Fast),
+            baseline,
+            "{label}: f32 fast path flipped a prediction"
+        );
+
+        let guard = fsda::core::GuardConfig::default();
+        assert_eq!(
+            mitigator
+                .try_predict_batch_with(&probe, Some(2), &guard, InferPrecision::F32Fast)
+                .unwrap_or_else(|e| panic!("{label}: guarded fast path failed: {e:?}")),
+            baseline,
+            "{label}: guarded fast path diverged"
+        );
+
+        let bytes = mitigator.to_bytes().expect("to_bytes");
+        let restored = fsda::core::pipeline::restore(&bytes).expect("restore");
+        assert_eq!(
+            restored.predict_batch_with(&probe, Some(2), InferPrecision::F64Exact),
+            baseline,
+            "{label}: restored exact path diverged"
+        );
+        assert_eq!(
+            restored.predict_batch_with(&probe, Some(2), InferPrecision::F32Fast),
+            baseline,
+            "{label}: restored f32 plan flipped a prediction"
+        );
+    }
+}
+
 #[test]
 fn trait_object_precision_entry_points_delegate() {
     let (source, shots, probe) = fixture();

@@ -31,15 +31,9 @@ fn telemetry_lock() -> MutexGuard<'static, ()> {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// Every method the registry serves: Table I plus the Table II ablations.
+/// Every method the registry serves.
 fn all_methods() -> Vec<Method> {
-    let mut methods: Vec<Method> = Method::TABLE1.to_vec();
-    for m in Method::TABLE2 {
-        if !methods.contains(&m) {
-            methods.push(m);
-        }
-    }
-    methods
+    Method::ALL.to_vec()
 }
 
 /// The contract is about emission, not model quality: minimum budget.
